@@ -1,0 +1,490 @@
+//! Lockset analysis for *bulk* locations (array elements and maps): the
+//! allocation-site half of the paper's O2 (Lemma 4.2).
+//!
+//! A container allocation is **consistently guarded** when every element /
+//! map access that can reach it holds one common lock. Without a points-to
+//! analysis, reachability is established syntactically but soundly:
+//!
+//! 1. the allocation's only uses are a single store into a write-once
+//!    global `g` (never passed to calls/spawns, never stored into fields,
+//!    elements or maps, never returned) — so the container is reachable
+//!    *only* through `g`;
+//! 2. every register holding a value read from `g` is used only as the
+//!    receiver of element/map accesses or `len` — so no re-aliasing;
+//! 3. every such access (outside pre-spawn initialization) holds a common
+//!    stable lock.
+//!
+//! Any violation conservatively disqualifies the site.
+
+use crate::lockset::{GuardedLocations, LockAbs};
+use lir::{FuncId, GlobalId, Instr, InstrId, Intrinsic, Operand, Program, Reg};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Guarded allocation sites (`New`/`NewArray`/`map_new` instructions whose
+/// containers are consistently lock-protected).
+pub fn guarded_alloc_sites(program: &Program, locks: &GuardedLocations) -> HashSet<InstrId> {
+    let pre_spawn = crate::prespawn::pre_spawn_instrs(program);
+
+    // Count global writes; candidate roots are write-once globals whose
+    // single write stores a fresh allocation.
+    let mut global_writes: HashMap<GlobalId, Vec<InstrId>> = HashMap::new();
+    for (f, func) in program.funcs.iter().enumerate() {
+        for (iid, instr) in func.instr_ids(FuncId(f as u32)) {
+            if let Instr::SetGlobal { global, .. } = instr {
+                global_writes.entry(*global).or_default().push(iid);
+            }
+        }
+    }
+
+    let mut guarded = HashSet::new();
+    'globals: for (global, writes) in &global_writes {
+        let [write_iid] = writes.as_slice() else {
+            continue;
+        };
+        let Some(Instr::SetGlobal {
+            value: Operand::Reg(alloc_reg),
+            ..
+        }) = program.instr(*write_iid)
+        else {
+            continue;
+        };
+        let func = program.func(write_iid.func);
+
+        // The register must be defined exactly once, by an allocation, and
+        // used only by this store (plus local container accesses).
+        let mut alloc_site: Option<InstrId> = None;
+        for (iid, instr) in func.instr_ids(write_iid.func) {
+            if instr.def() == Some(*alloc_reg) {
+                match instr {
+                    Instr::New { .. }
+                    | Instr::NewArray { .. }
+                    | Instr::Intrinsic {
+                        intr: Intrinsic::MapNew,
+                        ..
+                    } => {
+                        if alloc_site.replace(iid).is_some() {
+                            continue 'globals; // multiple defs
+                        }
+                    }
+                    _ => continue 'globals,
+                }
+            }
+        }
+        let Some(site) = alloc_site else {
+            continue;
+        };
+        if !ok_container_uses(func, write_iid.func, *alloc_reg, Some(*write_iid)) {
+            continue;
+        }
+
+        // Every register loaded from the global, in every function, must be
+        // used only as a container receiver; collect the access sites.
+        let mut accesses: Vec<InstrId> = Vec::new();
+        for (f, func) in program.funcs.iter().enumerate() {
+            let fid = FuncId(f as u32);
+            for (iid, instr) in func.instr_ids(fid) {
+                if let Instr::GetGlobal { dst, global: g } = instr {
+                    if g == global {
+                        if !ok_container_uses(func, fid, *dst, None) {
+                            continue 'globals;
+                        }
+                        collect_receiver_accesses(func, fid, *dst, &mut accesses);
+                        let _ = iid;
+                    }
+                }
+            }
+        }
+
+        // All (post-initialization) accesses share a stable lock.
+        let mut verdict: Option<BTreeSet<LockAbs>> = None;
+        for &a in &accesses {
+            if pre_spawn.contains(&a) {
+                continue;
+            }
+            let held = locks.held_at.get(&a).cloned().unwrap_or_default();
+            match &mut verdict {
+                None => verdict = Some(held),
+                Some(v) => *v = v.intersection(&held).copied().collect(),
+            }
+        }
+        let has_stable_lock = verdict
+            .as_ref()
+            .is_some_and(|v| v.iter().any(|l| matches!(l, LockAbs::Global(_))));
+        if has_stable_lock {
+            guarded.insert(site);
+        }
+    }
+    guarded
+}
+
+/// Whether `reg`'s uses in `func` are limited to container accesses (as
+/// the receiver), `len`, moves into registers with the same property, and
+/// optionally one specific store instruction.
+fn ok_container_uses(
+    func: &lir::ir::Func,
+    fid: FuncId,
+    reg: Reg,
+    allowed_store: Option<InstrId>,
+) -> bool {
+    // Track aliases created by Move.
+    let mut aliases: HashSet<Reg> = [reg].into_iter().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Instr::Move {
+                    dst,
+                    src: Operand::Reg(s),
+                } = instr
+                {
+                    if aliases.contains(s) && aliases.insert(*dst) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    for (iid, instr) in func.instr_ids(fid) {
+        let uses_alias = instr
+            .uses()
+            .iter()
+            .any(|op| matches!(op, Operand::Reg(r) if aliases.contains(r)));
+        if !uses_alias {
+            continue;
+        }
+        let ok = match instr {
+            Instr::GetElem { arr: Operand::Reg(r), idx, .. } => {
+                aliases.contains(r) && !matches!(idx, Operand::Reg(i) if aliases.contains(i))
+            }
+            Instr::SetElem { arr: Operand::Reg(r), idx, value } => {
+                aliases.contains(r)
+                    && !matches!(idx, Operand::Reg(i) if aliases.contains(i))
+                    && !matches!(value, Operand::Reg(v) if aliases.contains(v))
+            }
+            Instr::Intrinsic { intr, args, .. } => match intr {
+                Intrinsic::ArrayLen
+                | Intrinsic::MapGet
+                | Intrinsic::MapPut
+                | Intrinsic::MapRemove
+                | Intrinsic::MapContains
+                | Intrinsic::MapSize => {
+                    // Receiver position only; the container must not appear
+                    // as a key or stored value.
+                    matches!(args.first(), Some(Operand::Reg(r)) if aliases.contains(r))
+                        && !args[1..]
+                            .iter()
+                            .any(|op| matches!(op, Operand::Reg(r) if aliases.contains(r)))
+                }
+                _ => false,
+            },
+            Instr::Move { .. } => true,
+            Instr::SetGlobal { .. } => Some(iid) == allowed_store,
+            _ => false,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    // Branches/returns on the alias would also leak it; terminators only
+    // use condition/return operands.
+    for block in &func.blocks {
+        match block.term {
+            lir::Terminator::Branch { cond: Operand::Reg(r), .. }
+            | lir::Terminator::Ret(Some(Operand::Reg(r))) => {
+                if aliases.contains(&r) {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Collects element/map access instructions whose receiver is (an alias
+/// of) `reg`.
+fn collect_receiver_accesses(
+    func: &lir::ir::Func,
+    fid: FuncId,
+    reg: Reg,
+    out: &mut Vec<InstrId>,
+) {
+    let mut aliases: HashSet<Reg> = [reg].into_iter().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Instr::Move {
+                    dst,
+                    src: Operand::Reg(s),
+                } = instr
+                {
+                    if aliases.contains(s) && aliases.insert(*dst) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    for (iid, instr) in func.instr_ids(fid) {
+        let is_access = match instr {
+            Instr::GetElem { arr: Operand::Reg(r), .. }
+            | Instr::SetElem { arr: Operand::Reg(r), .. } => aliases.contains(r),
+            Instr::Intrinsic { intr, args, .. } => {
+                intr.is_solver_opaque()
+                    && matches!(args.first(), Some(Operand::Reg(r)) if aliases.contains(r))
+            }
+            _ => false,
+        };
+        if is_access {
+            out.push(iid);
+        }
+    }
+}
+
+/// Containers whose mutations are all pre-spawn initialization: their
+/// contents are fixed before any thread exists, so post-spawn reads are
+/// deterministic and the container needs no instrumentation at all.
+/// Uses the same sound syntactic reachability conditions as
+/// [`guarded_alloc_sites`].
+pub fn init_only_alloc_sites(program: &Program) -> HashSet<InstrId> {
+    let pre_spawn = crate::prespawn::pre_spawn_instrs(program);
+    let mut global_writes: HashMap<GlobalId, Vec<InstrId>> = HashMap::new();
+    for (f, func) in program.funcs.iter().enumerate() {
+        for (iid, instr) in func.instr_ids(FuncId(f as u32)) {
+            if let Instr::SetGlobal { global, .. } = instr {
+                global_writes.entry(*global).or_default().push(iid);
+            }
+        }
+    }
+    let mut init_only = HashSet::new();
+    'globals: for (global, writes) in &global_writes {
+        let [write_iid] = writes.as_slice() else {
+            continue;
+        };
+        if !pre_spawn.contains(write_iid) {
+            continue;
+        }
+        let Some(Instr::SetGlobal {
+            value: Operand::Reg(alloc_reg),
+            ..
+        }) = program.instr(*write_iid)
+        else {
+            continue;
+        };
+        let func = program.func(write_iid.func);
+        let mut alloc_site: Option<InstrId> = None;
+        for (iid, instr) in func.instr_ids(write_iid.func) {
+            if instr.def() == Some(*alloc_reg) {
+                match instr {
+                    Instr::New { .. }
+                    | Instr::NewArray { .. }
+                    | Instr::Intrinsic {
+                        intr: Intrinsic::MapNew,
+                        ..
+                    } => {
+                        if alloc_site.replace(iid).is_some() {
+                            continue 'globals;
+                        }
+                    }
+                    _ => continue 'globals,
+                }
+            }
+        }
+        let Some(site) = alloc_site else { continue };
+        if !ok_container_uses(func, write_iid.func, *alloc_reg, Some(*write_iid)) {
+            continue;
+        }
+        // All mutating accesses through the global root must be pre-spawn.
+        let mut accesses: Vec<InstrId> = Vec::new();
+        for (f, func) in program.funcs.iter().enumerate() {
+            let fid = FuncId(f as u32);
+            for (_iid, instr) in func.instr_ids(fid) {
+                if let Instr::GetGlobal { dst, global: g } = instr {
+                    if g == global {
+                        if !ok_container_uses(func, fid, *dst, None) {
+                            continue 'globals;
+                        }
+                        collect_receiver_accesses(func, fid, *dst, &mut accesses);
+                    }
+                }
+            }
+        }
+        let all_mutations_pre_spawn = accesses.iter().all(|&a| {
+            let mutating = match program.instr(a) {
+                Some(Instr::SetElem { .. }) => true,
+                Some(Instr::Intrinsic { intr, .. }) => matches!(
+                    intr,
+                    Intrinsic::MapPut | Intrinsic::MapRemove
+                ),
+                _ => false,
+            };
+            !mutating || pre_spawn.contains(&a)
+        });
+        if all_mutations_pre_spawn {
+            init_only.insert(site);
+        }
+    }
+    init_only
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockset::guarded_locations;
+
+    fn sites(src: &str) -> (lir::Program, HashSet<InstrId>) {
+        let p = lir::parse(src).unwrap();
+        let locks = guarded_locations(&p);
+        let s = guarded_alloc_sites(&p, &locks);
+        (p, s)
+    }
+
+    #[test]
+    fn locked_array_site_is_guarded() {
+        let (_, s) = sites(
+            "global lock; global sums; class L { field pad; }
+             fn worker(n) {
+                 let i = 0;
+                 while (i < n) {
+                     sync (lock) { sums[i % 4] = sums[i % 4] + 1; }
+                     i = i + 1;
+                 }
+             }
+             fn main(n) {
+                 lock = new L();
+                 sums = new [4];
+                 let t1 = spawn worker(n);
+                 let t2 = spawn worker(n);
+                 join t1; join t2;
+                 sync (lock) { print(sums[0]); }
+             }",
+        );
+        assert_eq!(s.len(), 1, "the sums allocation must be guarded");
+    }
+
+    #[test]
+    fn unlocked_access_disqualifies_site() {
+        let (_, s) = sites(
+            "global lock; global sums; class L { field pad; }
+             fn worker() { sync (lock) { sums[0] = sums[0] + 1; } }
+             fn main() {
+                 lock = new L();
+                 sums = new [4];
+                 let t1 = spawn worker();
+                 let x = sums[1];  // unguarded post-spawn access
+                 join t1;
+             }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn leaked_container_disqualifies_site() {
+        let (_, s) = sites(
+            "global lock; global sums; global leak; class L { field pad; }
+             fn worker() { sync (lock) { sums[0] = sums[0] + 1; } }
+             fn main() {
+                 lock = new L();
+                 sums = new [4];
+                 leak = sums;      // aliased through another global
+                 let t1 = spawn worker();
+                 join t1;
+             }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn container_passed_to_call_disqualifies_site() {
+        let (_, s) = sites(
+            "global lock; global sums; class L { field pad; }
+             fn helper(a) { a[0] = 1; }
+             fn worker() { sync (lock) { let c = sums; helper(c); } }
+             fn main() {
+                 lock = new L();
+                 sums = new [4];
+                 let t1 = spawn worker();
+                 join t1;
+             }",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn guarded_map_site() {
+        let (_, s) = sites(
+            "global lock; global table; class L { field pad; }
+             fn worker(n) {
+                 let i = 0;
+                 while (i < n) {
+                     sync (lock) { map_put(table, i, i * 2); }
+                     i = i + 1;
+                 }
+             }
+             fn main(n) {
+                 lock = new L();
+                 table = map_new();
+                 let t1 = spawn worker(n);
+                 let t2 = spawn worker(n);
+                 join t1; join t2;
+             }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn init_only_array_is_detected() {
+        let p = lir::parse(
+            "global points;
+             fn worker(n) {
+                 let i = 0; let acc = 0;
+                 while (i < n) { acc = acc + points[i]; i = i + 1; }
+             }
+             fn main(n) {
+                 points = new [n];
+                 let i = 0;
+                 while (i < n) { points[i] = i * 3; i = i + 1; }
+                 let t1 = spawn worker(n);
+                 let t2 = spawn worker(n);
+                 join t1; join t2;
+             }",
+        )
+        .unwrap();
+        let sites = init_only_alloc_sites(&p);
+        assert_eq!(sites.len(), 1);
+    }
+
+    #[test]
+    fn post_spawn_writes_disqualify_init_only() {
+        let p = lir::parse(
+            "global data;
+             fn worker() { data[0] = 1; }
+             fn main() {
+                 data = new [4];
+                 let t = spawn worker();
+                 join t;
+             }",
+        )
+        .unwrap();
+        assert!(init_only_alloc_sites(&p).is_empty());
+    }
+
+    #[test]
+    fn reassigned_global_disqualifies_site() {
+        let (_, s) = sites(
+            "global lock; global sums; class L { field pad; }
+             fn worker() { sync (lock) { sums[0] = 1; } }
+             fn main() {
+                 lock = new L();
+                 sums = new [4];
+                 sums = new [8];
+                 let t1 = spawn worker();
+                 join t1;
+             }",
+        );
+        assert!(s.is_empty());
+    }
+}

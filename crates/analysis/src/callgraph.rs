@@ -1,0 +1,301 @@
+//! Call graph, thread roots, reachability and thread multiplicity.
+
+use lir::{FuncId, Instr, Program, Terminator};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How many instances of a thread root may run during one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Multiplicity {
+    /// At most one instance.
+    One,
+    /// Possibly two or more instances (multiple spawn sites, spawn in a
+    /// loop, or spawned from a many-instance thread).
+    Many,
+}
+
+/// The program's call graph plus thread-root information.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees (via `call`) of each function.
+    pub calls: Vec<HashSet<FuncId>>,
+    /// Functions each function spawns.
+    pub spawns: Vec<HashSet<FuncId>>,
+    /// Thread roots: the entry function plus every spawned function.
+    pub roots: Vec<FuncId>,
+    /// Per root, the functions reachable through `call` edges (including
+    /// the root itself). Spawned functions belong to *their own* root.
+    pub reachable: HashMap<FuncId, HashSet<FuncId>>,
+    /// Per root, how many thread instances may execute it.
+    pub multiplicity: HashMap<FuncId, Multiplicity>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.funcs.len();
+        let mut calls: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+        let mut spawns: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+        // Spawn sites that sit inside a CFG cycle of their function, or
+        // appear several times, can run many times.
+        let mut spawn_sites: HashMap<FuncId, Vec<(FuncId, bool)>> = HashMap::new();
+
+        for (f, func) in program.funcs.iter().enumerate() {
+            let looping = blocks_in_cycles(func);
+            for (b, block) in func.blocks.iter().enumerate() {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::Call { func: callee, .. } => {
+                            calls[f].insert(*callee);
+                        }
+                        Instr::Spawn { func: callee, .. } => {
+                            spawns[f].insert(*callee);
+                            spawn_sites
+                                .entry(*callee)
+                                .or_default()
+                                .push((FuncId(f as u32), looping.contains(&b)));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let mut roots: Vec<FuncId> = Vec::new();
+        if let Some(entry) = program.entry {
+            roots.push(entry);
+        }
+        for set in &spawns {
+            for &callee in set {
+                if !roots.contains(&callee) {
+                    roots.push(callee);
+                }
+            }
+        }
+        roots.sort();
+
+        let mut reachable = HashMap::new();
+        for &root in &roots {
+            reachable.insert(root, reach_over_calls(&calls, root));
+        }
+
+        // Multiplicity fixpoint: entry has One; a spawned root is Many if
+        // spawned more than once overall, spawned inside a loop, or spawned
+        // (possibly transitively) by a Many thread or from a function
+        // reachable from a Many root.
+        let mut multiplicity: HashMap<FuncId, Multiplicity> = roots
+            .iter()
+            .map(|&r| (r, Multiplicity::One))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &root in &roots {
+                if multiplicity[&root] == Multiplicity::Many {
+                    continue;
+                }
+                let sites = spawn_sites.get(&root).cloned().unwrap_or_default();
+                let mut many = sites.len() > 1 || sites.iter().any(|&(_, in_loop)| in_loop);
+                if !many {
+                    // One site: inherits its spawner's multiplicity. The
+                    // spawner function may be reachable from several roots.
+                    for &(spawner_func, _) in &sites {
+                        for (&r, funcs) in &reachable {
+                            if funcs.contains(&spawner_func)
+                                && multiplicity[&r] == Multiplicity::Many
+                            {
+                                many = true;
+                            }
+                        }
+                        // Reachable from two distinct roots => two threads
+                        // can spawn it.
+                        let owners = reachable
+                            .values()
+                            .filter(|funcs| funcs.contains(&spawner_func))
+                            .count();
+                        if owners > 1 {
+                            many = true;
+                        }
+                    }
+                }
+                if many {
+                    multiplicity.insert(root, Multiplicity::Many);
+                    changed = true;
+                }
+            }
+        }
+
+        Self {
+            calls,
+            spawns,
+            roots,
+            reachable,
+            multiplicity,
+        }
+    }
+
+    /// The roots whose threads may execute function `f`.
+    pub fn roots_reaching(&self, f: FuncId) -> Vec<FuncId> {
+        self.roots
+            .iter()
+            .copied()
+            .filter(|r| self.reachable[r].contains(&f))
+            .collect()
+    }
+
+    /// Whether function `f` may execute in two or more threads
+    /// concurrently: reachable from two distinct roots, or from one root
+    /// with [`Multiplicity::Many`].
+    pub fn may_run_in_parallel(&self, f: FuncId) -> bool {
+        let owners = self.roots_reaching(f);
+        owners.len() > 1
+            || owners
+                .iter()
+                .any(|r| self.multiplicity[r] == Multiplicity::Many)
+    }
+}
+
+fn reach_over_calls(calls: &[HashSet<FuncId>], root: FuncId) -> HashSet<FuncId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(root);
+    queue.push_back(root);
+    while let Some(f) = queue.pop_front() {
+        for &callee in &calls[f.index()] {
+            if seen.insert(callee) {
+                queue.push_back(callee);
+            }
+        }
+    }
+    seen
+}
+
+/// Block indices that lie on some CFG cycle of `func`.
+fn blocks_in_cycles(func: &lir::ir::Func) -> HashSet<usize> {
+    let n = func.blocks.len();
+    // block b is on a cycle iff b is reachable from one of its successors.
+    let succs: Vec<Vec<usize>> = func
+        .blocks
+        .iter()
+        .map(|b| match b.term {
+            Terminator::Jump(t) => vec![t.index()],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb.index(), else_bb.index()],
+            Terminator::Ret(_) => vec![],
+        })
+        .collect();
+    let mut result = HashSet::new();
+    for b in 0..n {
+        let mut seen = vec![false; n];
+        let mut queue: VecDeque<usize> = succs[b].iter().copied().collect();
+        while let Some(x) = queue.pop_front() {
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            if x == b {
+                result.insert(b);
+                break;
+            }
+            for &s in &succs[x] {
+                queue.push_back(s);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> (lir::Program, CallGraph) {
+        let p = lir::parse(src).unwrap();
+        let g = CallGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn roots_include_entry_and_spawned() {
+        let (p, g) = graph(
+            "fn worker() {}
+             fn main() { let t = spawn worker(); join t; }",
+        );
+        let main = p.func_by_name("main").unwrap();
+        let worker = p.func_by_name("worker").unwrap();
+        assert_eq!(g.roots, {
+            let mut v = vec![main, worker];
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn reachability_follows_calls_not_spawns() {
+        let (p, g) = graph(
+            "fn helper() {}
+             fn worker() { helper(); }
+             fn main() { let t = spawn worker(); join t; }",
+        );
+        let main = p.func_by_name("main").unwrap();
+        let worker = p.func_by_name("worker").unwrap();
+        let helper = p.func_by_name("helper").unwrap();
+        assert!(g.reachable[&worker].contains(&helper));
+        assert!(!g.reachable[&main].contains(&helper));
+        assert!(!g.reachable[&main].contains(&worker));
+    }
+
+    #[test]
+    fn single_spawn_is_multiplicity_one() {
+        let (p, g) = graph(
+            "fn worker() {}
+             fn main() { let t = spawn worker(); join t; }",
+        );
+        let worker = p.func_by_name("worker").unwrap();
+        assert_eq!(g.multiplicity[&worker], Multiplicity::One);
+    }
+
+    #[test]
+    fn two_spawn_sites_are_many() {
+        let (p, g) = graph(
+            "fn worker() {}
+             fn main() {
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let worker = p.func_by_name("worker").unwrap();
+        assert_eq!(g.multiplicity[&worker], Multiplicity::Many);
+    }
+
+    #[test]
+    fn spawn_in_loop_is_many() {
+        let (p, g) = graph(
+            "fn worker() {}
+             fn main(n) {
+                 let i = 0;
+                 while (i < n) { let t = spawn worker(); join t; i = i + 1; }
+             }",
+        );
+        let worker = p.func_by_name("worker").unwrap();
+        assert_eq!(g.multiplicity[&worker], Multiplicity::Many);
+    }
+
+    #[test]
+    fn parallel_detection() {
+        let (p, g) = graph(
+            "fn shared_code() {}
+             fn worker() { shared_code(); }
+             fn main() {
+                 shared_code();
+                 let t = spawn worker();
+                 join t;
+             }",
+        );
+        let shared = p.func_by_name("shared_code").unwrap();
+        let worker = p.func_by_name("worker").unwrap();
+        assert!(g.may_run_in_parallel(shared));
+        assert!(!g.may_run_in_parallel(worker));
+    }
+}

@@ -1,0 +1,308 @@
+//! Interprocedural escape analysis for allocation sites.
+//!
+//! An object *escapes* its allocating thread if its reference may be stored
+//! into the heap (a global, a field, an array element, a map), passed to a
+//! spawned thread, or returned/propagated to a context that does any of
+//! those. Escaping allocation sites are conservatively treated as shared:
+//! their element accesses are instrumented. Non-escaping sites (thread-local
+//! temporaries, the common case in scientific kernels) are not.
+//!
+//! The analysis is flow-insensitive: per function, a register is *escaping*
+//! if it appears in a sink position, is moved into an escaping register, or
+//! is passed as an argument whose parameter escapes in the callee
+//! (interprocedural fixpoint over parameter-escape summaries).
+
+use lir::{FuncId, Instr, InstrId, Program, Reg, Terminator};
+use std::collections::HashSet;
+
+/// Per-function escape summary: which parameters escape.
+#[derive(Debug, Clone, Default)]
+struct FuncSummary {
+    escaping_params: HashSet<u32>,
+}
+
+/// The set of escaping allocation sites of a program.
+#[derive(Debug, Clone)]
+pub struct EscapeAnalysis {
+    escaping_sites: HashSet<InstrId>,
+}
+
+impl EscapeAnalysis {
+    /// Runs the analysis.
+    pub fn run(program: &Program) -> Self {
+        let mut summaries: Vec<FuncSummary> = vec![FuncSummary::default(); program.funcs.len()];
+
+        // Fixpoint over parameter-escape summaries.
+        loop {
+            let mut changed = false;
+            for (f, func) in program.funcs.iter().enumerate() {
+                let escaping = escaping_regs(program, func, &summaries);
+                let summary = &mut summaries[f];
+                for p in 0..func.params {
+                    if escaping.contains(&Reg(p)) && summary.escaping_params.insert(p) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Collect allocation sites whose destination register escapes.
+        let mut escaping_sites = HashSet::new();
+        for (f, func) in program.funcs.iter().enumerate() {
+            let escaping = escaping_regs(program, func, &summaries);
+            for (iid, instr) in func.instr_ids(FuncId(f as u32)) {
+                let dst = match instr {
+                    Instr::New { dst, .. } | Instr::NewArray { dst, .. } => Some(*dst),
+                    Instr::Intrinsic {
+                        dst: Some(dst),
+                        intr: lir::Intrinsic::MapNew,
+                        ..
+                    } => Some(*dst),
+                    _ => None,
+                };
+                if let Some(dst) = dst {
+                    if escaping.contains(&dst) {
+                        escaping_sites.insert(iid);
+                    }
+                }
+            }
+        }
+
+        Self { escaping_sites }
+    }
+
+    /// Whether objects allocated at `site` may escape their thread.
+    pub fn escapes(&self, site: InstrId) -> bool {
+        self.escaping_sites.contains(&site)
+    }
+
+    /// All escaping allocation sites.
+    pub fn escaping_sites(&self) -> &HashSet<InstrId> {
+        &self.escaping_sites
+    }
+}
+
+/// Computes the escaping registers of `func` under the current summaries.
+fn escaping_regs(
+    program: &Program,
+    func: &lir::ir::Func,
+    summaries: &[FuncSummary],
+) -> HashSet<Reg> {
+    let mut escaping: HashSet<Reg> = HashSet::new();
+    // Seed + propagate to fixpoint (registers are reused, so `Move` edges
+    // propagate both ways conservatively? No: a move `dst = src` makes
+    // `src` escape when `dst` does — values flow src -> dst, and escape is
+    // a property of the value, so it flows dst -> src).
+    loop {
+        let mut changed = false;
+        let mark = |r: Option<Reg>, escaping: &mut HashSet<Reg>| {
+            if let Some(r) = r {
+                if escaping.insert(r) {
+                    return true;
+                }
+            }
+            false
+        };
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::SetGlobal { value, .. } => {
+                        changed |= mark(value.reg(), &mut escaping);
+                    }
+                    Instr::SetField { value, obj, .. } => {
+                        changed |= mark(value.reg(), &mut escaping);
+                        // Storing into an object does not by itself make
+                        // the object escape.
+                        let _ = obj;
+                    }
+                    Instr::SetElem { value, .. } => {
+                        changed |= mark(value.reg(), &mut escaping);
+                    }
+                    Instr::Intrinsic {
+                        intr: lir::Intrinsic::MapPut,
+                        args,
+                        ..
+                    } => {
+                        // The stored value (arg 2) escapes into the map.
+                        if let Some(v) = args.get(2) {
+                            changed |= mark(v.reg(), &mut escaping);
+                        }
+                    }
+                    Instr::Spawn { args, .. } => {
+                        for a in args {
+                            changed |= mark(a.reg(), &mut escaping);
+                        }
+                    }
+                    Instr::Call { func: callee, args, .. } => {
+                        let summary = &summaries[callee.index()];
+                        for (i, a) in args.iter().enumerate() {
+                            if summary.escaping_params.contains(&(i as u32)) {
+                                changed |= mark(a.reg(), &mut escaping);
+                            }
+                        }
+                    }
+                    Instr::Move { dst, src } => {
+                        if escaping.contains(dst) {
+                            changed |= mark(src.reg(), &mut escaping);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Terminator::Ret(Some(v)) = block.term {
+                // Returned references flow to the caller; treat as escape
+                // (conservative: the caller may publish them).
+                changed |= mark(v.reg(), &mut escaping);
+            }
+        }
+        let _ = program;
+        if !changed {
+            break;
+        }
+    }
+    escaping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> (lir::Program, EscapeAnalysis) {
+        let p = lir::parse(src).unwrap();
+        let e = EscapeAnalysis::run(&p);
+        (p, e)
+    }
+
+    fn alloc_sites(p: &Program) -> Vec<InstrId> {
+        let mut out = Vec::new();
+        for (f, func) in p.funcs.iter().enumerate() {
+            for (iid, instr) in func.instr_ids(FuncId(f as u32)) {
+                if matches!(
+                    instr,
+                    Instr::New { .. }
+                        | Instr::NewArray { .. }
+                        | Instr::Intrinsic {
+                            intr: lir::Intrinsic::MapNew,
+                            ..
+                        }
+                ) {
+                    out.push(iid);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn local_temp_array_does_not_escape() {
+        let (p, e) = analyze(
+            "fn main() {
+                 let a = new [10];
+                 a[0] = 1;
+                 let x = a[0];
+             }",
+        );
+        let sites = alloc_sites(&p);
+        assert_eq!(sites.len(), 1);
+        assert!(!e.escapes(sites[0]));
+    }
+
+    #[test]
+    fn global_stored_object_escapes() {
+        let (p, e) = analyze(
+            "global g;
+             fn main() { let a = new [10]; g = a; }",
+        );
+        let sites = alloc_sites(&p);
+        assert!(e.escapes(sites[0]));
+    }
+
+    #[test]
+    fn spawn_argument_escapes() {
+        let (p, e) = analyze(
+            "fn worker(a) { a[0] = 1; }
+             fn main() {
+                 let a = new [4];
+                 let t = spawn worker(a);
+                 join t;
+             }",
+        );
+        let sites = alloc_sites(&p);
+        assert!(e.escapes(sites[0]));
+    }
+
+    #[test]
+    fn call_arg_escapes_only_if_param_escapes() {
+        let (p, e) = analyze(
+            "global g;
+             fn keep_local(a) { a[0] = 1; }
+             fn publish(a) { g = a; }
+             fn main() {
+                 let local_arr = new [4];
+                 keep_local(local_arr);
+                 let pub_arr = new [4];
+                 publish(pub_arr);
+             }",
+        );
+        let sites = alloc_sites(&p);
+        assert_eq!(sites.len(), 2);
+        assert!(!e.escapes(sites[0]), "keep_local arg must not escape");
+        assert!(e.escapes(sites[1]), "publish arg must escape");
+    }
+
+    #[test]
+    fn returned_object_escapes() {
+        let (p, e) = analyze(
+            "fn make() { let a = new [2]; return a; }
+             fn main() { let a = make(); }",
+        );
+        let sites = alloc_sites(&p);
+        assert!(e.escapes(sites[0]));
+    }
+
+    #[test]
+    fn value_stored_into_field_escapes() {
+        let (p, e) = analyze(
+            "class Box { field inner; }
+             fn main() {
+                 let b = new Box();
+                 let a = new [2];
+                 b.inner = a;
+             }",
+        );
+        let sites = alloc_sites(&p);
+        // The array (second site) escapes into the box; the box itself does
+        // not escape.
+        assert!(!e.escapes(sites[0]));
+        assert!(e.escapes(sites[1]));
+    }
+
+    #[test]
+    fn transitive_call_chain_escape() {
+        let (p, e) = analyze(
+            "global g;
+             fn inner(x) { g = x; }
+             fn outer(y) { inner(y); }
+             fn main() { let a = new [1]; outer(a); }",
+        );
+        let sites = alloc_sites(&p);
+        assert!(e.escapes(sites[0]));
+    }
+
+    #[test]
+    fn map_put_value_escapes() {
+        let (p, e) = analyze(
+            "fn main() {
+                 let m = map_new();
+                 let a = new [1];
+                 map_put(m, 1, a);
+             }",
+        );
+        let sites = alloc_sites(&p);
+        // Site order: map_new, new [1]; the array escapes into the map.
+        assert!(e.escapes(sites[1]));
+    }
+}

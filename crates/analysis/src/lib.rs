@@ -1,0 +1,102 @@
+//! Static analyses over LIR programs.
+//!
+//! This crate plays the role the Light paper assigns to the Soot and Chord
+//! frameworks:
+//!
+//! - [`CallGraph`] — call edges, thread roots, reachability and thread
+//!   multiplicity;
+//! - [`EscapeAnalysis`] — interprocedural allocation-site escape analysis;
+//! - [`SharedLocations`] — shared field/global/allocation detection,
+//!   producing the runtime's [`light_runtime::SharedPolicy`];
+//! - [`guarded_locations`] — lockset analysis identifying consistently
+//!   guarded locations (enables the paper's O2, Lemma 4.2);
+//! - [`race_pairs`] — static race pairs (front end of the Chimera-style
+//!   baseline).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), lir::Error> {
+//! let program = lir::parse(
+//!     "global counter;
+//!      fn worker() { counter = counter + 1; }
+//!      fn main() {
+//!          let t1 = spawn worker();
+//!          let t2 = spawn worker();
+//!          join t1; join t2;
+//!      }",
+//! )?;
+//! let analysis = light_analysis::analyze(&program);
+//! let g = program.global_by_name("counter").unwrap();
+//! assert!(analysis.policy.global_shared(g));
+//! assert!(!analysis.races.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bulk_guard;
+pub mod callgraph;
+pub mod escape;
+pub mod lockset;
+pub mod prespawn;
+pub mod races;
+pub mod shared;
+
+pub use bulk_guard::{guarded_alloc_sites, init_only_alloc_sites};
+pub use callgraph::{CallGraph, Multiplicity};
+pub use escape::EscapeAnalysis;
+pub use lockset::{guarded_locations, GuardedLocations, LockAbs};
+pub use races::{race_pairs, racy_functions, RacePair, StaticLoc};
+pub use shared::SharedLocations;
+
+use light_runtime::SharedPolicy;
+use lir::Program;
+
+/// All analysis products for one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub call_graph: CallGraph,
+    pub escape: EscapeAnalysis,
+    /// Which locations the runtime should instrument.
+    pub policy: SharedPolicy,
+    /// Which locations are consistently guarded (feeds Light's O2).
+    pub guarded: GuardedLocations,
+    /// Allocation sites whose containers are consistently lock-guarded
+    /// (the bulk half of O2).
+    pub guarded_allocs: std::collections::HashSet<lir::InstrId>,
+    /// Potentially racing static access pairs (feeds the Chimera baseline).
+    pub races: Vec<RacePair>,
+}
+
+/// Runs every analysis on `program`.
+pub fn analyze(program: &Program) -> Analysis {
+    let call_graph = CallGraph::build(program);
+    let escape = EscapeAnalysis::run(program);
+    let shared = SharedLocations::compute(program, &call_graph, &escape);
+    let guarded = guarded_locations(program);
+    let guarded_allocs = guarded_alloc_sites(program, &guarded);
+    let init_only = init_only_alloc_sites(program);
+    let races = race_pairs(program, &call_graph, &guarded);
+    let mut policy = shared.into_policy();
+    if let light_runtime::SharedPolicy::Analyzed {
+        guarded_allocs: slot,
+        shared_allocs,
+        ..
+    } = &mut policy
+    {
+        *slot = guarded_allocs.clone();
+        // Containers fully initialized before any thread exists carry
+        // deterministic contents; drop their instrumentation entirely.
+        for site in &init_only {
+            shared_allocs.remove(site);
+        }
+    }
+    Analysis {
+        policy,
+        call_graph,
+        escape,
+        guarded,
+        guarded_allocs,
+        races,
+    }
+}

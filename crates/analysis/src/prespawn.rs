@@ -1,0 +1,188 @@
+//! Happens-before-spawn refinement: instructions of the entry function
+//! that execute before any thread can exist happen-before every other
+//! thread's actions. They cannot race, they do not count as conflicting
+//! accesses for shared-location detection, and they cannot defeat a
+//! location's lock-guarding verdict (the paper's Chord-based analyses
+//! perform the same refinement for initialization code).
+
+use lir::{Instr, InstrId, Program};
+use std::collections::HashSet;
+
+/// Entry-function instructions that execute before any thread can have
+/// been spawned (a forward may-spawn dataflow over the entry CFG; calls to
+/// functions that may transitively spawn also set the flag).
+pub fn pre_spawn_instrs(program: &Program) -> HashSet<InstrId> {
+    let mut out = HashSet::new();
+    let Some(entry) = program.entry else {
+        return out;
+    };
+    // May-spawn summary per function.
+    let n = program.funcs.len();
+    let mut may_spawn = vec![false; n];
+    loop {
+        let mut changed = false;
+        for (f, func) in program.funcs.iter().enumerate() {
+            if may_spawn[f] {
+                continue;
+            }
+            let found = func.blocks.iter().flat_map(|b| &b.instrs).any(|i| match i {
+                Instr::Spawn { .. } => true,
+                Instr::Call { func: callee, .. } => may_spawn[callee.index()],
+                _ => false,
+            });
+            if found {
+                may_spawn[f] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let func = program.func(entry);
+    let nblocks = func.blocks.len();
+    // spawned_at_entry[b]: true if a spawn MAY have happened before b.
+    let mut spawned_at_entry = vec![false; nblocks];
+    let mut visited = vec![false; nblocks];
+    let mut work = vec![0usize];
+    visited[0] = true;
+    while let Some(b) = work.pop() {
+        let block = &func.blocks[b];
+        let mut spawned = spawned_at_entry[b];
+        for (i, instr) in block.instrs.iter().enumerate() {
+            if !spawned {
+                out.insert(InstrId {
+                    func: entry,
+                    block: lir::BlockId(b as u32),
+                    idx: i as u32,
+                });
+            }
+            match instr {
+                Instr::Spawn { .. } => spawned = true,
+                Instr::Call { func: callee, .. } if may_spawn[callee.index()] => spawned = true,
+                _ => {}
+            }
+        }
+        for succ in block.term.successors() {
+            let s = succ.index();
+            let before = spawned_at_entry[s];
+            spawned_at_entry[s] = before || spawned;
+            if !visited[s] || (spawned && !before) {
+                visited[s] = true;
+                work.push(s);
+            }
+        }
+    }
+    // Re-filter: an instruction marked pre-spawn in one visit might be
+    // reached post-spawn through another path; recompute membership from
+    // the final block states.
+    let mut refined = HashSet::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        let mut spawned = spawned_at_entry[b];
+        for (i, instr) in block.instrs.iter().enumerate() {
+            let iid = InstrId {
+                func: entry,
+                block: lir::BlockId(b as u32),
+                idx: i as u32,
+            };
+            if !spawned && out.contains(&iid) {
+                refined.insert(iid);
+            }
+            match instr {
+                Instr::Spawn { .. } => spawned = true,
+                Instr::Call { func: callee, .. } if may_spawn[callee.index()] => spawned = true,
+                _ => {}
+            }
+        }
+    }
+    refined
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pre_spawn_count(src: &str) -> usize {
+        let p = lir::parse(src).unwrap();
+        pre_spawn_instrs(&p).len()
+    }
+
+    #[test]
+    fn straight_line_init_is_pre_spawn() {
+        // Both SetGlobals precede the spawn.
+        let n = pre_spawn_count(
+            "global a; global b;
+             fn w() {}
+             fn main() { a = 1; b = 2; let t = spawn w(); join t; }",
+        );
+        assert!(n >= 2);
+    }
+
+    #[test]
+    fn nothing_after_spawn_is_pre_spawn() {
+        let p = lir::parse(
+            "global a;
+             fn w() {}
+             fn main() { let t = spawn w(); a = 1; join t; }",
+        )
+        .unwrap();
+        let pre = pre_spawn_instrs(&p);
+        // The SetGlobal for `a` must not be pre-spawn.
+        let main = p.entry.unwrap();
+        for (iid, instr) in p.func(main).instr_ids(main) {
+            if matches!(instr, Instr::SetGlobal { .. }) {
+                assert!(!pre.contains(&iid), "post-spawn write marked pre-spawn");
+            }
+        }
+    }
+
+    #[test]
+    fn call_to_spawning_function_ends_pre_spawn() {
+        let p = lir::parse(
+            "global a;
+             fn w() {}
+             fn kick() { let t = spawn w(); join t; }
+             fn main() { kick(); a = 1; }",
+        )
+        .unwrap();
+        let pre = pre_spawn_instrs(&p);
+        let main = p.entry.unwrap();
+        for (iid, instr) in p.func(main).instr_ids(main) {
+            if matches!(instr, Instr::SetGlobal { .. }) {
+                assert!(!pre.contains(&iid));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_carrying_spawn_poisons_whole_loop() {
+        // A spawn inside the loop body may have happened before any later
+        // iteration's access.
+        let p = lir::parse(
+            "global a;
+             fn w() {}
+             fn main(n) {
+                 let i = 0;
+                 while (i < n) {
+                     a = i;
+                     let t = spawn w();
+                     join t;
+                     i = i + 1;
+                 }
+             }",
+        )
+        .unwrap();
+        let pre = pre_spawn_instrs(&p);
+        let main = p.entry.unwrap();
+        for (iid, instr) in p.func(main).instr_ids(main) {
+            if matches!(instr, Instr::SetGlobal { .. }) {
+                assert!(
+                    !pre.contains(&iid),
+                    "loop-carried access wrongly marked pre-spawn"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Static race-pair detection (the Chimera baseline's front end).
+//!
+//! A pair of static accesses races when they may touch the same shared
+//! location from two concurrently-running threads, at least one writes, and
+//! no common lock is held at both. Chimera (Lee et al., PLDI'12) weaves
+//! locks around such pairs; the paper shows this serialization is exactly
+//! what *hides* three of the eight evaluation bugs.
+
+use crate::callgraph::CallGraph;
+use crate::lockset::GuardedLocations;
+use lir::{FieldId, FuncId, GlobalId, Instr, InstrId, Program};
+use std::collections::HashSet;
+
+/// A static location a race can occur on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StaticLoc {
+    Field(FieldId),
+    Global(GlobalId),
+    /// Array-element and map accesses are pooled per function for the
+    /// conservative baseline analysis.
+    Bulk,
+}
+
+/// One potentially racing pair of static accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RacePair {
+    pub loc: StaticLoc,
+    pub a: InstrId,
+    pub b: InstrId,
+}
+
+/// Finds potentially racing static access pairs.
+pub fn race_pairs(program: &Program, graph: &CallGraph, locks: &GuardedLocations) -> Vec<RacePair> {
+    struct Access {
+        iid: InstrId,
+        func: FuncId,
+        loc: StaticLoc,
+        write: bool,
+    }
+
+    let pre_spawn = crate::prespawn::pre_spawn_instrs(program);
+    let mut accesses: Vec<Access> = Vec::new();
+    for (f, func) in program.funcs.iter().enumerate() {
+        let fid = FuncId(f as u32);
+        for (iid, instr) in func.instr_ids(fid) {
+            if pre_spawn.contains(&iid) {
+                // Initialization code that runs before any thread exists
+                // happens-before everything; it cannot race.
+                continue;
+            }
+            let (loc, write) = match instr {
+                Instr::GetField { field, .. } => (StaticLoc::Field(*field), false),
+                Instr::SetField { field, .. } => (StaticLoc::Field(*field), true),
+                Instr::GetGlobal { global, .. } => (StaticLoc::Global(*global), false),
+                Instr::SetGlobal { global, .. } => (StaticLoc::Global(*global), true),
+                Instr::GetElem { .. } => (StaticLoc::Bulk, false),
+                Instr::SetElem { .. } => (StaticLoc::Bulk, true),
+                Instr::Intrinsic { intr, .. } if intr.is_solver_opaque() => {
+                    (StaticLoc::Bulk, true)
+                }
+                _ => continue,
+            };
+            accesses.push(Access {
+                iid,
+                func: fid,
+                loc,
+                write,
+            });
+        }
+    }
+
+    let common_lock = |a: InstrId, b: InstrId| -> bool {
+        match (locks.held_at.get(&a), locks.held_at.get(&b)) {
+            (Some(x), Some(y)) => x.intersection(y).next().is_some(),
+            _ => false,
+        }
+    };
+
+    let concurrent = |f1: FuncId, f2: FuncId| -> bool {
+        let r1: HashSet<_> = graph.roots_reaching(f1).into_iter().collect();
+        let r2: HashSet<_> = graph.roots_reaching(f2).into_iter().collect();
+        // Two distinct roots, or a shared many-instance root.
+        for &a in &r1 {
+            for &b in &r2 {
+                if a != b {
+                    return true;
+                }
+                if graph.multiplicity[&a] == crate::callgraph::Multiplicity::Many {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+
+    let mut pairs = Vec::new();
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.loc != b.loc || !(a.write || b.write) {
+                continue;
+            }
+            if !concurrent(a.func, b.func) {
+                continue;
+            }
+            if common_lock(a.iid, b.iid) {
+                continue;
+            }
+            pairs.push(RacePair {
+                loc: a.loc,
+                a: a.iid,
+                b: b.iid,
+            });
+        }
+    }
+    pairs
+}
+
+/// The functions involved in any race pair — the set Chimera serializes.
+pub fn racy_functions(pairs: &[RacePair]) -> HashSet<FuncId> {
+    pairs
+        .iter()
+        .flat_map(|p| [p.a.func, p.b.func])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockset::guarded_locations;
+
+    fn races(src: &str) -> (lir::Program, Vec<RacePair>) {
+        let p = lir::parse(src).unwrap();
+        let g = CallGraph::build(&p);
+        let l = guarded_locations(&p);
+        let r = race_pairs(&p, &g, &l);
+        (p, r)
+    }
+
+    #[test]
+    fn unsynchronized_counter_races() {
+        let (p, r) = races(
+            "global counter;
+             fn worker() { counter = counter + 1; }
+             fn main() {
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let g = p.global_by_name("counter").unwrap();
+        assert!(r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn locked_counter_does_not_race() {
+        let (p, r) = races(
+            "global lock; global counter; class L { field pad; }
+             fn worker() { sync (lock) { counter = counter + 1; } }
+             fn main() {
+                 lock = new L();
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let g = p.global_by_name("counter").unwrap();
+        assert!(!r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn read_read_does_not_race() {
+        let (p, r) = races(
+            "global config;
+             fn worker() { let c = config; }
+             fn main() {
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let g = p.global_by_name("config").unwrap();
+        assert!(!r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn pre_spawn_initialization_does_not_race() {
+        let (p, r) = races(
+            "global state;
+             fn worker() { state = 1; }
+             fn main() { state = 2; let t = spawn worker(); join t; }",
+        );
+        // main's write happens before any thread exists; worker is then
+        // the only post-spawn accessor, so no race remains.
+        let g = p.global_by_name("state").unwrap();
+        assert!(!r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn post_spawn_main_accesses_still_race() {
+        let (p, r) = races(
+            "global state;
+             fn worker() { state = 1; }
+             fn main() { let t = spawn worker(); state = 2; join t; }",
+        );
+        let g = p.global_by_name("state").unwrap();
+        assert!(r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn lock_publication_is_not_racy() {
+        let (p, r) = races(
+            "global lock; global v; class L { field pad; }
+             fn worker() { sync (lock) { v = v + 1; } }
+             fn main() {
+                 lock = new L();
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let g = p.global_by_name("lock").unwrap();
+        assert!(!r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn racy_functions_cover_both_sides() {
+        let (p, r) = races(
+            "global counter;
+             fn worker() { counter = counter + 1; }
+             fn main() {
+                 let t1 = spawn worker();
+                 counter = 0;
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let funcs = racy_functions(&r);
+        assert!(funcs.contains(&p.func_by_name("worker").unwrap()));
+        assert!(funcs.contains(&p.func_by_name("main").unwrap()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared-location detection: which fields, globals and allocation sites
+//! may be accessed by more than one thread (with at least one writer).
+//!
+//! This plays the role the paper assigns to Soot/Chord: restricting the
+//! replay algorithm to shared locations as "a natural yet significant
+//! performance optimization" (Section 3.2).
+
+use crate::callgraph::{CallGraph, Multiplicity};
+use crate::escape::EscapeAnalysis;
+use light_runtime::SharedPolicy;
+use lir::{FuncId, Instr, Program};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Default)]
+struct AccessSet {
+    reads: HashSet<u32>,
+    writes: HashSet<u32>,
+}
+
+impl AccessSet {
+    fn touched(&self) -> impl Iterator<Item = u32> + '_ {
+        self.reads.union(&self.writes).copied()
+    }
+}
+
+/// Result of the shared-location analysis.
+#[derive(Debug, Clone)]
+pub struct SharedLocations {
+    pub shared_fields: Vec<bool>,
+    pub shared_globals: Vec<bool>,
+    pub shared_allocs: HashSet<lir::InstrId>,
+}
+
+impl SharedLocations {
+    /// Runs the analysis, combining root reachability (which threads access
+    /// which static locations) with escape information for allocation
+    /// sites.
+    pub fn compute(program: &Program, graph: &CallGraph, escape: &EscapeAnalysis) -> Self {
+        // Per root: field/global access footprint over reachable functions.
+        // Pre-spawn initialization accesses happen-before every thread and
+        // are excluded: a location whose only writes are initialization is
+        // effectively read-only once threads exist.
+        let pre_spawn = crate::prespawn::pre_spawn_instrs(program);
+        let per_root: Vec<(FuncId, AccessSet, AccessSet)> = graph
+            .roots
+            .iter()
+            .map(|&root| {
+                let mut fields = AccessSet::default();
+                let mut globals = AccessSet::default();
+                for &f in &graph.reachable[&root] {
+                    collect(program, f, &pre_spawn, &mut fields, &mut globals);
+                }
+                (root, fields, globals)
+            })
+            .collect();
+
+        let shared_fields = (0..program.field_names.len() as u32)
+            .map(|id| is_shared(&per_root, graph, id, true))
+            .collect();
+        let shared_globals = (0..program.globals.len() as u32)
+            .map(|id| is_shared(&per_root, graph, id, false))
+            .collect();
+
+        Self {
+            shared_fields,
+            shared_globals,
+            shared_allocs: escape.escaping_sites().clone(),
+        }
+    }
+
+    /// Converts to the runtime's [`SharedPolicy`].
+    pub fn into_policy(self) -> SharedPolicy {
+        SharedPolicy::Analyzed {
+            shared_fields: self.shared_fields,
+            shared_globals: self.shared_globals,
+            shared_allocs: self.shared_allocs,
+            guarded_allocs: Default::default(),
+        }
+    }
+}
+
+fn is_shared(
+    per_root: &[(FuncId, AccessSet, AccessSet)],
+    graph: &CallGraph,
+    id: u32,
+    is_field: bool,
+) -> bool {
+    fn select(entry: &(FuncId, AccessSet, AccessSet), is_field: bool) -> &AccessSet {
+        if is_field {
+            &entry.1
+        } else {
+            &entry.2
+        }
+    }
+    let accessors: Vec<&(FuncId, AccessSet, AccessSet)> = per_root
+        .iter()
+        .filter(|e| select(e, is_field).touched().any(|x| x == id))
+        .collect();
+    let writers = accessors
+        .iter()
+        .filter(|e| select(e, is_field).writes.contains(&id))
+        .count();
+    if writers == 0 {
+        // Read-only everywhere: no flow dependences can cross threads.
+        return false;
+    }
+    if accessors.len() >= 2 {
+        return true;
+    }
+    // One accessing root: shared only if that root may have many instances.
+    accessors
+        .iter()
+        .any(|e| graph.multiplicity[&e.0] == Multiplicity::Many)
+}
+
+fn collect(
+    program: &Program,
+    f: FuncId,
+    pre_spawn: &std::collections::HashSet<lir::InstrId>,
+    fields: &mut AccessSet,
+    globals: &mut AccessSet,
+) {
+    for (iid, instr) in program.func(f).instr_ids(f) {
+        {
+            if pre_spawn.contains(&iid) {
+                continue;
+            }
+            match instr {
+                Instr::GetField { field, .. } => {
+                    fields.reads.insert(field.0);
+                }
+                Instr::SetField { field, .. } => {
+                    fields.writes.insert(field.0);
+                }
+                Instr::GetGlobal { global, .. } => {
+                    globals.reads.insert(global.0);
+                }
+                Instr::SetGlobal { global, .. } => {
+                    globals.writes.insert(global.0);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(src: &str) -> (lir::Program, SharedLocations) {
+        let p = lir::parse(src).unwrap();
+        let g = CallGraph::build(&p);
+        let e = EscapeAnalysis::run(&p);
+        let s = SharedLocations::compute(&p, &g, &e);
+        (p, s)
+    }
+
+    #[test]
+    fn global_written_by_two_threads_is_shared() {
+        let (p, s) = shared(
+            "global counter;
+             fn worker() { counter = counter + 1; }
+             fn main() { let t = spawn worker(); join t; counter = counter + 1; }",
+        );
+        let g = p.global_by_name("counter").unwrap();
+        assert!(s.shared_globals[g.index()]);
+    }
+
+    #[test]
+    fn main_only_global_is_not_shared() {
+        let (p, s) = shared(
+            "global private_state;
+             fn worker() { }
+             fn main() { let t = spawn worker(); private_state = 1; join t; }",
+        );
+        let g = p.global_by_name("private_state").unwrap();
+        assert!(!s.shared_globals[g.index()]);
+    }
+
+    #[test]
+    fn read_only_global_is_not_shared() {
+        // Written only before any spawn by main... conservatively, the
+        // analysis sees main as a writer and worker as a reader, so it IS
+        // shared. The truly unshared case is read-by-everyone,
+        // written-by-nobody.
+        let (p, s) = shared(
+            "global config;
+             fn worker() { let c = config; }
+             fn main() { let t = spawn worker(); let c = config; join t; }",
+        );
+        let g = p.global_by_name("config").unwrap();
+        assert!(!s.shared_globals[g.index()], "no writers anywhere");
+    }
+
+    #[test]
+    fn field_accessed_by_single_root_many_instances_is_shared() {
+        let (p, s) = shared(
+            "class C { field v; }
+             global obj;
+             fn worker() { obj.v = obj.v + 1; }
+             fn main() {
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let f = p.field_by_name("v").unwrap();
+        assert!(s.shared_fields[f.index()]);
+    }
+
+    #[test]
+    fn field_used_by_one_thread_is_not_shared() {
+        let (p, s) = shared(
+            "class C { field scratch; }
+             fn worker() { let c = new C(); c.scratch = 1; }
+             fn main() { let t = spawn worker(); join t; }",
+        );
+        let f = p.field_by_name("scratch").unwrap();
+        assert!(!s.shared_fields[f.index()]);
+    }
+
+    #[test]
+    fn policy_conversion_round_trips() {
+        let (p, s) = shared(
+            "global x;
+             fn worker() { x = 1; }
+             fn main() { let t = spawn worker(); x = 2; join t; }",
+        );
+        let g = p.global_by_name("x").unwrap();
+        let policy = s.into_policy();
+        assert!(policy.global_shared(g));
+    }
+}

@@ -1,0 +1,215 @@
+//! A CLAP-style computation-based replayer (Huang et al., PLDI'13).
+//!
+//! CLAP records only thread-local information (paths and inputs) and
+//! reconstructs the interleaving offline with a solver that must reason
+//! about **program values**. Its Achilles heel — per the Light paper, 63%
+//! of real bugs — is solver expressiveness: data types like `HashMap` and
+//! hash computations have no solver theory.
+//!
+//! This reimplementation preserves exactly that behavior profile:
+//!
+//! - the recording is thread-local only (nondeterministic inputs + the
+//!   observed failure);
+//! - reproduction first checks whether any *reachable* operation is
+//!   solver-opaque ([`lir::Intrinsic::is_solver_opaque`]); if so it fails
+//!   with [`ClapOutcome::UnsupportedConstructs`], as CLAP's symbolic
+//!   encoding would;
+//! - otherwise it performs the offline search (execution synthesis over
+//!   seeded schedules with the recorded inputs scripted) until a run
+//!   correlates with the recorded failure.
+
+use light_analysis::Analysis;
+use light_runtime::{
+    run, ExecConfig, FaultReport, NondetMode, NullRecorder, RunOutcome, SchedulerSpec, SetupError,
+    Tid,
+};
+use lir::{Instr, Program};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The thread-local-only information CLAP records.
+#[derive(Debug, Clone, Default)]
+pub struct ClapRecording {
+    pub nondet: HashMap<Tid, Vec<i64>>,
+    pub fault: Option<FaultReport>,
+    pub args: Vec<i64>,
+}
+
+/// The result of a CLAP reproduction attempt.
+#[derive(Debug, Clone)]
+pub enum ClapOutcome {
+    /// A synthesized schedule reproduced a correlated failure.
+    Reproduced {
+        seed: u64,
+        outcome: RunOutcome,
+    },
+    /// The program uses operations outside the solver's theories.
+    UnsupportedConstructs(Vec<String>),
+    /// The offline search budget was exhausted without a match.
+    SearchExhausted { attempts: u64 },
+}
+
+impl ClapOutcome {
+    /// Whether the bug was reproduced.
+    pub fn reproduced(&self) -> bool {
+        matches!(self, ClapOutcome::Reproduced { .. })
+    }
+}
+
+/// The CLAP-style tool for one program.
+pub struct Clap {
+    program: Arc<Program>,
+    analysis: Analysis,
+}
+
+impl Clap {
+    /// Creates the tool, running the shared-location analysis (used for
+    /// the instrumentation-free original run).
+    pub fn new(program: Arc<Program>) -> Self {
+        let analysis = light_analysis::analyze(&program);
+        Self { program, analysis }
+    }
+
+    /// Records an original run: thread-local inputs only (no shared-access
+    /// logging at all — CLAP's low-overhead recording).
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError`] on entry/arity problems.
+    pub fn record_chaos(&self, args: &[i64], seed: u64) -> Result<(ClapRecording, RunOutcome), SetupError> {
+        let recorder = Arc::new(crate::nondet_only::NondetOnlyRecorder::new());
+        let config = ExecConfig {
+            recorder: recorder.clone(),
+            scheduler: SchedulerSpec::Chaos { seed },
+            policy: self.analysis.policy.clone(),
+            nondet: NondetMode::Real { seed },
+            ..ExecConfig::default()
+        };
+        let outcome = run(&self.program, args, config)?;
+        Ok((
+            ClapRecording {
+                nondet: recorder.take(),
+                fault: outcome.fault.clone(),
+                args: args.to_vec(),
+            },
+            outcome,
+        ))
+    }
+
+    /// The solver-opaque operations reachable from the entry point, with
+    /// human-readable descriptions. Nonempty means CLAP's symbolic phase
+    /// cannot encode the program.
+    pub fn unsupported_constructs(&self) -> Vec<String> {
+        let mut found = Vec::new();
+        let Some(entry) = self.program.entry else {
+            return found;
+        };
+        // Reachable = reachable from entry over calls and spawns.
+        let mut reach: Vec<lir::FuncId> = vec![entry];
+        let mut seen: std::collections::HashSet<lir::FuncId> = reach.iter().copied().collect();
+        while let Some(f) = reach.pop() {
+            for block in &self.program.func(f).blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::Call { func, .. } | Instr::Spawn { func, .. } => {
+                            if seen.insert(*func) {
+                                reach.push(*func);
+                            }
+                        }
+                        Instr::Intrinsic { intr, .. } if intr.is_solver_opaque() => {
+                            found.push(format!(
+                                "`{intr}` in `{}` (no solver theory for hash-based collections)",
+                                self.program.func(f).name
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        found.sort();
+        found.dedup();
+        found
+    }
+
+    /// Attempts to reproduce the recorded failure.
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError`] on entry/arity problems.
+    pub fn reproduce(
+        &self,
+        recording: &ClapRecording,
+        search_seeds: std::ops::Range<u64>,
+    ) -> Result<ClapOutcome, SetupError> {
+        let unsupported = self.unsupported_constructs();
+        if !unsupported.is_empty() {
+            return Ok(ClapOutcome::UnsupportedConstructs(unsupported));
+        }
+        let mut attempts = 0;
+        for seed in search_seeds {
+            attempts += 1;
+            let config = ExecConfig {
+                recorder: Arc::new(NullRecorder),
+                scheduler: SchedulerSpec::Chaos { seed },
+                policy: self.analysis.policy.clone(),
+                nondet: NondetMode::Scripted(recording.nondet.clone()),
+                ..ExecConfig::default()
+            };
+            let outcome = run(&self.program, &recording.args, config)?;
+            if light_core::faults_correlate(recording.fault.as_ref(), outcome.fault.as_ref()) {
+                return Ok(ClapOutcome::Reproduced { seed, outcome });
+            }
+        }
+        Ok(ClapOutcome::SearchExhausted { attempts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unsupported_map_operations() {
+        let program = Arc::new(
+            lir::parse(
+                "global m;
+                 fn worker() { map_put(m, 1, 2); }
+                 fn main() { m = map_new(); let t = spawn worker(); join t; }",
+            )
+            .unwrap(),
+        );
+        let clap = Clap::new(program);
+        let unsupported = clap.unsupported_constructs();
+        assert!(!unsupported.is_empty());
+        assert!(unsupported.iter().any(|s| s.contains("map_put")));
+    }
+
+    #[test]
+    fn linear_programs_are_supported() {
+        let program = Arc::new(
+            lir::parse(
+                "global x;
+                 fn worker() { x = x + 1; }
+                 fn main() { let t = spawn worker(); join t; }",
+            )
+            .unwrap(),
+        );
+        let clap = Clap::new(program);
+        assert!(clap.unsupported_constructs().is_empty());
+    }
+
+    #[test]
+    fn unreachable_opaque_code_does_not_count() {
+        let program = Arc::new(
+            lir::parse(
+                "global m;
+                 fn dead() { map_put(m, 1, 2); }
+                 fn main() { let x = 1; }",
+            )
+            .unwrap(),
+        );
+        let clap = Clap::new(program);
+        assert!(clap.unsupported_constructs().is_empty());
+    }
+}

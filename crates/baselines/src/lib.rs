@@ -1,0 +1,31 @@
+//! Reimplementations of the comparator systems from the Light paper's
+//! evaluation (Section 5), sharing the same runtime, analyses and solver:
+//!
+//! - [`leap`] — Leap (FSE'10): full per-location access-order vectors
+//!   under synchronization (Figures 4/5 time & space comparator);
+//! - [`stride`] — Stride (ICSE'12): version-clock read logging with
+//!   offline bounded-linkage reconstruction (Figures 4/5 comparator);
+//! - [`clap`] — CLAP-like (PLDI'13): computation-based replay that fails
+//!   on solver-opaque constructs (Figure 6 comparator);
+//! - [`chimera`] — Chimera-like (PLDI'12): race serialization plus
+//!   lock-order recording, which hides some bugs (Figure 6 comparator).
+//!
+//! The paper's authors also reimplemented CLAP and Chimera (their source
+//! was unavailable); this crate is the analogous reimplementation against
+//! the LIR runtime.
+
+pub mod chimera;
+pub mod clap;
+pub mod leap;
+pub mod nondet_only;
+pub mod stride;
+pub mod sync_only;
+pub mod transform;
+mod varmap;
+
+pub use chimera::{Chimera, ChimeraOutcome};
+pub use clap::{Clap, ClapOutcome, ClapRecording};
+pub use leap::{LeapRecorder, LeapRecording};
+pub use stride::{StrideRecorder, StrideRecording};
+pub use sync_only::SyncOnlyRecorder;
+pub use transform::{chimera_transform, ChimeraTransform, TransformInfo};

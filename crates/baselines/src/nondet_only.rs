@@ -1,0 +1,61 @@
+//! A recorder that captures only nondeterministic inputs — the
+//! thread-local recording footprint of computation-based tools.
+
+use light_runtime::{AccessKind, Loc, Recorder, SyncEvent, Tid};
+use lir::InstrId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Records `time`/`rand` results and nothing else.
+#[derive(Default)]
+pub struct NondetOnlyRecorder {
+    nondet: Mutex<HashMap<Tid, Vec<i64>>>,
+}
+
+impl NondetOnlyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the per-thread input logs.
+    pub fn take(&self) -> HashMap<Tid, Vec<i64>> {
+        std::mem::take(&mut *self.nondet.lock())
+    }
+}
+
+impl Recorder for NondetOnlyRecorder {
+    fn on_access(
+        &self,
+        _tid: Tid,
+        _ctr: u64,
+        _loc: Loc,
+        _kind: AccessKind,
+        _guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        op()
+    }
+
+    fn on_sync(&self, _tid: Tid, _ctr: u64, _ev: SyncEvent, _instr: InstrId) {}
+
+    fn on_nondet(&self, tid: Tid, value: i64) {
+        self.nondet.lock().entry(tid).or_default().push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_only_nondet() {
+        let rec = NondetOnlyRecorder::new();
+        rec.on_nondet(Tid::ROOT, 5);
+        rec.on_nondet(Tid::ROOT, 6);
+        let taken = rec.take();
+        assert_eq!(taken[&Tid::ROOT], vec![5, 6]);
+        assert!(rec.take().is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Stride (Zhou et al., ICSE'12): record-based replay via *bounded
+//! linkage*. Writes bump a per-location version under the stripe lock;
+//! reads log the version they observed. The global order is reconstructed
+//! offline in polynomial time: per location, writes are chained by
+//! version, and each read is placed between its version's write and the
+//! next.
+
+use light_core::{AccessId, FastMap};
+use light_runtime::{
+    AccessKind, FaultReport, Loc, Recorder, ReplaySchedule, SyncEvent, Tid,
+};
+use light_solver::{OrderSolver, SolveError};
+use lir::InstrId;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const STRIPES: usize = 256;
+
+/// One logged read: which write version it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLog {
+    pub loc: u64,
+    pub version: u64,
+    pub id: AccessId,
+}
+
+/// One logged write: the version it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteLog {
+    pub loc: u64,
+    pub version: u64,
+    pub id: AccessId,
+}
+
+/// A completed Stride recording.
+#[derive(Debug, Clone, Default)]
+pub struct StrideRecording {
+    pub reads: Vec<ReadLog>,
+    pub writes: Vec<WriteLog>,
+    /// Log ints flushed to disk in spill mode (overhead measurement only).
+    pub spilled_ints: u64,
+    pub nondet: HashMap<Tid, Vec<i64>>,
+    pub fault: Option<FaultReport>,
+    pub args: Vec<i64>,
+}
+
+impl StrideRecording {
+    /// Space in Long-integer units. Stride logs 32-bit version numbers —
+    /// the paper counts each int as half a long — one per read and one per
+    /// write.
+    pub fn space_longs(&self) -> u64 {
+        (self.reads.len() as u64 + self.writes.len() as u64 + self.spilled_ints).div_ceil(2)
+            + self.nondet.values().map(|v| v.len() as u64).sum::<u64>()
+    }
+
+    /// Offline reconstruction: chain writes per location by version, place
+    /// each read after its write and before the next write.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] if the logs are inconsistent.
+    pub fn schedule(&self) -> Result<ReplaySchedule, SolveError> {
+        let mut solver = OrderSolver::new();
+        let mut vars = crate::varmap::VarMap::new();
+
+        // Per-location write chains by version.
+        let mut writes_by_loc: HashMap<u64, Vec<WriteLog>> = HashMap::new();
+        for w in &self.writes {
+            writes_by_loc.entry(w.loc).or_default().push(*w);
+        }
+        for ws in writes_by_loc.values_mut() {
+            ws.sort_by_key(|w| w.version);
+            for pair in ws.windows(2) {
+                let a = vars.var(&mut solver, pair[0].id);
+                let b = vars.var(&mut solver, pair[1].id);
+                solver.add_lt(a, b);
+            }
+        }
+        // Reads bounded by their version's write and the next write.
+        for r in &self.reads {
+            let rv = vars.var(&mut solver, r.id);
+            if let Some(ws) = writes_by_loc.get(&r.loc) {
+                if r.version > 0 {
+                    if let Some(w) = ws.iter().find(|w| w.version == r.version) {
+                        let wv = vars.var(&mut solver, w.id);
+                        solver.add_lt(wv, rv);
+                    }
+                }
+                if let Some(next) = ws.iter().find(|w| w.version == r.version + 1) {
+                    let nv = vars.var(&mut solver, next.id);
+                    solver.add_lt(rv, nv);
+                }
+            }
+        }
+        vars.add_thread_chains(&mut solver);
+        let model = solver.solve()?;
+        let mut schedule = vars.into_schedule(&model);
+        let mut extents: HashMap<Tid, u64> = HashMap::new();
+        for id in self
+            .reads
+            .iter()
+            .map(|r| r.id)
+            .chain(self.writes.iter().map(|w| w.id))
+        {
+            let e = extents.entry(id.tid).or_insert(0);
+            *e = (*e).max(id.ctr);
+        }
+        for (tid, ext) in extents {
+            schedule.set_extent(tid, ext);
+        }
+        Ok(schedule)
+    }
+}
+
+struct TlsBuf {
+    recorder_id: u64,
+    reads: Vec<ReadLog>,
+    writes: Vec<WriteLog>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<TlsBuf>> = const { RefCell::new(None) };
+}
+
+static STRIDE_IDS: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Default)]
+struct Central {
+    reads: Vec<ReadLog>,
+    writes: Vec<WriteLog>,
+    nondet: HashMap<Tid, Vec<i64>>,
+}
+
+/// The Stride recorder.
+pub struct StrideRecorder {
+    id: u64,
+    versions: Vec<Mutex<FastMap<u64, u64>>>,
+    central: Mutex<Central>,
+    spill: Option<Arc<light_core::SpillSink>>,
+    spill_threshold: usize,
+    spilled: std::sync::atomic::AtomicU64,
+}
+
+impl StrideRecorder {
+    /// Creates an empty Stride recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            id: STRIDE_IDS.fetch_add(1, Ordering::Relaxed),
+            versions: (0..STRIPES).map(|_| Mutex::new(FastMap::default())).collect(),
+            central: Mutex::new(Central::default()),
+            spill: None,
+            spill_threshold: 4096,
+            spilled: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Enables spill-to-disk for the thread-local logs (the paper's
+    /// measurement configuration).
+    pub fn with_spill(
+        self: Arc<Self>,
+        sink: Arc<light_core::SpillSink>,
+        threshold: usize,
+    ) -> Arc<Self> {
+        let mut inner = Arc::try_unwrap(self)
+            .unwrap_or_else(|_| panic!("with_spill must be called before sharing the recorder"));
+        inner.spill = Some(sink);
+        inner.spill_threshold = threshold.max(1);
+        Arc::new(inner)
+    }
+
+    fn maybe_spill(&self, buf: &mut TlsBuf) {
+        let Some(sink) = &self.spill else { return };
+        if buf.reads.len() + buf.writes.len() < self.spill_threshold {
+            return;
+        }
+        let mut words: Vec<u64> = Vec::with_capacity(buf.reads.len() + buf.writes.len());
+        words.extend(buf.reads.drain(..).map(|r| r.version));
+        words.extend(buf.writes.drain(..).map(|w| w.version));
+        self.spilled
+            .fetch_add(words.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        // Version numbers are 32-bit ints in Stride; two per long.
+        sink.write_longs(&words[..words.len() / 2 + words.len() % 2]);
+    }
+
+    fn stripe(&self, key: u64) -> &Mutex<FastMap<u64, u64>> {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
+        &self.versions[(h as usize) % STRIPES]
+    }
+
+    fn with_tls<R>(&self, f: impl FnOnce(&mut TlsBuf) -> R) -> R {
+        TLS.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let needs_init = slot.as_ref().map(|b| b.recorder_id != self.id).unwrap_or(true);
+            if needs_init {
+                *slot = Some(TlsBuf {
+                    recorder_id: self.id,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                });
+            }
+            f(slot.as_mut().expect("initialized"))
+        })
+    }
+
+    fn log_write(&self, key: u64, id: AccessId, op: Option<&mut dyn FnMut() -> u64>) -> u64 {
+        let (out, version) = {
+            let mut shard = self.stripe(key).lock();
+            let out = op.map(|f| f()).unwrap_or(0);
+            let slot = shard.entry(key).or_insert(0);
+            *slot += 1;
+            (out, *slot)
+        };
+        self.with_tls(|buf| {
+            buf.writes.push(WriteLog {
+                loc: key,
+                version,
+                id,
+            });
+            self.maybe_spill(buf);
+        });
+        out
+    }
+
+    fn log_read(&self, key: u64, id: AccessId, op: &mut dyn FnMut() -> u64) -> u64 {
+        // Speculative version matching, like Light's read path.
+        let (out, version) = loop {
+            let v1 = self.stripe(key).lock().get(&key).copied().unwrap_or(0);
+            let out = op();
+            let v2 = self.stripe(key).lock().get(&key).copied().unwrap_or(0);
+            if v1 == v2 {
+                break (out, v1);
+            }
+        };
+        self.with_tls(|buf| {
+            buf.reads.push(ReadLog {
+                loc: key,
+                version,
+                id,
+            });
+            self.maybe_spill(buf);
+        });
+        out
+    }
+
+    /// Extracts the recording after the run.
+    pub fn take_recording(&self, fault: Option<FaultReport>, args: &[i64]) -> StrideRecording {
+        let central = std::mem::take(&mut *self.central.lock());
+        StrideRecording {
+            reads: central.reads,
+            writes: central.writes,
+            spilled_ints: self.spilled.load(std::sync::atomic::Ordering::Relaxed),
+            nondet: central.nondet,
+            fault,
+            args: args.to_vec(),
+        }
+    }
+}
+
+
+impl Recorder for StrideRecorder {
+    fn on_access(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        loc: Loc,
+        kind: AccessKind,
+        _guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        let key = loc.key();
+        let id = AccessId::new(tid, ctr);
+        match kind {
+            AccessKind::Read => self.log_read(key, id, op),
+            AccessKind::Write | AccessKind::ReadWrite => self.log_write(key, id, Some(op)),
+        }
+    }
+
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, _instr: InstrId) {
+        let id = AccessId::new(tid, ctr);
+        match ev {
+            SyncEvent::MonitorEnter { obj }
+            | SyncEvent::Notify { obj, .. }
+            | SyncEvent::WaitAfter { obj, .. } => {
+                self.log_write(Loc::Monitor(obj).key(), id, None);
+            }
+            SyncEvent::MonitorExit { obj } | SyncEvent::WaitBefore { obj } => {
+                self.log_write(Loc::Monitor(obj).key(), id, None);
+            }
+            SyncEvent::Spawn { child } => {
+                self.log_write(Loc::ThreadLife(child).key(), id, None);
+            }
+            SyncEvent::ThreadStart { .. } => {
+                self.log_write(Loc::ThreadLife(tid).key(), id, None);
+            }
+            SyncEvent::Join { child, .. } => {
+                self.log_write(Loc::ThreadLife(child).key(), id, None);
+            }
+            SyncEvent::ThreadEnd => {
+                self.log_write(Loc::ThreadLife(tid).key(), id, None);
+            }
+        }
+    }
+
+    fn on_nondet(&self, tid: Tid, value: i64) {
+        self.central.lock().nondet.entry(tid).or_default().push(value);
+    }
+
+    fn on_thread_exit(&self, _tid: Tid) {
+        let buf = TLS.with(|cell| cell.borrow_mut().take());
+        let Some(buf) = buf else { return };
+        if buf.recorder_id != self.id {
+            return;
+        }
+        let mut central = self.central.lock();
+        central.reads.extend(buf.reads);
+        central.writes.extend(buf.writes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::{ObjId, SlotAction};
+    use lir::{BlockId, FieldId, FuncId};
+
+    fn iid() -> InstrId {
+        InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        }
+    }
+
+    #[test]
+    fn versions_increment_per_location() {
+        let rec = StrideRecorder::new();
+        let loc = Loc::Field(ObjId(0), FieldId(0));
+        let t = Tid::ROOT;
+        rec.on_access(t, 1, loc, AccessKind::Write, false, iid(), &mut || 0);
+        rec.on_access(t, 2, loc, AccessKind::Write, false, iid(), &mut || 0);
+        rec.on_access(t, 3, loc, AccessKind::Read, false, iid(), &mut || 0);
+        rec.on_thread_exit(t);
+        let recording = rec.take_recording(None, &[]);
+        assert_eq!(recording.writes.len(), 2);
+        assert_eq!(recording.writes[0].version, 1);
+        assert_eq!(recording.writes[1].version, 2);
+        assert_eq!(recording.reads[0].version, 2);
+    }
+
+    #[test]
+    fn schedule_places_read_between_writes() {
+        let rec = StrideRecorder::new();
+        let loc = Loc::Field(ObjId(0), FieldId(0));
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        rec.on_access(t1, 1, loc, AccessKind::Write, false, iid(), &mut || 0);
+        rec.on_thread_exit(t1);
+        rec.on_access(t2, 1, loc, AccessKind::Read, false, iid(), &mut || 0);
+        rec.on_thread_exit(t2);
+        rec.on_access(t1, 2, loc, AccessKind::Write, false, iid(), &mut || 0);
+        // t1's TLS was taken at exit; the second write lands in a fresh
+        // buffer which must also be flushed.
+        rec.on_thread_exit(t1);
+        let recording = rec.take_recording(None, &[]);
+        let schedule = recording.schedule().unwrap();
+        let pos = |t: Tid, c: u64| match schedule.action(t, c) {
+            Some(SlotAction::Ordered(k)) => k,
+            other => panic!("{other:?}"),
+        };
+        assert!(pos(t1, 1) < pos(t2, 1));
+        assert!(pos(t2, 1) < pos(t1, 2));
+    }
+
+    #[test]
+    fn space_counts_ints_as_half_longs() {
+        let rec = StrideRecorder::new();
+        let loc = Loc::Field(ObjId(0), FieldId(0));
+        let t = Tid::ROOT;
+        for c in 1..=4 {
+            rec.on_access(t, c, loc, AccessKind::Write, false, iid(), &mut || 0);
+        }
+        rec.on_thread_exit(t);
+        let recording = rec.take_recording(None, &[]);
+        assert_eq!(recording.space_longs(), 2); // 4 ints = 2 longs
+    }
+}

@@ -1,0 +1,91 @@
+//! A recorder that logs only synchronization (ghost) dependences and
+//! nondeterministic inputs — Chimera's recording footprint on the
+//! transformed (race-free) program.
+
+use light_core::{LightConfig, LightRecorder, Recording};
+use light_runtime::{AccessKind, FaultReport, Loc, Recorder, SyncEvent, Tid};
+use lir::InstrId;
+use std::sync::Arc;
+
+/// Forwards synchronization events and nondeterministic inputs to an inner
+/// Light recorder; data accesses pass through unrecorded.
+pub struct SyncOnlyRecorder {
+    inner: Arc<LightRecorder>,
+}
+
+impl SyncOnlyRecorder {
+    /// Creates an empty sync-only recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inner: LightRecorder::new(LightConfig::default(), Default::default(), Default::default()),
+        })
+    }
+
+    /// Extracts the recording after the run.
+    pub fn take_recording(&self, fault: Option<FaultReport>, args: &[i64]) -> Recording {
+        self.inner.take_recording(fault, args)
+    }
+}
+
+impl Recorder for SyncOnlyRecorder {
+    fn on_access(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        _loc: Loc,
+        _kind: AccessKind,
+        _guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        // Not recorded, but the event frontier must still advance so replay
+        // does not park threads before events that really happened.
+        self.inner.note_event(tid, ctr);
+        op()
+    }
+
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, instr: InstrId) {
+        self.inner.on_sync(tid, ctr, ev, instr);
+    }
+
+    fn on_nondet(&self, tid: Tid, value: i64) {
+        self.inner.on_nondet(tid, value);
+    }
+
+    fn on_thread_exit(&self, tid: Tid) {
+        self.inner.on_thread_exit(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::ObjId;
+    use lir::{BlockId, FieldId, FuncId};
+
+    #[test]
+    fn data_accesses_are_not_recorded() {
+        let rec = SyncOnlyRecorder::new();
+        let iid = InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
+        let t = Tid::ROOT;
+        rec.on_access(
+            t,
+            1,
+            Loc::Field(ObjId(0), FieldId(0)),
+            AccessKind::Write,
+            false,
+            iid,
+            &mut || 0,
+        );
+        rec.on_sync(t, 2, SyncEvent::MonitorEnter { obj: ObjId(1) }, iid);
+        rec.on_sync(t, 3, SyncEvent::MonitorExit { obj: ObjId(1) }, iid);
+        rec.on_thread_exit(t);
+        let recording = rec.take_recording(None, &[]);
+        // Only the monitor ghost run is present.
+        assert_eq!(recording.deps.len() + recording.runs.len(), 1);
+    }
+}

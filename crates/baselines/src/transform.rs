@@ -1,0 +1,349 @@
+//! Chimera's program transformation: weave locks around statically racy
+//! code so the transformed program is race-free, after which recording
+//! lock orders suffices for replay.
+//!
+//! Racy *functions* that never block (no spawn/join/wait transitively) are
+//! serialized whole-method — the paper's described behavior for "pairs of
+//! racing statements whose enclosing methods rarely run in parallel", and
+//! precisely the serialization that hides three of the eight evaluation
+//! bugs. Racy functions that may block get statement-level locks around
+//! their racing accesses instead (whole-method locking around `join`/`wait`
+//! would deadlock). Statement-level locks are only added where no monitor
+//! is already held, keeping lock acquisition order consistent.
+
+use light_analysis::{racy_functions, Analysis};
+use lir::{ClassId, FuncId, GlobalId, Instr, InstrId, Operand, Program, Reg};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// What the transformation did.
+#[derive(Debug, Clone, Default)]
+pub struct TransformInfo {
+    /// Functions serialized whole-method under the added lock.
+    pub method_wrapped: Vec<String>,
+    /// Number of individual statements wrapped.
+    pub stmt_wrapped: usize,
+}
+
+/// The transformed program plus bookkeeping.
+pub struct ChimeraTransform {
+    pub program: Arc<Program>,
+    pub lock_global: GlobalId,
+    pub lock_class: ClassId,
+    pub info: TransformInfo,
+}
+
+/// Applies the Chimera transformation, using the race pairs and lockset
+/// facts from `analysis` (computed on `original`).
+pub fn chimera_transform(original: &Program, analysis: &Analysis) -> ChimeraTransform {
+    let mut program = original.clone();
+    let mut info = TransformInfo::default();
+
+    // Declare the lock class and global.
+    let pad_field = lir::FieldId(program.field_names.len() as u32);
+    program.field_names.push("__chimera_pad".into());
+    let lock_class = ClassId(program.classes.len() as u32);
+    program.classes.push(lir::ir::Class {
+        name: "__ChimeraLock".into(),
+        fields: vec![pad_field],
+    });
+    let lock_global = GlobalId(program.globals.len() as u32);
+    program.globals.push("__chimera_lock".into());
+
+    let racy: HashSet<FuncId> = racy_functions(&analysis.races);
+
+    // Blocking functions: transitively contain spawn/join/wait.
+    let blocking = blocking_functions(&program);
+
+    // Group the racy statements by function for statement-level wrapping.
+    let mut racy_stmts: HashMap<FuncId, Vec<InstrId>> = HashMap::new();
+    for pair in &analysis.races {
+        for iid in [pair.a, pair.b] {
+            racy_stmts.entry(iid.func).or_default().push(iid);
+        }
+    }
+
+    for &func_id in &racy {
+        if func_id.index() >= program.funcs.len() {
+            continue;
+        }
+        if blocking.contains(&func_id) {
+            // Statement-level locks around racing accesses not already
+            // under a monitor.
+            let mut stmts: Vec<InstrId> = racy_stmts
+                .get(&func_id)
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|iid| {
+                    analysis
+                        .guarded
+                        .held_at
+                        .get(iid)
+                        .map(|held| held.is_empty())
+                        .unwrap_or(true)
+                })
+                .collect();
+            stmts.sort();
+            stmts.dedup();
+            // Insert from the back of each block so indices stay valid.
+            stmts.sort_by(|a, b| (b.block, b.idx).cmp(&(a.block, a.idx)));
+            let func = &mut program.funcs[func_id.index()];
+            let lock_reg = Reg(func.nregs);
+            func.nregs += 1;
+            for iid in stmts {
+                if iid.idx == InstrId::TERM_IDX {
+                    continue;
+                }
+                let block = &mut func.blocks[iid.block.index()];
+                let idx = iid.idx as usize;
+                if idx >= block.instrs.len() {
+                    continue;
+                }
+                let line = block.lines[idx];
+                block.instrs.insert(
+                    idx + 1,
+                    Instr::MonitorExit {
+                        obj: Operand::Reg(lock_reg),
+                    },
+                );
+                block.lines.insert(idx + 1, line);
+                block.instrs.insert(
+                    idx,
+                    Instr::MonitorEnter {
+                        obj: Operand::Reg(lock_reg),
+                    },
+                );
+                block.lines.insert(idx, line);
+                block.instrs.insert(
+                    idx,
+                    Instr::GetGlobal {
+                        dst: lock_reg,
+                        global: lock_global,
+                    },
+                );
+                block.lines.insert(idx, line);
+                info.stmt_wrapped += 1;
+            }
+        } else {
+            // Whole-method serialization.
+            let func = &mut program.funcs[func_id.index()];
+            let lock_reg = Reg(func.nregs);
+            func.nregs += 1;
+            // Release before every return.
+            for block in &mut func.blocks {
+                if matches!(block.term, lir::Terminator::Ret(_)) {
+                    let line = block.term_line;
+                    block.instrs.push(Instr::GetGlobal {
+                        dst: lock_reg,
+                        global: lock_global,
+                    });
+                    block.lines.push(line);
+                    block.instrs.push(Instr::MonitorExit {
+                        obj: Operand::Reg(lock_reg),
+                    });
+                    block.lines.push(line);
+                }
+            }
+            // Acquire on entry.
+            let entry = &mut func.blocks[0];
+            let line = entry.lines.first().copied().unwrap_or(func.line);
+            entry.instrs.insert(
+                0,
+                Instr::MonitorEnter {
+                    obj: Operand::Reg(lock_reg),
+                },
+            );
+            entry.lines.insert(0, line);
+            entry.instrs.insert(
+                0,
+                Instr::GetGlobal {
+                    dst: lock_reg,
+                    global: lock_global,
+                },
+            );
+            entry.lines.insert(0, line);
+            info.method_wrapped.push(func.name.clone());
+        }
+    }
+
+    // Entry prelude: allocate and publish the lock object before anything
+    // else runs (inserted last so earlier statement indices were stable).
+    if let Some(entry) = program.entry {
+        let func = &mut program.funcs[entry.index()];
+        let tmp = Reg(func.nregs);
+        func.nregs += 1;
+        let block = &mut func.blocks[0];
+        let line = block.lines.first().copied().unwrap_or(func.line);
+        block.instrs.insert(
+            0,
+            Instr::SetGlobal {
+                global: lock_global,
+                value: Operand::Reg(tmp),
+            },
+        );
+        block.lines.insert(0, line);
+        block.instrs.insert(
+            0,
+            Instr::New {
+                dst: tmp,
+                class: lock_class,
+            },
+        );
+        block.lines.insert(0, line);
+    }
+
+    info.method_wrapped.sort();
+    ChimeraTransform {
+        program: Arc::new(program),
+        lock_global,
+        lock_class,
+        info,
+    }
+}
+
+/// Functions that may block: contain (transitively over calls) a spawn,
+/// join or wait.
+fn blocking_functions(program: &Program) -> HashSet<FuncId> {
+    let n = program.funcs.len();
+    let mut direct: Vec<bool> = vec![false; n];
+    let mut calls: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+    for (f, func) in program.funcs.iter().enumerate() {
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Spawn { .. } | Instr::Join { .. } | Instr::Wait { .. } => {
+                        direct[f] = true;
+                    }
+                    Instr::Call { func: callee, .. } => calls[f].push(*callee),
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Propagate to callers.
+    let mut blocking: HashSet<FuncId> = direct
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| FuncId(i as u32))
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            let fid = FuncId(f as u32);
+            if blocking.contains(&fid) {
+                continue;
+            }
+            if calls[f].iter().any(|c| blocking.contains(c)) {
+                blocking.insert(fid);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    blocking
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transform(src: &str) -> ChimeraTransform {
+        let program = lir::parse(src).unwrap();
+        let analysis = light_analysis::analyze(&program);
+        chimera_transform(&program, &analysis)
+    }
+
+    const RACY: &str = "
+        global counter;
+        fn worker() { counter = counter + 1; }
+        fn main() {
+            counter = 0;
+            let t1 = spawn worker();
+            let t2 = spawn worker();
+            join t1; join t2;
+        }";
+
+    #[test]
+    fn racy_worker_is_method_wrapped() {
+        let t = transform(RACY);
+        assert!(t.info.method_wrapped.contains(&"worker".to_string()));
+        // main is blocking (spawns/joins), so its racy write to counter is
+        // statement-wrapped instead.
+        assert!(!t.info.method_wrapped.contains(&"main".to_string()));
+        // main's only write is pre-spawn initialization, so nothing in main
+        // needs statement locks.
+        assert_eq!(t.info.stmt_wrapped, 0);
+        // The transformed program still validates.
+        lir::validate(&t.program).unwrap();
+    }
+
+    #[test]
+    fn transformed_program_runs_correctly() {
+        let t = transform(
+            "global counter;
+             fn worker(n) {
+                 let i = 0;
+                 while (i < n) { counter = counter + 1; i = i + 1; }
+             }
+             fn main(n) {
+                 let t1 = spawn worker(n);
+                 let t2 = spawn worker(n);
+                 join t1; join t2;
+                 assert(counter == 2 * n);
+             }",
+        );
+        // With chimera locks the counter race disappears entirely: the
+        // assertion must hold in every run.
+        let out = light_runtime::run(
+            &t.program,
+            &[100],
+            light_runtime::ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(out.completed(), "{:?}", out.fault);
+    }
+
+    #[test]
+    fn race_free_program_is_untouched() {
+        let t = transform(
+            "global lock; global v; class L { field pad; }
+             fn worker() { sync (lock) { v = v + 1; } }
+             fn main() {
+                 lock = new L();
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        assert!(t.info.method_wrapped.is_empty());
+        assert_eq!(t.info.stmt_wrapped, 0);
+    }
+
+    #[test]
+    fn wrapped_methods_exit_on_early_return() {
+        let t = transform(
+            "global flag;
+             fn racer(v) {
+                 if (v > 0) { flag = v; return; }
+                 flag = 0 - v;
+             }
+             fn main() {
+                 let t1 = spawn racer(1);
+                 let t2 = spawn racer(2);
+                 join t1; join t2;
+             }",
+        );
+        assert!(t.info.method_wrapped.contains(&"racer".to_string()));
+        let out = light_runtime::run(
+            &t.program,
+            &[],
+            light_runtime::ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(out.completed(), "{:?}", out.fault);
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared helper: access-id ↔ solver-variable mapping, thread-local order
+//! chains, and model → schedule conversion, used by the Leap and Stride
+//! offline phases.
+
+use light_core::AccessId;
+use light_runtime::{ReplaySchedule, Tid};
+use light_solver::{Model, OrderSolver, Var};
+use std::collections::HashMap;
+
+#[derive(Default)]
+pub(crate) struct VarMap {
+    vars: HashMap<AccessId, Var>,
+    ids: Vec<AccessId>,
+}
+
+impl VarMap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn var(&mut self, solver: &mut OrderSolver, id: AccessId) -> Var {
+        if let Some(&v) = self.vars.get(&id) {
+            return v;
+        }
+        let v = solver.new_var();
+        self.vars.insert(id, v);
+        self.ids.push(id);
+        v
+    }
+
+    /// Chains every mentioned id of each thread in counter order.
+    pub(crate) fn add_thread_chains(&mut self, solver: &mut OrderSolver) {
+        let mut per_thread: HashMap<Tid, Vec<u64>> = HashMap::new();
+        for id in self.ids.clone() {
+            per_thread.entry(id.tid).or_default().push(id.ctr);
+        }
+        for (tid, mut ctrs) in per_thread {
+            ctrs.sort_unstable();
+            ctrs.dedup();
+            for pair in ctrs.windows(2) {
+                let a = self.var(solver, AccessId::new(tid, pair[0]));
+                let b = self.var(solver, AccessId::new(tid, pair[1]));
+                solver.add_lt(a, b);
+            }
+        }
+    }
+
+    /// Converts a model into a schedule ordering every mentioned id.
+    pub(crate) fn into_schedule(self, model: &Model) -> ReplaySchedule {
+        let mut order: Vec<(i64, AccessId)> = self
+            .ids
+            .iter()
+            .map(|&id| (model.value(self.vars[&id]), id))
+            .collect();
+        order.sort_by_key(|&(v, id)| (v, id.tid, id.ctr));
+        let mut schedule = ReplaySchedule::new();
+        for (_, id) in order {
+            schedule.push_ordered(id.tid, id.ctr);
+        }
+        schedule
+    }
+}

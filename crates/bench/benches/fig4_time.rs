@@ -1,0 +1,59 @@
+//! Figure 4 — normalized time overhead of Light vs Leap vs Stride on the
+//! 24 benchmarks, plus the paper's aggregate overhead statistics table
+//! (Section 5.2). Run with `cargo bench -p light-bench --bench fig4_time`.
+
+use light_bench::{aggregate, bar, env_u64, filtered_benchmarks, measure_overhead};
+
+fn main() {
+    let threads = env_u64("LIGHT_BENCH_THREADS", 4) as i64;
+    let scale = env_u64("LIGHT_BENCH_SCALE", 1) as i64;
+    let reps = env_u64("LIGHT_BENCH_REPS", 3);
+
+    println!("== Figure 4: recording time overhead (normalized), t={threads}, scale x{scale}, reps={reps} ==");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}   overhead (Leap=bar scale)",
+        "benchmark", "base(ms)", "Light", "Leap", "Stride"
+    );
+
+    let mut light_ovh = Vec::new();
+    let mut leap_ovh = Vec::new();
+    let mut stride_ovh = Vec::new();
+
+    for w in filtered_benchmarks() {
+        let row = measure_overhead(&w, threads, scale, reps);
+        let l = row.overhead(row.light_secs).max(0.0);
+        let p = row.overhead(row.leap_secs).max(0.0);
+        let s = row.overhead(row.stride_secs).max(0.0);
+        let norm = p.max(s).max(l).max(1e-9);
+        println!(
+            "{:<18} {:>9.2} {:>8.2}x {:>8.2}x {:>8.2}x   L {} | P {} | S {}",
+            row.name,
+            row.base_secs * 1e3,
+            l,
+            p,
+            s,
+            bar(l / norm, 12),
+            bar(p / norm, 12),
+            bar(s / norm, 12),
+        );
+        light_ovh.push(l);
+        leap_ovh.push(p);
+        stride_ovh.push(s);
+    }
+
+    println!();
+    println!("== Aggregate time overhead statistics (Section 5.2 table) ==");
+    println!("{:<10} {:>8} {:>8} {:>8}", "", "Leap", "Stride", "Light");
+    let (la, lm, lmin, lmax) = aggregate(&leap_ovh);
+    let (sa, sm, smin, smax) = aggregate(&stride_ovh);
+    let (ga, gm, gmin, gmax) = aggregate(&light_ovh);
+    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "average", la, sa, ga);
+    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "median", lm, sm, gm);
+    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "minimum", lmin, smin, gmin);
+    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "maximum", lmax, smax, gmax);
+    println!();
+    println!(
+        "Paper's shape check: Light average ({ga:.2}x) well below Leap ({la:.2}x) and Stride ({sa:.2}x): {}",
+        if ga < la && ga < sa { "HOLDS" } else { "DOES NOT HOLD" }
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 7 / H3 — the contribution of the O1 and O2 optimizations:
+//! time-overhead breakdown (7a) and space breakdown (7b) across the three
+//! Light variants `V_basic`, `V_O1`, `V_both`. Run with
+//! `cargo bench -p light-bench --bench fig7_breakdown`.
+
+use light_bench::{bar, env_u64, filtered_benchmarks, measure_variants};
+
+fn main() {
+    let threads = env_u64("LIGHT_BENCH_THREADS", 4) as i64;
+    let scale = env_u64("LIGHT_BENCH_SCALE", 1) as i64;
+    let reps = env_u64("LIGHT_BENCH_REPS", 3);
+
+    println!("== Figure 7a: time-overhead breakdown (100% = V_basic overhead) ==");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}   remaining | O2 gain | O1 gain",
+        "benchmark", "basic", "V_O1", "V_both"
+    );
+
+    let mut rows = Vec::new();
+    for w in filtered_benchmarks() {
+        let row = measure_variants(&w, threads, scale, reps);
+        let basic = (row.basic_secs / row.base_secs - 1.0).max(1e-9);
+        let o1 = (row.o1_secs / row.base_secs - 1.0).clamp(0.0, basic);
+        let both = (row.both_secs / row.base_secs - 1.0).clamp(0.0, o1);
+        let o1_gain = (basic - o1) / basic;
+        let o2_gain = (o1 - both) / basic;
+        let remain = both / basic;
+        println!(
+            "{:<18} {:>8.2}x {:>8.2}x {:>8.2}x   {} {:>4.0}% | {:>4.0}% | {:>4.0}%",
+            row.name,
+            basic,
+            o1,
+            both,
+            bar(remain, 10),
+            remain * 100.0,
+            o2_gain * 100.0,
+            o1_gain * 100.0,
+        );
+        rows.push(row);
+    }
+
+    println!();
+    println!("== Figure 7b: space breakdown (100% = V_basic space) ==");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}   remaining | O2 gain | O1 gain",
+        "benchmark", "basic", "V_O1", "V_both"
+    );
+    let mut o1_ge_20 = 0;
+    let mut o1_ge_50 = 0;
+    let mut o2_ge_20 = 0;
+    for row in &rows {
+        let basic = row.basic_space.max(1) as f64;
+        let o1 = row.o1_space as f64;
+        let both = row.both_space as f64;
+        let o1_gain = (basic - o1) / basic;
+        let o2_gain = (o1 - both) / basic;
+        let remain = both / basic;
+        if o1_gain >= 0.2 {
+            o1_ge_20 += 1;
+        }
+        if o1_gain >= 0.5 {
+            o1_ge_50 += 1;
+        }
+        if o2_gain >= 0.2 {
+            o2_ge_20 += 1;
+        }
+        println!(
+            "{:<18} {:>10} {:>10} {:>10}   {} {:>4.0}% | {:>4.0}% | {:>4.0}%",
+            row.name,
+            row.basic_space,
+            row.o1_space,
+            row.both_space,
+            bar(remain, 10),
+            remain * 100.0,
+            o2_gain * 100.0,
+            o1_gain * 100.0,
+        );
+    }
+
+    let n = rows.len();
+    println!();
+    println!(
+        "Space summary: O1 saves >=20% on {o1_ge_20}/{n}, >=50% on {o1_ge_50}/{n}; O2 adds >=20% on {o2_ge_20}/{n}."
+    );
+    println!("Paper's H3: both optimizations contribute significantly, O1 dominant.");
+}

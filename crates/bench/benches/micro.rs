@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the building blocks: the IDL solver, the
+//! Light recorder hot paths, and the LIR front-end.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use light_core::{LightConfig, LightRecorder};
+use light_runtime::{AccessKind, Loc, ObjId, Recorder, Tid};
+use light_solver::{Atom, OrderSolver};
+use lir::{BlockId, FieldId, FuncId, InstrId};
+use std::hint::black_box;
+
+fn solver_chain(c: &mut Criterion) {
+    c.bench_function("solver/chain-1000", |b| {
+        b.iter(|| {
+            let mut s = OrderSolver::new();
+            let vars: Vec<_> = (0..1000).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                s.add_lt(w[0], w[1]);
+            }
+            black_box(s.solve().unwrap());
+        })
+    });
+}
+
+fn solver_disjunctions(c: &mut Criterion) {
+    c.bench_function("solver/noninterference-200", |b| {
+        b.iter(|| {
+            let mut s = OrderSolver::new();
+            // 100 dependence pairs (w_i < r_i) on one location with
+            // pairwise non-interference clauses, like Equation 1.
+            let n = 100;
+            let ws: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+            let rs: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+            for i in 0..n {
+                s.add_lt(ws[i], rs[i]);
+            }
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(vec![Atom::lt(rs[i], ws[j]), Atom::lt(rs[j], ws[i])]);
+                }
+            }
+            black_box(s.solve().unwrap());
+        })
+    });
+}
+
+fn recorder_hot_path(c: &mut Criterion) {
+    let iid = InstrId {
+        func: FuncId(0),
+        block: BlockId(0),
+        idx: 0,
+    };
+    c.bench_function("recorder/read-same-writer", |b| {
+        b.iter_batched(
+            || LightRecorder::new(LightConfig::default(), Default::default(), Default::default()),
+            |rec| {
+                let t = Tid::ROOT;
+                let loc = Loc::Field(ObjId(1), FieldId(0));
+                rec.on_access(t, 1, loc, AccessKind::Write, false, iid, &mut || 0);
+                for ctrn in 2..1000u64 {
+                    rec.on_access(t, ctrn, loc, AccessKind::Read, false, iid, &mut || 0);
+                }
+                rec.on_thread_exit(t);
+                black_box(rec.take_recording(None, &[]));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn frontend(c: &mut Criterion) {
+    let src = light_workloads::benchmarks()
+        .into_iter()
+        .find(|w| w.name == "srv.ftpserver")
+        .unwrap()
+        .source;
+    c.bench_function("frontend/parse-ftpserver", |b| {
+        b.iter(|| black_box(lir::parse(src).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    solver_chain,
+    solver_disjunctions,
+    recorder_hot_path,
+    frontend
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 1 — replay measurement for the eight bugs: recording space,
+//! schedule (solver) time, and replay run time. Run with
+//! `cargo bench -p light-bench --bench table1_replay`.
+
+use light_core::Light;
+use light_workloads::bugs;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    println!("== Table 1: replay measurement (8 bugs) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "bug", "Space(L)", "Solve(ms)", "Replay(ms)", "events", "correl"
+    );
+
+    for bug in bugs() {
+        let program = bug.program();
+        let light = Light::new(Arc::clone(&program));
+        let Some((recording, _original)) = light.find_bug(&bug.args, bug.search_seeds.clone())
+        else {
+            println!("{:<14} bug did not manifest in the search budget", bug.name);
+            continue;
+        };
+
+        let solve_start = Instant::now();
+        let schedule = light.schedule(&recording);
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+        let ordered = match &schedule {
+            Ok((s, _)) => s.ordered_len(),
+            Err(e) => {
+                println!("{:<14} schedule failed: {e}", bug.name);
+                continue;
+            }
+        };
+
+        let replay_start = Instant::now();
+        let report = match light.replay(&recording) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<14} replay failed: {e}", bug.name);
+                continue;
+            }
+        };
+        let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:<14} {:>10} {:>10.1} {:>10.1} {:>8} {:>8}",
+            bug.name,
+            recording.space_longs(),
+            solve_ms,
+            replay_ms,
+            ordered,
+            if report.correlated { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!("(Space in Long-integer units; Solve includes constraint generation + IDL search; Replay is the controlled re-execution. The paper reports seconds on JVM-scale traces; shapes — solve time correlated with space — carry over.)");
+}

@@ -1,0 +1,31 @@
+use light_core::Light;
+use light_workloads::benchmarks;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    for name in ["stamp.kmeans", "dc.sensor-net", "srv.cache4j", "jgf.sor"] {
+        let w = benchmarks().into_iter().find(|w| w.name == name).unwrap();
+        let program = w.program();
+        let light = Light::new(Arc::clone(&program));
+        let args = w.args(4, 20);
+        let (rec, out) = light.record(&args, 1).unwrap();
+        assert!(out.completed());
+        // Classify records by loc tag (low 3 bits of key).
+        let mut dep_kinds: HashMap<u64, u64> = HashMap::new();
+        let mut run_kinds: HashMap<u64, u64> = HashMap::new();
+        for d in &rec.deps { *dep_kinds.entry(d.loc & 7).or_default() += 1; }
+        for r in &rec.runs { *run_kinds.entry(r.loc & 7).or_default() += 1; }
+        println!("{name}: space={} deps={} runs={} o2skip={}", rec.space_longs(), rec.stats.deps, rec.stats.runs, rec.stats.o2_skipped);
+        println!("  deps by kind (0=glob,1=field,2=elem,3=map,4=mon,5=life): {:?}", dep_kinds);
+        println!("  runs by kind: {:?}", run_kinds);
+        let mut fat: Vec<&light_core::RunRec> = rec.runs.iter().collect();
+        fat.sort_by_key(|r| std::cmp::Reverse(r.write_ctrs.len()));
+        for r in fat.iter().take(4) {
+            println!(
+                "  fat run: loc_kind={} tid={} [{}..{}] writes={}",
+                r.loc & 7, r.tid, r.first, r.last, r.write_ctrs.len()
+            );
+        }
+    }
+}

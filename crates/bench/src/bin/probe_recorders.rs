@@ -1,0 +1,31 @@
+use light_baselines::{LeapRecorder, StrideRecorder};
+use light_core::{LightConfig, LightRecorder};
+use light_runtime::{AccessKind, Loc, NullRecorder, ObjId, Recorder, Tid};
+use lir::{BlockId, FuncId, InstrId};
+#[allow(unused_imports)]
+use lir::Operand as _Unused;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench(name: &str, rec: Arc<dyn Recorder>) {
+    let iid = InstrId { func: FuncId(0), block: BlockId(0), idx: 0 };
+    let t = Tid::ROOT;
+    let n = 2_000_000u64;
+    // Mixed pattern: strided writes to many locs + reads of same loc.
+    let start = Instant::now();
+    for i in 0..n {
+        let loc = Loc::Elem(ObjId((i % 1024) as u32), (i % 64) as u32);
+        let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+        rec.on_access(t, i + 1, loc, kind, false, iid, &mut || 7);
+    }
+    rec.on_thread_exit(t);
+    let el = start.elapsed();
+    println!("{name:>8}: {:.1} ns/access", el.as_nanos() as f64 / n as f64);
+}
+
+fn main() {
+    bench("null", Arc::new(NullRecorder));
+    bench("light", LightRecorder::new(LightConfig::default(), Default::default(), Default::default()));
+    bench("leap", LeapRecorder::new());
+    bench("stride", StrideRecorder::new());
+}

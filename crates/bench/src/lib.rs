@@ -1,0 +1,282 @@
+//! Shared plumbing for the evaluation harnesses (one per paper
+//! table/figure; see the `benches/` directory).
+//!
+//! Environment knobs, honored by every harness:
+//!
+//! - `LIGHT_BENCH_THREADS` — LIR thread count (default 4);
+//! - `LIGHT_BENCH_SCALE` — problem-size multiplier (default 1);
+//! - `LIGHT_BENCH_REPS` — repetitions per measurement, median taken
+//!   (default 3);
+//! - `LIGHT_BENCH_FILTER` — substring filter on benchmark names.
+
+use light_baselines::{LeapRecorder, StrideRecorder};
+use light_core::{Light, LightConfig};
+use light_runtime::{run, ExecConfig, NullRecorder, RunOutcome, SchedulerSpec, SharedPolicy};
+use light_workloads::Workload;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reads an env knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The name filter from `LIGHT_BENCH_FILTER`.
+pub fn name_filter() -> Option<String> {
+    std::env::var("LIGHT_BENCH_FILTER").ok()
+}
+
+/// Applies the filter to a workload list.
+pub fn filtered_benchmarks() -> Vec<Workload> {
+    let filter = name_filter();
+    light_workloads::benchmarks()
+        .into_iter()
+        .filter(|w| {
+            filter
+                .as_ref()
+                .map(|f| w.name.contains(f.as_str()))
+                .unwrap_or(true)
+        })
+        .collect()
+}
+
+/// Median of a sample (panics on empty input).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// (average, median, min, max) summary, mirroring the paper's aggregate
+/// statistics tables.
+pub fn aggregate(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let avg = mean(xs);
+    let med = median(xs.to_vec());
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (avg, med, min, max)
+}
+
+/// One timed run of `workload` with the given recorder configuration;
+/// returns the outcome and elapsed seconds.
+fn timed_run(
+    program: &Arc<lir::Program>,
+    args: &[i64],
+    policy: SharedPolicy,
+    recorder: Arc<dyn light_runtime::Recorder>,
+) -> (RunOutcome, f64) {
+    let config = ExecConfig {
+        recorder,
+        scheduler: SchedulerSpec::Free,
+        policy,
+        wall_timeout: Duration::from_secs(120),
+        ..ExecConfig::default()
+    };
+    let out = run(program, args, config).expect("benchmark setup");
+    assert!(
+        out.completed(),
+        "benchmark faulted during measurement: {}",
+        out.fault.clone().unwrap()
+    );
+    let secs = out.stats.duration.as_secs_f64();
+    (out, secs)
+}
+
+/// Time and space measurements of one workload across all recorders.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    pub name: &'static str,
+    pub base_secs: f64,
+    pub light_secs: f64,
+    pub leap_secs: f64,
+    pub stride_secs: f64,
+    pub light_space: u64,
+    pub leap_space: u64,
+    pub stride_space: u64,
+}
+
+impl OverheadRow {
+    /// Normalized time overhead of a tool (`t/t0 - 1`).
+    pub fn overhead(&self, secs: f64) -> f64 {
+        secs / self.base_secs - 1.0
+    }
+}
+
+/// Measures one workload under the null, Light, Leap and Stride recorders.
+/// Each configuration runs `reps` times; medians are reported.
+pub fn measure_overhead(w: &Workload, threads: i64, scale: i64, reps: u64) -> OverheadRow {
+    let program = w.program();
+    let args = w.args(threads, scale);
+    let light = Light::new(Arc::clone(&program));
+    let policy = light.analysis().policy.clone();
+
+    let mut base = Vec::new();
+    let mut light_t = Vec::new();
+    let mut leap_t = Vec::new();
+    let mut stride_t = Vec::new();
+    let mut light_space = 0;
+    let mut leap_space = 0;
+    let mut stride_space = 0;
+
+    // All three tools flush their buffers to disk as they fill, exactly
+    // as the paper's measurement setup configures them (Section 5.2).
+    let spill_threshold = 4096;
+    for _ in 0..reps {
+        let (_, secs) = timed_run(&program, &args, policy.clone(), Arc::new(NullRecorder));
+        base.push(secs);
+
+        let sink = light_core::SpillSink::to_temp("light").expect("spill file");
+        let recorder = light.make_recorder().with_spill(sink, spill_threshold);
+        let (out, secs) = timed_run(&program, &args, policy.clone(), recorder.clone());
+        let recording = recorder.take_recording(out.fault.clone(), &args);
+        light_space = recording.space_longs();
+        light_t.push(secs);
+
+        let sink = light_core::SpillSink::to_temp("leap").expect("spill file");
+        let leap = LeapRecorder::new().with_spill(sink, spill_threshold);
+        let (out, secs) = timed_run(&program, &args, policy.clone(), leap.clone());
+        leap_space = leap.take_recording(out.fault.clone(), &args).space_longs();
+        leap_t.push(secs);
+
+        let sink = light_core::SpillSink::to_temp("stride").expect("spill file");
+        let stride = StrideRecorder::new().with_spill(sink, spill_threshold);
+        let (out, secs) = timed_run(&program, &args, policy.clone(), stride.clone());
+        stride_space = stride
+            .take_recording(out.fault.clone(), &args)
+            .space_longs();
+        stride_t.push(secs);
+    }
+
+    OverheadRow {
+        name: w.name,
+        base_secs: median(base),
+        light_secs: median(light_t),
+        leap_secs: median(leap_t),
+        stride_secs: median(stride_t),
+        light_space,
+        leap_space,
+        stride_space,
+    }
+}
+
+/// Time/space of one Light variant on one workload (for Figure 7).
+#[derive(Debug, Clone)]
+pub struct VariantRow {
+    pub name: &'static str,
+    pub base_secs: f64,
+    pub basic_secs: f64,
+    pub o1_secs: f64,
+    pub both_secs: f64,
+    pub basic_space: u64,
+    pub o1_space: u64,
+    pub both_space: u64,
+}
+
+/// Measures the three Light variants (`V_basic`, `V_O1`, `V_both`).
+pub fn measure_variants(w: &Workload, threads: i64, scale: i64, reps: u64) -> VariantRow {
+    let program = w.program();
+    let args = w.args(threads, scale);
+
+    let configs = [
+        LightConfig::basic(),
+        LightConfig::o1_only(),
+        LightConfig::default(),
+    ];
+    let mut secs = [0.0f64; 3];
+    let mut space = [0u64; 3];
+    let mut base = Vec::new();
+
+    for (k, cfg) in configs.iter().enumerate() {
+        let light = Light::with_config(Arc::clone(&program), *cfg);
+        let policy = light.analysis().policy.clone();
+        let mut times = Vec::new();
+        for _ in 0..reps {
+            if k == 0 {
+                let (_, s) = timed_run(&program, &args, policy.clone(), Arc::new(NullRecorder));
+                base.push(s);
+            }
+            let sink = light_core::SpillSink::to_temp("variant").expect("spill file");
+            let recorder = light.make_recorder().with_spill(sink, 4096);
+            let (out, s) = timed_run(&program, &args, policy.clone(), recorder.clone());
+            space[k] = recorder
+                .take_recording(out.fault.clone(), &args)
+                .space_longs();
+            times.push(s);
+        }
+        secs[k] = median(times);
+    }
+
+    VariantRow {
+        name: w.name,
+        base_secs: median(base),
+        basic_secs: secs[0],
+        o1_secs: secs[1],
+        both_secs: secs[2],
+        basic_space: space[0],
+        o1_space: space[1],
+        both_space: space[2],
+    }
+}
+
+/// Renders a unicode bar of `frac` (clamped to the unit interval) out of
+/// `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::new();
+    for _ in 0..filled {
+        s.push('█');
+    }
+    for _ in filled..width {
+        s.push('·');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_aggregate() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
+        let (avg, med, min, max) = aggregate(&[1.0, 2.0, 3.0]);
+        assert_eq!((avg, med, min, max), (2.0, 2.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn bar_renders_fixed_width() {
+        assert_eq!(bar(0.5, 4).chars().count(), 4);
+        assert_eq!(bar(2.0, 4), "████");
+        assert_eq!(bar(-1.0, 4), "····");
+    }
+
+    #[test]
+    fn overhead_row_math() {
+        let row = OverheadRow {
+            name: "x",
+            base_secs: 1.0,
+            light_secs: 1.4,
+            leap_secs: 5.0,
+            stride_secs: 5.5,
+            light_space: 10,
+            leap_space: 100,
+            stride_space: 100,
+        };
+        assert!((row.overhead(row.light_secs) - 0.4).abs() < 1e-9);
+        assert!((row.overhead(row.leap_secs) - 4.0).abs() < 1e-9);
+    }
+}

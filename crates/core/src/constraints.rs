@@ -1,0 +1,647 @@
+//! Building the replay constraint system (paper Section 4.2, Equation 1)
+//! and turning its solution into an enforceable schedule.
+//!
+//! Order variables `O(c)` exist for every access id mentioned by the
+//! recording. The system contains:
+//!
+//! - **flow edges** — `O(w) < O(r_first)` per dependence, `O(w0) < O(first)`
+//!   per run, `O(notify) < O(wait_after)` per signal;
+//! - **thread-local order** — mentioned ids of one thread are chained in
+//!   counter order;
+//! - **non-interference** — per location, dependences and runs must not
+//!   have foreign writes inside their intervals. For two plain dependences
+//!   this is exactly Equation 1's binary disjunction; runs generalize it to
+//!   interval disjointness, and a dependence whose writer is an *interior*
+//!   write of a run is handled by bounding the reader before the run's next
+//!   own write;
+//! - **initial reads** — reads that observed a location's initial value
+//!   precede every write to that location.
+
+use crate::recording::{AccessId, Recording};
+use light_runtime::{ReplaySchedule, Tid};
+use light_solver::{Atom, OrderSolver, SolveError, SolveStats, Var};
+use std::collections::HashMap;
+
+/// The constraint system plus the mapping back to access ids.
+pub struct ConstraintSystem {
+    solver: OrderSolver,
+    vars: HashMap<AccessId, Var>,
+    ids: Vec<AccessId>,
+}
+
+/// Failure to compute a replay schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError(pub SolveError);
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay schedule computation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl ConstraintSystem {
+    /// Builds the constraint system for `recording`.
+    pub fn build(recording: &Recording) -> Self {
+        let mut sys = ConstraintSystem {
+            solver: OrderSolver::new(),
+            vars: HashMap::new(),
+            ids: Vec::new(),
+        };
+        sys.encode(recording);
+        sys
+    }
+
+    fn var(&mut self, id: AccessId) -> Var {
+        if let Some(&v) = self.vars.get(&id) {
+            return v;
+        }
+        let v = self.solver.new_var();
+        self.vars.insert(id, v);
+        self.ids.push(id);
+        v
+    }
+
+    fn encode(&mut self, rec: &Recording) {
+        // Per-location unit lists for non-interference.
+        #[derive(Clone)]
+        enum Unit {
+            Dep {
+                w: Option<AccessId>,
+                r_first: AccessId,
+                r_last: AccessId,
+            },
+            Run {
+                tid: Tid,
+                w0: Option<AccessId>,
+                first: AccessId,
+                last: AccessId,
+                write_ctrs: Vec<u64>,
+            },
+        }
+        let mut by_loc: HashMap<u64, Vec<Unit>> = HashMap::new();
+
+        for d in &rec.deps {
+            by_loc.entry(d.loc).or_default().push(Unit::Dep {
+                w: d.w,
+                r_first: AccessId::new(d.r_tid, d.r_first),
+                r_last: AccessId::new(d.r_tid, d.r_last),
+            });
+        }
+        for r in &rec.runs {
+            by_loc.entry(r.loc).or_default().push(Unit::Run {
+                tid: r.tid,
+                w0: r.w0,
+                first: AccessId::new(r.tid, r.first),
+                last: AccessId::new(r.tid, r.last),
+                write_ctrs: r.write_ctrs.clone(),
+            });
+        }
+
+        // Flow edges.
+        for d in &rec.deps {
+            if let Some(w) = d.w {
+                let (wv, rv) = (self.var(w), self.var(AccessId::new(d.r_tid, d.r_first)));
+                self.solver.add_lt(wv, rv);
+            }
+            // Make sure both ends of the read range exist as variables.
+            let _ = self.var(AccessId::new(d.r_tid, d.r_first));
+            let _ = self.var(AccessId::new(d.r_tid, d.r_last));
+        }
+        for r in &rec.runs {
+            let first = self.var(AccessId::new(r.tid, r.first));
+            let _ = self.var(AccessId::new(r.tid, r.last));
+            if let Some(w0) = r.w0 {
+                let w0v = self.var(w0);
+                self.solver.add_lt(w0v, first);
+            }
+        }
+        for s in &rec.signals {
+            let (nv, wv) = (self.var(s.notify), self.var(s.wait_after));
+            self.solver.add_lt(nv, wv);
+        }
+
+        // Non-interference, per location.
+        for units in by_loc.values() {
+            // Helper views.
+            let interval = |u: &Unit, me: &mut Self| -> (Var, Var) {
+                match u {
+                    Unit::Dep { w, r_first, r_last } => {
+                        let start = w.map(|w| me.var(w)).unwrap_or_else(|| me.var(*r_first));
+                        (start, me.var(*r_last))
+                    }
+                    Unit::Run {
+                        tid,
+                        w0,
+                        first,
+                        last,
+                        ..
+                    } => {
+                        let _ = tid;
+                        let start = w0.map(|w| me.var(w)).unwrap_or_else(|| me.var(*first));
+                        (start, me.var(*last))
+                    }
+                }
+            };
+            // The run's next own write strictly after counter `c`.
+            let next_write_after = |u: &Unit, c: u64| -> Option<AccessId> {
+                match u {
+                    Unit::Run {
+                        tid, write_ctrs, ..
+                    } => write_ctrs
+                        .iter()
+                        .copied()
+                        .filter(|&x| x > c)
+                        .min()
+                        .map(|x| AccessId::new(*tid, x)),
+                    Unit::Dep { .. } => None,
+                }
+            };
+            // Whether `w` is one of the unit's own writes.
+            let owns_write = |u: &Unit, w: AccessId| -> bool {
+                match u {
+                    Unit::Run {
+                        tid, write_ctrs, ..
+                    } => *tid == w.tid && write_ctrs.contains(&w.ctr),
+                    Unit::Dep { .. } => false,
+                }
+            };
+            let writer_of = |u: &Unit| -> Option<AccessId> {
+                match u {
+                    Unit::Dep { w, .. } => *w,
+                    Unit::Run { .. } => None,
+                }
+            };
+            let first_own_write = |u: &Unit| -> Option<AccessId> {
+                match u {
+                    Unit::Run {
+                        tid, write_ctrs, ..
+                    } => write_ctrs.iter().copied().min().map(|c| AccessId::new(*tid, c)),
+                    Unit::Dep { .. } => None,
+                }
+            };
+            // A unit that observed the location's *initial* value first:
+            // a writer-less dependence, or a run that starts with a read
+            // under no prior write.
+            let is_initial = |u: &Unit| -> bool {
+                match u {
+                    Unit::Dep { w, .. } => w.is_none(),
+                    Unit::Run {
+                        w0, first, ..
+                    } => w0.is_none() && first_own_write(u).map(|f| f.ctr) != Some(first.ctr),
+                }
+            };
+
+            for i in 0..units.len() {
+                for j in (i + 1)..units.len() {
+                    let (a, b) = (&units[i], &units[j]);
+                    // Shared-writer dependences never exclude each other.
+                    if let (Some(wa), Some(wb)) = (writer_of(a), writer_of(b)) {
+                        if wa == wb {
+                            continue;
+                        }
+                    }
+                    // Dependence reading an interior write of a run: bound
+                    // the reader before the run's next own write.
+                    let interior = |dep: &Unit, run: &Unit, me: &mut Self| -> bool {
+                        let Some(w) = writer_of(dep) else { return false };
+                        if !owns_write(run, w) {
+                            return false;
+                        }
+                        if let Some(next) = next_write_after(run, w.ctr) {
+                            let (_, dep_end) = interval(dep, me);
+                            let nv = me.var(next);
+                            me.solver.add_lt(dep_end, nv);
+                        }
+                        true
+                    };
+                    if interior(a, b, self) || interior(b, a, self) {
+                        continue;
+                    }
+                    // A run whose w0 is an own write of another run: the
+                    // observed write is necessarily the other run's last
+                    // own write (a later own write would have closed the
+                    // observing run), so the other run's tail precedes the
+                    // observer's first own write.
+                    let run_w0_interior = |obs: &Unit, owner: &Unit, me: &mut Self| -> bool {
+                        let Unit::Run { w0: Some(w0), .. } = obs else {
+                            return false;
+                        };
+                        if !owns_write(owner, *w0) {
+                            return false;
+                        }
+                        match next_write_after(owner, w0.ctr) {
+                            Some(next) => {
+                                // Only possible in truncated (faulted)
+                                // recordings; bound the observer before it.
+                                let (_, obs_end) = interval(obs, me);
+                                let nv = me.var(next);
+                                me.solver.add_lt(obs_end, nv);
+                            }
+                            None => {
+                                let (_, owner_end) = interval(owner, me);
+                                if let Some(f) = first_own_write(obs) {
+                                    let fv = me.var(f);
+                                    me.solver.add_lt(owner_end, fv);
+                                }
+                            }
+                        }
+                        true
+                    };
+                    if run_w0_interior(a, b, self) || run_w0_interior(b, a, self) {
+                        continue;
+                    }
+                    // Initial-value units are pinned before every write by
+                    // hard edges below; no pairwise disjunction applies.
+                    if is_initial(a) || is_initial(b) {
+                        continue;
+                    }
+                    // Units reading the same external source as a run's w0:
+                    // the dependence's reads precede the run's first own
+                    // write (they observed the same write the run started
+                    // from).
+                    let same_source = |dep: &Unit, run: &Unit, me: &mut Self| -> bool {
+                        let (Unit::Dep { w: Some(w), r_last, .. }, Unit::Run { w0: Some(w0), .. }) =
+                            (dep, run)
+                        else {
+                            return false;
+                        };
+                        if w != w0 {
+                            return false;
+                        }
+                        if let Some(fw) = first_own_write(run) {
+                            let rv = me.var(*r_last);
+                            let fv = me.var(fw);
+                            me.solver.add_lt(rv, fv);
+                        }
+                        true
+                    };
+                    if same_source(a, b, self) || same_source(b, a, self) {
+                        continue;
+                    }
+                    // Two runs started from the same external write, or a
+                    // run whose w0 is interior to the other run: fall back
+                    // to plain interval disjointness only when sound; the
+                    // shared-w0 run/run case would put both intervals at
+                    // the same start, so order their own-write phases.
+                    if let (
+                        Unit::Run { w0: Some(wa), .. },
+                        Unit::Run { w0: Some(wb), .. },
+                    ) = (a, b)
+                    {
+                        if wa == wb {
+                            // Both read the same external write first; their
+                            // own-write phases must still be disjoint.
+                            let (fa, fb) = (first_own_write(a), first_own_write(b));
+                            let (_, ea) = interval(a, self);
+                            let (_, eb) = interval(b, self);
+                            if let (Some(fa), Some(fb)) = (fa, fb) {
+                                let fav = self.var(fa);
+                                let fbv = self.var(fb);
+                                self.solver
+                                    .add_clause(vec![Atom::lt(ea, fbv), Atom::lt(eb, fav)]);
+                            }
+                            continue;
+                        }
+                    }
+                    // General case: interval disjointness (Equation 1 when
+                    // both are plain dependences).
+                    let (sa, ea) = interval(a, self);
+                    let (sb, eb) = interval(b, self);
+                    self.solver
+                        .add_clause(vec![Atom::lt(ea, sb), Atom::lt(eb, sa)]);
+                }
+            }
+
+            // Initial-value units precede every (foreign) write to the
+            // location.
+            let mut writes: Vec<AccessId> = Vec::new();
+            for u in units {
+                if let Some(w) = writer_of(u) {
+                    writes.push(w);
+                }
+                if let Unit::Run { w0, .. } = u {
+                    if let Some(w0) = *w0 {
+                        writes.push(w0);
+                    }
+                }
+                if let Some(fw) = first_own_write(u) {
+                    writes.push(fw);
+                }
+            }
+            writes.sort();
+            writes.dedup();
+            for u in units {
+                if !is_initial(u) {
+                    continue;
+                }
+                let own_tid = match u {
+                    Unit::Run { tid, .. } => Some(*tid),
+                    Unit::Dep { .. } => None,
+                };
+                let (_, end) = interval(u, self);
+                for &w in &writes {
+                    // Skip the unit's own writes (an initial-read run's own
+                    // first write trivially follows its reads).
+                    if Some(w.tid) == own_tid {
+                        if let Unit::Run { write_ctrs, .. } = u {
+                            if write_ctrs.contains(&w.ctr) {
+                                continue;
+                            }
+                        }
+                    }
+                    let wv = self.var(w);
+                    self.solver.add_lt(end, wv);
+                }
+            }
+        }
+
+        // Thread-local order over all mentioned ids.
+        let mut per_thread: HashMap<Tid, Vec<u64>> = HashMap::new();
+        for id in self.ids.clone() {
+            per_thread.entry(id.tid).or_default().push(id.ctr);
+        }
+        for (tid, mut ctrs) in per_thread {
+            ctrs.sort_unstable();
+            ctrs.dedup();
+            for pair in ctrs.windows(2) {
+                let a = self.var(AccessId::new(tid, pair[0]));
+                let b = self.var(AccessId::new(tid, pair[1]));
+                self.solver.add_lt(a, b);
+            }
+        }
+    }
+
+    /// Solves the system and produces the enforceable schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if the system is unsatisfiable (which
+    /// Lemma 4.1 rules out for systems built from real recordings) or the
+    /// solver budget is exhausted.
+    pub fn solve(mut self, recording: &Recording) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+        let (model, stats) = self
+            .solver
+            .solve_with_stats()
+            .map_err(ScheduleError)?;
+        let mut schedule = ReplaySchedule::new();
+        schedule.set_strict(true);
+        // Order every mentioned event by its model value.
+        let mut order: Vec<(i64, AccessId)> = self
+            .ids
+            .iter()
+            .map(|&id| (model.value(self.vars[&id]), id))
+            .collect();
+        order.sort_by_key(|&(v, id)| (v, id.tid, id.ctr));
+        for (_, id) in order {
+            schedule.push_ordered(id.tid, id.ctr);
+        }
+        // Interior run writes are allowed (not blind).
+        for r in &recording.runs {
+            for &c in &r.write_ctrs {
+                schedule.allow_write(r.tid, c);
+            }
+        }
+        // Threads may not overtake their recorded event frontier (a
+        // faulted original run ends mid-way; events beyond never happened).
+        for (&tid, &extent) in &recording.thread_extents {
+            schedule.set_extent(tid, extent);
+        }
+        Ok((schedule, stats))
+    }
+
+    /// Number of order variables created.
+    pub fn num_vars(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::{DepEdge, RunRec};
+    use light_runtime::SlotAction;
+
+    fn tid(k: u32) -> Tid {
+        Tid::ROOT.child(k)
+    }
+
+    #[test]
+    fn paper_example_schedule() {
+        // The Section 4.2 example: deps c4->c5, c1->c6, c3->c2 with x and y.
+        // Thread t1: c1 W(x), c2 R(y); thread t2: c3 W(y), c4 W(x),
+        // c5 R(x), c6 R(x) — c6 reads t1's c1.
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let x = 100u64;
+        let y = 200u64;
+        let rec = Recording {
+            deps: vec![
+                DepEdge {
+                    loc: x,
+                    w: Some(AccessId::new(t2, 4)),
+                    r_tid: t2,
+                    r_first: 5,
+                    r_last: 5,
+                },
+                DepEdge {
+                    loc: x,
+                    w: Some(AccessId::new(t1, 1)),
+                    r_tid: t2,
+                    r_first: 6,
+                    r_last: 6,
+                },
+                DepEdge {
+                    loc: y,
+                    w: Some(AccessId::new(t2, 3)),
+                    r_tid: t1,
+                    r_first: 2,
+                    r_last: 2,
+                },
+            ],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let (schedule, _) = sys.solve(&rec).expect("satisfiable");
+        // Extract slot order.
+        let pos = |t: Tid, c: u64| -> u32 {
+            match schedule.action(t, c) {
+                Some(SlotAction::Ordered(k)) => k,
+                other => panic!("({t},{c}) not ordered: {other:?}"),
+            }
+        };
+        // Flow dependences hold.
+        assert!(pos(t2, 4) < pos(t2, 5));
+        assert!(pos(t1, 1) < pos(t2, 6));
+        assert!(pos(t2, 3) < pos(t1, 2));
+        // Non-interference on x: either c5 before c1 or c6 before c4.
+        assert!(pos(t2, 5) < pos(t1, 1) || pos(t2, 6) < pos(t2, 4));
+        // Thread-local order.
+        assert!(pos(t1, 1) < pos(t1, 2));
+        assert!(pos(t2, 3) < pos(t2, 4));
+    }
+
+    #[test]
+    fn interior_run_write_bounds_reader() {
+        // t1 run on loc: writes at 1 and 3, span [1,4].
+        // t2 reads t1's write 1 (an interior write).
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            deps: vec![DepEdge {
+                loc: 7,
+                w: Some(AccessId::new(t1, 1)),
+                r_tid: t2,
+                r_first: 1,
+                r_last: 2,
+            }],
+            runs: vec![RunRec {
+                loc: 7,
+                tid: t1,
+                w0: None,
+                first: 1,
+                last: 4,
+                write_ctrs: vec![1, 3],
+            }],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let (schedule, _) = sys.solve(&rec).expect("satisfiable");
+        let pos = |t: Tid, c: u64| -> u32 {
+            match schedule.action(t, c) {
+                Some(SlotAction::Ordered(k)) => k,
+                other => panic!("({t},{c}) not ordered: {other:?}"),
+            }
+        };
+        // Reader range must finish before t1's next own write (ctr 3).
+        assert!(pos(t2, 2) < pos(t1, 3));
+        assert!(pos(t1, 1) < pos(t2, 1));
+    }
+
+    #[test]
+    fn initial_reads_precede_all_writes() {
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            deps: vec![
+                DepEdge {
+                    loc: 9,
+                    w: None,
+                    r_tid: t1,
+                    r_first: 1,
+                    r_last: 2,
+                },
+                DepEdge {
+                    loc: 9,
+                    w: Some(AccessId::new(t2, 1)),
+                    r_tid: t1,
+                    r_first: 3,
+                    r_last: 3,
+                },
+            ],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let (schedule, _) = sys.solve(&rec).expect("satisfiable");
+        let pos = |t: Tid, c: u64| -> u32 {
+            match schedule.action(t, c) {
+                Some(SlotAction::Ordered(k)) => k,
+                _ => panic!(),
+            }
+        };
+        assert!(pos(t1, 2) < pos(t2, 1), "initial read before the write");
+    }
+
+    #[test]
+    fn run_intervals_are_disjoint() {
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            runs: vec![
+                RunRec {
+                    loc: 3,
+                    tid: t1,
+                    w0: None,
+                    first: 1,
+                    last: 5,
+                    write_ctrs: vec![1, 3],
+                },
+                RunRec {
+                    loc: 3,
+                    tid: t2,
+                    w0: None,
+                    first: 2,
+                    last: 6,
+                    write_ctrs: vec![2, 4],
+                },
+            ],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let (schedule, _) = sys.solve(&rec).expect("satisfiable");
+        let pos = |t: Tid, c: u64| -> u32 {
+            match schedule.action(t, c) {
+                Some(SlotAction::Ordered(k)) => k,
+                _ => panic!(),
+            }
+        };
+        assert!(pos(t1, 5) < pos(t2, 2) || pos(t2, 6) < pos(t1, 1));
+    }
+
+    #[test]
+    fn interior_writes_are_allowed_not_blind() {
+        let t1 = tid(1);
+        let rec = Recording {
+            runs: vec![RunRec {
+                loc: 3,
+                tid: t1,
+                w0: None,
+                first: 1,
+                last: 5,
+                write_ctrs: vec![1, 3, 5],
+            }],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let (schedule, _) = sys.solve(&rec).expect("satisfiable");
+        // Interior write 3 has no slot but is allowed via the allow-list:
+        // verify by checking the schedule does not consider it ordered.
+        assert_eq!(schedule.action(t1, 1).is_some(), true);
+        assert!(matches!(
+            schedule.action(t1, 1),
+            Some(SlotAction::Ordered(_))
+        ));
+        assert!(schedule.action(t1, 3).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_recording_reports_error() {
+        // Artificial contradiction: two deps forming a hard cycle.
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            deps: vec![
+                DepEdge {
+                    loc: 1,
+                    w: Some(AccessId::new(t1, 2)),
+                    r_tid: t2,
+                    r_first: 1,
+                    r_last: 1,
+                },
+                DepEdge {
+                    loc: 2,
+                    w: Some(AccessId::new(t2, 2)),
+                    r_tid: t1,
+                    r_first: 1,
+                    r_last: 1,
+                },
+            ],
+            ..Recording::default()
+        };
+        // t1: 1 < 2 (thread order), t2: 1 < 2; w(t1,2) < r(t2,1) and
+        // w(t2,2) < r(t1,1) — a cycle.
+        let sys = ConstraintSystem::build(&rec);
+        assert!(sys.solve(&rec).is_err());
+    }
+}

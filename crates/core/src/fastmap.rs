@@ -1,0 +1,71 @@
+//! A fast hasher for the recorder hot paths.
+//!
+//! The last-write map and the thread-local run tables are keyed by 64-bit
+//! location keys and sit on the per-access fast path; SipHash (std's
+//! default, DoS-resistant) costs more than the rest of the lookup. Keys
+//! here are internal (never attacker-controlled), so a single multiply
+//! (Fibonacci hashing) suffices.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for integer keys.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused on the hot path).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+}
+
+/// `HashMap` with the multiplicative hasher — for internal integer keys
+/// only.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<KeyHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastmap_behaves_like_a_map() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&i));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        use std::hash::BuildHasher;
+        let bh: BuildHasherDefault<KeyHasher> = Default::default();
+        let h = |x: u64| {
+            let mut hasher = bh.build_hasher();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        // Top bits must differ for adjacent keys (HashMap uses the high
+        // bits for its control bytes).
+        assert_ne!(h(1) >> 57, h(2) >> 57);
+    }
+}

@@ -1,0 +1,222 @@
+//! Light: replay via tightly bounded recording (PLDI 2015), in Rust.
+//!
+//! This crate implements the paper's contribution: a record/replay
+//! technique that records only **flow dependences** over shared locations
+//! (the provably necessary and sufficient information, Theorem 1), uses
+//! thread-local buffers to avoid recording synchronization, and computes a
+//! feasible replay schedule with an Integer Difference Logic solver
+//! (Equation 1 / Lemma 4.1).
+//!
+//! The high-level API is [`Light`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use light_core::Light;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(lir::parse(
+//!     "global total;
+//!      fn worker(n) {
+//!          let i = 0;
+//!          while (i < n) { total = total + 1; i = i + 1; }
+//!      }
+//!      fn main(n) {
+//!          let t1 = spawn worker(n);
+//!          let t2 = spawn worker(n);
+//!          join t1; join t2;
+//!          print(total);
+//!      }",
+//! )?);
+//! let light = Light::new(program);
+//! let (recording, original) = light.record(&[50], 42)?;
+//! let report = light.replay(&recording)?;
+//! assert!(report.correlated);
+//! // The replay prints the same (possibly lost-update) total as recorded.
+//! assert_eq!(original.prints, report.outcome.prints);
+//! # Ok(())
+//! # }
+//! ```
+
+mod constraints;
+pub mod fastmap;
+mod log;
+mod recorder;
+mod recording;
+mod replay;
+pub mod spill;
+
+pub use constraints::{ConstraintSystem, ScheduleError};
+pub use fastmap::FastMap;
+pub use log::{load_recording, read_recording, save_recording, write_recording, LogError};
+pub use recorder::{LightConfig, LightRecorder};
+pub use spill::SpillSink;
+pub use recording::{AccessId, DepEdge, RecordStats, Recording, RunRec, SignalEdge};
+pub use replay::{
+    compute_schedule, faults_correlate, replay, ReplayError, ReplayOptions, ReplayReport,
+};
+
+use light_analysis::Analysis;
+use light_runtime::{
+    run, ExecConfig, NondetMode, ReplaySchedule, RunOutcome, SchedulerSpec, SetupError,
+};
+use light_solver::SolveStats;
+use lir::Program;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The Light record/replay tool for one program: bundles the static
+/// analyses (shared-location policy, lockset verdicts), the recorder
+/// configuration, and the replay pipeline.
+pub struct Light {
+    program: Arc<Program>,
+    analysis: Analysis,
+    config: LightConfig,
+    replay_options: ReplayOptions,
+}
+
+impl Light {
+    /// Creates a Light instance with both optimizations enabled
+    /// (`V_both`), running the static analyses on `program`.
+    pub fn new(program: Arc<Program>) -> Self {
+        Self::with_config(program, LightConfig::default())
+    }
+
+    /// Creates a Light instance with an explicit variant configuration
+    /// (used by the Figure 7 ablation).
+    pub fn with_config(program: Arc<Program>, config: LightConfig) -> Self {
+        let analysis = light_analysis::analyze(&program);
+        Self {
+            program,
+            analysis,
+            config,
+            replay_options: ReplayOptions::default(),
+        }
+    }
+
+    /// Overrides the replay timeouts.
+    pub fn set_replay_options(&mut self, options: ReplayOptions) {
+        self.replay_options = options;
+    }
+
+    /// The analysis products (shared policy, guarded locations, races).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The program under test.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The active variant configuration.
+    pub fn config(&self) -> LightConfig {
+        self.config
+    }
+
+    fn guarded_sets(&self) -> (HashSet<u32>, HashSet<u32>) {
+        let fields = self.analysis.guarded.fields.keys().map(|f| f.0).collect();
+        let globals = self.analysis.guarded.globals.keys().map(|g| g.0).collect();
+        (fields, globals)
+    }
+
+    /// Creates a fresh recorder wired to this instance's configuration.
+    /// Useful for driving custom runs (e.g. the overhead benchmarks).
+    pub fn make_recorder(&self) -> Arc<LightRecorder> {
+        let (fields, globals) = self.guarded_sets();
+        LightRecorder::new(self.config, fields, globals)
+    }
+
+    /// Records an original run under native (free) scheduling.
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError`] when the program has no entry or the argument count
+    /// does not match.
+    pub fn record(&self, args: &[i64], seed: u64) -> Result<(Recording, RunOutcome), SetupError> {
+        self.record_with(args, SchedulerSpec::Free, seed)
+    }
+
+    /// Records an original run under seeded chaos scheduling — the way
+    /// buggy interleavings are found and captured deterministically.
+    ///
+    /// # Errors
+    ///
+    /// See [`Light::record`].
+    pub fn record_chaos(
+        &self,
+        args: &[i64],
+        seed: u64,
+    ) -> Result<(Recording, RunOutcome), SetupError> {
+        self.record_with(args, SchedulerSpec::Chaos { seed }, seed)
+    }
+
+    /// Records an original run under an explicit scheduler.
+    ///
+    /// # Errors
+    ///
+    /// See [`Light::record`].
+    pub fn record_with(
+        &self,
+        args: &[i64],
+        scheduler: SchedulerSpec,
+        seed: u64,
+    ) -> Result<(Recording, RunOutcome), SetupError> {
+        let recorder = self.make_recorder();
+        let config = ExecConfig {
+            recorder: recorder.clone(),
+            scheduler,
+            policy: self.analysis.policy.clone(),
+            nondet: NondetMode::Real { seed },
+            ..ExecConfig::default()
+        };
+        let outcome = run(&self.program, args, config)?;
+        let recording = recorder.take_recording(outcome.fault.clone(), args);
+        Ok((recording, outcome))
+    }
+
+    /// Computes the replay schedule for `recording` (Table 1's solver
+    /// phase) without running it.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError`] if the constraint system cannot be solved.
+    pub fn schedule(
+        &self,
+        recording: &Recording,
+    ) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+        replay::compute_schedule(recording, &self.analysis, self.config.o2)
+    }
+
+    /// Replays `recording` and checks Theorem 1's correlation criterion.
+    ///
+    /// # Errors
+    ///
+    /// See [`replay`].
+    pub fn replay(&self, recording: &Recording) -> Result<ReplayReport, ReplayError> {
+        replay::replay(
+            &self.program,
+            recording,
+            &self.analysis,
+            self.config.o2,
+            &self.replay_options,
+        )
+    }
+
+    /// Searches chaos seeds for a run exhibiting a program bug; returns
+    /// the first faulting recording.
+    pub fn find_bug(
+        &self,
+        args: &[i64],
+        seeds: std::ops::Range<u64>,
+    ) -> Option<(Recording, RunOutcome)> {
+        for seed in seeds {
+            let Ok((recording, outcome)) = self.record_chaos(args, seed) else {
+                return None;
+            };
+            if outcome.program_bug().is_some() {
+                return Some((recording, outcome));
+            }
+        }
+        None
+    }
+}

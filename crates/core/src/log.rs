@@ -1,0 +1,480 @@
+//! Binary log format for [`Recording`]s.
+//!
+//! The paper's recorder dumps its buffers to disk; this module provides
+//! the equivalent compact binary format (little-endian, length-prefixed
+//! sections) plus file save/load helpers.
+
+use crate::recording::{AccessId, DepEdge, Recording, RecordStats, RunRec, SignalEdge};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use light_runtime::{FaultKind, FaultReport, Tid, Value};
+use lir::{BlockId, FuncId, InstrId};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+const MAGIC: u32 = 0x4C52_4543; // "LREC"
+const VERSION: u32 = 1;
+
+/// Errors reading or writing a recording log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The data is not a recording log or is truncated/corrupt.
+    Malformed(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::Malformed(m) => write!(f, "malformed recording log: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+fn bad(msg: &str) -> LogError {
+    LogError::Malformed(msg.to_owned())
+}
+
+/// Serializes a recording to bytes.
+pub fn write_recording(rec: &Recording) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    buf.put_u32_le(rec.deps.len() as u32);
+    for d in &rec.deps {
+        buf.put_u64_le(d.loc);
+        put_opt_access(&mut buf, d.w);
+        buf.put_u64_le(d.r_tid.raw());
+        buf.put_u64_le(d.r_first);
+        buf.put_u64_le(d.r_last);
+    }
+
+    buf.put_u32_le(rec.runs.len() as u32);
+    for r in &rec.runs {
+        buf.put_u64_le(r.loc);
+        buf.put_u64_le(r.tid.raw());
+        put_opt_access(&mut buf, r.w0);
+        buf.put_u64_le(r.first);
+        buf.put_u64_le(r.last);
+        buf.put_u32_le(r.write_ctrs.len() as u32);
+        for &c in &r.write_ctrs {
+            buf.put_u64_le(c);
+        }
+    }
+
+    buf.put_u32_le(rec.signals.len() as u32);
+    for s in &rec.signals {
+        put_access(&mut buf, s.notify);
+        put_access(&mut buf, s.wait_after);
+    }
+
+    buf.put_u32_le(rec.nondet.len() as u32);
+    let mut nondet: Vec<(&Tid, &Vec<i64>)> = rec.nondet.iter().collect();
+    nondet.sort_by_key(|(t, _)| t.raw());
+    for (tid, values) in nondet {
+        buf.put_u64_le(tid.raw());
+        buf.put_u32_le(values.len() as u32);
+        for &v in values {
+            buf.put_i64_le(v);
+        }
+    }
+
+    buf.put_u32_le(rec.thread_extents.len() as u32);
+    let mut extents: Vec<(&Tid, &u64)> = rec.thread_extents.iter().collect();
+    extents.sort_by_key(|(t, _)| t.raw());
+    for (tid, &ext) in extents {
+        buf.put_u64_le(tid.raw());
+        buf.put_u64_le(ext);
+    }
+
+    match &rec.fault {
+        None => buf.put_u8(0),
+        Some(f) => {
+            buf.put_u8(1);
+            buf.put_u64_le(f.tid.raw());
+            buf.put_u64_le(f.ctr);
+            buf.put_u32_le(f.instr.func.0);
+            buf.put_u32_le(f.instr.block.0);
+            buf.put_u32_le(f.instr.idx);
+            buf.put_u32_le(f.line);
+            buf.put_u8(fault_kind_code(f.kind));
+            buf.put_u64_le(f.value.bits());
+            let detail = f.detail.as_bytes();
+            buf.put_u32_le(detail.len() as u32);
+            buf.put_slice(detail);
+        }
+    }
+
+    buf.put_u32_le(rec.args.len() as u32);
+    for &a in &rec.args {
+        buf.put_i64_le(a);
+    }
+
+    buf.put_u64_le(rec.stats.space_longs);
+    buf.put_u64_le(rec.stats.deps);
+    buf.put_u64_le(rec.stats.runs);
+    buf.put_u64_le(rec.stats.retries);
+    buf.put_u64_le(rec.stats.o2_skipped);
+
+    buf.freeze()
+}
+
+/// Deserializes a recording from bytes.
+///
+/// # Errors
+///
+/// [`LogError::Malformed`] when the data is not a valid recording log.
+pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
+    let buf = &mut data;
+    if remaining(buf) < 8 || buf.get_u32_le() != MAGIC {
+        return Err(bad("missing magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(LogError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let ndeps = get_u32(buf)? as usize;
+    let mut deps = Vec::with_capacity(ndeps.min(1 << 20));
+    for _ in 0..ndeps {
+        ensure(buf, 8)?;
+        let loc = buf.get_u64_le();
+        let w = get_opt_access(buf)?;
+        ensure(buf, 24)?;
+        let r_tid = Tid::from_raw(buf.get_u64_le());
+        let r_first = buf.get_u64_le();
+        let r_last = buf.get_u64_le();
+        deps.push(DepEdge {
+            loc,
+            w,
+            r_tid,
+            r_first,
+            r_last,
+        });
+    }
+
+    let nruns = get_u32(buf)? as usize;
+    let mut runs = Vec::with_capacity(nruns.min(1 << 20));
+    for _ in 0..nruns {
+        ensure(buf, 16)?;
+        let loc = buf.get_u64_le();
+        let tid = Tid::from_raw(buf.get_u64_le());
+        let w0 = get_opt_access(buf)?;
+        ensure(buf, 16)?;
+        let first = buf.get_u64_le();
+        let last = buf.get_u64_le();
+        let nw = get_u32(buf)? as usize;
+        ensure(buf, nw * 8)?;
+        let write_ctrs = (0..nw).map(|_| buf.get_u64_le()).collect();
+        runs.push(RunRec {
+            loc,
+            tid,
+            w0,
+            first,
+            last,
+            write_ctrs,
+        });
+    }
+
+    let nsignals = get_u32(buf)? as usize;
+    let mut signals = Vec::with_capacity(nsignals.min(1 << 20));
+    for _ in 0..nsignals {
+        let notify = get_access(buf)?;
+        let wait_after = get_access(buf)?;
+        signals.push(SignalEdge { notify, wait_after });
+    }
+
+    let ntids = get_u32(buf)? as usize;
+    let mut nondet = HashMap::new();
+    for _ in 0..ntids {
+        ensure(buf, 8)?;
+        let tid = Tid::from_raw(buf.get_u64_le());
+        let n = get_u32(buf)? as usize;
+        ensure(buf, n * 8)?;
+        nondet.insert(tid, (0..n).map(|_| buf.get_i64_le()).collect());
+    }
+
+    let nextents = get_u32(buf)? as usize;
+    let mut thread_extents = HashMap::new();
+    for _ in 0..nextents {
+        ensure(buf, 16)?;
+        let tid = Tid::from_raw(buf.get_u64_le());
+        let ext = buf.get_u64_le();
+        thread_extents.insert(tid, ext);
+    }
+
+    ensure(buf, 1)?;
+    let fault = if buf.get_u8() == 1 {
+        ensure(buf, 8 + 8 + 4 + 4 + 4 + 4 + 1 + 8 + 4)?;
+        let tid = Tid::from_raw(buf.get_u64_le());
+        let ctr = buf.get_u64_le();
+        let func = FuncId(buf.get_u32_le());
+        let block = BlockId(buf.get_u32_le());
+        let idx = buf.get_u32_le();
+        let line = buf.get_u32_le();
+        let kind = fault_kind_from_code(buf.get_u8())?;
+        let value = Value::from_bits(buf.get_u64_le());
+        let dlen = buf.get_u32_le() as usize;
+        ensure(buf, dlen)?;
+        let mut detail = vec![0u8; dlen];
+        buf.copy_to_slice(&mut detail);
+        Some(FaultReport {
+            tid,
+            ctr,
+            instr: InstrId { func, block, idx },
+            line,
+            kind,
+            value,
+            detail: String::from_utf8_lossy(&detail).into_owned(),
+        })
+    } else {
+        None
+    };
+
+    let nargs = get_u32(buf)? as usize;
+    ensure(buf, nargs * 8)?;
+    let args = (0..nargs).map(|_| buf.get_i64_le()).collect();
+
+    ensure(buf, 40)?;
+    let stats = RecordStats {
+        space_longs: buf.get_u64_le(),
+        deps: buf.get_u64_le(),
+        runs: buf.get_u64_le(),
+        retries: buf.get_u64_le(),
+        o2_skipped: buf.get_u64_le(),
+    };
+
+    Ok(Recording {
+        deps,
+        runs,
+        signals,
+        nondet,
+        thread_extents,
+        fault,
+        args,
+        stats,
+    })
+}
+
+/// Saves a recording to a file.
+///
+/// # Errors
+///
+/// [`LogError::Io`] on filesystem failures.
+pub fn save_recording(rec: &Recording, path: impl AsRef<Path>) -> Result<(), LogError> {
+    std::fs::write(path, write_recording(rec))?;
+    Ok(())
+}
+
+/// Loads a recording from a file.
+///
+/// # Errors
+///
+/// [`LogError`] on I/O failure or malformed content.
+pub fn load_recording(path: impl AsRef<Path>) -> Result<Recording, LogError> {
+    let data = std::fs::read(path)?;
+    read_recording(&data)
+}
+
+fn remaining(buf: &&[u8]) -> usize {
+    buf.len()
+}
+
+fn ensure(buf: &&[u8], n: usize) -> Result<(), LogError> {
+    if remaining(buf) < n {
+        Err(bad("truncated"))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, LogError> {
+    ensure(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn put_access(buf: &mut BytesMut, id: AccessId) {
+    buf.put_u64_le(id.tid.raw());
+    buf.put_u64_le(id.ctr);
+}
+
+fn get_access(buf: &mut &[u8]) -> Result<AccessId, LogError> {
+    ensure(buf, 16)?;
+    let tid = Tid::from_raw(buf.get_u64_le());
+    let ctr = buf.get_u64_le();
+    Ok(AccessId { tid, ctr })
+}
+
+fn put_opt_access(buf: &mut BytesMut, id: Option<AccessId>) {
+    match id {
+        None => buf.put_u8(0),
+        Some(id) => {
+            buf.put_u8(1);
+            put_access(buf, id);
+        }
+    }
+}
+
+fn get_opt_access(buf: &mut &[u8]) -> Result<Option<AccessId>, LogError> {
+    ensure(buf, 1)?;
+    if buf.get_u8() == 1 {
+        Ok(Some(get_access(buf)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn fault_kind_code(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::NullDeref => 0,
+        FaultKind::DivByZero => 1,
+        FaultKind::IndexOutOfBounds => 2,
+        FaultKind::AssertFailed => 3,
+        FaultKind::MonitorMisuse => 4,
+        FaultKind::Deadlock => 5,
+        FaultKind::TypeError => 6,
+        FaultKind::StackOverflow => 7,
+        FaultKind::StepLimit => 8,
+        FaultKind::Timeout => 9,
+        FaultKind::ReplayDiverged => 10,
+        _ => 255,
+    }
+}
+
+fn fault_kind_from_code(code: u8) -> Result<FaultKind, LogError> {
+    Ok(match code {
+        0 => FaultKind::NullDeref,
+        1 => FaultKind::DivByZero,
+        2 => FaultKind::IndexOutOfBounds,
+        3 => FaultKind::AssertFailed,
+        4 => FaultKind::MonitorMisuse,
+        5 => FaultKind::Deadlock,
+        6 => FaultKind::TypeError,
+        7 => FaultKind::StackOverflow,
+        8 => FaultKind::StepLimit,
+        9 => FaultKind::Timeout,
+        10 => FaultKind::ReplayDiverged,
+        other => return Err(LogError::Malformed(format!("unknown fault kind {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Recording {
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        let mut nondet = HashMap::new();
+        nondet.insert(t1, vec![1, -2, 3]);
+        Recording {
+            deps: vec![DepEdge {
+                loc: 42,
+                w: Some(AccessId::new(t1, 7)),
+                r_tid: t2,
+                r_first: 3,
+                r_last: 9,
+            }],
+            runs: vec![RunRec {
+                loc: 43,
+                tid: t2,
+                w0: None,
+                first: 10,
+                last: 20,
+                write_ctrs: vec![10, 15],
+            }],
+            signals: vec![SignalEdge {
+                notify: AccessId::new(t1, 8),
+                wait_after: AccessId::new(t2, 21),
+            }],
+            nondet,
+            thread_extents: [(t1, 9u64), (t2, 22u64)].into_iter().collect(),
+            fault: Some(FaultReport {
+                tid: t2,
+                ctr: 22,
+                instr: InstrId {
+                    func: FuncId(1),
+                    block: BlockId(2),
+                    idx: 3,
+                },
+                line: 14,
+                kind: FaultKind::NullDeref,
+                value: Value::NULL,
+                detail: "x.f with x null".into(),
+            }),
+            args: vec![100, -5],
+            stats: RecordStats {
+                space_longs: 17,
+                deps: 1,
+                runs: 1,
+                retries: 2,
+                o2_skipped: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let rec = sample();
+        let bytes = write_recording(&rec);
+        let back = read_recording(&bytes).unwrap();
+        assert_eq!(back.deps, rec.deps);
+        assert_eq!(back.runs, rec.runs);
+        assert_eq!(back.signals, rec.signals);
+        assert_eq!(back.nondet, rec.nondet);
+        assert_eq!(back.thread_extents, rec.thread_extents);
+        assert_eq!(back.fault, rec.fault);
+        assert_eq!(back.args, rec.args);
+        assert_eq!(back.stats, rec.stats);
+    }
+
+    #[test]
+    fn empty_recording_round_trips() {
+        let rec = Recording::default();
+        let back = read_recording(&write_recording(&rec)).unwrap();
+        assert!(back.deps.is_empty());
+        assert!(back.fault.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_recording(b"not a log").is_err());
+        assert!(read_recording(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = write_recording(&sample());
+        for cut in [4usize, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                read_recording(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let rec = sample();
+        let dir = std::env::temp_dir().join(format!("light-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rec.bin");
+        save_recording(&rec, &path).unwrap();
+        let back = load_recording(&path).unwrap();
+        assert_eq!(back.deps, rec.deps);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

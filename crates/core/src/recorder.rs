@@ -1,0 +1,791 @@
+//! The Light recording algorithm (paper Algorithm 1 plus the Section 4.3
+//! extensions and optimizations).
+//!
+//! - **Last-write map with lock striping.** Writes execute inside an atomic
+//!   block that also updates the location's last write (`lw ← c`);
+//!   atomicity uses 256 pre-allocated striped locks, as in the paper.
+//! - **Speculative read matching.** A read samples `lw`, performs the
+//!   load, re-samples `lw`, and retries on mismatch — the optimistic loop
+//!   of Section 2.3, requiring no blocking on the read path.
+//! - **Thread-local dependence buffers.** Detected dependences are pushed
+//!   into per-OS-thread buffers with *no synchronization*, merged only at
+//!   thread exit (the paper's key cost saving over Leap/Stride).
+//! - **`prec` + O1 (Lemma 4.3).** Consecutive same-thread accesses to a
+//!   location whose observed last write stays within the sequence collapse
+//!   into a single record (a [`DepEdge`] read range or a [`RunRec`]).
+//! - **O2 (Lemma 4.2).** Accesses to statically lock-guarded locations are
+//!   not recorded at all; the monitor ghost dependences subsume them.
+//! - **Synchronization as ghost accesses (Section 4.3).** Monitor
+//!   enter/exit, wait/notify and thread start/join/end are modeled as
+//!   reads/writes of ghost locations and flow through the same machinery,
+//!   so lock orders are captured as flow dependences.
+
+use crate::fastmap::FastMap;
+use crate::recording::{AccessId, DepEdge, Recording, RecordStats, RunRec, SignalEdge};
+use light_runtime::{AccessKind, Loc, Recorder, SyncEvent, Tid};
+use lir::InstrId;
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const STRIPES: usize = 256;
+
+/// Packs an access id into one word for the last-write table: 24 bits of
+/// thread id, 40 bits of counter. Checked in debug builds; the limits are
+/// far beyond any workload in this repository.
+fn pack(id: AccessId) -> u64 {
+    debug_assert!(id.tid.raw() < (1 << 24) && id.ctr < (1 << 40));
+    (id.tid.raw() << 40) | id.ctr
+}
+
+fn unpack(packed: u64) -> AccessId {
+    AccessId::new(Tid::from_raw(packed >> 40), packed & ((1 << 40) - 1))
+}
+
+/// Variant configuration (Section 5.4's `V_basic` / `V_O1` / `V_both`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LightConfig {
+    /// O1: merge same-thread non-interleaved sequences across writes.
+    /// When off, only Algorithm 1's `prec` read-collapsing applies.
+    pub o1: bool,
+    /// O2: skip recording for consistently lock-guarded locations.
+    pub o2: bool,
+}
+
+impl Default for LightConfig {
+    fn default() -> Self {
+        Self { o1: true, o2: true }
+    }
+}
+
+impl LightConfig {
+    /// Algorithm 1 only (`V_basic`).
+    pub fn basic() -> Self {
+        Self {
+            o1: false,
+            o2: false,
+        }
+    }
+
+    /// Algorithm 1 + O1 (`V_O1`).
+    pub fn o1_only() -> Self {
+        Self { o1: true, o2: false }
+    }
+}
+
+struct OpenRun {
+    loc: u64,
+    w0: Option<AccessId>,
+    first: u64,
+    last: u64,
+    own_last_write: Option<u64>,
+    write_ctrs: Vec<u64>,
+}
+
+#[derive(Default)]
+struct TlsBuf {
+    recorder_id: u64,
+    tid: Tid,
+    deps: Vec<DepEdge>,
+    runs: Vec<RunRec>,
+    signals: Vec<SignalEdge>,
+    nondet: Vec<i64>,
+    /// Direct-mapped table of open runs (the `prec` state of Algorithm 1
+    /// plus O1's open sequences). Fixed-size: a colliding location evicts
+    /// the previous occupant by closing its run. This bounds the
+    /// per-access cost at a small constant regardless of footprint.
+    slots: Vec<Option<OpenRun>>,
+    retries: u64,
+    o2_skipped: u64,
+    max_ctr: u64,
+    spilled_deps: u64,
+    spilled_runs: u64,
+    spilled_words: u64,
+}
+
+const RUN_SLOTS: usize = 256;
+
+impl TlsBuf {
+    fn slot_of(key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56) as usize % RUN_SLOTS
+    }
+
+    /// Returns the slot index for `key`, evicting (closing) a colliding
+    /// occupant first.
+    fn focus(&mut self, key: u64) -> usize {
+        if self.slots.is_empty() {
+            self.slots = (0..RUN_SLOTS).map(|_| None).collect();
+        }
+        let idx = Self::slot_of(key);
+        let evict = matches!(&self.slots[idx], Some(run) if run.loc != key);
+        if evict {
+            let old = self.slots[idx].take().expect("matched above");
+            LightRecorder::close_run(self, old);
+        }
+        idx
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<Option<TlsBuf>> = const { RefCell::new(None) };
+}
+
+#[derive(Default)]
+struct Central {
+    deps: Vec<DepEdge>,
+    runs: Vec<RunRec>,
+    signals: Vec<SignalEdge>,
+    nondet: HashMap<Tid, Vec<i64>>,
+    retries: u64,
+    o2_skipped: u64,
+    extents: HashMap<Tid, u64>,
+    spilled_deps: u64,
+    spilled_runs: u64,
+    spilled_words: u64,
+}
+
+static RECORDER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The Light recorder: plug into
+/// [`light_runtime::ExecConfig::recorder`] for the original run.
+pub struct LightRecorder {
+    id: u64,
+    config: LightConfig,
+    /// Fields whose accesses O2 elides (raw `FieldId`s).
+    guarded_fields: std::collections::HashSet<u32>,
+    /// Globals whose accesses O2 elides (raw `GlobalId`s).
+    guarded_globals: std::collections::HashSet<u32>,
+    /// Last-write map: location key -> packed access id. Reads take the
+    /// shared side of the stripe's `RwLock` (the paper's volatile read);
+    /// writes take the exclusive side (the paper's striped atomic block).
+    lw: Vec<RwLock<FastMap<u64, u64>>>,
+    central: Mutex<Central>,
+    /// Optional disk sink: thread-local buffers flush here when they reach
+    /// `spill_threshold` records (the paper's measurement configuration).
+    spill: Option<Arc<crate::spill::SpillSink>>,
+    spill_threshold: usize,
+}
+
+impl LightRecorder {
+    /// Creates a recorder. `guarded_*` come from the lockset analysis and
+    /// are ignored unless `config.o2` is set.
+    pub fn new(
+        config: LightConfig,
+        guarded_fields: std::collections::HashSet<u32>,
+        guarded_globals: std::collections::HashSet<u32>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            id: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+            guarded_fields: if config.o2 {
+                guarded_fields
+            } else {
+                Default::default()
+            },
+            guarded_globals: if config.o2 {
+                guarded_globals
+            } else {
+                Default::default()
+            },
+            config,
+            lw: (0..STRIPES).map(|_| RwLock::new(FastMap::default())).collect(),
+            central: Mutex::new(Central::default()),
+            spill: None,
+            spill_threshold: 4096,
+        })
+    }
+
+    /// Enables spill-to-disk: thread-local buffers flush to `sink` when
+    /// they reach `threshold` records and are dropped from memory. Space
+    /// statistics still account for everything. See [`crate::spill`].
+    pub fn with_spill(
+        self: Arc<Self>,
+        sink: Arc<crate::spill::SpillSink>,
+        threshold: usize,
+    ) -> Arc<Self> {
+        let mut inner = Arc::try_unwrap(self).unwrap_or_else(|_| {
+            panic!("with_spill must be called before sharing the recorder")
+        });
+        inner.spill = Some(sink);
+        inner.spill_threshold = threshold.max(1);
+        Arc::new(inner)
+    }
+
+    /// Flushes (and drops) a TLS buffer's records to the spill sink,
+    /// keeping only counters. Called when the buffer exceeds the spill
+    /// threshold, and at thread exit.
+    fn spill_buf(&self, buf: &mut TlsBuf) {
+        let Some(sink) = &self.spill else { return };
+        let mut words: Vec<u64> = Vec::with_capacity(buf.deps.len() * 3 + buf.runs.len() * 4);
+        for d in buf.deps.drain(..) {
+            words.push(d.w.map(pack).unwrap_or(u64::MAX));
+            words.push(pack(AccessId::new(d.r_tid, d.r_first)));
+            if d.r_last != d.r_first {
+                words.push(d.r_last);
+            }
+            buf.spilled_deps += 1;
+        }
+        for r in buf.runs.drain(..) {
+            words.push(r.w0.map(pack).unwrap_or(u64::MAX));
+            words.push(pack(AccessId::new(r.tid, r.first)));
+            words.push(r.last);
+            words.extend(r.write_ctrs.iter().copied());
+            buf.spilled_runs += 1;
+        }
+        buf.spilled_words += words.len() as u64;
+        sink.write_longs(&words);
+    }
+
+    /// Extracts the recording after the run completes (all LIR threads
+    /// have exited and flushed their buffers).
+    pub fn take_recording(
+        &self,
+        fault: Option<light_runtime::FaultReport>,
+        args: &[i64],
+    ) -> Recording {
+        let central = std::mem::take(&mut *self.central.lock());
+        // Long-integer units, assuming the same per-location grouped log
+        // layout Leap's unit (1 long per access) assumes: a dependence is
+        // the packed writer id plus the reader counter (+1 when the prec
+        // range end differs); a run is w0 + endpoints + its interior write
+        // counters.
+        let mut space = 0u64;
+        for d in &central.deps {
+            space += 2 + u64::from(d.r_last != d.r_first);
+        }
+        for r in &central.runs {
+            space += 3 + r.write_ctrs.len() as u64;
+        }
+        space += central.signals.len() as u64 * 2;
+        space += central.nondet.values().map(|v| v.len() as u64).sum::<u64>();
+        space += central.spilled_words;
+        let stats = RecordStats {
+            space_longs: space,
+            deps: central.deps.len() as u64 + central.spilled_deps,
+            runs: central.runs.len() as u64 + central.spilled_runs,
+            retries: central.retries,
+            o2_skipped: central.o2_skipped,
+        };
+        Recording {
+            deps: central.deps,
+            runs: central.runs,
+            signals: central.signals,
+            nondet: central.nondet,
+            thread_extents: central.extents,
+            fault,
+            args: args.to_vec(),
+            stats,
+        }
+    }
+
+    fn stripe(&self, key: u64) -> &RwLock<FastMap<u64, u64>> {
+        // Multiplicative hash on the location key, as the paper hashes on
+        // the field offset.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
+        &self.lw[(h as usize) % STRIPES]
+    }
+
+    fn lw_get(&self, key: u64) -> Option<AccessId> {
+        self.stripe(key).read().get(&key).copied().map(unpack)
+    }
+
+    /// Advances `tid`'s recorded event frontier without recording anything
+    /// else. Wrapper recorders that deliberately skip some events (e.g. the
+    /// sync-only Chimera recorder) must still report every counted event
+    /// here, or replay would park threads before their true frontier.
+    pub fn note_event(&self, tid: Tid, ctr: u64) {
+        self.with_tls(tid, |buf| buf.max_ctr = buf.max_ctr.max(ctr));
+    }
+
+    fn with_tls<R>(&self, tid: Tid, f: impl FnOnce(&mut TlsBuf) -> R) -> R {
+        TLS.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let needs_init = match slot.as_ref() {
+                Some(buf) => buf.recorder_id != self.id || buf.tid != tid,
+                None => true,
+            };
+            if needs_init {
+                *slot = Some(TlsBuf {
+                    recorder_id: self.id,
+                    tid,
+                    ..TlsBuf::default()
+                });
+            }
+            f(slot.as_mut().expect("initialized above"))
+        })
+    }
+
+    fn maybe_spill(&self, buf: &mut TlsBuf) {
+        if self.spill.is_some() && buf.deps.len() + buf.runs.len() >= self.spill_threshold {
+            self.spill_buf(buf);
+        }
+    }
+
+    fn close_run(buf: &mut TlsBuf, mut run: OpenRun) {
+        if run.write_ctrs.is_empty() {
+            buf.deps.push(DepEdge {
+                loc: run.loc,
+                w: run.w0,
+                r_tid: buf.tid,
+                r_first: run.first,
+                r_last: run.last,
+            });
+            return;
+        }
+        // Ghost locations (monitors, thread lifecycles): every operation
+        // updates the last-write word, so a foreign dependence can only
+        // ever target the run's *last* own write — interior write counters
+        // are useless for dependence splitting, and ghost events are never
+        // blind-suppressed, so the replay allow-list is unnecessary too.
+        // Keep only the first and last own writes (used by the constraint
+        // generator's unit rules): a merged lock-region sequence then costs
+        // O(1) space however long it ran (Lemma 4.3 at full strength).
+        let is_ghost = matches!(run.loc & 7, 4 | 5);
+        if is_ghost && run.write_ctrs.len() > 2 {
+            let first = *run.write_ctrs.first().expect("nonempty");
+            let last = *run.write_ctrs.last().expect("nonempty");
+            run.write_ctrs = vec![first, last];
+        }
+        // A lone write with no observed readers of its own and no external
+        // source is a blind-write candidate: record nothing. If a foreign
+        // reader depends on it, the reader's own dependence record keeps it
+        // alive in the replay schedule.
+        if run.w0.is_none() && run.write_ctrs.len() == 1 && run.first == run.last {
+            return;
+        }
+        buf.runs.push(RunRec {
+            loc: run.loc,
+            tid: buf.tid,
+            w0: run.w0,
+            first: run.first,
+            last: run.last,
+            write_ctrs: run.write_ctrs,
+        });
+    }
+
+    /// Whether `lw` (the observed last write) belongs to the open run.
+    fn continues(buf_tid: Tid, run: &OpenRun, lw: Option<AccessId>) -> bool {
+        match run.own_last_write {
+            Some(w) => lw == Some(AccessId::new(buf_tid, w)),
+            None => lw == run.w0,
+        }
+    }
+
+    fn record_read(&self, tid: Tid, ctr: u64, key: u64, lw: Option<AccessId>) {
+        self.with_tls(tid, |buf| {
+            buf.max_ctr = buf.max_ctr.max(ctr);
+            let idx = buf.focus(key);
+            if let Some(run) = &mut buf.slots[idx] {
+                if Self::continues(tid, run, lw) {
+                    run.last = ctr;
+                    return;
+                }
+                let closed = buf.slots[idx].take().expect("checked");
+                Self::close_run(buf, closed);
+            }
+            buf.slots[idx] = Some(OpenRun {
+                loc: key,
+                w0: lw,
+                first: ctr,
+                last: ctr,
+                own_last_write: None,
+                write_ctrs: Vec::new(),
+            });
+            self.maybe_spill(buf);
+        });
+    }
+
+    fn record_write(&self, tid: Tid, ctr: u64, key: u64, prev: Option<AccessId>, reads: bool) {
+        self.with_tls(tid, |buf| {
+            buf.max_ctr = buf.max_ctr.max(ctr);
+            let extend = self.config.o1 || reads;
+            let idx = buf.focus(key);
+            if let Some(run) = &mut buf.slots[idx] {
+                if extend && Self::continues(tid, run, prev) {
+                    run.last = ctr;
+                    run.own_last_write = Some(ctr);
+                    run.write_ctrs.push(ctr);
+                    return;
+                }
+                let closed = buf.slots[idx].take().expect("checked");
+                Self::close_run(buf, closed);
+            }
+            buf.slots[idx] = Some(OpenRun {
+                loc: key,
+                w0: if reads { prev } else { None },
+                first: ctr,
+                last: ctr,
+                own_last_write: Some(ctr),
+                write_ctrs: vec![ctr],
+            });
+            self.maybe_spill(buf);
+        });
+    }
+
+    /// Ghost read-modify-write used by monitor/thread events: updates the
+    /// last write under the stripe lock and records the dependence.
+    fn ghost_rw(&self, tid: Tid, ctr: u64, key: u64) {
+        let me = AccessId::new(tid, ctr);
+        let prev = self.stripe(key).write().insert(key, pack(me)).map(unpack);
+        self.record_write(tid, ctr, key, prev, true);
+    }
+
+    fn ghost_write(&self, tid: Tid, ctr: u64, key: u64) {
+        let me = AccessId::new(tid, ctr);
+        let prev = self.stripe(key).write().insert(key, pack(me)).map(unpack);
+        self.record_write(tid, ctr, key, prev, false);
+    }
+
+    fn ghost_read(&self, tid: Tid, ctr: u64, key: u64) {
+        let lw = self.lw_get(key);
+        self.record_read(tid, ctr, key, lw);
+    }
+
+    fn is_guarded(&self, loc: &Loc) -> bool {
+        match loc {
+            Loc::Field(_, f) => self.guarded_fields.contains(&f.0),
+            Loc::Global(g) => self.guarded_globals.contains(&g.0),
+            _ => false,
+        }
+    }
+}
+
+impl Recorder for LightRecorder {
+    fn on_access(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        loc: Loc,
+        kind: AccessKind,
+        guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        if (guarded && self.config.o2) || self.is_guarded(&loc) {
+            // O2: the lock ghost dependences subsume this location.
+            self.with_tls(tid, |buf| {
+                buf.o2_skipped += 1;
+                buf.max_ctr = buf.max_ctr.max(ctr);
+            });
+            return op();
+        }
+        let key = loc.key();
+        let me = AccessId::new(tid, ctr);
+        match kind {
+            AccessKind::Read => {
+                // The paper's optimistic retry loop validates that `lw` is
+                // unchanged across the load. On this substrate shared
+                // read-locks are cheap, so the same atomicity comes from
+                // holding the stripe's read side across the load: writers
+                // (who update `lw` under the write side) cannot interleave,
+                // while concurrent readers still proceed in parallel.
+                let (value, lw) = {
+                    let shard = self.stripe(key).read();
+                    let v = op();
+                    (v, shard.get(&key).copied().map(unpack))
+                };
+                self.record_read(tid, ctr, key, lw);
+                value
+            }
+            AccessKind::Write => {
+                // atomic { o.f = v ; lw ← c } under the stripe lock.
+                let (value, prev) = {
+                    let mut shard = self.stripe(key).write();
+                    let v = op();
+                    let prev = shard.insert(key, pack(me));
+                    (v, prev.map(unpack))
+                };
+                self.record_write(tid, ctr, key, prev, false);
+                value
+            }
+            AccessKind::ReadWrite => {
+                let (value, prev) = {
+                    let mut shard = self.stripe(key).write();
+                    let prev = shard.get(&key).copied().map(unpack);
+                    let v = op();
+                    shard.insert(key, pack(me));
+                    (v, prev)
+                };
+                self.record_write(tid, ctr, key, prev, true);
+                value
+            }
+        }
+    }
+
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, _instr: InstrId) {
+        match ev {
+            SyncEvent::MonitorEnter { obj } | SyncEvent::Notify { obj, .. } => {
+                self.ghost_rw(tid, ctr, Loc::Monitor(obj).key());
+            }
+            SyncEvent::MonitorExit { obj } | SyncEvent::WaitBefore { obj } => {
+                self.ghost_write(tid, ctr, Loc::Monitor(obj).key());
+            }
+            SyncEvent::WaitAfter { obj, notifier } => {
+                self.ghost_rw(tid, ctr, Loc::Monitor(obj).key());
+                if let Some((ntid, nctr)) = notifier {
+                    self.with_tls(tid, |buf| {
+                        buf.signals.push(SignalEdge {
+                            notify: AccessId::new(ntid, nctr),
+                            wait_after: AccessId::new(tid, ctr),
+                        });
+                    });
+                }
+            }
+            SyncEvent::Spawn { child } => {
+                self.ghost_write(tid, ctr, Loc::ThreadLife(child).key());
+            }
+            SyncEvent::ThreadStart { .. } => {
+                self.ghost_read(tid, ctr, Loc::ThreadLife(tid).key());
+            }
+            SyncEvent::Join { child, .. } => {
+                self.ghost_read(tid, ctr, Loc::ThreadLife(child).key());
+            }
+            SyncEvent::ThreadEnd => {
+                self.ghost_write(tid, ctr, Loc::ThreadLife(tid).key());
+            }
+        }
+    }
+
+    fn on_nondet(&self, tid: Tid, value: i64) {
+        self.with_tls(tid, |buf| buf.nondet.push(value));
+    }
+
+    fn on_thread_exit(&self, tid: Tid) {
+        let buf = TLS.with(|cell| cell.borrow_mut().take());
+        let Some(mut buf) = buf else { return };
+        if buf.recorder_id != self.id {
+            return;
+        }
+        let open: Vec<OpenRun> = buf.slots.iter_mut().filter_map(Option::take).collect();
+        for run in open {
+            Self::close_run(&mut buf, run);
+        }
+        if self.spill.is_some() {
+            self.spill_buf(&mut buf);
+        }
+        let mut central = self.central.lock();
+        central.deps.append(&mut buf.deps);
+        central.runs.append(&mut buf.runs);
+        central.signals.append(&mut buf.signals);
+        if !buf.nondet.is_empty() {
+            central.nondet.insert(tid, std::mem::take(&mut buf.nondet));
+        }
+        central.retries += buf.retries;
+        central.o2_skipped += buf.o2_skipped;
+        central.extents.insert(tid, buf.max_ctr);
+        central.spilled_deps += buf.spilled_deps;
+        central.spilled_runs += buf.spilled_runs;
+        central.spilled_words += buf.spilled_words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::ObjId;
+    use lir::{BlockId, FieldId, FuncId};
+
+    fn iid() -> InstrId {
+        InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        }
+    }
+
+    fn field_loc() -> Loc {
+        Loc::Field(ObjId(1), FieldId(0))
+    }
+
+    fn read(rec: &LightRecorder, tid: Tid, ctr: u64, loc: Loc) -> u64 {
+        rec.on_access(tid, ctr, loc, AccessKind::Read, false, iid(), &mut || 7)
+    }
+
+    fn write(rec: &LightRecorder, tid: Tid, ctr: u64, loc: Loc) -> u64 {
+        rec.on_access(tid, ctr, loc, AccessKind::Write, false, iid(), &mut || 7)
+    }
+
+    fn finish(rec: &LightRecorder, tids: &[Tid]) -> Recording {
+        for &t in tids {
+            rec.on_thread_exit(t);
+        }
+        rec.take_recording(None, &[])
+    }
+
+    /// NOTE: these unit tests drive the recorder from a single OS thread,
+    /// simulating multiple LIR threads by flushing between switches (the
+    /// TLS buffer is re-keyed per tid by `with_tls`).
+    #[test]
+    fn cross_thread_dependence_is_recorded() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        write(&rec, t1, 1, field_loc());
+        rec.on_thread_exit(t1);
+        read(&rec, t2, 1, field_loc());
+        let recording = finish(&rec, &[t2]);
+        assert_eq!(recording.deps.len(), 1);
+        let d = recording.deps[0];
+        assert_eq!(d.w, Some(AccessId::new(t1, 1)));
+        assert_eq!(d.r_tid, t2);
+        assert_eq!((d.r_first, d.r_last), (1, 1));
+    }
+
+    #[test]
+    fn prec_collapses_consecutive_reads_of_same_write() {
+        let rec = LightRecorder::new(LightConfig::basic(), Default::default(), Default::default());
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        write(&rec, t1, 1, field_loc());
+        rec.on_thread_exit(t1);
+        for c in 1..=10 {
+            read(&rec, t2, c, field_loc());
+        }
+        let recording = finish(&rec, &[t2]);
+        assert_eq!(recording.deps.len(), 1, "prec must collapse the reads");
+        assert_eq!(recording.deps[0].r_first, 1);
+        assert_eq!(recording.deps[0].r_last, 10);
+    }
+
+    #[test]
+    fn o1_merges_across_own_writes() {
+        let rec = LightRecorder::new(
+            LightConfig { o1: true, o2: false },
+            Default::default(),
+            Default::default(),
+        );
+        let t = Tid::ROOT.child(0);
+        // W R W R — non-interleaved same-thread sequence.
+        write(&rec, t, 1, field_loc());
+        read(&rec, t, 2, field_loc());
+        write(&rec, t, 3, field_loc());
+        read(&rec, t, 4, field_loc());
+        let recording = finish(&rec, &[t]);
+        assert_eq!(recording.deps.len(), 0);
+        assert_eq!(recording.runs.len(), 1);
+        let run = &recording.runs[0];
+        assert_eq!((run.first, run.last), (1, 4));
+        assert_eq!(run.write_ctrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn basic_mode_splits_at_own_writes() {
+        let rec = LightRecorder::new(LightConfig::basic(), Default::default(), Default::default());
+        let t = Tid::ROOT.child(0);
+        write(&rec, t, 1, field_loc());
+        read(&rec, t, 2, field_loc());
+        write(&rec, t, 3, field_loc());
+        read(&rec, t, 4, field_loc());
+        let recording = finish(&rec, &[t]);
+        // Two single-write runs, each with its trailing read.
+        assert_eq!(recording.runs.len(), 2);
+        assert!(recording
+            .runs
+            .iter()
+            .all(|r| r.write_ctrs.len() == 1));
+    }
+
+    #[test]
+    fn interleaving_write_breaks_the_run() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        write(&rec, t1, 1, field_loc());
+        read(&rec, t1, 2, field_loc());
+        rec.on_thread_exit(t1);
+        // t2 writes, then t1-style reads resume under t2's write: simulate
+        // by reading from t1 again in a fresh buffer.
+        write(&rec, t2, 1, field_loc());
+        rec.on_thread_exit(t2);
+        read(&rec, t1, 3, field_loc());
+        let recording = finish(&rec, &[t1]);
+        // t1's run [1,2]; then a dep t2.1 -> t1.3.
+        assert_eq!(recording.runs.len(), 1);
+        assert_eq!(recording.deps.len(), 1);
+        assert_eq!(recording.deps[0].w, Some(AccessId::new(t2, 1)));
+    }
+
+    #[test]
+    fn lone_blind_write_records_nothing() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t = Tid::ROOT.child(0);
+        write(&rec, t, 1, field_loc());
+        let recording = finish(&rec, &[t]);
+        assert_eq!(recording.deps.len(), 0);
+        assert_eq!(recording.runs.len(), 0);
+        assert_eq!(recording.space_longs(), 0);
+    }
+
+    #[test]
+    fn initial_value_read_is_recorded_with_no_writer() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t = Tid::ROOT.child(0);
+        read(&rec, t, 1, field_loc());
+        let recording = finish(&rec, &[t]);
+        assert_eq!(recording.deps.len(), 1);
+        assert_eq!(recording.deps[0].w, None);
+    }
+
+    #[test]
+    fn o2_skips_guarded_fields() {
+        let guarded: std::collections::HashSet<u32> = [0u32].into_iter().collect();
+        let rec = LightRecorder::new(LightConfig::default(), guarded, Default::default());
+        let t = Tid::ROOT.child(0);
+        write(&rec, t, 1, field_loc());
+        read(&rec, t, 2, field_loc());
+        let recording = finish(&rec, &[t]);
+        assert_eq!(recording.deps.len() + recording.runs.len(), 0);
+        assert_eq!(recording.stats.o2_skipped, 2);
+    }
+
+    #[test]
+    fn monitor_events_become_ghost_dependences() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        let obj = ObjId(5);
+        rec.on_sync(t1, 1, SyncEvent::MonitorEnter { obj }, iid());
+        rec.on_sync(t1, 2, SyncEvent::MonitorExit { obj }, iid());
+        rec.on_thread_exit(t1);
+        rec.on_sync(t2, 1, SyncEvent::MonitorEnter { obj }, iid());
+        rec.on_sync(t2, 2, SyncEvent::MonitorExit { obj }, iid());
+        let recording = finish(&rec, &[t2]);
+        // t1's enter+exit merge into one run; t2's enter depends on t1's
+        // exit (directly or via its own run's w0).
+        let t2_records_dep = recording
+            .deps
+            .iter()
+            .any(|d| d.w == Some(AccessId::new(t1, 2)))
+            || recording
+                .runs
+                .iter()
+                .any(|r| r.w0 == Some(AccessId::new(t1, 2)));
+        assert!(t2_records_dep, "{recording:?}");
+    }
+
+    #[test]
+    fn nondet_values_are_collected_per_thread() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t = Tid::ROOT;
+        rec.on_nondet(t, 11);
+        rec.on_nondet(t, 22);
+        let recording = finish(&rec, &[t]);
+        assert_eq!(recording.nondet[&t], vec![11, 22]);
+        assert_eq!(recording.space_longs(), 2);
+    }
+
+    #[test]
+    fn space_accounting_matches_records() {
+        let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        write(&rec, t1, 1, field_loc());
+        read(&rec, t1, 2, field_loc()); // run [1,2] with 1 write: 5 longs
+        rec.on_thread_exit(t1);
+        read(&rec, t2, 1, field_loc()); // dep: 4 longs
+        let recording = finish(&rec, &[t2]);
+        // run [1,2] with one write = 3 + 1; single-read dep = 2.
+        assert_eq!(recording.space_longs(), 4 + 2);
+    }
+}

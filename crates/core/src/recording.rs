@@ -1,0 +1,164 @@
+//! The data model of a Light recording.
+
+use light_runtime::{FaultReport, Tid};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies one instrumented event: a thread and its local counter value
+/// (the `(t, c)` access identifiers of the paper, Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessId {
+    pub tid: Tid,
+    pub ctr: u64,
+}
+
+impl AccessId {
+    /// Builds an access id.
+    pub fn new(tid: Tid, ctr: u64) -> Self {
+        Self { tid, ctr }
+    }
+}
+
+impl fmt::Display for AccessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.tid, self.ctr)
+    }
+}
+
+/// A recorded flow dependence: writer → a consecutive same-thread read
+/// range `[r_first, r_last]` (the `prec` optimization of Algorithm 1 lines
+/// 7–9 collapses consecutive reads of the same write into one record;
+/// `r_first == r_last` for a single read).
+///
+/// `w == None` records reads of a location's *initial* value: no write may
+/// be replayed before them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Dynamic location key (used to group dependences per location when
+    /// building Equation 1; never needed during the replay run itself).
+    pub loc: u64,
+    pub w: Option<AccessId>,
+    pub r_tid: Tid,
+    pub r_first: u64,
+    pub r_last: u64,
+}
+
+/// A recorded non-interleaved same-thread access run (Lemma 4.3, O1): all
+/// events in `[first, last]` of `tid` touch `loc`, starting from external
+/// write `w0` (if any), with own writes at `write_ctrs`. Only the start and
+/// end accesses are ordered during replay; interior accesses run freely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRec {
+    pub loc: u64,
+    pub tid: Tid,
+    pub w0: Option<AccessId>,
+    pub first: u64,
+    pub last: u64,
+    /// Counters of the run's own writes (needed so replay does not
+    /// suppress them as blind, and to split dependences from interior
+    /// writes).
+    pub write_ctrs: Vec<u64>,
+}
+
+/// A notify → wait-after ordering (Section 4.3's wait/notify modeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalEdge {
+    pub notify: AccessId,
+    pub wait_after: AccessId,
+}
+
+/// Aggregate statistics of one recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordStats {
+    /// Space in the paper's unit: the number of long integers recorded.
+    pub space_longs: u64,
+    /// Dependence edges recorded.
+    pub deps: u64,
+    /// Non-interleaved runs recorded.
+    pub runs: u64,
+    /// Speculative read-matching retries (Section 2.3's optimistic loop).
+    pub retries: u64,
+    /// Accesses for which recording was skipped thanks to O2 (lock-guarded
+    /// locations, Lemma 4.2).
+    pub o2_skipped: u64,
+}
+
+/// Everything Light persists about an original run.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    pub deps: Vec<DepEdge>,
+    pub runs: Vec<RunRec>,
+    pub signals: Vec<SignalEdge>,
+    /// Recorded nondeterministic intrinsic values, per thread in call order.
+    pub nondet: HashMap<Tid, Vec<i64>>,
+    /// Per thread, the counter of its last instrumented event — the event
+    /// frontier a replay must not overtake (relevant for runs that halted
+    /// at a fault).
+    pub thread_extents: HashMap<Tid, u64>,
+    /// The fault observed during the original run, if any.
+    pub fault: Option<FaultReport>,
+    /// The entry arguments of the original run.
+    pub args: Vec<i64>,
+    pub stats: RecordStats,
+}
+
+impl Recording {
+    /// Space consumption in Long-integer units (the measure of Figure 5).
+    pub fn space_longs(&self) -> u64 {
+        self.stats.space_longs
+    }
+
+    /// All write access ids participating in any dependence or run — the
+    /// writes that are *not* blind.
+    pub fn mentioned_writes(&self) -> Vec<AccessId> {
+        let mut out = Vec::new();
+        for d in &self.deps {
+            if let Some(w) = d.w {
+                out.push(w);
+            }
+        }
+        for r in &self.runs {
+            if let Some(w) = r.w0 {
+                out.push(w);
+            }
+            for &c in &r.write_ctrs {
+                out.push(AccessId::new(r.tid, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mentioned_writes_cover_deps_and_runs() {
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        let rec = Recording {
+            deps: vec![DepEdge {
+                loc: 1,
+                w: Some(AccessId::new(t1, 5)),
+                r_tid: t2,
+                r_first: 2,
+                r_last: 4,
+            }],
+            runs: vec![RunRec {
+                loc: 1,
+                tid: t2,
+                w0: Some(AccessId::new(t1, 9)),
+                first: 6,
+                last: 9,
+                write_ctrs: vec![7, 8],
+            }],
+            ..Recording::default()
+        };
+        let writes = rec.mentioned_writes();
+        assert!(writes.contains(&AccessId::new(t1, 5)));
+        assert!(writes.contains(&AccessId::new(t1, 9)));
+        assert!(writes.contains(&AccessId::new(t2, 7)));
+        assert!(writes.contains(&AccessId::new(t2, 8)));
+    }
+}

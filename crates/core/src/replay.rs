@@ -1,0 +1,214 @@
+//! The replay phase: schedule computation, controlled re-execution, and
+//! the Theorem 1 correlation check.
+
+use crate::constraints::{ConstraintSystem, ScheduleError};
+use crate::recording::Recording;
+use light_analysis::Analysis;
+use light_runtime::{
+    run, ExecConfig, FaultKind, FaultReport, NondetMode, NullRecorder, ReplaySchedule,
+    RunOutcome, SchedulerSpec, SetupError,
+};
+use light_solver::SolveStats;
+use lir::Program;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options controlling the replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// How long one event may wait for its schedule slot before the run is
+    /// declared divergent.
+    pub gate_timeout: Duration,
+    /// Overall wall-clock budget of the replay run.
+    pub wall_timeout: Duration,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            gate_timeout: Duration::from_secs(10),
+            wall_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The result of a replay attempt.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The replay run's outcome.
+    pub outcome: RunOutcome,
+    /// Whether the replay reproduced the original observation per
+    /// Theorem 1: for a faulting recording, a *correlated* fault (same
+    /// thread, counter, statement, kind and illegal value); for a clean
+    /// recording, a clean replay.
+    pub correlated: bool,
+    /// Solver statistics (the "Solve(s)" column of Table 1).
+    pub solve_stats: SolveStats,
+    /// Number of events in the enforced total order.
+    pub schedule_len: u32,
+}
+
+/// Failure to replay.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The constraint system could not be solved.
+    Schedule(ScheduleError),
+    /// The replay run could not be set up.
+    Setup(SetupError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Schedule(e) => write!(f, "{e}"),
+            ReplayError::Setup(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ScheduleError> for ReplayError {
+    fn from(e: ScheduleError) -> Self {
+        ReplayError::Schedule(e)
+    }
+}
+
+impl From<SetupError> for ReplayError {
+    fn from(e: SetupError) -> Self {
+        ReplayError::Setup(e)
+    }
+}
+
+/// Computes the replay schedule for `recording`, marking the
+/// lock-guarded locations from `analysis` as free (their order is
+/// subsumed by the recorded monitor dependences, Lemma 4.2).
+pub fn compute_schedule(
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+    let sys = ConstraintSystem::build(recording);
+    let (mut schedule, stats) = sys.solve(recording)?;
+    if o2 {
+        for &field in analysis.guarded.fields.keys() {
+            schedule.free_field(field.0);
+        }
+        for &global in analysis.guarded.globals.keys() {
+            schedule.free_global(global.0);
+        }
+    }
+    Ok((schedule, stats))
+}
+
+/// Runs the replay: controlled scheduling, scripted nondeterminism,
+/// wake-all notify semantics.
+///
+/// # Errors
+///
+/// [`ReplayError`] if the schedule cannot be computed or the program has no
+/// entry point; divergence *during* the run surfaces as a
+/// [`FaultKind::ReplayDiverged`] fault in the report instead.
+pub fn replay(
+    program: &Arc<Program>,
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    options: &ReplayOptions,
+) -> Result<ReplayReport, ReplayError> {
+    let (schedule, solve_stats) = compute_schedule(recording, analysis, o2)?;
+    let schedule_len = schedule.ordered_len();
+    let config = ExecConfig {
+        recorder: Arc::new(NullRecorder),
+        scheduler: SchedulerSpec::Controlled {
+            schedule,
+            timeout: options.gate_timeout,
+        },
+        policy: analysis.policy.clone(),
+        nondet: NondetMode::Scripted(recording.nondet.clone()),
+        wake_all_on_notify: true,
+        wall_timeout: options.wall_timeout,
+        ..ExecConfig::default()
+    };
+    let outcome = run(program, &recording.args, config)?;
+    let correlated = faults_correlate(recording.fault.as_ref(), outcome.fault.as_ref());
+    Ok(ReplayReport {
+        outcome,
+        correlated,
+        solve_stats,
+        schedule_len,
+    })
+}
+
+/// Theorem 1's success criterion, with deadlocks compared by kind (a
+/// deadlock has no single faulting statement; the guarantee is that the
+/// replay neither misses nor introduces deadlocks, Section 4.3).
+pub fn faults_correlate(original: Option<&FaultReport>, replayed: Option<&FaultReport>) -> bool {
+    match (original, replayed) {
+        (None, None) => true,
+        (Some(a), Some(b)) => {
+            if a.kind == FaultKind::Deadlock {
+                // Replay of a deadlocked run ends blocked: detected either
+                // as a deadlock (chaos detector) or as a timeout with all
+                // ordered slots consumed.
+                matches!(b.kind, FaultKind::Deadlock | FaultKind::Timeout)
+            } else {
+                a.correlates_with(b)
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::{Tid, Value};
+    use lir::{BlockId, FuncId, InstrId};
+
+    fn fault(kind: FaultKind, ctr: u64) -> FaultReport {
+        FaultReport {
+            tid: Tid::ROOT,
+            ctr,
+            instr: InstrId {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 0,
+            },
+            line: 1,
+            kind,
+            value: Value::NULL,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn clean_runs_correlate() {
+        assert!(faults_correlate(None, None));
+    }
+
+    #[test]
+    fn missing_fault_does_not_correlate() {
+        let f = fault(FaultKind::NullDeref, 3);
+        assert!(!faults_correlate(Some(&f), None));
+        assert!(!faults_correlate(None, Some(&f)));
+    }
+
+    #[test]
+    fn exact_fault_correlates() {
+        let f = fault(FaultKind::NullDeref, 3);
+        assert!(faults_correlate(Some(&f), Some(&f)));
+        let other = fault(FaultKind::NullDeref, 4);
+        assert!(!faults_correlate(Some(&f), Some(&other)));
+    }
+
+    #[test]
+    fn deadlock_correlates_by_kind() {
+        let a = fault(FaultKind::Deadlock, 3);
+        let b = fault(FaultKind::Deadlock, 99);
+        assert!(faults_correlate(Some(&a), Some(&b)));
+        let t = fault(FaultKind::Timeout, 0);
+        assert!(faults_correlate(Some(&a), Some(&t)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Log persistence ("dump to disk") for recorders.
+//!
+//! The paper's measurement methodology configures *all* tools — Light,
+//! Leap and Stride — to buffer recorded data and flush it to disk when the
+//! buffer fills (Section 5.2). Persisting the log is part of a recorder's
+//! real cost, and it scales with recorded volume — which is precisely
+//! where Light's tight bound pays off. [`SpillSink`] is that disk sink:
+//! recorders in spill mode append fixed-width words and drop the entries
+//! from memory.
+//!
+//! Spill mode is measurement-oriented: the in-memory recording returned by
+//! `take_recording` no longer contains the spilled entries (reloading the
+//! file is not implemented), so replay-bound recordings should not enable
+//! it. The overhead harnesses (`light-bench`) always enable it, matching
+//! the paper's setup.
+
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared append-only spill file counting the words written.
+pub struct SpillSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    words: AtomicU64,
+}
+
+impl SpillSink {
+    /// Creates a spill file under the system temp directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn to_temp(prefix: &str) -> std::io::Result<Arc<Self>> {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}.spill",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&path)?;
+        Ok(Arc::new(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+            words: AtomicU64::new(0),
+        }))
+    }
+
+    /// Appends `longs` to the file.
+    pub fn write_longs(&self, longs: &[u64]) {
+        let mut writer = self.writer.lock();
+        for &l in longs {
+            // Ignore I/O errors during measurement; the words counter still
+            // reflects attempted volume.
+            let _ = writer.write_all(&l.to_le_bytes());
+        }
+        self.words.fetch_add(longs.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Total words written so far.
+    pub fn words(&self) -> u64 {
+        self.words.load(Ordering::Relaxed)
+    }
+
+    /// The file path (useful for diagnostics).
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillSink {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_counts_and_persists_words() {
+        let sink = SpillSink::to_temp("light-test").unwrap();
+        sink.write_longs(&[1, 2, 3]);
+        sink.write_longs(&[4]);
+        assert_eq!(sink.words(), 4);
+        assert!(sink.path().exists());
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let sink = SpillSink::to_temp("light-test").unwrap();
+        let path = sink.path().to_path_buf();
+        sink.write_longs(&[9]);
+        drop(sink);
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,494 @@
+//! End-to-end record/replay tests: Theorem 1's guarantee exercised on real
+//! concurrent LIR programs across schedulers, variants and bug types.
+
+use light_core::{Light, LightConfig};
+use light_runtime::FaultKind;
+use std::sync::Arc;
+
+fn light(src: &str) -> Light {
+    Light::new(Arc::new(lir::parse(src).expect("parse")))
+}
+
+fn light_with(src: &str, config: LightConfig) -> Light {
+    Light::with_config(Arc::new(lir::parse(src).expect("parse")), config)
+}
+
+const RACY_COUNTER: &str = "
+    global total;
+    fn worker(n) {
+        let i = 0;
+        while (i < n) { total = total + 1; i = i + 1; }
+    }
+    fn main(n) {
+        let t1 = spawn worker(n);
+        let t2 = spawn worker(n);
+        join t1; join t2;
+        print(total);
+    }";
+
+#[test]
+fn racy_counter_replays_same_total_under_free_scheduling() {
+    let light = light(RACY_COUNTER);
+    for seed in 0..3 {
+        let (recording, original) = light.record(&[40], seed).unwrap();
+        assert!(original.completed(), "{:?}", original.fault);
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated, "replay fault: {:?}", report.outcome.fault);
+        assert_eq!(original.prints, report.outcome.prints, "seed {seed}");
+    }
+}
+
+#[test]
+fn racy_counter_replays_under_chaos_scheduling() {
+    let light = light(RACY_COUNTER);
+    for seed in 0..5 {
+        let (recording, original) = light.record_chaos(&[10], seed).unwrap();
+        assert!(original.completed());
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated);
+        assert_eq!(original.prints, report.outcome.prints, "seed {seed}");
+    }
+}
+
+const CACHE_STYLE_BUG: &str = "
+    // Cache4j-style bug: get() checks validity, put() can null the entry
+    // in between (atomicity violation -> null dereference).
+    class Cache { field entry; }
+    class Entry { field value; }
+    global cache;
+
+    fn put_fresh() {
+        // Reset: briefly nulls the entry before installing a new one.
+        cache.entry = null;
+        let e = new Entry();
+        e.value = 42;
+        cache.entry = e;
+    }
+
+    fn get_value() {
+        let e = cache.entry;
+        if (e != null) {
+            return e.value;
+        }
+        return 0;
+    }
+
+    fn reader() {
+        let i = 0;
+        while (i < 8) {
+            let e = cache.entry;
+            if (e != null) {
+                // TOCTOU window: the writer may null the entry here.
+                let v = cache.entry.value;
+            }
+            i = i + 1;
+        }
+    }
+
+    fn writer() {
+        let i = 0;
+        while (i < 8) { put_fresh(); i = i + 1; }
+    }
+
+    fn main() {
+        cache = new Cache();
+        put_fresh();
+        let t1 = spawn writer();
+        let t2 = spawn reader();
+        join t1; join t2;
+    }";
+
+#[test]
+fn null_deref_bug_is_found_and_replayed_with_correlation() {
+    let light = light(CACHE_STYLE_BUG);
+    let (recording, original) = light
+        .find_bug(&[], 0..60)
+        .expect("chaos search must expose the TOCTOU bug");
+    let fault = original.fault.as_ref().unwrap();
+    assert_eq!(fault.kind, FaultKind::NullDeref);
+
+    let report = light.replay(&recording).unwrap();
+    let replay_fault = report.outcome.fault.as_ref().expect("bug must replay");
+    assert!(
+        report.correlated,
+        "original {fault} vs replay {replay_fault}"
+    );
+    // Correlation per Definition 3.3: same thread, counter, statement.
+    assert_eq!(replay_fault.tid, fault.tid);
+    assert_eq!(replay_fault.ctr, fault.ctr);
+    assert_eq!(replay_fault.instr, fault.instr);
+}
+
+#[test]
+fn bug_replay_is_repeatable() {
+    let light = light(CACHE_STYLE_BUG);
+    let (recording, _) = light.find_bug(&[], 0..60).expect("bug");
+    for _ in 0..3 {
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated);
+    }
+}
+
+const WAIT_NOTIFY_PIPELINE: &str = "
+    global mon; global stage; global result;
+    class M { field pad; }
+    fn producer(v) {
+        sync (mon) {
+            stage = v;
+            notify_all(mon);
+        }
+    }
+    fn consumer() {
+        sync (mon) {
+            while (stage == 0) { wait(mon); }
+            result = stage * 10;
+        }
+    }
+    fn main() {
+        mon = new M();
+        let c = spawn consumer();
+        let p = spawn producer(7);
+        join p; join c;
+        print(result);
+    }";
+
+#[test]
+fn wait_notify_program_replays() {
+    let light = light(WAIT_NOTIFY_PIPELINE);
+    for seed in 0..6 {
+        let (recording, original) = light.record_chaos(&[], seed).unwrap();
+        assert!(original.completed(), "seed {seed}: {:?}", original.fault);
+        let report = light.replay(&recording).unwrap();
+        assert!(
+            report.correlated,
+            "seed {seed}: {:?}",
+            report.outcome.fault
+        );
+        assert_eq!(original.prints, report.outcome.prints);
+    }
+}
+
+const NONDET_PROGRAM: &str = "
+    global sum;
+    fn worker(k) {
+        let r = rand(100);
+        let t = time();
+        sum = sum + r + t * k;
+    }
+    fn main() {
+        let t1 = spawn worker(1);
+        let t2 = spawn worker(2);
+        join t1; join t2;
+        print(sum);
+    }";
+
+#[test]
+fn nondeterministic_intrinsics_replay_recorded_values() {
+    let light = light(NONDET_PROGRAM);
+    for seed in 0..4 {
+        let (recording, original) = light.record(&[], seed).unwrap();
+        assert!(!recording.nondet.is_empty());
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated);
+        assert_eq!(original.prints, report.outcome.prints, "seed {seed}");
+    }
+}
+
+const MAP_PROGRAM: &str = "
+    global table; global hits;
+    fn put_worker(base) {
+        let i = 0;
+        while (i < 10) {
+            map_put(table, base + i, hash(base + i));
+            i = i + 1;
+        }
+    }
+    fn get_worker() {
+        let i = 0;
+        while (i < 20) {
+            if (map_contains(table, i)) { hits = hits + 1; }
+            i = i + 1;
+        }
+    }
+    fn main() {
+        table = map_new();
+        let t1 = spawn put_worker(0);
+        let t2 = spawn put_worker(10);
+        let t3 = spawn get_worker();
+        join t1; join t2; join t3;
+        print(map_size(table));
+        print(hits);
+    }";
+
+#[test]
+fn shared_map_program_replays() {
+    let light = light(MAP_PROGRAM);
+    for seed in 0..4 {
+        let (recording, original) = light.record_chaos(&[], seed).unwrap();
+        assert!(original.completed(), "{:?}", original.fault);
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated, "seed {seed}");
+        assert_eq!(original.prints, report.outcome.prints, "seed {seed}");
+    }
+}
+
+const LOCKED_PROGRAM: &str = "
+    global lock; global balance; class L { field pad; }
+    fn deposit(n) {
+        let i = 0;
+        while (i < n) {
+            sync (lock) { balance = balance + 1; }
+            i = i + 1;
+        }
+    }
+    fn main(n) {
+        lock = new L();
+        let t1 = spawn deposit(n);
+        let t2 = spawn deposit(n);
+        join t1; join t2;
+        sync (lock) {
+            print(balance);
+            assert(balance == 2 * n);
+        }
+    }";
+
+#[test]
+fn variants_all_replay_correctly() {
+    for config in [
+        LightConfig::basic(),
+        LightConfig::o1_only(),
+        LightConfig::default(),
+    ] {
+        let light = light_with(LOCKED_PROGRAM, config);
+        let (recording, original) = light.record(&[25], 1).unwrap();
+        assert!(original.completed(), "{config:?}: {:?}", original.fault);
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated, "{config:?}");
+        assert_eq!(original.prints, report.outcome.prints, "{config:?}");
+    }
+}
+
+#[test]
+fn optimizations_reduce_space() {
+    let run_space = |config: LightConfig| {
+        let light = light_with(LOCKED_PROGRAM, config);
+        let (recording, original) = light.record(&[50], 7).unwrap();
+        assert!(original.completed());
+        recording.space_longs()
+    };
+    let basic = run_space(LightConfig::basic());
+    let o1 = run_space(LightConfig::o1_only());
+    let both = run_space(LightConfig::default());
+    assert!(o1 <= basic, "O1 must not increase space: {o1} vs {basic}");
+    assert!(both <= o1, "O2 must not increase space: {both} vs {o1}");
+    assert!(
+        both < basic,
+        "combined optimizations must reduce space: {both} vs {basic}"
+    );
+}
+
+#[test]
+fn o2_skips_guarded_location_recording() {
+    let light = light(LOCKED_PROGRAM);
+    let (recording, _) = light.record(&[20], 3).unwrap();
+    assert!(
+        recording.stats.o2_skipped > 0,
+        "balance is consistently guarded; O2 must fire"
+    );
+}
+
+#[test]
+fn recording_log_round_trips_through_disk() {
+    let light = light(RACY_COUNTER);
+    let (recording, _) = light.record(&[15], 0).unwrap();
+    let dir = std::env::temp_dir().join(format!("light-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("counter.lrec");
+    light_core::save_recording(&recording, &path).unwrap();
+    let loaded = light_core::load_recording(&path).unwrap();
+    assert_eq!(loaded.deps, recording.deps);
+    assert_eq!(loaded.runs, recording.runs);
+    // The loaded recording replays too.
+    let report = light.replay(&loaded).unwrap();
+    assert!(report.correlated);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+const ARRAY_PROGRAM: &str = "
+    global work; global acc;
+    fn filler(lo, hi) {
+        let i = lo;
+        while (i < hi) { work[i] = i * 2; i = i + 1; }
+    }
+    fn summer(n) {
+        let i = 0;
+        while (i < n) { acc = acc + work[i]; i = i + 1; }
+    }
+    fn main(n) {
+        work = new [n];
+        let t1 = spawn filler(0, n / 2);
+        let t2 = spawn filler(n / 2, n);
+        join t1; join t2;
+        let t3 = spawn summer(n);
+        join t3;
+        print(acc);
+    }";
+
+#[test]
+fn shared_array_program_replays() {
+    let light = light(ARRAY_PROGRAM);
+    let (recording, original) = light.record(&[24], 5).unwrap();
+    assert!(original.completed(), "{:?}", original.fault);
+    let report = light.replay(&recording).unwrap();
+    assert!(report.correlated);
+    assert_eq!(original.prints, report.outcome.prints);
+}
+
+const ASSERT_BUG: &str = "
+    global x; global y;
+    fn t1() { x = 1; y = 1; }
+    fn t2() {
+        // Reads x then y while t1 writes x then y: observing y == 1 with a
+        // stale x == 0 requires t1 to run entirely between the two reads.
+        let a = x;
+        let b = y;
+        assert(b <= a);
+    }
+    fn main() {
+        let h1 = spawn t1();
+        let h2 = spawn t2();
+        join h1; join h2;
+    }";
+
+#[test]
+fn assertion_violation_replays_with_same_value() {
+    let light = light(ASSERT_BUG);
+    if let Some((recording, original)) = light.find_bug(&[], 0..80) {
+        let fault = original.fault.unwrap();
+        assert_eq!(fault.kind, FaultKind::AssertFailed);
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated, "{:?}", report.outcome.fault);
+    } else {
+        panic!("chaos search should expose the assertion violation");
+    }
+}
+
+#[test]
+fn clean_runs_have_empty_schedules_when_single_threaded() {
+    let light = light("fn main() { let x = 1 + 2; print(x); }");
+    let (recording, original) = light.record(&[], 0).unwrap();
+    assert!(original.completed());
+    // A single-threaded program still records its thread-lifecycle events,
+    // but replay must succeed trivially.
+    let report = light.replay(&recording).unwrap();
+    assert!(report.correlated);
+    assert_eq!(report.outcome.prints, vec!["3".to_string()]);
+}
+
+#[test]
+fn solver_stats_are_reported() {
+    let light = light(RACY_COUNTER);
+    let (recording, _) = light.record(&[10], 0).unwrap();
+    let report = light.replay(&recording).unwrap();
+    assert!(report.schedule_len > 0);
+    assert!(report.solve_stats.hard_constraints > 0);
+}
+
+const LOCKED_ARRAY_PROGRAM: &str = "
+    global lock; global sums; class L { field pad; }
+    fn worker(id, n) {
+        let i = 0;
+        while (i < n) {
+            sync (lock) { sums[(id + i) % 4] = sums[(id + i) % 4] + 1; }
+            i = i + 1;
+        }
+    }
+    fn main(n) {
+        lock = new L();
+        sums = new [4];
+        let t1 = spawn worker(0, n);
+        let t2 = spawn worker(1, n);
+        join t1; join t2;
+        sync (lock) {
+            let total = sums[0] + sums[1] + sums[2] + sums[3];
+            assert(total == 2 * n);
+            print(total);
+        }
+    }";
+
+#[test]
+fn bulk_o2_elides_guarded_array_recording() {
+    // With O2, the consistently-locked array's accesses are not recorded:
+    // the monitor dependences subsume them (Lemma 4.2 on allocation sites).
+    let with_o2 = light(LOCKED_ARRAY_PROGRAM);
+    assert!(
+        !with_o2.analysis().guarded_allocs.is_empty(),
+        "the sums allocation site must be detected as guarded"
+    );
+    let (rec_o2, out) = with_o2.record(&[30], 3).unwrap();
+    assert!(out.completed(), "{:?}", out.fault);
+
+    let without = light_with(LOCKED_ARRAY_PROGRAM, LightConfig::o1_only());
+    let (rec_plain, out) = without.record(&[30], 3).unwrap();
+    assert!(out.completed());
+
+    // The remaining records are dominated by the monitor ghost
+    // dependences, which O2 keeps by design; the array's own records must
+    // be gone.
+    assert!(
+        rec_o2.space_longs() * 3 < rec_plain.space_longs() * 2,
+        "bulk O2 must cut recording substantially: {} vs {}",
+        rec_o2.space_longs(),
+        rec_plain.space_longs()
+    );
+    assert!(rec_o2.stats.o2_skipped > 0);
+}
+
+#[test]
+fn bulk_o2_recording_still_replays_correlated() {
+    let light = light(LOCKED_ARRAY_PROGRAM);
+    for seed in 0..4 {
+        let (recording, original) = light.record_chaos(&[15], seed).unwrap();
+        assert!(original.completed());
+        let report = light.replay(&recording).unwrap();
+        assert!(report.correlated, "seed {seed}: {:?}", report.outcome.fault);
+        assert_eq!(original.prints, report.outcome.prints, "seed {seed}");
+    }
+}
+
+#[test]
+fn deadlock_is_reproduced_as_blocked_replay() {
+    // Section 4.3: modeling locks as ghost accesses means replay neither
+    // misses recorded deadlocks nor introduces new ones. A replayed
+    // deadlock manifests as a blocked run: every thread parks at its
+    // recorded frontier and the watchdog fires.
+    let src = "
+        global a; global b; class L { field pad; }
+        fn left() { sync (a) { sync (b) { } } }
+        fn right() { sync (b) { sync (a) { } } }
+        fn main() {
+            a = new L();
+            b = new L();
+            let t1 = spawn left();
+            let t2 = spawn right();
+            join t1; join t2;
+        }";
+    let mut light = light(src);
+    light.set_replay_options(light_core::ReplayOptions {
+        gate_timeout: std::time::Duration::from_secs(2),
+        wall_timeout: std::time::Duration::from_secs(3),
+    });
+    let (recording, original) = light
+        .find_bug(&[], 0..40)
+        .expect("some seed must deadlock");
+    assert_eq!(
+        original.fault.as_ref().unwrap().kind,
+        FaultKind::Deadlock
+    );
+    let report = light.replay(&recording).unwrap();
+    assert!(
+        report.correlated,
+        "deadlocked recording must replay as a blocked run: {:?}",
+        report.outcome.fault
+    );
+}

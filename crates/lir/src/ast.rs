@@ -1,0 +1,188 @@
+//! Abstract syntax tree produced by the LIR parser.
+
+use std::fmt;
+
+/// A top-level item in a LIR source file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Class(ClassDecl),
+    Fn(FnDecl),
+    /// `global name;` — a named shared heap cell.
+    Global(String, u32),
+}
+
+/// `class Name { field a; field b; }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    pub name: String,
+    pub fields: Vec<String>,
+    pub line: u32,
+}
+
+/// `fn name(p1, p2) { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A statement with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// The statement forms of LIR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let x = e;`
+    Let(String, Expr),
+    /// `lv = e;`
+    Assign(LValue, Expr),
+    /// `if (c) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `sync (m) { .. }` — Java-style synchronized block.
+    Sync(Expr, Vec<Stmt>),
+    /// `join t;`
+    Join(Expr),
+    /// `wait(m);` — must hold the monitor on `m`.
+    Wait(Expr),
+    /// `notify(m);`
+    Notify(Expr),
+    /// `notify_all(m);`
+    NotifyAll(Expr),
+    /// `assert(e);` — traps when `e` evaluates to 0.
+    Assert(Expr),
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    /// An expression evaluated for effect, e.g. a call.
+    Expr(Expr),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A local variable or a `global`.
+    Var(String),
+    /// `obj.field`
+    Field(Expr, String),
+    /// `arr[idx]`
+    Elem(Expr, Expr),
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Null,
+    /// A local variable or `global` read.
+    Var(String),
+    /// `obj.field`
+    Field(Box<Expr>, String),
+    /// `arr[idx]`
+    Elem(Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuiting `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuiting `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `f(a, b)` — user function or intrinsic.
+    Call(String, Vec<Expr>),
+    /// `spawn f(a, b)` — returns a thread handle.
+    Spawn(String, Vec<Expr>),
+    /// `new C()` — heap allocation.
+    New(String),
+    /// `new [n]` — array allocation of length `n`, zero-initialized.
+    NewArray(Box<Expr>),
+}
+
+/// Binary operators. Comparison operators yield 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Whether the paper's computation-based comparator (CLAP-style) can
+    /// model the operator with a linear-arithmetic solver. Multiplication,
+    /// division, remainder, shifts and bitwise operators over two symbolic
+    /// operands are non-linear.
+    pub fn is_linear(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Sub
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not: `!0 == 1`, `!nonzero == 0`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}

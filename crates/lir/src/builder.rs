@@ -1,0 +1,410 @@
+//! Programmatic construction of IR programs.
+//!
+//! Most workloads in this repository are written in LIR surface syntax, but
+//! generated programs (parameter sweeps, property tests) are easier to build
+//! directly. The builder mirrors the IR one-to-one and performs the same
+//! validation as [`crate::parse`] on [`ProgramBuilder::build`].
+//!
+//! ```
+//! use lir::{ProgramBuilder, Operand, Terminator};
+//! use lir::ast::BinOp;
+//!
+//! # fn main() -> Result<(), lir::Error> {
+//! let mut pb = ProgramBuilder::new();
+//! let g = pb.add_global("sum");
+//! let mut f = pb.func("main", 0);
+//! let tmp = f.fresh();
+//! f.get_global(tmp, g);
+//! let tmp2 = f.fresh();
+//! f.bin(tmp2, BinOp::Add, tmp.into(), Operand::Const(1));
+//! f.set_global(g, tmp2.into());
+//! f.ret(None);
+//! pb.finish_func(f);
+//! let program = pb.build()?;
+//! assert_eq!(program.entry, program.func_by_name("main"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ast::{BinOp, UnOp};
+use crate::error::Error;
+use crate::ir::*;
+use crate::validate::validate;
+
+/// Incrementally builds a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    field_names: Vec<String>,
+    globals: Vec<String>,
+    funcs: Vec<Func>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a class with the given field names, interning them.
+    pub fn add_class(&mut self, name: &str, fields: &[&str]) -> ClassId {
+        let field_ids = fields.iter().map(|f| self.intern_field(f)).collect();
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            name: name.to_owned(),
+            fields: field_ids,
+        });
+        id
+    }
+
+    /// Interns a field name, returning its id.
+    pub fn intern_field(&mut self, name: &str) -> FieldId {
+        if let Some(i) = self.field_names.iter().position(|f| f == name) {
+            return FieldId(i as u32);
+        }
+        let id = FieldId(self.field_names.len() as u32);
+        self.field_names.push(name.to_owned());
+        id
+    }
+
+    /// Declares a global cell.
+    pub fn add_global(&mut self, name: &str) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(name.to_owned());
+        id
+    }
+
+    /// Reserves a function slot so mutually recursive functions can refer to
+    /// each other before their bodies are built. The returned [`FuncId`] is
+    /// valid immediately; the body must later be supplied via a
+    /// [`FuncBuilder`] created with [`ProgramBuilder::func`] using the same
+    /// name and finished with [`ProgramBuilder::finish_func`].
+    pub fn declare_func(&mut self, name: &str, params: u32) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Func {
+            name: name.to_owned(),
+            params,
+            nregs: params,
+            blocks: Vec::new(),
+            line: 0,
+        });
+        id
+    }
+
+    /// Starts building a function body. If `name` was previously declared
+    /// with [`ProgramBuilder::declare_func`], the body fills that slot;
+    /// otherwise a new slot is appended.
+    pub fn func(&mut self, name: &str, params: u32) -> FuncBuilder {
+        let id = match self.funcs.iter().position(|f| f.name == name) {
+            Some(i) => FuncId(i as u32),
+            None => self.declare_func(name, params),
+        };
+        FuncBuilder::new(id, name, params)
+    }
+
+    /// Installs a finished function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder's function slot no longer exists.
+    pub fn finish_func(&mut self, fb: FuncBuilder) {
+        let id = fb.id;
+        let func = fb.into_func();
+        self.funcs[id.index()] = func;
+    }
+
+    /// Finalizes and validates the program. `main`, if declared, becomes the
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error if the constructed IR is malformed.
+    pub fn build(self) -> Result<Program, Error> {
+        let entry = self
+            .funcs
+            .iter()
+            .position(|f| f.name == "main")
+            .map(|i| FuncId(i as u32));
+        let program = Program {
+            classes: self.classes,
+            field_names: self.field_names,
+            globals: self.globals,
+            funcs: self.funcs,
+            entry,
+        };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one function's blocks and instructions.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    id: FuncId,
+    name: String,
+    params: u32,
+    next_reg: u32,
+    blocks: Vec<(Vec<Instr>, Option<Terminator>)>,
+    current: usize,
+}
+
+impl FuncBuilder {
+    fn new(id: FuncId, name: &str, params: u32) -> Self {
+        Self {
+            id,
+            name: name.to_owned(),
+            params,
+            next_reg: params,
+            blocks: vec![(Vec::new(), None)],
+            current: 0,
+        }
+    }
+
+    /// The id this function will occupy in the final program.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.params, "param {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Makes `bb` the target of subsequent emissions.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.current = bb.index();
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn emit(&mut self, instr: Instr) {
+        self.blocks[self.current].0.push(instr);
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Operand) {
+        self.emit(Instr::Move { dst, src });
+    }
+
+    /// `dst = lhs <op> rhs`
+    pub fn bin(&mut self, dst: Reg, op: BinOp, lhs: Operand, rhs: Operand) {
+        self.emit(Instr::Bin { dst, op, lhs, rhs });
+    }
+
+    /// `dst = <op> src`
+    pub fn un(&mut self, dst: Reg, op: UnOp, src: Operand) {
+        self.emit(Instr::Un { dst, op, src });
+    }
+
+    /// `dst = new class`
+    pub fn new_object(&mut self, dst: Reg, class: ClassId) {
+        self.emit(Instr::New { dst, class });
+    }
+
+    /// `dst = new [len]`
+    pub fn new_array(&mut self, dst: Reg, len: Operand) {
+        self.emit(Instr::NewArray { dst, len });
+    }
+
+    /// `dst = obj.field`
+    pub fn get_field(&mut self, dst: Reg, obj: Operand, field: FieldId) {
+        self.emit(Instr::GetField { dst, obj, field });
+    }
+
+    /// `obj.field = value`
+    pub fn set_field(&mut self, obj: Operand, field: FieldId, value: Operand) {
+        self.emit(Instr::SetField { obj, field, value });
+    }
+
+    /// `dst = arr[idx]`
+    pub fn get_elem(&mut self, dst: Reg, arr: Operand, idx: Operand) {
+        self.emit(Instr::GetElem { dst, arr, idx });
+    }
+
+    /// `arr[idx] = value`
+    pub fn set_elem(&mut self, arr: Operand, idx: Operand, value: Operand) {
+        self.emit(Instr::SetElem { arr, idx, value });
+    }
+
+    /// `dst = @global`
+    pub fn get_global(&mut self, dst: Reg, global: GlobalId) {
+        self.emit(Instr::GetGlobal { dst, global });
+    }
+
+    /// `@global = value`
+    pub fn set_global(&mut self, global: GlobalId, value: Operand) {
+        self.emit(Instr::SetGlobal { global, value });
+    }
+
+    /// `dst = call func(args)`
+    pub fn call(&mut self, dst: Option<Reg>, func: FuncId, args: Vec<Operand>) {
+        self.emit(Instr::Call { dst, func, args });
+    }
+
+    /// `dst = intr(args)`
+    pub fn intrinsic(&mut self, dst: Option<Reg>, intr: Intrinsic, args: Vec<Operand>) {
+        self.emit(Instr::Intrinsic { dst, intr, args });
+    }
+
+    /// `dst = spawn func(args)`
+    pub fn spawn(&mut self, dst: Reg, func: FuncId, args: Vec<Operand>) {
+        self.emit(Instr::Spawn { dst, func, args });
+    }
+
+    /// `join handle`
+    pub fn join(&mut self, handle: Operand) {
+        self.emit(Instr::Join { handle });
+    }
+
+    /// `monitor_enter obj`
+    pub fn monitor_enter(&mut self, obj: Operand) {
+        self.emit(Instr::MonitorEnter { obj });
+    }
+
+    /// `monitor_exit obj`
+    pub fn monitor_exit(&mut self, obj: Operand) {
+        self.emit(Instr::MonitorExit { obj });
+    }
+
+    /// `assert cond`
+    pub fn assert(&mut self, cond: Operand) {
+        self.emit(Instr::Assert { cond });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, bb: BlockId) {
+        self.terminate(Terminator::Jump(bb));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let slot = &mut self.blocks[self.current].1;
+        if slot.is_none() {
+            *slot = Some(term);
+        }
+    }
+
+    fn into_func(self) -> Func {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(instrs, term)| {
+                let n = instrs.len();
+                Block {
+                    instrs,
+                    lines: vec![0; n],
+                    term: term.unwrap_or(Terminator::Ret(None)),
+                    term_line: 0,
+                }
+            })
+            .collect();
+        Func {
+            name: self.name,
+            params: self.params,
+            nregs: self.next_reg,
+            blocks,
+            line: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counter_loop() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_global("n");
+        let mut f = pb.func("main", 0);
+        let i = f.fresh();
+        f.mov(i, Operand::Const(0));
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let c = f.fresh();
+        f.bin(c, BinOp::Lt, i.into(), Operand::Const(10));
+        f.branch(c.into(), body, exit);
+        f.switch_to(body);
+        let t = f.fresh();
+        f.get_global(t, g);
+        let t2 = f.fresh();
+        f.bin(t2, BinOp::Add, t.into(), Operand::Const(1));
+        f.set_global(g, t2.into());
+        let i2 = f.fresh();
+        f.bin(i2, BinOp::Add, i.into(), Operand::Const(1));
+        f.mov(i, i2.into());
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build().unwrap();
+        assert_eq!(p.funcs[0].blocks.len(), 4);
+        assert!(p.entry.is_some());
+    }
+
+    #[test]
+    fn mutual_recursion_via_declare() {
+        let mut pb = ProgramBuilder::new();
+        let even = pb.declare_func("even", 1);
+        let odd = pb.declare_func("odd", 1);
+
+        let mut f = pb.func("even", 1);
+        let r = f.fresh();
+        f.call(Some(r), odd, vec![f.param(0).into()]);
+        f.ret(Some(r.into()));
+        pb.finish_func(f);
+
+        let mut f = pb.func("odd", 1);
+        let r = f.fresh();
+        f.call(Some(r), even, vec![f.param(0).into()]);
+        f.ret(Some(r.into()));
+        pb.finish_func(f);
+
+        let p = pb.build().unwrap();
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    #[test]
+    fn build_rejects_invalid_ir() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        // Register never allocated via fresh().
+        f.mov(Reg(9), Operand::Const(1));
+        f.ret(None);
+        pb.finish_func(f);
+        assert!(pb.build().is_err());
+    }
+}

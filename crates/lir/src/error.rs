@@ -1,0 +1,70 @@
+//! Error type shared by the LIR front-end.
+
+use std::fmt;
+
+/// The error returned by every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    /// 1-based source line; 0 when the error has no source position
+    /// (e.g. validation of a builder-constructed program).
+    line: u32,
+    message: String,
+}
+
+/// Broad classification of front-end failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Malformed token stream (unknown character, unterminated comment, ...).
+    Lex,
+    /// Token stream does not match the grammar.
+    Parse,
+    /// Name resolution or other semantic problem during lowering.
+    Lower,
+    /// A constructed [`crate::Program`] violates an IR invariant.
+    Validate,
+}
+
+impl Error {
+    pub(crate) fn new(kind: ErrorKind, line: u32, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The 1-based source line of the error, or 0 if unknown.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The human-readable description, without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Lower => "lowering error",
+            ErrorKind::Validate => "validation error",
+        };
+        if self.line > 0 {
+            write!(f, "{stage} at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{stage}: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}

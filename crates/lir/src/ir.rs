@@ -1,0 +1,567 @@
+//! Three-address IR with explicit basic blocks.
+//!
+//! Every shared-memory event the Light paper instruments is a distinct
+//! instruction here: field/array/global accesses, monitor enter/exit,
+//! `wait`/`notify`, and thread `spawn`/`join`. The interpreter in
+//! `light-runtime` fires an instrumentation hook per such instruction.
+
+use crate::ast::{BinOp, UnOp};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The underlying index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap().to_ascii_lowercase(), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register local to one function.
+    Reg
+);
+id_type!(
+    /// An interned field name. Fields are interned at name granularity
+    /// (Leap's static location abstraction), shared across classes.
+    FieldId
+);
+id_type!(
+    /// A named global heap cell.
+    GlobalId
+);
+id_type!(
+    /// A class (record type) declaration.
+    ClassId
+);
+id_type!(
+    /// A function.
+    FuncId
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId
+);
+
+/// A stable identifier for one static instruction: used by bug reports and
+/// by the static analyses to name program points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrId {
+    pub func: FuncId,
+    pub block: BlockId,
+    /// Index into the block's instruction list; `u32::MAX` denotes the
+    /// block terminator.
+    pub idx: u32,
+}
+
+impl InstrId {
+    /// The sentinel index used for a block terminator.
+    pub const TERM_IDX: u32 = u32::MAX;
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.idx == Self::TERM_IDX {
+            write!(f, "{}:{}:term", self.func, self.block)
+        } else {
+            write!(f, "{}:{}:{}", self.func, self.block, self.idx)
+        }
+    }
+}
+
+/// An instruction operand: a register, an integer constant, or `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Reg(Reg),
+    Const(i64),
+    Null,
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is a compile-time constant (including `null`).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Const(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(v) => write!(f, "{v}"),
+            Operand::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Built-in operations that are not user functions.
+///
+/// The map operations model `java.util.HashMap`-style collections as a
+/// single opaque heap location per map object — the construct the paper
+/// identifies as defeating computation-based replay (CLAP), because solvers
+/// cannot model the hash computation. [`Intrinsic::is_solver_opaque`]
+/// reports exactly that set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// Current time; nondeterministic. Recorded and substituted on replay.
+    Time,
+    /// `rand(bound)` — uniform in `[0, bound)`; nondeterministic, recorded.
+    Rand,
+    /// An opaque hash of its argument (deterministic but non-linear).
+    Hash,
+    /// Debug printing; evaluated for effect.
+    Print,
+    /// Allocates an empty map object.
+    MapNew,
+    /// `map_get(m, k)` — `null` when absent. Reads the map location.
+    MapGet,
+    /// `map_put(m, k, v)` — read-modify-write of the map location.
+    MapPut,
+    /// `map_remove(m, k)` — read-modify-write of the map location.
+    MapRemove,
+    /// `map_contains(m, k)` — 0/1. Reads the map location.
+    MapContains,
+    /// `map_size(m)` — reads the map location.
+    MapSize,
+    /// `len(a)` — array length (immutable; not a shared access).
+    ArrayLen,
+}
+
+impl Intrinsic {
+    /// Resolves a surface-syntax call name to an intrinsic.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "time" => Intrinsic::Time,
+            "rand" => Intrinsic::Rand,
+            "hash" => Intrinsic::Hash,
+            "print" => Intrinsic::Print,
+            "map_new" => Intrinsic::MapNew,
+            "map_get" => Intrinsic::MapGet,
+            "map_put" => Intrinsic::MapPut,
+            "map_remove" => Intrinsic::MapRemove,
+            "map_contains" => Intrinsic::MapContains,
+            "map_size" => Intrinsic::MapSize,
+            "len" => Intrinsic::ArrayLen,
+            _ => return None,
+        })
+    }
+
+    /// The exact number of arguments the intrinsic takes.
+    pub fn arg_count(self) -> usize {
+        match self {
+            Intrinsic::Time | Intrinsic::MapNew => 0,
+            Intrinsic::Rand
+            | Intrinsic::Hash
+            | Intrinsic::Print
+            | Intrinsic::MapSize
+            | Intrinsic::ArrayLen => 1,
+            Intrinsic::MapGet | Intrinsic::MapRemove | Intrinsic::MapContains => 2,
+            Intrinsic::MapPut => 3,
+        }
+    }
+
+    /// Whether the intrinsic produces a value.
+    pub fn has_result(self) -> bool {
+        !matches!(self, Intrinsic::Print)
+    }
+
+    /// Whether an offline symbolic-value analysis (the CLAP-style baseline)
+    /// lacks solver support for this operation. Matches the paper's
+    /// observation that `HashMap`-style data types and hash computations are
+    /// outside linear-arithmetic solver theories.
+    pub fn is_solver_opaque(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Hash
+                | Intrinsic::MapNew
+                | Intrinsic::MapGet
+                | Intrinsic::MapPut
+                | Intrinsic::MapRemove
+                | Intrinsic::MapContains
+                | Intrinsic::MapSize
+        )
+    }
+
+    /// Whether the intrinsic reads nondeterministic input (recorded during
+    /// the original run and substituted during replay — Section 3.2).
+    pub fn is_nondeterministic(self) -> bool {
+        matches!(self, Intrinsic::Time | Intrinsic::Rand)
+    }
+
+    /// The surface-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Time => "time",
+            Intrinsic::Rand => "rand",
+            Intrinsic::Hash => "hash",
+            Intrinsic::Print => "print",
+            Intrinsic::MapNew => "map_new",
+            Intrinsic::MapGet => "map_get",
+            Intrinsic::MapPut => "map_put",
+            Intrinsic::MapRemove => "map_remove",
+            Intrinsic::MapContains => "map_contains",
+            Intrinsic::MapSize => "map_size",
+            Intrinsic::ArrayLen => "len",
+        }
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    Move {
+        dst: Reg,
+        src: Operand,
+    },
+    Un {
+        dst: Reg,
+        op: UnOp,
+        src: Operand,
+    },
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    New {
+        dst: Reg,
+        class: ClassId,
+    },
+    NewArray {
+        dst: Reg,
+        len: Operand,
+    },
+    GetField {
+        dst: Reg,
+        obj: Operand,
+        field: FieldId,
+    },
+    SetField {
+        obj: Operand,
+        field: FieldId,
+        value: Operand,
+    },
+    GetElem {
+        dst: Reg,
+        arr: Operand,
+        idx: Operand,
+    },
+    SetElem {
+        arr: Operand,
+        idx: Operand,
+        value: Operand,
+    },
+    GetGlobal {
+        dst: Reg,
+        global: GlobalId,
+    },
+    SetGlobal {
+        global: GlobalId,
+        value: Operand,
+    },
+    Call {
+        dst: Option<Reg>,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
+    Intrinsic {
+        dst: Option<Reg>,
+        intr: Intrinsic,
+        args: Vec<Operand>,
+    },
+    Spawn {
+        dst: Reg,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
+    Join {
+        handle: Operand,
+    },
+    MonitorEnter {
+        obj: Operand,
+    },
+    MonitorExit {
+        obj: Operand,
+    },
+    Wait {
+        obj: Operand,
+    },
+    Notify {
+        obj: Operand,
+        all: bool,
+    },
+    Assert {
+        cond: Operand,
+    },
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Instr::Move { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::New { dst, .. }
+            | Instr::NewArray { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::GetElem { dst, .. }
+            | Instr::GetGlobal { dst, .. }
+            | Instr::Spawn { dst, .. } => Some(dst),
+            Instr::Call { dst, .. } | Instr::Intrinsic { dst, .. } => dst,
+            _ => None,
+        }
+    }
+
+    /// All operands this instruction reads.
+    pub fn uses(&self) -> Vec<Operand> {
+        match self {
+            Instr::Move { src, .. } | Instr::Un { src, .. } => vec![*src],
+            Instr::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::New { .. } | Instr::GetGlobal { .. } => vec![],
+            Instr::NewArray { len, .. } => vec![*len],
+            Instr::GetField { obj, .. } => vec![*obj],
+            Instr::SetField { obj, value, .. } => vec![*obj, *value],
+            Instr::GetElem { arr, idx, .. } => vec![*arr, *idx],
+            Instr::SetElem { arr, idx, value } => vec![*arr, *idx, *value],
+            Instr::SetGlobal { value, .. } => vec![*value],
+            Instr::Call { args, .. }
+            | Instr::Intrinsic { args, .. }
+            | Instr::Spawn { args, .. } => args.clone(),
+            Instr::Join { handle } => vec![*handle],
+            Instr::MonitorEnter { obj }
+            | Instr::MonitorExit { obj }
+            | Instr::Wait { obj }
+            | Instr::Notify { obj, .. } => vec![*obj],
+            Instr::Assert { cond } => vec![*cond],
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    Jump(BlockId),
+    Branch {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// The blocks this terminator may transfer control to.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(bb) => vec![bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+///
+/// `lines` holds the 1-based source line of each instruction (0 for
+/// builder-constructed code) and is kept parallel to `instrs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub instrs: Vec<Instr>,
+    pub lines: Vec<u32>,
+    pub term: Terminator,
+    pub term_line: u32,
+}
+
+/// A function body in three-address form. Parameters occupy registers
+/// `0..params`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    pub name: String,
+    pub params: u32,
+    pub nregs: u32,
+    pub blocks: Vec<Block>,
+    pub line: u32,
+}
+
+impl Func {
+    /// The entry block (always block 0).
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Iterates over `(InstrId, &Instr)` for every instruction in the
+    /// function, in block order.
+    pub fn instr_ids<'a>(
+        &'a self,
+        func_id: FuncId,
+    ) -> impl Iterator<Item = (InstrId, &'a Instr)> + 'a {
+        self.blocks.iter().enumerate().flat_map(move |(b, block)| {
+            block.instrs.iter().enumerate().map(move |(i, instr)| {
+                (
+                    InstrId {
+                        func: func_id,
+                        block: BlockId(b as u32),
+                        idx: i as u32,
+                    },
+                    instr,
+                )
+            })
+        })
+    }
+}
+
+/// A class declaration: an ordered list of interned field names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Class {
+    pub name: String,
+    pub fields: Vec<FieldId>,
+}
+
+impl Class {
+    /// The slot (storage offset) of `field` within instances of this class.
+    pub fn slot_of(&self, field: FieldId) -> Option<usize> {
+        self.fields.iter().position(|&f| f == field)
+    }
+}
+
+/// A complete lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub classes: Vec<Class>,
+    /// `FieldId` → field name.
+    pub field_names: Vec<String>,
+    /// `GlobalId` → global name.
+    pub globals: Vec<String>,
+    pub funcs: Vec<Func>,
+    /// The `main` function, if declared.
+    pub entry: Option<FuncId>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Looks up an interned field name.
+    pub fn field_by_name(&self, name: &str) -> Option<FieldId> {
+        self.field_names
+            .iter()
+            .position(|f| f == name)
+            .map(|i| FieldId(i as u32))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// The function record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Func {
+        &self.funcs[id.index()]
+    }
+
+    /// The class record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// The instruction named by `id`, or `None` for a terminator id or an
+    /// out-of-range id.
+    pub fn instr(&self, id: InstrId) -> Option<&Instr> {
+        self.funcs
+            .get(id.func.index())?
+            .blocks
+            .get(id.block.index())?
+            .instrs
+            .get(id.idx as usize)
+    }
+
+    /// The source line of the instruction named by `id` (0 if unknown).
+    pub fn line_of(&self, id: InstrId) -> u32 {
+        self.funcs
+            .get(id.func.index())
+            .and_then(|f| f.blocks.get(id.block.index()))
+            .map(|b| {
+                if id.idx == InstrId::TERM_IDX {
+                    b.term_line
+                } else {
+                    b.lines.get(id.idx as usize).copied().unwrap_or(0)
+                }
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total instruction count across all functions (terminators excluded).
+    pub fn instr_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.instrs.len())
+            .sum()
+    }
+}

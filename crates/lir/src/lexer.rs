@@ -1,0 +1,234 @@
+//! Hand-written lexer for LIR source text.
+
+use crate::error::{Error, ErrorKind};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`, returning tokens terminated by [`TokenKind::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                let start_line = line;
+                pos += 2;
+                loop {
+                    if pos + 1 >= bytes.len() {
+                        return Err(Error::new(
+                            ErrorKind::Lex,
+                            start_line,
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
+                        pos += 2;
+                        break;
+                    }
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    pos += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text = &source[start..pos];
+                let value: i64 = text.parse().map_err(|_| {
+                    Error::new(ErrorKind::Lex, line, format!("integer literal `{text}` overflows i64"))
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let text = &source[start..pos];
+                let kind = TokenKind::keyword(text)
+                    .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+                tokens.push(Token { kind, line });
+            }
+            _ => {
+                let (kind, width) = lex_punct(bytes, pos).ok_or_else(|| {
+                    Error::new(
+                        ErrorKind::Lex,
+                        line,
+                        format!("unexpected character `{}`", b as char),
+                    )
+                })?;
+                tokens.push(Token { kind, line });
+                pos += width;
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+fn lex_punct(bytes: &[u8], pos: usize) -> Option<(TokenKind, usize)> {
+    let two = |a: u8, b: u8| bytes[pos] == a && bytes.get(pos + 1) == Some(&b);
+    if two(b'<', b'<') {
+        return Some((TokenKind::Shl, 2));
+    }
+    if two(b'>', b'>') {
+        return Some((TokenKind::Shr, 2));
+    }
+    if two(b'<', b'=') {
+        return Some((TokenKind::Le, 2));
+    }
+    if two(b'>', b'=') {
+        return Some((TokenKind::Ge, 2));
+    }
+    if two(b'=', b'=') {
+        return Some((TokenKind::EqEq, 2));
+    }
+    if two(b'!', b'=') {
+        return Some((TokenKind::Ne, 2));
+    }
+    if two(b'&', b'&') {
+        return Some((TokenKind::AndAnd, 2));
+    }
+    if two(b'|', b'|') {
+        return Some((TokenKind::OrOr, 2));
+    }
+    let kind = match bytes[pos] {
+        b'(' => TokenKind::LParen,
+        b')' => TokenKind::RParen,
+        b'{' => TokenKind::LBrace,
+        b'}' => TokenKind::RBrace,
+        b'[' => TokenKind::LBracket,
+        b']' => TokenKind::RBracket,
+        b',' => TokenKind::Comma,
+        b';' => TokenKind::Semi,
+        b'.' => TokenKind::Dot,
+        b'=' => TokenKind::Assign,
+        b'+' => TokenKind::Plus,
+        b'-' => TokenKind::Minus,
+        b'*' => TokenKind::Star,
+        b'/' => TokenKind::Slash,
+        b'%' => TokenKind::Percent,
+        b'&' => TokenKind::Amp,
+        b'|' => TokenKind::Pipe,
+        b'^' => TokenKind::Caret,
+        b'!' => TokenKind::Bang,
+        b'<' => TokenKind::Lt,
+        b'>' => TokenKind::Gt,
+        _ => return None,
+    };
+    Some((kind, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokenKind::KwLet,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >>"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("1 // comment\n /* multi\nline */ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("let x = @;").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Lex);
+        assert!(err.message().contains('@'));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("/* never closed").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Lex);
+    }
+
+    #[test]
+    fn rejects_overflowing_integer() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Lex);
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(
+            kinds("while notify_all spawn"),
+            vec![
+                TokenKind::KwWhile,
+                TokenKind::KwNotifyAll,
+                TokenKind::KwSpawn,
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! LIR — a small concurrent imperative language used as the execution
+//! substrate for the Light record/replay reproduction.
+//!
+//! The Light paper (PLDI'15) instruments Java bytecode. This crate provides
+//! the analogous substrate in Rust: a textual language with Java-like
+//! concurrency primitives (`sync` blocks, `wait`/`notify`, `spawn`/`join`),
+//! a hand-written lexer and recursive-descent parser, and a lowering pass to
+//! a three-address IR with explicit basic blocks. Field reads/writes, array
+//! accesses, monitor operations and thread operations are all first-class IR
+//! instructions, which is exactly the event granularity Light records.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), lir::Error> {
+//! let program = lir::parse(
+//!     r#"
+//!     global counter;
+//!
+//!     fn worker(n) {
+//!         let i = 0;
+//!         while (i < n) {
+//!             counter = counter + 1;
+//!             i = i + 1;
+//!         }
+//!     }
+//!
+//!     fn main(n) {
+//!         counter = 0;
+//!         let t1 = spawn worker(n);
+//!         let t2 = spawn worker(n);
+//!         join t1;
+//!         join t2;
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(program.funcs.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod builder;
+mod error;
+pub mod ir;
+mod lexer;
+mod lower;
+mod parser;
+pub mod pretty;
+mod token;
+mod validate;
+
+pub use ast::{BinOp, UnOp};
+pub use builder::{FuncBuilder, ProgramBuilder};
+pub use error::{Error, ErrorKind};
+pub use ir::{
+    BlockId, ClassId, FieldId, FuncId, GlobalId, Instr, InstrId, Intrinsic, Operand, Program,
+    Reg, Terminator,
+};
+pub use validate::validate;
+
+/// Parses LIR source text into a validated IR [`Program`].
+///
+/// This runs the full front-end: lexing, parsing, lowering to three-address
+/// IR, and validation.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first lexical, syntactic, semantic
+/// (e.g. unknown variable) or validation problem encountered, with the
+/// source line on which it occurred.
+pub fn parse(source: &str) -> Result<Program, Error> {
+    let items = parser::parse_items(source)?;
+    let program = lower::lower(&items)?;
+    validate::validate(&program)?;
+    Ok(program)
+}
+
+/// Parses LIR source text into an AST without lowering.
+///
+/// Useful for tooling that wants to inspect or transform the surface syntax.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on lexical or syntactic problems.
+pub fn parse_ast(source: &str) -> Result<Vec<ast::Item>, Error> {
+    parser::parse_items(source)
+}

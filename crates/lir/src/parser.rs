@@ -1,0 +1,622 @@
+//! Recursive-descent parser producing the LIR AST.
+
+use crate::ast::*;
+use crate::error::{Error, ErrorKind};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a whole source file into top-level items.
+pub fn parse_items(source: &str) -> Result<Vec<Item>, Error> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !parser.at(&TokenKind::Eof) {
+        items.push(parser.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), Error> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::new(ErrorKind::Parse, self.line(), message)
+    }
+
+    fn item(&mut self) -> Result<Item, Error> {
+        let line = self.line();
+        match self.peek() {
+            TokenKind::KwClass => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut fields = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    self.expect(&TokenKind::KwField)?;
+                    fields.push(self.expect_ident()?);
+                    self.expect(&TokenKind::Semi)?;
+                }
+                Ok(Item::Class(ClassDecl { name, fields, line }))
+            }
+            TokenKind::KwGlobal => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Item::Global(name, line))
+            }
+            TokenKind::KwFn => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut params = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        params.push(self.expect_ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Item::Fn(FnDecl {
+                    name,
+                    params,
+                    body,
+                    line,
+                }))
+            }
+            other => Err(self.error(format!(
+                "expected `class`, `global` or `fn`, found {other}"
+            ))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Error> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            TokenKind::KwLet => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Let(name, value)
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::KwElse) {
+                    if self.at(&TokenKind::KwIf) {
+                        // `else if` chains nest as a one-statement else block.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                return Ok(Stmt {
+                    kind: StmtKind::If(cond, then_body, else_body),
+                    line,
+                });
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                return Ok(Stmt {
+                    kind: StmtKind::While(cond, body),
+                    line,
+                });
+            }
+            TokenKind::KwSync => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let monitor = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                return Ok(Stmt {
+                    kind: StmtKind::Sync(monitor, body),
+                    line,
+                });
+            }
+            TokenKind::KwJoin => {
+                self.bump();
+                let handle = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Join(handle)
+            }
+            TokenKind::KwWait => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let monitor = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Wait(monitor)
+            }
+            TokenKind::KwNotify => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let monitor = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Notify(monitor)
+            }
+            TokenKind::KwNotifyAll => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let monitor = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::NotifyAll(monitor)
+            }
+            TokenKind::KwAssert => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Assert(cond)
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Return(value)
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Break
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Continue
+            }
+            _ => {
+                // Expression statement or assignment.
+                let expr = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    let lvalue = match expr {
+                        Expr::Var(name) => LValue::Var(name),
+                        Expr::Field(obj, field) => LValue::Field(*obj, field),
+                        Expr::Elem(arr, idx) => LValue::Elem(*arr, *idx),
+                        _ => {
+                            return Err(Error::new(
+                                ErrorKind::Parse,
+                                line,
+                                "left side of `=` must be a variable, field or array element",
+                            ))
+                        }
+                    };
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    StmtKind::Assign(lvalue, value)
+                } else {
+                    self.expect(&TokenKind::Semi)?;
+                    StmtKind::Expr(expr)
+                }
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Error> {
+        let lhs = self.bitor_expr()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.bitor_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.at(&TokenKind::Pipe) {
+            self.bump();
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.bitand_expr()?;
+        while self.at(&TokenKind::Caret) {
+            self.bump();
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.shift_expr()?;
+        while self.at(&TokenKind::Amp) {
+            self.bump();
+            let rhs = self.shift_expr()?;
+            lhs = Expr::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Error> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(inner)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(inner)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Error> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let field = self.expect_ident()?;
+                expr = Expr::Field(Box::new(expr), field);
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                expr = Expr::Elem(Box::new(expr), Box::new(idx));
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Error> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Expr::Int(1))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr::Int(0))
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            TokenKind::KwNew => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let len = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::NewArray(Box::new(len)))
+                } else {
+                    let class = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::New(class))
+                }
+            }
+            TokenKind::KwSpawn => {
+                self.bump();
+                let func = self.expect_ident()?;
+                let args = self.call_args()?;
+                Ok(Expr::Spawn(func, args))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, Error> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_fn_body(body: &str) -> Vec<Stmt> {
+        let src = format!("fn main() {{ {body} }}");
+        let items = parse_items(&src).unwrap();
+        match items.into_iter().next().unwrap() {
+            Item::Fn(decl) => decl.body,
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_class_declaration() {
+        let items = parse_items("class Point { field x; field y; }").unwrap();
+        assert_eq!(
+            items,
+            vec![Item::Class(ClassDecl {
+                name: "Point".into(),
+                fields: vec!["x".into(), "y".into()],
+                line: 1,
+            })]
+        );
+    }
+
+    #[test]
+    fn parses_global_declaration() {
+        let items = parse_items("global cache;").unwrap();
+        assert_eq!(items, vec![Item::Global("cache".into(), 1)]);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let body = parse_fn_body("let x = 1 + 2 * 3;");
+        match &body[0].kind {
+            StmtKind::Let(_, Expr::Binary(BinOp::Add, lhs, rhs)) => {
+                assert_eq!(**lhs, Expr::Int(1));
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_above_logic() {
+        let body = parse_fn_body("let x = a < b && c > d;");
+        match &body[0].kind {
+            StmtKind::Let(_, Expr::And(lhs, rhs)) => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::Lt, _, _)));
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Gt, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_field_and_elem_chains() {
+        let body = parse_fn_body("let x = a.b[i].c;");
+        match &body[0].kind {
+            StmtKind::Let(_, Expr::Field(inner, c)) => {
+                assert_eq!(c, "c");
+                assert!(matches!(**inner, Expr::Elem(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_field_assignment() {
+        let body = parse_fn_body("obj.count = obj.count + 1;");
+        assert!(matches!(
+            &body[0].kind,
+            StmtKind::Assign(LValue::Field(_, _), _)
+        ));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let body = parse_fn_body("if (a) { } else if (b) { } else { let z = 1; }");
+        match &body[0].kind {
+            StmtKind::If(_, _, else_body) => match &else_body[0].kind {
+                StmtKind::If(_, _, inner_else) => assert_eq!(inner_else.len(), 1),
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sync_and_wait() {
+        let body = parse_fn_body("sync (m) { wait(m); notify_all(m); }");
+        match &body[0].kind {
+            StmtKind::Sync(_, inner) => {
+                assert!(matches!(inner[0].kind, StmtKind::Wait(_)));
+                assert!(matches!(inner[1].kind, StmtKind::NotifyAll(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_spawn_and_join() {
+        let body = parse_fn_body("let t = spawn worker(1, 2); join t;");
+        assert!(matches!(&body[0].kind, StmtKind::Let(_, Expr::Spawn(f, a)) if f == "worker" && a.len() == 2));
+        assert!(matches!(&body[1].kind, StmtKind::Join(_)));
+    }
+
+    #[test]
+    fn parses_new_object_and_array() {
+        let body = parse_fn_body("let o = new Point(); let a = new [10];");
+        assert!(matches!(&body[0].kind, StmtKind::Let(_, Expr::New(c)) if c == "Point"));
+        assert!(matches!(&body[1].kind, StmtKind::Let(_, Expr::NewArray(_))));
+    }
+
+    #[test]
+    fn rejects_assignment_to_call() {
+        let err = parse_items("fn main() { f() = 3; }").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_items("fn main() { let x = 1 }").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+    }
+
+    #[test]
+    fn true_false_literals_desugar_to_ints() {
+        let body = parse_fn_body("let a = true; let b = false;");
+        assert!(matches!(&body[0].kind, StmtKind::Let(_, Expr::Int(1))));
+        assert!(matches!(&body[1].kind, StmtKind::Let(_, Expr::Int(0))));
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable printing of lowered programs, for debugging and tests.
+
+use crate::ir::*;
+use std::fmt::{self, Write as _};
+
+/// Wraps a [`Program`] to render its IR as text.
+///
+/// ```
+/// # fn main() -> Result<(), lir::Error> {
+/// let p = lir::parse("fn main() { let x = 1 + 2; }")?;
+/// let text = lir::pretty::program(&p);
+/// assert!(text.contains("fn main"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for class in &p.classes {
+        let fields: Vec<&str> = class
+            .fields
+            .iter()
+            .map(|f| p.field_names[f.index()].as_str())
+            .collect();
+        let _ = writeln!(out, "class {} {{ {} }}", class.name, fields.join(", "));
+    }
+    for global in &p.globals {
+        let _ = writeln!(out, "global {global};");
+    }
+    for (i, func) in p.funcs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "fn {}(params: {}, regs: {}) {{  // f{i}",
+            func.name, func.params, func.nregs
+        );
+        for (b, block) in func.blocks.iter().enumerate() {
+            let _ = writeln!(out, "  b{b}:");
+            for instr in &block.instrs {
+                let _ = writeln!(out, "    {}", InstrDisplay { p, instr });
+            }
+            let _ = writeln!(out, "    {}", TermDisplay(&block.term));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+struct InstrDisplay<'a> {
+    p: &'a Program,
+    instr: &'a Instr,
+}
+
+impl fmt::Display for InstrDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.p;
+        match self.instr {
+            Instr::Move { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::Un { dst, op, src } => write!(f, "{dst} = {op}{src}"),
+            Instr::Bin { dst, op, lhs, rhs } => write!(f, "{dst} = {lhs} {op} {rhs}"),
+            Instr::New { dst, class } => {
+                write!(f, "{dst} = new {}", p.classes[class.index()].name)
+            }
+            Instr::NewArray { dst, len } => write!(f, "{dst} = new [{len}]"),
+            Instr::GetField { dst, obj, field } => {
+                write!(f, "{dst} = {obj}.{}", p.field_names[field.index()])
+            }
+            Instr::SetField { obj, field, value } => {
+                write!(f, "{obj}.{} = {value}", p.field_names[field.index()])
+            }
+            Instr::GetElem { dst, arr, idx } => write!(f, "{dst} = {arr}[{idx}]"),
+            Instr::SetElem { arr, idx, value } => write!(f, "{arr}[{idx}] = {value}"),
+            Instr::GetGlobal { dst, global } => {
+                write!(f, "{dst} = @{}", p.globals[global.index()])
+            }
+            Instr::SetGlobal { global, value } => {
+                write!(f, "@{} = {value}", p.globals[global.index()])
+            }
+            Instr::Call { dst, func, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = ")?;
+                }
+                write!(f, "call {}({})", p.funcs[func.index()].name, Args(args))
+            }
+            Instr::Intrinsic { dst, intr, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = ")?;
+                }
+                write!(f, "{intr}({})", Args(args))
+            }
+            Instr::Spawn { dst, func, args } => {
+                write!(
+                    f,
+                    "{dst} = spawn {}({})",
+                    p.funcs[func.index()].name,
+                    Args(args)
+                )
+            }
+            Instr::Join { handle } => write!(f, "join {handle}"),
+            Instr::MonitorEnter { obj } => write!(f, "monitor_enter {obj}"),
+            Instr::MonitorExit { obj } => write!(f, "monitor_exit {obj}"),
+            Instr::Wait { obj } => write!(f, "wait {obj}"),
+            Instr::Notify { obj, all: false } => write!(f, "notify {obj}"),
+            Instr::Notify { obj, all: true } => write!(f, "notify_all {obj}"),
+            Instr::Assert { cond } => write!(f, "assert {cond}"),
+        }
+    }
+}
+
+struct TermDisplay<'a>(&'a Terminator);
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Terminator::Jump(bb) => write!(f, "jump {bb}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "branch {cond} ? {then_bb} : {else_bb}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+        }
+    }
+}
+
+struct Args<'a>(&'a [Operand]);
+
+impl fmt::Display for Args<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_every_instruction_form() {
+        let p = crate::parse(
+            "class C { field v; }
+             global g;
+             fn w(o) { sync (o) { o.v = o.v + 1; wait(o); notify(o); notify_all(o); } }
+             fn main() {
+                 let o = new C();
+                 let a = new [4];
+                 a[0] = 1;
+                 let x = a[0];
+                 g = o;
+                 let t = spawn w(o);
+                 join t;
+                 let h = hash(x);
+                 print(h);
+                 assert(x == 1);
+                 let n = -x;
+                 let b = !x;
+                 if (b) { print(b); }
+             }",
+        )
+        .unwrap();
+        let text = super::program(&p);
+        for needle in [
+            "class C",
+            "global g;",
+            "monitor_enter",
+            "monitor_exit",
+            "wait",
+            "notify",
+            "notify_all",
+            "spawn",
+            "join",
+            "hash(",
+            "print(",
+            "assert",
+            "new [",
+            "branch",
+            "ret",
+            "@g",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Token definitions for the LIR lexer.
+
+use std::fmt;
+
+/// A lexical token together with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// The kinds of tokens recognized by the LIR lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+
+    // Keywords.
+    KwClass,
+    KwField,
+    KwFn,
+    KwGlobal,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwSync,
+    KwSpawn,
+    KwJoin,
+    KwWait,
+    KwNotify,
+    KwNotifyAll,
+    KwAssert,
+    KwNew,
+    KwNull,
+    KwTrue,
+    KwFalse,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if it is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "class" => TokenKind::KwClass,
+            "field" => TokenKind::KwField,
+            "fn" => TokenKind::KwFn,
+            "global" => TokenKind::KwGlobal,
+            "let" => TokenKind::KwLet,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "sync" => TokenKind::KwSync,
+            "spawn" => TokenKind::KwSpawn,
+            "join" => TokenKind::KwJoin,
+            "wait" => TokenKind::KwWait,
+            "notify" => TokenKind::KwNotify,
+            "notify_all" => TokenKind::KwNotifyAll,
+            "assert" => TokenKind::KwAssert,
+            "new" => TokenKind::KwNew,
+            "null" => TokenKind::KwNull,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(name) => return write!(f, "identifier `{name}`"),
+            TokenKind::Int(v) => return write!(f, "integer `{v}`"),
+            TokenKind::KwClass => "`class`",
+            TokenKind::KwField => "`field`",
+            TokenKind::KwFn => "`fn`",
+            TokenKind::KwGlobal => "`global`",
+            TokenKind::KwLet => "`let`",
+            TokenKind::KwIf => "`if`",
+            TokenKind::KwElse => "`else`",
+            TokenKind::KwWhile => "`while`",
+            TokenKind::KwBreak => "`break`",
+            TokenKind::KwContinue => "`continue`",
+            TokenKind::KwReturn => "`return`",
+            TokenKind::KwSync => "`sync`",
+            TokenKind::KwSpawn => "`spawn`",
+            TokenKind::KwJoin => "`join`",
+            TokenKind::KwWait => "`wait`",
+            TokenKind::KwNotify => "`notify`",
+            TokenKind::KwNotifyAll => "`notify_all`",
+            TokenKind::KwAssert => "`assert`",
+            TokenKind::KwNew => "`new`",
+            TokenKind::KwNull => "`null`",
+            TokenKind::KwTrue => "`true`",
+            TokenKind::KwFalse => "`false`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Dot => "`.`",
+            TokenKind::Assign => "`=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Bang => "`!`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::Ne => "`!=`",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}

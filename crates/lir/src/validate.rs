@@ -1,0 +1,261 @@
+//! IR validation: structural invariants every [`Program`] must satisfy.
+
+use crate::error::{Error, ErrorKind};
+use crate::ir::*;
+
+/// Checks structural invariants of `program`.
+///
+/// Validated properties:
+/// - every operand register is within the owning function's register count;
+/// - every parameter count is within the register count;
+/// - every jump/branch target names an existing block;
+/// - every call/spawn target exists and is passed the right argument count;
+/// - every class, field and global reference is in range;
+/// - every intrinsic receives its exact argument count;
+/// - block instruction/line vectors are parallel.
+///
+/// # Errors
+///
+/// Returns a [`Error`] with [`ErrorKind::Validate`] describing the first
+/// violated invariant.
+pub fn validate(program: &Program) -> Result<(), Error> {
+    for (f, func) in program.funcs.iter().enumerate() {
+        let fid = FuncId(f as u32);
+        validate_func(program, fid, func)?;
+    }
+    if let Some(entry) = program.entry {
+        if entry.index() >= program.funcs.len() {
+            return Err(verr(format!("entry {entry} out of range")));
+        }
+    }
+    Ok(())
+}
+
+fn verr(message: impl Into<String>) -> Error {
+    Error::new(ErrorKind::Validate, 0, message)
+}
+
+fn validate_func(program: &Program, _fid: FuncId, func: &Func) -> Result<(), Error> {
+    let ctx = |what: &str| format!("in `{}`: {what}", func.name);
+    if func.params > func.nregs {
+        return Err(verr(ctx(&format!(
+            "{} params exceed {} registers",
+            func.params, func.nregs
+        ))));
+    }
+    if func.blocks.is_empty() {
+        return Err(verr(ctx("function has no blocks")));
+    }
+    for (b, block) in func.blocks.iter().enumerate() {
+        if block.instrs.len() != block.lines.len() {
+            return Err(verr(ctx(&format!(
+                "block b{b}: {} instrs but {} lines",
+                block.instrs.len(),
+                block.lines.len()
+            ))));
+        }
+        for (i, instr) in block.instrs.iter().enumerate() {
+            let at = format!("b{b}:{i}");
+            validate_instr(program, func, instr).map_err(|e| {
+                verr(ctx(&format!("{at}: {}", e.message())))
+            })?;
+        }
+        for target in block.term.successors() {
+            if target.index() >= func.blocks.len() {
+                return Err(verr(ctx(&format!(
+                    "b{b}: terminator targets missing block {target}"
+                ))));
+            }
+        }
+        if let Terminator::Branch { cond, .. } = block.term {
+            check_operand(func, cond).map_err(|e| verr(ctx(&format!("b{b}: {}", e.message()))))?;
+        }
+        if let Terminator::Ret(Some(v)) = block.term {
+            check_operand(func, v).map_err(|e| verr(ctx(&format!("b{b}: {}", e.message()))))?;
+        }
+    }
+    Ok(())
+}
+
+fn check_operand(func: &Func, op: Operand) -> Result<(), Error> {
+    if let Operand::Reg(r) = op {
+        if r.0 >= func.nregs {
+            return Err(verr(format!(
+                "register {r} out of range (nregs = {})",
+                func.nregs
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_reg(func: &Func, r: Reg) -> Result<(), Error> {
+    check_operand(func, Operand::Reg(r))
+}
+
+fn validate_instr(program: &Program, func: &Func, instr: &Instr) -> Result<(), Error> {
+    for op in instr.uses() {
+        check_operand(func, op)?;
+    }
+    if let Some(dst) = instr.def() {
+        check_reg(func, dst)?;
+    }
+    match instr {
+        Instr::New { class, .. } => {
+            if class.index() >= program.classes.len() {
+                return Err(verr(format!("unknown class {class}")));
+            }
+        }
+        Instr::GetField { field, .. } | Instr::SetField { field, .. } => {
+            if field.index() >= program.field_names.len() {
+                return Err(verr(format!("unknown field {field}")));
+            }
+        }
+        Instr::GetGlobal { global, .. } | Instr::SetGlobal { global, .. } => {
+            if global.index() >= program.globals.len() {
+                return Err(verr(format!("unknown global {global}")));
+            }
+        }
+        Instr::Call { func: callee, args, .. } | Instr::Spawn { func: callee, args, .. } => {
+            let Some(target) = program.funcs.get(callee.index()) else {
+                return Err(verr(format!("unknown function {callee}")));
+            };
+            if target.params as usize != args.len() {
+                return Err(verr(format!(
+                    "`{}` expects {} args, got {}",
+                    target.name,
+                    target.params,
+                    args.len()
+                )));
+            }
+        }
+        Instr::Intrinsic { intr, args, dst } => {
+            if args.len() != intr.arg_count() {
+                return Err(verr(format!(
+                    "intrinsic `{intr}` expects {} args, got {}",
+                    intr.arg_count(),
+                    args.len()
+                )));
+            }
+            if dst.is_some() && !intr.has_result() {
+                return Err(verr(format!("intrinsic `{intr}` has no result")));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    fn one_block_func(instrs: Vec<Instr>, nregs: u32) -> Program {
+        let n = instrs.len();
+        Program {
+            classes: vec![],
+            field_names: vec![],
+            globals: vec![],
+            funcs: vec![Func {
+                name: "f".into(),
+                params: 0,
+                nregs,
+                blocks: vec![Block {
+                    instrs,
+                    lines: vec![0; n],
+                    term: Terminator::Ret(None),
+                    term_line: 0,
+                }],
+                line: 0,
+            }],
+            entry: None,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let p = one_block_func(
+            vec![Instr::Bin {
+                dst: Reg(0),
+                op: BinOp::Add,
+                lhs: Operand::Const(1),
+                rhs: Operand::Const(2),
+            }],
+            1,
+        );
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let p = one_block_func(
+            vec![Instr::Move {
+                dst: Reg(5),
+                src: Operand::Const(0),
+            }],
+            1,
+        );
+        let e = validate(&p).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Validate);
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut p = one_block_func(vec![], 0);
+        p.funcs[0].blocks[0].term = Terminator::Jump(BlockId(7));
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let p = one_block_func(
+            vec![Instr::New {
+                dst: Reg(0),
+                class: ClassId(3),
+            }],
+            1,
+        );
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut p = one_block_func(
+            vec![Instr::Call {
+                dst: None,
+                func: FuncId(0),
+                args: vec![Operand::Const(1)],
+            }],
+            0,
+        );
+        // `f` takes zero params but the call passes one.
+        p.funcs[0].blocks[0].lines = vec![0];
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_line_table() {
+        let mut p = one_block_func(
+            vec![Instr::Move {
+                dst: Reg(0),
+                src: Operand::Const(0),
+            }],
+            1,
+        );
+        p.funcs[0].blocks[0].lines.clear();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn validates_parsed_programs() {
+        let p = crate::parse(
+            "class C { field v; }
+             global g;
+             fn work(o) { o.v = o.v + 1; }
+             fn main() { let o = new C(); g = o; work(o); }",
+        )
+        .unwrap();
+        assert!(validate(&p).is_ok());
+    }
+}

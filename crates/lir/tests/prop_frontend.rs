@@ -1,0 +1,61 @@
+//! Property tests for the LIR front-end: arbitrary inputs never panic the
+//! lexer/parser, and structured random programs survive the full pipeline.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The front end must never panic, whatever bytes arrive: it returns
+    /// a program or an error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = lir::parse(&src);
+    }
+
+    /// ...including inputs built from the language's own token vocabulary,
+    /// which exercise deeper parser paths than random unicode.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("fn"), Just("let"), Just("while"), Just("if"), Just("else"),
+                Just("sync"), Just("spawn"), Just("join"), Just("wait"),
+                Just("global"), Just("class"), Just("field"), Just("return"),
+                Just("x"), Just("y"), Just("main"), Just("("), Just(")"),
+                Just("{"), Just("}"), Just(";"), Just("="), Just("=="),
+                Just("+"), Just("*"), Just("<"), Just("1"), Just("42"),
+                Just(","), Just("."), Just("["), Just("]"), Just("&&"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = lir::parse(&src);
+    }
+
+    /// Structured straight-line arithmetic: parse, validate, and check the
+    /// interpreter agrees with a reference evaluation.
+    #[test]
+    fn straight_line_arithmetic_matches_reference(
+        ops in proptest::collection::vec((0usize..3, 0usize..3, -50i64..50), 1..20)
+    ) {
+        // Three locals; each op: a = b <op+const> pattern.
+        let mut src = String::from("fn main() {\n let v0 = 1; let v1 = 2; let v2 = 3;\n");
+        let mut model = [1i64, 2, 3];
+        for (i, (dst, srcv, k)) in ops.iter().enumerate() {
+            let line = format!(" v{dst} = v{srcv} + {k};\n");
+            src.push_str(&line);
+            model[*dst] = model[*srcv] + k;
+            let _ = i;
+        }
+        src.push_str(&format!(" assert(v0 == {});\n", model[0]));
+        src.push_str(&format!(" assert(v1 == {});\n", model[1]));
+        src.push_str(&format!(" assert(v2 == {});\n", model[2]));
+        src.push_str("}\n");
+        let program = std::sync::Arc::new(lir::parse(&src).expect("generated program parses"));
+        let out = light_runtime::run(&program, &[], light_runtime::ExecConfig::default())
+            .expect("setup");
+        prop_assert!(out.completed(), "fault {:?} in\n{src}", out.fault);
+    }
+}

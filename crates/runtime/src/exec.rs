@@ -1,0 +1,308 @@
+//! Top-level execution entry point.
+
+use crate::fault::{FaultKind, FaultReport};
+use crate::halt::HaltFlag;
+use crate::heap::Heap;
+use crate::hooks::{NullRecorder, Recorder};
+use crate::interp::{interp_thread, RunCtx};
+use crate::monitor::MonitorTable;
+use crate::nondet::{NondetMode, NondetSource};
+use crate::policy::SharedPolicy;
+use crate::registry::ThreadRegistry;
+use crate::sched::{
+    ChaosScheduler, ControlledScheduler, FreeScheduler, ReplaySchedule, Scheduler,
+};
+use crate::thread_id::Tid;
+use crate::value::Value;
+use lir::{BlockId, InstrId, Program};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which scheduling strategy an execution uses.
+#[derive(Clone)]
+pub enum SchedulerSpec {
+    /// Native OS scheduling (used for overhead measurements).
+    Free,
+    /// Serialized seeded exploration; reproducible by seed.
+    Chaos { seed: u64 },
+    /// Replay enforcement of a schedule, with a per-event wait timeout.
+    Controlled {
+        schedule: ReplaySchedule,
+        timeout: Duration,
+    },
+    /// A caller-provided scheduler.
+    Custom(Arc<dyn Scheduler>),
+}
+
+impl fmt::Debug for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerSpec::Free => write!(f, "Free"),
+            SchedulerSpec::Chaos { seed } => write!(f, "Chaos {{ seed: {seed} }}"),
+            SchedulerSpec::Controlled { schedule, timeout } => write!(
+                f,
+                "Controlled {{ ordered: {}, timeout: {timeout:?} }}",
+                schedule.ordered_len()
+            ),
+            SchedulerSpec::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// Configuration of one execution.
+#[derive(Clone)]
+pub struct ExecConfig {
+    /// The record/replay technique's hooks.
+    pub recorder: Arc<dyn Recorder>,
+    pub scheduler: SchedulerSpec,
+    pub policy: SharedPolicy,
+    pub nondet: NondetMode,
+    /// Total interpreter steps across all threads before a
+    /// [`FaultKind::StepLimit`] fault.
+    pub step_limit: u64,
+    /// Maximum call-stack depth per thread.
+    pub max_call_depth: usize,
+    /// Replay mode: `notify` marks every waiter and the controlled
+    /// scheduler decides which one proceeds.
+    pub wake_all_on_notify: bool,
+    /// Watchdog budget; exceeding it raises [`FaultKind::Timeout`].
+    pub wall_timeout: Duration,
+    /// Whether `print` output is captured into [`RunOutcome::prints`].
+    pub capture_prints: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            recorder: Arc::new(NullRecorder),
+            scheduler: SchedulerSpec::Free,
+            policy: SharedPolicy::All,
+            nondet: NondetMode::default(),
+            step_limit: 500_000_000,
+            max_call_depth: 256,
+            wake_all_on_notify: false,
+            wall_timeout: Duration::from_secs(60),
+            capture_prints: true,
+        }
+    }
+}
+
+impl fmt::Debug for ExecConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecConfig")
+            .field("scheduler", &self.scheduler)
+            .field("step_limit", &self.step_limit)
+            .field("wall_timeout", &self.wall_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Summary statistics of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    pub duration: Duration,
+    /// LIR threads (including the root).
+    pub threads: usize,
+    /// Instrumented events across all threads.
+    pub events: u64,
+    /// Heap objects allocated.
+    pub objects: usize,
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The first fault raised, if any.
+    pub fault: Option<FaultReport>,
+    pub stats: RunStats,
+    /// Captured `print` output, in a nondeterministic global order.
+    pub prints: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Whether the run finished with no fault at all.
+    pub fn completed(&self) -> bool {
+        self.fault.is_none()
+    }
+
+    /// The fault, if it is a program bug in the sense of Definition 3.2.
+    pub fn program_bug(&self) -> Option<&FaultReport> {
+        self.fault.as_ref().filter(|f| f.kind.is_program_bug())
+    }
+}
+
+/// A problem detected before execution starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupError {
+    /// The program has no `main` function.
+    NoEntry,
+    /// `main` expects a different number of arguments.
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::NoEntry => write!(f, "program declares no `main` function"),
+            SetupError::ArityMismatch { expected, got } => {
+                write!(f, "`main` expects {expected} argument(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Executes `program`'s `main` with the given integer arguments.
+///
+/// This is the single entry point used by the recording phase, the replay
+/// phase and all baselines: they differ only in the [`ExecConfig`] they
+/// pass.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if the program has no entry point or the argument
+/// count does not match; all runtime problems surface as
+/// [`RunOutcome::fault`] instead.
+pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<RunOutcome, SetupError> {
+    let entry = program.entry.ok_or(SetupError::NoEntry)?;
+    let expected = program.func(entry).params as usize;
+    if expected != args.len() {
+        return Err(SetupError::ArityMismatch {
+            expected,
+            got: args.len(),
+        });
+    }
+
+    let halt = HaltFlag::new();
+    let mut chaos_handle: Option<Arc<ChaosScheduler>> = None;
+    let scheduler: Arc<dyn Scheduler> = match &config.scheduler {
+        SchedulerSpec::Free => Arc::new(FreeScheduler),
+        SchedulerSpec::Chaos { seed } => {
+            let chaos = Arc::new(ChaosScheduler::new(*seed, halt.clone()));
+            chaos_handle = Some(chaos.clone());
+            chaos
+        }
+        SchedulerSpec::Controlled { schedule, timeout } => Arc::new(ControlledScheduler::new(
+            schedule.clone(),
+            halt.clone(),
+            *timeout,
+        )),
+        SchedulerSpec::Custom(custom) => custom.clone(),
+    };
+    let nondet_seed = match config.nondet {
+        NondetMode::Real { seed } => seed,
+        NondetMode::Scripted(_) => 0,
+    };
+
+    let rt = Arc::new(RunCtx {
+        program: program.clone(),
+        heap: Heap::new(program.globals.len()),
+        monitors: MonitorTable::new(),
+        policy: config.policy,
+        recorder: config.recorder,
+        scheduler,
+        halt: halt.clone(),
+        fault: Mutex::new(None),
+        prints: Mutex::new(Vec::new()),
+        nondet: NondetSource::new(&config.nondet),
+        nondet_seed,
+        step_budget: AtomicI64::new(config.step_limit.min(i64::MAX as u64) as i64),
+        events: AtomicU64::new(0),
+        threads: ThreadRegistry::new(),
+        handles: Mutex::new(Vec::new()),
+        wake_all_on_notify: config.wake_all_on_notify,
+        max_call_depth: config.max_call_depth,
+        capture_prints: config.capture_prints,
+    });
+
+    // Chaos deadlock detector: blocked threads sit inside primitives, so a
+    // background probe must run the all-blocked check and report the fault.
+    if let Some(chaos) = &chaos_handle {
+        let rt2 = rt.clone();
+        let entry_iid = InstrId {
+            func: entry,
+            block: BlockId(0),
+            idx: 0,
+        };
+        chaos.start_detector(Box::new(move || {
+            rt2.report_fault(FaultReport {
+                tid: Tid::ROOT,
+                ctr: 0,
+                instr: entry_iid,
+                line: 0,
+                kind: FaultKind::Deadlock,
+                value: Value::NULL,
+                detail: "all live threads are blocked".into(),
+            });
+        }));
+    }
+
+    // Watchdog: raise a Timeout fault if the run exceeds its wall budget.
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let rt = rt.clone();
+        let done = done.clone();
+        let budget = config.wall_timeout;
+        let entry_iid = InstrId {
+            func: entry,
+            block: BlockId(0),
+            idx: 0,
+        };
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while !done.load(Ordering::Acquire) {
+                if start.elapsed() > budget {
+                    rt.report_fault(FaultReport {
+                        tid: Tid::ROOT,
+                        ctr: 0,
+                        instr: entry_iid,
+                        line: 0,
+                        kind: FaultKind::Timeout,
+                        value: Value::NULL,
+                        detail: format!("run exceeded {budget:?}"),
+                    });
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    let start = Instant::now();
+    rt.scheduler.thread_created(Tid::ROOT);
+    rt.threads.register(Tid::ROOT);
+    let argv: Vec<Value> = args.iter().map(|&v| Value::int(v)).collect();
+    interp_thread(rt.clone(), Tid::ROOT, entry, argv, None);
+
+    // Wait for every spawned thread (threads may spawn more while we join).
+    loop {
+        let handle = rt.handles.lock().pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let duration = start.elapsed();
+    done.store(true, Ordering::Release);
+    let _ = watchdog.join();
+
+    let fault = rt.fault.lock().clone();
+    let prints = std::mem::take(&mut *rt.prints.lock());
+    let stats = RunStats {
+        duration,
+        threads: rt.threads.count(),
+        events: rt.events.load(Ordering::Relaxed),
+        objects: rt.heap.object_count(),
+    };
+    Ok(RunOutcome {
+        fault,
+        stats,
+        prints,
+    })
+}

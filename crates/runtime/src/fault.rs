@@ -1,0 +1,166 @@
+//! Fault reports: the "bugs of interest" of Definition 3.2, plus
+//! infrastructure faults.
+
+use crate::thread_id::Tid;
+use crate::value::Value;
+use lir::InstrId;
+use std::fmt;
+
+/// Classification of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Field/array/map access or monitor operation on `null` or a non-ref.
+    NullDeref,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array index outside bounds.
+    IndexOutOfBounds,
+    /// `assert(e)` with falsy `e`.
+    AssertFailed,
+    /// `wait`/`notify`/`monitor_exit` without owning the monitor, or
+    /// `join` on a non-thread value.
+    MonitorMisuse,
+    /// All live threads are blocked (chaos/controlled scheduling detects
+    /// this deterministically).
+    Deadlock,
+    /// Dynamic type mismatch, e.g. arithmetic on a reference.
+    TypeError,
+    /// Call stack exceeded the configured depth.
+    StackOverflow,
+    /// The configured execution step budget was exhausted.
+    StepLimit,
+    /// The configured wall-clock budget was exhausted (watchdog). Under
+    /// free scheduling this is also how genuine deadlocks surface.
+    Timeout,
+    /// A replay run could not follow its schedule (gate timeout or a
+    /// scripted nondeterministic value ran out). Indicates an infrastructure
+    /// problem, never expected when Theorem 1's preconditions hold.
+    ReplayDiverged,
+}
+
+impl FaultKind {
+    /// Whether this fault is a *program* bug in the sense of Definition 3.2
+    /// (use of an illegal value) or a deadlock, as opposed to an
+    /// infrastructure limit.
+    pub fn is_program_bug(self) -> bool {
+        matches!(
+            self,
+            FaultKind::NullDeref
+                | FaultKind::DivByZero
+                | FaultKind::IndexOutOfBounds
+                | FaultKind::AssertFailed
+                | FaultKind::MonitorMisuse
+                | FaultKind::TypeError
+                | FaultKind::Deadlock
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::NullDeref => "null dereference",
+            FaultKind::DivByZero => "division by zero",
+            FaultKind::IndexOutOfBounds => "index out of bounds",
+            FaultKind::AssertFailed => "assertion failed",
+            FaultKind::MonitorMisuse => "monitor misuse",
+            FaultKind::Deadlock => "deadlock",
+            FaultKind::TypeError => "type error",
+            FaultKind::StackOverflow => "stack overflow",
+            FaultKind::StepLimit => "step limit exceeded",
+            FaultKind::Timeout => "wall-clock timeout",
+            FaultKind::ReplayDiverged => "replay diverged",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fault observed during execution, with the correlation data Theorem 1
+/// speaks about: the thread, its local event counter, the faulting
+/// statement, and the illegal value used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    pub tid: Tid,
+    /// The thread-local instrumentation counter at the time of the fault.
+    pub ctr: u64,
+    /// The faulting static instruction.
+    pub instr: InstrId,
+    /// 1-based source line (0 if unknown).
+    pub line: u32,
+    pub kind: FaultKind,
+    /// The illegal value whose use caused the fault (e.g. the `null` that
+    /// was dereferenced, the zero divisor). [`Value::NULL`] when
+    /// inapplicable.
+    pub value: Value,
+    /// Free-form diagnostic detail.
+    pub detail: String,
+}
+
+impl FaultReport {
+    /// Theorem 1's replay criterion: the replay fault is *correlated* with
+    /// the original fault — same thread, same thread-local counter, same
+    /// statement, same kind, same illegal value.
+    pub fn correlates_with(&self, other: &FaultReport) -> bool {
+        self.tid == other.tid
+            && self.ctr == other.ctr
+            && self.instr == other.instr
+            && self.kind == other.kind
+            && self.value == other.value
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} at {} (line {}, counter {}): {} [value {}]",
+            self.kind, self.tid, self.instr, self.line, self.ctr, self.detail, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{BlockId, FuncId};
+
+    fn report(ctr: u64, value: Value) -> FaultReport {
+        FaultReport {
+            tid: Tid::ROOT.child(0),
+            ctr,
+            instr: InstrId {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 3,
+            },
+            line: 12,
+            kind: FaultKind::NullDeref,
+            value,
+            detail: "x.f with x null".into(),
+        }
+    }
+
+    #[test]
+    fn correlation_requires_all_fields() {
+        let a = report(5, Value::NULL);
+        assert!(a.correlates_with(&report(5, Value::NULL)));
+        assert!(!a.correlates_with(&report(6, Value::NULL)));
+        assert!(!a.correlates_with(&report(5, Value::int(0))));
+    }
+
+    #[test]
+    fn program_bug_classification() {
+        assert!(FaultKind::NullDeref.is_program_bug());
+        assert!(FaultKind::Deadlock.is_program_bug());
+        assert!(!FaultKind::StepLimit.is_program_bug());
+        assert!(!FaultKind::ReplayDiverged.is_program_bug());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = report(5, Value::NULL).to_string();
+        assert!(text.contains("null dereference"));
+        assert!(text.contains("counter 5"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Cooperative cancellation shared by every blocking primitive.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The polling period of every halt-aware blocking loop.
+pub const HALT_TICK: Duration = Duration::from_millis(10);
+
+/// A cloneable halt flag. Once set it never clears; every blocking
+/// primitive in the runtime polls it so executions wind down promptly after
+/// a fault on any thread.
+#[derive(Debug, Clone, Default)]
+pub struct HaltFlag(Arc<AtomicBool>);
+
+impl HaltFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether halt has been requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Requests halt.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Error returned by blocking operations interrupted by a halt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Halted;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halt_flag_is_sticky_and_shared() {
+        let a = HaltFlag::new();
+        let b = a.clone();
+        assert!(!a.is_set());
+        b.set();
+        assert!(a.is_set());
+    }
+}

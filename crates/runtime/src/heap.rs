@@ -1,0 +1,363 @@
+//! The shared heap: objects, arrays, maps and global cells.
+//!
+//! Cells are `AtomicU64`s holding packed [`Value`]s and are accessed with
+//! sequentially consistent ordering, mirroring the paper's use of volatile
+//! last-write variables under the JMM. The object table is append-only.
+
+use crate::thread_id::Tid;
+use crate::value::{ObjId, Value};
+use lir::{ClassId, FieldId, GlobalId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A dynamic memory location, at the granularity Light records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// A named global cell.
+    Global(GlobalId),
+    /// `object.field`.
+    Field(ObjId, FieldId),
+    /// `array[index]`.
+    Elem(ObjId, u32),
+    /// The single abstract location of a map object (HashMap-style
+    /// collections are opaque single locations, as in the paper's CLAP
+    /// discussion).
+    MapState(ObjId),
+    /// A ghost location modeling a monitor's owner/count fields
+    /// (Section 4.3: lock operations as shared accesses).
+    Monitor(ObjId),
+    /// A ghost location modeling a thread's lifecycle (spawn/start write,
+    /// join reads the end write).
+    ThreadLife(Tid),
+}
+
+impl Loc {
+    /// A stable 64-bit key, usable for hashing and lock striping.
+    pub fn key(self) -> u64 {
+        match self {
+            Loc::Global(g) => u64::from(g.0) << 3,
+            Loc::Field(o, f) => ((u64::from(o.0) << 24 | u64::from(f.0)) << 3) | 1,
+            Loc::Elem(o, i) => ((u64::from(o.0) << 24 | u64::from(i)) << 3) | 2,
+            Loc::MapState(o) => (u64::from(o.0) << 3) | 3,
+            Loc::Monitor(o) => (u64::from(o.0) << 3) | 4,
+            Loc::ThreadLife(t) => (t.raw() << 3) | 5,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Global(g) => write!(f, "@{g}"),
+            Loc::Field(o, fl) => write!(f, "{o}.{fl}"),
+            Loc::Elem(o, i) => write!(f, "{o}[{i}]"),
+            Loc::MapState(o) => write!(f, "map({o})"),
+            Loc::Monitor(o) => write!(f, "monitor({o})"),
+            Loc::ThreadLife(t) => write!(f, "life({t})"),
+        }
+    }
+}
+
+/// The body of a heap object.
+pub enum ObjBody {
+    /// A class instance with one cell per declared field.
+    Fields {
+        class: ClassId,
+        cells: Box<[AtomicU64]>,
+    },
+    /// A fixed-length array.
+    Array { cells: Box<[AtomicU64]> },
+    /// A map collection, modeled as one opaque location.
+    Map { inner: Mutex<HashMap<u64, u64>> },
+}
+
+/// A heap object: its body plus instrumentation metadata.
+pub struct Obj {
+    pub body: ObjBody,
+    /// Whether accesses to this object are instrumented (escape/alloc-site
+    /// analysis verdict; `true` under [`crate::policy::SharedPolicy::All`]).
+    pub shared: bool,
+    /// Whether the object's container accesses are consistently
+    /// lock-guarded (the bulk O2 hint, from the lockset analysis).
+    pub o2_guarded: bool,
+}
+
+impl Obj {
+    /// The number of element cells (fields or array slots).
+    pub fn cell_count(&self) -> usize {
+        match &self.body {
+            ObjBody::Fields { cells, .. } | ObjBody::Array { cells } => cells.len(),
+            ObjBody::Map { .. } => 0,
+        }
+    }
+}
+
+fn zeroed_cells(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(Value::ZERO.bits())).collect()
+}
+
+/// The shared heap for one execution.
+pub struct Heap {
+    objects: RwLock<Vec<Arc<Obj>>>,
+    globals: Box<[AtomicU64]>,
+}
+
+impl Heap {
+    /// Creates a heap with `nglobals` global cells, all integer zero.
+    pub fn new(nglobals: usize) -> Self {
+        Self {
+            objects: RwLock::new(Vec::new()),
+            globals: zeroed_cells(nglobals),
+        }
+    }
+
+    fn push(&self, obj: Obj) -> ObjId {
+        let mut objects = self.objects.write();
+        let id = ObjId(objects.len() as u32);
+        objects.push(Arc::new(obj));
+        id
+    }
+
+    /// Allocates a class instance with `nfields` zeroed field cells.
+    pub fn alloc_object(&self, class: ClassId, nfields: usize, shared: bool) -> ObjId {
+        self.push(Obj {
+            body: ObjBody::Fields {
+                class,
+                cells: zeroed_cells(nfields),
+            },
+            shared,
+            o2_guarded: false,
+        })
+    }
+
+    /// Allocates a zeroed array of `len` cells.
+    pub fn alloc_array(&self, len: usize, shared: bool) -> ObjId {
+        self.alloc_array_with(len, shared, false)
+    }
+
+    /// Allocates a zeroed array with an explicit bulk-O2 hint.
+    pub fn alloc_array_with(&self, len: usize, shared: bool, o2_guarded: bool) -> ObjId {
+        self.push(Obj {
+            body: ObjBody::Array {
+                cells: zeroed_cells(len),
+            },
+            shared,
+            o2_guarded,
+        })
+    }
+
+    /// Allocates an empty map.
+    pub fn alloc_map(&self, shared: bool) -> ObjId {
+        self.alloc_map_with(shared, false)
+    }
+
+    /// Allocates an empty map with an explicit bulk-O2 hint.
+    pub fn alloc_map_with(&self, shared: bool, o2_guarded: bool) -> ObjId {
+        self.push(Obj {
+            body: ObjBody::Map {
+                inner: Mutex::new(HashMap::new()),
+            },
+            shared,
+            o2_guarded,
+        })
+    }
+
+    /// Fetches the object for `id`, if allocated.
+    pub fn get(&self, id: ObjId) -> Option<Arc<Obj>> {
+        self.objects.read().get(id.index()).cloned()
+    }
+
+    /// The number of allocated objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Loads a global cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range (validated IR cannot produce this).
+    pub fn load_global(&self, g: GlobalId) -> Value {
+        Value::from_bits(self.globals[g.index()].load(Ordering::SeqCst))
+    }
+
+    /// Stores a global cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn store_global(&self, g: GlobalId, v: Value) {
+        self.globals[g.index()].store(v.bits(), Ordering::SeqCst);
+    }
+}
+
+/// Typed accessors used by the interpreter once an object has been fetched.
+impl Obj {
+    /// Loads field/array cell `slot`.
+    pub fn load_cell(&self, slot: usize) -> Option<Value> {
+        match &self.body {
+            ObjBody::Fields { cells, .. } | ObjBody::Array { cells } => cells
+                .get(slot)
+                .map(|c| Value::from_bits(c.load(Ordering::SeqCst))),
+            ObjBody::Map { .. } => None,
+        }
+    }
+
+    /// Stores field/array cell `slot`. Returns `false` when out of range.
+    pub fn store_cell(&self, slot: usize, v: Value) -> bool {
+        match &self.body {
+            ObjBody::Fields { cells, .. } | ObjBody::Array { cells } => {
+                if let Some(c) = cells.get(slot) {
+                    c.store(v.bits(), Ordering::SeqCst);
+                    true
+                } else {
+                    false
+                }
+            }
+            ObjBody::Map { .. } => false,
+        }
+    }
+
+    /// `map_get`; `None` if this is not a map.
+    pub fn map_get(&self, key: Value) -> Option<Value> {
+        match &self.body {
+            ObjBody::Map { inner } => Some(
+                inner
+                    .lock()
+                    .get(&key.bits())
+                    .map(|&bits| Value::from_bits(bits))
+                    .unwrap_or(Value::NULL),
+            ),
+            _ => None,
+        }
+    }
+
+    /// `map_put`; returns the previous value (or `null`).
+    pub fn map_put(&self, key: Value, value: Value) -> Option<Value> {
+        match &self.body {
+            ObjBody::Map { inner } => Some(
+                inner
+                    .lock()
+                    .insert(key.bits(), value.bits())
+                    .map(Value::from_bits)
+                    .unwrap_or(Value::NULL),
+            ),
+            _ => None,
+        }
+    }
+
+    /// `map_remove`; returns the removed value (or `null`).
+    pub fn map_remove(&self, key: Value) -> Option<Value> {
+        match &self.body {
+            ObjBody::Map { inner } => Some(
+                inner
+                    .lock()
+                    .remove(&key.bits())
+                    .map(Value::from_bits)
+                    .unwrap_or(Value::NULL),
+            ),
+            _ => None,
+        }
+    }
+
+    /// `map_contains` as 0/1; `None` if not a map.
+    pub fn map_contains(&self, key: Value) -> Option<Value> {
+        match &self.body {
+            ObjBody::Map { inner } => Some(Value::int(i64::from(
+                inner.lock().contains_key(&key.bits()),
+            ))),
+            _ => None,
+        }
+    }
+
+    /// `map_size`; `None` if not a map.
+    pub fn map_size(&self) -> Option<Value> {
+        match &self.body {
+            ObjBody::Map { inner } => Some(Value::int(inner.lock().len() as i64)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_default_to_zero() {
+        let heap = Heap::new(2);
+        assert_eq!(heap.load_global(GlobalId(0)), Value::int(0));
+        heap.store_global(GlobalId(1), Value::int(9));
+        assert_eq!(heap.load_global(GlobalId(1)), Value::int(9));
+    }
+
+    #[test]
+    fn object_cells_round_trip() {
+        let heap = Heap::new(0);
+        let id = heap.alloc_object(ClassId(0), 3, true);
+        let obj = heap.get(id).unwrap();
+        assert_eq!(obj.load_cell(2), Some(Value::int(0)));
+        assert!(obj.store_cell(2, Value::int(77)));
+        assert_eq!(obj.load_cell(2), Some(Value::int(77)));
+        assert!(!obj.store_cell(3, Value::int(1)), "out of range");
+    }
+
+    #[test]
+    fn array_allocation() {
+        let heap = Heap::new(0);
+        let id = heap.alloc_array(10, false);
+        let obj = heap.get(id).unwrap();
+        assert_eq!(obj.cell_count(), 10);
+        assert!(!obj.shared);
+    }
+
+    #[test]
+    fn map_operations() {
+        let heap = Heap::new(0);
+        let id = heap.alloc_map(true);
+        let m = heap.get(id).unwrap();
+        assert_eq!(m.map_get(Value::int(1)), Some(Value::NULL));
+        assert_eq!(m.map_put(Value::int(1), Value::int(10)), Some(Value::NULL));
+        assert_eq!(m.map_put(Value::int(1), Value::int(20)), Some(Value::int(10)));
+        assert_eq!(m.map_get(Value::int(1)), Some(Value::int(20)));
+        assert_eq!(m.map_contains(Value::int(1)), Some(Value::int(1)));
+        assert_eq!(m.map_size(), Some(Value::int(1)));
+        assert_eq!(m.map_remove(Value::int(1)), Some(Value::int(20)));
+        assert_eq!(m.map_size(), Some(Value::int(0)));
+    }
+
+    #[test]
+    fn map_accessors_fail_on_non_map() {
+        let heap = Heap::new(0);
+        let id = heap.alloc_array(1, false);
+        let obj = heap.get(id).unwrap();
+        assert!(obj.map_get(Value::int(0)).is_none());
+        assert!(obj.map_size().is_none());
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let heap = Heap::new(0);
+        assert!(heap.get(ObjId(5)).is_none());
+    }
+
+    #[test]
+    fn loc_keys_are_distinct() {
+        let locs = [
+            Loc::Global(GlobalId(1)),
+            Loc::Field(ObjId(1), FieldId(0)),
+            Loc::Elem(ObjId(1), 0),
+            Loc::MapState(ObjId(1)),
+            Loc::Monitor(ObjId(1)),
+            Loc::ThreadLife(Tid::ROOT.child(0)),
+        ];
+        for (i, a) in locs.iter().enumerate() {
+            for (j, b) in locs.iter().enumerate() {
+                assert_eq!(i == j, a.key() == b.key(), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Instrumentation hooks: the interface between the interpreter and a
+//! record/replay technique.
+//!
+//! The interpreter assigns every instrumented event a thread-local counter
+//! value (the `D(t)` counters of Algorithm 1) and routes the event to a
+//! [`Recorder`]. Data accesses are routed through [`Recorder::on_access`],
+//! which *wraps* the actual memory operation so the technique can establish
+//! whatever atomicity it needs (Light's `atomic { o.f = v; lw ← c }`
+//! blocks, Leap's synchronized access vectors, ...).
+
+use crate::heap::Loc;
+use crate::thread_id::Tid;
+use crate::value::ObjId;
+use lir::InstrId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How an instrumented data access touches its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A pure load.
+    Read,
+    /// A pure store (a candidate *blind write* if it ends up in no flow
+    /// dependence).
+    Write,
+    /// An atomic read-modify-write (map mutation, monitor ghost accesses).
+    /// Never treated as blind.
+    ReadWrite,
+}
+
+impl AccessKind {
+    /// Whether the access observes the previous value of the location.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::ReadWrite)
+    }
+
+    /// Whether the access updates the location.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::ReadWrite)
+    }
+}
+
+/// A synchronization event, already ordered correctly with respect to the
+/// underlying primitive (monitor events fire while the monitor is held,
+/// `Join` fires after the child has finished, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncEvent {
+    MonitorEnter { obj: ObjId },
+    MonitorExit { obj: ObjId },
+    /// `wait` is modeled as two operations (Section 4.3): this one releases
+    /// the monitor...
+    WaitBefore { obj: ObjId },
+    /// ...and this one reacquires it. `notifier` identifies the `Notify`
+    /// event `(thread, counter)` that woke the waiter, when known.
+    WaitAfter {
+        obj: ObjId,
+        notifier: Option<(Tid, u64)>,
+    },
+    Notify { obj: ObjId, all: bool },
+    /// The parent's side of thread creation.
+    Spawn { child: Tid },
+    /// The child's first event. `parent` is `(thread, counter)` of the
+    /// corresponding `Spawn`, or `None` for the root thread.
+    ThreadStart { parent: Option<(Tid, u64)> },
+    /// The parent's side of `join`; `child_end` is the counter of the
+    /// child's `ThreadEnd` event.
+    Join { child: Tid, child_end: u64 },
+    /// The last event of every thread.
+    ThreadEnd,
+}
+
+/// A record/replay technique's view of an execution.
+///
+/// Implementations must be thread-safe: methods are called concurrently
+/// from every LIR thread. All methods receive the event's thread and its
+/// thread-local counter value (counters start at 1 and increment at every
+/// instrumented event of that thread).
+pub trait Recorder: Send + Sync {
+    /// Wraps an instrumented data access. `op` performs the actual memory
+    /// operation and yields the raw value read (for reads) or stored (for
+    /// writes); it may be invoked more than once only for idempotent
+    /// [`AccessKind::Read`] accesses (speculative retry), and must be
+    /// invoked exactly once otherwise. The implementation must return the
+    /// result of the final `op` call.
+    fn on_access(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        loc: Loc,
+        kind: AccessKind,
+        guarded: bool,
+        instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64;
+
+    /// Observes a synchronization event.
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, instr: InstrId);
+
+    /// Records the result of a nondeterministic intrinsic (`time`, `rand`).
+    fn on_nondet(&self, tid: Tid, value: i64);
+
+    /// Called once when a thread finishes, after its `ThreadEnd` event.
+    /// Implementations typically flush thread-local buffers here.
+    fn on_thread_exit(&self, tid: Tid) {
+        let _ = tid;
+    }
+}
+
+/// A recorder that records nothing: the uninstrumented baseline for
+/// overhead measurements.
+#[derive(Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn on_access(
+        &self,
+        _tid: Tid,
+        _ctr: u64,
+        _loc: Loc,
+        _kind: AccessKind,
+        _guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        op()
+    }
+
+    fn on_sync(&self, _tid: Tid, _ctr: u64, _ev: SyncEvent, _instr: InstrId) {}
+
+    fn on_nondet(&self, _tid: Tid, _value: i64) {}
+}
+
+/// A recorder that counts events; useful in tests and as a cheap
+/// event-density probe for workload calibration.
+#[derive(Debug, Default)]
+pub struct CountingRecorder {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    rmws: AtomicU64,
+    syncs: AtomicU64,
+    nondets: AtomicU64,
+}
+
+impl CountingRecorder {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Instrumented pure reads observed.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Instrumented pure writes observed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Instrumented read-modify-writes observed.
+    pub fn rmws(&self) -> u64 {
+        self.rmws.load(Ordering::Relaxed)
+    }
+
+    /// Synchronization events observed.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Nondeterministic intrinsic results observed.
+    pub fn nondets(&self) -> u64 {
+        self.nondets.load(Ordering::Relaxed)
+    }
+
+    /// Total instrumented events.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes() + self.rmws() + self.syncs()
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn on_access(
+        &self,
+        _tid: Tid,
+        _ctr: u64,
+        _loc: Loc,
+        kind: AccessKind,
+        _guarded: bool,
+        _instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        let counter = match kind {
+            AccessKind::Read => &self.reads,
+            AccessKind::Write => &self.writes,
+            AccessKind::ReadWrite => &self.rmws,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        op()
+    }
+
+    fn on_sync(&self, _tid: Tid, _ctr: u64, _ev: SyncEvent, _instr: InstrId) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_nondet(&self, _tid: Tid, _value: i64) {
+        self.nondets.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{BlockId, FieldId, FuncId, GlobalId};
+
+    fn dummy_instr() -> InstrId {
+        InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        }
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.reads() && !AccessKind::Read.writes());
+        assert!(!AccessKind::Write.reads() && AccessKind::Write.writes());
+        assert!(AccessKind::ReadWrite.reads() && AccessKind::ReadWrite.writes());
+    }
+
+    #[test]
+    fn null_recorder_passes_through() {
+        let r = NullRecorder;
+        let mut op = || 42u64;
+        let out = r.on_access(
+            Tid::ROOT,
+            1,
+            Loc::Global(GlobalId(0)),
+            AccessKind::Read,
+            false,
+            dummy_instr(),
+            &mut op,
+        );
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn counting_recorder_counts() {
+        let r = CountingRecorder::new();
+        let loc = Loc::Field(crate::value::ObjId(0), FieldId(0));
+        let mut op = || 0u64;
+        r.on_access(Tid::ROOT, 1, loc, AccessKind::Read, false, dummy_instr(), &mut op);
+        r.on_access(Tid::ROOT, 2, loc, AccessKind::Write, false, dummy_instr(), &mut op);
+        r.on_access(
+            Tid::ROOT,
+            3,
+            loc,
+            AccessKind::ReadWrite,
+            false,
+            dummy_instr(),
+            &mut op,
+        );
+        r.on_sync(
+            Tid::ROOT,
+            4,
+            SyncEvent::ThreadEnd,
+            dummy_instr(),
+        );
+        r.on_nondet(Tid::ROOT, 7);
+        assert_eq!(r.reads(), 1);
+        assert_eq!(r.writes(), 1);
+        assert_eq!(r.rmws(), 1);
+        assert_eq!(r.syncs(), 1);
+        assert_eq!(r.nondets(), 1);
+        assert_eq!(r.total(), 4);
+    }
+}

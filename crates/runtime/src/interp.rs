@@ -1,0 +1,990 @@
+//! The LIR interpreter: one OS thread per LIR thread, instrumented events
+//! gated through the scheduler and routed to the recorder.
+
+use crate::fault::{FaultKind, FaultReport};
+use crate::halt::{HaltFlag, Halted};
+use crate::heap::{Heap, Loc, Obj, ObjBody};
+use crate::hooks::{AccessKind, Recorder, SyncEvent};
+use crate::monitor::MonitorTable;
+use crate::nondet::{opaque_hash, NondetSource, ThreadRng};
+use crate::policy::SharedPolicy;
+use crate::registry::ThreadRegistry;
+use crate::sched::{Directive, EventClass, SchedStop, Scheduler};
+use crate::thread_id::Tid;
+use crate::value::{ObjId, Value};
+use lir::ast::{BinOp, UnOp};
+use lir::{BlockId, FuncId, Instr, InstrId, Intrinsic, Operand, Program, Reg, Terminator};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared state of one execution. One instance per [`crate::exec::run`].
+pub(crate) struct RunCtx {
+    pub program: Arc<Program>,
+    pub heap: Heap,
+    pub monitors: MonitorTable,
+    pub policy: SharedPolicy,
+    pub recorder: Arc<dyn Recorder>,
+    pub scheduler: Arc<dyn Scheduler>,
+    pub halt: HaltFlag,
+    pub fault: Mutex<Option<FaultReport>>,
+    pub prints: Mutex<Vec<String>>,
+    pub nondet: NondetSource,
+    pub nondet_seed: u64,
+    pub step_budget: AtomicI64,
+    pub events: AtomicU64,
+    pub threads: ThreadRegistry,
+    pub handles: Mutex<Vec<JoinHandle<()>>>,
+    pub wake_all_on_notify: bool,
+    pub max_call_depth: usize,
+    pub capture_prints: bool,
+}
+
+impl RunCtx {
+    /// Records the first fault and halts the run.
+    pub(crate) fn report_fault(&self, report: FaultReport) {
+        let mut slot = self.fault.lock();
+        if slot.is_none() {
+            *slot = Some(report);
+        }
+        drop(slot);
+        self.halt.set();
+    }
+}
+
+/// Why a thread's interpretation stopped early.
+enum ThreadStop {
+    /// A fault was raised (already reported to the [`RunCtx`]).
+    Fault,
+    /// The run is halting due to activity elsewhere.
+    Halted,
+}
+
+impl From<Halted> for ThreadStop {
+    fn from(_: Halted) -> Self {
+        ThreadStop::Halted
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    ip: usize,
+    regs: Vec<Value>,
+    /// Where the caller wants this frame's return value.
+    ret_dst: Option<Reg>,
+}
+
+struct ThreadCtx {
+    rt: Arc<RunCtx>,
+    tid: Tid,
+    /// Thread-local instrumentation counter (`D(t)` of Algorithm 1).
+    ctr: u64,
+    spawn_count: u32,
+    rng: ThreadRng,
+    steps: u64,
+    stack: Vec<Frame>,
+}
+
+const STEP_CHECK_INTERVAL: u64 = 1024;
+const MAX_ARRAY_LEN: i64 = 1 << 24;
+
+/// Runs function `func` as LIR thread `tid`, to completion or fault.
+/// `parent` is `(tid, counter)` of the parent's `Spawn` event.
+pub(crate) fn interp_thread(
+    rt: Arc<RunCtx>,
+    tid: Tid,
+    func: FuncId,
+    args: Vec<Value>,
+    parent: Option<(Tid, u64)>,
+) {
+    let mut ctx = ThreadCtx {
+        rt: rt.clone(),
+        tid,
+        ctr: 0,
+        spawn_count: 0,
+        rng: ThreadRng::new(rt.nondet_seed, tid),
+        steps: 0,
+        stack: Vec::new(),
+    };
+    let entry_iid = InstrId {
+        func,
+        block: BlockId(0),
+        idx: 0,
+    };
+    let _ = ctx.run_to_completion(func, args, parent, entry_iid);
+    rt.recorder.on_thread_exit(tid);
+    rt.threads.mark_finished(tid, ctx.ctr);
+    rt.scheduler.thread_exited(tid);
+}
+
+impl ThreadCtx {
+    fn run_to_completion(
+        &mut self,
+        func: FuncId,
+        args: Vec<Value>,
+        parent: Option<(Tid, u64)>,
+        entry_iid: InstrId,
+    ) -> Result<(), ThreadStop> {
+        let ctr = self.event(EventClass::ThreadStart, entry_iid, 0)?.0;
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::ThreadStart { parent }, entry_iid);
+        self.rt.scheduler.after_event(self.tid, ctr);
+
+        self.push_frame(func, args, None, entry_iid, 0)?;
+        self.run_frames()?;
+
+        let ctr = self.event(EventClass::ThreadEnd, entry_iid, 0)?.0;
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::ThreadEnd, entry_iid);
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(())
+    }
+
+    // -- plumbing ----------------------------------------------------------
+
+    fn fault(
+        &self,
+        iid: InstrId,
+        kind: FaultKind,
+        value: Value,
+        detail: impl Into<String>,
+    ) -> ThreadStop {
+        self.rt.report_fault(FaultReport {
+            tid: self.tid,
+            ctr: self.ctr,
+            instr: iid,
+            line: self.rt.program.line_of(iid),
+            kind,
+            value,
+            detail: detail.into(),
+        });
+        ThreadStop::Fault
+    }
+
+    /// Advances the event counter and passes the scheduler gate.
+    fn event(
+        &mut self,
+        class: EventClass,
+        iid: InstrId,
+        _line: u32,
+    ) -> Result<(u64, Directive), ThreadStop> {
+        self.ctr += 1;
+        if self.rt.halt.is_set() {
+            return Err(ThreadStop::Halted);
+        }
+        let directive = match self.rt.scheduler.before_event(self.tid, self.ctr, &class) {
+            Ok(d) => d,
+            Err(SchedStop::Halted) => return Err(ThreadStop::Halted),
+            Err(SchedStop::Deadlock) => {
+                return Err(self.fault(
+                    iid,
+                    FaultKind::Deadlock,
+                    Value::NULL,
+                    "all live threads are blocked",
+                ))
+            }
+            Err(SchedStop::Diverged(msg)) => {
+                return Err(self.fault(iid, FaultKind::ReplayDiverged, Value::NULL, msg))
+            }
+        };
+        self.rt.events.fetch_add(1, Ordering::Relaxed);
+        Ok((self.ctr, directive))
+    }
+
+    fn unblock(&self, iid: InstrId) -> Result<(), ThreadStop> {
+        match self.rt.scheduler.note_unblocked(self.tid) {
+            Ok(()) => Ok(()),
+            Err(SchedStop::Halted) => Err(ThreadStop::Halted),
+            Err(SchedStop::Deadlock) => Err(self.fault(
+                iid,
+                FaultKind::Deadlock,
+                Value::NULL,
+                "all live threads are blocked",
+            )),
+            Err(SchedStop::Diverged(msg)) => {
+                Err(self.fault(iid, FaultKind::ReplayDiverged, Value::NULL, msg))
+            }
+        }
+    }
+
+    /// Performs an instrumented data access. Returns `None` only for
+    /// suppressed blind writes.
+    fn shared_access(
+        &mut self,
+        loc: Loc,
+        kind: AccessKind,
+        guarded: bool,
+        iid: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> Result<Option<u64>, ThreadStop> {
+        let (ctr, directive) =
+            self.event(EventClass::Access { loc, kind, guarded }, iid, 0)?;
+        let out = match directive {
+            Directive::SuppressWrite => None,
+            Directive::Proceed => Some(
+                self.rt
+                    .recorder
+                    .on_access(self.tid, ctr, loc, kind, guarded, iid, op),
+            ),
+        };
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(out)
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_dst: Option<Reg>,
+        iid: InstrId,
+        _line: u32,
+    ) -> Result<(), ThreadStop> {
+        if self.stack.len() >= self.rt.max_call_depth {
+            return Err(self.fault(
+                iid,
+                FaultKind::StackOverflow,
+                Value::NULL,
+                format!("call depth exceeds {}", self.rt.max_call_depth),
+            ));
+        }
+        let f = self.rt.program.func(func);
+        let mut regs = vec![Value::ZERO; f.nregs as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a;
+        }
+        self.stack.push(Frame {
+            func,
+            block: 0,
+            ip: 0,
+            regs,
+            ret_dst,
+        });
+        Ok(())
+    }
+
+    fn val(&self, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.stack.last().expect("active frame").regs[r.index()],
+            Operand::Const(v) => Value::int(v),
+            Operand::Null => Value::NULL,
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: Value) {
+        self.stack.last_mut().expect("active frame").regs[r.index()] = v;
+    }
+
+    fn consume_step(&mut self, iid: InstrId) -> Result<(), ThreadStop> {
+        self.steps += 1;
+        if self.steps % STEP_CHECK_INTERVAL == 0 {
+            if self.rt.halt.is_set() {
+                return Err(ThreadStop::Halted);
+            }
+            let left = self
+                .rt
+                .step_budget
+                .fetch_sub(STEP_CHECK_INTERVAL as i64, Ordering::Relaxed);
+            if left <= 0 {
+                return Err(self.fault(
+                    iid,
+                    FaultKind::StepLimit,
+                    Value::NULL,
+                    "execution step budget exhausted",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves an operand expected to hold an object reference.
+    fn as_object(&self, v: Value, iid: InstrId, what: &str) -> Result<ObjId, ThreadStop> {
+        match v.as_obj() {
+            Some(o) => Ok(o),
+            None if v.is_null() => Err(self.fault(
+                iid,
+                FaultKind::NullDeref,
+                v,
+                format!("{what} on null"),
+            )),
+            None => Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                v,
+                format!("{what} on {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn as_int(&self, v: Value, iid: InstrId, what: &str) -> Result<i64, ThreadStop> {
+        v.as_int().ok_or_else(|| {
+            self.fault(
+                iid,
+                FaultKind::TypeError,
+                v,
+                format!("{what} requires an integer, got {}", v.type_name()),
+            )
+        })
+    }
+
+    fn obj(&self, id: ObjId) -> Arc<Obj> {
+        self.rt.heap.get(id).expect("object ids are never forged")
+    }
+
+    // -- main loop ---------------------------------------------------------
+
+    fn run_frames(&mut self) -> Result<(), ThreadStop> {
+        let program = self.rt.program.clone();
+        loop {
+            let (func_id, block_idx, ip) = {
+                let frame = self.stack.last().expect("active frame");
+                (frame.func, frame.block, frame.ip)
+            };
+            let func = program.func(func_id);
+            let block = &func.blocks[block_idx];
+            let iid = InstrId {
+                func: func_id,
+                block: BlockId(block_idx as u32),
+                idx: if ip < block.instrs.len() {
+                    ip as u32
+                } else {
+                    InstrId::TERM_IDX
+                },
+            };
+            self.consume_step(iid)?;
+
+            if ip < block.instrs.len() {
+                let instr = &block.instrs[ip];
+                self.stack.last_mut().expect("active frame").ip += 1;
+                self.step(instr, iid)?;
+            } else {
+                match block.term {
+                    Terminator::Jump(bb) => {
+                        let frame = self.stack.last_mut().expect("active frame");
+                        frame.block = bb.index();
+                        frame.ip = 0;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let taken = if self.val(cond).is_truthy() {
+                            then_bb
+                        } else {
+                            else_bb
+                        };
+                        let frame = self.stack.last_mut().expect("active frame");
+                        frame.block = taken.index();
+                        frame.ip = 0;
+                    }
+                    Terminator::Ret(v) => {
+                        let value = v.map(|op| self.val(op)).unwrap_or(Value::NULL);
+                        let frame = self.stack.pop().expect("active frame");
+                        if self.stack.is_empty() {
+                            return Ok(());
+                        }
+                        if let Some(dst) = frame.ret_dst {
+                            self.set_reg(dst, value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, instr: &Instr, iid: InstrId) -> Result<(), ThreadStop> {
+        match instr {
+            Instr::Move { dst, src } => {
+                let v = self.val(*src);
+                self.set_reg(*dst, v);
+            }
+            Instr::Un { dst, op, src } => {
+                let v = self.val(*src);
+                let out = match op {
+                    UnOp::Neg => Value::int(self.as_int(v, iid, "negation")?.wrapping_neg()),
+                    UnOp::Not => Value::int(i64::from(!v.is_truthy())),
+                };
+                self.set_reg(*dst, out);
+            }
+            Instr::Bin { dst, op, lhs, rhs } => {
+                let out = self.eval_bin(*op, self.val(*lhs), self.val(*rhs), iid)?;
+                self.set_reg(*dst, out);
+            }
+            Instr::New { dst, class } => {
+                let nfields = self.rt.program.class(*class).fields.len();
+                let shared = self.rt.policy.alloc_shared(iid);
+                let id = self.rt.heap.alloc_object(*class, nfields, shared);
+                self.set_reg(*dst, Value::obj(id));
+            }
+            Instr::NewArray { dst, len } => {
+                let n = self.as_int(self.val(*len), iid, "array length")?;
+                if !(0..=MAX_ARRAY_LEN).contains(&n) {
+                    return Err(self.fault(
+                        iid,
+                        FaultKind::TypeError,
+                        Value::int(n),
+                        format!("invalid array length {n}"),
+                    ));
+                }
+                let shared = self.rt.policy.alloc_shared(iid);
+                let guarded = self.rt.policy.alloc_guarded(iid);
+                let id = self.rt.heap.alloc_array_with(n as usize, shared, guarded);
+                self.set_reg(*dst, Value::obj(id));
+            }
+            Instr::GetField { dst, obj, field } => {
+                let oid = self.as_object(self.val(*obj), iid, "field read")?;
+                let o = self.obj(oid);
+                let slot = self.field_slot(&o, *field, iid)?;
+                let out = if self.rt.policy.field_shared(*field) {
+                    let mut op = || o.load_cell(slot).expect("slot validated").bits();
+                    self.shared_access(
+                        Loc::Field(oid, *field),
+                        AccessKind::Read,
+                        false,
+                        iid,
+                        &mut op,
+                    )?
+                    .expect("reads are never suppressed")
+                } else {
+                    o.load_cell(slot).expect("slot validated").bits()
+                };
+                self.set_reg(*dst, Value::from_bits(out));
+            }
+            Instr::SetField { obj, field, value } => {
+                let oid = self.as_object(self.val(*obj), iid, "field write")?;
+                let v = self.val(*value);
+                let o = self.obj(oid);
+                let slot = self.field_slot(&o, *field, iid)?;
+                if self.rt.policy.field_shared(*field) {
+                    let mut op = || {
+                        o.store_cell(slot, v);
+                        v.bits()
+                    };
+                    self.shared_access(
+                        Loc::Field(oid, *field),
+                        AccessKind::Write,
+                        false,
+                        iid,
+                        &mut op,
+                    )?;
+                } else {
+                    o.store_cell(slot, v);
+                }
+            }
+            Instr::GetElem { dst, arr, idx } => {
+                let (oid, o, slot) = self.elem_slot(*arr, *idx, iid)?;
+                let out = if o.shared {
+                    let mut op = || o.load_cell(slot).expect("slot validated").bits();
+                    self.shared_access(
+                        Loc::Elem(oid, slot as u32),
+                        AccessKind::Read,
+                        o.o2_guarded,
+                        iid,
+                        &mut op,
+                    )?
+                    .expect("reads are never suppressed")
+                } else {
+                    o.load_cell(slot).expect("slot validated").bits()
+                };
+                self.set_reg(*dst, Value::from_bits(out));
+            }
+            Instr::SetElem { arr, idx, value } => {
+                let (oid, o, slot) = self.elem_slot(*arr, *idx, iid)?;
+                let v = self.val(*value);
+                if o.shared {
+                    let mut op = || {
+                        o.store_cell(slot, v);
+                        v.bits()
+                    };
+                    self.shared_access(
+                        Loc::Elem(oid, slot as u32),
+                        AccessKind::Write,
+                        o.o2_guarded,
+                        iid,
+                        &mut op,
+                    )?;
+                } else {
+                    o.store_cell(slot, v);
+                }
+            }
+            Instr::GetGlobal { dst, global } => {
+                let out = if self.rt.policy.global_shared(*global) {
+                    let g = *global;
+                    let rt = self.rt.clone();
+                    let mut op = move || rt.heap.load_global(g).bits();
+                    self.shared_access(Loc::Global(g), AccessKind::Read, false, iid, &mut op)?
+                        .expect("reads are never suppressed")
+                } else {
+                    self.rt.heap.load_global(*global).bits()
+                };
+                self.set_reg(*dst, Value::from_bits(out));
+            }
+            Instr::SetGlobal { global, value } => {
+                let v = self.val(*value);
+                if self.rt.policy.global_shared(*global) {
+                    let g = *global;
+                    let rt = self.rt.clone();
+                    let mut op = move || {
+                        rt.heap.store_global(g, v);
+                        v.bits()
+                    };
+                    self.shared_access(Loc::Global(g), AccessKind::Write, false, iid, &mut op)?;
+                } else {
+                    self.rt.heap.store_global(*global, v);
+                }
+            }
+            Instr::Call { dst, func, args } => {
+                let argv: Vec<Value> = args.iter().map(|a| self.val(*a)).collect();
+                self.push_frame(*func, argv, *dst, iid, 0)?;
+            }
+            Instr::Intrinsic { dst, intr, args } => {
+                self.intrinsic(*dst, *intr, args, iid)?;
+            }
+            Instr::Spawn { dst, func, args } => {
+                self.spawn(*dst, *func, args, iid)?;
+            }
+            Instr::Join { handle } => {
+                self.join(*handle, iid)?;
+            }
+            Instr::MonitorEnter { obj } => {
+                self.monitor_enter(*obj, iid)?;
+            }
+            Instr::MonitorExit { obj } => {
+                self.monitor_exit(*obj, iid)?;
+            }
+            Instr::Wait { obj } => {
+                self.do_wait(*obj, iid)?;
+            }
+            Instr::Notify { obj, all } => {
+                self.do_notify(*obj, *all, iid)?;
+            }
+            Instr::Assert { cond } => {
+                let v = self.val(*cond);
+                if !v.is_truthy() {
+                    return Err(self.fault(iid, FaultKind::AssertFailed, v, "assertion failed"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_bin(&self, op: BinOp, a: Value, b: Value, iid: InstrId) -> Result<Value, ThreadStop> {
+        // Equality compares raw values of any type.
+        match op {
+            BinOp::Eq => return Ok(Value::int(i64::from(a == b))),
+            BinOp::Ne => return Ok(Value::int(i64::from(a != b))),
+            _ => {}
+        }
+        let x = self.as_int(a, iid, "arithmetic")?;
+        let y = self.as_int(b, iid, "arithmetic")?;
+        let out = match op {
+            BinOp::Add => Value::int(x.wrapping_add(y)),
+            BinOp::Sub => Value::int(x.wrapping_sub(y)),
+            BinOp::Mul => Value::int(x.wrapping_mul(y)),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(self.fault(iid, FaultKind::DivByZero, b, "division by zero"));
+                }
+                Value::int(x.wrapping_div(y))
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return Err(self.fault(iid, FaultKind::DivByZero, b, "remainder by zero"));
+                }
+                Value::int(x.wrapping_rem(y))
+            }
+            BinOp::BitAnd => Value::int(x & y),
+            BinOp::BitOr => Value::int(x | y),
+            BinOp::BitXor => Value::int(x ^ y),
+            BinOp::Shl => Value::int(x.wrapping_shl(y as u32 & 63)),
+            BinOp::Shr => Value::int(x.wrapping_shr(y as u32 & 63)),
+            BinOp::Lt => Value::int(i64::from(x < y)),
+            BinOp::Le => Value::int(i64::from(x <= y)),
+            BinOp::Gt => Value::int(i64::from(x > y)),
+            BinOp::Ge => Value::int(i64::from(x >= y)),
+            BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
+        };
+        Ok(out)
+    }
+
+    fn field_slot(&self, o: &Obj, field: lir::FieldId, iid: InstrId) -> Result<usize, ThreadStop> {
+        match &o.body {
+            ObjBody::Fields { class, .. } => {
+                self.rt.program.class(*class).slot_of(field).ok_or_else(|| {
+                    self.fault(
+                        iid,
+                        FaultKind::TypeError,
+                        Value::NULL,
+                        format!(
+                            "class `{}` has no field `{}`",
+                            self.rt.program.class(*class).name,
+                            self.rt.program.field_names[field.index()]
+                        ),
+                    )
+                })
+            }
+            _ => Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                Value::NULL,
+                "field access on non-class object",
+            )),
+        }
+    }
+
+    fn elem_slot(
+        &self,
+        arr: Operand,
+        idx: Operand,
+        iid: InstrId,
+    ) -> Result<(ObjId, Arc<Obj>, usize), ThreadStop> {
+        let oid = self.as_object(self.val(arr), iid, "array access")?;
+        let o = self.obj(oid);
+        let n = match &o.body {
+            ObjBody::Array { cells } => cells.len(),
+            _ => {
+                return Err(self.fault(
+                    iid,
+                    FaultKind::TypeError,
+                    Value::NULL,
+                    "indexing a non-array object",
+                ))
+            }
+        };
+        let i = self.as_int(self.val(idx), iid, "array index")?;
+        if i < 0 || i as usize >= n {
+            return Err(self.fault(
+                iid,
+                FaultKind::IndexOutOfBounds,
+                Value::int(i),
+                format!("index {i} out of bounds for length {n}"),
+            ));
+        }
+        Ok((oid, o, i as usize))
+    }
+
+    // -- intrinsics --------------------------------------------------------
+
+    fn intrinsic(
+        &mut self,
+        dst: Option<Reg>,
+        intr: Intrinsic,
+        args: &[Operand],
+        iid: InstrId,
+    ) -> Result<(), ThreadStop> {
+        let out: Value = match intr {
+            Intrinsic::Time => {
+                let v = self.nondet_value(iid, |ctx| ctx.rt.nondet.tick_clock())?;
+                Value::int(v)
+            }
+            Intrinsic::Rand => {
+                let bound = self.as_int(self.val(args[0]), iid, "rand bound")?;
+                if bound <= 0 {
+                    return Err(self.fault(
+                        iid,
+                        FaultKind::TypeError,
+                        Value::int(bound),
+                        "rand bound must be positive",
+                    ));
+                }
+                let v = self.nondet_value(iid, |ctx| ctx.rng.below(bound))?;
+                Value::int(v)
+            }
+            Intrinsic::Hash => Value::int(opaque_hash(self.val(args[0]).bits())),
+            Intrinsic::Print => {
+                let text = format!("{}", self.val(args[0]));
+                if self.rt.capture_prints {
+                    self.rt.prints.lock().push(text);
+                }
+                return Ok(());
+            }
+            Intrinsic::ArrayLen => {
+                let oid = self.as_object(self.val(args[0]), iid, "len")?;
+                let o = self.obj(oid);
+                match &o.body {
+                    ObjBody::Array { cells } => Value::int(cells.len() as i64),
+                    _ => {
+                        return Err(self.fault(
+                            iid,
+                            FaultKind::TypeError,
+                            Value::NULL,
+                            "len of a non-array object",
+                        ))
+                    }
+                }
+            }
+            Intrinsic::MapNew => {
+                let shared = self.rt.policy.alloc_shared(iid);
+                let guarded = self.rt.policy.alloc_guarded(iid);
+                Value::obj(self.rt.heap.alloc_map_with(shared, guarded))
+            }
+            Intrinsic::MapGet
+            | Intrinsic::MapPut
+            | Intrinsic::MapRemove
+            | Intrinsic::MapContains
+            | Intrinsic::MapSize => self.map_op(intr, args, iid)?,
+        };
+        if let Some(dst) = dst {
+            self.set_reg(dst, out);
+        }
+        Ok(())
+    }
+
+    fn nondet_value(
+        &mut self,
+        iid: InstrId,
+        compute: impl FnOnce(&mut Self) -> i64,
+    ) -> Result<i64, ThreadStop> {
+        let v = match &self.rt.nondet {
+            NondetSource::Real { .. } => compute(self),
+            NondetSource::Scripted { .. } => {
+                let rt = self.rt.clone();
+                match rt.nondet.next(self.tid, |_| unreachable!("scripted")) {
+                    Some(v) => v,
+                    None => {
+                        return Err(self.fault(
+                            iid,
+                            FaultKind::ReplayDiverged,
+                            Value::NULL,
+                            "scripted nondeterministic values exhausted",
+                        ))
+                    }
+                }
+            }
+        };
+        self.rt.recorder.on_nondet(self.tid, v);
+        Ok(v)
+    }
+
+    fn map_op(
+        &mut self,
+        intr: Intrinsic,
+        args: &[Operand],
+        iid: InstrId,
+    ) -> Result<Value, ThreadStop> {
+        let oid = self.as_object(self.val(args[0]), iid, "map operation")?;
+        let o = self.obj(oid);
+        if !matches!(o.body, ObjBody::Map { .. }) {
+            return Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                Value::obj(oid),
+                "map operation on a non-map object",
+            ));
+        }
+        let key = args.get(1).map(|a| self.val(*a));
+        let put_val = args.get(2).map(|a| self.val(*a));
+        let kind = match intr {
+            Intrinsic::MapGet | Intrinsic::MapContains | Intrinsic::MapSize => AccessKind::Read,
+            _ => AccessKind::ReadWrite,
+        };
+        let o2 = o.clone();
+        let mut op = move || {
+            let result = match intr {
+                Intrinsic::MapGet => o2.map_get(key.expect("arity")),
+                Intrinsic::MapPut => o2.map_put(key.expect("arity"), put_val.expect("arity")),
+                Intrinsic::MapRemove => o2.map_remove(key.expect("arity")),
+                Intrinsic::MapContains => o2.map_contains(key.expect("arity")),
+                Intrinsic::MapSize => o2.map_size(),
+                _ => unreachable!("map_op called with non-map intrinsic"),
+            };
+            result.expect("map body checked").bits()
+        };
+        let bits = if o.shared {
+            self.shared_access(Loc::MapState(oid), kind, o.o2_guarded, iid, &mut op)?
+                .expect("map accesses are never suppressed")
+        } else {
+            op()
+        };
+        Ok(Value::from_bits(bits))
+    }
+
+    // -- concurrency instructions -------------------------------------------
+
+    fn spawn(
+        &mut self,
+        dst: Reg,
+        func: FuncId,
+        args: &[Operand],
+        iid: InstrId,
+    ) -> Result<(), ThreadStop> {
+        if self.spawn_count >= 254 {
+            return Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                Value::NULL,
+                "more than 254 spawns from one thread",
+            ));
+        }
+        if self.tid.raw() >= (1 << 48) {
+            return Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                Value::NULL,
+                "spawn tree too deep",
+            ));
+        }
+        let child = self.tid.child(self.spawn_count);
+        self.spawn_count += 1;
+
+        let (ctr, _) = self.event(EventClass::Spawn(child), iid, 0)?;
+        // Register only after passing the gate: a serializing scheduler
+        // must not wait for a thread whose OS counterpart does not exist
+        // yet. Registration still precedes the OS spawn, so the child is
+        // known before it can run.
+        self.rt.scheduler.thread_created(child);
+        self.rt.threads.register(child);
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::Spawn { child }, iid);
+        self.rt.scheduler.after_event(self.tid, ctr);
+
+        let argv: Vec<Value> = args.iter().map(|a| self.val(*a)).collect();
+        let rt = self.rt.clone();
+        let parent = Some((self.tid, ctr));
+        let handle = std::thread::Builder::new()
+            .name(format!("lir-{child}"))
+            .spawn(move || interp_thread(rt, child, func, argv, parent))
+            .expect("OS thread spawn");
+        self.rt.handles.lock().push(handle);
+        self.set_reg(dst, Value::thread(child));
+        Ok(())
+    }
+
+    fn join(&mut self, handle: Operand, iid: InstrId) -> Result<(), ThreadStop> {
+        let hv = self.val(handle);
+        let Some(child) = hv.as_thread() else {
+            return Err(self.fault(
+                iid,
+                FaultKind::TypeError,
+                hv,
+                "join requires a thread handle",
+            ));
+        };
+        let (ctr, _) = self.event(EventClass::Join(child), iid, 0)?;
+        let end_ctr = match self.rt.threads.try_end(child) {
+            Some(e) => e,
+            None => {
+                self.rt.scheduler.note_blocked(self.tid);
+                let res = self.rt.threads.wait_finished(child, &self.rt.halt);
+                self.unblock(iid)?;
+                res?
+            }
+        };
+        self.rt.recorder.on_sync(
+            self.tid,
+            ctr,
+            SyncEvent::Join {
+                child,
+                child_end: end_ctr,
+            },
+            iid,
+        );
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(())
+    }
+
+    fn monitor_enter(&mut self, obj: Operand, iid: InstrId) -> Result<(), ThreadStop> {
+        let oid = self.as_object(self.val(obj), iid, "sync")?;
+        let (ctr, _) = self.event(EventClass::MonitorEnter(oid), iid, 0)?;
+        let m = self.rt.monitors.monitor(oid);
+        if !m.try_enter(self.tid) {
+            self.rt.scheduler.note_blocked(self.tid);
+            m.enter_blocking(self.tid, &self.rt.halt)?;
+            self.unblock(iid)?;
+        }
+        // Recorded while holding the monitor: acquisition order is exact.
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::MonitorEnter { obj: oid }, iid);
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(())
+    }
+
+    fn monitor_exit(&mut self, obj: Operand, iid: InstrId) -> Result<(), ThreadStop> {
+        let oid = self.as_object(self.val(obj), iid, "sync exit")?;
+        let m = self.rt.monitors.monitor(oid);
+        if !m.owned_by(self.tid) {
+            return Err(self.fault(
+                iid,
+                FaultKind::MonitorMisuse,
+                Value::obj(oid),
+                "monitor exit without ownership",
+            ));
+        }
+        let (ctr, _) = self.event(EventClass::MonitorExit(oid), iid, 0)?;
+        // Recorded while still holding the monitor.
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::MonitorExit { obj: oid }, iid);
+        m.exit(self.tid).expect("ownership checked above");
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(())
+    }
+
+    fn do_wait(&mut self, obj: Operand, iid: InstrId) -> Result<(), ThreadStop> {
+        let oid = self.as_object(self.val(obj), iid, "wait")?;
+        let m = self.rt.monitors.monitor(oid);
+        if !m.owned_by(self.tid) {
+            return Err(self.fault(
+                iid,
+                FaultKind::MonitorMisuse,
+                Value::obj(oid),
+                "wait without owning the monitor",
+            ));
+        }
+        // Phase 1: wait_before (releases the lock).
+        let (c1, _) = self.event(EventClass::WaitBefore(oid), iid, 0)?;
+        self.rt
+            .recorder
+            .on_sync(self.tid, c1, SyncEvent::WaitBefore { obj: oid }, iid);
+        self.rt.scheduler.after_event(self.tid, c1);
+
+        let saved = m.wait_begin(self.tid).expect("ownership checked above");
+        self.rt.scheduler.note_blocked(self.tid);
+        let notifier = m.wait_block(self.tid, &self.rt.halt)?;
+        self.unblock(iid)?;
+
+        // Phase 2: wait_after (reacquires the lock).
+        let (c2, _) = self.event(EventClass::WaitAfter(oid), iid, 0)?;
+        self.rt.scheduler.note_blocked(self.tid);
+        m.reacquire(self.tid, saved, &self.rt.halt)?;
+        self.unblock(iid)?;
+        self.rt.recorder.on_sync(
+            self.tid,
+            c2,
+            SyncEvent::WaitAfter {
+                obj: oid,
+                notifier: Some(notifier),
+            },
+            iid,
+        );
+        self.rt.scheduler.after_event(self.tid, c2);
+        Ok(())
+    }
+
+    fn do_notify(&mut self, obj: Operand, all: bool, iid: InstrId) -> Result<(), ThreadStop> {
+        let oid = self.as_object(self.val(obj), iid, "notify")?;
+        let m = self.rt.monitors.monitor(oid);
+        if !m.owned_by(self.tid) {
+            return Err(self.fault(
+                iid,
+                FaultKind::MonitorMisuse,
+                Value::obj(oid),
+                "notify without owning the monitor",
+            ));
+        }
+        let (ctr, _) = self.event(EventClass::Notify(oid), iid, 0)?;
+        self.rt
+            .recorder
+            .on_sync(self.tid, ctr, SyncEvent::Notify { obj: oid, all }, iid);
+        m.notify(self.tid, (self.tid, ctr), all, self.rt.wake_all_on_notify)
+            .expect("ownership checked above");
+        self.rt.scheduler.after_event(self.tid, ctr);
+        Ok(())
+    }
+}

@@ -1,0 +1,72 @@
+//! Concurrent interpreter for LIR programs with instrumentation hooks.
+//!
+//! This crate is the execution substrate of the Light reproduction. It runs
+//! LIR programs with one OS thread per LIR thread over a shared heap with
+//! Java-style monitors, and exposes exactly the interface a record/replay
+//! technique needs:
+//!
+//! - every shared access, monitor operation and thread operation is an
+//!   *instrumented event* with a per-thread counter (the `D(t)` counters of
+//!   the paper's Algorithm 1), routed through a pluggable [`Recorder`];
+//! - execution is gated through a pluggable scheduler:
+//!   [`SchedulerSpec::Free`] for native parallelism (overhead
+//!   measurements), [`SchedulerSpec::Chaos`] for seed-reproducible
+//!   interleaving exploration (finding buggy original runs), and
+//!   [`SchedulerSpec::Controlled`] for enforcing a solver-computed replay
+//!   schedule;
+//! - nondeterministic intrinsics (`time`, `rand`) can be recorded and
+//!   played back ([`NondetMode`]);
+//! - faults carry the correlation data of the paper's Theorem 1
+//!   ([`FaultReport::correlates_with`]).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use light_runtime::{run, ExecConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(lir::parse(
+//!     "global total;
+//!      fn add(n) { total = total + n; }
+//!      fn main() {
+//!          let t = spawn add(2);
+//!          join t;
+//!          add(1);
+//!          assert(total == 3);
+//!      }",
+//! )?);
+//! let outcome = run(&program, &[], ExecConfig::default())?;
+//! assert!(outcome.completed());
+//! # Ok(())
+//! # }
+//! ```
+
+mod exec;
+mod fault;
+mod halt;
+mod heap;
+mod hooks;
+mod interp;
+mod monitor;
+mod nondet;
+mod policy;
+mod registry;
+mod sched;
+mod thread_id;
+mod value;
+
+pub use exec::{run, ExecConfig, RunOutcome, RunStats, SchedulerSpec, SetupError};
+pub use fault::{FaultKind, FaultReport};
+pub use halt::{HaltFlag, Halted};
+pub use heap::{Heap, Loc, Obj, ObjBody};
+pub use hooks::{AccessKind, CountingRecorder, NullRecorder, Recorder, SyncEvent};
+pub use monitor::{Monitor, MonitorTable, NotOwner, NotifierId};
+pub use nondet::{opaque_hash, NondetMode};
+pub use policy::SharedPolicy;
+pub use sched::{
+    ChaosScheduler, ControlledScheduler, Directive, EventClass, FreeScheduler, ReplaySchedule,
+    SchedStop, Scheduler, SlotAction,
+};
+pub use thread_id::Tid;
+pub use value::{ObjId, Value};

@@ -1,0 +1,401 @@
+//! Java-style reentrant monitors with `wait`/`notify`.
+//!
+//! Each LIR object can serve as a monitor (as in the JVM). The
+//! implementation reports which `notify` woke which waiter, which Light's
+//! recorder consumes to order `notify → wait_after` (Section 4.3), and
+//! supports a *wake-all* mode used during replay, where the controlled
+//! scheduler — not the monitor's FIFO discipline — decides which waiter
+//! proceeds.
+
+use crate::halt::{HaltFlag, Halted, HALT_TICK};
+use crate::thread_id::Tid;
+use crate::value::ObjId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of the `notify` event that woke a waiter: `(thread, counter)`.
+pub type NotifierId = (Tid, u64);
+
+/// Monitor misuse (operating on a monitor the thread does not own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotOwner;
+
+struct Waiter {
+    tid: Tid,
+    notified: Option<NotifierId>,
+}
+
+#[derive(Default)]
+struct MonState {
+    owner: Option<Tid>,
+    count: u32,
+    waiters: Vec<Waiter>,
+}
+
+/// One object's monitor.
+pub struct Monitor {
+    state: Mutex<MonState>,
+    cv: Condvar,
+}
+
+impl Monitor {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(MonState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Attempts to acquire without blocking. Returns `true` on success
+    /// (including reentrant re-acquisition).
+    pub fn try_enter(&self, tid: Tid) -> bool {
+        let mut st = self.state.lock();
+        match st.owner {
+            None => {
+                st.owner = Some(tid);
+                st.count = 1;
+                true
+            }
+            Some(owner) if owner == tid => {
+                st.count += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Acquires, blocking until available or halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the halt flag is raised while waiting.
+    pub fn enter_blocking(&self, tid: Tid, halt: &HaltFlag) -> Result<(), Halted> {
+        let mut st = self.state.lock();
+        loop {
+            match st.owner {
+                None => {
+                    st.owner = Some(tid);
+                    st.count = 1;
+                    return Ok(());
+                }
+                Some(owner) if owner == tid => {
+                    st.count += 1;
+                    return Ok(());
+                }
+                Some(_) => {
+                    if halt.is_set() {
+                        return Err(Halted);
+                    }
+                    self.cv.wait_for(&mut st, HALT_TICK);
+                }
+            }
+        }
+    }
+
+    /// Releases one level of ownership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotOwner`] if `tid` does not own the monitor.
+    pub fn exit(&self, tid: Tid) -> Result<(), NotOwner> {
+        let mut st = self.state.lock();
+        if st.owner != Some(tid) {
+            return Err(NotOwner);
+        }
+        st.count -= 1;
+        if st.count == 0 {
+            st.owner = None;
+            self.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// First phase of `wait`: registers `tid` as a waiter and fully
+    /// releases the monitor, returning the saved recursion count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotOwner`] if `tid` does not own the monitor.
+    pub fn wait_begin(&self, tid: Tid) -> Result<u32, NotOwner> {
+        let mut st = self.state.lock();
+        if st.owner != Some(tid) {
+            return Err(NotOwner);
+        }
+        let saved = st.count;
+        st.owner = None;
+        st.count = 0;
+        st.waiters.push(Waiter {
+            tid,
+            notified: None,
+        });
+        self.cv.notify_all();
+        Ok(saved)
+    }
+
+    /// Second phase of `wait`: blocks until a `notify` marks this waiter,
+    /// then removes it from the wait set and reports the notifier. The
+    /// monitor is *not* yet reacquired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the halt flag is raised while waiting.
+    pub fn wait_block(&self, tid: Tid, halt: &HaltFlag) -> Result<NotifierId, Halted> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(pos) = st
+                .waiters
+                .iter()
+                .position(|w| w.tid == tid && w.notified.is_some())
+            {
+                let waiter = st.waiters.remove(pos);
+                return Ok(waiter.notified.expect("checked above"));
+            }
+            if halt.is_set() {
+                // Deregister so the wait set stays clean.
+                st.waiters.retain(|w| w.tid != tid);
+                return Err(Halted);
+            }
+            self.cv.wait_for(&mut st, HALT_TICK);
+        }
+    }
+
+    /// Final phase of `wait`: reacquires the monitor with the saved count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the halt flag is raised while waiting.
+    pub fn reacquire(&self, tid: Tid, saved: u32, halt: &HaltFlag) -> Result<(), Halted> {
+        let mut st = self.state.lock();
+        loop {
+            if st.owner.is_none() {
+                st.owner = Some(tid);
+                st.count = saved;
+                return Ok(());
+            }
+            if halt.is_set() {
+                return Err(Halted);
+            }
+            self.cv.wait_for(&mut st, HALT_TICK);
+        }
+    }
+
+    /// Notifies waiters. With `all` (or `wake_all` — replay mode) every
+    /// current waiter is marked; otherwise the longest-waiting one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotOwner`] if `tid` does not own the monitor.
+    pub fn notify(
+        &self,
+        tid: Tid,
+        notifier: NotifierId,
+        all: bool,
+        wake_all: bool,
+    ) -> Result<(), NotOwner> {
+        let mut st = self.state.lock();
+        if st.owner != Some(tid) {
+            return Err(NotOwner);
+        }
+        if all || wake_all {
+            for w in st.waiters.iter_mut() {
+                if w.notified.is_none() {
+                    w.notified = Some(notifier);
+                }
+            }
+        } else if let Some(w) = st.waiters.iter_mut().find(|w| w.notified.is_none()) {
+            w.notified = Some(notifier);
+        }
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Whether `tid` currently owns this monitor.
+    pub fn owned_by(&self, tid: Tid) -> bool {
+        self.state.lock().owner == Some(tid)
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Lazily materialized monitors, sharded to reduce contention.
+pub struct MonitorTable {
+    shards: Vec<Mutex<HashMap<ObjId, Arc<Monitor>>>>,
+}
+
+impl MonitorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The monitor for `obj`, creating it on first use.
+    pub fn monitor(&self, obj: ObjId) -> Arc<Monitor> {
+        let shard = &self.shards[obj.index() % SHARDS];
+        shard
+            .lock()
+            .entry(obj)
+            .or_insert_with(|| Arc::new(Monitor::new()))
+            .clone()
+    }
+}
+
+impl Default for MonitorTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn reentrant_enter_exit() {
+        let m = Monitor::new();
+        let t = Tid::ROOT;
+        assert!(m.try_enter(t));
+        assert!(m.try_enter(t));
+        m.exit(t).unwrap();
+        assert!(m.owned_by(t));
+        m.exit(t).unwrap();
+        assert!(!m.owned_by(t));
+    }
+
+    #[test]
+    fn try_enter_fails_when_held_by_other() {
+        let m = Monitor::new();
+        assert!(m.try_enter(Tid::ROOT));
+        assert!(!m.try_enter(Tid::ROOT.child(0)));
+    }
+
+    #[test]
+    fn exit_without_ownership_is_misuse() {
+        let m = Monitor::new();
+        assert_eq!(m.exit(Tid::ROOT), Err(NotOwner));
+    }
+
+    #[test]
+    fn blocking_enter_succeeds_after_release() {
+        let m = Arc::new(Monitor::new());
+        let halt = HaltFlag::new();
+        let t1 = Tid::ROOT;
+        let t2 = Tid::ROOT.child(0);
+        assert!(m.try_enter(t1));
+        let m2 = m.clone();
+        let h2 = halt.clone();
+        let handle = thread::spawn(move || m2.enter_blocking(t2, &h2));
+        thread::sleep(Duration::from_millis(30));
+        m.exit(t1).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(()));
+        assert!(m.owned_by(t2));
+    }
+
+    #[test]
+    fn blocking_enter_honors_halt() {
+        let m = Arc::new(Monitor::new());
+        let halt = HaltFlag::new();
+        assert!(m.try_enter(Tid::ROOT));
+        let m2 = m.clone();
+        let h2 = halt.clone();
+        let handle = thread::spawn(move || m2.enter_blocking(Tid::ROOT.child(0), &h2));
+        thread::sleep(Duration::from_millis(20));
+        halt.set();
+        assert_eq!(handle.join().unwrap(), Err(Halted));
+    }
+
+    #[test]
+    fn wait_notify_round_trip() {
+        let m = Arc::new(Monitor::new());
+        let halt = HaltFlag::new();
+        let waiter_tid = Tid::ROOT.child(0);
+        let notifier_tid = Tid::ROOT;
+
+        let m2 = m.clone();
+        let h2 = halt.clone();
+        let waiter = thread::spawn(move || {
+            assert!(m2.try_enter(waiter_tid));
+            assert!(m2.try_enter(waiter_tid)); // depth 2
+            let saved = m2.wait_begin(waiter_tid).unwrap();
+            assert_eq!(saved, 2);
+            let notifier = m2.wait_block(waiter_tid, &h2).unwrap();
+            m2.reacquire(waiter_tid, saved, &h2).unwrap();
+            assert!(m2.owned_by(waiter_tid));
+            m2.exit(waiter_tid).unwrap();
+            m2.exit(waiter_tid).unwrap();
+            notifier
+        });
+
+        // Give the waiter time to release.
+        thread::sleep(Duration::from_millis(30));
+        m.enter_blocking(notifier_tid, &halt).unwrap();
+        m.notify(notifier_tid, (notifier_tid, 42), false, false)
+            .unwrap();
+        m.exit(notifier_tid).unwrap();
+        assert_eq!(waiter.join().unwrap(), (notifier_tid, 42));
+    }
+
+    #[test]
+    fn single_notify_wakes_fifo_first() {
+        let m = Arc::new(Monitor::new());
+        let halt = HaltFlag::new();
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        // Register two waiters directly (in order t1, t2).
+        assert!(m.try_enter(t1));
+        m.wait_begin(t1).unwrap();
+        assert!(m.try_enter(t2));
+        m.wait_begin(t2).unwrap();
+
+        assert!(m.try_enter(Tid::ROOT));
+        m.notify(Tid::ROOT, (Tid::ROOT, 1), false, false).unwrap();
+        m.exit(Tid::ROOT).unwrap();
+
+        // t1 was first in the wait set; only it is notified.
+        assert_eq!(m.wait_block(t1, &halt), Ok((Tid::ROOT, 1)));
+        halt.set();
+        assert_eq!(m.wait_block(t2, &halt), Err(Halted));
+    }
+
+    #[test]
+    fn wake_all_mode_marks_every_waiter() {
+        let m = Arc::new(Monitor::new());
+        let halt = HaltFlag::new();
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        assert!(m.try_enter(t1));
+        m.wait_begin(t1).unwrap();
+        assert!(m.try_enter(t2));
+        m.wait_begin(t2).unwrap();
+
+        assert!(m.try_enter(Tid::ROOT));
+        m.notify(Tid::ROOT, (Tid::ROOT, 9), false, true).unwrap();
+        m.exit(Tid::ROOT).unwrap();
+
+        assert_eq!(m.wait_block(t1, &halt), Ok((Tid::ROOT, 9)));
+        assert_eq!(m.wait_block(t2, &halt), Ok((Tid::ROOT, 9)));
+    }
+
+    #[test]
+    fn notify_requires_ownership() {
+        let m = Monitor::new();
+        assert_eq!(
+            m.notify(Tid::ROOT, (Tid::ROOT, 1), false, false),
+            Err(NotOwner)
+        );
+    }
+
+    #[test]
+    fn table_returns_same_monitor_for_same_object() {
+        let table = MonitorTable::new();
+        let a = table.monitor(ObjId(3));
+        let b = table.monitor(ObjId(3));
+        let c = table.monitor(ObjId(4));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,171 @@
+//! Sources of nondeterministic intrinsic values (`time`, `rand`).
+//!
+//! During the original run these come from a live source and are recorded
+//! (Section 3.2: "we record the value of the call in the original run and
+//! replace the call with the recorded value in the replay run"). During
+//! replay a scripted source plays the recorded per-thread sequences back.
+
+use crate::thread_id::Tid;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Configuration for nondeterministic intrinsics.
+#[derive(Debug, Clone)]
+pub enum NondetMode {
+    /// Live values: a shared logical clock for `time()` and per-thread
+    /// seeded generators for `rand(n)`.
+    Real {
+        /// Base seed; each thread derives its stream from `seed ^ tid`.
+        seed: u64,
+    },
+    /// Scripted playback of recorded values, per thread, in call order.
+    Scripted(HashMap<Tid, Vec<i64>>),
+}
+
+impl Default for NondetMode {
+    fn default() -> Self {
+        NondetMode::Real { seed: 0 }
+    }
+}
+
+/// A per-run instance of a [`NondetMode`].
+pub(crate) enum NondetSource {
+    Real {
+        clock: AtomicI64,
+    },
+    Scripted {
+        queues: Mutex<HashMap<Tid, VecDeque<i64>>>,
+    },
+}
+
+impl NondetSource {
+    pub(crate) fn new(mode: &NondetMode) -> Self {
+        match mode {
+            NondetMode::Real { .. } => NondetSource::Real {
+                clock: AtomicI64::new(1),
+            },
+            NondetMode::Scripted(map) => NondetSource::Scripted {
+                queues: Mutex::new(
+                    map.iter()
+                        .map(|(&tid, vals)| (tid, vals.iter().copied().collect()))
+                        .collect(),
+                ),
+            },
+        }
+    }
+
+    /// Produces the next value for `tid`; `compute` supplies the live value
+    /// when in real mode. Returns `None` when a scripted queue is exhausted
+    /// (a replay divergence).
+    pub(crate) fn next(&self, tid: Tid, compute: impl FnOnce(&Self) -> i64) -> Option<i64> {
+        match self {
+            NondetSource::Real { .. } => Some(compute(self)),
+            NondetSource::Scripted { queues } => {
+                queues.lock().get_mut(&tid).and_then(|q| q.pop_front())
+            }
+        }
+    }
+
+    /// The shared logical clock (real mode only).
+    pub(crate) fn tick_clock(&self) -> i64 {
+        match self {
+            NondetSource::Real { clock } => clock.fetch_add(1, Ordering::SeqCst),
+            NondetSource::Scripted { .. } => 0,
+        }
+    }
+}
+
+/// A deterministic per-thread pseudo-random stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadRng {
+    state: u64,
+}
+
+impl ThreadRng {
+    pub(crate) fn new(seed: u64, tid: Tid) -> Self {
+        Self {
+            state: seed ^ tid.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub(crate) fn below(&mut self, bound: i64) -> i64 {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as i64
+    }
+}
+
+/// Deterministic 61-bit-positive hash used by the `hash` intrinsic.
+pub fn opaque_hash(bits: u64) -> i64 {
+    let mut z = bits.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) & ((1 << 60) - 1)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_mode_clock_increases() {
+        let src = NondetSource::new(&NondetMode::Real { seed: 1 });
+        let a = src.next(Tid::ROOT, |s| s.tick_clock()).unwrap();
+        let b = src.next(Tid::ROOT, |s| s.tick_clock()).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn scripted_mode_plays_back_in_order() {
+        let mut map = HashMap::new();
+        map.insert(Tid::ROOT, vec![7, 8, 9]);
+        let src = NondetSource::new(&NondetMode::Scripted(map));
+        assert_eq!(src.next(Tid::ROOT, |_| unreachable!()), Some(7));
+        assert_eq!(src.next(Tid::ROOT, |_| unreachable!()), Some(8));
+        assert_eq!(src.next(Tid::ROOT, |_| unreachable!()), Some(9));
+        assert_eq!(src.next(Tid::ROOT, |_| unreachable!()), None);
+    }
+
+    #[test]
+    fn scripted_mode_is_per_thread() {
+        let mut map = HashMap::new();
+        map.insert(Tid::ROOT, vec![1]);
+        let src = NondetSource::new(&NondetMode::Scripted(map));
+        assert_eq!(src.next(Tid::ROOT.child(0), |_| unreachable!()), None);
+    }
+
+    #[test]
+    fn thread_rng_is_deterministic_and_bounded() {
+        let mut a = ThreadRng::new(42, Tid::ROOT.child(1));
+        let mut b = ThreadRng::new(42, Tid::ROOT.child(1));
+        for _ in 0..100 {
+            let v = a.below(10);
+            assert_eq!(v, b.below(10));
+            assert!((0..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn thread_rng_streams_differ_by_thread() {
+        let mut a = ThreadRng::new(42, Tid::ROOT.child(1));
+        let mut b = ThreadRng::new(42, Tid::ROOT.child(2));
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn opaque_hash_is_deterministic_and_positive() {
+        assert_eq!(opaque_hash(123), opaque_hash(123));
+        assert_ne!(opaque_hash(123), opaque_hash(124));
+        assert!(opaque_hash(u64::MAX) >= 0);
+    }
+}

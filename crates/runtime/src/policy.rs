@@ -1,0 +1,121 @@
+//! Shared-location policy: which static locations get instrumented.
+//!
+//! The paper restricts recording to *shared* locations, detected with
+//! conservative static analysis (Soot/Chord). The `light-analysis` crate
+//! computes an [`SharedPolicy::Analyzed`] policy; [`SharedPolicy::All`]
+//! instruments everything (always sound, used as the conservative
+//! fallback and in tests).
+
+use lir::{FieldId, GlobalId, InstrId};
+use std::collections::HashSet;
+
+/// Decides which accesses are instrumented.
+#[derive(Debug, Clone)]
+pub enum SharedPolicy {
+    /// Instrument every global, field, array and map access.
+    All,
+    /// Instrument only locations the static analysis reports as shared.
+    Analyzed {
+        /// `FieldId` → shared? (indexed table).
+        shared_fields: Vec<bool>,
+        /// `GlobalId` → shared?
+        shared_globals: Vec<bool>,
+        /// Allocation sites (`New`/`NewArray`/`map_new` instructions) whose
+        /// objects escape to multiple threads.
+        shared_allocs: HashSet<InstrId>,
+        /// Allocation sites whose containers are consistently
+        /// lock-guarded: element/map accesses carry an O2 hint so Light's
+        /// recorder can skip them (Lemma 4.2).
+        guarded_allocs: HashSet<InstrId>,
+    },
+}
+
+impl SharedPolicy {
+    /// Whether accesses to `field` are instrumented.
+    pub fn field_shared(&self, field: FieldId) -> bool {
+        match self {
+            SharedPolicy::All => true,
+            SharedPolicy::Analyzed { shared_fields, .. } => {
+                shared_fields.get(field.index()).copied().unwrap_or(true)
+            }
+        }
+    }
+
+    /// Whether accesses to `global` are instrumented.
+    pub fn global_shared(&self, global: GlobalId) -> bool {
+        match self {
+            SharedPolicy::All => true,
+            SharedPolicy::Analyzed { shared_globals, .. } => {
+                shared_globals.get(global.index()).copied().unwrap_or(true)
+            }
+        }
+    }
+
+    /// Whether objects allocated at `site` have instrumented element/map
+    /// accesses.
+    pub fn alloc_shared(&self, site: InstrId) -> bool {
+        match self {
+            SharedPolicy::All => true,
+            SharedPolicy::Analyzed { shared_allocs, .. } => shared_allocs.contains(&site),
+        }
+    }
+
+    /// Whether containers allocated at `site` are consistently
+    /// lock-guarded (O2 hint for element/map accesses).
+    pub fn alloc_guarded(&self, site: InstrId) -> bool {
+        match self {
+            SharedPolicy::All => false,
+            SharedPolicy::Analyzed { guarded_allocs, .. } => guarded_allocs.contains(&site),
+        }
+    }
+}
+
+impl Default for SharedPolicy {
+    fn default() -> Self {
+        SharedPolicy::All
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{BlockId, FuncId};
+
+    #[test]
+    fn all_policy_instruments_everything() {
+        let p = SharedPolicy::All;
+        assert!(p.field_shared(FieldId(7)));
+        assert!(p.global_shared(GlobalId(7)));
+        assert!(p.alloc_shared(InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0
+        }));
+    }
+
+    #[test]
+    fn analyzed_policy_filters() {
+        let site = InstrId {
+            func: FuncId(1),
+            block: BlockId(0),
+            idx: 2,
+        };
+        let p = SharedPolicy::Analyzed {
+            shared_fields: vec![true, false],
+            shared_globals: vec![false],
+            shared_allocs: [site].into_iter().collect(),
+            guarded_allocs: Default::default(),
+        };
+        assert!(p.field_shared(FieldId(0)));
+        assert!(!p.field_shared(FieldId(1)));
+        // Out-of-table ids are conservatively shared.
+        assert!(p.field_shared(FieldId(9)));
+        assert!(!p.global_shared(GlobalId(0)));
+        assert!(p.alloc_shared(site));
+        assert!(!p.alloc_shared(InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0
+        }));
+    }
+}

@@ -1,0 +1,129 @@
+//! Bookkeeping of LIR thread lifecycles (for `join`).
+
+use crate::halt::{HaltFlag, Halted, HALT_TICK};
+use crate::thread_id::Tid;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadState {
+    finished: bool,
+    /// Counter value of the thread's `ThreadEnd` event.
+    end_ctr: u64,
+}
+
+/// Tracks which LIR threads have finished, and at what counter.
+#[derive(Default)]
+pub struct ThreadRegistry {
+    inner: Mutex<HashMap<Tid, ThreadState>>,
+    cv: Condvar,
+}
+
+impl ThreadRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a thread before it starts.
+    pub fn register(&self, tid: Tid) {
+        self.inner.lock().insert(
+            tid,
+            ThreadState {
+                finished: false,
+                end_ctr: 0,
+            },
+        );
+    }
+
+    /// Marks a thread finished at counter `end_ctr` and wakes joiners.
+    pub fn mark_finished(&self, tid: Tid, end_ctr: u64) {
+        let mut inner = self.inner.lock();
+        inner.insert(
+            tid,
+            ThreadState {
+                finished: true,
+                end_ctr,
+            },
+        );
+        self.cv.notify_all();
+    }
+
+    /// The end counter of `tid` if it already finished.
+    pub fn try_end(&self, tid: Tid) -> Option<u64> {
+        self.inner
+            .lock()
+            .get(&tid)
+            .filter(|s| s.finished)
+            .map(|s| s.end_ctr)
+    }
+
+    /// Blocks until `tid` finishes, returning its end counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the halt flag is raised first.
+    pub fn wait_finished(&self, tid: Tid, halt: &HaltFlag) -> Result<u64, Halted> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(st) = inner.get(&tid) {
+                if st.finished {
+                    return Ok(st.end_ctr);
+                }
+            }
+            if halt.is_set() {
+                return Err(Halted);
+            }
+            self.cv.wait_for(&mut inner, HALT_TICK);
+        }
+    }
+
+    /// Total threads ever registered.
+    pub fn count(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn join_after_finish_is_immediate() {
+        let reg = ThreadRegistry::new();
+        let t = Tid::ROOT.child(0);
+        reg.register(t);
+        assert_eq!(reg.try_end(t), None);
+        reg.mark_finished(t, 17);
+        assert_eq!(reg.try_end(t), Some(17));
+    }
+
+    #[test]
+    fn wait_finished_blocks_until_marked() {
+        let reg = Arc::new(ThreadRegistry::new());
+        let halt = HaltFlag::new();
+        let t = Tid::ROOT.child(0);
+        reg.register(t);
+        let reg2 = reg.clone();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            reg2.mark_finished(t, 5);
+        });
+        assert_eq!(reg.wait_finished(t, &halt), Ok(5));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_finished_honors_halt() {
+        let reg = ThreadRegistry::new();
+        let halt = HaltFlag::new();
+        halt.set();
+        assert_eq!(
+            reg.wait_finished(Tid::ROOT.child(0), &halt),
+            Err(Halted)
+        );
+    }
+}

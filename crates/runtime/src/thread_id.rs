@@ -1,0 +1,111 @@
+//! Logical thread identities stable across record and replay runs.
+//!
+//! Light correlates transitions across runs by `(thread, thread-local
+//! counter)` (Definition 3.3). OS thread ids differ between runs, so each
+//! LIR thread gets a *logical* id derived from its position in the spawn
+//! tree: the root is 0, and the `k`-th thread spawned by a parent gets the
+//! parent's id extended by the digit `k + 1` in base 256. Because spawn
+//! order within one thread is program-ordered, these ids are identical in
+//! every run of the same program.
+//!
+//! The encoding supports spawn trees up to depth 8 with up to 255 spawns
+//! per thread, far beyond any workload in this repository.
+
+use std::fmt;
+
+/// A logical thread id (spawn-tree path packed into a `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tid(u64);
+
+impl Tid {
+    /// The root (main) thread.
+    pub const ROOT: Tid = Tid(0);
+
+    /// The id of this thread's `k`-th spawned child (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 255` or the spawn tree exceeds depth 8.
+    pub fn child(self, k: u32) -> Tid {
+        assert!(k < 255, "more than 255 spawns from one thread");
+        let shifted = self
+            .0
+            .checked_mul(256)
+            .expect("spawn tree deeper than 8 levels");
+        Tid(shifted + u64::from(k) + 1)
+    }
+
+    /// The raw packed representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a tid from [`Tid::raw`].
+    pub fn from_raw(raw: u64) -> Tid {
+        Tid(raw)
+    }
+
+    /// Whether this is the root thread.
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, "t0");
+        }
+        // Render the spawn path, e.g. t0.1.3
+        let mut digits = Vec::new();
+        let mut v = self.0;
+        while v != 0 {
+            digits.push((v % 256) as u8);
+            v /= 256;
+        }
+        write!(f, "t0")?;
+        for d in digits.iter().rev() {
+            write!(f, ".{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_are_unique() {
+        let a = Tid::ROOT.child(0);
+        let b = Tid::ROOT.child(1);
+        let aa = a.child(0);
+        let ab = a.child(1);
+        let ba = b.child(0);
+        let all = [Tid::ROOT, a, b, aa, ab, ba];
+        for (i, x) in all.iter().enumerate() {
+            for (j, y) in all.iter().enumerate() {
+                assert_eq!(i == j, x == y, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let t = Tid::ROOT.child(5).child(2);
+        assert_eq!(Tid::from_raw(t.raw()), t);
+    }
+
+    #[test]
+    fn display_shows_path() {
+        assert_eq!(Tid::ROOT.to_string(), "t0");
+        assert_eq!(Tid::ROOT.child(0).to_string(), "t0.1");
+        assert_eq!(Tid::ROOT.child(2).child(0).to_string(), "t0.3.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "255")]
+    fn too_many_children_panics() {
+        Tid::ROOT.child(255);
+    }
+}

@@ -1,0 +1,217 @@
+//! Tagged 64-bit runtime values.
+//!
+//! Heap cells must be readable and writable atomically under real
+//! parallelism, so every LIR value is packed into a single `u64` with a
+//! 3-bit tag in the low bits:
+//!
+//! | tag | meaning                       |
+//! |-----|-------------------------------|
+//! | 000 | 61-bit signed integer         |
+//! | 001 | heap object reference         |
+//! | 010 | `null`                        |
+//! | 011 | thread handle                 |
+//!
+//! Integers therefore have 61 bits of range; arithmetic is performed on the
+//! decoded `i64` and re-encoded by truncation to 61 bits (documented,
+//! deterministic wrap-around).
+
+use crate::thread_id::Tid;
+use std::fmt;
+
+/// Index of an object in the [`crate::heap::Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+const TAG_BITS: u32 = 3;
+const TAG_MASK: u64 = 0b111;
+const TAG_INT: u64 = 0b000;
+const TAG_REF: u64 = 0b001;
+const TAG_NULL: u64 = 0b010;
+const TAG_THREAD: u64 = 0b011;
+
+/// A dynamically typed LIR value packed into 64 bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(u64);
+
+impl Value {
+    /// The `null` value.
+    pub const NULL: Value = Value(TAG_NULL);
+
+    /// The integer zero.
+    pub const ZERO: Value = Value(TAG_INT);
+
+    /// Encodes an integer, truncating to 61 bits (two's complement wrap).
+    pub fn int(v: i64) -> Value {
+        Value(((v << TAG_BITS) as u64) | TAG_INT)
+    }
+
+    /// Encodes an object reference.
+    pub fn obj(id: ObjId) -> Value {
+        Value(((id.0 as u64) << TAG_BITS) | TAG_REF)
+    }
+
+    /// Encodes a thread handle.
+    pub fn thread(tid: Tid) -> Value {
+        Value((tid.raw() << TAG_BITS) | TAG_THREAD)
+    }
+
+    /// Reconstructs a value from its raw bit pattern (as stored in a heap
+    /// cell). The inverse of [`Value::bits`].
+    pub fn from_bits(bits: u64) -> Value {
+        Value(bits)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The decoded integer, if this is an integer.
+    pub fn as_int(self) -> Option<i64> {
+        (self.0 & TAG_MASK == TAG_INT).then(|| (self.0 as i64) >> TAG_BITS)
+    }
+
+    /// The object id, if this is a reference.
+    pub fn as_obj(self) -> Option<ObjId> {
+        (self.0 & TAG_MASK == TAG_REF).then(|| ObjId((self.0 >> TAG_BITS) as u32))
+    }
+
+    /// The thread id, if this is a thread handle.
+    pub fn as_thread(self) -> Option<Tid> {
+        (self.0 & TAG_MASK == TAG_THREAD).then(|| Tid::from_raw(self.0 >> TAG_BITS))
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(self) -> bool {
+        self.0 & TAG_MASK == TAG_NULL
+    }
+
+    /// Truthiness: `null` and integer 0 are false; everything else is true.
+    pub fn is_truthy(self) -> bool {
+        match self.0 & TAG_MASK {
+            TAG_INT => self.as_int() != Some(0),
+            TAG_NULL => false,
+            _ => true,
+        }
+    }
+
+    /// A short type name for diagnostics.
+    pub fn type_name(self) -> &'static str {
+        match self.0 & TAG_MASK {
+            TAG_INT => "int",
+            TAG_REF => "ref",
+            TAG_NULL => "null",
+            TAG_THREAD => "thread",
+            _ => "invalid",
+        }
+    }
+}
+
+impl Default for Value {
+    /// Heap cells start as integer zero (like Java primitive defaults).
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::int(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 & TAG_MASK {
+            TAG_INT => write!(f, "{}", (self.0 as i64) >> TAG_BITS),
+            TAG_REF => write!(f, "#{}", self.0 >> TAG_BITS),
+            TAG_NULL => write!(f, "null"),
+            TAG_THREAD => write!(f, "<thread {}>", self.0 >> TAG_BITS),
+            _ => write!(f, "<invalid {:x}>", self.0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for v in [0i64, 1, -1, 42, -42, (1 << 60) - 1, -(1 << 60)] {
+            assert_eq!(Value::int(v).as_int(), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn int_wraps_at_61_bits() {
+        let big = 1i64 << 62;
+        // 2^62 truncated to 61 bits is 0.
+        assert_eq!(Value::int(big).as_int(), Some(0));
+    }
+
+    #[test]
+    fn obj_round_trip() {
+        let v = Value::obj(ObjId(12345));
+        assert_eq!(v.as_obj(), Some(ObjId(12345)));
+        assert_eq!(v.as_int(), None);
+        assert!(!v.is_null());
+    }
+
+    #[test]
+    fn thread_round_trip() {
+        let tid = Tid::ROOT.child(3).child(7);
+        let v = Value::thread(tid);
+        assert_eq!(v.as_thread(), Some(tid));
+        assert_eq!(v.as_obj(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::NULL.is_truthy());
+        assert!(!Value::int(0).is_truthy());
+        assert!(Value::int(1).is_truthy());
+        assert!(Value::int(-7).is_truthy());
+        assert!(Value::obj(ObjId(0)).is_truthy());
+        assert!(Value::thread(Tid::ROOT).is_truthy());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let v = Value::int(-99);
+        assert_eq!(Value::from_bits(v.bits()), v);
+    }
+
+    #[test]
+    fn null_distinct_from_zero_and_obj0() {
+        assert_ne!(Value::NULL, Value::int(0));
+        assert_ne!(Value::NULL, Value::obj(ObjId(0)));
+        assert_ne!(Value::int(0), Value::obj(ObjId(0)));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Value::int(5)), "5");
+        assert_eq!(format!("{:?}", Value::NULL), "null");
+        assert_eq!(format!("{:?}", Value::obj(ObjId(2))), "#2");
+    }
+}

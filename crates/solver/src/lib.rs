@@ -1,0 +1,24 @@
+//! An Integer Difference Logic ordering solver.
+//!
+//! Light's replay phase (paper Section 4.2) discharges a constraint system
+//! to an SMT solver using only the Integer Difference Logic theory: order
+//! variables `O(c)`, hard constraints `O(c_w) < O(c_r)` for each flow
+//! dependence, thread-local order constraints, and binary disjunctions for
+//! non-interference (Equation 1). No program-value arithmetic is involved —
+//! that is the paper's central argument for why record-based replay avoids
+//! the solver limitations that cripple computation-based replay.
+//!
+//! This crate implements exactly that fragment:
+//!
+//! - [`DiffGraph`] — an incremental difference-constraint graph maintaining
+//!   a valid potential function (Cotton–Maler refinement, negative-cycle
+//!   conflict detection, O(1) backtracking);
+//! - [`OrderSolver`] — DPLL-style backtracking over one disjunct per
+//!   clause, with the graph as the theory oracle, producing a [`Model`]
+//!   whose [`Model::total_order`] is the replay schedule.
+
+mod graph;
+mod solver;
+
+pub use graph::{AddResult, DiffGraph, Var};
+pub use solver::{Atom, Model, OrderSolver, SolveError, SolveStats};

@@ -1,0 +1,371 @@
+//! The ordering solver: conjunction of clauses over strict-order atoms,
+//! solved by backtracking search with the difference graph as the theory.
+
+use crate::graph::{AddResult, DiffGraph, Var};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An atom `left < right`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub left: Var,
+    pub right: Var,
+}
+
+impl Atom {
+    /// Builds `left < right`.
+    pub fn lt(left: Var, right: Var) -> Self {
+        Self { left, right }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O({}) < O({})", self.left.0, self.right.0)
+    }
+}
+
+/// Why solving failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The hard (unit) constraints are contradictory.
+    UnsatHard { constraint: Atom },
+    /// No choice of disjuncts satisfies every clause.
+    UnsatClauses,
+    /// The configured search budget was exhausted.
+    BudgetExhausted,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnsatHard { constraint } => {
+                write!(f, "hard constraint {constraint} is inconsistent")
+            }
+            SolveError::UnsatClauses => write!(f, "disjunctive clauses are unsatisfiable"),
+            SolveError::BudgetExhausted => write!(f, "solver budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Search statistics for one [`OrderSolver::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    pub decisions: u64,
+    pub backtracks: u64,
+    pub hard_constraints: u64,
+    pub clauses: u64,
+    pub solve_time: Duration,
+}
+
+/// A satisfying assignment mapping each variable to an integer such that
+/// all chosen atoms hold.
+#[derive(Debug, Clone)]
+pub struct Model {
+    values: Vec<i64>,
+}
+
+impl Model {
+    /// The value assigned to `v`.
+    pub fn value(&self, v: Var) -> i64 {
+        self.values[v.index()]
+    }
+
+    /// All variables sorted by assigned value (ties broken by variable id):
+    /// a total order consistent with every constraint.
+    pub fn total_order(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = (0..self.values.len() as u32).map(Var).collect();
+        vars.sort_by_key(|v| (self.values[v.index()], v.0));
+        vars
+    }
+}
+
+/// A solver instance: create variables, assert hard orderings and
+/// disjunctive clauses, then [`OrderSolver::solve`].
+///
+/// This is the fragment of Integer Difference Logic that Light's replay
+/// constraint system (Equation 1) needs: strict-order atoms, conjunction of
+/// binary disjunctions, no arithmetic over program values.
+///
+/// # Example
+///
+/// ```
+/// use light_solver::{OrderSolver, Atom};
+///
+/// let mut solver = OrderSolver::new();
+/// let w1 = solver.new_var();
+/// let r1 = solver.new_var();
+/// let w2 = solver.new_var();
+/// let r2 = solver.new_var();
+/// solver.add_lt(w1, r1); // flow dependence w1 -> r1
+/// solver.add_lt(w2, r2); // flow dependence w2 -> r2
+/// // Non-interference: r1 before w2, or r2 before w1.
+/// solver.add_clause(vec![Atom::lt(r1, w2), Atom::lt(r2, w1)]);
+/// let model = solver.solve().expect("satisfiable");
+/// assert!(model.value(w1) < model.value(r1));
+/// assert!(model.value(r1) < model.value(w2) || model.value(r2) < model.value(w1));
+/// ```
+#[derive(Debug, Default)]
+pub struct OrderSolver {
+    graph: DiffGraph,
+    hard: Vec<Atom>,
+    clauses: Vec<Vec<Atom>>,
+    max_decisions: u64,
+}
+
+impl OrderSolver {
+    /// Creates an empty solver with the default search budget.
+    pub fn new() -> Self {
+        Self {
+            max_decisions: 50_000_000,
+            ..Self::default()
+        }
+    }
+
+    /// Caps the number of search decisions before giving up.
+    pub fn with_budget(mut self, max_decisions: u64) -> Self {
+        self.max_decisions = max_decisions;
+        self
+    }
+
+    /// Allocates a fresh order variable.
+    pub fn new_var(&mut self) -> Var {
+        self.graph.new_var()
+    }
+
+    /// Current variable count.
+    pub fn num_vars(&self) -> usize {
+        self.graph.num_vars()
+    }
+
+    /// Asserts the hard constraint `a < b`.
+    pub fn add_lt(&mut self, a: Var, b: Var) {
+        self.hard.push(Atom::lt(a, b));
+    }
+
+    /// Asserts a disjunction of atoms (at least one must hold).
+    /// An empty clause makes the system unsatisfiable.
+    pub fn add_clause(&mut self, atoms: Vec<Atom>) {
+        self.clauses.push(atoms);
+    }
+
+    /// Solves the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when the system is unsatisfiable or the search budget
+    /// is exhausted.
+    pub fn solve(&mut self) -> Result<Model, SolveError> {
+        self.solve_with_stats().map(|(m, _)| m)
+    }
+
+    /// Solves and reports search statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`OrderSolver::solve`].
+    pub fn solve_with_stats(&mut self) -> Result<(Model, SolveStats), SolveError> {
+        let start = Instant::now();
+        let mut stats = SolveStats {
+            hard_constraints: self.hard.len() as u64,
+            clauses: self.clauses.len() as u64,
+            ..SolveStats::default()
+        };
+
+        for &atom in &self.hard {
+            if self.graph.add_lt(atom.left, atom.right) == AddResult::NegativeCycle {
+                return Err(SolveError::UnsatHard { constraint: atom });
+            }
+        }
+
+        // Sort clauses smallest-first (units behave like hard constraints).
+        let mut clauses = self.clauses.clone();
+        clauses.sort_by_key(Vec::len);
+        if clauses.iter().any(Vec::is_empty) {
+            return Err(SolveError::UnsatClauses);
+        }
+
+        // Depth-first search over one atom per clause.
+        struct DecisionFrame {
+            clause: usize,
+            atom: usize,
+            mark: usize,
+        }
+        let mut trail: Vec<DecisionFrame> = Vec::new();
+        let mut clause_idx = 0usize;
+        'search: while clause_idx < clauses.len() {
+            let mut atom_idx = 0usize;
+            loop {
+                if stats.decisions >= self.max_decisions {
+                    return Err(SolveError::BudgetExhausted);
+                }
+                if atom_idx < clauses[clause_idx].len() {
+                    let atom = clauses[clause_idx][atom_idx];
+                    stats.decisions += 1;
+                    let mark = self.graph.mark();
+                    if self.graph.add_lt(atom.left, atom.right) == AddResult::Ok {
+                        trail.push(DecisionFrame {
+                            clause: clause_idx,
+                            atom: atom_idx,
+                            mark,
+                        });
+                        clause_idx += 1;
+                        continue 'search;
+                    }
+                    atom_idx += 1;
+                } else {
+                    // Exhausted this clause: backtrack.
+                    stats.backtracks += 1;
+                    let Some(frame) = trail.pop() else {
+                        return Err(SolveError::UnsatClauses);
+                    };
+                    self.graph.pop_to(frame.mark);
+                    clause_idx = frame.clause;
+                    atom_idx = frame.atom + 1;
+                }
+            }
+        }
+
+        let values: Vec<i64> = (0..self.graph.num_vars() as u32)
+            .map(|v| self.graph.value(Var(v)))
+            .collect();
+        stats.solve_time = start.elapsed();
+        // Reset graph state so solve() can be called again.
+        self.graph.pop_to(0);
+        Ok((Model { values }, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_is_sat() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let model = s.solve().unwrap();
+        assert_eq!(model.value(a), 0);
+    }
+
+    #[test]
+    fn hard_cycle_is_unsat() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_lt(a, b);
+        s.add_lt(b, a);
+        assert!(matches!(s.solve(), Err(SolveError::UnsatHard { .. })));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = OrderSolver::new();
+        let _ = s.new_var();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve().unwrap_err(), SolveError::UnsatClauses);
+    }
+
+    #[test]
+    fn clause_forces_backtracking() {
+        // hard: a < b, b < c.
+        // clause1: (c < a) ∨ (a < c)  -- first disjunct conflicts.
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_lt(a, b);
+        s.add_lt(b, c);
+        s.add_clause(vec![Atom::lt(c, a), Atom::lt(a, c)]);
+        let model = s.solve().unwrap();
+        assert!(model.value(a) < model.value(c));
+    }
+
+    #[test]
+    fn interacting_clauses_need_deep_backtracking() {
+        // Chain of choices where the first option is always a trap.
+        let mut s = OrderSolver::new();
+        let vars: Vec<_> = (0..8).map(|_| s.new_var()).collect();
+        // Hard chain on even vars: v0 < v2 < v4 < v6.
+        s.add_lt(vars[0], vars[2]);
+        s.add_lt(vars[2], vars[4]);
+        s.add_lt(vars[4], vars[6]);
+        // Clauses whose first atoms build toward a cycle with the chain.
+        s.add_clause(vec![Atom::lt(vars[6], vars[1]), Atom::lt(vars[1], vars[0])]);
+        s.add_clause(vec![Atom::lt(vars[1], vars[4]), Atom::lt(vars[6], vars[3])]);
+        s.add_clause(vec![Atom::lt(vars[4], vars[1]), Atom::lt(vars[3], vars[7])]);
+        let model = s.solve().unwrap();
+        // Verify every clause has a true disjunct.
+        let holds = |a: Var, b: Var| model.value(a) < model.value(b);
+        assert!(holds(vars[6], vars[1]) || holds(vars[1], vars[0]));
+        assert!(holds(vars[1], vars[4]) || holds(vars[6], vars[3]));
+        assert!(holds(vars[4], vars[1]) || holds(vars[3], vars[7]));
+    }
+
+    #[test]
+    fn unsat_clause_combination() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Atom::lt(a, b)]);
+        s.add_clause(vec![Atom::lt(b, a)]);
+        assert_eq!(s.solve().unwrap_err(), SolveError::UnsatClauses);
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_lt(b, a);
+        s.add_lt(a, c);
+        let model = s.solve().unwrap();
+        let order = model.total_order();
+        let pos = |v: Var| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(pos(a) < pos(c));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let mut s = OrderSolver::new().with_budget(2);
+        let vars: Vec<_> = (0..6).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(vec![Atom::lt(w[0], w[1]), Atom::lt(w[1], w[0])]);
+        }
+        // Forcing conflicts exhausts two decisions quickly.
+        s.add_lt(vars[5], vars[0]);
+        match s.solve() {
+            Err(SolveError::BudgetExhausted) | Err(SolveError::UnsatClauses) | Ok(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_is_repeatable() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_lt(a, b);
+        let m1 = s.solve().unwrap();
+        let m2 = s.solve().unwrap();
+        assert_eq!(m1.value(a), m2.value(a));
+        assert_eq!(m1.value(b), m2.value(b));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = OrderSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_lt(a, b);
+        s.add_clause(vec![Atom::lt(b, a), Atom::lt(a, b)]);
+        let (_, stats) = s.solve_with_stats().unwrap();
+        assert_eq!(stats.hard_constraints, 1);
+        assert_eq!(stats.clauses, 1);
+        assert!(stats.decisions >= 1);
+    }
+}

@@ -1,0 +1,1141 @@
+//! The 24 overhead benchmarks (Figures 4, 5 and 7).
+//!
+//! Every program takes `main(t, n)` — thread count and problem scale — and
+//! mirrors the shared-memory shape of its original suite:
+//!
+//! - **JGF** kernels: dense numeric loops over shared arrays, little
+//!   locking;
+//! - **STAMP**-style applications: transactional read-modify-write over
+//!   shared tables (maps) and grids, guarded by locks;
+//! - **server/crawler** applications: request loops over synchronized
+//!   shared structures, wait/notify handoffs;
+//! - **Dacapo**-style applications: mixed read-heavy / locked-update
+//!   workloads.
+
+use lir::Program;
+use std::sync::Arc;
+
+/// Which suite a benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    Jgf,
+    Stamp,
+    Server,
+    Dacapo,
+}
+
+impl Suite {
+    /// Display name matching the paper's grouping.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Jgf => "JGF",
+            Suite::Stamp => "STAMP",
+            Suite::Server => "server",
+            Suite::Dacapo => "Dacapo",
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub name: &'static str,
+    pub suite: Suite,
+    pub source: &'static str,
+    /// Default `(threads, scale)` for a quick measurement run.
+    pub default_args: (i64, i64),
+}
+
+impl Workload {
+    /// Parses the program (panics on parse errors — covered by tests).
+    pub fn program(&self) -> Arc<Program> {
+        crate::parse_program(self.name, self.source)
+    }
+
+    /// The `main(t, n)` argument vector for a given thread count and scale
+    /// multiplier (1 = default).
+    pub fn args(&self, threads: i64, scale_mul: i64) -> Vec<i64> {
+        vec![threads, self.default_args.1 * scale_mul]
+    }
+
+    /// Default argument vector.
+    pub fn default_arg_vec(&self) -> Vec<i64> {
+        vec![self.default_args.0, self.default_args.1]
+    }
+}
+
+/// The full catalog, in the order the figures print them.
+pub fn benchmarks() -> Vec<Workload> {
+    vec![
+        Workload { name: "jgf.series", suite: Suite::Jgf, source: JGF_SERIES, default_args: (4, 600) },
+        Workload { name: "jgf.crypt", suite: Suite::Jgf, source: JGF_CRYPT, default_args: (4, 800) },
+        Workload { name: "jgf.sor", suite: Suite::Jgf, source: JGF_SOR, default_args: (4, 400) },
+        Workload { name: "stamp.kmeans", suite: Suite::Stamp, source: STAMP_KMEANS, default_args: (4, 300) },
+        Workload { name: "stamp.vacation", suite: Suite::Stamp, source: STAMP_VACATION, default_args: (4, 150) },
+        Workload { name: "stamp.genome", suite: Suite::Stamp, source: STAMP_GENOME, default_args: (4, 250) },
+        Workload { name: "stamp.intruder", suite: Suite::Stamp, source: STAMP_INTRUDER, default_args: (4, 150) },
+        Workload { name: "stamp.labyrinth", suite: Suite::Stamp, source: STAMP_LABYRINTH, default_args: (4, 300) },
+        Workload { name: "stamp.ssca2", suite: Suite::Stamp, source: STAMP_SSCA2, default_args: (4, 300) },
+        Workload { name: "stamp.yada", suite: Suite::Stamp, source: STAMP_YADA, default_args: (4, 250) },
+        Workload { name: "stamp.bayes", suite: Suite::Stamp, source: STAMP_BAYES, default_args: (4, 120) },
+        Workload { name: "srv.cache4j", suite: Suite::Server, source: SRV_CACHE4J, default_args: (4, 250) },
+        Workload { name: "srv.ftpserver", suite: Suite::Server, source: SRV_FTPSERVER, default_args: (4, 120) },
+        Workload { name: "srv.tomcat-pool", suite: Suite::Server, source: SRV_TOMCAT_POOL, default_args: (4, 150) },
+        Workload { name: "srv.weblech", suite: Suite::Server, source: SRV_WEBLECH, default_args: (4, 150) },
+        Workload { name: "srv.lucene-index", suite: Suite::Server, source: SRV_LUCENE_INDEX, default_args: (4, 150) },
+        Workload { name: "srv.httpmsg", suite: Suite::Server, source: SRV_HTTPMSG, default_args: (4, 150) },
+        Workload { name: "srv.chat", suite: Suite::Server, source: SRV_CHAT, default_args: (4, 80) },
+        Workload { name: "dc.sensor-net", suite: Suite::Dacapo, source: DC_SENSOR_NET, default_args: (4, 150) },
+        Workload { name: "dc.h2-bank", suite: Suite::Dacapo, source: DC_H2_BANK, default_args: (4, 200) },
+        Workload { name: "dc.lusearch", suite: Suite::Dacapo, source: DC_LUSEARCH, default_args: (4, 300) },
+        Workload { name: "dc.raytrace", suite: Suite::Dacapo, source: DC_RAYTRACE, default_args: (4, 250) },
+        Workload { name: "dc.transform", suite: Suite::Dacapo, source: DC_TRANSFORM, default_args: (4, 200) },
+        Workload { name: "dc.trading", suite: Suite::Dacapo, source: DC_TRADING, default_args: (4, 150) },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// JGF kernels
+// ---------------------------------------------------------------------------
+
+const JGF_SERIES: &str = "
+// Fourier-series-style kernel: each thread fills a strip of shared
+// coefficient arrays, then a locked reduction combines them.
+global coeff_a; global coeff_b; global total; global lock;
+class L { field pad; }
+
+fn term(k) {
+    // A cheap stand-in for the trigonometric term.
+    let x = k * 2609 + 53;
+    let y = (x * x) % 10007;
+    return y - 5000;
+}
+
+fn worker(id, t, n) {
+    let i = id;
+    let local_sum = 0;
+    while (i < n) {
+        let a = term(i);
+        let b = term(i + 1);
+        coeff_a[i] = a;
+        coeff_b[i] = b;
+        local_sum = local_sum + a - b;
+        i = i + t;
+    }
+    sync (lock) { total = total + local_sum; }
+}
+
+fn main(t, n) {
+    lock = new L();
+    coeff_a = new [n];
+    coeff_b = new [n];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn worker(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(total); }
+}";
+
+const JGF_CRYPT: &str = "
+// IDEA-style block transform: encrypt a shared buffer in strips, then
+// decrypt and check round-trip.
+global plain; global cipher; global back; global ok; global lock;
+class L { field pad; }
+
+fn enc(v, k) { return ((v * 17 + k) % 251) ^ 37; }
+fn dec(v, k) {
+    let u = v ^ 37;
+    // Brute-force modular inverse (small domain keeps this cheap).
+    let c = 0;
+    while (c < 251) {
+        if ((c * 17 + k) % 251 == u) { return c; }
+        c = c + 1;
+    }
+    return 0;
+}
+
+fn enc_worker(id, t, n) {
+    let i = id;
+    while (i < n) { cipher[i] = enc(plain[i], i % 7); i = i + t; }
+}
+
+fn dec_worker(id, t, n) {
+    let i = id;
+    while (i < n) { back[i] = dec(cipher[i], i % 7); i = i + t; }
+}
+
+fn main(t, n) {
+    lock = new L();
+    plain = new [n];
+    cipher = new [n];
+    back = new [n];
+    let i = 0;
+    while (i < n) { plain[i] = i % 251; i = i + 1; }
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn enc_worker(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    i = 0;
+    while (i < t) { hs[i] = spawn dec_worker(i, t, n); i = i + 1; }
+    j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    ok = 1;
+    i = 0;
+    while (i < n) {
+        if (back[i] != plain[i]) { ok = 0; }
+        i = i + 1;
+    }
+    assert(ok == 1);
+}";
+
+const JGF_SOR: &str = "
+// Red/black successive over-relaxation on a shared 1-D grid; iterations
+// are separated by join barriers.
+global grid; global lock; global residual;
+class L { field pad; }
+
+fn sweep(id, t, n, color) {
+    let i = id * 2 + color + 1;
+    let local_res = 0;
+    while (i < n - 1) {
+        let new_v = (grid[i - 1] + grid[i + 1]) / 2;
+        local_res = local_res + new_v - grid[i];
+        grid[i] = new_v;
+        i = i + t * 2;
+    }
+    sync (lock) { residual = residual + local_res; }
+}
+
+fn main(t, n) {
+    lock = new L();
+    grid = new [n];
+    let i = 0;
+    while (i < n) { grid[i] = (i * 31) % 100; i = i + 1; }
+    let iter = 0;
+    while (iter < 4) {
+        let color = iter % 2;
+        let hs = new [t];
+        i = 0;
+        while (i < t) { hs[i] = spawn sweep(i, t, n, color); i = i + 1; }
+        let j = 0;
+        while (j < t) { join hs[j]; j = j + 1; }
+        iter = iter + 1;
+    }
+    sync (lock) { print(residual); }
+}";
+
+// ---------------------------------------------------------------------------
+// STAMP-style transactional applications
+// ---------------------------------------------------------------------------
+
+const STAMP_KMEANS: &str = "
+// k-means: shared read-only points, locked centroid accumulation.
+global points; global sums; global counts; global lock;
+class L { field pad; }
+
+fn assign(id, t, n, k) {
+    let i = id;
+    while (i < n) {
+        let p = points[i];
+        let c = p % k;
+        sync (lock) {
+            sums[c] = sums[c] + p;
+            counts[c] = counts[c] + 1;
+        }
+        i = i + t;
+    }
+}
+
+fn main(t, n) {
+    let k = 5;
+    lock = new L();
+    points = new [n];
+    sums = new [k];
+    counts = new [k];
+    let i = 0;
+    while (i < n) { points[i] = (i * 7919) % 1000; i = i + 1; }
+    let round = 0;
+    while (round < 2) {
+        let hs = new [t];
+        i = 0;
+        while (i < t) { hs[i] = spawn assign(i, t, n, k); i = i + 1; }
+        let j = 0;
+        while (j < t) { join hs[j]; j = j + 1; }
+        round = round + 1;
+    }
+    sync (lock) {
+        let total = 0;
+        i = 0;
+        while (i < 5) { total = total + counts[i]; i = i + 1; }
+        assert(total == 2 * n);
+    }
+}";
+
+const STAMP_VACATION: &str = "
+// Travel reservations: locked transactions over map-based tables.
+global cars; global rooms; global lock; global booked;
+class L { field pad; }
+
+fn client(id, t, n) {
+    let i = 0;
+    while (i < n) {
+        let item = (id * 31 + i * 7) % 40;
+        sync (lock) {
+            let avail = map_get(cars, item);
+            if (avail == null) { avail = 3; }
+            if (avail > 0) {
+                map_put(cars, item, avail - 1);
+                let r = map_get(rooms, item);
+                if (r == null) { r = 0; }
+                map_put(rooms, item, r + 1);
+                booked = booked + 1;
+            }
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    cars = map_new();
+    rooms = map_new();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn client(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        print(booked);
+        assert(booked <= 3 * 40);
+    }
+}";
+
+const STAMP_GENOME: &str = "
+// Genome assembly phase 1: deduplicate hashed segments into a shared map.
+global segments; global unique; global lock; global dup_count;
+class L { field pad; }
+
+fn dedup(id, t, n) {
+    let i = id;
+    while (i < n) {
+        let h = hash(segments[i]) % 97;
+        sync (lock) {
+            if (map_contains(unique, h) == 1) {
+                dup_count = dup_count + 1;
+            } else {
+                map_put(unique, h, segments[i]);
+            }
+        }
+        i = i + t;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    segments = new [n];
+    unique = map_new();
+    let i = 0;
+    while (i < n) { segments[i] = (i * 13) % 50; i = i + 1; }
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn dedup(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { assert(map_size(unique) + dup_count == n); }
+}";
+
+const STAMP_INTRUDER: &str = "
+// Packet reassembly: fragments inserted into per-flow map entries, flows
+// scanned when complete.
+global flows; global lock; global alarms; global processed;
+class L { field pad; }
+
+fn capture(id, t, n) {
+    let i = 0;
+    while (i < n) {
+        let flow = (id * 17 + i) % 20;
+        sync (lock) {
+            let have = map_get(flows, flow);
+            if (have == null) { have = 0; }
+            map_put(flows, flow, have + 1);
+            if (have + 1 == 4) {
+                map_remove(flows, flow);
+                processed = processed + 1;
+                if (hash(flow) % 10 == 0) { alarms = alarms + 1; }
+            }
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    flows = map_new();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn capture(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        print(processed);
+        print(alarms);
+    }
+}";
+
+const STAMP_LABYRINTH: &str = "
+// Path routing: threads claim maze cells transactionally.
+global maze; global lock; global routed; global conflicts;
+class L { field pad; }
+
+fn route(id, t, n) {
+    let trip = 0;
+    while (trip < n) {
+        let start = (id * 131 + trip * 29) % (n * 2);
+        let len = 3 + (trip % 4);
+        let k = 0;
+        let okay = 1;
+        sync (lock) {
+            while (k < len) {
+                let cell = (start + k) % (n * 2);
+                if (maze[cell] != 0) { okay = 0; }
+                k = k + 1;
+            }
+            if (okay == 1) {
+                k = 0;
+                while (k < len) {
+                    maze[(start + k) % (n * 2)] = id + 1;
+                    k = k + 1;
+                }
+                routed = routed + 1;
+            } else {
+                conflicts = conflicts + 1;
+            }
+        }
+        trip = trip + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    maze = new [n * 2];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn route(i, t, n / 8); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        print(routed);
+        print(conflicts);
+    }
+}";
+
+const STAMP_SSCA2: &str = "
+// Graph kernel: compute in-degrees of a synthetic graph in parallel.
+global edges_to; global degree; global lock;
+class L { field pad; }
+
+fn count(id, t, m, nodes) {
+    let i = id;
+    while (i < m) {
+        let dst = edges_to[i];
+        sync (lock) { degree[dst] = degree[dst] + 1; }
+        i = i + t;
+    }
+}
+
+fn main(t, n) {
+    let nodes = 64;
+    lock = new L();
+    edges_to = new [n];
+    degree = new [nodes];
+    let i = 0;
+    while (i < n) { edges_to[i] = (i * 2654435761) % nodes; i = i + 1; }
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn count(i, t, n, nodes); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        let total = 0;
+        i = 0;
+        while (i < 64) { total = total + degree[i]; i = i + 1; }
+        assert(total == n);
+    }
+}";
+
+const STAMP_YADA: &str = "
+// Mesh refinement style: a locked work counter feeds tasks; results
+// accumulate in a shared quality metric.
+global next_task; global quality; global lock; global done_tasks;
+class L { field pad; }
+
+fn refine(id, t, n) {
+    let running = 1;
+    while (running == 1) {
+        let task = 0 - 1;
+        sync (lock) {
+            if (next_task < n) { task = next_task; next_task = next_task + 1; }
+        }
+        if (task < 0) {
+            running = 0;
+        } else {
+            // Local refinement work.
+            let q = (task * task) % 1009;
+            let r = 0;
+            let k = 0;
+            while (k < 20) { r = r + (q + k * id) % 7; k = k + 1; }
+            sync (lock) {
+                quality = quality + r;
+                done_tasks = done_tasks + 1;
+            }
+        }
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn refine(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        assert(done_tasks == n);
+        print(quality);
+    }
+}";
+
+const STAMP_BAYES: &str = "
+// Structure learning style: threads propose dependency edges into a
+// locked adjacency matrix and track the score.
+global adj; global score; global lock; global nodes;
+class L { field pad; }
+
+fn learn(id, t, n) {
+    let i = 0;
+    while (i < n) {
+        let a = (id * 7 + i * 3) % nodes;
+        let b = (id * 11 + i * 5) % nodes;
+        if (a != b) {
+            sync (lock) {
+                let idx = a * nodes + b;
+                if (adj[idx] == 0) {
+                    adj[idx] = 1;
+                    score = score + ((a + b) % 13) - 6;
+                }
+            }
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    nodes = 16;
+    lock = new L();
+    adj = new [16 * 16];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn learn(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(score); }
+}";
+
+// ---------------------------------------------------------------------------
+// Server / crawler applications
+// ---------------------------------------------------------------------------
+
+const SRV_CACHE4J: &str = "
+// The paper's running example shape: a synchronized cache whose entries
+// carry a creation time checked on get.
+class Cache { field entry; field create_time; field hits; field misses; }
+class Entry { field value; }
+global cache; global clock;
+
+fn put(v) {
+    sync (cache) {
+        let e = new Entry();
+        e.value = v;
+        cache.entry = e;
+        clock = clock + 1;
+        cache.create_time = clock;
+    }
+}
+
+fn get(now) {
+    sync (cache) {
+        let e = cache.entry;
+        if (e != null && now - cache.create_time < 50) {
+            cache.hits = cache.hits + 1;
+            return e.value;
+        }
+        cache.misses = cache.misses + 1;
+        return null;
+    }
+}
+
+fn putter(n) {
+    let i = 0;
+    while (i < n) { put(i); i = i + 1; }
+}
+
+fn getter(n) {
+    let i = 0;
+    while (i < n) { let v = get(i); i = i + 1; }
+}
+
+fn main(t, n) {
+    cache = new Cache();
+    clock = 0;
+    put(0); // the cache starts warm, as get() assumes an entry exists
+    let hs = new [t];
+    let i = 0;
+    while (i < t) {
+        if (i % 2 == 0) { hs[i] = spawn putter(n); }
+        else { hs[i] = spawn getter(n); }
+        i = i + 1;
+    }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (cache) { print(cache.hits); print(cache.misses); }
+}";
+
+const SRV_FTPSERVER: &str = "
+// Command dispatch: producers enqueue commands into a bounded queue
+// (wait/notify), session workers consume and update a transfer log map.
+global queue_len; global queue_head; global commands; global mon;
+global log; global lock; global produced; global consumed; global stop;
+class M { field pad; }
+class L { field pad; }
+
+fn producer(n) {
+    let i = 0;
+    while (i < n) {
+        sync (mon) {
+            while (queue_len >= 8) { wait(mon); }
+            commands[(queue_head + queue_len) % 16] = i + 1;
+            queue_len = queue_len + 1;
+            produced = produced + 1;
+            notify_all(mon);
+        }
+        i = i + 1;
+    }
+}
+
+fn session(n) {
+    let running = 1;
+    while (running == 1) {
+        let cmd = 0;
+        sync (mon) {
+            while (queue_len == 0 && stop == 0) { wait(mon); }
+            if (queue_len > 0) {
+                cmd = commands[queue_head];
+                queue_head = (queue_head + 1) % 16;
+                queue_len = queue_len - 1;
+                consumed = consumed + 1;
+                notify_all(mon);
+            } else {
+                running = 0;
+            }
+        }
+        if (cmd > 0) {
+            sync (lock) {
+                let c = map_get(log, cmd % 10);
+                if (c == null) { c = 0; }
+                map_put(log, cmd % 10, c + 1);
+            }
+        }
+    }
+}
+
+fn main(t, n) {
+    mon = new M();
+    lock = new L();
+    commands = new [16];
+    log = map_new();
+    let workers = t - 1;
+    if (workers < 1) { workers = 1; }
+    let hs = new [workers];
+    let i = 0;
+    while (i < workers) { hs[i] = spawn session(n); i = i + 1; }
+    producer(n * workers);
+    sync (mon) {
+        while (queue_len > 0) { wait(mon); }
+        stop = 1;
+        notify_all(mon);
+    }
+    let j = 0;
+    while (j < workers) { join hs[j]; j = j + 1; }
+    sync (mon) { assert(consumed == produced); }
+}";
+
+const SRV_TOMCAT_POOL: &str = "
+// Connection pool: bounded acquire/release with wait/notify, per-request
+// work against the checked-out connection object.
+class Conn { field in_use; field uses; }
+global pool; global free_count; global mon; global served;
+class M { field pad; }
+
+fn acquire() {
+    sync (mon) {
+        while (free_count == 0) { wait(mon); }
+        let i = 0;
+        while (i < len(pool)) {
+            let c = pool[i];
+            if (c.in_use == 0) {
+                c.in_use = 1;
+                free_count = free_count - 1;
+                return c;
+            }
+            i = i + 1;
+        }
+        return null;
+    }
+}
+
+fn release(c) {
+    sync (mon) {
+        c.in_use = 0;
+        free_count = free_count + 1;
+        notify(mon);
+    }
+}
+
+fn request_worker(n) {
+    let i = 0;
+    while (i < n) {
+        let c = acquire();
+        c.uses = c.uses + 1;
+        sync (mon) { served = served + 1; }
+        release(c);
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    mon = new M();
+    let size = 3;
+    pool = new [size];
+    let i = 0;
+    while (i < size) { pool[i] = new Conn(); i = i + 1; }
+    free_count = size;
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn request_worker(n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (mon) { assert(served == t * n); }
+}";
+
+const SRV_WEBLECH: &str = "
+// Crawler: a locked URL frontier (map) and visited set; workers pop a
+// URL, 'fetch' it, and push discovered links.
+global frontier; global visited; global lock; global fetched; global budget;
+class L { field pad; }
+
+fn crawler(id) {
+    let running = 1;
+    while (running == 1) {
+        let url = 0 - 1;
+        sync (lock) {
+            if (budget <= 0 || map_size(frontier) == 0) {
+                running = 0;
+            } else {
+                // Pop an arbitrary pending URL (scan a small id space).
+                let k = 0;
+                while (k < 50 && url < 0) {
+                    if (map_contains(frontier, k) == 1) { url = k; }
+                    k = k + 1;
+                }
+                if (url >= 0) {
+                    map_remove(frontier, url);
+                    map_put(visited, url, 1);
+                    budget = budget - 1;
+                } else {
+                    running = 0;
+                }
+            }
+        }
+        if (url >= 0) {
+            // 'Fetch' and discover two links.
+            let l1 = hash(url) % 50;
+            let l2 = hash(url + 1) % 50;
+            sync (lock) {
+                fetched = fetched + 1;
+                if (map_contains(visited, l1) == 0) { map_put(frontier, l1, 1); }
+                if (map_contains(visited, l2) == 0) { map_put(frontier, l2, 1); }
+            }
+        }
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    frontier = map_new();
+    visited = map_new();
+    budget = n;
+    map_put(frontier, 0, 1);
+    map_put(frontier, 7, 1);
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn crawler(i); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(fetched); }
+}";
+
+const SRV_LUCENE_INDEX: &str = "
+// Index writer: workers tokenize documents and merge postings into a
+// shared locked map; a doc counter hands out work.
+global postings; global next_doc; global lock; global indexed;
+class L { field pad; }
+
+fn indexer(id, t, n) {
+    let running = 1;
+    while (running == 1) {
+        let doc = 0 - 1;
+        sync (lock) {
+            if (next_doc < n) { doc = next_doc; next_doc = next_doc + 1; }
+        }
+        if (doc < 0) {
+            running = 0;
+        } else {
+            let w = 0;
+            while (w < 6) {
+                let term = hash(doc * 6 + w) % 30;
+                sync (lock) {
+                    let freq = map_get(postings, term);
+                    if (freq == null) { freq = 0; }
+                    map_put(postings, term, freq + 1);
+                }
+                w = w + 1;
+            }
+            sync (lock) { indexed = indexed + 1; }
+        }
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    postings = map_new();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn indexer(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { assert(indexed == n); }
+}";
+
+const SRV_HTTPMSG: &str = "
+// Message-board server: session map with per-request read/update under a
+// lock; sessions expire by 'time'.
+global sessions; global lock; global requests; global expired;
+class L { field pad; }
+
+fn handle(id, n) {
+    let i = 0;
+    while (i < n) {
+        let sid = (id * 13 + i) % 12;
+        let now = time();
+        sync (lock) {
+            let last = map_get(sessions, sid);
+            if (last != null && now - last > 40) {
+                map_remove(sessions, sid);
+                expired = expired + 1;
+            }
+            map_put(sessions, sid, now);
+            requests = requests + 1;
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    sessions = map_new();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn handle(i, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        assert(requests == t * n);
+        print(expired);
+    }
+}";
+
+const SRV_CHAT: &str = "
+// Chat room: one broadcaster notifies room members; members ack each
+// message (wait/notify round per message).
+global mon; global seq; global acks; global members; global stop;
+class M { field pad; }
+
+fn member() {
+    let seen = 0;
+    let running = 1;
+    while (running == 1) {
+        sync (mon) {
+            while (seq == seen && stop == 0) { wait(mon); }
+            if (seq != seen) {
+                seen = seq;
+                acks = acks + 1;
+                notify_all(mon);
+            }
+            if (stop == 1 && seq == seen) { running = 0; }
+        }
+    }
+}
+
+fn main(t, n) {
+    mon = new M();
+    members = t;
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn member(); i = i + 1; }
+    let msg = 0;
+    while (msg < n) {
+        sync (mon) {
+            seq = seq + 1;
+            notify_all(mon);
+            while (acks < (msg + 1) * members) { wait(mon); }
+        }
+        msg = msg + 1;
+    }
+    sync (mon) { stop = 1; notify_all(mon); }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (mon) { assert(acks == n * members); }
+}";
+
+// ---------------------------------------------------------------------------
+// Dacapo-style applications
+// ---------------------------------------------------------------------------
+
+const DC_SENSOR_NET: &str = "
+// avrora-style sensor network: nodes exchange readings through locked
+// per-node mailboxes.
+global mailboxes; global lock; global delivered; global nodes;
+class L { field pad; }
+
+fn node(id, t, n) {
+    let i = 0;
+    while (i < n) {
+        let dest = (id + 1 + (i % (t - 1 + (t == 1)))) % t;
+        sync (lock) {
+            mailboxes[dest] = mailboxes[dest] + (id + 1) * 100 + i;
+            delivered = delivered + 1;
+        }
+        // Read own mailbox.
+        sync (lock) { let inbox = mailboxes[id]; }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    nodes = t;
+    mailboxes = new [t];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn node(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { assert(delivered == t * n); }
+}";
+
+const DC_H2_BANK: &str = "
+// h2-style transactional bank: transfers between locked accounts with a
+// global invariant check.
+global accounts; global lock; global transfers; global naccounts;
+class L { field pad; }
+
+fn teller(id, n) {
+    let i = 0;
+    while (i < n) {
+        let from = (id * 7 + i) % naccounts;
+        let to = (id * 11 + i * 3) % naccounts;
+        if (from != to) {
+            sync (lock) {
+                let amt = (i % 9) + 1;
+                if (accounts[from] >= amt) {
+                    accounts[from] = accounts[from] - amt;
+                    accounts[to] = accounts[to] + amt;
+                    transfers = transfers + 1;
+                }
+            }
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    naccounts = 8;
+    accounts = new [8];
+    let i = 0;
+    while (i < 8) { accounts[i] = 100; i = i + 1; }
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn teller(i, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) {
+        let total = 0;
+        i = 0;
+        while (i < 8) { total = total + accounts[i]; i = i + 1; }
+        assert(total == 800);
+        print(transfers);
+    }
+}";
+
+const DC_LUSEARCH: &str = "
+// lusearch-style: a read-mostly shared index queried in parallel; only
+// the hit counter is locked.
+global index; global lock; global hits;
+class L { field pad; }
+
+fn searcher(id, n) {
+    let local_hits = 0;
+    let i = 0;
+    while (i < n) {
+        let term = hash(id * 1000 + i) % 200;
+        if (map_contains(index, term) == 1) {
+            let docs = map_get(index, term);
+            local_hits = local_hits + docs;
+        }
+        i = i + 1;
+    }
+    sync (lock) { hits = hits + local_hits; }
+}
+
+fn main(t, n) {
+    lock = new L();
+    index = map_new();
+    let i = 0;
+    while (i < 100) { map_put(index, i * 2, (i % 5) + 1); i = i + 1; }
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn searcher(i, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(hits); }
+}";
+
+const DC_RAYTRACE: &str = "
+// sunflow-style: heavy thread-local pixel computation, shared framebuffer
+// strips, locked checksum accumulation.
+global framebuffer; global lock; global checksum;
+class L { field pad; }
+
+fn render(id, t, n) {
+    let i = id;
+    let local_sum = 0;
+    while (i < n) {
+        // Local 'shading' work.
+        let v = i + 1;
+        let b = 0;
+        while (b < 12) { v = (v * 48271 + 11) % 2147483647; b = b + 1; }
+        let px = v % 256;
+        framebuffer[i] = px;
+        local_sum = local_sum + px;
+        i = i + t;
+    }
+    sync (lock) { checksum = checksum + local_sum; }
+}
+
+fn main(t, n) {
+    lock = new L();
+    framebuffer = new [n];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn render(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(checksum); }
+}";
+
+const DC_TRANSFORM: &str = "
+// xalan-style: documents transformed against a shared read-only
+// dictionary; output lengths stored per document.
+global dict; global out_len; global lock; global transformed;
+class L { field pad; }
+
+fn transform(id, t, n) {
+    let d = id;
+    while (d < n) {
+        let length = 0;
+        let tok = 0;
+        while (tok < 8) {
+            let word = hash(d * 8 + tok) % 64;
+            let repl = map_get(dict, word);
+            if (repl == null) { repl = 1; }
+            length = length + repl;
+            tok = tok + 1;
+        }
+        out_len[d] = length;
+        sync (lock) { transformed = transformed + 1; }
+        d = d + t;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    dict = map_new();
+    let i = 0;
+    while (i < 64) { map_put(dict, i, (i % 7) + 1); i = i + 1; }
+    out_len = new [n];
+    let hs = new [t];
+    i = 0;
+    while (i < t) { hs[i] = spawn transform(i, t, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { assert(transformed == n); }
+}";
+
+const DC_TRADING: &str = "
+// tradebeans-style order matching: a locked order book (bid/ask arrays)
+// with matching on insert.
+global bids; global asks; global lock; global matched; global book_size;
+class L { field pad; }
+
+fn trader(id, n) {
+    let i = 0;
+    while (i < n) {
+        let price = 50 + ((id * 13 + i * 7) % 21) - 10;
+        let is_bid = (id + i) % 2;
+        sync (lock) {
+            if (is_bid == 1) {
+                // Match against the best ask.
+                if (book_size > 0 && asks[0] <= price) {
+                    matched = matched + 1;
+                    // Shift asks down.
+                    let k = 0;
+                    while (k < book_size - 1) { asks[k] = asks[k + 1]; k = k + 1; }
+                    book_size = book_size - 1;
+                } else {
+                    bids[0] = price;
+                }
+            } else {
+                if (book_size < 16) {
+                    asks[book_size] = price;
+                    book_size = book_size + 1;
+                }
+            }
+        }
+        i = i + 1;
+    }
+}
+
+fn main(t, n) {
+    lock = new L();
+    bids = new [16];
+    asks = new [16];
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn trader(i, n); i = i + 1; }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    sync (lock) { print(matched); }
+}";

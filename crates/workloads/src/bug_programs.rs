@@ -1,0 +1,453 @@
+//! The 8 concurrency-bug programs of Figure 6, modeled on the Apache
+//! issues the paper evaluates. Each program is correct under most
+//! interleavings and faults under specific ones, found deterministically
+//! with seeded chaos scheduling.
+//!
+//! The catalog encodes the paper's comparison matrix:
+//!
+//! - `clap_supported == false` for the five bugs whose code uses
+//!   `HashMap`-style collections or hash computations (no solver theory —
+//!   CLAP's documented failure mode);
+//! - `chimera_reproducible == false` for the three bugs living in racy
+//!   non-blocking methods, which Chimera's transformation serializes
+//!   whole, hiding the buggy interleaving.
+
+use light_runtime::FaultKind;
+use lir::Program;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One bug case.
+#[derive(Debug, Clone)]
+pub struct BugCase {
+    pub name: &'static str,
+    /// The Apache issue the scenario models.
+    pub models: &'static str,
+    pub source: &'static str,
+    pub args: Vec<i64>,
+    /// Chaos seeds to scan when hunting the bug.
+    pub search_seeds: Range<u64>,
+    /// The fault kind the bug manifests as.
+    pub expect_kind: FaultKind,
+    /// Whether a computation-based (CLAP-style) tool can encode the
+    /// program (paper: fails on HashMap-style constructs).
+    pub clap_supported: bool,
+    /// Whether the Chimera-style transformation leaves the bug
+    /// manifestable (paper: serialization hides three bugs).
+    pub chimera_reproducible: bool,
+}
+
+impl BugCase {
+    /// Parses the program.
+    pub fn program(&self) -> Arc<Program> {
+        crate::parse_program(self.name, self.source)
+    }
+}
+
+/// The eight bugs, in the paper's order.
+pub fn bugs() -> Vec<BugCase> {
+    vec![
+        BugCase {
+            name: "cache4j",
+            models: "Cache4j CacheObject._createTime TOCTOU",
+            source: BUG_CACHE4J,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::NullDeref,
+            clap_supported: true,
+            chimera_reproducible: false,
+        },
+        BugCase {
+            name: "ftpserver",
+            models: "FTPSERVER transfer-slot index race",
+            source: BUG_FTPSERVER,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::IndexOutOfBounds,
+            clap_supported: false,
+            chimera_reproducible: true,
+        },
+        BugCase {
+            name: "lucene-481",
+            models: "LUCENE-481 close/commit ordering",
+            source: BUG_LUCENE_481,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::AssertFailed,
+            clap_supported: false,
+            chimera_reproducible: true,
+        },
+        BugCase {
+            name: "lucene-651",
+            models: "LUCENE-651 reader refresh null window",
+            source: BUG_LUCENE_651,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::NullDeref,
+            clap_supported: false,
+            chimera_reproducible: true,
+        },
+        BugCase {
+            name: "tomcat-37458",
+            models: "Tomcat 37458 stats double-reset",
+            source: BUG_TOMCAT_37458,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::AssertFailed,
+            clap_supported: true,
+            chimera_reproducible: false,
+        },
+        BugCase {
+            name: "tomcat-50885",
+            models: "Tomcat 50885 logger swap null window",
+            source: BUG_TOMCAT_50885,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::NullDeref,
+            clap_supported: true,
+            chimera_reproducible: false,
+        },
+        BugCase {
+            name: "tomcat-53498",
+            models: "Tomcat 53498 counter reset divide-by-zero",
+            source: BUG_TOMCAT_53498,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::DivByZero,
+            clap_supported: false,
+            chimera_reproducible: true,
+        },
+        BugCase {
+            name: "weblech",
+            models: "WebLech queue-size check race",
+            source: BUG_WEBLECH,
+            args: vec![],
+            search_seeds: 0..400,
+            expect_kind: FaultKind::AssertFailed,
+            clap_supported: false,
+            chimera_reproducible: true,
+        },
+    ]
+}
+
+// Chimera-hidden bugs: the racy methods below contain no spawn/join/wait,
+// so the transformation serializes them whole and the window closes.
+
+const BUG_CACHE4J: &str = "
+// put() briefly nulls the entry while replacing it; get() checks and then
+// dereferences without holding a common lock.
+class Cache { field entry; }
+class Entry { field value; field create_time; }
+global cache; global clock;
+
+fn put_fresh(v) {
+    cache.entry = null;            // window opens
+    let e = new Entry();
+    e.value = v;
+    clock = clock + 1;
+    e.create_time = clock;
+    cache.entry = e;               // window closes
+}
+
+fn reader() {
+    let i = 0;
+    while (i < 6) {
+        let e = cache.entry;
+        if (e != null) {
+            let v = cache.entry.value;   // may hit the null window
+        }
+        i = i + 1;
+    }
+}
+
+fn writer() {
+    let i = 0;
+    while (i < 6) { put_fresh(i); i = i + 1; }
+}
+
+fn main() {
+    cache = new Cache();
+    put_fresh(0);
+    let t1 = spawn writer();
+    let t2 = spawn reader();
+    join t1; join t2;
+}";
+
+const BUG_TOMCAT_37458: &str = "
+// Request-stats reset races with increment: two non-atomic updates let a
+// reset land between read and write, making the processed counter exceed
+// the accepted counter.
+global accepted; global processed;
+
+fn counter() {
+    let i = 0;
+    while (i < 8) {
+        let a = accepted;
+        accepted = a + 1;
+        let p = processed;
+        processed = p + 1;
+        i = i + 1;
+    }
+}
+
+fn resetter() {
+    let i = 0;
+    while (i < 4) {
+        accepted = 0;
+        processed = 0;
+        i = i + 1;
+    }
+}
+
+fn checker() {
+    let i = 0;
+    while (i < 8) {
+        // Increment order (accepted first) keeps processed <= accepted at
+        // every program point — unless a reset lands between the pair.
+        let p = processed;
+        let a = accepted;
+        assert(p <= a);
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let t1 = spawn counter();
+    let t2 = spawn resetter();
+    let t3 = spawn checker();
+    join t1; join t2; join t3;
+}";
+
+const BUG_TOMCAT_50885: &str = "
+// Log rotation swaps the writer object through a null intermediate while
+// another thread logs.
+class Logger { field writer; }
+class Writer { field lines; }
+global logger;
+
+fn rotate() {
+    let i = 0;
+    while (i < 6) {
+        logger.writer = null;          // old writer detached
+        let w = new Writer();
+        logger.writer = w;             // new writer attached
+        i = i + 1;
+    }
+}
+
+fn log_worker() {
+    let i = 0;
+    while (i < 6) {
+        let w = logger.writer;
+        if (w != null) {
+            logger.writer.lines = logger.writer.lines + 1;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    logger = new Logger();
+    let w = new Writer();
+    logger.writer = w;
+    let t1 = spawn rotate();
+    let t2 = spawn log_worker();
+    join t1; join t2;
+}";
+
+// Chimera-reproducible bugs: the racing statements live in blocking
+// functions (they spawn/join/wait), so only statement-level locks are
+// added and the buggy orderings survive. All five use map/hash constructs,
+// putting them outside CLAP's solver theories.
+
+const BUG_FTPSERVER: &str = "
+// Transfer bookkeeping: the slot index is published before the slot table
+// is grown; a transfer task reads a stale bound.
+global slots; global slot_count; global registry; global helper_done;
+
+fn transfer_task() {
+    // Blocking function: waits for a helper it spawns.
+    let h = spawn helper();
+    let idx = slot_count - 1;
+    let s = slots;
+    let v = s[idx];            // stale table + new count -> out of bounds
+    join h;
+}
+
+fn helper() {
+    helper_done = 1;
+}
+
+fn main() {
+    registry = map_new();
+    slots = new [2];
+    slot_count = 2;
+    let t1 = spawn transfer_task();
+    // Grow: publish the new count first (the bug), then install the table.
+    // Inlined into main (a blocking function), as in the original where
+    // the growing method also dispatches the transfer thread.
+    let want = 6;
+    slot_count = want;
+    let ns = new [want];
+    let i = 0;
+    while (i < 2) { ns[i] = slots[i]; i = i + 1; }
+    slots = ns;
+    map_put(registry, want, 1);
+    join t1;
+}";
+
+const BUG_LUCENE_481: &str = "
+// Commit/close ordering: closer marks the index closed before the final
+// segment count is published; committer asserts consistency.
+global seg_map; global committed_segs; global closed; global observer_done;
+
+fn closer() {
+    let h = spawn close_helper();
+    closed = 1;                      // published too early
+    let n = map_size(seg_map);
+    committed_segs = n;
+    join h;
+}
+
+fn close_helper() {
+    observer_done = 1;
+}
+
+fn committer() {
+    let h = spawn commit_helper();
+    if (closed == 1) {
+        // If close finished, the committed count must match the map.
+        assert(committed_segs == map_size(seg_map));
+    }
+    join h;
+}
+
+fn commit_helper() {
+    observer_done = 2;
+}
+
+fn main() {
+    seg_map = map_new();
+    map_put(seg_map, 1, 10);
+    map_put(seg_map, 2, 20);
+    let t1 = spawn closer();
+    let t2 = spawn committer();
+    join t1; join t2;
+}";
+
+const BUG_LUCENE_651: &str = "
+// Reader refresh: the active reader is swapped through a null window
+// while a searcher resolves terms against it.
+class Index { field reader; }
+class Reader { field docs; }
+global index; global term_cache;
+
+fn refresher() {
+    let h = spawn warm_cache();
+    index.reader = null;            // close old reader
+    let r = new Reader();
+    r.docs = map_size(term_cache);
+    index.reader = r;               // open new reader
+    join h;
+}
+
+fn warm_cache() {
+    map_put(term_cache, hash(7) % 100, 1);
+}
+
+fn searcher() {
+    let h = spawn warm_cache();
+    let r = index.reader;
+    if (r != null) {
+        let d = index.reader.docs;  // null window dereference
+    }
+    join h;
+}
+
+fn main() {
+    term_cache = map_new();
+    index = new Index();
+    let r0 = new Reader();
+    r0.docs = 0;
+    index.reader = r0;
+    let t1 = spawn refresher();
+    let t2 = spawn searcher();
+    join t1; join t2;
+}";
+
+const BUG_TOMCAT_53498: &str = "
+// Rate computation: a stats reset zeroes the request counter between the
+// sum update and the division.
+global bytes_total; global request_count; global stats_log;
+
+fn request_worker() {
+    let h = spawn audit();
+    bytes_total = bytes_total + 1024;
+    request_count = request_count + 1;
+    join h;
+}
+
+fn audit() {
+    map_put(stats_log, hash(3) % 10, 1);
+}
+
+fn reporter() {
+    let h = spawn audit();
+    let b = bytes_total;
+    let c = request_count;
+    let avg = b / c;                 // c may be reset to 0 here -> /0
+    join h;
+}
+
+fn resetter() {
+    let h = spawn audit();
+    request_count = 0;
+    bytes_total = 0;
+    join h;
+}
+
+fn main() {
+    stats_log = map_new();
+    bytes_total = 2048;
+    request_count = 2;
+    let t1 = spawn request_worker();
+    let t2 = spawn resetter();
+    let t3 = spawn reporter();
+    join t1; join t2; join t3;
+}";
+
+const BUG_WEBLECH: &str = "
+// Queue-size accounting: the pending counter is decremented before the
+// URL is actually removed from the frontier map; the consistency check
+// observes the mismatch... modeled as count going negative.
+global frontier; global pending; global checker_done;
+
+fn downloader() {
+    let h = spawn touch();
+    let p = pending;
+    pending = p - 1;                 // decrement first (the bug)
+    map_remove(frontier, 1);
+    join h;
+}
+
+fn touch() {
+    checker_done = 1;
+}
+
+fn monitor_thread() {
+    let h = spawn touch();
+    let p = pending;
+    let q = map_size(frontier);
+    // Invariant: the pending counter never lags behind the actual queue.
+    assert(p >= q);
+    join h;
+}
+
+fn main() {
+    frontier = map_new();
+    map_put(frontier, 1, 1);
+    pending = 1;
+    let t1 = spawn downloader();
+    let t2 = spawn monitor_thread();
+    join t1; join t2;
+}";

@@ -1,0 +1,249 @@
+//! Parameterized workload generators: synthesize LIR programs with
+//! controlled shared-memory characteristics, for calibration sweeps and
+//! stress tests beyond the fixed 24-benchmark catalog.
+
+use lir::Program;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Shape parameters of a generated workload.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorParams {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Iterations per worker.
+    pub iterations: usize,
+    /// Distinct shared counters.
+    pub locations: usize,
+    /// Of 100 accesses, how many are reads (the rest are
+    /// read-modify-writes of the counter).
+    pub read_pct: u8,
+    /// Whether accesses run under a single global lock.
+    pub locked: bool,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            iterations: 200,
+            locations: 8,
+            read_pct: 60,
+            locked: false,
+        }
+    }
+}
+
+/// A shared-counter stress workload: each worker walks the counter array
+/// with its own stride, reading or updating according to `read_pct`.
+///
+/// The generated program prints a checksum so record/replay equivalence is
+/// observable.
+pub fn counter_stress(params: GeneratorParams) -> Arc<Program> {
+    let mut src = String::new();
+    let _ = writeln!(src, "global counters; global checksum; global lock;");
+    let _ = writeln!(src, "class L {{ field pad; }}");
+    let _ = writeln!(src, "fn worker(id, iters, nlocs) {{");
+    let _ = writeln!(src, "    let i = 0;\n    let local = 0;");
+    let _ = writeln!(src, "    while (i < iters) {{");
+    let _ = writeln!(src, "        let slot = (id * 7 + i * 13) % nlocs;");
+    let _ = writeln!(src, "        let pick = (id * 31 + i * 17) % 100;");
+    let body_read = "local = local + counters[slot];";
+    let body_write = "counters[slot] = counters[slot] + 1;";
+    if params.locked {
+        let _ = writeln!(
+            src,
+            "        sync (lock) {{ if (pick < {}) {{ {body_read} }} else {{ {body_write} }} }}",
+            params.read_pct
+        );
+    } else {
+        let _ = writeln!(
+            src,
+            "        if (pick < {}) {{ {body_read} }} else {{ {body_write} }}",
+            params.read_pct
+        );
+    }
+    let _ = writeln!(src, "        i = i + 1;\n    }}");
+    if params.locked {
+        let _ = writeln!(src, "    sync (lock) {{ checksum = checksum + local; }}");
+    } else {
+        let _ = writeln!(src, "    checksum = checksum + local;");
+    }
+    let _ = writeln!(src, "}}");
+    let _ = writeln!(src, "fn main() {{");
+    let _ = writeln!(src, "    lock = new L();");
+    let _ = writeln!(src, "    counters = new [{}];", params.locations);
+    let _ = writeln!(src, "    let hs = new [{}];", params.threads);
+    let _ = writeln!(src, "    let i = 0;");
+    let _ = writeln!(
+        src,
+        "    while (i < {}) {{ hs[i] = spawn worker(i, {}, {}); i = i + 1; }}",
+        params.threads, params.iterations, params.locations
+    );
+    let _ = writeln!(
+        src,
+        "    let j = 0;\n    while (j < {}) {{ join hs[j]; j = j + 1; }}",
+        params.threads
+    );
+    let _ = writeln!(src, "    print(checksum);\n}}");
+    crate::parse_program("generated.counter_stress", &src)
+}
+
+/// A producer/consumer pipeline of `stages` hand-offs through bounded
+/// wait/notify queues — stresses the Section 4.3 synchronization modeling.
+pub fn pipeline(stages: usize, items: usize) -> Arc<Program> {
+    assert!(stages >= 1, "pipeline needs at least one stage");
+    let mut src = String::new();
+    for s in 0..=stages {
+        let _ = writeln!(src, "global q{s}; global n{s};");
+    }
+    let _ = writeln!(src, "global mon; global done;");
+    let _ = writeln!(src, "class M {{ field pad; }}");
+    // Stage k moves items from queue k to queue k+1, transforming them.
+    for s in 0..stages {
+        let _ = writeln!(src, "fn stage{s}(count) {{");
+        let _ = writeln!(src, "    let moved = 0;");
+        let _ = writeln!(src, "    while (moved < count) {{");
+        let _ = writeln!(src, "        sync (mon) {{");
+        let _ = writeln!(src, "            while (n{s} == 0) {{ wait(mon); }}");
+        let _ = writeln!(src, "            n{s} = n{s} - 1;");
+        let _ = writeln!(src, "            let v = q{s};");
+        let _ = writeln!(src, "            q{} = v + 1;", s + 1);
+        let _ = writeln!(src, "            n{} = n{} + 1;", s + 1, s + 1);
+        let _ = writeln!(src, "            notify_all(mon);");
+        let _ = writeln!(src, "        }}");
+        let _ = writeln!(src, "        moved = moved + 1;");
+        let _ = writeln!(src, "    }}");
+        let _ = writeln!(src, "}}");
+    }
+    let _ = writeln!(src, "fn main() {{");
+    let _ = writeln!(src, "    mon = new M();");
+    let _ = writeln!(src, "    let hs = new [{stages}];");
+    for s in 0..stages {
+        let _ = writeln!(src, "    hs[{s}] = spawn stage{s}({items});");
+    }
+    // Feed the first queue.
+    let _ = writeln!(src, "    let fed = 0;");
+    let _ = writeln!(src, "    while (fed < {items}) {{");
+    let _ = writeln!(src, "        sync (mon) {{");
+    let _ = writeln!(src, "            q0 = fed;");
+    let _ = writeln!(src, "            n0 = n0 + 1;");
+    let _ = writeln!(src, "            notify_all(mon);");
+    let _ = writeln!(src, "            while (n0 > 0) {{ wait(mon); }}");
+    let _ = writeln!(src, "        }}");
+    let _ = writeln!(src, "        fed = fed + 1;");
+    let _ = writeln!(src, "    }}");
+    let _ = writeln!(src, "    let j = 0;");
+    let _ = writeln!(src, "    while (j < {stages}) {{ join hs[j]; j = j + 1; }}");
+    let _ = writeln!(src, "    print(q{stages});");
+    let _ = writeln!(src, "    print(n{stages});");
+    let _ = writeln!(src, "}}");
+    crate::parse_program("generated.pipeline", &src)
+}
+
+/// A lock-hierarchy workload: `nlocks` locks always acquired in ascending
+/// order (deadlock-free by construction), each protecting one counter.
+pub fn lock_ladder(nlocks: usize, threads: usize, iterations: usize) -> Arc<Program> {
+    assert!((1..=8).contains(&nlocks), "1..=8 locks supported");
+    let mut src = String::new();
+    for l in 0..nlocks {
+        let _ = writeln!(src, "global lk{l}; global c{l};");
+    }
+    let _ = writeln!(src, "class L {{ field pad; }}");
+    let _ = writeln!(src, "fn worker(id, iters) {{");
+    let _ = writeln!(src, "    let i = 0;");
+    let _ = writeln!(src, "    while (i < iters) {{");
+    // Nested ascending acquisition.
+    for l in 0..nlocks {
+        let _ = writeln!(src, "        sync (lk{l}) {{");
+    }
+    for l in 0..nlocks {
+        let _ = writeln!(src, "        c{l} = c{l} + 1;");
+    }
+    for _ in 0..nlocks {
+        let _ = writeln!(src, "        }}");
+    }
+    let _ = writeln!(src, "        i = i + 1;");
+    let _ = writeln!(src, "    }}");
+    let _ = writeln!(src, "}}");
+    let _ = writeln!(src, "fn main() {{");
+    for l in 0..nlocks {
+        let _ = writeln!(src, "    lk{l} = new L();");
+    }
+    let _ = writeln!(src, "    let hs = new [{threads}];");
+    let _ = writeln!(src, "    let i = 0;");
+    let _ = writeln!(
+        src,
+        "    while (i < {threads}) {{ hs[i] = spawn worker(i, {iterations}); i = i + 1; }}"
+    );
+    let _ = writeln!(
+        src,
+        "    let j = 0;\n    while (j < {threads}) {{ join hs[j]; j = j + 1; }}"
+    );
+    for l in 0..nlocks {
+        let _ = writeln!(src, "    assert(c{l} == {threads} * {iterations});");
+    }
+    let _ = writeln!(src, "}}");
+    crate::parse_program("generated.lock_ladder", &src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::{run, ExecConfig};
+
+    #[test]
+    fn counter_stress_runs_and_replays() {
+        for locked in [false, true] {
+            let params = GeneratorParams {
+                threads: 3,
+                iterations: 60,
+                locations: 5,
+                read_pct: 50,
+                locked,
+            };
+            let program = counter_stress(params);
+            let out = run(&program, &[], ExecConfig::default()).unwrap();
+            assert!(out.completed(), "locked={locked}: {:?}", out.fault);
+        }
+    }
+
+    #[test]
+    fn pipeline_moves_all_items() {
+        let program = pipeline(3, 10);
+        let out = run(&program, &[], ExecConfig::default()).unwrap();
+        assert!(out.completed(), "{:?}", out.fault);
+        // n3 == items: every item reached the last queue.
+        assert_eq!(out.prints[1], "10");
+    }
+
+    #[test]
+    fn lock_ladder_counts_exactly() {
+        let program = lock_ladder(4, 3, 25);
+        let out = run(&program, &[], ExecConfig::default()).unwrap();
+        assert!(out.completed(), "{:?}", out.fault);
+    }
+
+    #[test]
+    fn generated_workloads_record_and_replay() {
+        use light_core::Light;
+        for program in [
+            counter_stress(GeneratorParams {
+                threads: 2,
+                iterations: 30,
+                locations: 4,
+                read_pct: 70,
+                locked: false,
+            }),
+            pipeline(2, 6),
+            lock_ladder(2, 2, 10),
+        ] {
+            let light = Light::new(program);
+            let (recording, original) = light.record(&[], 3).unwrap();
+            assert!(original.completed(), "{:?}", original.fault);
+            let report = light.replay(&recording).unwrap();
+            assert!(report.correlated, "{:?}", report.outcome.fault);
+            assert_eq!(original.prints, report.outcome.prints);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The evaluation workloads of the Light paper, as LIR programs.
+//!
+//! Two catalogs:
+//!
+//! - [`benchmarks`] — 24 programs mirroring the paper's suites (3 Java
+//!   Grande kernels, 8 STAMP-style transactional applications, 7 server /
+//!   crawler applications, 6 Dacapo-style applications), used by the
+//!   Figure 4/5/7 overhead and space experiments;
+//! - [`bugs`] — 8 concurrency-bug programs modeled on the Apache issues of
+//!   Figure 6 (Cache4j, FtpServer, Lucene-481, Lucene-651, Tomcat-37458,
+//!   Tomcat-50885, Tomcat-53498, Weblech), used by the Figure 6 / Table 1
+//!   reproduction experiments.
+//!
+//! Absolute scales are laptop-sized; the *shapes* (shared-access density,
+//! locality, synchronization idioms, solver-opaque constructs) mirror the
+//! originals. See `DESIGN.md` for the substitution rationale.
+
+mod bench_programs;
+pub mod generators;
+mod bug_programs;
+
+pub use bench_programs::{benchmarks, Suite, Workload};
+pub use bug_programs::{bugs, BugCase};
+
+use lir::Program;
+use std::sync::Arc;
+
+pub(crate) fn parse_program(name: &str, source: &str) -> Arc<Program> {
+    match lir::parse(source) {
+        Ok(p) => Arc::new(p),
+        Err(e) => panic!("workload `{name}` does not parse: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse_and_have_main() {
+        let all = benchmarks();
+        assert_eq!(all.len(), 24);
+        for w in &all {
+            let p = w.program();
+            assert!(p.entry.is_some(), "{} has no main", w.name);
+        }
+    }
+
+    #[test]
+    fn all_bugs_parse() {
+        let all = bugs();
+        assert_eq!(all.len(), 8);
+        for b in &all {
+            let p = b.program();
+            assert!(p.entry.is_some(), "{} has no main", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmark_names_are_unique() {
+        let all = benchmarks();
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn clap_support_split_matches_paper() {
+        // The paper: CLAP fails on 5 of the 8 bugs (HashMap-style types).
+        let all = bugs();
+        let unsupported = all.iter().filter(|b| !b.clap_supported).count();
+        assert_eq!(unsupported, 5);
+        // Chimera misses 3 (serialized methods).
+        let hidden = all.iter().filter(|b| !b.chimera_reproducible).count();
+        assert_eq!(hidden, 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Every workload must execute cleanly; every bug must be findable and
+//! replayable by Light with Theorem 1 correlation.
+
+use light_core::Light;
+use light_runtime::{run, ExecConfig, SchedulerSpec};
+use light_workloads::{benchmarks, bugs};
+use std::sync::Arc;
+
+#[test]
+fn benchmarks_run_cleanly_under_free_scheduling() {
+    for w in benchmarks() {
+        let program = w.program();
+        let args = w.args(4, 1);
+        let out = run(&program, &args, ExecConfig::default()).expect("setup");
+        assert!(
+            out.completed(),
+            "{} faulted: {}",
+            w.name,
+            out.fault.unwrap()
+        );
+        assert!(out.stats.events > 0, "{} had no shared accesses", w.name);
+    }
+}
+
+#[test]
+fn benchmarks_run_cleanly_under_chaos() {
+    for w in benchmarks() {
+        let program = w.program();
+        // Tiny scale: chaos serializes execution.
+        let args = w.args(3, 1).iter().map(|&a| a.min(40)).collect::<Vec<_>>();
+        let config = ExecConfig {
+            scheduler: SchedulerSpec::Chaos { seed: 1 },
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &args, config).expect("setup");
+        assert!(
+            out.completed(),
+            "{} faulted under chaos: {}",
+            w.name,
+            out.fault.unwrap()
+        );
+    }
+}
+
+#[test]
+fn benchmarks_record_and_replay_with_light() {
+    for w in benchmarks() {
+        let program = w.program();
+        let light = Light::new(program);
+        // Reduced scale keeps schedules small.
+        let args: Vec<i64> = w.args(3, 1).iter().map(|&a| a.min(30)).collect();
+        let (recording, original) = light.record(&args, 11).expect("record");
+        assert!(
+            original.completed(),
+            "{} faulted during recording: {}",
+            w.name,
+            original.fault.unwrap()
+        );
+        let report = light.replay(&recording).unwrap_or_else(|e| {
+            panic!("{}: replay failed: {e}", w.name);
+        });
+        assert!(
+            report.correlated,
+            "{}: replay fault {:?}",
+            w.name,
+            report.outcome.fault
+        );
+        assert_eq!(
+            original.prints, report.outcome.prints,
+            "{}: replay output differs",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn all_bugs_are_found_and_replayed_by_light() {
+    for bug in bugs() {
+        let program = bug.program();
+        let light = Light::new(Arc::clone(&program));
+        let found = light.find_bug(&bug.args, bug.search_seeds.clone());
+        let (recording, original) = found.unwrap_or_else(|| {
+            panic!("{}: no chaos seed exposed the bug", bug.name);
+        });
+        let fault = original.fault.as_ref().expect("fault present");
+        assert_eq!(
+            fault.kind, bug.expect_kind,
+            "{}: unexpected fault kind ({fault})",
+            bug.name
+        );
+        let report = light.replay(&recording).unwrap_or_else(|e| {
+            panic!("{}: replay failed: {e}", bug.name);
+        });
+        assert!(
+            report.correlated,
+            "{}: replay not correlated; original {fault}, replay {:?}",
+            bug.name, report.outcome.fault
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Compare the recording cost of Light vs Leap vs Stride on one workload,
+//! then compare bug-reproduction ability of Light vs the CLAP-like and
+//! Chimera-like baselines on one bug — a miniature of Figures 4/5/6.
+//!
+//! ```sh
+//! cargo run --release --example compare_tools
+//! ```
+
+use light_replay::baselines::{Chimera, Clap, ClapOutcome, LeapRecorder, StrideRecorder};
+use light_replay::light::Light;
+use light_replay::runtime::{run, ExecConfig, Recorder};
+use light_replay::workloads::{benchmarks, bugs};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Recording cost on stamp.vacation -------------------------------
+    let w = benchmarks()
+        .into_iter()
+        .find(|w| w.name == "stamp.vacation")
+        .expect("catalog");
+    let program = w.program();
+    let args = w.default_arg_vec();
+    let light = Light::new(Arc::clone(&program));
+
+    let timed = |recorder: Arc<dyn Recorder>| -> Result<f64, Box<dyn std::error::Error>> {
+        let config = ExecConfig {
+            recorder,
+            policy: light.analysis().policy.clone(),
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &args, config)?;
+        Ok(out.stats.duration.as_secs_f64() * 1e3)
+    };
+
+    let base_ms = timed(Arc::new(light_replay::runtime::NullRecorder))?;
+    let light_rec = light.make_recorder();
+    let light_ms = timed(light_rec.clone())?;
+    let light_space = light_rec.take_recording(None, &args).space_longs();
+    let leap = LeapRecorder::new();
+    let leap_ms = timed(leap.clone())?;
+    let leap_space = leap.take_recording(None, &args).space_longs();
+    let stride = StrideRecorder::new();
+    let stride_ms = timed(stride.clone())?;
+    let stride_space = stride.take_recording(None, &args).space_longs();
+
+    println!("== {} (threads {}, scale {}) ==", w.name, args[0], args[1]);
+    println!("{:<8} {:>10} {:>12}", "tool", "time(ms)", "space(longs)");
+    println!("{:<8} {:>10.2} {:>12}", "none", base_ms, 0);
+    println!("{:<8} {:>10.2} {:>12}", "Light", light_ms, light_space);
+    println!("{:<8} {:>10.2} {:>12}", "Leap", leap_ms, leap_space);
+    println!("{:<8} {:>10.2} {:>12}", "Stride", stride_ms, stride_space);
+
+    // --- Bug reproduction on lucene-651 ----------------------------------
+    let bug = bugs()
+        .into_iter()
+        .find(|b| b.name == "lucene-651")
+        .expect("catalog");
+    println!("\n== bug {} ({}) ==", bug.name, bug.models);
+    let program = bug.program();
+
+    let light = Light::new(Arc::clone(&program));
+    let light_result = match light.find_bug(&bug.args, bug.search_seeds.clone()) {
+        Some((recording, _)) => {
+            let report = light.replay(&recording)?;
+            if report.correlated {
+                "reproduced (correlated)".to_string()
+            } else {
+                "replay missed".to_string()
+            }
+        }
+        None => "bug not found".to_string(),
+    };
+    println!("{:<14} {}", "Light:", light_result);
+
+    let clap = Clap::new(Arc::clone(&program));
+    let clap_result = match clap.record_chaos(&bug.args, 0) {
+        Ok((recording, _)) => match clap.reproduce(&recording, bug.search_seeds.clone())? {
+            ClapOutcome::Reproduced { seed, .. } => format!("reproduced at seed {seed}"),
+            ClapOutcome::UnsupportedConstructs(cs) => {
+                format!("unsupported constructs: {}", cs.join("; "))
+            }
+            ClapOutcome::SearchExhausted { attempts } => {
+                format!("search exhausted after {attempts} attempts")
+            }
+        },
+        Err(e) => format!("setup error: {e}"),
+    };
+    println!("{:<14} {}", "CLAP-like:", clap_result);
+
+    let chimera = Chimera::new(Arc::clone(&program));
+    let chimera_result = match chimera.hunt_and_reproduce(&bug.args, bug.search_seeds.clone())? {
+        light_replay::baselines::ChimeraOutcome::Reproduced { seed, .. } => {
+            format!("reproduced at seed {seed}")
+        }
+        light_replay::baselines::ChimeraOutcome::BugNeverManifests { attempts } => {
+            format!("hidden by serialization ({attempts} attempts)")
+        }
+        light_replay::baselines::ChimeraOutcome::ReplayMissed { .. } => "replay missed".into(),
+    };
+    println!("{:<14} {}", "Chimera-like:", chimera_result);
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The Figure 7 ablation in miniature: run one workload under the three
+//! Light variants (`V_basic`, `V_O1`, `V_both`) and show what each
+//! optimization removes from the recording.
+//!
+//! ```sh
+//! cargo run --release --example optimization_ablation
+//! ```
+
+use light_replay::light::{Light, LightConfig};
+use light_replay::workloads::benchmarks;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = benchmarks()
+        .into_iter()
+        .find(|w| w.name == "srv.tomcat-pool")
+        .expect("catalog");
+    let program = w.program();
+    let args = w.default_arg_vec();
+
+    println!("workload: {} (threads {}, scale {})\n", w.name, args[0], args[1]);
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10}",
+        "variant", "deps", "runs", "space(L)", "O2-skipped"
+    );
+
+    for (name, config) in [
+        ("V_basic", LightConfig::basic()),
+        ("V_O1", LightConfig::o1_only()),
+        ("V_both", LightConfig::default()),
+    ] {
+        let light = Light::with_config(Arc::clone(&program), config);
+        let (recording, outcome) = light.record(&args, 9)?;
+        assert!(outcome.completed(), "{:?}", outcome.fault);
+        println!(
+            "{:<10} {:>8} {:>8} {:>10} {:>10}",
+            name,
+            recording.stats.deps,
+            recording.stats.runs,
+            recording.space_longs(),
+            recording.stats.o2_skipped,
+        );
+
+        // Every variant must still replay faithfully.
+        let report = light.replay(&recording)?;
+        assert!(report.correlated, "{name} failed to replay");
+    }
+
+    println!(
+        "\nO1 merges non-interleaved same-thread sequences (fewer, larger records);\n\
+         O2 drops records for consistently lock-guarded locations entirely.\n\
+         All three recordings replayed with Theorem 1 correlation."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Splice the harness outputs in results/ into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/fill_experiments.py
+"""
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+
+def section(path: Path, start: str, end: str | None = None) -> str:
+    text = path.read_text()
+    i = text.index(start)
+    if end is None:
+        return text[i:].rstrip()
+    j = text.index(end, i)
+    return text[i:j].rstrip()
+
+
+def code_block(body: str) -> str:
+    return "```text\n" + body.strip() + "\n```"
+
+
+def main() -> None:
+    exp = (ROOT / "EXPERIMENTS.md").read_text()
+
+    fig4 = RESULTS / "fig4_time.txt"
+    fig5 = RESULTS / "fig5_space.txt"
+    fig6 = RESULTS / "fig6_bugs.txt"
+    fig7 = RESULTS / "fig7_breakdown.txt"
+    table1 = RESULTS / "table1_replay.txt"
+
+    fills = {
+        "<!-- FIG4_AGGREGATE -->": code_block(
+            section(fig4, "== Aggregate time overhead statistics")
+        ),
+        "<!-- FIG5_AGGREGATE -->": code_block(
+            section(fig5, "== Aggregate space statistics")
+        ),
+        "<!-- FIG6_TABLE -->": code_block(fig6.read_text()),
+        "<!-- TABLE1 -->": code_block(table1.read_text()),
+        "<!-- FIG7_SUMMARY -->": code_block(
+            section(fig7, "Space summary:")
+        ),
+    }
+    for marker, content in fills.items():
+        if marker not in exp:
+            raise SystemExit(f"marker {marker} missing from EXPERIMENTS.md")
+        exp = exp.replace(marker, content)
+
+    # Refuse to leave placeholders behind.
+    leftovers = re.findall(r"<!-- [A-Z0-9_]+ -->", exp)
+    if leftovers:
+        raise SystemExit(f"unfilled placeholders: {leftovers}")
+
+    (ROOT / "EXPERIMENTS.md").write_text(exp)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,244 @@
+//! The `light` command-line tool: run, analyze, record, replay and hunt
+//! bugs in LIR programs.
+//!
+//! ```sh
+//! light run prog.lir [args...]            # execute a program
+//! light analyze prog.lir                  # static analysis report
+//! light record prog.lir -o run.lrec [args...]   # record an original run
+//! light replay prog.lir run.lrec          # replay a recording
+//! light hunt prog.lir -o bug.lrec [args...]     # chaos-search for a bug
+//! ```
+//!
+//! Common flags: `--seed N` (default 0), `--chaos` (record under chaos
+//! scheduling), `--seeds A..B` (hunt range, default 0..200).
+
+use light_replay::light::{load_recording, save_recording, Light};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    program: PathBuf,
+    args: Vec<i64>,
+    output: Option<PathBuf>,
+    recording: Option<PathBuf>,
+    seed: u64,
+    chaos: bool,
+    seeds: std::ops::Range<u64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  light run <prog.lir> [args...]\n  light analyze <prog.lir>\n  \
+         light record <prog.lir> -o <out.lrec> [args...] [--seed N] [--chaos]\n  \
+         light replay <prog.lir> <rec.lrec>\n  \
+         light hunt <prog.lir> -o <out.lrec> [args...] [--seeds A..B]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(mut argv: Vec<String>) -> Result<Options, String> {
+    let mut options = Options {
+        program: PathBuf::new(),
+        args: Vec::new(),
+        output: None,
+        recording: None,
+        seed: 0,
+        chaos: false,
+        seeds: 0..200,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                options.output = Some(PathBuf::from(
+                    argv.get(i).ok_or("missing value for -o")?,
+                ));
+            }
+            "--seed" => {
+                i += 1;
+                options.seed = argv
+                    .get(i)
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed")?;
+            }
+            "--chaos" => options.chaos = true,
+            "--seeds" => {
+                i += 1;
+                let spec = argv.get(i).ok_or("missing value for --seeds")?;
+                let (a, b) = spec.split_once("..").ok_or("--seeds expects A..B")?;
+                options.seeds = a.parse().map_err(|_| "invalid --seeds")?
+                    ..b.parse().map_err(|_| "invalid --seeds")?;
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    argv.clear();
+    let mut positional = positional.into_iter();
+    options.program = PathBuf::from(positional.next().ok_or("missing program path")?);
+    for p in positional {
+        if p.ends_with(".lrec") {
+            options.recording = Some(PathBuf::from(p));
+        } else {
+            options.args.push(p.parse().map_err(|_| {
+                format!("program arguments must be integers, got `{p}`")
+            })?);
+        }
+    }
+    Ok(options)
+}
+
+fn load_program(path: &PathBuf) -> Result<Arc<lir::Program>, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    lir::parse(&source)
+        .map(Arc::new)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let command = argv.remove(0);
+    let options = match parse_options(argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run_command(&command, options) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(command: &str, options: Options) -> Result<ExitCode, String> {
+    let program = load_program(&options.program)?;
+    match command {
+        "run" => {
+            let out = light_replay::runtime::run(
+                &program,
+                &options.args,
+                light_replay::runtime::ExecConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            for line in &out.prints {
+                println!("{line}");
+            }
+            if let Some(fault) = &out.fault {
+                eprintln!("fault: {fault}");
+                return Ok(ExitCode::FAILURE);
+            }
+            eprintln!(
+                "ok: {} threads, {} instrumented events, {:?}",
+                out.stats.threads, out.stats.events, out.stats.duration
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "analyze" => {
+            let analysis = light_replay::analysis::analyze(&program);
+            println!("functions: {}", program.funcs.len());
+            println!("thread roots: {}", analysis.call_graph.roots.len());
+            for (i, name) in program.globals.iter().enumerate() {
+                let g = lir::GlobalId(i as u32);
+                println!(
+                    "global {name}: shared={} guarded={}",
+                    analysis.policy.global_shared(g),
+                    analysis.guarded.global_guarded(g)
+                );
+            }
+            for (i, name) in program.field_names.iter().enumerate() {
+                let f = lir::FieldId(i as u32);
+                println!(
+                    "field {name}: shared={} guarded={}",
+                    analysis.policy.field_shared(f),
+                    analysis.guarded.field_guarded(f)
+                );
+            }
+            println!("guarded allocation sites: {}", analysis.guarded_allocs.len());
+            println!("static race pairs: {}", analysis.races.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "record" => {
+            let output = options.output.ok_or("record needs -o <out.lrec>")?;
+            let light = Light::new(program);
+            let (recording, outcome) = if options.chaos {
+                light.record_chaos(&options.args, options.seed)
+            } else {
+                light.record(&options.args, options.seed)
+            }
+            .map_err(|e| e.to_string())?;
+            save_recording(&recording, &output).map_err(|e| e.to_string())?;
+            eprintln!(
+                "recorded {} deps + {} runs ({} long-integers) -> {}",
+                recording.stats.deps,
+                recording.stats.runs,
+                recording.space_longs(),
+                output.display()
+            );
+            if let Some(fault) = &outcome.fault {
+                eprintln!("original run faulted: {fault}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "replay" => {
+            let rec_path = options.recording.ok_or("replay needs a .lrec file")?;
+            let recording = load_recording(&rec_path).map_err(|e| e.to_string())?;
+            let light = Light::new(program);
+            let report = light.replay(&recording).map_err(|e| e.to_string())?;
+            for line in &report.outcome.prints {
+                println!("{line}");
+            }
+            eprintln!(
+                "schedule: {} ordered events, {} solver decisions",
+                report.schedule_len, report.solve_stats.decisions
+            );
+            match (&recording.fault, &report.outcome.fault) {
+                (Some(orig), Some(rep)) if report.correlated => {
+                    eprintln!("reproduced: {rep}");
+                    eprintln!("correlated with original: {orig}");
+                }
+                (None, None) => eprintln!("clean replay, output matches recording semantics"),
+                (orig, rep) => {
+                    eprintln!("NOT correlated: original {orig:?}, replay {rep:?}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "hunt" => {
+            let output = options.output.ok_or("hunt needs -o <out.lrec>")?;
+            let light = Light::new(program);
+            match light.find_bug(&options.args, options.seeds.clone()) {
+                Some((recording, outcome)) => {
+                    let fault = outcome.fault.as_ref().expect("bug found");
+                    save_recording(&recording, &output).map_err(|e| e.to_string())?;
+                    eprintln!("found: {fault}");
+                    eprintln!("recording -> {}", output.display());
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    eprintln!(
+                        "no bug found in seeds {:?} — try a wider --seeds range",
+                        options.seeds
+                    );
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            Ok(usage())
+        }
+    }
+}

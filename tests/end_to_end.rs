@@ -1,0 +1,247 @@
+//! Workspace-level integration tests: the whole pipeline through the
+//! facade crate — parse → analyze → record → solve → replay — plus
+//! cross-tool comparisons on the workload catalog.
+
+use light_replay::baselines::{Chimera, Clap, LeapRecorder, StrideRecorder};
+use light_replay::light::{Light, LightConfig};
+use light_replay::runtime::{
+    run, ExecConfig, NondetMode, NullRecorder, SchedulerSpec,
+};
+use light_replay::workloads::{benchmarks, bugs};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn facade_reexports_compose() {
+    let program = Arc::new(
+        lir::parse("global x; fn main() { x = 1; assert(x == 1); }").unwrap(),
+    );
+    let light = Light::new(Arc::clone(&program));
+    let (recording, original) = light.record(&[], 0).unwrap();
+    assert!(original.completed());
+    let report = light.replay(&recording).unwrap();
+    assert!(report.correlated);
+}
+
+#[test]
+fn leap_replays_a_buggy_recording() {
+    // Leap's stronger recording also supports deterministic replay; check
+    // the whole loop on the cache4j bug.
+    let bug = bugs().into_iter().find(|b| b.name == "cache4j").unwrap();
+    let program = bug.program();
+    let analysis = light_replay::analysis::analyze(&program);
+
+    let mut reproduced = false;
+    for seed in bug.search_seeds.clone() {
+        let recorder = LeapRecorder::new();
+        let config = ExecConfig {
+            recorder: recorder.clone(),
+            scheduler: SchedulerSpec::Chaos { seed },
+            policy: analysis.policy.clone(),
+            nondet: NondetMode::Real { seed },
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &bug.args, config).unwrap();
+        if out.program_bug().is_none() {
+            continue;
+        }
+        let recording = recorder.take_recording(out.fault.clone(), &bug.args);
+        let schedule = recording.schedule().expect("solvable");
+        let replay_config = ExecConfig {
+            recorder: Arc::new(NullRecorder),
+            scheduler: SchedulerSpec::Controlled {
+                schedule,
+                timeout: Duration::from_secs(10),
+            },
+            policy: analysis.policy.clone(),
+            nondet: NondetMode::Scripted(recording.nondet.clone()),
+            wake_all_on_notify: true,
+            ..ExecConfig::default()
+        };
+        let replay = run(&program, &bug.args, replay_config).unwrap();
+        assert!(
+            light_replay::light::faults_correlate(
+                recording.fault.as_ref(),
+                replay.fault.as_ref()
+            ),
+            "Leap replay should be deterministic: {:?} vs {:?}",
+            recording.fault,
+            replay.fault
+        );
+        reproduced = true;
+        break;
+    }
+    assert!(reproduced, "no seed exposed the bug for Leap");
+}
+
+#[test]
+fn stride_replays_a_buggy_recording() {
+    let bug = bugs()
+        .into_iter()
+        .find(|b| b.name == "tomcat-50885")
+        .unwrap();
+    let program = bug.program();
+    let analysis = light_replay::analysis::analyze(&program);
+
+    let mut reproduced = false;
+    for seed in bug.search_seeds.clone() {
+        let recorder = StrideRecorder::new();
+        let config = ExecConfig {
+            recorder: recorder.clone(),
+            scheduler: SchedulerSpec::Chaos { seed },
+            policy: analysis.policy.clone(),
+            nondet: NondetMode::Real { seed },
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &bug.args, config).unwrap();
+        if out.program_bug().is_none() {
+            continue;
+        }
+        let recording = recorder.take_recording(out.fault.clone(), &bug.args);
+        let schedule = recording.schedule().expect("solvable");
+        let replay_config = ExecConfig {
+            recorder: Arc::new(NullRecorder),
+            scheduler: SchedulerSpec::Controlled {
+                schedule,
+                timeout: Duration::from_secs(10),
+            },
+            policy: analysis.policy.clone(),
+            nondet: NondetMode::Scripted(recording.nondet.clone()),
+            wake_all_on_notify: true,
+            ..ExecConfig::default()
+        };
+        let replay = run(&program, &bug.args, replay_config).unwrap();
+        assert!(
+            light_replay::light::faults_correlate(
+                recording.fault.as_ref(),
+                replay.fault.as_ref()
+            ),
+            "Stride replay should be deterministic: {:?} vs {:?}",
+            recording.fault,
+            replay.fault
+        );
+        reproduced = true;
+        break;
+    }
+    assert!(reproduced, "no seed exposed the bug for Stride");
+}
+
+#[test]
+fn figure6_matrix_matches_paper_shape() {
+    // The paper's headline comparison: Light 8/8, CLAP misses the five
+    // map/hash bugs, Chimera misses the three serialized bugs.
+    let mut light_ok = 0;
+    let mut clap_expected = 0;
+    let mut chimera_expected = 0;
+    let all = bugs();
+    for bug in &all {
+        let program = bug.program();
+
+        let light = Light::new(Arc::clone(&program));
+        if let Some((recording, _)) = light.find_bug(&bug.args, bug.search_seeds.clone()) {
+            if light.replay(&recording).map(|r| r.correlated).unwrap_or(false) {
+                light_ok += 1;
+            }
+        }
+
+        let clap = Clap::new(Arc::clone(&program));
+        let clap_unsupported = !clap.unsupported_constructs().is_empty();
+        if clap_unsupported == !bug.clap_supported {
+            clap_expected += 1;
+        }
+
+        let chimera = Chimera::new(Arc::clone(&program));
+        let outcome = chimera
+            .hunt_and_reproduce(&bug.args, bug.search_seeds.clone())
+            .unwrap();
+        if outcome.reproduced() == bug.chimera_reproducible {
+            chimera_expected += 1;
+        } else {
+            panic!(
+                "{}: chimera outcome {outcome:?}, expected reproducible={}",
+                bug.name, bug.chimera_reproducible
+            );
+        }
+    }
+    assert_eq!(light_ok, all.len(), "Light must reproduce all bugs");
+    assert_eq!(clap_expected, all.len(), "CLAP support split must match");
+    assert_eq!(chimera_expected, all.len());
+}
+
+#[test]
+fn space_ordering_light_below_leap_across_catalog() {
+    // Figure 5's qualitative claim, checked end to end on a sample of the
+    // catalog: Light records less than Leap.
+    // dc.lusearch is excluded: its index map is init-only and entirely
+    // uninstrumented, leaving only constant-size lifecycle records on both
+    // sides (both negligible — the interesting claim needs real traffic).
+    for name in ["srv.cache4j", "stamp.vacation", "stamp.genome", "jgf.series"] {
+        let w = benchmarks().into_iter().find(|w| w.name == name).unwrap();
+        let program = w.program();
+        // Default scale: at trivial sizes the fixed per-thread lifecycle
+        // records dominate and the comparison is meaningless.
+        let args: Vec<i64> = w.args(3, 1);
+        let light = Light::new(Arc::clone(&program));
+
+        let recorder = light.make_recorder();
+        let config = ExecConfig {
+            recorder: recorder.clone(),
+            policy: light.analysis().policy.clone(),
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &args, config).unwrap();
+        assert!(out.completed());
+        let light_space = recorder.take_recording(None, &args).space_longs();
+
+        let leap = LeapRecorder::new();
+        let config = ExecConfig {
+            recorder: leap.clone(),
+            policy: light.analysis().policy.clone(),
+            ..ExecConfig::default()
+        };
+        let out = run(&program, &args, config).unwrap();
+        assert!(out.completed());
+        let leap_space = leap.take_recording(None, &args).space_longs();
+
+        assert!(
+            light_space < leap_space,
+            "{name}: Light {light_space} !< Leap {leap_space}"
+        );
+    }
+}
+
+#[test]
+fn variant_space_monotonicity_on_catalog_sample() {
+    for name in ["srv.tomcat-pool", "stamp.labyrinth"] {
+        let w = benchmarks().into_iter().find(|w| w.name == name).unwrap();
+        let program = w.program();
+        let args: Vec<i64> = w.args(3, 1).iter().map(|&a| a.min(50)).collect();
+        let space_of = |cfg: LightConfig| {
+            let light = Light::with_config(Arc::clone(&program), cfg);
+            let recorder = light.make_recorder();
+            let config = ExecConfig {
+                recorder: recorder.clone(),
+                // Chaos pins the interleaving, so the three variants see
+                // identical event sequences and space is comparable.
+                scheduler: SchedulerSpec::Chaos { seed: 5 },
+                policy: light.analysis().policy.clone(),
+                ..ExecConfig::default()
+            };
+            let out = run(&program, &args, config).unwrap();
+            assert!(out.completed(), "{name}: {:?}", out.fault);
+            recorder.take_recording(None, &args).space_longs()
+        };
+        let basic = space_of(LightConfig::basic());
+        let o1 = space_of(LightConfig::o1_only());
+        let both = space_of(LightConfig::default());
+        assert!(o1 <= basic, "{name}: O1 {o1} > basic {basic}");
+        // O2 removes records for guarded locations, but skipping them also
+        // shifts the direct-mapped run-slot collision pattern, which can
+        // split a few runs differently; allow that small jitter.
+        let tolerance = o1 / 20 + 8;
+        assert!(
+            both <= o1 + tolerance,
+            "{name}: both {both} > O1 {o1} beyond collision jitter"
+        );
+    }
+}
