@@ -162,22 +162,24 @@ fn ok_container_uses(
                     && !matches!(idx, Operand::Reg(i) if aliases.contains(i))
                     && !matches!(value, Operand::Reg(v) if aliases.contains(v))
             }
-            Instr::Intrinsic { intr, args, .. } => match intr {
-                Intrinsic::ArrayLen
-                | Intrinsic::MapGet
-                | Intrinsic::MapPut
-                | Intrinsic::MapRemove
-                | Intrinsic::MapContains
-                | Intrinsic::MapSize => {
-                    // Receiver position only; the container must not appear
-                    // as a key or stored value.
-                    matches!(args.first(), Some(Operand::Reg(r)) if aliases.contains(r))
-                        && !args[1..]
-                            .iter()
-                            .any(|op| matches!(op, Operand::Reg(r) if aliases.contains(r)))
-                }
-                _ => false,
-            },
+            Instr::Intrinsic {
+                intr:
+                    Intrinsic::ArrayLen
+                    | Intrinsic::MapGet
+                    | Intrinsic::MapPut
+                    | Intrinsic::MapRemove
+                    | Intrinsic::MapContains
+                    | Intrinsic::MapSize,
+                args,
+                ..
+            } => {
+                // Receiver position only; the container must not appear
+                // as a key or stored value.
+                matches!(args.first(), Some(Operand::Reg(r)) if aliases.contains(r))
+                    && !args[1..]
+                        .iter()
+                        .any(|op| matches!(op, Operand::Reg(r) if aliases.contains(r)))
+            }
             Instr::Move { .. } => true,
             Instr::SetGlobal { .. } => Some(iid) == allowed_store,
             _ => false,
@@ -191,11 +193,10 @@ fn ok_container_uses(
     for block in &func.blocks {
         match block.term {
             lir::Terminator::Branch { cond: Operand::Reg(r), .. }
-            | lir::Terminator::Ret(Some(Operand::Reg(r))) => {
-                if aliases.contains(&r) {
+            | lir::Terminator::Ret(Some(Operand::Reg(r)))
+                if aliases.contains(&r) => {
                     return false;
                 }
-            }
             _ => {}
         }
     }

@@ -144,11 +144,10 @@ fn escaping_regs(
                             }
                         }
                     }
-                    Instr::Move { dst, src } => {
-                        if escaping.contains(dst) {
+                    Instr::Move { dst, src }
+                        if escaping.contains(dst) => {
                             changed |= mark(src.reg(), &mut escaping);
                         }
-                    }
                     _ => {}
                 }
             }

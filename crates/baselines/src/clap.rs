@@ -111,11 +111,10 @@ impl Clap {
             for block in &self.program.func(f).blocks {
                 for instr in &block.instrs {
                     match instr {
-                        Instr::Call { func, .. } | Instr::Spawn { func, .. } => {
-                            if seen.insert(*func) {
+                        Instr::Call { func, .. } | Instr::Spawn { func, .. }
+                            if seen.insert(*func) => {
                                 reach.push(*func);
                             }
-                        }
                         Instr::Intrinsic { intr, .. } if intr.is_solver_opaque() => {
                             found.push(format!(
                                 "`{intr}` in `{}` (no solver theory for hash-based collections)",

@@ -87,7 +87,7 @@ pub fn chimera_transform(original: &Program, analysis: &Analysis) -> ChimeraTran
             stmts.sort();
             stmts.dedup();
             // Insert from the back of each block so indices stay valid.
-            stmts.sort_by(|a, b| (b.block, b.idx).cmp(&(a.block, a.idx)));
+            stmts.sort_by_key(|s| std::cmp::Reverse((s.block, s.idx)));
             let func = &mut program.funcs[func_id.index()];
             let lock_reg = Reg(func.nregs);
             func.nregs += 1;
@@ -230,12 +230,12 @@ fn blocking_functions(program: &Program) -> HashSet<FuncId> {
         .collect();
     loop {
         let mut changed = false;
-        for f in 0..n {
+        for (f, callees) in calls.iter().enumerate() {
             let fid = FuncId(f as u32);
             if blocking.contains(&fid) {
                 continue;
             }
-            if calls[f].iter().any(|c| blocking.contains(c)) {
+            if callees.iter().any(|c| blocking.contains(c)) {
                 blocking.insert(fid);
                 changed = true;
             }

@@ -1,23 +1,36 @@
 //! Figure 4 — normalized time overhead of Light vs Leap vs Stride on the
 //! 24 benchmarks, plus the paper's aggregate overhead statistics table
 //! (Section 5.2). Run with `cargo bench -p light-bench --bench fig4_time`.
+//!
+//! Results land in `results/fig4_time.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `results/fig4_time.txt`.
 
+use light_bench::report::{aggregate_json, Report};
 use light_bench::{aggregate, bar, env_u64, filtered_benchmarks, measure_overhead};
+use light_core::obs::json::Value;
 
 fn main() {
     let threads = env_u64("LIGHT_BENCH_THREADS", 4) as i64;
     let scale = env_u64("LIGHT_BENCH_SCALE", 1) as i64;
     let reps = env_u64("LIGHT_BENCH_REPS", 3);
 
-    println!("== Figure 4: recording time overhead (normalized), t={threads}, scale x{scale}, reps={reps} ==");
-    println!(
+    let mut rep = Report::new("fig4_time");
+    rep.set("threads", threads);
+    rep.set("scale", scale);
+    rep.set("reps", reps);
+
+    rep.line(format!(
+        "== Figure 4: recording time overhead (normalized), t={threads}, scale x{scale}, reps={reps} =="
+    ));
+    rep.line(format!(
         "{:<18} {:>9} {:>9} {:>9} {:>9}   overhead (Leap=bar scale)",
         "benchmark", "base(ms)", "Light", "Leap", "Stride"
-    );
+    ));
 
     let mut light_ovh = Vec::new();
     let mut leap_ovh = Vec::new();
     let mut stride_ovh = Vec::new();
+    let mut rows = Vec::new();
 
     for w in filtered_benchmarks() {
         let row = measure_overhead(&w, threads, scale, reps);
@@ -25,7 +38,7 @@ fn main() {
         let p = row.overhead(row.leap_secs).max(0.0);
         let s = row.overhead(row.stride_secs).max(0.0);
         let norm = p.max(s).max(l).max(1e-9);
-        println!(
+        rep.line(format!(
             "{:<18} {:>9.2} {:>8.2}x {:>8.2}x {:>8.2}x   L {} | P {} | S {}",
             row.name,
             row.base_secs * 1e3,
@@ -35,25 +48,52 @@ fn main() {
             bar(l / norm, 12),
             bar(p / norm, 12),
             bar(s / norm, 12),
-        );
+        ));
+        rows.push(Value::obj([
+            ("name", Value::from(row.name)),
+            ("base_secs", Value::from(row.base_secs)),
+            ("light_overhead", Value::from(l)),
+            ("leap_overhead", Value::from(p)),
+            ("stride_overhead", Value::from(s)),
+        ]));
         light_ovh.push(l);
         leap_ovh.push(p);
         stride_ovh.push(s);
     }
+    rep.set("rows", Value::Arr(rows));
 
-    println!();
-    println!("== Aggregate time overhead statistics (Section 5.2 table) ==");
-    println!("{:<10} {:>8} {:>8} {:>8}", "", "Leap", "Stride", "Light");
+    rep.blank();
+    rep.line("== Aggregate time overhead statistics (Section 5.2 table) ==");
+    rep.line(format!("{:<10} {:>8} {:>8} {:>8}", "", "Leap", "Stride", "Light"));
     let (la, lm, lmin, lmax) = aggregate(&leap_ovh);
     let (sa, sm, smin, smax) = aggregate(&stride_ovh);
     let (ga, gm, gmin, gmax) = aggregate(&light_ovh);
-    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "average", la, sa, ga);
-    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "median", lm, sm, gm);
-    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "minimum", lmin, smin, gmin);
-    println!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "maximum", lmax, smax, gmax);
-    println!();
-    println!(
-        "Paper's shape check: Light average ({ga:.2}x) well below Leap ({la:.2}x) and Stride ({sa:.2}x): {}",
-        if ga < la && ga < sa { "HOLDS" } else { "DOES NOT HOLD" }
+    rep.line(format!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "average", la, sa, ga));
+    rep.line(format!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "median", lm, sm, gm));
+    rep.line(format!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "minimum", lmin, smin, gmin));
+    rep.line(format!("{:<10} {:>8.2} {:>8.2} {:>8.2}", "maximum", lmax, smax, gmax));
+    rep.set(
+        "aggregate",
+        Value::obj([
+            ("leap", aggregate_json(&leap_ovh)),
+            ("stride", aggregate_json(&stride_ovh)),
+            ("light", aggregate_json(&light_ovh)),
+        ]),
     );
+    rep.blank();
+    let holds = ga < la && ga < sa;
+    rep.line(format!(
+        "Paper's shape check: Light average ({ga:.2}x) well below Leap ({la:.2}x) and Stride ({sa:.2}x): {}",
+        if holds { "HOLDS" } else { "DOES NOT HOLD" }
+    ));
+    rep.set(
+        "shape_check",
+        Value::obj([
+            ("holds", Value::from(holds)),
+            ("light_avg", Value::from(ga)),
+            ("leap_avg", Value::from(la)),
+            ("stride_avg", Value::from(sa)),
+        ]),
+    );
+    rep.write_or_die();
 }

@@ -1,30 +1,40 @@
 //! Figure 5 — space consumption (Long-integer units) of Light vs Leap vs
 //! Stride, plus the paper's aggregate space statistics table. Run with
 //! `cargo bench -p light-bench --bench fig5_space`.
+//!
+//! Results land in `results/fig5_space.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `results/fig5_space.txt`.
 
+use light_bench::report::{aggregate_json, Report};
 use light_bench::{aggregate, bar, env_u64, filtered_benchmarks, measure_overhead};
+use light_core::obs::json::Value;
 
 fn main() {
     let threads = env_u64("LIGHT_BENCH_THREADS", 4) as i64;
     let scale = env_u64("LIGHT_BENCH_SCALE", 1) as i64;
 
-    println!(
+    let mut rep = Report::new("fig5_space");
+    rep.set("threads", threads);
+    rep.set("scale", scale);
+
+    rep.line(format!(
         "== Figure 5: recording space (Long-integer units), t={threads}, scale x{scale} =="
-    );
-    println!(
+    ));
+    rep.line(format!(
         "{:<18} {:>10} {:>10} {:>10} {:>8}   normalized",
         "benchmark", "Light", "Leap", "Stride", "L/Leap"
-    );
+    ));
 
     let mut light_sp = Vec::new();
     let mut leap_sp = Vec::new();
     let mut stride_sp = Vec::new();
+    let mut rows = Vec::new();
 
     for w in filtered_benchmarks() {
         // Space does not need repetitions: one run per tool.
         let row = measure_overhead(&w, threads, scale, 1);
         let norm = row.leap_space.max(row.stride_space).max(row.light_space).max(1) as f64;
-        println!(
+        rep.line(format!(
             "{:<18} {:>10} {:>10} {:>10} {:>7.1}%   L {} | P {} | S {}",
             row.name,
             row.light_space,
@@ -34,26 +44,49 @@ fn main() {
             bar(row.light_space as f64 / norm, 12),
             bar(row.leap_space as f64 / norm, 12),
             bar(row.stride_space as f64 / norm, 12),
-        );
+        ));
+        rows.push(Value::obj([
+            ("name", Value::from(row.name)),
+            ("light_space", Value::from(row.light_space)),
+            ("leap_space", Value::from(row.leap_space)),
+            ("stride_space", Value::from(row.stride_space)),
+        ]));
         light_sp.push(row.light_space as f64);
         leap_sp.push(row.leap_space as f64);
         stride_sp.push(row.stride_space as f64);
     }
+    rep.set("rows", Value::Arr(rows));
 
-    println!();
-    println!("== Aggregate space statistics (Long-integer units) ==");
-    println!("{:<10} {:>12} {:>12} {:>12}", "", "Leap", "Stride", "Light");
+    rep.blank();
+    rep.line("== Aggregate space statistics (Long-integer units) ==");
+    rep.line(format!("{:<10} {:>12} {:>12} {:>12}", "", "Leap", "Stride", "Light"));
     let (la, lm, lmin, lmax) = aggregate(&leap_sp);
     let (sa, sm, smin, smax) = aggregate(&stride_sp);
     let (ga, gm, gmin, gmax) = aggregate(&light_sp);
-    println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "average", la, sa, ga);
-    println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "median", lm, sm, gm);
-    println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "minimum", lmin, smin, gmin);
-    println!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "maximum", lmax, smax, gmax);
-    println!();
-    println!(
+    rep.line(format!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "average", la, sa, ga));
+    rep.line(format!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "median", lm, sm, gm));
+    rep.line(format!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "minimum", lmin, smin, gmin));
+    rep.line(format!("{:<10} {:>12.0} {:>12.0} {:>12.0}", "maximum", lmax, smax, gmax));
+    rep.set(
+        "aggregate",
+        Value::obj([
+            ("leap", aggregate_json(&leap_sp)),
+            ("stride", aggregate_json(&stride_sp)),
+            ("light", aggregate_json(&light_sp)),
+        ]),
+    );
+    rep.blank();
+    rep.line(format!(
         "Paper's shape check: Light space a small fraction of Leap's (paper ~10%): measured {:.1}%: {}",
         100.0 * ga / la,
         if ga < la { "LIGHT SMALLER" } else { "DOES NOT HOLD" }
+    ));
+    rep.set(
+        "shape_check",
+        Value::obj([
+            ("holds", Value::from(ga < la)),
+            ("light_over_leap_pct", Value::from(100.0 * ga / la)),
+        ]),
     );
+    rep.write_or_die();
 }

@@ -1,23 +1,30 @@
 //! Figure 6 / Section 5.3 (H2) — the bug-reproduction matrix: Light vs
 //! the CLAP-style and Chimera-style baselines on the eight bugs. Run with
 //! `cargo bench -p light-bench --bench fig6_bugs`.
+//!
+//! Results land in `results/fig6_bugs.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `results/fig6_bugs.txt`.
 
 use light_baselines::{Chimera, ChimeraOutcome, Clap, ClapOutcome};
+use light_bench::report::Report;
+use light_core::obs::json::Value;
 use light_core::Light;
 use light_workloads::bugs;
 use std::sync::Arc;
 
 fn main() {
-    println!("== Figure 6 / H2: bug reproduction matrix ==");
-    println!(
+    let mut rep = Report::new("fig6_bugs");
+    rep.line("== Figure 6 / H2: bug reproduction matrix ==");
+    rep.line(format!(
         "{:<14} {:<8} {:<28} {:<28}",
         "bug", "Light", "CLAP-like", "Chimera-like"
-    );
+    ));
 
     let mut light_ok = 0;
     let mut clap_ok = 0;
     let mut chimera_ok = 0;
     let total = bugs().len();
+    let mut rows = Vec::new();
 
     for bug in bugs() {
         let program = bug.program();
@@ -81,14 +88,34 @@ fn main() {
             Err(e) => format!("error: {e}"),
         };
 
-        println!("{:<14} {:<8} {:<28} {:<28}", bug.name, light_cell, clap_cell, chimera_cell);
+        rep.line(format!(
+            "{:<14} {:<8} {:<28} {:<28}",
+            bug.name, light_cell, clap_cell, chimera_cell
+        ));
+        rows.push(Value::obj([
+            ("bug", Value::from(bug.name)),
+            ("light", Value::from(light_cell)),
+            ("clap", Value::from(clap_cell)),
+            ("chimera", Value::from(chimera_cell)),
+        ]));
     }
+    rep.set("rows", Value::Arr(rows));
 
-    println!();
-    println!(
+    rep.blank();
+    rep.line(format!(
         "Totals: Light {light_ok}/{total}, CLAP-like {clap_ok}/{total}, Chimera-like {chimera_ok}/{total}"
+    ));
+    rep.line(
+        "Paper's result: Light 8/8, CLAP 3/8 (5 HashMap-based misses), Chimera 5/8 (3 serialization misses).",
     );
-    println!(
-        "Paper's result: Light 8/8, CLAP 3/8 (5 HashMap-based misses), Chimera 5/8 (3 serialization misses)."
+    rep.set(
+        "totals",
+        Value::obj([
+            ("light", Value::from(light_ok as u64)),
+            ("clap", Value::from(clap_ok as u64)),
+            ("chimera", Value::from(chimera_ok as u64)),
+            ("total", Value::from(total)),
+        ]),
     );
+    rep.write_or_die();
 }

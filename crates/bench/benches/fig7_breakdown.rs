@@ -2,21 +2,32 @@
 //! time-overhead breakdown (7a) and space breakdown (7b) across the three
 //! Light variants `V_basic`, `V_O1`, `V_both`. Run with
 //! `cargo bench -p light-bench --bench fig7_breakdown`.
+//!
+//! Results land in `results/fig7_breakdown.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `results/fig7_breakdown.txt`.
 
+use light_bench::report::Report;
 use light_bench::{bar, env_u64, filtered_benchmarks, measure_variants};
+use light_core::obs::json::Value;
 
 fn main() {
     let threads = env_u64("LIGHT_BENCH_THREADS", 4) as i64;
     let scale = env_u64("LIGHT_BENCH_SCALE", 1) as i64;
     let reps = env_u64("LIGHT_BENCH_REPS", 3);
 
-    println!("== Figure 7a: time-overhead breakdown (100% = V_basic overhead) ==");
-    println!(
+    let mut rep = Report::new("fig7_breakdown");
+    rep.set("threads", threads);
+    rep.set("scale", scale);
+    rep.set("reps", reps);
+
+    rep.line("== Figure 7a: time-overhead breakdown (100% = V_basic overhead) ==");
+    rep.line(format!(
         "{:<18} {:>9} {:>9} {:>9}   remaining | O2 gain | O1 gain",
         "benchmark", "basic", "V_O1", "V_both"
-    );
+    ));
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for w in filtered_benchmarks() {
         let row = measure_variants(&w, threads, scale, reps);
         let basic = (row.basic_secs / row.base_secs - 1.0).max(1e-9);
@@ -25,7 +36,7 @@ fn main() {
         let o1_gain = (basic - o1) / basic;
         let o2_gain = (o1 - both) / basic;
         let remain = both / basic;
-        println!(
+        rep.line(format!(
             "{:<18} {:>8.2}x {:>8.2}x {:>8.2}x   {} {:>4.0}% | {:>4.0}% | {:>4.0}%",
             row.name,
             basic,
@@ -35,16 +46,36 @@ fn main() {
             remain * 100.0,
             o2_gain * 100.0,
             o1_gain * 100.0,
-        );
+        ));
+        json_rows.push(Value::obj([
+            ("name", Value::from(row.name)),
+            (
+                "time_overhead",
+                Value::obj([
+                    ("basic", Value::from(basic)),
+                    ("o1", Value::from(o1)),
+                    ("both", Value::from(both)),
+                ]),
+            ),
+            (
+                "space",
+                Value::obj([
+                    ("basic", Value::from(row.basic_space)),
+                    ("o1", Value::from(row.o1_space)),
+                    ("both", Value::from(row.both_space)),
+                ]),
+            ),
+        ]));
         rows.push(row);
     }
+    rep.set("rows", Value::Arr(json_rows));
 
-    println!();
-    println!("== Figure 7b: space breakdown (100% = V_basic space) ==");
-    println!(
+    rep.blank();
+    rep.line("== Figure 7b: space breakdown (100% = V_basic space) ==");
+    rep.line(format!(
         "{:<18} {:>10} {:>10} {:>10}   remaining | O2 gain | O1 gain",
         "benchmark", "basic", "V_O1", "V_both"
-    );
+    ));
     let mut o1_ge_20 = 0;
     let mut o1_ge_50 = 0;
     let mut o2_ge_20 = 0;
@@ -64,7 +95,7 @@ fn main() {
         if o2_gain >= 0.2 {
             o2_ge_20 += 1;
         }
-        println!(
+        rep.line(format!(
             "{:<18} {:>10} {:>10} {:>10}   {} {:>4.0}% | {:>4.0}% | {:>4.0}%",
             row.name,
             row.basic_space,
@@ -74,13 +105,23 @@ fn main() {
             remain * 100.0,
             o2_gain * 100.0,
             o1_gain * 100.0,
-        );
+        ));
     }
 
     let n = rows.len();
-    println!();
-    println!(
+    rep.blank();
+    rep.line(format!(
         "Space summary: O1 saves >=20% on {o1_ge_20}/{n}, >=50% on {o1_ge_50}/{n}; O2 adds >=20% on {o2_ge_20}/{n}."
+    ));
+    rep.line("Paper's H3: both optimizations contribute significantly, O1 dominant.");
+    rep.set(
+        "space_summary",
+        Value::obj([
+            ("o1_ge_20", Value::from(o1_ge_20 as u64)),
+            ("o1_ge_50", Value::from(o1_ge_50 as u64)),
+            ("o2_ge_20", Value::from(o2_ge_20 as u64)),
+            ("n", Value::from(n)),
+        ]),
     );
-    println!("Paper's H3: both optimizations contribute significantly, O1 dominant.");
+    rep.write_or_die();
 }

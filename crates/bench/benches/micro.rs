@@ -2,11 +2,13 @@
 //! Light recorder hot paths, and the LIR front-end.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use light_core::{LightConfig, LightRecorder};
+use light_core::obs::{NullSink, Obs, TraceSink};
+use light_core::{Light, LightConfig, LightRecorder};
 use light_runtime::{AccessKind, Loc, ObjId, Recorder, Tid};
 use light_solver::{Atom, OrderSolver};
 use lir::{BlockId, FieldId, FuncId, InstrId};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn solver_chain(c: &mut Criterion) {
     c.bench_function("solver/chain-1000", |b| {
@@ -67,6 +69,57 @@ fn recorder_hot_path(c: &mut Criterion) {
     });
 }
 
+fn obs_span_sites(c: &mut Criterion) {
+    // The instrumentation sites themselves: with no sink a span is one
+    // untaken branch (no clock read, no allocation); `NullSink` reports
+    // `enabled() == false` and is dropped at attach time, so it costs the
+    // same; only a live sink pays for timestamps and event delivery.
+    let disabled = Obs::disabled();
+    c.bench_function("obs/span-disabled", |b| {
+        b.iter(|| black_box(disabled.span("bench")))
+    });
+    let null = Obs::with_sink(Arc::new(NullSink));
+    assert!(!null.enabled(), "NullSink must disable the pipeline");
+    c.bench_function("obs/span-nullsink", |b| {
+        b.iter(|| black_box(null.span("bench")))
+    });
+    let trace = Obs::with_sink(Arc::new(TraceSink::new()));
+    c.bench_function("obs/span-tracesink", |b| {
+        b.iter(|| black_box(trace.span("bench")))
+    });
+}
+
+fn record_pipeline_with_sinks(c: &mut Criterion) {
+    // End-to-end recording with and without an attached no-op sink: the
+    // recorder hot path never consults the sink (counters stay in TLS
+    // buffers), so these two must be statistically indistinguishable —
+    // the zero-cost-when-disabled claim of the observability layer.
+    let program = Arc::new(
+        lir::parse(
+            "global total;
+             fn worker(n) {
+                 let i = 0;
+                 while (i < n) { total = total + 1; i = i + 1; }
+             }
+             fn main(n) {
+                 let t1 = spawn worker(n);
+                 let t2 = spawn worker(n);
+                 join t1; join t2;
+             }",
+        )
+        .unwrap(),
+    );
+    let plain = Light::new(Arc::clone(&program));
+    c.bench_function("record/pipeline-no-sink", |b| {
+        b.iter(|| black_box(plain.record(&[200], 7).unwrap()))
+    });
+    let mut nulled = Light::new(Arc::clone(&program));
+    nulled.set_sink(Arc::new(NullSink));
+    c.bench_function("record/pipeline-null-sink", |b| {
+        b.iter(|| black_box(nulled.record(&[200], 7).unwrap()))
+    });
+}
+
 fn frontend(c: &mut Criterion) {
     let src = light_workloads::benchmarks()
         .into_iter()
@@ -83,6 +136,8 @@ criterion_group!(
     solver_chain,
     solver_disjunctions,
     recorder_hot_path,
+    obs_span_sites,
+    record_pipeline_with_sinks,
     frontend
 );
 criterion_main!(benches);

@@ -1,25 +1,41 @@
 //! Table 1 — replay measurement for the eight bugs: recording space,
 //! schedule (solver) time, and replay run time. Run with
 //! `cargo bench -p light-bench --bench table1_replay`.
+//!
+//! Results land in `results/table1_replay.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `results/table1_replay.txt`. Each
+//! JSON row embeds the replay's unified metric snapshot (recorder,
+//! solver, scheduler enforcement, phase timings).
 
+use light_bench::report::Report;
+use light_core::obs::json::Value;
 use light_core::Light;
 use light_workloads::bugs;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    println!("== Table 1: replay measurement (8 bugs) ==");
-    println!(
+    let mut rep = Report::new("table1_replay");
+    rep.line("== Table 1: replay measurement (8 bugs) ==");
+    rep.line(format!(
         "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "bug", "Space(L)", "Solve(ms)", "Replay(ms)", "events", "correl"
-    );
+    ));
 
+    let mut rows = Vec::new();
     for bug in bugs() {
         let program = bug.program();
         let light = Light::new(Arc::clone(&program));
         let Some((recording, _original)) = light.find_bug(&bug.args, bug.search_seeds.clone())
         else {
-            println!("{:<14} bug did not manifest in the search budget", bug.name);
+            rep.line(format!(
+                "{:<14} bug did not manifest in the search budget",
+                bug.name
+            ));
+            rows.push(Value::obj([
+                ("bug", Value::from(bug.name)),
+                ("status", Value::from("not-found")),
+            ]));
             continue;
         };
 
@@ -29,7 +45,11 @@ fn main() {
         let ordered = match &schedule {
             Ok((s, _)) => s.ordered_len(),
             Err(e) => {
-                println!("{:<14} schedule failed: {e}", bug.name);
+                rep.line(format!("{:<14} schedule failed: {e}", bug.name));
+                rows.push(Value::obj([
+                    ("bug", Value::from(bug.name)),
+                    ("status", Value::from("schedule-failed")),
+                ]));
                 continue;
             }
         };
@@ -38,13 +58,17 @@ fn main() {
         let report = match light.replay(&recording) {
             Ok(r) => r,
             Err(e) => {
-                println!("{:<14} replay failed: {e}", bug.name);
+                rep.line(format!("{:<14} replay failed: {e}", bug.name));
+                rows.push(Value::obj([
+                    ("bug", Value::from(bug.name)),
+                    ("status", Value::from("replay-failed")),
+                ]));
                 continue;
             }
         };
         let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
 
-        println!(
+        rep.line(format!(
             "{:<14} {:>10} {:>10.1} {:>10.1} {:>8} {:>8}",
             bug.name,
             recording.space_longs(),
@@ -52,9 +76,25 @@ fn main() {
             replay_ms,
             ordered,
             if report.correlated { "yes" } else { "NO" },
-        );
+        ));
+        // The structured row carries the replay's unified metric snapshot:
+        // the recorder section, solver decisions/backtracks, scheduler
+        // enforcement counters and per-phase timings all come from
+        // `ReplayReport::metrics` rather than re-parsing the text above.
+        rows.push(Value::obj([
+            ("bug", Value::from(bug.name)),
+            ("status", Value::from("replayed")),
+            ("space_longs", Value::from(recording.space_longs())),
+            ("solve_ms", Value::from(solve_ms)),
+            ("replay_ms", Value::from(replay_ms)),
+            ("ordered_events", Value::from(ordered)),
+            ("correlated", Value::from(report.correlated)),
+            ("metrics", report.metrics.to_json()),
+        ]));
     }
+    rep.set("rows", Value::Arr(rows));
 
-    println!();
-    println!("(Space in Long-integer units; Solve includes constraint generation + IDL search; Replay is the controlled re-execution. The paper reports seconds on JVM-scale traces; shapes — solve time correlated with space — carry over.)");
+    rep.blank();
+    rep.line("(Space in Long-integer units; Solve includes constraint generation + IDL search; Replay is the controlled re-execution. The paper reports seconds on JVM-scale traces; shapes — solve time correlated with space — carry over.)");
+    rep.write_or_die();
 }

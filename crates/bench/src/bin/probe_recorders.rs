@@ -23,9 +23,45 @@ fn bench(name: &str, rec: Arc<dyn Recorder>) {
     println!("{name:>8}: {:.1} ns/access", el.as_nanos() as f64 / n as f64);
 }
 
+/// Multi-threaded phase: several OS threads hammer a handful of hot
+/// locations so their last-write-map stripes collide, then the recorder's
+/// contention counter (surfaced in `RecordStats::stripe_contention`) shows
+/// how often the non-blocking stripe acquisition failed.
+fn bench_contended(threads: u64, per_thread: u64) {
+    let iid = InstrId { func: FuncId(0), block: BlockId(0), idx: 0 };
+    let rec = LightRecorder::new(LightConfig::default(), Default::default(), Default::default());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                let tid = if t == 0 { Tid::ROOT } else { Tid::ROOT.child((t - 1) as u32) };
+                for i in 0..per_thread {
+                    // Two hot locations shared by every thread: maximal
+                    // stripe collision pressure.
+                    let loc = Loc::Elem(ObjId((i % 2) as u32), 0);
+                    let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+                    rec.on_access(tid, i + 1, loc, kind, false, iid, &mut || 7);
+                }
+                rec.on_thread_exit(tid);
+            });
+        }
+    });
+    let el = start.elapsed();
+    let stats = rec.take_recording(None, &[]).stats;
+    let n = threads * per_thread;
+    println!(
+        "contended: {threads} threads x {per_thread} accesses: {:.1} ns/access, stripe contention {} ({:.2}% of accesses)",
+        el.as_nanos() as f64 / n as f64,
+        stats.stripe_contention,
+        100.0 * stats.stripe_contention as f64 / n as f64,
+    );
+}
+
 fn main() {
     bench("null", Arc::new(NullRecorder));
     bench("light", LightRecorder::new(LightConfig::default(), Default::default(), Default::default()));
     bench("leap", LeapRecorder::new());
     bench("stride", StrideRecorder::new());
+    bench_contended(4, 500_000);
 }

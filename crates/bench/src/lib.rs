@@ -9,6 +9,8 @@
 //!   (default 3);
 //! - `LIGHT_BENCH_FILTER` — substring filter on benchmark names.
 
+pub mod report;
+
 use light_baselines::{LeapRecorder, StrideRecorder};
 use light_core::{Light, LightConfig};
 use light_runtime::{run, ExecConfig, NullRecorder, RunOutcome, SchedulerSpec, SharedPolicy};

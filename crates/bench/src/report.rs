@@ -1,0 +1,139 @@
+//! Structured result reporting for the evaluation harnesses.
+//!
+//! Every figure/table harness routes its output through a [`Report`]:
+//! each printed line is mirrored into a text transcript, and the
+//! harness attaches a machine-readable JSON document built from the
+//! unified metric snapshots (`light_core::obs::MetricsSnapshot` and
+//! friends). On [`Report::write`] both artifacts land in the results
+//! directory as `<name>.json` (primary, consumed by
+//! `scripts/fill_experiments.py`) and `<name>.txt` (secondary, for
+//! humans reading the raw transcript).
+//!
+//! The directory defaults to `<repo>/results` and can be redirected
+//! with `LIGHT_RESULTS_DIR`.
+
+use light_core::obs::json::Value;
+use std::path::PathBuf;
+
+/// Where result artifacts are written: `LIGHT_RESULTS_DIR` if set, the
+/// repository's `results/` directory otherwise.
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("LIGHT_RESULTS_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
+    }
+}
+
+/// A harness result under construction: a line-oriented text transcript
+/// (also echoed to stdout) plus a JSON object of structured fields.
+pub struct Report {
+    name: &'static str,
+    text: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Report {
+    /// Starts a report named after its harness (e.g. `"fig4_time"`).
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            text: String::new(),
+            fields: vec![("name".to_string(), Value::from(name))],
+        }
+    }
+
+    /// Prints one line to stdout and appends it to the transcript.
+    pub fn line(&mut self, line: impl AsRef<str>) {
+        let line = line.as_ref();
+        println!("{line}");
+        self.text.push_str(line);
+        self.text.push('\n');
+    }
+
+    /// Prints and records an empty line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Attaches a structured field to the JSON document. Later values
+    /// win when a key is set twice.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// The transcript accumulated so far.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The JSON document accumulated so far.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(self.fields.clone())
+    }
+
+    /// Writes `<name>.json` and `<name>.txt` into [`results_dir`],
+    /// creating it if needed. Returns the JSON path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or
+    /// writing either artifact.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let json_path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&json_path, self.to_json().to_json_pretty() + "\n")?;
+        std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text)?;
+        Ok(json_path)
+    }
+
+    /// [`Report::write`], panicking on filesystem errors (harnesses have
+    /// no better recovery than failing loudly).
+    pub fn write_or_die(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("[report] wrote {}", path.display()),
+            Err(e) => panic!("failed to write results for {}: {e}", self.name),
+        }
+    }
+}
+
+/// Builds the `{average, median, min, max}` JSON object the aggregate
+/// tables are generated from.
+pub fn aggregate_json(xs: &[f64]) -> Value {
+    let (avg, med, min, max) = crate::aggregate(xs);
+    Value::obj([
+        ("average", Value::from(avg)),
+        ("median", Value::from(med)),
+        ("min", Value::from(min)),
+        ("max", Value::from(max)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_text_and_fields() {
+        let mut r = Report::new("unit_test_report");
+        r.line("hello");
+        r.set("threads", 4u64);
+        r.set("threads", 8u64);
+        assert_eq!(r.text(), "hello\n");
+        let json = r.to_json();
+        assert_eq!(json.get("name").and_then(Value::as_str), Some("unit_test_report"));
+        assert_eq!(json.get("threads").and_then(Value::as_u64), Some(8));
+    }
+
+    #[test]
+    fn aggregate_json_shape() {
+        let v = aggregate_json(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.get("average").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("max").and_then(Value::as_f64), Some(3.0));
+    }
+}

@@ -321,10 +321,8 @@ impl ConstraintSystem {
                 if let Some(w) = writer_of(u) {
                     writes.push(w);
                 }
-                if let Unit::Run { w0, .. } = u {
-                    if let Some(w0) = *w0 {
-                        writes.push(w0);
-                    }
+                if let Unit::Run { w0: Some(w0), .. } = u {
+                    writes.push(*w0);
                 }
                 if let Some(fw) = first_own_write(u) {
                     writes.push(fw);
@@ -607,7 +605,7 @@ mod tests {
         let (schedule, _) = sys.solve(&rec).expect("satisfiable");
         // Interior write 3 has no slot but is allowed via the allow-list:
         // verify by checking the schedule does not consider it ordered.
-        assert_eq!(schedule.action(t1, 1).is_some(), true);
+        assert!(schedule.action(t1, 1).is_some());
         assert!(matches!(
             schedule.action(t1, 1),
             Some(SlotAction::Ordered(_))

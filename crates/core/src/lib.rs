@@ -47,15 +47,25 @@ pub mod spill;
 
 pub use constraints::{ConstraintSystem, ScheduleError};
 pub use fastmap::FastMap;
-pub use log::{load_recording, read_recording, save_recording, write_recording, LogError};
+pub use log::{
+    load_recording, load_recording_traced, read_recording, save_recording,
+    save_recording_traced, write_recording, LogError,
+};
 pub use recorder::{LightConfig, LightRecorder};
 pub use spill::SpillSink;
 pub use recording::{AccessId, DepEdge, RecordStats, Recording, RunRec, SignalEdge};
 pub use replay::{
-    compute_schedule, faults_correlate, replay, ReplayError, ReplayOptions, ReplayReport,
+    compute_schedule, compute_schedule_traced, faults_correlate, replay, replay_traced,
+    ReplayError, ReplayOptions, ReplayReport,
 };
 
+/// Re-export of the observability crate, so downstream users can attach
+/// sinks ([`obs::TraceSink`], [`obs::MetricsRegistry`]) without a direct
+/// dependency.
+pub use light_obs as obs;
+
 use light_analysis::Analysis;
+use light_obs::Obs;
 use light_runtime::{
     run, ExecConfig, NondetMode, ReplaySchedule, RunOutcome, SchedulerSpec, SetupError,
 };
@@ -72,6 +82,7 @@ pub struct Light {
     analysis: Analysis,
     config: LightConfig,
     replay_options: ReplayOptions,
+    obs: Obs,
 }
 
 impl Light {
@@ -90,12 +101,27 @@ impl Light {
             analysis,
             config,
             replay_options: ReplayOptions::default(),
+            obs: Obs::disabled(),
         }
     }
 
     /// Overrides the replay timeouts.
     pub fn set_replay_options(&mut self, options: ReplayOptions) {
         self.replay_options = options;
+    }
+
+    /// Attaches an observability sink. Pipeline phases (`record`,
+    /// `constraint-build`, `solve`, `replay-run`), per-thread lanes and
+    /// end-of-phase counters are emitted to it; with no sink attached (the
+    /// default) every instrumentation site reduces to one untaken branch.
+    pub fn set_sink(&mut self, sink: Arc<dyn light_obs::Sink>) {
+        self.obs = Obs::with_sink(sink);
+    }
+
+    /// The active observability handle (disabled unless [`Light::set_sink`]
+    /// was called).
+    pub fn observability(&self) -> &Obs {
+        &self.obs
     }
 
     /// The analysis products (shared policy, guarded locations, races).
@@ -167,10 +193,23 @@ impl Light {
             scheduler,
             policy: self.analysis.policy.clone(),
             nondet: NondetMode::Real { seed },
+            obs: self.obs.clone(),
             ..ExecConfig::default()
         };
-        let outcome = run(&self.program, args, config)?;
+        let outcome = {
+            let _span = self.obs.span("record");
+            run(&self.program, args, config)?
+        };
         let recording = recorder.take_recording(outcome.fault.clone(), args);
+        if self.obs.enabled() {
+            let s = &recording.stats;
+            self.obs.counter("record.space_longs", s.space_longs);
+            self.obs.counter("record.deps", s.deps);
+            self.obs.counter("record.runs", s.runs);
+            self.obs.counter("record.o2_skipped", s.o2_skipped);
+            self.obs
+                .counter("record.stripe_contention", s.stripe_contention);
+        }
         Ok((recording, outcome))
     }
 
@@ -193,12 +232,13 @@ impl Light {
     ///
     /// See [`replay`].
     pub fn replay(&self, recording: &Recording) -> Result<ReplayReport, ReplayError> {
-        replay::replay(
+        replay::replay_traced(
             &self.program,
             recording,
             &self.analysis,
             self.config.o2,
             &self.replay_options,
+            &self.obs,
         )
     }
 

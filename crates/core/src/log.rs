@@ -13,7 +13,10 @@ use std::fmt;
 use std::path::Path;
 
 const MAGIC: u32 = 0x4C52_4543; // "LREC"
-const VERSION: u32 = 1;
+/// v1: original layout. v2 appends `stats.stripe_contention` so the full
+/// metric snapshot survives save/load; v1 logs still load (the counter
+/// reads back as 0).
+const VERSION: u32 = 2;
 
 /// Errors reading or writing a recording log.
 #[derive(Debug)]
@@ -126,6 +129,7 @@ pub fn write_recording(rec: &Recording) -> Bytes {
     buf.put_u64_le(rec.stats.runs);
     buf.put_u64_le(rec.stats.retries);
     buf.put_u64_le(rec.stats.o2_skipped);
+    buf.put_u64_le(rec.stats.stripe_contention);
 
     buf.freeze()
 }
@@ -141,7 +145,7 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         return Err(bad("missing magic"));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(LogError::Malformed(format!(
             "unsupported version {version}"
         )));
@@ -255,6 +259,12 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         runs: buf.get_u64_le(),
         retries: buf.get_u64_le(),
         o2_skipped: buf.get_u64_le(),
+        stripe_contention: if version >= 2 {
+            ensure(buf, 8)?;
+            buf.get_u64_le()
+        } else {
+            0
+        },
     };
 
     Ok(Recording {
@@ -287,6 +297,33 @@ pub fn save_recording(rec: &Recording, path: impl AsRef<Path>) -> Result<(), Log
 pub fn load_recording(path: impl AsRef<Path>) -> Result<Recording, LogError> {
     let data = std::fs::read(path)?;
     read_recording(&data)
+}
+
+/// [`save_recording`] wrapped in a `log-persist` pipeline span.
+///
+/// # Errors
+///
+/// See [`save_recording`].
+pub fn save_recording_traced(
+    rec: &Recording,
+    path: impl AsRef<Path>,
+    obs: &light_obs::Obs,
+) -> Result<(), LogError> {
+    let _span = obs.span("log-persist");
+    save_recording(rec, path)
+}
+
+/// [`load_recording`] wrapped in a `log-load` pipeline span.
+///
+/// # Errors
+///
+/// See [`load_recording`].
+pub fn load_recording_traced(
+    path: impl AsRef<Path>,
+    obs: &light_obs::Obs,
+) -> Result<Recording, LogError> {
+    let _span = obs.span("log-load");
+    load_recording(path)
 }
 
 fn remaining(buf: &&[u8]) -> usize {
@@ -422,6 +459,7 @@ mod tests {
                 runs: 1,
                 retries: 2,
                 o2_skipped: 5,
+                stripe_contention: 4,
             },
         }
     }
@@ -447,6 +485,21 @@ mod tests {
         let back = read_recording(&write_recording(&rec)).unwrap();
         assert!(back.deps.is_empty());
         assert!(back.fault.is_none());
+    }
+
+    #[test]
+    fn v1_logs_still_load_with_zero_contention() {
+        // A v1 log is a v2 log minus the trailing stripe_contention word,
+        // with the version field rewritten.
+        let rec = sample();
+        let bytes = write_recording(&rec);
+        let mut v1 = bytes.to_vec();
+        v1.truncate(v1.len() - 8);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let back = read_recording(&v1).unwrap();
+        assert_eq!(back.stats.stripe_contention, 0);
+        assert_eq!(back.stats.o2_skipped, rec.stats.o2_skipped);
+        assert_eq!(back.deps, rec.deps);
     }
 
     #[test]

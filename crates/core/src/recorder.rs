@@ -4,9 +4,13 @@
 //! - **Last-write map with lock striping.** Writes execute inside an atomic
 //!   block that also updates the location's last write (`lw ← c`);
 //!   atomicity uses 256 pre-allocated striped locks, as in the paper.
-//! - **Speculative read matching.** A read samples `lw`, performs the
-//!   load, re-samples `lw`, and retries on mismatch — the optimistic loop
-//!   of Section 2.3, requiring no blocking on the read path.
+//!   Stripe acquisition tries the non-blocking path first and counts the
+//!   times it had to block ([`RecordStats::stripe_contention`]).
+//! - **Read matching under the shared stripe side.** A read holds the
+//!   stripe's read lock across the load, giving the same atomicity as
+//!   Section 2.3's optimistic `lw`-resample loop without retries (so
+//!   `RecordStats::retries` stays 0 on this substrate); concurrent
+//!   readers still proceed in parallel.
 //! - **Thread-local dependence buffers.** Detected dependences are pushed
 //!   into per-OS-thread buffers with *no synchronization*, merged only at
 //!   thread exit (the paper's key cost saving over Leap/Stride).
@@ -99,6 +103,7 @@ struct TlsBuf {
     slots: Vec<Option<OpenRun>>,
     retries: u64,
     o2_skipped: u64,
+    stripe_contention: u64,
     max_ctr: u64,
     spilled_deps: u64,
     spilled_runs: u64,
@@ -140,6 +145,7 @@ struct Central {
     nondet: HashMap<Tid, Vec<i64>>,
     retries: u64,
     o2_skipped: u64,
+    stripe_contention: u64,
     extents: HashMap<Tid, u64>,
     spilled_deps: u64,
     spilled_runs: u64,
@@ -266,6 +272,7 @@ impl LightRecorder {
             runs: central.runs.len() as u64 + central.spilled_runs,
             retries: central.retries,
             o2_skipped: central.o2_skipped,
+            stripe_contention: central.stripe_contention,
         };
         Recording {
             deps: central.deps,
@@ -286,8 +293,31 @@ impl LightRecorder {
         &self.lw[(h as usize) % STRIPES]
     }
 
-    fn lw_get(&self, key: u64) -> Option<AccessId> {
-        self.stripe(key).read().get(&key).copied().map(unpack)
+    /// Read-locks `key`'s stripe, trying the non-blocking path first.
+    /// The second tuple element is `true` when the thread had to block.
+    fn stripe_read(&self, key: u64) -> (parking_lot::RwLockReadGuard<'_, FastMap<u64, u64>>, bool) {
+        let stripe = self.stripe(key);
+        match stripe.try_read() {
+            Some(guard) => (guard, false),
+            None => (stripe.read(), true),
+        }
+    }
+
+    /// Write-locks `key`'s stripe, trying the non-blocking path first.
+    fn stripe_write(
+        &self,
+        key: u64,
+    ) -> (parking_lot::RwLockWriteGuard<'_, FastMap<u64, u64>>, bool) {
+        let stripe = self.stripe(key);
+        match stripe.try_write() {
+            Some(guard) => (guard, false),
+            None => (stripe.write(), true),
+        }
+    }
+
+    fn lw_get(&self, key: u64) -> (Option<AccessId>, bool) {
+        let (shard, contended) = self.stripe_read(key);
+        (shard.get(&key).copied().map(unpack), contended)
     }
 
     /// Advances `tid`'s recorded event frontier without recording anything
@@ -372,9 +402,10 @@ impl LightRecorder {
         }
     }
 
-    fn record_read(&self, tid: Tid, ctr: u64, key: u64, lw: Option<AccessId>) {
+    fn record_read(&self, tid: Tid, ctr: u64, key: u64, lw: Option<AccessId>, contended: bool) {
         self.with_tls(tid, |buf| {
             buf.max_ctr = buf.max_ctr.max(ctr);
+            buf.stripe_contention += u64::from(contended);
             let idx = buf.focus(key);
             if let Some(run) = &mut buf.slots[idx] {
                 if Self::continues(tid, run, lw) {
@@ -396,9 +427,18 @@ impl LightRecorder {
         });
     }
 
-    fn record_write(&self, tid: Tid, ctr: u64, key: u64, prev: Option<AccessId>, reads: bool) {
+    fn record_write(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        key: u64,
+        prev: Option<AccessId>,
+        reads: bool,
+        contended: bool,
+    ) {
         self.with_tls(tid, |buf| {
             buf.max_ctr = buf.max_ctr.max(ctr);
+            buf.stripe_contention += u64::from(contended);
             let extend = self.config.o1 || reads;
             let idx = buf.focus(key);
             if let Some(run) = &mut buf.slots[idx] {
@@ -427,19 +467,23 @@ impl LightRecorder {
     /// last write under the stripe lock and records the dependence.
     fn ghost_rw(&self, tid: Tid, ctr: u64, key: u64) {
         let me = AccessId::new(tid, ctr);
-        let prev = self.stripe(key).write().insert(key, pack(me)).map(unpack);
-        self.record_write(tid, ctr, key, prev, true);
+        let (mut shard, contended) = self.stripe_write(key);
+        let prev = shard.insert(key, pack(me)).map(unpack);
+        drop(shard);
+        self.record_write(tid, ctr, key, prev, true, contended);
     }
 
     fn ghost_write(&self, tid: Tid, ctr: u64, key: u64) {
         let me = AccessId::new(tid, ctr);
-        let prev = self.stripe(key).write().insert(key, pack(me)).map(unpack);
-        self.record_write(tid, ctr, key, prev, false);
+        let (mut shard, contended) = self.stripe_write(key);
+        let prev = shard.insert(key, pack(me)).map(unpack);
+        drop(shard);
+        self.record_write(tid, ctr, key, prev, false, contended);
     }
 
     fn ghost_read(&self, tid: Tid, ctr: u64, key: u64) {
-        let lw = self.lw_get(key);
-        self.record_read(tid, ctr, key, lw);
+        let (lw, contended) = self.lw_get(key);
+        self.record_read(tid, ctr, key, lw, contended);
     }
 
     fn is_guarded(&self, loc: &Loc) -> bool {
@@ -480,34 +524,34 @@ impl Recorder for LightRecorder {
                 // holding the stripe's read side across the load: writers
                 // (who update `lw` under the write side) cannot interleave,
                 // while concurrent readers still proceed in parallel.
-                let (value, lw) = {
-                    let shard = self.stripe(key).read();
+                let (value, lw, contended) = {
+                    let (shard, contended) = self.stripe_read(key);
                     let v = op();
-                    (v, shard.get(&key).copied().map(unpack))
+                    (v, shard.get(&key).copied().map(unpack), contended)
                 };
-                self.record_read(tid, ctr, key, lw);
+                self.record_read(tid, ctr, key, lw, contended);
                 value
             }
             AccessKind::Write => {
                 // atomic { o.f = v ; lw ← c } under the stripe lock.
-                let (value, prev) = {
-                    let mut shard = self.stripe(key).write();
+                let (value, prev, contended) = {
+                    let (mut shard, contended) = self.stripe_write(key);
                     let v = op();
                     let prev = shard.insert(key, pack(me));
-                    (v, prev.map(unpack))
+                    (v, prev.map(unpack), contended)
                 };
-                self.record_write(tid, ctr, key, prev, false);
+                self.record_write(tid, ctr, key, prev, false, contended);
                 value
             }
             AccessKind::ReadWrite => {
-                let (value, prev) = {
-                    let mut shard = self.stripe(key).write();
+                let (value, prev, contended) = {
+                    let (mut shard, contended) = self.stripe_write(key);
                     let prev = shard.get(&key).copied().map(unpack);
                     let v = op();
                     shard.insert(key, pack(me));
-                    (v, prev)
+                    (v, prev, contended)
                 };
-                self.record_write(tid, ctr, key, prev, true);
+                self.record_write(tid, ctr, key, prev, true, contended);
                 value
             }
         }
@@ -573,6 +617,7 @@ impl Recorder for LightRecorder {
         }
         central.retries += buf.retries;
         central.o2_skipped += buf.o2_skipped;
+        central.stripe_contention += buf.stripe_contention;
         central.extents.insert(tid, buf.max_ctr);
         central.spilled_deps += buf.spilled_deps;
         central.spilled_runs += buf.spilled_runs;

@@ -68,6 +68,9 @@ pub struct SignalEdge {
 }
 
 /// Aggregate statistics of one recording.
+///
+/// Persisted with the recording (log format v2) and convertible to the
+/// unified observability section via [`RecordStats::metrics`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecordStats {
     /// Space in the paper's unit: the number of long integers recorded.
@@ -76,11 +79,31 @@ pub struct RecordStats {
     pub deps: u64,
     /// Non-interleaved runs recorded.
     pub runs: u64,
-    /// Speculative read-matching retries (Section 2.3's optimistic loop).
+    /// Speculative read-matching retries. On this substrate reads hold a
+    /// shared stripe lock rather than looping optimistically (the paper's
+    /// Section 2.3 loop), so this stays 0; the field is kept for log
+    /// compatibility and for recorder variants that do retry.
     pub retries: u64,
     /// Accesses for which recording was skipped thanks to O2 (lock-guarded
     /// locations, Lemma 4.2).
     pub o2_skipped: u64,
+    /// Accesses whose last-write-map stripe lock was contended: the
+    /// non-blocking acquisition failed and the thread had to block.
+    pub stripe_contention: u64,
+}
+
+impl RecordStats {
+    /// Converts to the unified observability section.
+    pub fn metrics(&self) -> light_obs::RecorderMetrics {
+        light_obs::RecorderMetrics {
+            space_longs: self.space_longs,
+            deps: self.deps,
+            runs: self.runs,
+            retries: self.retries,
+            o2_skipped: self.o2_skipped,
+            stripe_contention: self.stripe_contention,
+        }
+    }
 }
 
 /// Everything Light persists about an original run.
@@ -106,6 +129,28 @@ impl Recording {
     /// Space consumption in Long-integer units (the measure of Figure 5).
     pub fn space_longs(&self) -> u64 {
         self.stats.space_longs
+    }
+
+    /// The recorder's unified metric section for this recording.
+    pub fn metrics(&self) -> light_obs::RecorderMetrics {
+        self.stats.metrics()
+    }
+
+    /// A metric snapshot describing this recording: the recorder section
+    /// plus structural counters (threads, dependence edges, runs, signal
+    /// edges) useful to `light-inspect` and the benches.
+    pub fn snapshot(&self) -> light_obs::MetricsSnapshot {
+        let mut snap = light_obs::MetricsSnapshot {
+            record: Some(self.metrics()),
+            ..Default::default()
+        };
+        snap.counters
+            .insert("threads".into(), self.thread_extents.len() as u64);
+        snap.counters.insert("deps".into(), self.deps.len() as u64);
+        snap.counters.insert("runs".into(), self.runs.len() as u64);
+        snap.counters
+            .insert("signals".into(), self.signals.len() as u64);
+        snap
     }
 
     /// All write access ids participating in any dependence or run — the

@@ -4,6 +4,7 @@
 use crate::constraints::{ConstraintSystem, ScheduleError};
 use crate::recording::Recording;
 use light_analysis::Analysis;
+use light_obs::{MetricsSnapshot, Obs, PhaseRecord, RunMetrics};
 use light_runtime::{
     run, ExecConfig, FaultKind, FaultReport, NondetMode, NullRecorder, ReplaySchedule,
     RunOutcome, SchedulerSpec, SetupError,
@@ -47,6 +48,12 @@ pub struct ReplayReport {
     pub solve_stats: SolveStats,
     /// Number of events in the enforced total order.
     pub schedule_len: u32,
+    /// The unified metric snapshot of the whole replay pipeline: the
+    /// recording's recorder section, the solver, the controlled
+    /// scheduler's enforcement counters, the replay run, and phase
+    /// timings (constraint-build, solve, replay-run). Always populated,
+    /// with or without a sink attached.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Failure to replay.
@@ -89,8 +96,46 @@ pub fn compute_schedule(
     analysis: &Analysis,
     o2: bool,
 ) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
-    let sys = ConstraintSystem::build(recording);
-    let (mut schedule, stats) = sys.solve(recording)?;
+    compute_schedule_traced(recording, analysis, o2, &Obs::disabled())
+        .map(|(schedule, stats, _)| (schedule, stats))
+}
+
+/// [`compute_schedule`] with observability: emits `constraint-build` and
+/// `solve` pipeline spans to `obs` and returns the same timings as
+/// [`PhaseRecord`]s for embedding in a [`MetricsSnapshot`].
+///
+/// # Errors
+///
+/// See [`compute_schedule`].
+pub fn compute_schedule_traced(
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    obs: &Obs,
+) -> Result<(ReplaySchedule, SolveStats, Vec<PhaseRecord>), ScheduleError> {
+    let mut phases = Vec::new();
+    let mut timed = |name: &str, start_us: u64| {
+        phases.push(PhaseRecord {
+            name: name.to_string(),
+            start_us,
+            dur_us: light_obs::now_us().saturating_sub(start_us),
+        });
+    };
+
+    let start = light_obs::now_us();
+    let sys = {
+        let _span = obs.span("constraint-build");
+        ConstraintSystem::build(recording)
+    };
+    timed("constraint-build", start);
+
+    let start = light_obs::now_us();
+    let (mut schedule, stats) = {
+        let _span = obs.span("solve");
+        sys.solve(recording)?
+    };
+    timed("solve", start);
+
     if o2 {
         for &field in analysis.guarded.fields.keys() {
             schedule.free_field(field.0);
@@ -99,7 +144,7 @@ pub fn compute_schedule(
             schedule.free_global(global.0);
         }
     }
-    Ok((schedule, stats))
+    Ok((schedule, stats, phases))
 }
 
 /// Runs the replay: controlled scheduling, scripted nondeterminism,
@@ -117,7 +162,27 @@ pub fn replay(
     o2: bool,
     options: &ReplayOptions,
 ) -> Result<ReplayReport, ReplayError> {
-    let (schedule, solve_stats) = compute_schedule(recording, analysis, o2)?;
+    replay_traced(program, recording, analysis, o2, options, &Obs::disabled())
+}
+
+/// [`replay`] with observability: emits `constraint-build`, `solve` and
+/// `replay-run` pipeline spans to `obs`, threads `obs` into the replay
+/// run (per-thread lanes), and fills [`ReplayReport::metrics`] with phase
+/// timings in addition to the always-collected counter sections.
+///
+/// # Errors
+///
+/// See [`replay`].
+pub fn replay_traced(
+    program: &Arc<Program>,
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    options: &ReplayOptions,
+    obs: &Obs,
+) -> Result<ReplayReport, ReplayError> {
+    let (schedule, solve_stats, mut phases) =
+        compute_schedule_traced(recording, analysis, o2, obs)?;
     let schedule_len = schedule.ordered_len();
     let config = ExecConfig {
         recorder: Arc::new(NullRecorder),
@@ -129,15 +194,39 @@ pub fn replay(
         nondet: NondetMode::Scripted(recording.nondet.clone()),
         wake_all_on_notify: true,
         wall_timeout: options.wall_timeout,
+        obs: obs.clone(),
         ..ExecConfig::default()
     };
-    let outcome = run(program, &recording.args, config)?;
+    let start = light_obs::now_us();
+    let outcome = {
+        let _span = obs.span("replay-run");
+        run(program, &recording.args, config)?
+    };
+    phases.push(PhaseRecord {
+        name: "replay-run".to_string(),
+        start_us: start,
+        dur_us: light_obs::now_us().saturating_sub(start),
+    });
     let correlated = faults_correlate(recording.fault.as_ref(), outcome.fault.as_ref());
+    let metrics = MetricsSnapshot {
+        record: Some(recording.metrics()),
+        solver: Some(solve_stats.metrics()),
+        scheduler: outcome.sched,
+        replay_run: Some(RunMetrics {
+            duration_ns: outcome.stats.duration.as_nanos() as u64,
+            threads: outcome.stats.threads as u64,
+            events: outcome.stats.events,
+            objects: outcome.stats.objects as u64,
+        }),
+        phases,
+        ..Default::default()
+    };
     Ok(ReplayReport {
         outcome,
         correlated,
         solve_stats,
         schedule_len,
+        metrics,
     })
 }
 

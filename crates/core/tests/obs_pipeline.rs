@@ -1,0 +1,145 @@
+//! Observability integration tests: trace-sink span coverage of the
+//! record → solve → replay pipeline, no-op-sink byte-identity of
+//! recordings, and metric-snapshot persistence.
+
+use light_core::obs::{
+    chrome_trace_json, MetricsRegistry, NullSink, TraceEvent, TraceSink,
+};
+use light_core::{write_recording, Light};
+use std::sync::Arc;
+
+const RACY_COUNTER: &str = "
+    global total;
+    fn worker(n) {
+        let i = 0;
+        while (i < n) { total = total + 1; i = i + 1; }
+    }
+    fn main(n) {
+        let t1 = spawn worker(n);
+        let t2 = spawn worker(n);
+        join t1; join t2;
+        print(total);
+    }";
+
+fn light(src: &str) -> Light {
+    Light::new(Arc::new(lir::parse(src).expect("parse")))
+}
+
+#[test]
+fn trace_sink_sees_every_pipeline_phase() {
+    let mut light = light(RACY_COUNTER);
+    let sink = Arc::new(TraceSink::new());
+    light.set_sink(sink.clone());
+
+    let (recording, original) = light.record(&[20], 1).unwrap();
+    assert!(original.completed());
+    let report = light.replay(&recording).unwrap();
+    assert!(report.correlated);
+
+    let events = sink.events();
+    let complete_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Complete { name, .. } => Some(*name),
+            _ => None,
+        })
+        .collect();
+    for phase in ["record", "constraint-build", "solve", "replay-run"] {
+        assert!(
+            complete_names.contains(&phase),
+            "missing pipeline span {phase:?}; saw {complete_names:?}"
+        );
+    }
+    // Program threads get their own lanes (root + 2 workers, during both
+    // the recorded and the replayed run).
+    let lanes: std::collections::HashSet<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ThreadName { tid, .. } => Some(*tid),
+            _ => None,
+        })
+        .collect();
+    assert!(lanes.len() >= 3, "expected >=3 thread lanes, got {lanes:?}");
+
+    // The export is structurally valid Chrome trace JSON.
+    let json = chrome_trace_json(&events);
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\": \"X\""));
+    assert!(json.contains("\"name\": \"solve\""));
+
+    // The report's snapshot carries the same phases plus counter sections.
+    let phase_names: Vec<&str> = report.metrics.phases.iter().map(|p| p.name.as_str()).collect();
+    for phase in ["constraint-build", "solve", "replay-run"] {
+        assert!(phase_names.contains(&phase), "snapshot phases: {phase_names:?}");
+    }
+    assert!(report.metrics.record.is_some());
+    assert!(report.metrics.solver.is_some());
+    let sched = report.metrics.scheduler.expect("controlled replay metrics");
+    assert_eq!(sched.schedule_len, u64::from(report.schedule_len));
+}
+
+#[test]
+fn metrics_registry_collects_phases_and_counters() {
+    let mut light = light(RACY_COUNTER);
+    let registry = Arc::new(MetricsRegistry::new());
+    light.set_sink(registry.clone());
+
+    let (recording, _) = light.record(&[15], 3).unwrap();
+    light.replay(&recording).unwrap();
+
+    let snap = registry.snapshot();
+    let phases: Vec<&str> = snap.phases.iter().map(|p| p.name.as_str()).collect();
+    for phase in ["record", "constraint-build", "solve", "replay-run"] {
+        assert!(phases.contains(&phase), "registry phases: {phases:?}");
+    }
+    // The record-phase counters arrive through the sink interface.
+    assert_eq!(
+        snap.counters.get("record.deps").copied(),
+        Some(recording.stats.deps)
+    );
+}
+
+#[test]
+fn sinks_do_not_perturb_the_recording_bytes() {
+    // The recorder hot path never consults the sink, so the recorded
+    // bytes must be identical whether tracing is off, a no-op sink is
+    // attached, or a full trace sink is live.
+    let base = light(RACY_COUNTER);
+    let mut nulled = light(RACY_COUNTER);
+    nulled.set_sink(Arc::new(NullSink));
+    let mut traced = light(RACY_COUNTER);
+    traced.set_sink(Arc::new(TraceSink::new()));
+
+    for seed in 0..3 {
+        let encode = |l: &Light| {
+            let (recording, _) = l.record_chaos(&[12], seed).unwrap();
+            write_recording(&recording).to_vec()
+        };
+        let b0 = encode(&base);
+        assert_eq!(b0, encode(&nulled), "NullSink changed the log, seed {seed}");
+        assert_eq!(b0, encode(&traced), "TraceSink changed the log, seed {seed}");
+    }
+}
+
+#[test]
+fn snapshot_roundtrips_through_the_log() {
+    let light = light(RACY_COUNTER);
+    let (mut recording, _) = light.record(&[25], 9).unwrap();
+    // Force a nonzero value into the v2-only field so the roundtrip is
+    // discriminating.
+    recording.stats.stripe_contention += 17;
+
+    let dir = std::env::temp_dir().join("light-obs-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("rt-{}.lrec", std::process::id()));
+    light_core::save_recording(&recording, &path).unwrap();
+    let loaded = light_core::load_recording(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.stats, recording.stats);
+    let a = recording.snapshot().to_json().to_json();
+    let b = loaded.snapshot().to_json().to_json();
+    assert_eq!(a, b, "snapshot JSON must survive save/load");
+    assert!(a.contains("\"stripe_contention\""));
+}

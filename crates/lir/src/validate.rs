@@ -101,21 +101,18 @@ fn validate_instr(program: &Program, func: &Func, instr: &Instr) -> Result<(), E
         check_reg(func, dst)?;
     }
     match instr {
-        Instr::New { class, .. } => {
-            if class.index() >= program.classes.len() {
+        Instr::New { class, .. }
+            if class.index() >= program.classes.len() => {
                 return Err(verr(format!("unknown class {class}")));
             }
-        }
-        Instr::GetField { field, .. } | Instr::SetField { field, .. } => {
-            if field.index() >= program.field_names.len() {
+        Instr::GetField { field, .. } | Instr::SetField { field, .. }
+            if field.index() >= program.field_names.len() => {
                 return Err(verr(format!("unknown field {field}")));
             }
-        }
-        Instr::GetGlobal { global, .. } | Instr::SetGlobal { global, .. } => {
-            if global.index() >= program.globals.len() {
+        Instr::GetGlobal { global, .. } | Instr::SetGlobal { global, .. }
+            if global.index() >= program.globals.len() => {
                 return Err(verr(format!("unknown global {global}")));
             }
-        }
         Instr::Call { func: callee, args, .. } | Instr::Spawn { func: callee, args, .. } => {
             let Some(target) = program.funcs.get(callee.index()) else {
                 return Err(verr(format!("unknown function {callee}")));

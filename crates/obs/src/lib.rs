@@ -1,0 +1,336 @@
+//! # light-obs — unified tracing, metrics, and pipeline profiling
+//!
+//! The observability layer for the Light record/replay pipeline. It
+//! provides three things:
+//!
+//! 1. **A zero-cost-when-disabled event/span API.** All instrumentation
+//!    goes through an [`Obs`] handle, which is either disabled (holds no
+//!    sink — every call is a branch on a `None` and returns immediately,
+//!    without even reading the clock) or carries an `Arc<dyn Sink>`.
+//!    The recorder's per-access fast path is *never* instrumented per
+//!    event; only phase boundaries and end-of-run snapshots flow through
+//!    the sink, so recording with a sink attached is byte-identical to
+//!    recording without one.
+//!
+//! 2. **A unified metrics model.** [`RecorderMetrics`],
+//!    [`SolverMetrics`], [`SchedulerMetrics`], and [`RunMetrics`]
+//!    supersede the scattered per-crate stat structs; a
+//!    [`MetricsSnapshot`] combines them with phase timings and is
+//!    JSON-serializable via the built-in writer ([`json::Value`]) or,
+//!    with the `serde` feature, via serde derives.
+//!
+//! 3. **Chrome trace export.** [`TraceSink`] buffers events and renders
+//!    `chrome://tracing` / Perfetto trace-event JSON so a full
+//!    record → constraint-build → solve → replay pass can be opened on a
+//!    timeline ([`TraceSink::chrome_trace_json`]).
+//!
+//! ```
+//! use light_obs::{Obs, TraceSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(TraceSink::new());
+//! let obs = Obs::with_sink(sink.clone());
+//! {
+//!     let _span = light_obs::span!(obs, "solve");
+//!     // ... work ...
+//! }
+//! light_obs::counter!(obs, "decisions", 42);
+//! assert!(obs.enabled());
+//! let json = sink.chrome_trace_json();
+//! assert!(json.contains("\"solve\""));
+//! ```
+
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics, RunMetrics,
+    SchedulerMetrics, SolverMetrics,
+};
+pub use trace::{chrome_trace_json, TraceEvent, TraceSink};
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The process-wide time origin for trace timestamps. First use pins it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-wide obs epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// The logical trace lane for pipeline phases (record, solve, ...).
+/// Program threads are mapped to `tid.raw() + 1` so they never collide.
+pub const PIPELINE_LANE: u64 = 0;
+
+/// A consumer of structured observability events.
+///
+/// Implementations must be cheap and thread-safe: events arrive from
+/// the pipeline thread and from program threads concurrently.
+pub trait Sink: Send + Sync {
+    /// Receives one event. Timestamps are µs since the obs epoch.
+    fn event(&self, ev: &TraceEvent);
+
+    /// Whether this sink wants events at all. [`Obs::with_sink`] drops
+    /// sinks that report `false`, turning every instrumentation site
+    /// into a no-op branch.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op sink: explicitly requests to receive nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _ev: &TraceEvent) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A cheap, cloneable handle to an optional sink. The pipeline threads
+/// this through `ExecConfig`, the recorder, and the replay driver.
+///
+/// When disabled (the default), every method returns after one branch —
+/// no clock read, no allocation, no atomic.
+#[derive(Clone, Default)]
+pub struct Obs {
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A handle with no sink; all instrumentation is skipped.
+    pub fn disabled() -> Self {
+        Obs { sink: None }
+    }
+
+    /// Wraps a sink. If the sink reports `enabled() == false` (e.g.
+    /// [`NullSink`]), the handle is disabled outright so call sites pay
+    /// nothing.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        if sink.enabled() {
+            Obs { sink: Some(sink) }
+        } else {
+            Obs { sink: None }
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    pub fn sink(&self) -> Option<&Arc<dyn Sink>> {
+        self.sink.as_ref()
+    }
+
+    /// Opens a span on the pipeline lane; the span closes (emitting a
+    /// `Complete` event) when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_on(name, PIPELINE_LANE)
+    }
+
+    /// Opens a span on an explicit lane.
+    pub fn span_on(&self, name: &'static str, tid: u64) -> SpanGuard {
+        SpanGuard {
+            inner: self
+                .sink
+                .as_ref()
+                .map(|s| (Arc::clone(s), name, tid, now_us())),
+        }
+    }
+
+    /// Emits a named counter sample on the pipeline lane.
+    pub fn counter(&self, name: &'static str, value: u64) {
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::Counter {
+                name,
+                tid: PIPELINE_LANE,
+                ts_us: now_us(),
+                value,
+            });
+        }
+    }
+
+    /// Emits a point-in-time marker.
+    pub fn instant(&self, name: &'static str, tid: u64) {
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::Instant {
+                name,
+                tid,
+                ts_us: now_us(),
+            });
+        }
+    }
+
+    /// Opens an explicit (non-guard) span — for spans whose begin and
+    /// end happen on the same thread but not in one scope, like program
+    /// thread lifetimes.
+    pub fn begin(&self, name: &'static str, tid: u64) {
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::Begin {
+                name,
+                tid,
+                ts_us: now_us(),
+            });
+        }
+    }
+
+    /// Closes the innermost explicit span on `tid`.
+    pub fn end(&self, tid: u64) {
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::End {
+                tid,
+                ts_us: now_us(),
+            });
+        }
+    }
+
+    /// Names a trace lane (shows as the thread name in the Chrome UI).
+    pub fn thread_name(&self, tid: u64, label: &str) {
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::ThreadName {
+                tid,
+                label: label.to_string(),
+            });
+        }
+    }
+
+    /// Forwards a raw event.
+    pub fn emit(&self, ev: &TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.event(ev);
+        }
+    }
+}
+
+/// Closes its span on drop. Obtained from [`Obs::span`] / [`span!`].
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    inner: Option<(Arc<dyn Sink>, &'static str, u64, u64)>,
+}
+
+impl SpanGuard {
+    /// Explicitly closes the span now (equivalent to dropping).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((sink, name, tid, start)) = self.inner.take() {
+            sink.event(&TraceEvent::Complete {
+                name,
+                tid,
+                ts_us: start,
+                dur_us: now_us().saturating_sub(start),
+            });
+        }
+    }
+}
+
+/// Opens a scoped span: `span!(obs, "solve")` or `span!(obs, "thread", lane)`.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        $obs.span($name)
+    };
+    ($obs:expr, $name:expr, $tid:expr) => {
+        $obs.span_on($name, $tid)
+    };
+}
+
+/// Emits a named counter sample: `counter!(obs, "deps", n)`.
+#[macro_export]
+macro_rules! counter {
+    ($obs:expr, $name:expr, $value:expr) => {
+        $obs.counter($name, $value)
+    };
+}
+
+/// Records a value into a [`Histogram`]: `histogram!(hist, v)`.
+#[macro_export]
+macro_rules! histogram {
+    ($hist:expr, $value:expr) => {
+        $hist.record($value)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_emits_nothing_and_allocates_nothing() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        let guard = obs.span("x");
+        assert!(guard.inner.is_none());
+        drop(guard);
+        obs.counter("c", 1);
+        obs.begin("b", 2);
+        obs.end(2);
+    }
+
+    #[test]
+    fn null_sink_disables_the_handle() {
+        let obs = Obs::with_sink(Arc::new(NullSink));
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn span_guard_emits_complete_on_drop() {
+        let sink = Arc::new(TraceSink::new());
+        let obs = Obs::with_sink(sink.clone());
+        {
+            let _span = span!(obs, "record");
+        }
+        counter!(obs, "deps", 5);
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Complete { name: "record", .. }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Counter {
+                name: "deps",
+                value: 5,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn metrics_registry_is_a_sink() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::with_sink(reg.clone());
+        {
+            let _span = obs.span("solve");
+        }
+        obs.counter("clauses", 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.counters.get("clauses"), Some(&7));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,493 @@
+//! Typed metric snapshots unifying the pipeline's scattered stats.
+//!
+//! Historically the repo had three disconnected stat structs —
+//! `RecordStats` (recorder), `SolveStats` (solver), `RunStats`
+//! (runtime) — and benches scraped text output to aggregate them. The
+//! types here are the unified, serializable superset: each pipeline
+//! stage converts its native counters into one of these sections, and a
+//! [`MetricsSnapshot`] stitches the sections together with phase
+//! timings into a single JSON-exportable document.
+
+use crate::json::Value;
+use crate::{Sink, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Per-run recorder counters (Light's bounded-recording side).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RecorderMetrics {
+    /// Log size in 64-bit words (the paper's space unit).
+    pub space_longs: u64,
+    /// Inter-thread flow-dependence edges recorded.
+    pub deps: u64,
+    /// Merged access runs recorded (prec/O1).
+    pub runs: u64,
+    /// Speculative read-matching retries.
+    pub retries: u64,
+    /// Accesses skipped entirely by the O2 guarded-location optimization.
+    pub o2_skipped: u64,
+    /// Times a last-write-map stripe lock was contended (the fast-path
+    /// `try_lock` failed and the thread had to block).
+    pub stripe_contention: u64,
+}
+
+/// IDL constraint-solver counters for one `solve` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct SolverMetrics {
+    /// Order variables in the constraint system.
+    pub vars: u64,
+    /// Hard difference constraints asserted up front.
+    pub hard_constraints: u64,
+    /// Disjunctive (read-matching) clauses.
+    pub clauses: u64,
+    /// Clause decisions taken.
+    pub decisions: u64,
+    /// Decisions undone on conflict.
+    pub backtracks: u64,
+    /// Wall time inside the solver.
+    pub solve_ns: u64,
+}
+
+/// Controlled-replay scheduler counters for one enforced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct SchedulerMetrics {
+    /// Slots in the enforced total order.
+    pub schedule_len: u64,
+    /// Admissions where the admitted thread differed from the previous
+    /// admitted thread (enforced context switches).
+    pub context_switches: u64,
+    /// Admissions that had to wait for their turn at least once.
+    pub enforcement_stalls: u64,
+    /// Total nanoseconds threads spent waiting for their turn.
+    pub stall_ns: u64,
+    /// Blind writes suppressed during replay.
+    pub suppressed_writes: u64,
+    /// Events parked past the recorded extent of their thread.
+    pub parked: u64,
+}
+
+/// Whole-run runtime counters (either the recorded or the replayed run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RunMetrics {
+    pub duration_ns: u64,
+    pub threads: u64,
+    pub events: u64,
+    pub objects: u64,
+}
+
+/// One timed pipeline phase (record, log-persist, constraint-build,
+/// solve, replay-run, ...). Times are µs since the obs epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct PhaseRecord {
+    pub name: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// The unified, serializable snapshot of everything the pipeline
+/// measured. Sections are optional because a snapshot can describe a
+/// record-only run, a replay, or a full pipeline pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MetricsSnapshot {
+    pub record: Option<RecorderMetrics>,
+    pub record_run: Option<RunMetrics>,
+    pub solver: Option<SolverMetrics>,
+    pub scheduler: Option<SchedulerMetrics>,
+    pub replay_run: Option<RunMetrics>,
+    pub phases: Vec<PhaseRecord>,
+    /// Free-form named counters fed through the sink API.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RecorderMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("space_longs", Value::from(self.space_longs)),
+            ("deps", Value::from(self.deps)),
+            ("runs", Value::from(self.runs)),
+            ("retries", Value::from(self.retries)),
+            ("o2_skipped", Value::from(self.o2_skipped)),
+            ("stripe_contention", Value::from(self.stripe_contention)),
+        ])
+    }
+}
+
+impl SolverMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("vars", Value::from(self.vars)),
+            ("hard_constraints", Value::from(self.hard_constraints)),
+            ("clauses", Value::from(self.clauses)),
+            ("decisions", Value::from(self.decisions)),
+            ("backtracks", Value::from(self.backtracks)),
+            ("solve_ns", Value::from(self.solve_ns)),
+        ])
+    }
+}
+
+impl SchedulerMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("schedule_len", Value::from(self.schedule_len)),
+            ("context_switches", Value::from(self.context_switches)),
+            ("enforcement_stalls", Value::from(self.enforcement_stalls)),
+            ("stall_ns", Value::from(self.stall_ns)),
+            ("suppressed_writes", Value::from(self.suppressed_writes)),
+            ("parked", Value::from(self.parked)),
+        ])
+    }
+}
+
+impl RunMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("duration_ns", Value::from(self.duration_ns)),
+            ("threads", Value::from(self.threads)),
+            ("events", Value::from(self.events)),
+            ("objects", Value::from(self.objects)),
+        ])
+    }
+}
+
+impl PhaseRecord {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("name", Value::from(self.name.as_str())),
+            ("start_us", Value::from(self.start_us)),
+            ("dur_us", Value::from(self.dur_us)),
+        ])
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object, omitting absent sections.
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        if let Some(r) = &self.record {
+            pairs.push(("record".into(), r.to_json()));
+        }
+        if let Some(r) = &self.record_run {
+            pairs.push(("record_run".into(), r.to_json()));
+        }
+        if let Some(s) = &self.solver {
+            pairs.push(("solver".into(), s.to_json()));
+        }
+        if let Some(s) = &self.scheduler {
+            pairs.push(("scheduler".into(), s.to_json()));
+        }
+        if let Some(r) = &self.replay_run {
+            pairs.push(("replay_run".into(), r.to_json()));
+        }
+        if !self.phases.is_empty() {
+            pairs.push((
+                "phases".into(),
+                Value::arr(self.phases.iter().map(PhaseRecord::to_json)),
+            ));
+        }
+        if !self.counters.is_empty() {
+            pairs.push((
+                "counters".into(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(pairs)
+    }
+
+    /// Merges another snapshot into this one. Typed sections prefer the
+    /// incoming value when present; counters add; phases append.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if other.record.is_some() {
+            self.record = other.record;
+        }
+        if other.record_run.is_some() {
+            self.record_run = other.record_run;
+        }
+        if other.solver.is_some() {
+            self.solver = other.solver;
+        }
+        if other.scheduler.is_some() {
+            self.scheduler = other.scheduler;
+        }
+        if other.replay_run.is_some() {
+            self.replay_run = other.replay_run;
+        }
+        self.phases.extend(other.phases.iter().cloned());
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// A live, thread-safe registry that accumulates typed metric sections
+/// and — because it is also a [`Sink`] — phase spans and counters fed
+/// through the event API. Snapshot at any time with
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut st = self.inner.lock().unwrap();
+        *st.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn set_record(&self, m: RecorderMetrics) {
+        self.inner.lock().unwrap().record = Some(m);
+    }
+
+    pub fn set_record_run(&self, m: RunMetrics) {
+        self.inner.lock().unwrap().record_run = Some(m);
+    }
+
+    pub fn set_solver(&self, m: SolverMetrics) {
+        self.inner.lock().unwrap().solver = Some(m);
+    }
+
+    pub fn set_scheduler(&self, m: SchedulerMetrics) {
+        self.inner.lock().unwrap().scheduler = Some(m);
+    }
+
+    pub fn set_replay_run(&self, m: RunMetrics) {
+        self.inner.lock().unwrap().replay_run = Some(m);
+    }
+
+    pub fn phase(&self, name: &str, start_us: u64, dur_us: u64) {
+        self.inner.lock().unwrap().phases.push(PhaseRecord {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+impl Sink for MetricsRegistry {
+    fn event(&self, ev: &TraceEvent) {
+        match *ev {
+            // Pipeline-lane spans become phase records; program-thread
+            // spans (tid > 0) would swamp the phase list, so only lane 0
+            // is treated as a pipeline phase.
+            TraceEvent::Complete {
+                name,
+                tid: 0,
+                ts_us,
+                dur_us,
+            } => self.phase(name, ts_us, dur_us),
+            TraceEvent::Counter { name, value, .. } => self.add(name, value),
+            _ => {}
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram for small integer distributions
+/// (run lengths, clause sizes, stall times).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Histogram {
+    /// `counts[b]` counts values v with `bucket(v) == b`; bucket 0 holds
+    /// v == 0, bucket b holds 2^(b-1) <= v < 2^b.
+    counts: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; 65],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` inclusive ranges.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                if b == 0 {
+                    (0, 0, c)
+                } else {
+                    (1u64 << (b - 1), (1u64 << b) - 1, c)
+                }
+            })
+            .collect()
+    }
+
+    /// Renders an aligned ASCII bar chart, one line per non-empty bucket.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let buckets = self.buckets();
+        let peak = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
+        let mut out = String::new();
+        for (lo, hi, c) in buckets {
+            let bar = (c as usize * width).div_ceil(peak as usize).min(width);
+            let range = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            let _ = writeln!(out, "  {range:>12} | {:<width$} {c}", "#".repeat(bar));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("count", Value::from(self.count())),
+            ("sum", Value::from(self.sum)),
+            ("max", Value::from(self.max)),
+            (
+                "buckets",
+                Value::arr(self.buckets().into_iter().map(|(lo, hi, c)| {
+                    Value::obj([
+                        ("lo", Value::from(lo)),
+                        ("hi", Value::from(hi)),
+                        ("count", Value::from(c)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_counters_and_phases() {
+        let reg = MetricsRegistry::new();
+        reg.add("deps", 3);
+        reg.add("deps", 4);
+        reg.event(&TraceEvent::Complete {
+            name: "solve",
+            tid: 0,
+            ts_us: 100,
+            dur_us: 50,
+        });
+        // Program-thread spans are not pipeline phases.
+        reg.event(&TraceEvent::Complete {
+            name: "thread",
+            tid: 2,
+            ts_us: 0,
+            dur_us: 1,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("deps"), Some(&7));
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].name, "solve");
+    }
+
+    #[test]
+    fn snapshot_json_omits_empty_sections() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.to_json().to_json(), "{}");
+        let snap = MetricsSnapshot {
+            record: Some(RecorderMetrics {
+                deps: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let json = snap.to_json().to_json();
+        assert!(json.contains("\"record\""));
+        assert!(!json.contains("\"solver\""));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_prefers_incoming_sections() {
+        let mut a = MetricsSnapshot {
+            counters: [("x".to_string(), 1)].into_iter().collect(),
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            counters: [("x".to_string(), 2)].into_iter().collect(),
+            solver: Some(SolverMetrics {
+                vars: 9,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.counters["x"], 3);
+        assert_eq!(a.solver.unwrap().vars, 9);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.buckets();
+        assert!(buckets.contains(&(0, 0, 1)));
+        assert!(buckets.contains(&(1, 1, 2)));
+        assert!(buckets.contains(&(2, 3, 2)));
+        assert!(buckets.contains(&(4, 7, 2)));
+        assert!(buckets.contains(&(512, 1023, 1)));
+        let rendered = h.render(20);
+        assert!(rendered.contains("512-1023"));
+    }
+}

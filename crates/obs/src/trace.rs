@@ -1,0 +1,204 @@
+//! Structured trace events and the Chrome trace-event exporter.
+//!
+//! Events carry microsecond timestamps relative to a process-wide epoch
+//! (see [`crate::now_us`]). The collector sink ([`TraceSink`]) buffers
+//! them and renders the Chrome `chrome://tracing` / Perfetto JSON array
+//! format, so a full record → solve → replay run can be opened on a
+//! timeline.
+
+use crate::json::Value;
+use crate::Sink;
+use std::sync::Mutex;
+
+/// One structured observability event.
+///
+/// `tid` is a logical lane, not an OS thread id: lane 0 is the pipeline
+/// itself (record / constraint-build / solve / replay phases); program
+/// threads use their Light thread ids offset by one so they never
+/// collide with the pipeline lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A closed span: `ph: "X"` in Chrome trace terms.
+    Complete {
+        name: &'static str,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+    },
+    /// An open span start (`ph: "B"`); paired with a later [`TraceEvent::End`].
+    Begin {
+        name: &'static str,
+        tid: u64,
+        ts_us: u64,
+    },
+    /// Closes the innermost open span on `tid` (`ph: "E"`).
+    End { tid: u64, ts_us: u64 },
+    /// A point-in-time marker (`ph: "i"`).
+    Instant {
+        name: &'static str,
+        tid: u64,
+        ts_us: u64,
+    },
+    /// A sampled counter value (`ph: "C"`).
+    Counter {
+        name: &'static str,
+        tid: u64,
+        ts_us: u64,
+        value: u64,
+    },
+    /// Lane naming metadata (`ph: "M"`, `thread_name`).
+    ThreadName { tid: u64, label: String },
+}
+
+impl TraceEvent {
+    /// Renders this event as one Chrome trace-event JSON object.
+    pub fn to_chrome(&self) -> Value {
+        match *self {
+            TraceEvent::Complete {
+                name,
+                tid,
+                ts_us,
+                dur_us,
+            } => Value::obj([
+                ("name", Value::from(name)),
+                ("cat", Value::from("light")),
+                ("ph", Value::from("X")),
+                ("ts", Value::from(ts_us)),
+                ("dur", Value::from(dur_us)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+            ]),
+            TraceEvent::Begin { name, tid, ts_us } => Value::obj([
+                ("name", Value::from(name)),
+                ("cat", Value::from("light")),
+                ("ph", Value::from("B")),
+                ("ts", Value::from(ts_us)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+            ]),
+            TraceEvent::End { tid, ts_us } => Value::obj([
+                ("ph", Value::from("E")),
+                ("ts", Value::from(ts_us)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+            ]),
+            TraceEvent::Instant { name, tid, ts_us } => Value::obj([
+                ("name", Value::from(name)),
+                ("cat", Value::from("light")),
+                ("ph", Value::from("i")),
+                ("s", Value::from("t")),
+                ("ts", Value::from(ts_us)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+            ]),
+            TraceEvent::Counter {
+                name,
+                tid,
+                ts_us,
+                value,
+            } => Value::obj([
+                ("name", Value::from(name)),
+                ("ph", Value::from("C")),
+                ("ts", Value::from(ts_us)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+                ("args", Value::obj([("value", Value::from(value))])),
+            ]),
+            TraceEvent::ThreadName { tid, ref label } => Value::obj([
+                ("name", Value::from("thread_name")),
+                ("ph", Value::from("M")),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(tid)),
+                ("args", Value::obj([("name", Value::from(label.as_str()))])),
+            ]),
+        }
+    }
+}
+
+/// Renders a slice of events as a complete Chrome trace-event JSON
+/// document (`{"traceEvents": [...]}`), loadable in `chrome://tracing`
+/// or the Perfetto UI.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    Value::obj([
+        (
+            "traceEvents",
+            Value::arr(events.iter().map(TraceEvent::to_chrome)),
+        ),
+        ("displayTimeUnit", Value::from("ms")),
+    ])
+    .to_json_pretty()
+}
+
+/// A [`Sink`] that buffers every event in memory for later export.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains nothing; returns a copy of everything seen so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Full Chrome trace-event JSON for everything seen so far.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.events.lock().unwrap())
+    }
+}
+
+impl Sink for TraceSink {
+    fn event(&self, ev: &TraceEvent) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_export_has_expected_fields() {
+        let sink = TraceSink::new();
+        sink.event(&TraceEvent::Complete {
+            name: "solve",
+            tid: 0,
+            ts_us: 10,
+            dur_us: 5,
+        });
+        sink.event(&TraceEvent::ThreadName {
+            tid: 0,
+            label: "pipeline".into(),
+        });
+        let json = sink.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\": \"solve\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn begin_end_pair_round_trips() {
+        let b = TraceEvent::Begin {
+            name: "thread",
+            tid: 3,
+            ts_us: 1,
+        };
+        let e = TraceEvent::End { tid: 3, ts_us: 9 };
+        let doc = chrome_trace_json(&[b, e]);
+        assert!(doc.contains("\"ph\": \"B\""));
+        assert!(doc.contains("\"ph\": \"E\""));
+    }
+}

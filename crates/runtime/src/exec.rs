@@ -22,6 +22,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which scheduling strategy an execution uses.
+// `Controlled` dwarfs the other variants, but exactly one spec exists per
+// execution, so boxing the schedule would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum SchedulerSpec {
     /// Native OS scheduling (used for overhead measurements).
@@ -72,6 +75,10 @@ pub struct ExecConfig {
     pub wall_timeout: Duration,
     /// Whether `print` output is captured into [`RunOutcome::prints`].
     pub capture_prints: bool,
+    /// Observability handle. Disabled by default; when a sink is
+    /// attached, the run emits per-thread lifetime spans and the
+    /// controlled scheduler's enforcement counters.
+    pub obs: light_obs::Obs,
 }
 
 impl Default for ExecConfig {
@@ -86,6 +93,7 @@ impl Default for ExecConfig {
             wake_all_on_notify: false,
             wall_timeout: Duration::from_secs(60),
             capture_prints: true,
+            obs: light_obs::Obs::disabled(),
         }
     }
 }
@@ -120,6 +128,9 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// Captured `print` output, in a nondeterministic global order.
     pub prints: Vec<String>,
+    /// Enforcement counters when the run used the controlled (replay)
+    /// scheduler; `None` for free/chaos/custom scheduling.
+    pub sched: Option<light_obs::SchedulerMetrics>,
 }
 
 impl RunOutcome {
@@ -179,6 +190,7 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
 
     let halt = HaltFlag::new();
     let mut chaos_handle: Option<Arc<ChaosScheduler>> = None;
+    let mut controlled_handle: Option<Arc<ControlledScheduler>> = None;
     let scheduler: Arc<dyn Scheduler> = match &config.scheduler {
         SchedulerSpec::Free => Arc::new(FreeScheduler),
         SchedulerSpec::Chaos { seed } => {
@@ -186,11 +198,15 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
             chaos_handle = Some(chaos.clone());
             chaos
         }
-        SchedulerSpec::Controlled { schedule, timeout } => Arc::new(ControlledScheduler::new(
-            schedule.clone(),
-            halt.clone(),
-            *timeout,
-        )),
+        SchedulerSpec::Controlled { schedule, timeout } => {
+            let controlled = Arc::new(ControlledScheduler::new(
+                schedule.clone(),
+                halt.clone(),
+                *timeout,
+            ));
+            controlled_handle = Some(controlled.clone());
+            controlled
+        }
         SchedulerSpec::Custom(custom) => custom.clone(),
     };
     let nondet_seed = match config.nondet {
@@ -217,6 +233,7 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
         wake_all_on_notify: config.wake_all_on_notify,
         max_call_depth: config.max_call_depth,
         capture_prints: config.capture_prints,
+        obs: config.obs.clone(),
     });
 
     // Chaos deadlock detector: blocked threads sit inside primitives, so a
@@ -300,9 +317,11 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
         events: rt.events.load(Ordering::Relaxed),
         objects: rt.heap.object_count(),
     };
+    let sched = controlled_handle.map(|c| c.metrics());
     Ok(RunOutcome {
         fault,
         stats,
         prints,
+        sched,
     })
 }

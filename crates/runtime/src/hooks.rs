@@ -81,6 +81,7 @@ pub trait Recorder: Send + Sync {
     /// [`AccessKind::Read`] accesses (speculative retry), and must be
     /// invoked exactly once otherwise. The implementation must return the
     /// result of the final `op` call.
+    #[allow(clippy::too_many_arguments)]
     fn on_access(
         &self,
         tid: Tid,

@@ -39,6 +39,7 @@ pub(crate) struct RunCtx {
     pub wake_all_on_notify: bool,
     pub max_call_depth: usize,
     pub capture_prints: bool,
+    pub obs: light_obs::Obs,
 }
 
 impl RunCtx {
@@ -113,10 +114,19 @@ pub(crate) fn interp_thread(
         block: BlockId(0),
         idx: 0,
     };
+    // Trace lane `tid.raw() + 1`: lane 0 is reserved for pipeline phases.
+    let lane = tid.raw() + 1;
+    if rt.obs.enabled() {
+        rt.obs.thread_name(lane, &tid.to_string());
+        rt.obs.begin("thread", lane);
+    }
     let _ = ctx.run_to_completion(func, args, parent, entry_iid);
     rt.recorder.on_thread_exit(tid);
     rt.threads.mark_finished(tid, ctx.ctr);
     rt.scheduler.thread_exited(tid);
+    if rt.obs.enabled() {
+        rt.obs.end(lane);
+    }
 }
 
 impl ThreadCtx {
@@ -280,7 +290,7 @@ impl ThreadCtx {
 
     fn consume_step(&mut self, iid: InstrId) -> Result<(), ThreadStop> {
         self.steps += 1;
-        if self.steps % STEP_CHECK_INTERVAL == 0 {
+        if self.steps.is_multiple_of(STEP_CHECK_INTERVAL) {
             if self.rt.halt.is_set() {
                 return Err(ThreadStop::Halted);
             }

@@ -11,8 +11,10 @@ use std::collections::HashSet;
 
 /// Decides which accesses are instrumented.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub enum SharedPolicy {
     /// Instrument every global, field, array and map access.
+    #[default]
     All,
     /// Instrument only locations the static analysis reports as shared.
     Analyzed {
@@ -70,11 +72,6 @@ impl SharedPolicy {
     }
 }
 
-impl Default for SharedPolicy {
-    fn default() -> Self {
-        SharedPolicy::All
-    }
-}
 
 #[cfg(test)]
 mod tests {

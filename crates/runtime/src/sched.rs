@@ -15,8 +15,10 @@ use crate::heap::Loc;
 use crate::hooks::AccessKind;
 use crate::thread_id::Tid;
 use crate::value::ObjId;
+use light_obs::SchedulerMetrics;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// What kind of event a gate guards (the scheduler's view).
@@ -421,6 +423,21 @@ impl ReplaySchedule {
         self.slots.get(&(tid, ctr)).copied()
     }
 
+    /// The enforced total order as `(tid, ctr)` pairs, in slot order.
+    /// Used by trace exporters to lay the schedule out on a timeline.
+    pub fn ordered_slots(&self) -> Vec<(Tid, u64)> {
+        let mut slots: Vec<(u32, Tid, u64)> = self
+            .slots
+            .iter()
+            .filter_map(|(&(tid, ctr), &action)| match action {
+                SlotAction::Ordered(seq) => Some((seq, tid, ctr)),
+                _ => None,
+            })
+            .collect();
+        slots.sort_unstable_by_key(|&(seq, _, _)| seq);
+        slots.into_iter().map(|(_, tid, ctr)| (tid, ctr)).collect()
+    }
+
     /// Number of events in the enforced total order.
     pub fn ordered_len(&self) -> u32 {
         self.ordered_len
@@ -471,6 +488,9 @@ enum UnlistedAction {
 
 struct ControlledState {
     next_seq: u32,
+    /// Thread admitted by the previous ordered slot, for counting
+    /// enforced context switches.
+    last_tid: Option<Tid>,
 }
 
 /// Enforces a [`ReplaySchedule`] over the gated events.
@@ -480,6 +500,11 @@ pub struct ControlledScheduler {
     state: Mutex<ControlledState>,
     cv: Condvar,
     timeout: Duration,
+    stalls: AtomicU64,
+    stall_ns: AtomicU64,
+    switches: AtomicU64,
+    suppressed: AtomicU64,
+    parked: AtomicU64,
 }
 
 impl ControlledScheduler {
@@ -490,9 +515,29 @@ impl ControlledScheduler {
         Self {
             halt,
             schedule,
-            state: Mutex::new(ControlledState { next_seq: 0 }),
+            state: Mutex::new(ControlledState {
+                next_seq: 0,
+                last_tid: None,
+            }),
             cv: Condvar::new(),
             timeout,
+            stalls: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the enforcement counters accumulated so far.
+    pub fn metrics(&self) -> SchedulerMetrics {
+        SchedulerMetrics {
+            schedule_len: u64::from(self.schedule.ordered_len()),
+            context_switches: self.switches.load(Ordering::Relaxed),
+            enforcement_stalls: self.stalls.load(Ordering::Relaxed),
+            stall_ns: self.stall_ns.load(Ordering::Relaxed),
+            suppressed_writes: self.suppressed.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
         }
     }
 }
@@ -503,14 +548,21 @@ impl Scheduler for ControlledScheduler {
             Some(a) => a,
             None => match self.schedule.unlisted_action(tid, ctr, ev) {
                 UnlistedAction::Proceed => return Ok(Directive::Proceed),
-                UnlistedAction::Suppress => return Ok(Directive::SuppressWrite),
+                UnlistedAction::Suppress => {
+                    self.suppressed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Directive::SuppressWrite);
+                }
                 UnlistedAction::Park => SlotAction::Park,
             },
         };
         match action {
-            SlotAction::Suppress => Ok(Directive::SuppressWrite),
+            SlotAction::Suppress => {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                Ok(Directive::SuppressWrite)
+            }
             SlotAction::Park => {
                 // Wait out the rest of the run.
+                self.parked.fetch_add(1, Ordering::Relaxed);
                 let mut st = self.state.lock();
                 loop {
                     if self.halt.is_set() {
@@ -522,10 +574,21 @@ impl Scheduler for ControlledScheduler {
             SlotAction::Ordered(seq) => {
                 let start = Instant::now();
                 let mut st = self.state.lock();
+                let mut stalled = false;
                 loop {
                     if st.next_seq == seq {
+                        if stalled {
+                            self.stalls.fetch_add(1, Ordering::Relaxed);
+                            self.stall_ns
+                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        if st.last_tid != Some(tid) {
+                            self.switches.fetch_add(1, Ordering::Relaxed);
+                            st.last_tid = Some(tid);
+                        }
                         return Ok(Directive::Proceed);
                     }
+                    stalled = true;
                     if self.halt.is_set() {
                         return Err(SchedStop::Halted);
                     }
@@ -599,6 +662,31 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock(), vec![(t1, 1), (t2, 1), (t1, 2)]);
+        let m = s.metrics();
+        assert_eq!(m.schedule_len, 3);
+        // t1 -> t2 -> t1: every admission changed the running thread.
+        assert_eq!(m.context_switches, 3);
+        assert_eq!(m.suppressed_writes, 0);
+    }
+
+    #[test]
+    fn controlled_counts_suppressed_writes_and_slot_order() {
+        let halt = HaltFlag::new();
+        let mut sched = ReplaySchedule::new();
+        sched.push_ordered(Tid::ROOT, 1);
+        sched.suppress(Tid::ROOT, 2);
+        assert_eq!(sched.ordered_slots(), vec![(Tid::ROOT, 1)]);
+        let s = ControlledScheduler::new(sched, halt, Duration::from_secs(1));
+        s.before_event(Tid::ROOT, 1, &ev()).unwrap();
+        s.after_event(Tid::ROOT, 1);
+        assert_eq!(
+            s.before_event(Tid::ROOT, 2, &ev()),
+            Ok(Directive::SuppressWrite)
+        );
+        let m = s.metrics();
+        assert_eq!(m.suppressed_writes, 1);
+        assert_eq!(m.enforcement_stalls, 0);
+        assert_eq!(m.context_switches, 1);
     }
 
     #[test]

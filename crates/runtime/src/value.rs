@@ -81,12 +81,12 @@ impl Value {
 
     /// The decoded integer, if this is an integer.
     pub fn as_int(self) -> Option<i64> {
-        (self.0 & TAG_MASK == TAG_INT).then(|| (self.0 as i64) >> TAG_BITS)
+        (self.0 & TAG_MASK == TAG_INT).then_some((self.0 as i64) >> TAG_BITS)
     }
 
     /// The object id, if this is a reference.
     pub fn as_obj(self) -> Option<ObjId> {
-        (self.0 & TAG_MASK == TAG_REF).then(|| ObjId((self.0 >> TAG_BITS) as u32))
+        (self.0 & TAG_MASK == TAG_REF).then_some(ObjId((self.0 >> TAG_BITS) as u32))
     }
 
     /// The thread id, if this is a thread handle.

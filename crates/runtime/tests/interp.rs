@@ -273,9 +273,12 @@ fn chaos_scheduler_is_deterministic_per_seed() {
     for seed in 0..6 {
         assert_eq!(run_once(seed), run_once(seed), "seed {seed} not stable");
     }
-    // Some pair of seeds must disagree, otherwise chaos isn't exploring.
+    // Distinct seeds usually disagree, but no interleaving outcome is
+    // guaranteed on every host, so observe exploration rather than assert.
     let all: Vec<_> = (0..6).map(run_once).collect();
-    assert!(all.windows(2).any(|w| w[0] != w[1]) || all[0] != all[5] || true);
+    if all.windows(2).all(|w| w[0] == w[1]) {
+        eprintln!("note: chaos seeds 0..6 all agreed; exploration not observed");
+    }
 }
 
 #[test]

@@ -55,9 +55,30 @@ impl std::error::Error for SolveError {}
 pub struct SolveStats {
     pub decisions: u64,
     pub backtracks: u64,
+    pub vars: u64,
     pub hard_constraints: u64,
     pub clauses: u64,
     pub solve_time: Duration,
+}
+
+impl SolveStats {
+    /// Converts to the unified observability section.
+    pub fn metrics(&self) -> light_obs::SolverMetrics {
+        light_obs::SolverMetrics {
+            vars: self.vars,
+            hard_constraints: self.hard_constraints,
+            clauses: self.clauses,
+            decisions: self.decisions,
+            backtracks: self.backtracks,
+            solve_ns: self.solve_time.as_nanos() as u64,
+        }
+    }
+}
+
+impl From<&SolveStats> for light_obs::SolverMetrics {
+    fn from(stats: &SolveStats) -> Self {
+        stats.metrics()
+    }
 }
 
 /// A satisfying assignment mapping each variable to an integer such that
@@ -169,6 +190,7 @@ impl OrderSolver {
     pub fn solve_with_stats(&mut self) -> Result<(Model, SolveStats), SolveError> {
         let start = Instant::now();
         let mut stats = SolveStats {
+            vars: self.num_vars() as u64,
             hard_constraints: self.hard.len() as u64,
             clauses: self.clauses.len() as u64,
             ..SolveStats::default()

@@ -5,13 +5,15 @@
 use light_solver::{Atom, DiffGraph, OrderSolver, SolveError, Var};
 use proptest::prelude::*;
 
+/// A hidden total order, the hard edges it satisfies, and disjunctive
+/// clauses of candidate edges.
+type GeneratedSystem = (Vec<usize>, Vec<(usize, usize)>, Vec<Vec<(usize, usize)>>);
+
 /// Generates a hidden permutation of `n` variables plus constraints that
 /// the permutation satisfies — so the system is satisfiable by
 /// construction, like the constraint systems Light derives from a real
 /// execution trace.
-fn satisfiable_system(
-    n: usize,
-) -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>, Vec<Vec<(usize, usize)>>)> {
+fn satisfiable_system(n: usize) -> impl Strategy<Value = GeneratedSystem> {
     let perm = Just((0..n).collect::<Vec<usize>>()).prop_shuffle();
     perm.prop_flat_map(move |order| {
         // position of var v in the hidden order

@@ -1,8 +1,15 @@
 #!/usr/bin/env python3
-"""Splice the harness outputs in results/ into EXPERIMENTS.md placeholders.
+"""Splice the harness results in results/ into EXPERIMENTS.md placeholders.
+
+The harnesses emit structured JSON (results/<name>.json, written by the
+light-bench Report plumbing from the unified metric snapshots) plus a
+plain-text transcript (results/<name>.txt). This script is JSON-first:
+tables are regenerated from the structured data, falling back to
+scraping the text transcript only when a JSON artifact is missing.
 
 Usage: python3 scripts/fill_experiments.py
 """
+import json
 import re
 from pathlib import Path
 
@@ -10,8 +17,16 @@ ROOT = Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "results"
 
 
-def section(path: Path, start: str, end: str | None = None) -> str:
-    text = path.read_text()
+def load_json(name: str):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def text_section(name: str, start: str, end: str | None = None) -> str:
+    """Fallback: cut a section out of the text transcript."""
+    text = (RESULTS / f"{name}.txt").read_text()
     i = text.index(start)
     if end is None:
         return text[i:].rstrip()
@@ -23,27 +38,137 @@ def code_block(body: str) -> str:
     return "```text\n" + body.strip() + "\n```"
 
 
+def aggregate_table(doc, title: str, unit_fmt: str) -> str:
+    """Rebuilds the Leap/Stride/Light aggregate table from JSON."""
+    agg = doc["aggregate"]
+    lines = [title, f"{'':<10} {'Leap':>12} {'Stride':>12} {'Light':>12}"]
+    for row, key in (
+        ("average", "average"),
+        ("median", "median"),
+        ("minimum", "min"),
+        ("maximum", "max"),
+    ):
+        lines.append(
+            f"{row:<10} "
+            + " ".join(
+                format(agg[tool][key], unit_fmt).rjust(12)
+                for tool in ("leap", "stride", "light")
+            )
+        )
+    return "\n".join(lines)
+
+
+def fig4_block() -> str:
+    doc = load_json("fig4_time")
+    if doc is None:
+        return code_block(
+            text_section("fig4_time", "== Aggregate time overhead statistics")
+        )
+    body = aggregate_table(
+        doc, "== Aggregate time overhead statistics (Section 5.2 table) ==", ".2f"
+    )
+    sc = doc["shape_check"]
+    verdict = "HOLDS" if sc["holds"] else "DOES NOT HOLD"
+    body += (
+        f"\n\nPaper's shape check: Light average ({sc['light_avg']:.2f}x) well below "
+        f"Leap ({sc['leap_avg']:.2f}x) and Stride ({sc['stride_avg']:.2f}x): {verdict}"
+    )
+    return code_block(body)
+
+
+def fig5_block() -> str:
+    doc = load_json("fig5_space")
+    if doc is None:
+        return code_block(text_section("fig5_space", "== Aggregate space statistics"))
+    body = aggregate_table(
+        doc, "== Aggregate space statistics (Long-integer units) ==", ".0f"
+    )
+    sc = doc["shape_check"]
+    verdict = "LIGHT SMALLER" if sc["holds"] else "DOES NOT HOLD"
+    body += (
+        "\n\nPaper's shape check: Light space a small fraction of Leap's "
+        f"(paper ~10%): measured {sc['light_over_leap_pct']:.1f}%: {verdict}"
+    )
+    return code_block(body)
+
+
+def fig6_block() -> str:
+    doc = load_json("fig6_bugs")
+    if doc is None:
+        return code_block((RESULTS / "fig6_bugs.txt").read_text())
+    lines = [
+        "== Figure 6 / H2: bug reproduction matrix ==",
+        f"{'bug':<14} {'Light':<8} {'CLAP-like':<28} {'Chimera-like':<28}",
+    ]
+    for row in doc["rows"]:
+        lines.append(
+            f"{row['bug']:<14} {row['light']:<8} {row['clap']:<28} {row['chimera']:<28}"
+        )
+    t = doc["totals"]
+    lines.append("")
+    lines.append(
+        f"Totals: Light {t['light']}/{t['total']}, CLAP-like {t['clap']}/{t['total']}, "
+        f"Chimera-like {t['chimera']}/{t['total']}"
+    )
+    lines.append(
+        "Paper's result: Light 8/8, CLAP 3/8 (5 HashMap-based misses), "
+        "Chimera 5/8 (3 serialization misses)."
+    )
+    return code_block("\n".join(lines))
+
+
+def table1_block() -> str:
+    doc = load_json("table1_replay")
+    if doc is None:
+        return code_block((RESULTS / "table1_replay.txt").read_text())
+    lines = [
+        "== Table 1: replay measurement (8 bugs) ==",
+        f"{'bug':<14} {'Space(L)':>10} {'Solve(ms)':>10} {'Replay(ms)':>10} "
+        f"{'events':>8} {'correl':>8}",
+    ]
+    for row in doc["rows"]:
+        if row.get("status") != "replayed":
+            lines.append(f"{row['bug']:<14} {row.get('status', 'failed')}")
+            continue
+        # Solver decisions/backtracks live in row["metrics"]["solver"];
+        # the table shows the paper's columns, the JSON keeps the rest.
+        lines.append(
+            f"{row['bug']:<14} {row['space_longs']:>10} {row['solve_ms']:>10.1f} "
+            f"{row['replay_ms']:>10.1f} {row['ordered_events']:>8} "
+            f"{'yes' if row['correlated'] else 'NO':>8}"
+        )
+    lines.append("")
+    lines.append(
+        "(Space in Long-integer units; Solve includes constraint generation + IDL "
+        "search; Replay is the controlled re-execution. The paper reports seconds "
+        "on JVM-scale traces; shapes — solve time correlated with space — carry over.)"
+    )
+    return code_block("\n".join(lines))
+
+
+def fig7_block() -> str:
+    doc = load_json("fig7_breakdown")
+    if doc is None:
+        return code_block(text_section("fig7_breakdown", "Space summary:"))
+    s = doc["space_summary"]
+    n = s["n"]
+    body = (
+        f"Space summary: O1 saves >=20% on {s['o1_ge_20']}/{n}, "
+        f">=50% on {s['o1_ge_50']}/{n}; O2 adds >=20% on {s['o2_ge_20']}/{n}.\n"
+        "Paper's H3: both optimizations contribute significantly, O1 dominant."
+    )
+    return code_block(body)
+
+
 def main() -> None:
     exp = (ROOT / "EXPERIMENTS.md").read_text()
 
-    fig4 = RESULTS / "fig4_time.txt"
-    fig5 = RESULTS / "fig5_space.txt"
-    fig6 = RESULTS / "fig6_bugs.txt"
-    fig7 = RESULTS / "fig7_breakdown.txt"
-    table1 = RESULTS / "table1_replay.txt"
-
     fills = {
-        "<!-- FIG4_AGGREGATE -->": code_block(
-            section(fig4, "== Aggregate time overhead statistics")
-        ),
-        "<!-- FIG5_AGGREGATE -->": code_block(
-            section(fig5, "== Aggregate space statistics")
-        ),
-        "<!-- FIG6_TABLE -->": code_block(fig6.read_text()),
-        "<!-- TABLE1 -->": code_block(table1.read_text()),
-        "<!-- FIG7_SUMMARY -->": code_block(
-            section(fig7, "Space summary:")
-        ),
+        "<!-- FIG4_AGGREGATE -->": fig4_block(),
+        "<!-- FIG5_AGGREGATE -->": fig5_block(),
+        "<!-- FIG6_TABLE -->": fig6_block(),
+        "<!-- TABLE1 -->": table1_block(),
+        "<!-- FIG7_SUMMARY -->": fig7_block(),
     }
     for marker, content in fills.items():
         if marker not in exp:

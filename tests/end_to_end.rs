@@ -146,7 +146,7 @@ fn figure6_matrix_matches_paper_shape() {
 
         let clap = Clap::new(Arc::clone(&program));
         let clap_unsupported = !clap.unsupported_constructs().is_empty();
-        if clap_unsupported == !bug.clap_supported {
+        if clap_unsupported != bug.clap_supported {
             clap_expected += 1;
         }
 
