@@ -46,7 +46,9 @@ pub use bulk_guard::{guarded_alloc_sites, init_only_alloc_sites};
 pub use callgraph::{CallGraph, Multiplicity};
 pub use escape::EscapeAnalysis;
 pub use lockset::{guarded_locations, GuardedLocations, LockAbs};
-pub use races::{race_pairs, racy_functions, RacePair, StaticLoc};
+pub use races::{
+    change_point_candidates, race_pairs, racy_functions, RacePair, RacyLocations, StaticLoc,
+};
 pub use shared::SharedLocations;
 
 use light_runtime::SharedPolicy;

@@ -124,6 +124,45 @@ pub fn racy_functions(pairs: &[RacePair]) -> HashSet<FuncId> {
         .collect()
 }
 
+/// The statically racy locations, digested for dynamic matching: a
+/// schedule-exploration strategy preempts exactly at accesses that may be
+/// one side of a race (race-directed search).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RacyLocations {
+    /// Raw [`FieldId`]s involved in some race pair.
+    pub fields: HashSet<u32>,
+    /// Raw [`GlobalId`]s involved in some race pair.
+    pub globals: HashSet<u32>,
+    /// Whether any pooled (array/map/opaque-intrinsic) access races; if so
+    /// every such access is a candidate.
+    pub bulk: bool,
+}
+
+impl RacyLocations {
+    /// Whether any location at all is racy.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.globals.is_empty() && !self.bulk
+    }
+}
+
+/// Digests race pairs into the preemption-point candidate set used by
+/// race-directed schedule exploration.
+pub fn change_point_candidates(pairs: &[RacePair]) -> RacyLocations {
+    let mut out = RacyLocations::default();
+    for p in pairs {
+        match p.loc {
+            StaticLoc::Field(f) => {
+                out.fields.insert(f.0);
+            }
+            StaticLoc::Global(g) => {
+                out.globals.insert(g.0);
+            }
+            StaticLoc::Bulk => out.bulk = true,
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +260,26 @@ mod tests {
         );
         let g = p.global_by_name("lock").unwrap();
         assert!(!r.iter().any(|p| p.loc == StaticLoc::Global(g)));
+    }
+
+    #[test]
+    fn change_point_candidates_digest_pairs() {
+        let (p, r) = races(
+            "global counter;
+             fn worker() { counter = counter + 1; }
+             fn main() {
+                 let t1 = spawn worker();
+                 let t2 = spawn worker();
+                 join t1; join t2;
+             }",
+        );
+        let g = p.global_by_name("counter").unwrap();
+        let cands = change_point_candidates(&r);
+        assert!(cands.globals.contains(&g.0));
+        assert!(cands.fields.is_empty());
+        assert!(!cands.bulk);
+        assert!(!cands.is_empty());
+        assert!(change_point_candidates(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Figure 6 companion — time-to-first-bug of the schedule-exploration
+//! strategies (chaos random walk, PCT priorities, race-directed search)
+//! across the eight-bug corpus. Run with
+//! `cargo bench -p light-bench --bench explore_strategies`.
+//!
+//! Results land in `results/explore_strategies.json` (primary, consumed
+//! by `scripts/fill_experiments.py`) and `results/explore_strategies.txt`.
+
+use light_bench::report::Report;
+use light_core::obs::json::Value;
+use light_explore::{ExploreConfig, Explorer, StrategyKind};
+use light_workloads::bugs;
+use std::time::Duration;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Chaos,
+    StrategyKind::Pct { depth: 3 },
+    StrategyKind::RaceDirected,
+];
+
+fn search_config(strategy: StrategyKind) -> ExploreConfig {
+    ExploreConfig {
+        strategy,
+        max_schedules: 2000,
+        workers: 1, // single worker: schedules-to-first-bug is exact
+        wall_limit: Duration::from_secs(20),
+        minimize: false,
+        replay_checks: 0,
+        ..ExploreConfig::default()
+    }
+}
+
+fn main() {
+    let mut rep = Report::new("explore_strategies");
+    rep.line("== Schedule exploration: time to first bug, per strategy ==");
+    rep.line("cell: schedules-to-first-bug (wall ms); `-` = budget exhausted");
+    rep.line(format!(
+        "{:<14} {:>18} {:>18} {:>18}",
+        "bug", "chaos", "pct(d=3)", "race"
+    ));
+
+    let mut rows = Vec::new();
+    let mut found_counts = [0u64; STRATEGIES.len()];
+    for bug in bugs() {
+        let explorer = Explorer::new(bug.program());
+        let mut cells = Vec::new();
+        let mut fields = vec![("bug", Value::from(bug.name))];
+        for (i, strategy) in STRATEGIES.into_iter().enumerate() {
+            let outcome = explorer.run(&bug.args, &search_config(strategy));
+            let wall_ms = outcome.metrics.wall_ns / 1_000_000;
+            let cell = match &outcome.found {
+                Some(_) => {
+                    found_counts[i] += 1;
+                    format!("{} ({wall_ms}ms)", outcome.metrics.schedules)
+                }
+                None => format!("- ({wall_ms}ms)"),
+            };
+            cells.push(cell);
+            fields.push((
+                strategy.name(),
+                Value::obj([
+                    ("found", Value::Bool(outcome.found.is_some())),
+                    ("schedules", Value::from(outcome.metrics.schedules)),
+                    ("wall_ms", Value::from(wall_ms)),
+                ]),
+            ));
+        }
+        rep.line(format!(
+            "{:<14} {:>18} {:>18} {:>18}",
+            bug.name, cells[0], cells[1], cells[2]
+        ));
+        rows.push(Value::obj(fields));
+    }
+    rep.set("rows", Value::Arr(rows));
+
+    let total = bugs().len() as u64;
+    rep.blank();
+    rep.line(format!(
+        "Found: chaos {}/{total}, pct {}/{total}, race {}/{total} \
+         (budget 2000 schedules / 20s wall per cell)",
+        found_counts[0], found_counts[1], found_counts[2]
+    ));
+    rep.set(
+        "totals",
+        Value::obj([
+            ("chaos", Value::from(found_counts[0])),
+            ("pct", Value::from(found_counts[1])),
+            ("race", Value::from(found_counts[2])),
+            ("total", Value::from(total)),
+        ]),
+    );
+    rep.write_or_die();
+}

@@ -9,6 +9,7 @@
 //!                                           # pipeline + computed schedule
 //! ```
 
+use light_core::obs::json::Value;
 use light_core::obs::{chrome_trace_json, Histogram, Obs, TraceEvent, TraceSink};
 use light_core::{load_recording_traced, ConstraintSystem, Recording};
 use std::collections::BTreeMap;
@@ -73,7 +74,20 @@ fn main() -> ExitCode {
     };
 
     if json {
-        println!("{}", recording.snapshot().to_json().to_json_pretty());
+        let mut snap = recording.snapshot().to_json();
+        if let (Value::Obj(pairs), Some(p)) = (&mut snap, &recording.provenance) {
+            pairs.push((
+                "explore".into(),
+                Value::obj([
+                    ("strategy", Value::Str(p.strategy.clone())),
+                    ("seed", Value::from(p.seed)),
+                    ("schedules", Value::from(p.schedules)),
+                    ("minimized", Value::Bool(p.minimized)),
+                    ("trace_segments", Value::from(p.trace_segments)),
+                ]),
+            ));
+        }
+        println!("{}", snap.to_json_pretty());
     } else {
         print_summary(&recording);
     }
@@ -96,6 +110,13 @@ fn print_summary(rec: &Recording) {
     match &rec.fault {
         Some(f) => println!("fault: {f}"),
         None => println!("fault: none (clean run)"),
+    }
+    if let Some(p) = &rec.provenance {
+        let minimized = if p.minimized { ", minimized" } else { "" };
+        println!(
+            "explore provenance: {} seed {} ({} schedules, {} trace segments{})",
+            p.strategy, p.seed, p.schedules, p.trace_segments, minimized
+        );
     }
 
     let s = &rec.stats;

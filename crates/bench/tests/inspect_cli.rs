@@ -1,0 +1,101 @@
+//! `light-inspect` CLI behavior: graceful failure on missing or
+//! truncated recordings (clear error, nonzero exit, no panic) and
+//! explore-provenance rendering in both output modes.
+
+use light_core::{write_recording, ExploreProvenance, Light, Recording};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+fn inspect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_light-inspect"))
+        .args(args)
+        .output()
+        .expect("spawn light-inspect")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("light-inspect-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn sample_recording() -> Recording {
+    let program = Arc::new(
+        lir::parse(
+            "global x; fn worker() { x = x + 1; } \
+             fn main() { x = 1; let h = spawn worker(); join h; assert(x == 2); }",
+        )
+        .unwrap(),
+    );
+    let light = Light::new(program);
+    let (recording, outcome) = light.record(&[], 0).unwrap();
+    assert!(outcome.completed());
+    recording
+}
+
+#[test]
+fn missing_recording_fails_cleanly() {
+    let out = inspect(&["/nonexistent/no-such-recording.lrec"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn truncated_recording_fails_cleanly() {
+    let bytes = write_recording(&sample_recording());
+    // Every truncation point must yield a clean load error, not a panic;
+    // probe a spread of prefixes including the pathological short ones.
+    let path = scratch("truncated.lrec");
+    for cut in [0, 1, 4, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let out = inspect(&[path.to_str().unwrap()]);
+        assert!(!out.status.success(), "cut at {cut} byte(s) succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot load"), "cut {cut}: {stderr}");
+        assert!(!stderr.contains("panicked"), "cut {cut}: {stderr}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn provenance_is_rendered_when_present() {
+    let mut recording = sample_recording();
+    recording.provenance = Some(ExploreProvenance {
+        strategy: "race".into(),
+        seed: 42,
+        schedules: 17,
+        minimized: true,
+        trace_segments: 5,
+    });
+    let path = scratch("provenance.lrec");
+    std::fs::write(&path, write_recording(&recording)).unwrap();
+
+    let out = inspect(&[path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("explore provenance: race seed 42 (17 schedules, 5 trace segments, minimized)"),
+        "stdout: {stdout}"
+    );
+
+    let out = inspect(&[path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"explore\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"strategy\": \"race\""), "stdout: {stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn clean_recording_summary_omits_provenance() {
+    let path = scratch("clean.lrec");
+    std::fs::write(&path, write_recording(&sample_recording())).unwrap();
+    let out = inspect(&[path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("explore provenance"), "stdout: {stdout}");
+    std::fs::remove_file(&path).ok();
+}

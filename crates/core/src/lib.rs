@@ -53,7 +53,9 @@ pub use log::{
 };
 pub use recorder::{LightConfig, LightRecorder};
 pub use spill::SpillSink;
-pub use recording::{AccessId, DepEdge, RecordStats, Recording, RunRec, SignalEdge};
+pub use recording::{
+    AccessId, DepEdge, ExploreProvenance, RecordStats, Recording, RunRec, SignalEdge,
+};
 pub use replay::{
     compute_schedule, compute_schedule_traced, faults_correlate, replay, replay_traced,
     ReplayError, ReplayOptions, ReplayReport,

@@ -4,7 +4,9 @@
 //! the equivalent compact binary format (little-endian, length-prefixed
 //! sections) plus file save/load helpers.
 
-use crate::recording::{AccessId, DepEdge, Recording, RecordStats, RunRec, SignalEdge};
+use crate::recording::{
+    AccessId, DepEdge, ExploreProvenance, Recording, RecordStats, RunRec, SignalEdge,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use light_runtime::{FaultKind, FaultReport, Tid, Value};
 use lir::{BlockId, FuncId, InstrId};
@@ -15,8 +17,10 @@ use std::path::Path;
 const MAGIC: u32 = 0x4C52_4543; // "LREC"
 /// v1: original layout. v2 appends `stats.stripe_contention` so the full
 /// metric snapshot survives save/load; v1 logs still load (the counter
-/// reads back as 0).
-const VERSION: u32 = 2;
+/// reads back as 0). v3 appends an optional explore-provenance section
+/// (strategy, seed, schedule count) stamped by `light-explore`; v1/v2
+/// logs load with no provenance.
+const VERSION: u32 = 3;
 
 /// Errors reading or writing a recording log.
 #[derive(Debug)]
@@ -130,6 +134,20 @@ pub fn write_recording(rec: &Recording) -> Bytes {
     buf.put_u64_le(rec.stats.retries);
     buf.put_u64_le(rec.stats.o2_skipped);
     buf.put_u64_le(rec.stats.stripe_contention);
+
+    match &rec.provenance {
+        None => buf.put_u8(0),
+        Some(p) => {
+            buf.put_u8(1);
+            let strategy = p.strategy.as_bytes();
+            buf.put_u32_le(strategy.len() as u32);
+            buf.put_slice(strategy);
+            buf.put_u64_le(p.seed);
+            buf.put_u64_le(p.schedules);
+            buf.put_u8(u8::from(p.minimized));
+            buf.put_u64_le(p.trace_segments);
+        }
+    }
 
     buf.freeze()
 }
@@ -267,6 +285,32 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         },
     };
 
+    let provenance = if version >= 3 {
+        ensure(buf, 1)?;
+        if buf.get_u8() == 1 {
+            let slen = get_u32(buf)? as usize;
+            ensure(buf, slen)?;
+            let mut strategy = vec![0u8; slen];
+            buf.copy_to_slice(&mut strategy);
+            ensure(buf, 8 + 8 + 1 + 8)?;
+            let seed = buf.get_u64_le();
+            let schedules = buf.get_u64_le();
+            let minimized = buf.get_u8() != 0;
+            let trace_segments = buf.get_u64_le();
+            Some(ExploreProvenance {
+                strategy: String::from_utf8_lossy(&strategy).into_owned(),
+                seed,
+                schedules,
+                minimized,
+                trace_segments,
+            })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
     Ok(Recording {
         deps,
         runs,
@@ -276,6 +320,7 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         fault,
         args,
         stats,
+        provenance,
     })
 }
 
@@ -461,6 +506,13 @@ mod tests {
                 o2_skipped: 5,
                 stripe_contention: 4,
             },
+            provenance: Some(ExploreProvenance {
+                strategy: "pct".into(),
+                seed: 77,
+                schedules: 1234,
+                minimized: true,
+                trace_segments: 6,
+            }),
         }
     }
 
@@ -477,6 +529,7 @@ mod tests {
         assert_eq!(back.fault, rec.fault);
         assert_eq!(back.args, rec.args);
         assert_eq!(back.stats, rec.stats);
+        assert_eq!(back.provenance, rec.provenance);
     }
 
     #[test]
@@ -487,19 +540,51 @@ mod tests {
         assert!(back.fault.is_none());
     }
 
+    /// Strips the v3 provenance section from a serialized sample, yielding
+    /// the exact v2 byte layout (version field still says 3).
+    fn strip_provenance(bytes: &[u8]) -> Vec<u8> {
+        // sample()'s provenance: 1 presence + 4 len + 3 "pct" + 8 seed +
+        // 8 schedules + 1 minimized + 8 trace_segments = 33 bytes.
+        let mut v = bytes.to_vec();
+        v.truncate(v.len() - 33);
+        v
+    }
+
     #[test]
     fn v1_logs_still_load_with_zero_contention() {
         // A v1 log is a v2 log minus the trailing stripe_contention word,
         // with the version field rewritten.
         let rec = sample();
-        let bytes = write_recording(&rec);
-        let mut v1 = bytes.to_vec();
+        let mut v1 = strip_provenance(&write_recording(&rec));
         v1.truncate(v1.len() - 8);
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
         let back = read_recording(&v1).unwrap();
         assert_eq!(back.stats.stripe_contention, 0);
         assert_eq!(back.stats.o2_skipped, rec.stats.o2_skipped);
         assert_eq!(back.deps, rec.deps);
+        assert_eq!(back.provenance, None);
+    }
+
+    #[test]
+    fn v2_logs_load_with_no_provenance() {
+        let rec = sample();
+        let mut v2 = strip_provenance(&write_recording(&rec));
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let back = read_recording(&v2).unwrap();
+        assert_eq!(back.stats, rec.stats);
+        assert_eq!(back.provenance, None);
+        assert_eq!(back.deps, rec.deps);
+    }
+
+    #[test]
+    fn absent_provenance_round_trips() {
+        let rec = Recording {
+            provenance: None,
+            ..sample()
+        };
+        let back = read_recording(&write_recording(&rec)).unwrap();
+        assert_eq!(back.provenance, None);
+        assert_eq!(back.stats, rec.stats);
     }
 
     #[test]

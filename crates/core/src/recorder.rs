@@ -283,6 +283,7 @@ impl LightRecorder {
             fault,
             args: args.to_vec(),
             stats,
+            provenance: None,
         }
     }
 

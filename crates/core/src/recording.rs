@@ -106,6 +106,25 @@ impl RecordStats {
     }
 }
 
+/// How a recording was discovered by schedule exploration: the search
+/// strategy, the seed that reproduces the schedule, and how much searching
+/// it took. Stamped by `light-explore` (log format v3); absent for
+/// recordings captured directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreProvenance {
+    /// Strategy name (`chaos`, `pct`, `race`).
+    pub strategy: String,
+    /// The seed whose schedule surfaced the failure.
+    pub seed: u64,
+    /// Schedules executed before this failure surfaced.
+    pub schedules: u64,
+    /// Whether the repro's decision trace was minimized before capture.
+    pub minimized: bool,
+    /// Decision-trace segments of the captured schedule (context-switch
+    /// granularity; smaller is a simpler repro).
+    pub trace_segments: u64,
+}
+
 /// Everything Light persists about an original run.
 #[derive(Debug, Clone, Default)]
 pub struct Recording {
@@ -123,6 +142,8 @@ pub struct Recording {
     /// The entry arguments of the original run.
     pub args: Vec<i64>,
     pub stats: RecordStats,
+    /// How schedule exploration found this run, when it did.
+    pub provenance: Option<ExploreProvenance>,
 }
 
 impl Recording {

@@ -1,0 +1,288 @@
+//! `light-explore` — schedule exploration over the bug corpus (or any
+//! LIR file): search for a failing schedule, capture it as a Light
+//! recording, minimize the repro, and validate it through the replay
+//! pipeline.
+//!
+//! ```text
+//! light-explore --all                         # explore every corpus bug
+//! light-explore cache4j weblech               # specific corpus bugs
+//! light-explore --file prog.lir --args 3,4    # a program from disk
+//! light-explore --all --strategy pct --budget 1000
+//! light-explore cache4j --out repro.lrec      # save the minimized repro
+//! ```
+
+use light_core::save_recording;
+use light_explore::{ExploreConfig, ExploreOutcome, Explorer, StrategyKind};
+use light_workloads::bugs;
+use lir::Program;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: light-explore [targets] [options]
+
+targets:
+  <name>...            corpus bug names (see light-workloads::bugs)
+  --all                every bug in the corpus
+  --file <prog.lir>    explore a program from disk instead
+
+options:
+  --strategy <s>       chaos | pct | race | all     (default chaos)
+  --pct-depth <d>      PCT priority-change points   (default 3)
+  --budget <n>         max schedules per strategy   (default 2000)
+  --workers <n>        search workers               (default 4)
+  --seed <n>           base seed                    (default 0)
+  --wall-secs <n>      wall-clock limit per search  (default 120)
+  --no-minimize        skip delta-debugging the repro
+  --replays <n>        validation replays           (default 3)
+  --args <a,b,..>      program arguments (with --file)
+  --out <file.lrec>    save the captured recording (single target only)
+  --json               machine-readable metrics per campaign";
+
+struct Cli {
+    names: Vec<String>,
+    all: bool,
+    file: Option<String>,
+    strategies: Vec<StrategyKind>,
+    config: ExploreConfig,
+    args: Vec<i64>,
+    out: Option<String>,
+    json: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        names: Vec::new(),
+        all: false,
+        file: None,
+        strategies: vec![StrategyKind::Chaos],
+        config: ExploreConfig::default(),
+        args: Vec::new(),
+        out: None,
+        json: false,
+    };
+    let mut pct_depth = 3u32;
+    let mut strategy_arg = String::from("chaos");
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => cli.all = true,
+            "--file" => cli.file = Some(next_val(&mut it, "--file")?),
+            "--strategy" => strategy_arg = next_val(&mut it, "--strategy")?,
+            "--pct-depth" => {
+                pct_depth = next_val(&mut it, "--pct-depth")?
+                    .parse()
+                    .map_err(|e| format!("--pct-depth: {e}"))?;
+            }
+            "--budget" => {
+                cli.config.max_schedules = next_val(&mut it, "--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--workers" => {
+                cli.config.workers = next_val(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--seed" => {
+                cli.config.base_seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--wall-secs" => {
+                let secs: u64 = next_val(&mut it, "--wall-secs")?
+                    .parse()
+                    .map_err(|e| format!("--wall-secs: {e}"))?;
+                cli.config.wall_limit = Duration::from_secs(secs);
+            }
+            "--no-minimize" => cli.config.minimize = false,
+            "--replays" => {
+                cli.config.replay_checks = next_val(&mut it, "--replays")?
+                    .parse()
+                    .map_err(|e| format!("--replays: {e}"))?;
+            }
+            "--args" => {
+                let raw = next_val(&mut it, "--args")?;
+                cli.args = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|e| format!("--args: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => cli.out = Some(next_val(&mut it, "--out")?),
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => cli.names.push(arg),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    cli.strategies = match strategy_arg.as_str() {
+        "all" => vec![
+            StrategyKind::Chaos,
+            StrategyKind::Pct { depth: pct_depth },
+            StrategyKind::RaceDirected,
+        ],
+        s => match StrategyKind::parse(s) {
+            Some(StrategyKind::Pct { .. }) => vec![StrategyKind::Pct { depth: pct_depth }],
+            Some(k) => vec![k],
+            None => return Err(format!("unknown strategy {s:?}")),
+        },
+    };
+    if cli.file.is_none() && !cli.all && cli.names.is_empty() {
+        return Err("no targets: give bug names, --all, or --file".into());
+    }
+    Ok(cli)
+}
+
+/// A program to explore: label, parsed program, entry arguments.
+type Target = (String, Arc<Program>, Vec<i64>);
+
+fn targets(cli: &Cli) -> Result<Vec<Target>, String> {
+    if let Some(path) = &cli.file {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = lir::parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        return Ok(vec![(path.clone(), Arc::new(program), cli.args.clone())]);
+    }
+    let corpus = bugs();
+    if cli.all {
+        return Ok(corpus
+            .iter()
+            .map(|b| (b.name.to_string(), b.program(), b.args.clone()))
+            .collect());
+    }
+    let mut picked = Vec::new();
+    for name in &cli.names {
+        let case = corpus
+            .iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| format!("unknown bug {name:?} (try --all to list by running all)"))?;
+        picked.push((case.name.to_string(), case.program(), case.args.clone()));
+    }
+    Ok(picked)
+}
+
+fn report_text(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome) {
+    let m = &outcome.metrics;
+    match &outcome.found {
+        Some(bug) => {
+            println!(
+                "[{label}] {}: FOUND {:?} at line {} (seed {}, {} schedules, {:.2}s)",
+                strategy.name(),
+                bug.fault.kind,
+                bug.fault.line,
+                bug.seed,
+                m.schedules,
+                m.wall_ns as f64 / 1e9,
+            );
+            let min = bug
+                .minimized_trace
+                .as_ref()
+                .map(|t| t.len())
+                .unwrap_or(bug.trace.len());
+            println!(
+                "         repro: {} -> {} context switches ({} probe runs), replay {}/{} correlated",
+                bug.trace.len(),
+                min,
+                m.minimize_iterations,
+                bug.replays_correlated,
+                bug.replays_attempted,
+            );
+        }
+        None => println!(
+            "[{label}] {}: no failure in {} schedules ({:.2}s)",
+            strategy.name(),
+            m.schedules,
+            m.wall_ns as f64 / 1e9,
+        ),
+    }
+}
+
+fn report_json(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome) {
+    let m = &outcome.metrics;
+    let found = outcome
+        .found
+        .as_ref()
+        .map(|b| {
+            format!(
+                "{{\"seed\":{},\"kind\":\"{:?}\",\"line\":{},\"trace_segments\":{},\"minimized_segments\":{},\"replays_correlated\":{},\"replays_attempted\":{}}}",
+                b.seed,
+                b.fault.kind,
+                b.fault.line,
+                b.trace.len(),
+                b.minimized_trace.as_ref().map(|t| t.len()).unwrap_or(b.trace.len()),
+                b.replays_correlated,
+                b.replays_attempted,
+            )
+        })
+        .unwrap_or_else(|| "null".into());
+    println!(
+        "{{\"target\":\"{label}\",\"strategy\":\"{}\",\"found\":{found},\"metrics\":{}}}",
+        strategy.name(),
+        m.to_json().to_json(),
+    );
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("light-explore: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let targets = match targets(&cli) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("light-explore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.out.is_some() && (targets.len() != 1 || cli.strategies.len() != 1) {
+        eprintln!("light-explore: --out needs exactly one target and one strategy");
+        return ExitCode::FAILURE;
+    }
+
+    let mut missed = 0usize;
+    for (label, program, args) in &targets {
+        let explorer = Explorer::new(program.clone());
+        for &strategy in &cli.strategies {
+            let config = ExploreConfig {
+                strategy,
+                ..cli.config.clone()
+            };
+            let outcome = explorer.run(args, &config);
+            if cli.json {
+                report_json(label, strategy, &outcome);
+            } else {
+                report_text(label, strategy, &outcome);
+            }
+            match &outcome.found {
+                Some(bug) => {
+                    if let Some(out) = &cli.out {
+                        if let Err(e) = save_recording(&bug.recording, out) {
+                            eprintln!("light-explore: cannot save {out}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        if !cli.json {
+                            println!("         saved repro to {out}");
+                        }
+                    }
+                }
+                None => missed += 1,
+            }
+        }
+    }
+    if missed > 0 {
+        eprintln!("light-explore: {missed} campaign(s) found no failure");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

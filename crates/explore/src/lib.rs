@@ -1,0 +1,378 @@
+//! Systematic schedule exploration for Light.
+//!
+//! The Light pipeline (record → constraint build → IDL solve → controlled
+//! replay) presumes a buggy *original run* exists. This crate finds those
+//! runs: an [`Explorer`] drives the interpreter under a pluggable search
+//! [`StrategyKind`] — chaos random walk, PCT-style randomized priorities,
+//! or race-directed preemption — across a worker pool until a schedule
+//! surfaces a program bug. The failing schedule is deterministic in its
+//! seed, so the engine then:
+//!
+//! 1. **captures** it by re-running the exact seed with the Light recorder
+//!    attached, producing a [`Recording`];
+//! 2. **minimizes** the repro by delta-debugging the schedule's
+//!    [`DecisionTrace`] (dropping context switches while the bug still
+//!    manifests, see [`minimize`]);
+//! 3. **validates** the minimized recording end-to-end through constraint
+//!    build → solve → controlled replay, checking Theorem 1 correlation.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use light_explore::{ExploreConfig, Explorer, StrategyKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(lir::parse(
+//!     "global x; global y;
+//!      fn writer() { x = null; y = 1; x = 5; }
+//!      fn reader() { if (y == 1) { let v = 1 / x; } }
+//!      fn main() {
+//!          x = 1;
+//!          let t1 = spawn writer();
+//!          let t2 = spawn reader();
+//!          join t1; join t2;
+//!      }",
+//! )?);
+//! let config = ExploreConfig {
+//!     strategy: StrategyKind::Chaos,
+//!     max_schedules: 500,
+//!     ..ExploreConfig::default()
+//! };
+//! let outcome = Explorer::new(program).run(&[], &config);
+//! let bug = outcome.found.expect("the race is found within the budget");
+//! assert!(bug.recording.fault.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod minimize;
+mod strategy;
+
+pub use minimize::{minimize, MinimizeResult};
+pub use strategy::{PctStrategy, RaceDirectedStrategy, StrategyKind};
+
+use light_analysis::{change_point_candidates, RacyLocations};
+use light_core::{ExploreProvenance, Light, Recording};
+use light_obs::ExploreMetrics;
+use light_runtime::{
+    run, DecisionTrace, ExecConfig, ExploreScheduler, FaultReport, NondetMode, NullRecorder,
+    RunOutcome, SchedulerSpec, ScriptedStrategy, Strategy,
+};
+use lir::Program;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one exploration campaign.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    pub strategy: StrategyKind,
+    /// Maximum schedules to try before giving up.
+    pub max_schedules: u64,
+    /// Concurrent search workers.
+    pub workers: usize,
+    /// First seed; schedule `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Wall-clock budget for the search phase.
+    pub wall_limit: Duration,
+    /// Whether to delta-debug the failing schedule before capture.
+    pub minimize: bool,
+    /// Probe-run budget for minimization.
+    pub minimize_budget: u64,
+    /// Validation replays of the captured recording (each runs the full
+    /// solve → controlled-replay pipeline and checks correlation).
+    pub replay_checks: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            strategy: StrategyKind::Chaos,
+            max_schedules: 2000,
+            workers: 4,
+            base_seed: 0,
+            wall_limit: Duration::from_secs(120),
+            minimize: true,
+            minimize_budget: 400,
+            replay_checks: 3,
+        }
+    }
+}
+
+/// A bug found by exploration, with its deterministic repro.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// The seed whose schedule surfaced the failure.
+    pub seed: u64,
+    /// The fault of the original (unminimized) failing run.
+    pub fault: FaultReport,
+    /// The failing schedule's decision trace as found.
+    pub trace: DecisionTrace,
+    /// The delta-debugged trace, when minimization ran and shrank it.
+    pub minimized_trace: Option<DecisionTrace>,
+    /// The captured recording (of the minimized schedule when available),
+    /// with [`Recording::provenance`] stamped.
+    pub recording: Recording,
+    /// Validation outcomes: how many of the requested replay checks
+    /// correlated per Theorem 1.
+    pub replays_correlated: u32,
+    pub replays_attempted: u32,
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// The first failure found, if any surfaced within the budget.
+    pub found: Option<FoundBug>,
+    /// Campaign counters (schedules, failures, minimization effort, wall
+    /// time) in the unified observability section.
+    pub metrics: ExploreMetrics,
+}
+
+/// The exploration engine for one program.
+pub struct Explorer {
+    light: Light,
+    racy: RacyLocations,
+}
+
+impl Explorer {
+    /// Builds an explorer, running the static analyses once (the race
+    /// pairs feed the race-directed strategy's preemption points).
+    pub fn new(program: Arc<Program>) -> Self {
+        let light = Light::new(program);
+        let racy = change_point_candidates(&light.analysis().races);
+        Self { light, racy }
+    }
+
+    /// The underlying Light instance (for custom replay options).
+    pub fn light(&self) -> &Light {
+        &self.light
+    }
+
+    /// Runs one probe schedule: strategy-driven serialized execution with
+    /// no recorder attached. Returns the outcome and the decision trace.
+    fn probe(&self, args: &[i64], seed: u64, strat: Box<dyn Strategy>) -> (Option<RunOutcome>, DecisionTrace) {
+        let sched = Arc::new(ExploreScheduler::with_strategy(
+            strat,
+            light_runtime::HaltFlag::new(),
+        ));
+        let config = ExecConfig {
+            recorder: Arc::new(NullRecorder),
+            scheduler: SchedulerSpec::Explore(sched.clone()),
+            policy: self.light.analysis().policy.clone(),
+            nondet: NondetMode::Real { seed },
+            ..ExecConfig::default()
+        };
+        let outcome = run(self.light.program(), args, config).ok();
+        (outcome, sched.trace())
+    }
+
+    /// Whether a probe fault is "the same bug" as the reference fault for
+    /// minimization purposes. Counters and values may shift when the
+    /// schedule changes, but the kind and the faulting statement pin the
+    /// bug down; deadlocks have no single statement and compare by kind.
+    fn same_bug(reference: &FaultReport, candidate: &FaultReport) -> bool {
+        candidate.kind == reference.kind
+            && (reference.kind == light_runtime::FaultKind::Deadlock
+                || candidate.instr == reference.instr)
+    }
+
+    /// Runs a full campaign: parallel search, first-failure capture,
+    /// minimization, validation.
+    pub fn run(&self, args: &[i64], config: &ExploreConfig) -> ExploreOutcome {
+        let start = Instant::now();
+        let mut metrics = ExploreMetrics::default();
+
+        // --- Phase 1: parallel strategy-driven search ------------------
+        let next = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let schedules_run = AtomicU64::new(0);
+        let failures = AtomicU64::new(0);
+        // (schedule index, seed, fault, trace) of the earliest failure.
+        let first: Mutex<Option<(u64, u64, FaultReport, DecisionTrace)>> = Mutex::new(None);
+
+        let workers = config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Acquire) || start.elapsed() > config.wall_limit {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.max_schedules {
+                        return;
+                    }
+                    let seed = config.base_seed + i;
+                    let strat = config.strategy.build(seed, &self.racy);
+                    let (outcome, trace) = self.probe(args, seed, strat);
+                    schedules_run.fetch_add(1, Ordering::Relaxed);
+                    let Some(outcome) = outcome else { return };
+                    if let Some(fault) = outcome.program_bug() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        let mut slot = first.lock().unwrap();
+                        // Keep the earliest schedule index for determinism
+                        // across worker interleavings.
+                        if slot.as_ref().is_none_or(|(j, ..)| i < *j) {
+                            *slot = Some((i, seed, fault.clone(), trace));
+                        }
+                        stop.store(true, Ordering::Release);
+                    }
+                });
+            }
+        });
+
+        metrics.schedules = schedules_run.load(Ordering::Relaxed);
+        metrics.failures = failures.load(Ordering::Relaxed);
+
+        let Some((_, seed, fault, trace)) = first.into_inner().unwrap() else {
+            metrics.wall_ns = start.elapsed().as_nanos() as u64;
+            return ExploreOutcome {
+                found: None,
+                metrics,
+            };
+        };
+        metrics.trace_segments = trace.len() as u64;
+
+        // --- Phase 2: minimize the decision trace ----------------------
+        let minimized_trace = if config.minimize {
+            let result = minimize(&trace, config.minimize_budget, |cand| {
+                let strat = Box::new(ScriptedStrategy::new(cand));
+                let (outcome, _) = self.probe(args, seed, strat);
+                outcome
+                    .as_ref()
+                    .and_then(|o| o.program_bug())
+                    .is_some_and(|f| Self::same_bug(&fault, f))
+            });
+            metrics.minimize_iterations = result.iterations;
+            if result.trace.len() < trace.len() {
+                Some(result.trace)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let capture_trace = minimized_trace.as_ref().unwrap_or(&trace);
+        metrics.minimized_segments = capture_trace.len() as u64;
+
+        // --- Phase 3: capture with the Light recorder attached ---------
+        // Replaying the scripted trace is recorder-independent: gates fire
+        // whether or not a recorder observes them, so the decisions — and
+        // the fault — are those of the probe run.
+        let sched = Arc::new(ExploreScheduler::with_strategy(
+            Box::new(ScriptedStrategy::new(capture_trace)),
+            light_runtime::HaltFlag::new(),
+        ));
+        let captured = self
+            .light
+            .record_with(args, SchedulerSpec::Explore(sched), seed);
+        let (mut recording, capture_outcome) = match captured {
+            Ok(pair) => pair,
+            Err(_) => {
+                // Setup errors cannot happen after successful probes
+                // (same program, same args); treat as not found.
+                metrics.wall_ns = start.elapsed().as_nanos() as u64;
+                return ExploreOutcome {
+                    found: None,
+                    metrics,
+                };
+            }
+        };
+        let captured_fault = capture_outcome
+            .program_bug()
+            .cloned()
+            .unwrap_or_else(|| fault.clone());
+        recording.provenance = Some(ExploreProvenance {
+            strategy: config.strategy.name().to_string(),
+            seed,
+            schedules: metrics.schedules,
+            minimized: minimized_trace.is_some(),
+            trace_segments: capture_trace.len() as u64,
+        });
+
+        // --- Phase 4: validate through solve → controlled replay -------
+        let mut correlated = 0u32;
+        for _ in 0..config.replay_checks {
+            match self.light.replay(&recording) {
+                Ok(report) if report.correlated => correlated += 1,
+                _ => {}
+            }
+        }
+
+        metrics.wall_ns = start.elapsed().as_nanos() as u64;
+        ExploreOutcome {
+            found: Some(FoundBug {
+                seed,
+                fault: captured_fault,
+                trace,
+                minimized_trace,
+                recording,
+                replays_correlated: correlated,
+                replays_attempted: config.replay_checks,
+            }),
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racy_program() -> Arc<Program> {
+        Arc::new(
+            lir::parse(
+                "global x; global y;
+                 fn writer() { x = null; y = 1; x = 5; }
+                 fn reader() { if (y == 1) { let v = 1 / x; } }
+                 fn main() {
+                     x = 1;
+                     let t1 = spawn writer();
+                     let t2 = spawn reader();
+                     join t1; join t2;
+                 }",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn explorer_finds_and_validates_a_bug() {
+        let explorer = Explorer::new(racy_program());
+        let config = ExploreConfig {
+            max_schedules: 500,
+            workers: 2,
+            replay_checks: 2,
+            ..ExploreConfig::default()
+        };
+        let outcome = explorer.run(&[], &config);
+        let bug = outcome.found.expect("bug surfaces within 500 schedules");
+        assert!(bug.recording.fault.is_some());
+        let prov = bug.recording.provenance.as_ref().unwrap();
+        assert_eq!(prov.strategy, "chaos");
+        assert_eq!(prov.seed, bug.seed);
+        assert_eq!(bug.replays_correlated, 2);
+        assert!(outcome.metrics.schedules > 0);
+        if let Some(min) = &bug.minimized_trace {
+            assert!(min.len() < bug.trace.len());
+        }
+    }
+
+    #[test]
+    fn campaign_without_bug_reports_none() {
+        let program = Arc::new(
+            lir::parse("fn main() { let a = 1 + 2; print(a); }").unwrap(),
+        );
+        let explorer = Explorer::new(program);
+        let config = ExploreConfig {
+            max_schedules: 5,
+            workers: 1,
+            ..ExploreConfig::default()
+        };
+        let outcome = explorer.run(&[], &config);
+        assert!(outcome.found.is_none());
+        assert_eq!(outcome.metrics.schedules, 5);
+        assert_eq!(outcome.metrics.failures, 0);
+    }
+}

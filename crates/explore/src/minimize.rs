@@ -1,0 +1,163 @@
+//! Delta-debugging minimization of schedule decision traces.
+//!
+//! The repro of a found bug is a [`DecisionTrace`] — a run-length-encoded
+//! sequence of scheduling decisions whose segment boundaries are exactly
+//! the context switches. Removing a segment removes a preemption point
+//! (playback merges the neighbours), so the classic ddmin loop over
+//! segments shrinks the repro to a near-minimal set of context switches
+//! while a caller-supplied probe re-checks that the bug still manifests.
+
+use light_runtime::{DecisionTrace, Segment};
+
+/// The result of one minimization.
+#[derive(Debug, Clone)]
+pub struct MinimizeResult {
+    /// The smallest failing trace found.
+    pub trace: DecisionTrace,
+    /// Probe runs spent.
+    pub iterations: u64,
+}
+
+/// Re-normalizes a segment list after deletions: adjacent segments of the
+/// same thread merge into one (their boundary was a removed preemption).
+fn normalize(segments: &[Segment]) -> DecisionTrace {
+    let mut trace = DecisionTrace::new();
+    for s in segments {
+        for _ in 0..s.picks {
+            trace.push(s.tid);
+        }
+    }
+    trace
+}
+
+/// ddmin over the segments of `trace`. `probe` must run the candidate
+/// schedule and report whether the bug still manifests; it is called at
+/// most `budget` times. The returned trace always fails (it is either the
+/// input or a probed candidate).
+///
+/// The caller should verify `probe(trace)` holds before minimizing; this
+/// function assumes it.
+pub fn minimize(
+    trace: &DecisionTrace,
+    budget: u64,
+    mut probe: impl FnMut(&DecisionTrace) -> bool,
+) -> MinimizeResult {
+    let mut current: Vec<Segment> = trace.segments.clone();
+    let mut iterations = 0u64;
+    let mut chunks = 2usize;
+
+    while current.len() >= 2 && iterations < budget {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && iterations < budget {
+            let end = (start + chunk_len).min(current.len());
+            // Candidate: the trace with segments [start, end) removed.
+            let mut kept: Vec<Segment> = Vec::with_capacity(current.len() - (end - start));
+            kept.extend_from_slice(&current[..start]);
+            kept.extend_from_slice(&current[end..]);
+            let candidate = normalize(&kept);
+            iterations += 1;
+            if !candidate.is_empty() && probe(&candidate) {
+                current = candidate.segments;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunks >= current.len() {
+                break;
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+
+    MinimizeResult {
+        trace: normalize(&current),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_runtime::Tid;
+
+    fn trace_of(tids: &[u32]) -> DecisionTrace {
+        // 0 encodes ROOT; k>0 encodes ROOT.child(k-1).
+        let mut t = DecisionTrace::new();
+        for &k in tids {
+            let tid = if k == 0 {
+                Tid::ROOT
+            } else {
+                Tid::ROOT.child(k - 1)
+            };
+            t.push(tid);
+        }
+        t
+    }
+
+    #[test]
+    fn normalize_merges_adjacent_segments() {
+        let t = trace_of(&[1, 1, 2, 2, 1]);
+        assert_eq!(t.len(), 3);
+        let mut segs = t.segments.clone();
+        segs.remove(1); // drop the middle thread-2 segment
+        let merged = normalize(&segs);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.total_picks(), 3);
+    }
+
+    #[test]
+    fn minimize_keeps_needed_segment() {
+        // The "bug" manifests iff thread 3 is ever scheduled.
+        let t = trace_of(&[1, 1, 2, 3, 1, 2, 2, 1, 2]);
+        let needs_t3 = Tid::ROOT.child(2);
+        let result = minimize(&t, 1000, |cand| {
+            cand.segments.iter().any(|s| s.tid == needs_t3)
+        });
+        assert!(result.trace.segments.iter().any(|s| s.tid == needs_t3));
+        assert!(result.trace.len() < t.len());
+        assert!(result.iterations > 0);
+    }
+
+    #[test]
+    fn minimize_finds_two_segment_core() {
+        // Bug requires a 2→1 ordering somewhere in the trace.
+        let t = trace_of(&[1, 2, 1, 2, 1, 2, 1]);
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        let result = minimize(&t, 1000, |cand| {
+            let pos2 = cand.segments.iter().position(|s| s.tid == t2);
+            match pos2 {
+                Some(p) => cand.segments[p..].iter().any(|s| s.tid == t1),
+                None => false,
+            }
+        });
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(result.trace.segments[0].tid, t2);
+        assert_eq!(result.trace.segments[1].tid, t1);
+    }
+
+    #[test]
+    fn minimize_respects_budget() {
+        let t = trace_of(&[1, 2, 1, 2, 1, 2, 1, 2, 1, 2]);
+        let result = minimize(&t, 3, |_| false);
+        assert_eq!(result.iterations, 3);
+        assert_eq!(result.trace, t);
+    }
+
+    #[test]
+    fn irreducible_trace_survives() {
+        let t = trace_of(&[1, 2]);
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        let result = minimize(&t, 1000, |cand| {
+            cand.segments.iter().any(|s| s.tid == t1)
+                && cand.segments.iter().any(|s| s.tid == t2)
+        });
+        assert_eq!(result.trace, t);
+    }
+}

@@ -1,0 +1,252 @@
+//! The search strategies: chaos (random walk), PCT-style randomized
+//! priorities, and race-directed preemption.
+//!
+//! Each strategy is a deterministic function of `(seed, candidate
+//! sequence)`, so any schedule it chooses can be re-run exactly by
+//! rebuilding the strategy with the same seed — the property first-failure
+//! capture relies on.
+
+use light_analysis::RacyLocations;
+use light_runtime::{Candidate, EventClass, Loc, RandomWalkStrategy, Strategy, ThreadRng, Tid};
+use std::collections::HashMap;
+
+/// Which search strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Uniform random walk over enabled threads (the classic chaos
+    /// scheduler).
+    Chaos,
+    /// PCT-style randomized priorities with `depth` priority-change
+    /// points (Burckhardt et al., ASPLOS'10): always run the
+    /// highest-priority enabled thread; at `depth` random decision
+    /// indices, demote the running thread below every initial priority.
+    Pct { depth: u32 },
+    /// Race-directed search: run one thread until it is about to touch a
+    /// statically racy location, then consider preempting to another
+    /// thread — preferentially one also at a racy access.
+    RaceDirected,
+}
+
+impl StrategyKind {
+    /// The provenance / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Chaos => "chaos",
+            StrategyKind::Pct { .. } => "pct",
+            StrategyKind::RaceDirected => "race",
+        }
+    }
+
+    /// Parses a CLI name. `pct` uses the default depth of 3.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s {
+            "chaos" => Some(StrategyKind::Chaos),
+            "pct" => Some(StrategyKind::Pct { depth: 3 }),
+            "race" => Some(StrategyKind::RaceDirected),
+            _ => None,
+        }
+    }
+
+    /// Builds a fresh strategy instance for one schedule. `racy` feeds the
+    /// race-directed strategy's preemption points and is ignored by the
+    /// others.
+    pub fn build(self, seed: u64, racy: &RacyLocations) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Chaos => Box::new(RandomWalkStrategy::new(seed)),
+            StrategyKind::Pct { depth } => Box::new(PctStrategy::new(seed, depth)),
+            StrategyKind::RaceDirected => Box::new(RaceDirectedStrategy::new(seed, racy.clone())),
+        }
+    }
+}
+
+/// PCT decisions happen at scheduler picks; change points are sampled
+/// uniformly below this horizon (ample for the workload corpus, whose
+/// runs take tens to a few hundred picks).
+const PCT_HORIZON: i64 = 512;
+
+/// High bit marking initial (never-demoted) priorities: any initial
+/// priority outranks every demoted one.
+const PCT_HIGH: u64 = 1 << 63;
+
+/// PCT-style randomized-priority strategy.
+pub struct PctStrategy {
+    rng: ThreadRng,
+    /// Current priority per thread; larger runs first.
+    priorities: HashMap<Tid, u64>,
+    /// Decision indices at which the running thread is demoted.
+    change_points: Vec<u64>,
+    /// Decisions made so far.
+    decisions: u64,
+    /// The thread picked by the previous decision.
+    last: Option<Tid>,
+    /// Next demotion value; decreases so later demotions sink lower.
+    next_demotion: u64,
+}
+
+impl PctStrategy {
+    pub fn new(seed: u64, depth: u32) -> Self {
+        let mut rng = ThreadRng::new(seed, Tid::ROOT);
+        let change_points = (0..depth).map(|_| rng.below(PCT_HORIZON) as u64).collect();
+        Self {
+            rng,
+            priorities: HashMap::new(),
+            change_points,
+            decisions: 0,
+            last: None,
+            next_demotion: PCT_HIGH - 1,
+        }
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        // At a change point, the thread that was running sinks below the
+        // initial priority band (and below every earlier demotion).
+        if self.change_points.contains(&self.decisions) {
+            if let Some(last) = self.last {
+                self.priorities.insert(last, self.next_demotion);
+                self.next_demotion = self.next_demotion.saturating_sub(1);
+            }
+        }
+        self.decisions += 1;
+        // New threads draw a random priority in the high band. Candidates
+        // arrive sorted by tid, so assignment order is deterministic.
+        for c in candidates {
+            self.priorities
+                .entry(c.tid)
+                .or_insert_with(|| PCT_HIGH | self.rng.next_u64());
+        }
+        let (i, c) = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| self.priorities[&c.tid])
+            .expect("candidates are non-empty");
+        self.last = Some(c.tid);
+        i
+    }
+}
+
+/// Race-directed strategy: preemption points at statically racy accesses.
+pub struct RaceDirectedStrategy {
+    rng: ThreadRng,
+    racy: RacyLocations,
+    last: Option<Tid>,
+}
+
+impl RaceDirectedStrategy {
+    pub fn new(seed: u64, racy: RacyLocations) -> Self {
+        Self {
+            rng: ThreadRng::new(seed, Tid::ROOT),
+            racy,
+            last: None,
+        }
+    }
+
+    /// Whether the candidate's pending event touches a statically racy
+    /// location.
+    fn at_racy_event(&self, c: &Candidate) -> bool {
+        match c.event {
+            Some(EventClass::Access { loc, .. }) => match loc {
+                Loc::Field(_, f) => self.racy.fields.contains(&f.0),
+                Loc::Global(g) => self.racy.globals.contains(&g.0),
+                Loc::Elem(..) | Loc::MapState(_) => self.racy.bulk,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn choose(&mut self, indices: &[usize]) -> usize {
+        indices[self.rng.below(indices.len() as i64) as usize]
+    }
+}
+
+impl Strategy for RaceDirectedStrategy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        // Keep the current thread running until it reaches a racy access:
+        // preemptions anywhere else cannot flip a race.
+        if let Some(last) = self.last {
+            if let Some(i) = candidates.iter().position(|c| c.tid == last) {
+                if !self.at_racy_event(&candidates[i]) || self.rng.below(2) == 0 {
+                    return i;
+                }
+            }
+        }
+        // Preempt. Prefer threads themselves parked at racy accesses (the
+        // other side of a potential race), falling back to any thread.
+        let racy_idx: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| Some(c.tid) != self.last && self.at_racy_event(c))
+            .map(|(i, _)| i)
+            .collect();
+        let i = if racy_idx.is_empty() {
+            let all: Vec<usize> = (0..candidates.len()).collect();
+            self.choose(&all)
+        } else {
+            self.choose(&racy_idx)
+        };
+        self.last = Some(candidates[i].tid);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(tids: &[Tid]) -> Vec<Candidate> {
+        tids.iter()
+            .map(|&tid| Candidate { tid, event: None })
+            .collect()
+    }
+
+    #[test]
+    fn strategy_kind_parses_names() {
+        assert_eq!(StrategyKind::parse("chaos"), Some(StrategyKind::Chaos));
+        assert_eq!(StrategyKind::parse("pct"), Some(StrategyKind::Pct { depth: 3 }));
+        assert_eq!(StrategyKind::parse("race"), Some(StrategyKind::RaceDirected));
+        assert_eq!(StrategyKind::parse("zen"), None);
+        assert_eq!(StrategyKind::Pct { depth: 5 }.name(), "pct");
+    }
+
+    #[test]
+    fn pct_is_deterministic_per_seed() {
+        let ts = [Tid::ROOT, Tid::ROOT.child(0), Tid::ROOT.child(1)];
+        let mut a = PctStrategy::new(11, 3);
+        let mut b = PctStrategy::new(11, 3);
+        let mut c = PctStrategy::new(12, 3);
+        let xs: Vec<usize> = (0..128).map(|_| a.pick(&cands(&ts))).collect();
+        let ys: Vec<usize> = (0..128).map(|_| b.pick(&cands(&ts))).collect();
+        let zs: Vec<usize> = (0..128).map(|_| c.pick(&cands(&ts))).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_thread_until_demoted() {
+        // With all threads always enabled, PCT keeps picking one thread
+        // except across change points: the set of distinct picks is small.
+        let ts = [Tid::ROOT, Tid::ROOT.child(0), Tid::ROOT.child(1)];
+        let mut s = PctStrategy::new(7, 2);
+        let picks: Vec<usize> = (0..600).map(|_| s.pick(&cands(&ts))).collect();
+        let mut distinct_runs = 1;
+        for w in picks.windows(2) {
+            if w[0] != w[1] {
+                distinct_runs += 1;
+            }
+        }
+        // depth-2 PCT switches at most twice once every thread is known.
+        assert!(distinct_runs <= 4, "saw {distinct_runs} runs");
+    }
+
+    #[test]
+    fn race_directed_sticks_to_thread_without_races() {
+        let ts = [Tid::ROOT, Tid::ROOT.child(0)];
+        let mut s = RaceDirectedStrategy::new(3, RacyLocations::default());
+        let first = s.pick(&cands(&ts));
+        for _ in 0..50 {
+            assert_eq!(s.pick(&cands(&ts)), first);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Determinism regression: the chaos scheduler with a fixed seed is a
+//! pure function of that seed. Two runs must produce byte-identical
+//! decision traces, and two recorder-attached captures must produce
+//! byte-identical recordings — the property first-failure capture and
+//! trace minimization both stand on.
+
+use light_core::{write_recording, Light};
+use light_runtime::{
+    run, DecisionTrace, ExecConfig, ExploreScheduler, HaltFlag, NondetMode, NullRecorder,
+    SchedulerSpec,
+};
+use lir::Program;
+use std::sync::Arc;
+
+fn racy_program() -> Arc<Program> {
+    Arc::new(
+        lir::parse(
+            "global x; global y;
+             fn writer() { x = null; y = 1; x = 5; }
+             fn reader() { if (y == 1) { let v = 1 / x; } }
+             fn main() {
+                 x = 1;
+                 let t1 = spawn writer();
+                 let t2 = spawn reader();
+                 join t1; join t2;
+             }",
+        )
+        .unwrap(),
+    )
+}
+
+/// One chaos probe run; returns the decision trace.
+fn probe(program: &Arc<Program>, light: &Light, seed: u64) -> DecisionTrace {
+    let sched = Arc::new(ExploreScheduler::new(seed, HaltFlag::new()));
+    let config = ExecConfig {
+        recorder: Arc::new(NullRecorder),
+        scheduler: SchedulerSpec::Explore(sched.clone()),
+        policy: light.analysis().policy.clone(),
+        nondet: NondetMode::Real { seed },
+        ..ExecConfig::default()
+    };
+    run(program, &[], config).expect("probe runs");
+    sched.trace()
+}
+
+#[test]
+fn chaos_decision_trace_is_byte_identical_across_runs() {
+    let program = racy_program();
+    let light = Light::new(program.clone());
+    for seed in [0u64, 7, 1234] {
+        let a = probe(&program, &light, seed);
+        let b = probe(&program, &light, seed);
+        assert!(!a.is_empty(), "seed {seed} made decisions");
+        assert_eq!(a, b, "seed {seed} traces diverge");
+        assert_eq!(a.encode(), b.encode(), "seed {seed} encodings diverge");
+    }
+}
+
+#[test]
+fn chaos_capture_yields_identical_recording_bytes() {
+    let program = racy_program();
+    let light = Light::new(program.clone());
+    let capture = |seed: u64| {
+        let sched = Arc::new(ExploreScheduler::new(seed, HaltFlag::new()));
+        let (recording, _) = light
+            .record_with(&[], SchedulerSpec::Explore(sched.clone()), seed)
+            .expect("capture runs");
+        (write_recording(&recording), sched.trace())
+    };
+    for seed in [3u64, 42] {
+        let (bytes_a, trace_a) = capture(seed);
+        let (bytes_b, trace_b) = capture(seed);
+        assert_eq!(trace_a, trace_b, "seed {seed} capture traces diverge");
+        assert_eq!(bytes_a, bytes_b, "seed {seed} recordings diverge");
+    }
+}
+
+#[test]
+fn recorder_attachment_does_not_perturb_decisions() {
+    // The schedule gates fire whether or not a recorder observes the run,
+    // so a NullRecorder probe and a full capture at the same seed must
+    // make the same decisions — the assumption first-failure capture
+    // relies on.
+    let program = racy_program();
+    let light = Light::new(program.clone());
+    for seed in [5u64, 99] {
+        let probe_trace = probe(&program, &light, seed);
+        let sched = Arc::new(ExploreScheduler::new(seed, HaltFlag::new()));
+        light
+            .record_with(&[], SchedulerSpec::Explore(sched.clone()), seed)
+            .expect("capture runs");
+        assert_eq!(probe_trace, sched.trace(), "seed {seed} diverges");
+    }
+}

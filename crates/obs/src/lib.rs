@@ -45,8 +45,8 @@ mod metrics;
 mod trace;
 
 pub use metrics::{
-    Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics, RunMetrics,
-    SchedulerMetrics, SolverMetrics,
+    ExploreMetrics, Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics,
+    RunMetrics, SchedulerMetrics, SolverMetrics,
 };
 pub use trace::{chrome_trace_json, TraceEvent, TraceSink};
 

@@ -69,6 +69,25 @@ pub struct SchedulerMetrics {
     pub parked: u64,
 }
 
+/// Schedule-exploration counters for one `light-explore` campaign
+/// (search → first-failure capture → minimization → validation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct ExploreMetrics {
+    /// Schedules executed during the search phase.
+    pub schedules: u64,
+    /// Schedules that surfaced a program bug.
+    pub failures: u64,
+    /// Delta-debugging probe runs during minimization.
+    pub minimize_iterations: u64,
+    /// Decision-trace segments of the unminimized repro.
+    pub trace_segments: u64,
+    /// Decision-trace segments after minimization.
+    pub minimized_segments: u64,
+    /// Wall time of the whole campaign.
+    pub wall_ns: u64,
+}
+
 /// Whole-run runtime counters (either the recorded or the replayed run).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -100,6 +119,7 @@ pub struct MetricsSnapshot {
     pub solver: Option<SolverMetrics>,
     pub scheduler: Option<SchedulerMetrics>,
     pub replay_run: Option<RunMetrics>,
+    pub explore: Option<ExploreMetrics>,
     pub phases: Vec<PhaseRecord>,
     /// Free-form named counters fed through the sink API.
     pub counters: BTreeMap<String, u64>,
@@ -144,6 +164,19 @@ impl SchedulerMetrics {
     }
 }
 
+impl ExploreMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("schedules", Value::from(self.schedules)),
+            ("failures", Value::from(self.failures)),
+            ("minimize_iterations", Value::from(self.minimize_iterations)),
+            ("trace_segments", Value::from(self.trace_segments)),
+            ("minimized_segments", Value::from(self.minimized_segments)),
+            ("wall_ns", Value::from(self.wall_ns)),
+        ])
+    }
+}
+
 impl RunMetrics {
     pub fn to_json(&self) -> Value {
         Value::obj([
@@ -184,6 +217,9 @@ impl MetricsSnapshot {
         if let Some(r) = &self.replay_run {
             pairs.push(("replay_run".into(), r.to_json()));
         }
+        if let Some(e) = &self.explore {
+            pairs.push(("explore".into(), e.to_json()));
+        }
         if !self.phases.is_empty() {
             pairs.push((
                 "phases".into(),
@@ -221,6 +257,9 @@ impl MetricsSnapshot {
         }
         if other.replay_run.is_some() {
             self.replay_run = other.replay_run;
+        }
+        if other.explore.is_some() {
+            self.explore = other.explore;
         }
         self.phases.extend(other.phases.iter().cloned());
         for (k, v) in &other.counters {
@@ -266,6 +305,10 @@ impl MetricsRegistry {
 
     pub fn set_replay_run(&self, m: RunMetrics) {
         self.inner.lock().unwrap().replay_run = Some(m);
+    }
+
+    pub fn set_explore(&self, m: ExploreMetrics) {
+        self.inner.lock().unwrap().explore = Some(m);
     }
 
     pub fn phase(&self, name: &str, start_us: u64, dur_us: u64) {

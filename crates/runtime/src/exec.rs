@@ -10,7 +10,8 @@ use crate::nondet::{NondetMode, NondetSource};
 use crate::policy::SharedPolicy;
 use crate::registry::ThreadRegistry;
 use crate::sched::{
-    ChaosScheduler, ControlledScheduler, FreeScheduler, ReplaySchedule, Scheduler,
+    ChaosScheduler, ControlledScheduler, ExploreScheduler, FreeScheduler, ReplaySchedule,
+    Scheduler,
 };
 use crate::thread_id::Tid;
 use crate::value::Value;
@@ -31,6 +32,10 @@ pub enum SchedulerSpec {
     Free,
     /// Serialized seeded exploration; reproducible by seed.
     Chaos { seed: u64 },
+    /// Strategy-driven exploration with a caller-held scheduler handle
+    /// (so the caller can read the decision trace afterwards). Gets the
+    /// same deadlock-detector hookup as `Chaos`.
+    Explore(Arc<ExploreScheduler>),
     /// Replay enforcement of a schedule, with a per-event wait timeout.
     Controlled {
         schedule: ReplaySchedule,
@@ -45,6 +50,7 @@ impl fmt::Debug for SchedulerSpec {
         match self {
             SchedulerSpec::Free => write!(f, "Free"),
             SchedulerSpec::Chaos { seed } => write!(f, "Chaos {{ seed: {seed} }}"),
+            SchedulerSpec::Explore(_) => write!(f, "Explore(..)"),
             SchedulerSpec::Controlled { schedule, timeout } => write!(
                 f,
                 "Controlled {{ ordered: {}, timeout: {timeout:?} }}",
@@ -188,7 +194,12 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
         });
     }
 
-    let halt = HaltFlag::new();
+    // An externally built explore scheduler already carries a halt flag;
+    // the run must share it so faults wake threads parked at its gates.
+    let halt = match &config.scheduler {
+        SchedulerSpec::Explore(explore) => explore.halt_flag(),
+        _ => HaltFlag::new(),
+    };
     let mut chaos_handle: Option<Arc<ChaosScheduler>> = None;
     let mut controlled_handle: Option<Arc<ControlledScheduler>> = None;
     let scheduler: Arc<dyn Scheduler> = match &config.scheduler {
@@ -197,6 +208,10 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
             let chaos = Arc::new(ChaosScheduler::new(*seed, halt.clone()));
             chaos_handle = Some(chaos.clone());
             chaos
+        }
+        SchedulerSpec::Explore(explore) => {
+            chaos_handle = Some(explore.clone());
+            explore.clone()
         }
         SchedulerSpec::Controlled { schedule, timeout } => {
             let controlled = Arc::new(ControlledScheduler::new(

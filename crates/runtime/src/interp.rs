@@ -122,7 +122,10 @@ pub(crate) fn interp_thread(
     }
     let _ = ctx.run_to_completion(func, args, parent, entry_iid);
     rt.recorder.on_thread_exit(tid);
-    rt.threads.mark_finished(tid, ctx.ctr);
+    let joiners = rt.threads.mark_finished(tid, ctx.ctr);
+    if !joiners.is_empty() {
+        rt.scheduler.note_wake(&joiners);
+    }
     rt.scheduler.thread_exited(tid);
     if rt.obs.enabled() {
         rt.obs.end(lane);
@@ -876,11 +879,14 @@ impl ThreadCtx {
             ));
         };
         let (ctr, _) = self.event(EventClass::Join(child), iid, 0)?;
-        let end_ctr = match self.rt.threads.try_end(child) {
+        // Register as a joiner while still runnable (holding the turn
+        // under serialized schedulers), so the child's end wakes us
+        // through the scheduler deterministically.
+        let end_ctr = match self.rt.threads.register_waiter(child, self.tid) {
             Some(e) => e,
             None => {
                 self.rt.scheduler.note_blocked(self.tid);
-                let res = self.rt.threads.wait_finished(child, &self.rt.halt);
+                let res = self.rt.threads.wait_finished(child, self.tid, &self.rt.halt);
                 self.unblock(iid)?;
                 res?
             }
@@ -903,8 +909,12 @@ impl ThreadCtx {
         let (ctr, _) = self.event(EventClass::MonitorEnter(oid), iid, 0)?;
         let m = self.rt.monitors.monitor(oid);
         if !m.try_enter(self.tid) {
+            // Queue position is taken while still runnable (holding the
+            // turn under serialized schedulers): the owner's release hands
+            // the monitor over in deterministic FIFO order.
+            m.register_pending(self.tid, 1);
             self.rt.scheduler.note_blocked(self.tid);
-            m.enter_blocking(self.tid, &self.rt.halt)?;
+            m.park_pending(self.tid, &self.rt.halt)?;
             self.unblock(iid)?;
         }
         // Recorded while holding the monitor: acquisition order is exact.
@@ -931,7 +941,9 @@ impl ThreadCtx {
         self.rt
             .recorder
             .on_sync(self.tid, ctr, SyncEvent::MonitorExit { obj: oid }, iid);
-        m.exit(self.tid).expect("ownership checked above");
+        if let Some(woken) = m.exit(self.tid).expect("ownership checked above") {
+            self.rt.scheduler.note_wake(&[woken]);
+        }
         self.rt.scheduler.after_event(self.tid, ctr);
         Ok(())
     }
@@ -954,15 +966,19 @@ impl ThreadCtx {
             .on_sync(self.tid, c1, SyncEvent::WaitBefore { obj: oid }, iid);
         self.rt.scheduler.after_event(self.tid, c1);
 
-        let saved = m.wait_begin(self.tid).expect("ownership checked above");
+        let (saved, woken) = m.wait_begin(self.tid).expect("ownership checked above");
+        if let Some(woken) = woken {
+            self.rt.scheduler.note_wake(&[woken]);
+        }
         self.rt.scheduler.note_blocked(self.tid);
         let notifier = m.wait_block(self.tid, &self.rt.halt)?;
         self.unblock(iid)?;
 
         // Phase 2: wait_after (reacquires the lock).
         let (c2, _) = self.event(EventClass::WaitAfter(oid), iid, 0)?;
+        m.register_pending(self.tid, saved);
         self.rt.scheduler.note_blocked(self.tid);
-        m.reacquire(self.tid, saved, &self.rt.halt)?;
+        m.park_pending(self.tid, &self.rt.halt)?;
         self.unblock(iid)?;
         self.rt.recorder.on_sync(
             self.tid,
@@ -992,8 +1008,12 @@ impl ThreadCtx {
         self.rt
             .recorder
             .on_sync(self.tid, ctr, SyncEvent::Notify { obj: oid, all }, iid);
-        m.notify(self.tid, (self.tid, ctr), all, self.rt.wake_all_on_notify)
+        let woken = m
+            .notify(self.tid, (self.tid, ctr), all, self.rt.wake_all_on_notify)
             .expect("ownership checked above");
+        if !woken.is_empty() {
+            self.rt.scheduler.note_wake(&woken);
+        }
         self.rt.scheduler.after_event(self.tid, ctr);
         Ok(())
     }

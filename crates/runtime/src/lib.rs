@@ -62,11 +62,12 @@ pub use halt::{HaltFlag, Halted};
 pub use heap::{Heap, Loc, Obj, ObjBody};
 pub use hooks::{AccessKind, CountingRecorder, NullRecorder, Recorder, SyncEvent};
 pub use monitor::{Monitor, MonitorTable, NotOwner, NotifierId};
-pub use nondet::{opaque_hash, NondetMode};
+pub use nondet::{opaque_hash, NondetMode, ThreadRng};
 pub use policy::SharedPolicy;
 pub use sched::{
-    ChaosScheduler, ControlledScheduler, Directive, EventClass, FreeScheduler, ReplaySchedule,
-    SchedStop, Scheduler, SlotAction,
+    Candidate, ChaosScheduler, ControlledScheduler, DecisionTrace, Directive, EventClass,
+    ExploreScheduler, FreeScheduler, RandomWalkStrategy, ReplaySchedule, SchedStop, Scheduler,
+    ScriptedStrategy, Segment, SlotAction, Strategy,
 };
 pub use thread_id::Tid;
 pub use value::{ObjId, Value};

@@ -31,6 +31,29 @@ struct MonState {
     owner: Option<Tid>,
     count: u32,
     waiters: Vec<Waiter>,
+    /// FIFO queue of threads parked for acquisition, with the recursion
+    /// count each will own at. Releases hand the monitor to the queue
+    /// head directly, so acquisition order is a deterministic function
+    /// of registration order (which serialized schedulers control) —
+    /// never an OS wake-up race.
+    pending: Vec<(Tid, u32)>,
+}
+
+impl MonState {
+    /// Releases full ownership: hands the monitor to the pending-queue
+    /// head when there is one. Returns the new owner.
+    fn release(&mut self) -> Option<Tid> {
+        self.count = 0;
+        if self.pending.is_empty() {
+            self.owner = None;
+            None
+        } else {
+            let (next, count) = self.pending.remove(0);
+            self.owner = Some(next);
+            self.count = count;
+            Some(next)
+        }
+    }
 }
 
 /// One object's monitor.
@@ -65,72 +88,99 @@ impl Monitor {
         }
     }
 
+    /// Joins the acquisition queue without blocking; `count` is the
+    /// recursion depth the thread will own at once handed the monitor.
+    /// Call while the thread is still runnable (under a serialized
+    /// scheduler: while it still holds the turn), then park with
+    /// [`Monitor::park_pending`].
+    pub fn register_pending(&self, tid: Tid, count: u32) {
+        self.state.lock().pending.push((tid, count));
+    }
+
+    /// Blocks until the monitor is handed to `tid` (it must be registered
+    /// with [`Monitor::register_pending`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the halt flag is raised while waiting.
+    pub fn park_pending(&self, tid: Tid, halt: &HaltFlag) -> Result<(), Halted> {
+        let mut st = self.state.lock();
+        loop {
+            if st.owner == Some(tid) {
+                return Ok(());
+            }
+            // A release that found the queue momentarily empty left the
+            // monitor unowned; the queue head claims it.
+            if st.owner.is_none() && st.pending.first().map(|p| p.0) == Some(tid) {
+                let (_, count) = st.pending.remove(0);
+                st.owner = Some(tid);
+                st.count = count;
+                return Ok(());
+            }
+            if halt.is_set() {
+                st.pending.retain(|p| p.0 != tid);
+                return Err(Halted);
+            }
+            self.cv.wait_for(&mut st, HALT_TICK);
+        }
+    }
+
     /// Acquires, blocking until available or halted.
     ///
     /// # Errors
     ///
     /// Returns [`Halted`] if the halt flag is raised while waiting.
     pub fn enter_blocking(&self, tid: Tid, halt: &HaltFlag) -> Result<(), Halted> {
-        let mut st = self.state.lock();
-        loop {
-            match st.owner {
-                None => {
-                    st.owner = Some(tid);
-                    st.count = 1;
-                    return Ok(());
-                }
-                Some(owner) if owner == tid => {
-                    st.count += 1;
-                    return Ok(());
-                }
-                Some(_) => {
-                    if halt.is_set() {
-                        return Err(Halted);
-                    }
-                    self.cv.wait_for(&mut st, HALT_TICK);
-                }
-            }
+        if self.try_enter(tid) {
+            return Ok(());
         }
+        self.register_pending(tid, 1);
+        self.park_pending(tid, halt)
     }
 
-    /// Releases one level of ownership.
+    /// Releases one level of ownership. A full release hands the monitor
+    /// to the longest-pending blocked acquirer, whose [`Tid`] is returned
+    /// so the caller can report the wake-up to its scheduler.
     ///
     /// # Errors
     ///
     /// Returns [`NotOwner`] if `tid` does not own the monitor.
-    pub fn exit(&self, tid: Tid) -> Result<(), NotOwner> {
+    pub fn exit(&self, tid: Tid) -> Result<Option<Tid>, NotOwner> {
         let mut st = self.state.lock();
         if st.owner != Some(tid) {
             return Err(NotOwner);
         }
         st.count -= 1;
-        if st.count == 0 {
-            st.owner = None;
+        let woken = if st.count == 0 {
+            let woken = st.release();
             self.cv.notify_all();
-        }
-        Ok(())
+            woken
+        } else {
+            None
+        };
+        Ok(woken)
     }
 
     /// First phase of `wait`: registers `tid` as a waiter and fully
-    /// releases the monitor, returning the saved recursion count.
+    /// releases the monitor, returning the saved recursion count and the
+    /// pending acquirer the monitor was handed to, if any.
     ///
     /// # Errors
     ///
     /// Returns [`NotOwner`] if `tid` does not own the monitor.
-    pub fn wait_begin(&self, tid: Tid) -> Result<u32, NotOwner> {
+    pub fn wait_begin(&self, tid: Tid) -> Result<(u32, Option<Tid>), NotOwner> {
         let mut st = self.state.lock();
         if st.owner != Some(tid) {
             return Err(NotOwner);
         }
         let saved = st.count;
-        st.owner = None;
-        st.count = 0;
         st.waiters.push(Waiter {
             tid,
             notified: None,
         });
+        let woken = st.release();
         self.cv.notify_all();
-        Ok(saved)
+        Ok((saved, woken))
     }
 
     /// Second phase of `wait`: blocks until a `notify` marks this waiter,
@@ -160,28 +210,21 @@ impl Monitor {
         }
     }
 
-    /// Final phase of `wait`: reacquires the monitor with the saved count.
+    /// Final phase of `wait`: reacquires the monitor with the saved count,
+    /// queueing behind already-pending acquirers.
     ///
     /// # Errors
     ///
     /// Returns [`Halted`] if the halt flag is raised while waiting.
     pub fn reacquire(&self, tid: Tid, saved: u32, halt: &HaltFlag) -> Result<(), Halted> {
-        let mut st = self.state.lock();
-        loop {
-            if st.owner.is_none() {
-                st.owner = Some(tid);
-                st.count = saved;
-                return Ok(());
-            }
-            if halt.is_set() {
-                return Err(Halted);
-            }
-            self.cv.wait_for(&mut st, HALT_TICK);
-        }
+        self.register_pending(tid, saved);
+        self.park_pending(tid, halt)
     }
 
     /// Notifies waiters. With `all` (or `wake_all` — replay mode) every
     /// current waiter is marked; otherwise the longest-waiting one.
+    /// Returns the newly notified waiters (threads whose `wait_block`
+    /// becomes unblocked) so the caller can report them to its scheduler.
     ///
     /// # Errors
     ///
@@ -192,22 +235,25 @@ impl Monitor {
         notifier: NotifierId,
         all: bool,
         wake_all: bool,
-    ) -> Result<(), NotOwner> {
+    ) -> Result<Vec<Tid>, NotOwner> {
         let mut st = self.state.lock();
         if st.owner != Some(tid) {
             return Err(NotOwner);
         }
+        let mut woken = Vec::new();
         if all || wake_all {
             for w in st.waiters.iter_mut() {
                 if w.notified.is_none() {
                     w.notified = Some(notifier);
+                    woken.push(w.tid);
                 }
             }
         } else if let Some(w) = st.waiters.iter_mut().find(|w| w.notified.is_none()) {
             w.notified = Some(notifier);
+            woken.push(w.tid);
         }
         self.cv.notify_all();
-        Ok(())
+        Ok(woken)
     }
 
     /// Whether `tid` currently owns this monitor.
@@ -320,7 +366,7 @@ mod tests {
         let waiter = thread::spawn(move || {
             assert!(m2.try_enter(waiter_tid));
             assert!(m2.try_enter(waiter_tid)); // depth 2
-            let saved = m2.wait_begin(waiter_tid).unwrap();
+            let (saved, _) = m2.wait_begin(waiter_tid).unwrap();
             assert_eq!(saved, 2);
             let notifier = m2.wait_block(waiter_tid, &h2).unwrap();
             m2.reacquire(waiter_tid, saved, &h2).unwrap();
@@ -378,6 +424,35 @@ mod tests {
 
         assert_eq!(m.wait_block(t1, &halt), Ok((Tid::ROOT, 9)));
         assert_eq!(m.wait_block(t2, &halt), Ok((Tid::ROOT, 9)));
+    }
+
+    #[test]
+    fn release_hands_off_to_pending_fifo_head() {
+        let m = Monitor::new();
+        let t1 = Tid::ROOT.child(0);
+        let t2 = Tid::ROOT.child(1);
+        assert!(m.try_enter(Tid::ROOT));
+        // t2 registers before t1: the queue, not wake-up timing, decides.
+        m.register_pending(t2, 1);
+        m.register_pending(t1, 1);
+        assert_eq!(m.exit(Tid::ROOT), Ok(Some(t2)));
+        assert!(m.owned_by(t2));
+        assert_eq!(m.exit(t2), Ok(Some(t1)));
+        assert!(m.owned_by(t1));
+        assert_eq!(m.exit(t1), Ok(None));
+        assert!(!m.owned_by(t1));
+    }
+
+    #[test]
+    fn single_notify_reports_woken_waiter() {
+        let m = Monitor::new();
+        let t1 = Tid::ROOT.child(0);
+        assert!(m.try_enter(t1));
+        m.wait_begin(t1).unwrap();
+        assert!(m.try_enter(Tid::ROOT));
+        assert_eq!(m.notify(Tid::ROOT, (Tid::ROOT, 1), false, false), Ok(vec![t1]));
+        // The sole waiter is already marked: nothing further to wake.
+        assert_eq!(m.notify(Tid::ROOT, (Tid::ROOT, 2), false, false), Ok(vec![]));
     }
 
     #[test]

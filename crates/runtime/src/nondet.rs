@@ -77,19 +77,23 @@ impl NondetSource {
 }
 
 /// A deterministic per-thread pseudo-random stream (SplitMix64).
+///
+/// Public so that schedule-exploration strategies (`light-explore`) can
+/// derive reproducible randomness from the same seed space the runtime
+/// uses for `rand(n)`.
 #[derive(Debug, Clone)]
-pub(crate) struct ThreadRng {
+pub struct ThreadRng {
     state: u64,
 }
 
 impl ThreadRng {
-    pub(crate) fn new(seed: u64, tid: Tid) -> Self {
+    pub fn new(seed: u64, tid: Tid) -> Self {
         Self {
             state: seed ^ tid.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15),
         }
     }
 
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -98,7 +102,7 @@ impl ThreadRng {
     }
 
     /// Uniform value in `[0, bound)`; `bound` must be positive.
-    pub(crate) fn below(&mut self, bound: i64) -> i64 {
+    pub fn below(&mut self, bound: i64) -> i64 {
         debug_assert!(bound > 0);
         (self.next_u64() % bound as u64) as i64
     }

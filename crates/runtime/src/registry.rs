@@ -5,11 +5,13 @@ use crate::thread_id::Tid;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 struct ThreadState {
     finished: bool,
     /// Counter value of the thread's `ThreadEnd` event.
     end_ctr: u64,
+    /// Threads blocked in `join` on this one, in registration order.
+    waiters: Vec<Tid>,
 }
 
 /// Tracks which LIR threads have finished, and at what counter.
@@ -27,43 +29,44 @@ impl ThreadRegistry {
 
     /// Registers a thread before it starts.
     pub fn register(&self, tid: Tid) {
-        self.inner.lock().insert(
-            tid,
-            ThreadState {
-                finished: false,
-                end_ctr: 0,
-            },
-        );
+        self.inner.lock().insert(tid, ThreadState::default());
     }
 
-    /// Marks a thread finished at counter `end_ctr` and wakes joiners.
-    pub fn mark_finished(&self, tid: Tid, end_ctr: u64) {
+    /// Registers `waiter` as blocked joining `target`, unless `target`
+    /// already finished — then its end counter is returned and nothing is
+    /// registered. Call while the waiter is still runnable (under a
+    /// serialized scheduler: while it still holds the turn), so the wake
+    /// set reported by [`ThreadRegistry::mark_finished`] is deterministic.
+    pub fn register_waiter(&self, target: Tid, waiter: Tid) -> Option<u64> {
         let mut inner = self.inner.lock();
-        inner.insert(
-            tid,
-            ThreadState {
-                finished: true,
-                end_ctr,
-            },
-        );
+        let st = inner.entry(target).or_default();
+        if st.finished {
+            return Some(st.end_ctr);
+        }
+        st.waiters.push(waiter);
+        None
+    }
+
+    /// Marks a thread finished at counter `end_ctr` and wakes joiners,
+    /// returning the registered ones so the caller can report the
+    /// wake-ups to its scheduler.
+    pub fn mark_finished(&self, tid: Tid, end_ctr: u64) -> Vec<Tid> {
+        let mut inner = self.inner.lock();
+        let st = inner.entry(tid).or_default();
+        st.finished = true;
+        st.end_ctr = end_ctr;
+        let waiters = std::mem::take(&mut st.waiters);
         self.cv.notify_all();
+        waiters
     }
 
-    /// The end counter of `tid` if it already finished.
-    pub fn try_end(&self, tid: Tid) -> Option<u64> {
-        self.inner
-            .lock()
-            .get(&tid)
-            .filter(|s| s.finished)
-            .map(|s| s.end_ctr)
-    }
-
-    /// Blocks until `tid` finishes, returning its end counter.
+    /// Blocks until `tid` finishes, returning its end counter. `waiter`
+    /// is deregistered from the wake set if the wait is abandoned.
     ///
     /// # Errors
     ///
     /// Returns [`Halted`] if the halt flag is raised first.
-    pub fn wait_finished(&self, tid: Tid, halt: &HaltFlag) -> Result<u64, Halted> {
+    pub fn wait_finished(&self, tid: Tid, waiter: Tid, halt: &HaltFlag) -> Result<u64, Halted> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(st) = inner.get(&tid) {
@@ -72,6 +75,9 @@ impl ThreadRegistry {
                 }
             }
             if halt.is_set() {
+                if let Some(st) = inner.get_mut(&tid) {
+                    st.waiters.retain(|w| *w != waiter);
+                }
                 return Err(Halted);
             }
             self.cv.wait_for(&mut inner, HALT_TICK);
@@ -96,9 +102,9 @@ mod tests {
         let reg = ThreadRegistry::new();
         let t = Tid::ROOT.child(0);
         reg.register(t);
-        assert_eq!(reg.try_end(t), None);
+        assert_eq!(reg.register_waiter(t, Tid::ROOT), None);
         reg.mark_finished(t, 17);
-        assert_eq!(reg.try_end(t), Some(17));
+        assert_eq!(reg.register_waiter(t, Tid::ROOT), Some(17));
     }
 
     #[test]
@@ -112,7 +118,7 @@ mod tests {
             thread::sleep(Duration::from_millis(30));
             reg2.mark_finished(t, 5);
         });
-        assert_eq!(reg.wait_finished(t, &halt), Ok(5));
+        assert_eq!(reg.wait_finished(t, Tid::ROOT, &halt), Ok(5));
         h.join().unwrap();
     }
 
@@ -122,8 +128,23 @@ mod tests {
         let halt = HaltFlag::new();
         halt.set();
         assert_eq!(
-            reg.wait_finished(Tid::ROOT.child(0), &halt),
+            reg.wait_finished(Tid::ROOT.child(0), Tid::ROOT, &halt),
             Err(Halted)
         );
+    }
+
+    #[test]
+    fn finish_reports_registered_waiters_in_order() {
+        let reg = ThreadRegistry::new();
+        let t = Tid::ROOT.child(0);
+        let j1 = Tid::ROOT;
+        let j2 = Tid::ROOT.child(1);
+        reg.register(t);
+        assert_eq!(reg.register_waiter(t, j1), None);
+        assert_eq!(reg.register_waiter(t, j2), None);
+        assert_eq!(reg.mark_finished(t, 9), vec![j1, j2]);
+        // Late joiners see the end counter instead of registering.
+        assert_eq!(reg.register_waiter(t, j2), Some(9));
+        assert_eq!(reg.mark_finished(t, 9), Vec::<Tid>::new());
     }
 }

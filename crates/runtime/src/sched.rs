@@ -1,18 +1,24 @@
-//! Schedulers: free (native), chaos (seeded serialized exploration) and
-//! controlled (replay enforcement).
+//! Schedulers: free (native), exploration (strategy-driven serialized
+//! search, of which chaos is one strategy) and controlled (replay
+//! enforcement).
 //!
 //! The interpreter *gates* every instrumented event through
 //! [`Scheduler::before_event`]. The free scheduler lets native OS
-//! scheduling decide everything (used for overhead measurements). The chaos
-//! scheduler serializes execution and picks the next thread to run with a
-//! seeded RNG at quiescence points, making interleavings reproducible by
-//! seed — this is how buggy "original runs" are found. The controlled
-//! scheduler enforces a total order over selected events, which is how
-//! Light's solver-produced replay schedule is executed.
+//! scheduling decide everything (used for overhead measurements). The
+//! exploration scheduler serializes execution and, at each quiescence
+//! point, asks a pluggable [`Strategy`] which parked thread runs next;
+//! every decision is appended to a [`DecisionTrace`] that can be played
+//! back verbatim with [`ScriptedStrategy`] — the substrate of schedule
+//! search and repro minimization. The classic chaos scheduler is the
+//! exploration scheduler driven by [`RandomWalkStrategy`] (a seeded
+//! uniform pick), which keeps interleavings reproducible by seed. The
+//! controlled scheduler enforces a total order over selected events,
+//! which is how Light's solver-produced replay schedule is executed.
 
 use crate::halt::{HaltFlag, Halted, HALT_TICK};
 use crate::heap::Loc;
 use crate::hooks::AccessKind;
+use crate::nondet::ThreadRng;
 use crate::thread_id::Tid;
 use crate::value::ObjId;
 use light_obs::SchedulerMetrics;
@@ -104,6 +110,15 @@ pub trait Scheduler: Send + Sync {
         let _ = tid;
     }
 
+    /// Tells the scheduler the calling thread just made the given blocked
+    /// threads runnable (monitor handoff, notify, thread end). Called
+    /// synchronously by the waking thread — before it reaches its next
+    /// gate — so a serializing scheduler can wait for the woken threads to
+    /// check in instead of racing their OS wake-up for the next decision.
+    fn note_wake(&self, woken: &[Tid]) {
+        let _ = woken;
+    }
+
     /// Tells the scheduler `tid` finished blocking; blocks until the
     /// thread may run again (relevant for serializing schedulers).
     ///
@@ -128,14 +143,178 @@ impl Scheduler for FreeScheduler {
 }
 
 // ---------------------------------------------------------------------------
-// Chaos scheduler
+// Exploration scheduler (chaos is RandomWalkStrategy)
 // ---------------------------------------------------------------------------
 
-struct ChaosState {
-    rng: crate::nondet::ThreadRng,
+/// A parked thread offered to a [`Strategy`] at a quiescence point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    pub tid: Tid,
+    /// The event the thread is about to perform, when known. `None` for a
+    /// thread re-entering the gate from `note_unblocked` (it resumes inside
+    /// a primitive, so its next event is not yet visible).
+    pub event: Option<EventClass>,
+}
+
+/// A pluggable schedule-search strategy: at every quiescence point the
+/// exploration scheduler hands it the sorted candidate set and runs the
+/// thread it picks.
+///
+/// `candidates` is non-empty and sorted by [`Tid`]; the return value is an
+/// index into it (out-of-range indices are clamped). Implementations must
+/// be deterministic functions of their own state and the candidate
+/// sequence — that is what makes a run reproducible from `(program, args,
+/// strategy, seed)` and what lets a recorded [`DecisionTrace`] be replayed
+/// verbatim through [`ScriptedStrategy`].
+pub trait Strategy: Send {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize;
+}
+
+/// One run-length-encoded scheduling decision: the chosen thread and how
+/// many consecutive picks it received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    pub tid: Tid,
+    pub picks: u64,
+}
+
+/// The full sequence of scheduling decisions of one exploration run,
+/// run-length encoded by thread. Segment boundaries are exactly the
+/// context switches, so shrinking a repro = removing segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionTrace {
+    pub segments: Vec<Segment>,
+}
+
+impl DecisionTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one decision, merging into the last segment when the same
+    /// thread is picked again.
+    pub fn push(&mut self, tid: Tid) {
+        if let Some(last) = self.segments.last_mut() {
+            if last.tid == tid {
+                last.picks += 1;
+                return;
+            }
+        }
+        self.segments.push(Segment { tid, picks: 1 });
+    }
+
+    /// Number of segments (context-switch granularity).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total individual decisions across all segments.
+    pub fn total_picks(&self) -> u64 {
+        self.segments.iter().map(|s| s.picks).sum()
+    }
+
+    /// Canonical byte encoding (little-endian `(tid, picks)` pairs), used
+    /// by determinism regression tests and trace fingerprinting.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.segments.len() * 16);
+        for s in &self.segments {
+            out.extend_from_slice(&s.tid.raw().to_le_bytes());
+            out.extend_from_slice(&s.picks.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// The chaos strategy: a uniformly random pick from a seeded SplitMix64
+/// stream. This is the original chaos scheduler's decision rule, extracted.
+#[derive(Debug, Clone)]
+pub struct RandomWalkStrategy {
+    rng: ThreadRng,
+}
+
+impl RandomWalkStrategy {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ThreadRng::new(seed, Tid::ROOT),
+        }
+    }
+}
+
+impl Strategy for RandomWalkStrategy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        self.rng.below(candidates.len() as i64) as usize
+    }
+}
+
+/// Plays a recorded [`DecisionTrace`] back decision-for-decision.
+///
+/// Minimized traces reference threads that may not be at the gate when
+/// their segment comes up (the surrounding context was deleted); such
+/// segments are skipped. Past the end of the script the strategy keeps
+/// running the last-picked thread while it remains a candidate and falls
+/// back to the lowest tid otherwise — deterministic, and it introduces no
+/// context switches beyond the scripted ones.
+#[derive(Debug, Clone)]
+pub struct ScriptedStrategy {
+    segments: Vec<Segment>,
+    seg: usize,
+    used: u64,
+    last: Option<Tid>,
+}
+
+impl ScriptedStrategy {
+    pub fn new(trace: &DecisionTrace) -> Self {
+        Self {
+            segments: trace.segments.clone(),
+            seg: 0,
+            used: 0,
+            last: None,
+        }
+    }
+}
+
+impl Strategy for ScriptedStrategy {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        while let Some(seg) = self.segments.get(self.seg) {
+            if self.used >= seg.picks {
+                self.seg += 1;
+                self.used = 0;
+                continue;
+            }
+            if let Some(i) = candidates.iter().position(|c| c.tid == seg.tid) {
+                self.used += 1;
+                self.last = Some(seg.tid);
+                return i;
+            }
+            // Scheduled thread is not available here (the trace was
+            // shrunk); drop the rest of this segment.
+            self.seg += 1;
+            self.used = 0;
+        }
+        if let Some(last) = self.last {
+            if let Some(i) = candidates.iter().position(|c| c.tid == last) {
+                return i;
+            }
+        }
+        self.last = Some(candidates[0].tid);
+        0
+    }
+}
+
+struct ExploreState {
+    strategy: Box<dyn Strategy>,
+    decisions: DecisionTrace,
     alive: HashSet<Tid>,
-    at_gate: Vec<Tid>,
+    at_gate: Vec<Candidate>,
     blocked: HashSet<Tid>,
+    /// Threads a `note_wake` declared runnable that have not yet checked
+    /// back in via `note_unblocked`. They count as running (not
+    /// accounted), so no decision races their in-flight wake-up.
+    waking: HashSet<Tid>,
     /// The thread currently allowed to run (holds the "turn").
     holder: Option<Tid>,
     /// Set once a deadlock has been proven; all gates then fail.
@@ -144,16 +323,18 @@ struct ChaosState {
     suspect_since: Option<Instant>,
 }
 
-/// Serialized, seeded exploration of interleavings.
+/// Serialized, strategy-driven exploration of interleavings.
 ///
 /// Exactly one thread runs at a time. When the running thread reaches its
 /// next gate (or blocks, or exits), and every other live thread is parked
-/// at a gate or blocked, the scheduler picks the next runner uniformly at
-/// random from the parked threads using a seed-deterministic RNG. Given the
-/// same program, inputs and seed, the chosen interleaving is reproducible.
-pub struct ChaosScheduler {
+/// at a gate or blocked, the scheduler asks its [`Strategy`] which parked
+/// thread runs next and records the decision. Given the same program,
+/// inputs and strategy state, the chosen interleaving is reproducible.
+///
+/// [`ChaosScheduler`] is this scheduler under [`RandomWalkStrategy`].
+pub struct ExploreScheduler {
     halt: HaltFlag,
-    state: Mutex<ChaosState>,
+    state: Mutex<ExploreState>,
     cv: Condvar,
     deadlock_grace: Duration,
     /// Invoked (once) when a deadlock is proven; typically reports a
@@ -161,16 +342,27 @@ pub struct ChaosScheduler {
     on_deadlock: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
-impl ChaosScheduler {
-    /// Creates a chaos scheduler with the given seed.
+/// The original chaos scheduler: exploration under a seeded random walk.
+pub type ChaosScheduler = ExploreScheduler;
+
+impl ExploreScheduler {
+    /// Creates a chaos scheduler with the given seed (a
+    /// [`RandomWalkStrategy`] exploration).
     pub fn new(seed: u64, halt: HaltFlag) -> Self {
+        Self::with_strategy(Box::new(RandomWalkStrategy::new(seed)), halt)
+    }
+
+    /// Creates an exploration scheduler driven by `strategy`.
+    pub fn with_strategy(strategy: Box<dyn Strategy>, halt: HaltFlag) -> Self {
         Self {
             halt,
-            state: Mutex::new(ChaosState {
-                rng: crate::nondet::ThreadRng::new(seed, Tid::ROOT),
+            state: Mutex::new(ExploreState {
+                strategy,
+                decisions: DecisionTrace::new(),
                 alive: HashSet::new(),
                 at_gate: Vec::new(),
                 blocked: HashSet::new(),
+                waking: HashSet::new(),
                 holder: None,
                 deadlocked: false,
                 suspect_since: None,
@@ -179,6 +371,18 @@ impl ChaosScheduler {
             deadlock_grace: Duration::from_millis(200),
             on_deadlock: Mutex::new(None),
         }
+    }
+
+    /// Snapshot of the decisions made so far. Stable once the run ends.
+    pub fn trace(&self) -> DecisionTrace {
+        self.state.lock().decisions.clone()
+    }
+
+    /// The halt flag this scheduler polls. An execution driving this
+    /// scheduler must share it (see `SchedulerSpec::Explore`), otherwise a
+    /// fault elsewhere would never wake threads parked at gates.
+    pub fn halt_flag(&self) -> HaltFlag {
+        self.halt.clone()
     }
 
     /// Installs the deadlock callback and starts a background detector that
@@ -212,11 +416,17 @@ impl ChaosScheduler {
     }
 
     /// If every live thread is accounted for (at a gate or blocked) and at
-    /// least one is at a gate, hand the turn to a random parked thread.
-    /// If *all* live threads are blocked for longer than the grace period,
-    /// declare deadlock.
-    fn try_pick(&self, st: &mut ChaosState) {
+    /// least one is at a gate, ask the strategy which parked thread gets
+    /// the turn and record the decision. If *all* live threads are blocked
+    /// for longer than the grace period, declare deadlock.
+    fn try_pick(&self, st: &mut ExploreState) {
         if st.holder.is_some() || st.deadlocked {
+            return;
+        }
+        // A halting run makes no further decisions: threads unwinding
+        // after a fault must not race parked threads into one more pick,
+        // or the recorded trace would grow a nondeterministic tail.
+        if self.halt.is_set() {
             return;
         }
         let accounted = st.at_gate.len() + st.blocked.len();
@@ -227,9 +437,14 @@ impl ChaosScheduler {
         }
         if !st.at_gate.is_empty() {
             st.suspect_since = None;
-            st.at_gate.sort();
-            let idx = st.rng.below(st.at_gate.len() as i64) as usize;
-            st.holder = Some(st.at_gate.remove(idx));
+            st.at_gate.sort_by_key(|c| c.tid);
+            let idx = st
+                .strategy
+                .pick(&st.at_gate)
+                .min(st.at_gate.len() - 1);
+            let picked = st.at_gate.remove(idx);
+            st.decisions.push(picked.tid);
+            st.holder = Some(picked.tid);
             self.cv.notify_all();
             return;
         }
@@ -251,14 +466,14 @@ impl ChaosScheduler {
     }
 
     /// Parks the calling thread at a gate until it is handed the turn.
-    fn wait_for_turn(&self, tid: Tid) -> Result<(), SchedStop> {
+    fn wait_for_turn(&self, tid: Tid, event: Option<EventClass>) -> Result<(), SchedStop> {
         let mut st = self.state.lock();
         // Arriving at a gate releases the turn if we held it.
         if st.holder == Some(tid) {
             st.holder = None;
         }
-        if !st.at_gate.contains(&tid) {
-            st.at_gate.push(tid);
+        if !st.at_gate.iter().any(|c| c.tid == tid) {
+            st.at_gate.push(Candidate { tid, event });
         }
         loop {
             self.try_pick(&mut st);
@@ -276,7 +491,7 @@ impl ChaosScheduler {
     }
 }
 
-impl Scheduler for ChaosScheduler {
+impl Scheduler for ExploreScheduler {
     fn thread_created(&self, tid: Tid) {
         let mut st = self.state.lock();
         st.alive.insert(tid);
@@ -286,8 +501,9 @@ impl Scheduler for ChaosScheduler {
     fn thread_exited(&self, tid: Tid) {
         let mut st = self.state.lock();
         st.alive.remove(&tid);
-        st.at_gate.retain(|&t| t != tid);
+        st.at_gate.retain(|c| c.tid != tid);
         st.blocked.remove(&tid);
+        st.waking.remove(&tid);
         if st.holder == Some(tid) {
             st.holder = None;
         }
@@ -295,8 +511,8 @@ impl Scheduler for ChaosScheduler {
         self.cv.notify_all();
     }
 
-    fn before_event(&self, tid: Tid, _ctr: u64, _ev: &EventClass) -> Result<Directive, SchedStop> {
-        self.wait_for_turn(tid)?;
+    fn before_event(&self, tid: Tid, _ctr: u64, ev: &EventClass) -> Result<Directive, SchedStop> {
+        self.wait_for_turn(tid, Some(*ev))?;
         Ok(Directive::Proceed)
     }
 
@@ -310,13 +526,24 @@ impl Scheduler for ChaosScheduler {
         self.cv.notify_all();
     }
 
+    fn note_wake(&self, woken: &[Tid]) {
+        let mut st = self.state.lock();
+        for tid in woken {
+            if st.blocked.remove(tid) {
+                st.waking.insert(*tid);
+            }
+        }
+        st.suspect_since = None;
+    }
+
     fn note_unblocked(&self, tid: Tid) -> Result<(), SchedStop> {
         {
             let mut st = self.state.lock();
             st.blocked.remove(&tid);
+            st.waking.remove(&tid);
             st.suspect_since = None;
         }
-        self.wait_for_turn(tid)
+        self.wait_for_turn(tid, None)
     }
 }
 
@@ -722,6 +949,87 @@ mod tests {
             Err(SchedStop::Diverged(_)) => {}
             other => panic!("expected divergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decision_trace_run_length_encodes() {
+        let mut t = DecisionTrace::new();
+        let a = Tid::ROOT;
+        let b = Tid::ROOT.child(0);
+        for tid in [a, a, b, a, a, a] {
+            t.push(tid);
+        }
+        assert_eq!(
+            t.segments,
+            vec![
+                Segment { tid: a, picks: 2 },
+                Segment { tid: b, picks: 1 },
+                Segment { tid: a, picks: 3 },
+            ]
+        );
+        assert_eq!(t.total_picks(), 6);
+        assert_eq!(t.encode().len(), 3 * 16);
+    }
+
+    #[test]
+    fn scripted_strategy_replays_and_tolerates_gaps() {
+        let a = Tid::ROOT;
+        let b = Tid::ROOT.child(0);
+        let c = Tid::ROOT.child(1);
+        let mut trace = DecisionTrace::new();
+        for tid in [a, b, b, c, a] {
+            trace.push(tid);
+        }
+        let mut s = ScriptedStrategy::new(&trace);
+        let cand = |tids: &[Tid]| -> Vec<Candidate> {
+            tids.iter()
+                .map(|&tid| Candidate { tid, event: None })
+                .collect()
+        };
+        // Full candidate sets: plays back verbatim.
+        assert_eq!(s.pick(&cand(&[a, b, c])), 0); // a
+        assert_eq!(s.pick(&cand(&[a, b, c])), 1); // b
+        assert_eq!(s.pick(&cand(&[a, b, c])), 1); // b
+        // c's segment comes up but c is absent: segment is skipped, the
+        // next segment (a) is used instead.
+        assert_eq!(s.pick(&cand(&[a, b])), 0); // a
+        // Past the end: keep running the last pick (a) while present...
+        assert_eq!(s.pick(&cand(&[a, b])), 0);
+        // ...and fall back to the lowest tid when it is gone.
+        assert_eq!(s.pick(&cand(&[b, c])), 0);
+    }
+
+    #[test]
+    fn random_walk_is_seed_deterministic() {
+        let cands: Vec<Candidate> = [Tid::ROOT, Tid::ROOT.child(0), Tid::ROOT.child(1)]
+            .iter()
+            .map(|&tid| Candidate { tid, event: None })
+            .collect();
+        let mut x = RandomWalkStrategy::new(99);
+        let mut y = RandomWalkStrategy::new(99);
+        let mut z = RandomWalkStrategy::new(100);
+        let xs: Vec<usize> = (0..64).map(|_| x.pick(&cands)).collect();
+        let ys: Vec<usize> = (0..64).map(|_| y.pick(&cands)).collect();
+        let zs: Vec<usize> = (0..64).map(|_| z.pick(&cands)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert!(xs.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn explore_records_decision_trace() {
+        let halt = HaltFlag::new();
+        let s = ExploreScheduler::new(7, halt);
+        s.thread_created(Tid::ROOT);
+        for c in 1..=4 {
+            s.before_event(Tid::ROOT, c, &ev()).unwrap();
+        }
+        s.thread_exited(Tid::ROOT);
+        let trace = s.trace();
+        // A single thread collapses into one segment of 4 picks.
+        assert_eq!(trace.segments.len(), 1);
+        assert_eq!(trace.total_picks(), 4);
+        assert_eq!(trace.segments[0].tid, Tid::ROOT);
     }
 
     #[test]

@@ -32,6 +32,56 @@ pub(crate) fn parse_program(name: &str, source: &str) -> Arc<Program> {
     }
 }
 
+/// A notify-storm stress program, separate from both catalogs: `t`
+/// waiters park on one monitor and the main thread hands out one token
+/// per round with a single `notify`, so *which* waiter wakes is a real
+/// scheduling decision on every round. Each woken waiter prints its id
+/// while still holding the monitor, making the wake order observable
+/// through [`light_runtime::RunOutcome::prints`]. Used by the wake-all
+/// replay tests: a replayer that wakes every waiter must still steer the
+/// recorded waiter through the monitor first.
+pub fn notify_storm() -> Arc<Program> {
+    parse_program("notify-storm", NOTIFY_STORM)
+}
+
+const NOTIFY_STORM: &str = "
+// t waiters block on one monitor; main releases one token per round with
+// a single notify. Consumers print their id in wake order.
+global mon; global ready; global tokens; global served;
+class M { field pad; }
+
+fn waiter(id) {
+    sync (mon) {
+        ready = ready + 1;
+        notify_all(mon);
+        while (tokens == 0) { wait(mon); }
+        tokens = tokens - 1;
+        served = served + 1;
+        print(id);
+        notify_all(mon);
+    }
+}
+
+fn main(t) {
+    mon = new M();
+    let hs = new [t];
+    let i = 0;
+    while (i < t) { hs[i] = spawn waiter(i); i = i + 1; }
+    sync (mon) { while (ready < t) { wait(mon); } }
+    let r = 0;
+    while (r < t) {
+        sync (mon) {
+            tokens = tokens + 1;
+            notify(mon);
+        }
+        sync (mon) { while (tokens > 0) { wait(mon); } }
+        r = r + 1;
+    }
+    let j = 0;
+    while (j < t) { join hs[j]; j = j + 1; }
+    assert(served == t);
+}";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +113,12 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn notify_storm_parses_and_has_main() {
+        let p = notify_storm();
+        assert!(p.entry.is_some());
     }
 
     #[test]

@@ -3,6 +3,7 @@ pub use lir;
 pub use light_analysis as analysis;
 pub use light_baselines as baselines;
 pub use light_core as light;
+pub use light_explore as explore;
 pub use light_obs as obs;
 pub use light_runtime as runtime;
 pub use light_solver as solver;
