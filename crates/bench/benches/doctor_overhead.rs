@@ -1,0 +1,138 @@
+//! E11 — divergence-detection overhead: for each corpus bug, time a
+//! plain replay against a replay with the doctor's cross-checking
+//! observer attached, and report the per-bug and aggregate overhead.
+//! The D11 acceptance criterion is < 10% median overhead. Run with
+//! `cargo bench -p light-bench --bench doctor_overhead`.
+//!
+//! Results land in `results/doctor_overhead.json` (primary, consumed by
+//! `scripts/fill_experiments.py` and `scripts/bench_summary.py`) and
+//! `results/doctor_overhead.txt`.
+
+use light_bench::report::Report;
+use light_core::obs::json::Value;
+use light_core::Light;
+use light_doctor::{doctor_replay, DoctorOptions};
+use light_workloads::bugs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timed repetitions per configuration; the median is reported so a
+/// single descheduling blip cannot fake (or mask) a regression.
+const REPS: usize = 7;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rep = Report::new("doctor_overhead");
+    rep.line("== E11: divergence-detection overhead (doctor vs plain replay) ==");
+    rep.line(format!(
+        "{:<14} {:>11} {:>13} {:>9} {:>9} {:>9}",
+        "bug", "plain(ms)", "checked(ms)", "overhead", "reads", "uncov"
+    ));
+
+    let mut rows = Vec::new();
+    let mut overheads = Vec::new();
+    for bug in bugs() {
+        let program = bug.program();
+        let light = Light::new(Arc::clone(&program));
+        // Prefer the faulting recording (the realistic doctor input); a
+        // clean chaos recording keeps the row populated if the search
+        // budget misses.
+        let recording = match light.find_bug(&bug.args, bug.search_seeds.clone()) {
+            Some((recording, _)) => recording,
+            None => match light.record_chaos(&bug.args, bug.search_seeds.start) {
+                Ok((recording, _)) => recording,
+                Err(e) => {
+                    rep.line(format!("{:<14} recording failed: {e}", bug.name));
+                    rows.push(Value::obj([
+                        ("bug", Value::from(bug.name)),
+                        ("status", Value::from("record-failed")),
+                    ]));
+                    continue;
+                }
+            },
+        };
+
+        // Warm both paths once (schedule solving, allocator) before timing.
+        let options = DoctorOptions::default();
+        if let Err(e) = light.replay(&recording) {
+            rep.line(format!("{:<14} replay failed: {e}", bug.name));
+            rows.push(Value::obj([
+                ("bug", Value::from(bug.name)),
+                ("status", Value::from("replay-failed")),
+            ]));
+            continue;
+        }
+        let doctor = match doctor_replay(&light, &recording, &recording, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                rep.line(format!("{:<14} doctor replay failed: {e}", bug.name));
+                rows.push(Value::obj([
+                    ("bug", Value::from(bug.name)),
+                    ("status", Value::from("doctor-failed")),
+                ]));
+                continue;
+            }
+        };
+        assert!(
+            doctor.healthy(),
+            "{}: self-check must be clean, got {:?}",
+            bug.name,
+            doctor.divergence
+        );
+
+        let mut plain = Vec::with_capacity(REPS);
+        let mut checked = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            light.replay(&recording).expect("warmed replay");
+            plain.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            doctor_replay(&light, &recording, &recording, &options).expect("warmed doctor");
+            checked.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let plain_ms = median(&mut plain);
+        let checked_ms = median(&mut checked);
+        let overhead = checked_ms / plain_ms - 1.0;
+        overheads.push(overhead);
+
+        rep.line(format!(
+            "{:<14} {:>11.2} {:>13.2} {:>8.1}% {:>9} {:>9}",
+            bug.name,
+            plain_ms,
+            checked_ms,
+            overhead * 100.0,
+            doctor.stats.checked_reads,
+            doctor.stats.uncovered_reads,
+        ));
+        rows.push(Value::obj([
+            ("bug", Value::from(bug.name)),
+            ("status", Value::from("measured")),
+            ("plain_ms", Value::from(plain_ms)),
+            ("checked_ms", Value::from(checked_ms)),
+            ("overhead", Value::from(overhead)),
+            ("checked_reads", Value::from(doctor.stats.checked_reads)),
+            ("uncovered_reads", Value::from(doctor.stats.uncovered_reads)),
+        ]));
+    }
+    rep.set("rows", Value::Arr(rows));
+
+    if !overheads.is_empty() {
+        let med = median(&mut overheads);
+        rep.blank();
+        rep.line(format!(
+            "median overhead across corpus: {:.1}% (criterion: < 10%)",
+            med * 100.0
+        ));
+        rep.set("median_overhead", med);
+        rep.set("criterion_met", med < 0.10);
+    }
+
+    rep.blank();
+    rep.line("(Checked replay = plain replay + the doctor's expected-writer cross-check on every covered read, including monitor/thread-life ghost accesses; overhead = checked/plain - 1 on the median of 7 runs each.)");
+    rep.write_or_die();
+}

@@ -11,7 +11,9 @@
 
 use light_core::obs::json::Value;
 use light_core::obs::{chrome_trace_json, Histogram, Obs, TraceEvent, TraceSink};
-use light_core::{load_recording_traced, ConstraintSystem, Recording};
+use light_core::{
+    peek_log_version, read_recording, ConstraintSystem, Recording, LOG_FORMAT_VERSION,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -65,17 +67,55 @@ fn main() -> ExitCode {
         Obs::disabled()
     };
 
-    let recording = match load_recording_traced(&path, &obs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("light-inspect: cannot load {path}: {e}");
-            return ExitCode::FAILURE;
+    // Load by hand (rather than via `load_recording_traced`) so the
+    // on-disk format version can be peeked before parsing.
+    let (recording, file_version) = {
+        let _span = obs.span("log-load");
+        let loaded = std::fs::read(&path)
+            .map_err(light_core::LogError::Io)
+            .and_then(|bytes| Ok((read_recording(&bytes)?, peek_log_version(&bytes)?)));
+        match loaded {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("light-inspect: cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
     if json {
         let mut snap = recording.snapshot().to_json();
+        if let Value::Obj(pairs) = &mut snap {
+            // The stable machine-readable envelope: consumers key off
+            // `schema.name` and may rely on every field below existing.
+            let explore = match &recording.provenance {
+                Some(p) => Value::obj([
+                    ("strategy", Value::Str(p.strategy.clone())),
+                    ("seed", Value::from(p.seed)),
+                    ("schedules", Value::from(p.schedules)),
+                    ("minimized", Value::Bool(p.minimized)),
+                    ("trace_segments", Value::from(p.trace_segments)),
+                ]),
+                None => Value::Null,
+            };
+            pairs.insert(
+                0,
+                (
+                    "schema".into(),
+                    Value::obj([
+                        ("name", Value::Str("light-inspect/v1".into())),
+                        ("log_format_version", Value::U64(u64::from(file_version))),
+                        (
+                            "reader_log_format_version",
+                            Value::U64(u64::from(LOG_FORMAT_VERSION)),
+                        ),
+                        ("explore", explore),
+                    ]),
+                ),
+            );
+        }
         if let (Value::Obj(pairs), Some(p)) = (&mut snap, &recording.provenance) {
+            // Kept alongside `schema.explore` for existing consumers.
             pairs.push((
                 "explore".into(),
                 Value::obj([

@@ -89,6 +89,49 @@ fn provenance_is_rendered_when_present() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The `--json` schema envelope is a stable contract: `schema.name`
+/// identifies the shape, and the version + explore fields always exist.
+/// Renaming or dropping any of these keys breaks downstream consumers —
+/// this test is the tripwire.
+#[test]
+fn json_schema_envelope_is_stable() {
+    let path = scratch("schema.lrec");
+    std::fs::write(&path, write_recording(&sample_recording())).unwrap();
+
+    let out = inspect(&[path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"schema\"",
+        "\"name\": \"light-inspect/v1\"",
+        &format!("\"log_format_version\": {}", light_core::LOG_FORMAT_VERSION),
+        &format!(
+            "\"reader_log_format_version\": {}",
+            light_core::LOG_FORMAT_VERSION
+        ),
+        "\"explore\": null",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in: {stdout}");
+    }
+
+    // With provenance, `schema.explore` carries the campaign facts.
+    let mut recording = sample_recording();
+    recording.provenance = Some(ExploreProvenance {
+        strategy: "pct".into(),
+        seed: 7,
+        schedules: 9,
+        minimized: false,
+        trace_segments: 3,
+    });
+    std::fs::write(&path, write_recording(&recording)).unwrap();
+    let out = inspect(&[path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("\"explore\": null"), "stdout: {stdout}");
+    assert!(stdout.contains("\"strategy\": \"pct\""), "stdout: {stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn clean_recording_summary_omits_provenance() {
     let path = scratch("clean.lrec");

@@ -19,14 +19,102 @@
 
 use crate::recording::{AccessId, Recording};
 use light_runtime::{ReplaySchedule, Tid};
-use light_solver::{Atom, OrderSolver, SolveError, SolveStats, Var};
+use light_solver::{minimize_unsat_core, Atom, OrderSolver, SolveError, SolveStats, Var};
 use std::collections::HashMap;
+
+/// Why a constraint exists — the recorded fact it encodes. Carried
+/// alongside every constraint so an unsatisfiable system can be explained
+/// in terms of the recording rather than opaque order variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `O(w) < O(r_first)`: a read range observed this write.
+    FlowDep,
+    /// `O(w0) < O(first)`: a run started from this external write.
+    RunSource,
+    /// `O(notify) < O(wait_after)`: a monitor signal edge.
+    Signal,
+    /// Per-thread counter order between consecutive mentioned events.
+    ThreadOrder,
+    /// A reader of a run's interior write must finish before the run's
+    /// next own write.
+    InteriorBound,
+    /// A run observing another run's own write is bounded by it.
+    RunObserver,
+    /// A dependence reading the same external write a run started from
+    /// precedes the run's first own write.
+    SameSource,
+    /// Two runs sharing a source write: their own-write phases are
+    /// disjoint (a binary disjunction).
+    OwnWritePhase,
+    /// General non-interference: interval disjointness, Equation 1's
+    /// binary disjunction for two plain dependences.
+    Disjoint,
+    /// A read of the location's initial value precedes every write.
+    InitialRead,
+}
+
+impl ConstraintKind {
+    /// A short human phrase for the constraint's reason.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ConstraintKind::FlowDep => "the read observed this write (flow dependence)",
+            ConstraintKind::RunSource => "the run started from this external write",
+            ConstraintKind::Signal => "the waiter woke after this notify",
+            ConstraintKind::ThreadOrder => "program order within one thread",
+            ConstraintKind::InteriorBound => {
+                "the reader must finish before the run's next own write"
+            }
+            ConstraintKind::RunObserver => "the observing run is bounded by the owning run",
+            ConstraintKind::SameSource => {
+                "both observed the same source write, so the reads precede the run's own writes"
+            }
+            ConstraintKind::OwnWritePhase => "the runs' own-write phases must not overlap",
+            ConstraintKind::Disjoint => {
+                "non-interference: one interval must fully precede the other (Equation 1)"
+            }
+            ConstraintKind::InitialRead => "the initial-value read precedes every write",
+        }
+    }
+}
+
+/// The provenance of one constraint: its kind plus, when the constraint
+/// is about a specific shared location, that location's key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstraintOrigin {
+    pub kind: ConstraintKind,
+    pub loc: Option<u64>,
+}
+
+impl ConstraintOrigin {
+    fn at(kind: ConstraintKind, loc: u64) -> Self {
+        ConstraintOrigin { kind, loc: Some(loc) }
+    }
+
+    fn global(kind: ConstraintKind) -> Self {
+        ConstraintOrigin { kind, loc: None }
+    }
+}
+
+/// One constraint surviving unsat-core minimization, mapped back to
+/// access ids: removing it (alone) would make the rest satisfiable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConstraint {
+    pub origin: ConstraintOrigin,
+    /// The orderings the constraint demands, as `(before, after)` id
+    /// pairs. Hard constraints have exactly one; clauses list their
+    /// disjuncts (at least one must hold).
+    pub orders: Vec<(AccessId, AccessId)>,
+    /// Whether the constraint is hard (true) or a disjunctive clause.
+    pub hard: bool,
+}
 
 /// The constraint system plus the mapping back to access ids.
 pub struct ConstraintSystem {
     solver: OrderSolver,
     vars: HashMap<AccessId, Var>,
     ids: Vec<AccessId>,
+    hard: Vec<(Atom, ConstraintOrigin)>,
+    clauses: Vec<(Vec<Atom>, ConstraintOrigin)>,
 }
 
 /// Failure to compute a replay schedule.
@@ -48,6 +136,8 @@ impl ConstraintSystem {
             solver: OrderSolver::new(),
             vars: HashMap::new(),
             ids: Vec::new(),
+            hard: Vec::new(),
+            clauses: Vec::new(),
         };
         sys.encode(recording);
         sys
@@ -61,6 +151,21 @@ impl ConstraintSystem {
         self.vars.insert(id, v);
         self.ids.push(id);
         v
+    }
+
+    /// The access id behind an order variable.
+    pub fn id_of(&self, v: Var) -> AccessId {
+        self.ids[v.index()]
+    }
+
+    fn lt(&mut self, a: Var, b: Var, origin: ConstraintOrigin) {
+        self.solver.add_lt(a, b);
+        self.hard.push((Atom::lt(a, b), origin));
+    }
+
+    fn clause(&mut self, atoms: Vec<Atom>, origin: ConstraintOrigin) {
+        self.solver.add_clause(atoms.clone());
+        self.clauses.push((atoms, origin));
     }
 
     fn encode(&mut self, rec: &Recording) {
@@ -103,7 +208,7 @@ impl ConstraintSystem {
         for d in &rec.deps {
             if let Some(w) = d.w {
                 let (wv, rv) = (self.var(w), self.var(AccessId::new(d.r_tid, d.r_first)));
-                self.solver.add_lt(wv, rv);
+                self.lt(wv, rv, ConstraintOrigin::at(ConstraintKind::FlowDep, d.loc));
             }
             // Make sure both ends of the read range exist as variables.
             let _ = self.var(AccessId::new(d.r_tid, d.r_first));
@@ -114,16 +219,16 @@ impl ConstraintSystem {
             let _ = self.var(AccessId::new(r.tid, r.last));
             if let Some(w0) = r.w0 {
                 let w0v = self.var(w0);
-                self.solver.add_lt(w0v, first);
+                self.lt(w0v, first, ConstraintOrigin::at(ConstraintKind::RunSource, r.loc));
             }
         }
         for s in &rec.signals {
             let (nv, wv) = (self.var(s.notify), self.var(s.wait_after));
-            self.solver.add_lt(nv, wv);
+            self.lt(nv, wv, ConstraintOrigin::global(ConstraintKind::Signal));
         }
 
         // Non-interference, per location.
-        for units in by_loc.values() {
+        for (&loc, units) in by_loc.iter() {
             // Helper views.
             let interval = |u: &Unit, me: &mut Self| -> (Var, Var) {
                 match u {
@@ -212,7 +317,11 @@ impl ConstraintSystem {
                         if let Some(next) = next_write_after(run, w.ctr) {
                             let (_, dep_end) = interval(dep, me);
                             let nv = me.var(next);
-                            me.solver.add_lt(dep_end, nv);
+                            me.lt(
+                                dep_end,
+                                nv,
+                                ConstraintOrigin::at(ConstraintKind::InteriorBound, loc),
+                            );
                         }
                         true
                     };
@@ -237,13 +346,21 @@ impl ConstraintSystem {
                                 // recordings; bound the observer before it.
                                 let (_, obs_end) = interval(obs, me);
                                 let nv = me.var(next);
-                                me.solver.add_lt(obs_end, nv);
+                                me.lt(
+                                    obs_end,
+                                    nv,
+                                    ConstraintOrigin::at(ConstraintKind::RunObserver, loc),
+                                );
                             }
                             None => {
                                 let (_, owner_end) = interval(owner, me);
                                 if let Some(f) = first_own_write(obs) {
                                     let fv = me.var(f);
-                                    me.solver.add_lt(owner_end, fv);
+                                    me.lt(
+                                        owner_end,
+                                        fv,
+                                        ConstraintOrigin::at(ConstraintKind::RunObserver, loc),
+                                    );
                                 }
                             }
                         }
@@ -273,7 +390,7 @@ impl ConstraintSystem {
                         if let Some(fw) = first_own_write(run) {
                             let rv = me.var(*r_last);
                             let fv = me.var(fw);
-                            me.solver.add_lt(rv, fv);
+                            me.lt(rv, fv, ConstraintOrigin::at(ConstraintKind::SameSource, loc));
                         }
                         true
                     };
@@ -299,8 +416,10 @@ impl ConstraintSystem {
                             if let (Some(fa), Some(fb)) = (fa, fb) {
                                 let fav = self.var(fa);
                                 let fbv = self.var(fb);
-                                self.solver
-                                    .add_clause(vec![Atom::lt(ea, fbv), Atom::lt(eb, fav)]);
+                                self.clause(
+                                    vec![Atom::lt(ea, fbv), Atom::lt(eb, fav)],
+                                    ConstraintOrigin::at(ConstraintKind::OwnWritePhase, loc),
+                                );
                             }
                             continue;
                         }
@@ -309,8 +428,10 @@ impl ConstraintSystem {
                     // both are plain dependences).
                     let (sa, ea) = interval(a, self);
                     let (sb, eb) = interval(b, self);
-                    self.solver
-                        .add_clause(vec![Atom::lt(ea, sb), Atom::lt(eb, sa)]);
+                    self.clause(
+                        vec![Atom::lt(ea, sb), Atom::lt(eb, sa)],
+                        ConstraintOrigin::at(ConstraintKind::Disjoint, loc),
+                    );
                 }
             }
 
@@ -350,7 +471,7 @@ impl ConstraintSystem {
                         }
                     }
                     let wv = self.var(w);
-                    self.solver.add_lt(end, wv);
+                    self.lt(end, wv, ConstraintOrigin::at(ConstraintKind::InitialRead, loc));
                 }
             }
         }
@@ -366,7 +487,7 @@ impl ConstraintSystem {
             for pair in ctrs.windows(2) {
                 let a = self.var(AccessId::new(tid, pair[0]));
                 let b = self.var(AccessId::new(tid, pair[1]));
-                self.solver.add_lt(a, b);
+                self.lt(a, b, ConstraintOrigin::global(ConstraintKind::ThreadOrder));
             }
         }
     }
@@ -412,6 +533,46 @@ impl ConstraintSystem {
     /// Number of order variables created.
     pub fn num_vars(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of constraints (hard plus clauses).
+    pub fn num_constraints(&self) -> usize {
+        self.hard.len() + self.clauses.len()
+    }
+
+    /// Delta-minimizes an unsatisfiable system to a minimal infeasible
+    /// core and maps it back to access ids and recorded facts. Returns
+    /// `None` when the system is satisfiable (or not provably
+    /// unsatisfiable within `budget` solver decisions per probe).
+    ///
+    /// Lemma 4.1 guarantees systems built from real recordings are
+    /// satisfiable, so a core is always evidence of corruption: a stale
+    /// recording, a hand-edited log, a program that changed underneath.
+    pub fn unsat_core(&self, budget: u64) -> Option<Vec<CoreConstraint>> {
+        let hard: Vec<Atom> = self.hard.iter().map(|(a, _)| *a).collect();
+        let clauses: Vec<Vec<Atom>> = self.clauses.iter().map(|(c, _)| c.clone()).collect();
+        let core = minimize_unsat_core(self.ids.len(), &hard, &clauses, budget)?;
+        let mut out = Vec::with_capacity(core.len());
+        for &i in &core.hard {
+            let (atom, origin) = &self.hard[i];
+            out.push(CoreConstraint {
+                origin: *origin,
+                orders: vec![(self.id_of(atom.left), self.id_of(atom.right))],
+                hard: true,
+            });
+        }
+        for &i in &core.clauses {
+            let (atoms, origin) = &self.clauses[i];
+            out.push(CoreConstraint {
+                origin: *origin,
+                orders: atoms
+                    .iter()
+                    .map(|a| (self.id_of(a.left), self.id_of(a.right)))
+                    .collect(),
+                hard: false,
+            });
+        }
+        Some(out)
     }
 }
 
@@ -641,5 +802,71 @@ mod tests {
         // w(t2,2) < r(t1,1) — a cycle.
         let sys = ConstraintSystem::build(&rec);
         assert!(sys.solve(&rec).is_err());
+    }
+
+    #[test]
+    fn unsat_core_names_the_cycle() {
+        // Same cyclic recording as above: the minimal core must be the
+        // two flow dependences plus the two thread-order edges — nothing
+        // else — each mapped back to concrete access ids.
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            deps: vec![
+                DepEdge {
+                    loc: 1,
+                    w: Some(AccessId::new(t1, 2)),
+                    r_tid: t2,
+                    r_first: 1,
+                    r_last: 1,
+                },
+                DepEdge {
+                    loc: 2,
+                    w: Some(AccessId::new(t2, 2)),
+                    r_tid: t1,
+                    r_first: 1,
+                    r_last: 1,
+                },
+            ],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        let core = sys.unsat_core(1_000_000).expect("system is unsatisfiable");
+        assert_eq!(core.len(), 4, "core: {core:?}");
+        let flows: Vec<_> = core
+            .iter()
+            .filter(|c| c.origin.kind == ConstraintKind::FlowDep)
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert!(flows
+            .iter()
+            .any(|c| c.orders == vec![(AccessId::new(t1, 2), AccessId::new(t2, 1))]));
+        assert!(flows
+            .iter()
+            .any(|c| c.orders == vec![(AccessId::new(t2, 2), AccessId::new(t1, 1))]));
+        assert!(core
+            .iter()
+            .filter(|c| c.origin.kind == ConstraintKind::ThreadOrder)
+            .count()
+            == 2);
+        assert!(core.iter().all(|c| c.hard));
+    }
+
+    #[test]
+    fn satisfiable_system_has_no_core() {
+        let t1 = tid(1);
+        let t2 = tid(2);
+        let rec = Recording {
+            deps: vec![DepEdge {
+                loc: 1,
+                w: Some(AccessId::new(t1, 1)),
+                r_tid: t2,
+                r_first: 1,
+                r_last: 1,
+            }],
+            ..Recording::default()
+        };
+        let sys = ConstraintSystem::build(&rec);
+        assert!(sys.unsat_core(1_000_000).is_none());
     }
 }

@@ -45,11 +45,13 @@ mod recording;
 mod replay;
 pub mod spill;
 
-pub use constraints::{ConstraintSystem, ScheduleError};
+pub use constraints::{
+    ConstraintKind, ConstraintOrigin, ConstraintSystem, CoreConstraint, ScheduleError,
+};
 pub use fastmap::FastMap;
 pub use log::{
-    load_recording, load_recording_traced, read_recording, save_recording,
-    save_recording_traced, write_recording, LogError,
+    load_recording, load_recording_traced, peek_log_version, read_recording, save_recording,
+    save_recording_traced, write_recording, LogError, LOG_FORMAT_VERSION,
 };
 pub use recorder::{LightConfig, LightRecorder};
 pub use spill::SpillSink;
@@ -57,8 +59,8 @@ pub use recording::{
     AccessId, DepEdge, ExploreProvenance, RecordStats, Recording, RunRec, SignalEdge,
 };
 pub use replay::{
-    compute_schedule, compute_schedule_traced, faults_correlate, replay, replay_traced,
-    ReplayError, ReplayOptions, ReplayReport,
+    compute_schedule, compute_schedule_traced, faults_correlate, replay, replay_observed,
+    replay_traced, ReplayError, ReplayOptions, ReplayReport,
 };
 
 /// Re-export of the observability crate, so downstream users can attach

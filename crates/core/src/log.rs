@@ -22,6 +22,27 @@ const MAGIC: u32 = 0x4C52_4543; // "LREC"
 /// logs load with no provenance.
 const VERSION: u32 = 3;
 
+/// The log format version this reader writes ([`write_recording`]) and the
+/// newest version it accepts. Exposed so tools (`light-inspect --json`)
+/// can report both the file's version and the reader's ceiling.
+pub const LOG_FORMAT_VERSION: u32 = VERSION;
+
+/// Reads the format version out of a serialized recording without parsing
+/// the rest, accepting versions this reader cannot load (the caller can
+/// report "file is v9, reader supports up to v3").
+///
+/// # Errors
+///
+/// [`LogError::Malformed`] when the data is too short or the magic does
+/// not match.
+pub fn peek_log_version(mut data: &[u8]) -> Result<u32, LogError> {
+    let buf = &mut data;
+    if remaining(buf) < 8 || buf.get_u32_le() != MAGIC {
+        return Err(bad("missing magic"));
+    }
+    Ok(buf.get_u32_le())
+}
+
 /// Errors reading or writing a recording log.
 #[derive(Debug)]
 pub enum LogError {
@@ -585,6 +606,18 @@ mod tests {
         let back = read_recording(&write_recording(&rec)).unwrap();
         assert_eq!(back.provenance, None);
         assert_eq!(back.stats, rec.stats);
+    }
+
+    #[test]
+    fn peek_reads_version_without_parsing() {
+        let bytes = write_recording(&sample());
+        assert_eq!(peek_log_version(&bytes).unwrap(), LOG_FORMAT_VERSION);
+        // A future version peeks fine even though read_recording rejects it.
+        let mut v9 = bytes.to_vec();
+        v9[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(peek_log_version(&v9).unwrap(), 9);
+        assert!(read_recording(&v9).is_err());
+        assert!(peek_log_version(b"nope").is_err());
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use crate::constraints::{ConstraintSystem, ScheduleError};
 use crate::recording::Recording;
 use light_analysis::Analysis;
-use light_obs::{MetricsSnapshot, Obs, PhaseRecord, RunMetrics};
+use light_obs::{Histogram, MetricsSnapshot, Obs, PhaseRecord, RunMetrics};
 use light_runtime::{
-    run, ExecConfig, FaultKind, FaultReport, NondetMode, NullRecorder, ReplaySchedule,
-    RunOutcome, SchedulerSpec, SetupError,
+    run, ExecConfig, FaultKind, FaultReport, HaltFlag, NondetMode, NullRecorder, Recorder,
+    ReplaySchedule, RunOutcome, SchedulerSpec, SetupError,
 };
 use light_solver::SolveStats;
 use lir::Program;
@@ -181,11 +181,43 @@ pub fn replay_traced(
     options: &ReplayOptions,
     obs: &Obs,
 ) -> Result<ReplayReport, ReplayError> {
+    replay_observed(
+        program,
+        recording,
+        analysis,
+        o2,
+        options,
+        obs,
+        Arc::new(NullRecorder),
+        None,
+    )
+}
+
+/// [`replay_traced`] with an observer attached to the replay run: the
+/// given recorder's hooks see every shared access the controlled run
+/// makes (used by the doctor's divergence checker), and `halt`, when
+/// provided, lets the observer wind the run down early. Replay behavior
+/// is otherwise identical — the observer must not perturb the events.
+///
+/// # Errors
+///
+/// See [`replay`].
+#[allow(clippy::too_many_arguments)]
+pub fn replay_observed(
+    program: &Arc<Program>,
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    options: &ReplayOptions,
+    obs: &Obs,
+    observer: Arc<dyn Recorder>,
+    halt: Option<HaltFlag>,
+) -> Result<ReplayReport, ReplayError> {
     let (schedule, solve_stats, mut phases) =
         compute_schedule_traced(recording, analysis, o2, obs)?;
     let schedule_len = schedule.ordered_len();
     let config = ExecConfig {
-        recorder: Arc::new(NullRecorder),
+        recorder: observer,
         scheduler: SchedulerSpec::Controlled {
             schedule,
             timeout: options.gate_timeout,
@@ -195,6 +227,7 @@ pub fn replay_traced(
         wake_all_on_notify: true,
         wall_timeout: options.wall_timeout,
         obs: obs.clone(),
+        halt,
         ..ExecConfig::default()
     };
     let start = light_obs::now_us();
@@ -208,6 +241,13 @@ pub fn replay_traced(
         dur_us: light_obs::now_us().saturating_sub(start),
     });
     let correlated = faults_correlate(recording.fault.as_ref(), outcome.fault.as_ref());
+    let mut latencies = std::collections::BTreeMap::new();
+    for p in &phases {
+        latencies
+            .entry(p.name.clone())
+            .or_insert_with(Histogram::new)
+            .record(p.dur_us);
+    }
     let metrics = MetricsSnapshot {
         record: Some(recording.metrics()),
         solver: Some(solve_stats.metrics()),
@@ -219,6 +259,7 @@ pub fn replay_traced(
             objects: outcome.stats.objects as u64,
         }),
         phases,
+        latencies,
         ..Default::default()
     };
     Ok(ReplayReport {

@@ -1,0 +1,194 @@
+//! Backward compatibility of the binary log against **checked-in golden
+//! fixtures**: `tests/fixtures/{v1,v2,v3}.lrec` are real byte images of
+//! the three format generations, so a reader regression (or an
+//! unannounced layout change) fails here even if the in-tree writer and
+//! reader drift together.
+//!
+//! Regenerate after an *intentional* format bump with:
+//!
+//! ```text
+//! cargo test -p light-core --test log_compat -- --ignored regenerate
+//! ```
+
+use light_core::{
+    peek_log_version, read_recording, write_recording, AccessId, DepEdge, ExploreProvenance,
+    RecordStats, Recording, RunRec, SignalEdge, LOG_FORMAT_VERSION,
+};
+use light_runtime::{FaultKind, FaultReport, Tid, Value};
+use lir::{BlockId, FuncId, InstrId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The canonical fixture recording: every section populated, fully
+/// deterministic (the writer sorts its hash maps).
+fn fixture() -> Recording {
+    let t1 = Tid::ROOT.child(0);
+    let t2 = Tid::ROOT.child(1);
+    let mut nondet = HashMap::new();
+    nondet.insert(t1, vec![5, -11, 400]);
+    Recording {
+        deps: vec![
+            DepEdge {
+                loc: 8,
+                w: Some(AccessId::new(t1, 4)),
+                r_tid: t2,
+                r_first: 2,
+                r_last: 6,
+            },
+            DepEdge {
+                loc: 16,
+                w: None,
+                r_tid: t1,
+                r_first: 1,
+                r_last: 1,
+            },
+        ],
+        runs: vec![RunRec {
+            loc: 8,
+            tid: t2,
+            w0: Some(AccessId::new(t1, 9)),
+            first: 10,
+            last: 18,
+            write_ctrs: vec![11, 14],
+        }],
+        signals: vec![SignalEdge {
+            notify: AccessId::new(t1, 6),
+            wait_after: AccessId::new(t2, 8),
+        }],
+        nondet,
+        thread_extents: [(t1, 12u64), (t2, 19u64)].into_iter().collect(),
+        fault: Some(FaultReport {
+            tid: t2,
+            ctr: 19,
+            instr: InstrId {
+                func: FuncId(2),
+                block: BlockId(0),
+                idx: 5,
+            },
+            line: 31,
+            kind: FaultKind::AssertFailed,
+            value: Value::NULL,
+            detail: "assert total == 40".into(),
+        }),
+        args: vec![4, 10],
+        stats: RecordStats {
+            space_longs: 23,
+            deps: 2,
+            runs: 1,
+            retries: 1,
+            o2_skipped: 7,
+            stripe_contention: 3,
+        },
+        provenance: Some(ExploreProvenance {
+            strategy: "race".into(),
+            seed: 99,
+            schedules: 512,
+            minimized: true,
+            trace_segments: 4,
+        }),
+    }
+}
+
+/// The provenance section's byte length for the fixture (presence byte +
+/// length-prefixed strategy + seed + schedules + minimized + segments).
+fn provenance_len(rec: &Recording) -> usize {
+    1 + 4 + rec.provenance.as_ref().unwrap().strategy.len() + 8 + 8 + 1 + 8
+}
+
+/// Derives the exact v2 byte image from v3 bytes: drop the provenance
+/// section, rewrite the version field.
+fn v2_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
+    let mut v = v3.to_vec();
+    v.truncate(v.len() - provenance_len(rec));
+    v[4..8].copy_from_slice(&2u32.to_le_bytes());
+    v
+}
+
+/// Derives the exact v1 byte image: v2 minus the trailing
+/// `stripe_contention` word.
+fn v1_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
+    let mut v = v2_bytes(v3, rec);
+    v.truncate(v.len() - 8);
+    v[4..8].copy_from_slice(&1u32.to_le_bytes());
+    v
+}
+
+/// Regenerates the golden fixtures. Run explicitly (`--ignored`) after an
+/// intentional format change, and commit the result.
+#[test]
+#[ignore = "writes tests/fixtures/*.lrec; run after intentional format bumps"]
+fn regenerate() {
+    let rec = fixture();
+    let v3 = write_recording(&rec);
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    std::fs::write(fixture_path("v3.lrec"), &v3).unwrap();
+    std::fs::write(fixture_path("v2.lrec"), v2_bytes(&v3, &rec)).unwrap();
+    std::fs::write(fixture_path("v1.lrec"), v1_bytes(&v3, &rec)).unwrap();
+}
+
+fn load_fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("missing fixture {name} (run the `regenerate` test): {e}"))
+}
+
+#[test]
+fn current_writer_matches_v3_golden_bytes() {
+    // Byte-for-byte: any layout change must come with a version bump and
+    // regenerated fixtures, never silently.
+    let golden = load_fixture("v3.lrec");
+    assert_eq!(
+        write_recording(&fixture()).as_ref(),
+        golden.as_slice(),
+        "serialized bytes drifted from tests/fixtures/v3.lrec"
+    );
+}
+
+#[test]
+fn v3_golden_fixture_round_trips() {
+    let bytes = load_fixture("v3.lrec");
+    assert_eq!(peek_log_version(&bytes).unwrap(), LOG_FORMAT_VERSION);
+    let back = read_recording(&bytes).unwrap();
+    let rec = fixture();
+    assert_eq!(back.deps, rec.deps);
+    assert_eq!(back.runs, rec.runs);
+    assert_eq!(back.signals, rec.signals);
+    assert_eq!(back.nondet, rec.nondet);
+    assert_eq!(back.thread_extents, rec.thread_extents);
+    assert_eq!(back.fault, rec.fault);
+    assert_eq!(back.args, rec.args);
+    assert_eq!(back.stats, rec.stats);
+    assert_eq!(back.provenance, rec.provenance);
+}
+
+#[test]
+fn v2_golden_fixture_loads_without_provenance() {
+    let bytes = load_fixture("v2.lrec");
+    assert_eq!(peek_log_version(&bytes).unwrap(), 2);
+    let back = read_recording(&bytes).unwrap();
+    let rec = fixture();
+    assert_eq!(back.deps, rec.deps);
+    assert_eq!(back.stats, rec.stats, "v2 carries the full stats block");
+    assert_eq!(back.provenance, None, "v2 predates provenance");
+}
+
+#[test]
+fn v1_golden_fixture_loads_with_default_contention() {
+    let bytes = load_fixture("v1.lrec");
+    assert_eq!(peek_log_version(&bytes).unwrap(), 1);
+    let back = read_recording(&bytes).unwrap();
+    let rec = fixture();
+    assert_eq!(back.deps, rec.deps);
+    assert_eq!(back.runs, rec.runs);
+    assert_eq!(
+        back.stats.stripe_contention, 0,
+        "v1 predates stripe_contention; reader defaults it"
+    );
+    assert_eq!(back.stats.o2_skipped, rec.stats.o2_skipped);
+    assert_eq!(back.provenance, None);
+}

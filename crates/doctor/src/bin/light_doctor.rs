@@ -1,0 +1,313 @@
+//! `light-doctor` — diagnose Light recordings and replays.
+//!
+//! ```text
+//! light-doctor --file prog.lir --rec run.lrec      # check a saved recording
+//! light-doctor --file prog.lir --args 3 --seed 7   # record fresh, then self-check
+//! light-doctor --corpus cache4j                    # find a bug, then self-check
+//! light-doctor --corpus cache4j --inject           # prove the detector works
+//! ```
+//!
+//! Exit codes: `0` healthy (or, with `--inject`, divergence detected as
+//! expected), `2` the recording admits no schedule (explanation printed
+//! with `--explain`), `3` divergence detected (or, with `--inject`, the
+//! injected fault was missed), `1` usage or I/O errors.
+
+use light_core::{load_recording, Light, Recording, ReplayError};
+use light_doctor::{doctor_replay, explain_unsat, inject_divergence, DoctorOptions};
+use light_obs::json::Value;
+use light_workloads::bugs;
+use lir::Program;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: light-doctor [options]
+
+targets (one of):
+  --file <prog.lir>    the program under test
+  --corpus <name>      a light-workloads corpus bug
+
+options:
+  --rec <file.lrec>    recording to check (with --file; default: record fresh)
+  --args <a,b,..>      entry arguments for fresh recordings
+  --seed <n>           chaos seed for fresh recordings      (default 1)
+  --free               record fresh under free scheduling instead of chaos
+  --inject             corrupt the reference dependence set first; exit 0
+                       iff the injected divergence is detected
+  --explain            explain unsatisfiable schedules via a minimal core
+  --explain-budget <n> solver steps per minimization probe  (default 2000000)
+  --recent <n>         recent-event ring size in reports    (default 16)
+  --json               machine-readable report on stdout";
+
+struct Cli {
+    file: Option<String>,
+    corpus: Option<String>,
+    rec: Option<String>,
+    args: Vec<i64>,
+    seed: u64,
+    free: bool,
+    inject: bool,
+    explain: bool,
+    explain_budget: u64,
+    recent: usize,
+    json: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        file: None,
+        corpus: None,
+        rec: None,
+        args: Vec::new(),
+        seed: 1,
+        free: false,
+        inject: false,
+        explain: false,
+        explain_budget: 2_000_000,
+        recent: 16,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => cli.file = Some(next_val(&mut it, "--file")?),
+            "--corpus" => cli.corpus = Some(next_val(&mut it, "--corpus")?),
+            "--rec" => cli.rec = Some(next_val(&mut it, "--rec")?),
+            "--args" => {
+                let raw = next_val(&mut it, "--args")?;
+                cli.args = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|e| format!("--args: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                cli.seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--free" => cli.free = true,
+            "--inject" => cli.inject = true,
+            "--explain" => cli.explain = true,
+            "--explain-budget" => {
+                cli.explain_budget = next_val(&mut it, "--explain-budget")?
+                    .parse()
+                    .map_err(|e| format!("--explain-budget: {e}"))?;
+            }
+            "--recent" => {
+                cli.recent = next_val(&mut it, "--recent")?
+                    .parse()
+                    .map_err(|e| format!("--recent: {e}"))?;
+            }
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if cli.file.is_none() == cli.corpus.is_none() {
+        return Err("give exactly one of --file or --corpus".into());
+    }
+    if cli.rec.is_some() && cli.corpus.is_some() {
+        return Err("--rec only makes sense with --file".into());
+    }
+    Ok(cli)
+}
+
+/// Resolves the program, its entry arguments, and the recording to check.
+fn target(cli: &Cli) -> Result<(String, Arc<Program>, Vec<i64>, Recording), String> {
+    if let Some(path) = &cli.file {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = Arc::new(lir::parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))?);
+        let recording = match &cli.rec {
+            Some(rec) => {
+                load_recording(rec).map_err(|e| format!("cannot load {rec}: {e}"))?
+            }
+            None => {
+                let light = Light::new(program.clone());
+                let result = if cli.free {
+                    light.record(&cli.args, cli.seed)
+                } else {
+                    light.record_chaos(&cli.args, cli.seed)
+                };
+                result.map_err(|e| format!("cannot record {path}: {e}"))?.0
+            }
+        };
+        return Ok((path.clone(), program, cli.args.clone(), recording));
+    }
+    let name = cli.corpus.as_deref().unwrap();
+    let corpus = bugs();
+    let case = corpus
+        .iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| format!("unknown corpus bug {name:?}"))?;
+    let program = case.program();
+    let light = Light::new(program.clone());
+    // Prefer a faulting recording (the interesting replay); fall back to
+    // whatever the base seed produces.
+    let recording = match light.find_bug(&case.args, cli.seed..cli.seed + 50) {
+        Some((rec, _)) => rec,
+        None => light
+            .record_chaos(&case.args, cli.seed)
+            .map_err(|e| format!("cannot record {name}: {e}"))?
+            .0,
+    };
+    Ok((name.to_string(), program, case.args.clone(), recording))
+}
+
+fn json_report(
+    label: &str,
+    report: &light_doctor::DoctorReport,
+    injected: Option<&str>,
+) -> Value {
+    let mut obj = vec![
+        ("target".to_string(), Value::Str(label.to_string())),
+        ("healthy".to_string(), Value::Bool(report.healthy())),
+        (
+            "checked_reads".to_string(),
+            Value::U64(report.stats.checked_reads),
+        ),
+        (
+            "uncovered_reads".to_string(),
+            Value::U64(report.stats.uncovered_reads),
+        ),
+        ("mismatches".to_string(), Value::U64(report.stats.mismatches)),
+        (
+            "injected".to_string(),
+            match injected {
+                Some(d) => Value::Str(d.to_string()),
+                None => Value::Null,
+            },
+        ),
+    ];
+    let divergence = match &report.divergence {
+        None => Value::Null,
+        Some(d) => Value::Obj(vec![
+            ("tid".to_string(), Value::Str(d.tid.to_string())),
+            ("ctr".to_string(), Value::U64(d.ctr)),
+            ("loc".to_string(), Value::Str(d.loc.clone())),
+            ("variable".to_string(), Value::Str(d.variable.clone())),
+            ("line".to_string(), Value::U64(u64::from(d.line))),
+            (
+                "expected".to_string(),
+                match &d.expected {
+                    Some(w) => Value::Str(w.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "actual".to_string(),
+                match &d.actual {
+                    Some(w) => Value::Str(w.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "recent".to_string(),
+                Value::Arr(
+                    d.recent
+                        .iter()
+                        .map(|e| Value::Str(e.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    };
+    obj.push(("divergence".to_string(), divergence));
+    if let Some(replay) = &report.replay {
+        obj.push((
+            "correlated".to_string(),
+            Value::Bool(replay.correlated),
+        ));
+    }
+    Value::Obj(obj)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("light-doctor: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (label, program, _args, recording) = match target(&cli) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("light-doctor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let light = Light::new(program.clone());
+
+    let mut reference = recording.clone();
+    let injected = if cli.inject {
+        match inject_divergence(&mut reference) {
+            Some(fault) => {
+                if !cli.json {
+                    println!("[{label}] injected: {}", fault.detail);
+                }
+                Some(fault.detail)
+            }
+            None => {
+                eprintln!("light-doctor: recording has no dependence to corrupt");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let options = DoctorOptions {
+        recent: cli.recent,
+        ..DoctorOptions::default()
+    };
+    let report = match doctor_replay(&light, &recording, &reference, &options) {
+        Ok(report) => report,
+        Err(ReplayError::Schedule(e)) => {
+            eprintln!("[{label}] {e}");
+            if cli.explain {
+                match explain_unsat(&program, &recording, cli.explain_budget) {
+                    Some(explanation) => print!("{explanation}"),
+                    None => eprintln!(
+                        "[{label}] minimization budget exhausted before a core was found"
+                    ),
+                }
+            } else {
+                eprintln!("[{label}] rerun with --explain for a minimal-core diagnosis");
+            }
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("light-doctor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.json {
+        println!("{}", json_report(&label, &report, injected.as_deref()).to_json());
+    } else {
+        match &report.divergence {
+            Some(d) => print!("[{label}] {}", d.render()),
+            None => println!(
+                "[{label}] replay healthy: {} reads cross-checked, {} uncovered, 0 divergences",
+                report.stats.checked_reads, report.stats.uncovered_reads,
+            ),
+        }
+    }
+    match (cli.inject, report.divergence.is_some()) {
+        // Healthy, or the injected fault was caught: success.
+        (false, false) | (true, true) => ExitCode::SUCCESS,
+        (true, false) => {
+            eprintln!("[{label}] injected divergence was NOT detected");
+            ExitCode::from(3)
+        }
+        (false, true) => ExitCode::from(3),
+    }
+}

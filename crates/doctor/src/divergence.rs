@@ -1,0 +1,529 @@
+//! Online replay divergence detection.
+//!
+//! [`DivergenceChecker`] implements [`Recorder`] and rides along a replay
+//! run: every instrumented access flows through [`Recorder::on_access`]
+//! *after* the scheduler has admitted the event, so the checker observes
+//! exactly the enforced global order. It cross-checks each read against
+//! the flow dependence the reference recording promised for that slot
+//! (Theorem 1: reads observing the recorded writers is precisely what
+//! correct replay means) and, on the first mismatch, captures a
+//! structured [`DivergenceReport`] and raises the run's halt flag so the
+//! broken replay stops instead of running to a misleading end state.
+//!
+//! Reads with no covering dependence or run in the reference — O2-skipped
+//! lockset-guarded accesses, thread-local traffic — are counted but never
+//! flagged: the recording is deliberately silent about them (Lemma 4.2),
+//! so any writer is acceptable.
+
+use light_core::{AccessId, DepEdge, Recording, RunRec};
+use light_runtime::{AccessKind, HaltFlag, Loc, Recorder, SyncEvent, Tid};
+use lir::{InstrId, Program};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// What a read slot is entitled to observe, per the reference recording.
+#[derive(Debug, Clone)]
+enum Expect {
+    /// A dependence edge: every read in the range observes this writer
+    /// (`None` = the location's initial value).
+    Dep { w: Option<AccessId> },
+    /// A non-interleaved run (O1): reads observe the run's own latest
+    /// preceding write, or `w0` before the first own write.
+    Run {
+        w0: Option<AccessId>,
+        write_ctrs: Vec<u64>,
+    },
+}
+
+/// One covered counter range `[first, last]` of a thread on a location.
+#[derive(Debug, Clone)]
+struct Span {
+    first: u64,
+    last: u64,
+    expect: Expect,
+}
+
+/// An entry of the recent-event ring buffer (the enforced order as the
+/// scheduler admitted it — the "last N scheduler decisions" of a report).
+#[derive(Debug, Clone, Copy)]
+struct RingEvent {
+    tid: Tid,
+    ctr: u64,
+    what: RingWhat,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RingWhat {
+    Access { loc: Loc, kind: AccessKind },
+    Sync { name: &'static str },
+}
+
+/// A rendered entry of [`DivergenceReport::recent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedEvent {
+    pub tid: Tid,
+    pub ctr: u64,
+    /// `"read @total"`, `"write obj1.head"`, `"rmw map(obj2)"`, or a sync
+    /// event name like `"monitor-enter"`.
+    pub what: String,
+}
+
+impl std::fmt::Display for ObservedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}) {}", self.tid, self.ctr, self.what)
+    }
+}
+
+/// A replay divergence: a read observed a different writer than the
+/// reference recording promised for its slot.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// The reading thread.
+    pub tid: Tid,
+    /// The thread-local slot (instrumentation counter) of the read.
+    pub ctr: u64,
+    /// The dynamic location, rendered (`@total`, `obj1.head`, ...).
+    pub loc: String,
+    /// The raw location key (see `Loc::key`), for programmatic matching.
+    pub loc_key: u64,
+    /// The source-level variable, resolved through the program's symbol
+    /// tables (`global total`, field `head`, ...).
+    pub variable: String,
+    /// 1-based source line of the reading instruction (0 if unknown).
+    pub line: u32,
+    /// The writer the reference recording expected (`None` = initial value).
+    pub expected: Option<AccessId>,
+    /// The writer actually observed (`None` = initial value).
+    pub actual: Option<AccessId>,
+    /// The last scheduler-admitted events before the mismatch, oldest first.
+    pub recent: Vec<ObservedEvent>,
+}
+
+impl DivergenceReport {
+    fn writer(w: &Option<AccessId>) -> String {
+        match w {
+            Some(id) => format!("write {id}"),
+            None => "the initial value".to_string(),
+        }
+    }
+
+    /// A multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replay diverged at thread {} slot {}: read of {} ({}, line {})\n  expected {}\n  observed {}\n",
+            self.tid,
+            self.ctr,
+            self.loc,
+            self.variable,
+            self.line,
+            Self::writer(&self.expected),
+            Self::writer(&self.actual),
+        );
+        out.push_str("  last scheduler decisions before the mismatch:\n");
+        for ev in &self.recent {
+            out.push_str(&format!("    {ev}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Aggregate counters of one checked replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Reads cross-checked against a covering dependence or run.
+    pub checked_reads: u64,
+    /// Reads with no covering record (guarded/thread-local) — not flagged.
+    pub uncovered_reads: u64,
+    /// Mismatches seen (only the first is reported in full).
+    pub mismatches: u64,
+}
+
+/// Mutable checker state, serialized under one lock. The lock also
+/// guarantees that `last_writer` reflects the scheduler-admitted order:
+/// `on_access` runs between the scheduler's admission gates.
+#[derive(Default)]
+struct State {
+    /// Location key → the last writer admitted so far (absent = initial).
+    last_writer: HashMap<u64, AccessId>,
+    recent: VecDeque<RingEvent>,
+    report: Option<DivergenceReport>,
+    stats: CheckStats,
+}
+
+/// The divergence detector. Attach to a replay via
+/// [`light_core::replay_observed`] with a shared [`HaltFlag`]; see
+/// [`crate::doctor_replay`] for the packaged pipeline.
+pub struct DivergenceChecker {
+    program: Arc<Program>,
+    /// `(thread, location key)` → covered spans, sorted by `first`.
+    index: HashMap<(Tid, u64), Vec<Span>>,
+    halt: HaltFlag,
+    recent_cap: usize,
+    state: Mutex<State>,
+}
+
+impl DivergenceChecker {
+    /// Builds a checker from the reference recording's dependences and
+    /// runs. `recent_cap` bounds the recent-event ring buffer.
+    pub fn new(
+        program: Arc<Program>,
+        reference: &Recording,
+        recent_cap: usize,
+        halt: HaltFlag,
+    ) -> Self {
+        let mut index: HashMap<(Tid, u64), Vec<Span>> = HashMap::new();
+        for &DepEdge {
+            loc,
+            w,
+            r_tid,
+            r_first,
+            r_last,
+        } in &reference.deps
+        {
+            index.entry((r_tid, loc)).or_default().push(Span {
+                first: r_first,
+                last: r_last,
+                expect: Expect::Dep { w },
+            });
+        }
+        for RunRec {
+            loc,
+            tid,
+            w0,
+            first,
+            last,
+            write_ctrs,
+        } in &reference.runs
+        {
+            index.entry((*tid, *loc)).or_default().push(Span {
+                first: *first,
+                last: *last,
+                expect: Expect::Run {
+                    w0: *w0,
+                    write_ctrs: write_ctrs.clone(),
+                },
+            });
+        }
+        for spans in index.values_mut() {
+            spans.sort_by_key(|s| s.first);
+        }
+        Self {
+            program,
+            index,
+            halt,
+            recent_cap: recent_cap.max(1),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The expected writer for a read by `tid` at slot `ctr` on `loc`:
+    /// `None` = no covering record (lenient), `Some(w)` = the promised
+    /// writer (itself `None` for the initial value).
+    fn expected(&self, tid: Tid, ctr: u64, loc_key: u64) -> Option<Option<AccessId>> {
+        let spans = self.index.get(&(tid, loc_key))?;
+        let i = spans.partition_point(|s| s.first <= ctr).checked_sub(1)?;
+        let span = &spans[i];
+        if ctr > span.last {
+            return None;
+        }
+        match &span.expect {
+            Expect::Dep { w } => Some(*w),
+            Expect::Run { w0, write_ctrs } => {
+                // The run's own latest write strictly before this read,
+                // else the external writer the run started from.
+                match write_ctrs.iter().rev().find(|&&w| w < ctr) {
+                    Some(&w) => Some(Some(AccessId::new(tid, w))),
+                    None => Some(*w0),
+                }
+            }
+        }
+    }
+
+    /// Resolves a location to a source-level variable name.
+    fn variable(&self, loc: Loc) -> String {
+        match loc {
+            Loc::Global(g) => match self.program.globals.get(g.0 as usize) {
+                Some(name) => format!("global {name}"),
+                None => format!("global #{}", g.0),
+            },
+            Loc::Field(_, f) => match self.program.field_names.get(f.0 as usize) {
+                Some(name) => format!("field {name}"),
+                None => format!("field #{}", f.0),
+            },
+            Loc::Elem(_, i) => format!("array element [{i}]"),
+            Loc::MapState(_) => "map contents".to_string(),
+            Loc::Monitor(_) => "monitor state".to_string(),
+            Loc::ThreadLife(t) => format!("thread {t} lifecycle"),
+        }
+    }
+
+    fn render_ring(recent: &VecDeque<RingEvent>) -> Vec<ObservedEvent> {
+        recent
+            .iter()
+            .map(|ev| ObservedEvent {
+                tid: ev.tid,
+                ctr: ev.ctr,
+                what: match ev.what {
+                    RingWhat::Access { loc, kind } => {
+                        let verb = match kind {
+                            AccessKind::Read => "read",
+                            AccessKind::Write => "write",
+                            AccessKind::ReadWrite => "rmw",
+                        };
+                        format!("{verb} {loc}")
+                    }
+                    RingWhat::Sync { name } => name.to_string(),
+                },
+            })
+            .collect()
+    }
+
+    fn push_ring(&self, st: &mut State, ev: RingEvent) {
+        if st.recent.len() == self.recent_cap {
+            st.recent.pop_front();
+        }
+        st.recent.push_back(ev);
+    }
+
+    /// The first divergence seen, if any.
+    pub fn report(&self) -> Option<DivergenceReport> {
+        self.state.lock().report.clone()
+    }
+
+    /// Aggregate counters for the checked replay.
+    pub fn stats(&self) -> CheckStats {
+        self.state.lock().stats
+    }
+}
+
+impl DivergenceChecker {
+    /// The shared cross-check: record the event, verify the read side
+    /// against the reference, track the write side. A read-modify-write
+    /// observes the *previous* writer before installing itself.
+    fn observe(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        loc: Loc,
+        kind: AccessKind,
+        instr: InstrId,
+        ring: RingWhat,
+    ) {
+        let key = loc.key();
+        let mut st = self.state.lock();
+        self.push_ring(&mut st, RingEvent { tid, ctr, what: ring });
+        if kind.reads() {
+            match self.expected(tid, ctr, key) {
+                None => st.stats.uncovered_reads += 1,
+                Some(expected) => {
+                    st.stats.checked_reads += 1;
+                    let actual = st.last_writer.get(&key).copied();
+                    if actual != expected {
+                        st.stats.mismatches += 1;
+                        if st.report.is_none() {
+                            st.report = Some(DivergenceReport {
+                                tid,
+                                ctr,
+                                loc: loc.to_string(),
+                                loc_key: key,
+                                variable: self.variable(loc),
+                                line: self.program.line_of(instr),
+                                expected,
+                                actual,
+                                recent: Self::render_ring(&st.recent),
+                            });
+                            self.halt.set();
+                        }
+                    }
+                }
+            }
+        }
+        if kind.writes() {
+            st.last_writer.insert(key, AccessId::new(tid, ctr));
+        }
+    }
+}
+
+impl Recorder for DivergenceChecker {
+    fn on_access(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        loc: Loc,
+        kind: AccessKind,
+        _guarded: bool,
+        instr: InstrId,
+        op: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        let value = op();
+        self.observe(tid, ctr, loc, kind, instr, RingWhat::Access { loc, kind });
+        value
+    }
+
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, instr: InstrId) {
+        // Mirror the recorder's ghost-access model (Section 4.3): sync
+        // events are reads/writes of monitor and thread-lifecycle
+        // locations, so lock-acquisition and join-order divergences are
+        // cross-checked exactly like data reads.
+        let (name, loc, kind) = match ev {
+            SyncEvent::MonitorEnter { obj } => {
+                ("monitor-enter", Loc::Monitor(obj), AccessKind::ReadWrite)
+            }
+            SyncEvent::MonitorExit { obj } => {
+                ("monitor-exit", Loc::Monitor(obj), AccessKind::Write)
+            }
+            SyncEvent::WaitBefore { obj } => {
+                ("wait-release", Loc::Monitor(obj), AccessKind::Write)
+            }
+            SyncEvent::WaitAfter { obj, .. } => {
+                ("wait-reacquire", Loc::Monitor(obj), AccessKind::ReadWrite)
+            }
+            SyncEvent::Notify { obj, .. } => {
+                ("notify", Loc::Monitor(obj), AccessKind::ReadWrite)
+            }
+            SyncEvent::Spawn { child } => {
+                ("spawn", Loc::ThreadLife(child), AccessKind::Write)
+            }
+            SyncEvent::ThreadStart { .. } => {
+                ("thread-start", Loc::ThreadLife(tid), AccessKind::Read)
+            }
+            SyncEvent::Join { child, .. } => {
+                ("join", Loc::ThreadLife(child), AccessKind::Read)
+            }
+            SyncEvent::ThreadEnd => ("thread-end", Loc::ThreadLife(tid), AccessKind::Write),
+        };
+        self.observe(tid, ctr, loc, kind, instr, RingWhat::Sync { name });
+    }
+
+    fn on_nondet(&self, _tid: Tid, _value: i64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(loc: u64, w: Option<AccessId>, r_tid: Tid, r_first: u64, r_last: u64) -> DepEdge {
+        DepEdge {
+            loc,
+            w,
+            r_tid,
+            r_first,
+            r_last,
+        }
+    }
+
+    fn empty_recording() -> Recording {
+        Recording {
+            deps: Vec::new(),
+            runs: Vec::new(),
+            signals: Vec::new(),
+            nondet: HashMap::new(),
+            thread_extents: HashMap::new(),
+            fault: None,
+            args: Vec::new(),
+            stats: Default::default(),
+            provenance: None,
+        }
+    }
+
+    fn program() -> Arc<Program> {
+        Arc::new(lir::parse("global x; fn main() { x = 1; print(x); }").unwrap())
+    }
+
+    #[test]
+    fn expected_writer_lookup_covers_deps_and_runs() {
+        let t1 = Tid::ROOT;
+        let t2 = Tid::ROOT.child(0);
+        let mut rec = empty_recording();
+        let loc = Loc::Global(lir::GlobalId(0)).key();
+        rec.deps.push(dep(loc, Some(AccessId::new(t2, 7)), t1, 3, 5));
+        rec.runs.push(RunRec {
+            loc,
+            tid: t1,
+            w0: Some(AccessId::new(t2, 9)),
+            first: 10,
+            last: 20,
+            write_ctrs: vec![12, 15],
+        });
+        let checker = DivergenceChecker::new(program(), &rec, 8, HaltFlag::new());
+        // Dep range: every slot expects the external writer.
+        assert_eq!(checker.expected(t1, 3, loc), Some(Some(AccessId::new(t2, 7))));
+        assert_eq!(checker.expected(t1, 5, loc), Some(Some(AccessId::new(t2, 7))));
+        // Outside any span: lenient.
+        assert_eq!(checker.expected(t1, 6, loc), None);
+        assert_eq!(checker.expected(t1, 2, loc), None);
+        assert_eq!(checker.expected(t2, 3, loc), None);
+        // Run interior: before own writes → w0, after → latest own write.
+        assert_eq!(checker.expected(t1, 11, loc), Some(Some(AccessId::new(t2, 9))));
+        assert_eq!(checker.expected(t1, 13, loc), Some(Some(AccessId::new(t1, 12))));
+        assert_eq!(checker.expected(t1, 20, loc), Some(Some(AccessId::new(t1, 15))));
+    }
+
+    #[test]
+    fn mismatch_produces_report_and_halts() {
+        let t1 = Tid::ROOT;
+        let t2 = Tid::ROOT.child(0);
+        let mut rec = empty_recording();
+        let loc = Loc::Global(lir::GlobalId(0));
+        rec.deps
+            .push(dep(loc.key(), Some(AccessId::new(t2, 2)), t1, 4, 4));
+        let halt = HaltFlag::new();
+        let checker = DivergenceChecker::new(program(), &rec, 8, halt.clone());
+        let instr = lir::InstrId {
+            func: lir::FuncId(0),
+            block: lir::BlockId(0),
+            idx: 0,
+        };
+        let mut op = || 0u64;
+        // The promised writer never runs; t1 writes the location itself.
+        checker.on_access(t1, 1, loc, AccessKind::Write, false, instr, &mut op);
+        checker.on_access(t1, 4, loc, AccessKind::Read, false, instr, &mut op);
+        assert!(halt.is_set());
+        let report = checker.report().expect("divergence must be reported");
+        assert_eq!(report.tid, t1);
+        assert_eq!(report.ctr, 4);
+        assert_eq!(report.variable, "global x");
+        assert_eq!(report.expected, Some(AccessId::new(t2, 2)));
+        assert_eq!(report.actual, Some(AccessId::new(t1, 1)));
+        assert_eq!(report.recent.len(), 2);
+        let stats = checker.stats();
+        assert_eq!(stats.checked_reads, 1);
+        assert_eq!(stats.mismatches, 1);
+    }
+
+    #[test]
+    fn matching_replay_is_clean_and_uncovered_reads_are_lenient() {
+        let t1 = Tid::ROOT;
+        let t2 = Tid::ROOT.child(0);
+        let mut rec = empty_recording();
+        let loc = Loc::Global(lir::GlobalId(0));
+        rec.deps
+            .push(dep(loc.key(), Some(AccessId::new(t2, 1)), t1, 2, 3));
+        let halt = HaltFlag::new();
+        let checker = DivergenceChecker::new(program(), &rec, 8, halt.clone());
+        let instr = lir::InstrId {
+            func: lir::FuncId(0),
+            block: lir::BlockId(0),
+            idx: 0,
+        };
+        let mut op = || 0u64;
+        checker.on_access(t2, 1, loc, AccessKind::Write, false, instr, &mut op);
+        checker.on_access(t1, 2, loc, AccessKind::Read, false, instr, &mut op);
+        checker.on_access(t1, 3, loc, AccessKind::Read, false, instr, &mut op);
+        // An uncovered read (no span at slot 9): counted, not flagged.
+        checker.on_access(t1, 9, loc, AccessKind::Read, false, instr, &mut op);
+        assert!(!halt.is_set());
+        assert!(checker.report().is_none());
+        let stats = checker.stats();
+        assert_eq!(stats.checked_reads, 2);
+        assert_eq!(stats.uncovered_reads, 1);
+        assert_eq!(stats.mismatches, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! "No schedule exists because…" — UNSAT-core explanations.
+//!
+//! Lemma 4.1 guarantees that the Equation-1 constraint system of any
+//! *real* recording is satisfiable, so an unsatisfiable system is always
+//! a diagnosis: the recording is corrupt, truncated, or belongs to a
+//! different program version. [`explain_unsat`] delta-minimizes the
+//! infeasible system to a 1-minimal core (via
+//! `light_solver::minimize_unsat_core`), maps each surviving constraint
+//! back to the source dependence that emitted it — location, variable
+//! name, `.lir` lines of the accesses — and renders the contradiction as
+//! a short causal story.
+
+use light_core::{AccessId, ConstraintKind, ConstraintSystem, CoreConstraint, Recording};
+use lir::{Instr, Program};
+
+/// One constraint of the minimal core, resolved to source terms.
+#[derive(Debug, Clone)]
+pub struct ExplainedConstraint {
+    /// Which rule of Equation 1 emitted the constraint.
+    pub kind: ConstraintKind,
+    /// Hard constraints hold unconditionally; soft ones are one branch of
+    /// a disjunction (write-write disjointness).
+    pub hard: bool,
+    /// The orderings the constraint imposes (`a` before `b`). A soft
+    /// constraint lists every branch of its disjunction.
+    pub orders: Vec<(AccessId, AccessId)>,
+    /// The source variable behind the location, when the constraint is
+    /// location-specific (`global total`, `field head`, ...).
+    pub variable: Option<String>,
+    /// 1-based `.lir` source lines of the static accesses to that
+    /// variable (sorted, deduplicated).
+    pub lines: Vec<u32>,
+}
+
+impl ExplainedConstraint {
+    /// A one-line rendering.
+    pub fn render(&self) -> String {
+        let orders: Vec<String> = self
+            .orders
+            .iter()
+            .map(|(a, b)| format!("{a} < {b}"))
+            .collect();
+        let mut out = format!(
+            "[{}] {}: {}",
+            if self.hard { "hard" } else { "soft" },
+            self.kind.describe(),
+            orders.join(" or "),
+        );
+        if let Some(v) = &self.variable {
+            out.push_str(&format!(" — on {v}"));
+            if !self.lines.is_empty() {
+                let lines: Vec<String> = self.lines.iter().map(|l| l.to_string()).collect();
+                out.push_str(&format!(" (lines {})", lines.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+/// The minimal explanation of an infeasible constraint system.
+#[derive(Debug, Clone)]
+pub struct UnsatExplanation {
+    /// The 1-minimal core: removing any single constraint makes the rest
+    /// satisfiable.
+    pub core: Vec<ExplainedConstraint>,
+    /// Constraints in the full system, for scale.
+    pub total_constraints: usize,
+}
+
+impl UnsatExplanation {
+    /// The full human-readable story.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "no schedule exists: {} of {} constraints are mutually contradictory\n",
+            self.core.len(),
+            self.total_constraints,
+        );
+        for c in &self.core {
+            out.push_str("  - ");
+            out.push_str(&c.render());
+            out.push('\n');
+        }
+        out.push_str(
+            "a real Light recording always admits a schedule (Lemma 4.1), so the\n\
+             recording is corrupt, truncated, or from a different program version.\n",
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for UnsatExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Decodes a dynamic location key (see `Loc::key` in `light-runtime`:
+/// low 3 bits tag the variant, the rest is the id) to a source variable.
+fn variable_of(program: &Program, key: u64) -> String {
+    let id = key >> 3;
+    match key & 7 {
+        0 => match program.globals.get(id as usize) {
+            Some(name) => format!("global {name}"),
+            None => format!("global #{id}"),
+        },
+        1 => {
+            let field = (id & 0xFF_FFFF) as usize;
+            match program.field_names.get(field) {
+                Some(name) => format!("field {name} (object #{})", id >> 24),
+                None => format!("field #{field}"),
+            }
+        }
+        2 => format!("array element [{}] (object #{})", id & 0xFF_FFFF, id >> 24),
+        3 => format!("map contents (object #{id})"),
+        4 => format!("monitor (object #{id})"),
+        5 => format!("thread #{id} lifecycle"),
+        _ => format!("location {key:#x}"),
+    }
+}
+
+/// Collects the `.lir` lines of every static access to the variable
+/// behind `key` (globals and fields only — dynamic locations like array
+/// elements cannot be mapped back without the heap).
+fn access_lines(program: &Program, key: u64) -> Vec<u32> {
+    let id = (key >> 3) as u32;
+    let field = id & 0xFF_FFFF;
+    let mut lines = Vec::new();
+    for func in &program.funcs {
+        for block in &func.blocks {
+            for (i, instr) in block.instrs.iter().enumerate() {
+                let hit = match (key & 7, instr) {
+                    (0, Instr::GetGlobal { global, .. }) | (0, Instr::SetGlobal { global, .. }) => {
+                        global.0 == id
+                    }
+                    (1, Instr::GetField { field: f, .. }) | (1, Instr::SetField { field: f, .. }) => {
+                        f.0 == field
+                    }
+                    _ => false,
+                };
+                if hit {
+                    if let Some(&line) = block.lines.get(i) {
+                        lines.push(line);
+                    }
+                }
+            }
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+fn explain_constraint(program: &Program, c: &CoreConstraint) -> ExplainedConstraint {
+    let (variable, lines) = match c.origin.loc {
+        Some(key) => (
+            Some(variable_of(program, key)),
+            access_lines(program, key),
+        ),
+        None => (None, Vec::new()),
+    };
+    ExplainedConstraint {
+        kind: c.origin.kind,
+        hard: c.hard,
+        orders: c.orders.clone(),
+        variable,
+        lines,
+    }
+}
+
+/// Explains why `recording` admits no replay schedule. Returns `None`
+/// when the system is satisfiable (or unsat could not be proven within
+/// `budget` solver steps per probe).
+pub fn explain_unsat(
+    program: &Program,
+    recording: &Recording,
+    budget: u64,
+) -> Option<UnsatExplanation> {
+    let system = ConstraintSystem::build(recording);
+    let total_constraints = system.num_constraints();
+    let core = system.unsat_core(budget)?;
+    Some(UnsatExplanation {
+        core: core
+            .iter()
+            .map(|c| explain_constraint(program, c))
+            .collect(),
+        total_constraints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::DepEdge;
+    use light_runtime::Tid;
+    use std::collections::HashMap;
+
+    /// A corrupt recording: two dependences on `total` whose write/read
+    /// orderings form a cycle between the two threads.
+    fn cyclic_recording(loc: u64) -> Recording {
+        let t1 = Tid::ROOT;
+        let t2 = Tid::ROOT.child(0);
+        Recording {
+            deps: vec![
+                DepEdge {
+                    loc,
+                    w: Some(AccessId::new(t1, 2)),
+                    r_tid: t2,
+                    r_first: 1,
+                    r_last: 1,
+                },
+                DepEdge {
+                    loc,
+                    w: Some(AccessId::new(t2, 2)),
+                    r_tid: t1,
+                    r_first: 1,
+                    r_last: 1,
+                },
+            ],
+            runs: Vec::new(),
+            signals: Vec::new(),
+            nondet: HashMap::new(),
+            thread_extents: HashMap::new(),
+            fault: None,
+            args: Vec::new(),
+            stats: Default::default(),
+            provenance: None,
+        }
+    }
+
+    #[test]
+    fn cyclic_recording_is_explained_with_variable_and_lines() {
+        let program = lir::parse(
+            "global total;
+             fn main() {
+                 total = 1;
+                 print(total);
+             }",
+        )
+        .unwrap();
+        // Global #0 → location key 0 (tag 0).
+        let explanation =
+            explain_unsat(&program, &cyclic_recording(0), 100_000).expect("system must be unsat");
+        assert!(!explanation.core.is_empty());
+        let flow: Vec<_> = explanation
+            .core
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::FlowDep)
+            .collect();
+        assert_eq!(flow.len(), 2, "both cyclic dependences must survive");
+        for c in &flow {
+            assert_eq!(c.variable.as_deref(), Some("global total"));
+            assert!(
+                !c.lines.is_empty(),
+                "accesses to `total` must map to .lir lines"
+            );
+        }
+        let text = explanation.render();
+        assert!(text.contains("no schedule exists"));
+        assert!(text.contains("global total"));
+        assert!(text.contains("Lemma 4.1"));
+    }
+
+    #[test]
+    fn satisfiable_recording_has_no_explanation() {
+        let program = lir::parse("global g; fn main() { g = 1; }").unwrap();
+        let t1 = Tid::ROOT;
+        let rec = Recording {
+            deps: vec![DepEdge {
+                loc: 0,
+                w: Some(AccessId::new(t1, 1)),
+                r_tid: t1,
+                r_first: 2,
+                r_last: 2,
+            }],
+            ..cyclic_recording(0)
+        };
+        assert!(explain_unsat(&program, &rec, 100_000).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! # light-doctor — diagnostics for the Light replay pipeline
+//!
+//! Three diagnostic capabilities on top of `light-core`:
+//!
+//! 1. **Replay divergence detection** ([`DivergenceChecker`],
+//!    [`doctor_replay`]): every enforced read is cross-checked against
+//!    the flow dependence the recording promised for that slot. The
+//!    first mismatch produces a [`DivergenceReport`] naming the exact
+//!    thread, slot, and source variable, together with the last N
+//!    scheduler decisions, and halts the broken replay.
+//!
+//! 2. **UNSAT-core explanations** ([`explain_unsat`]): when a recording
+//!    admits no schedule — impossible for a real recording by Lemma 4.1,
+//!    so always a corruption diagnosis — the contradictory constraint
+//!    set is delta-minimized to a 1-minimal core and mapped back to
+//!    source dependences and `.lir` lines.
+//!
+//! 3. **Fault injection** ([`inject_divergence`]): deterministically
+//!    perturbs a reference recording so a correct replay *must* trip the
+//!    checker — the self-test proving the detector is alive.
+//!
+//! The `light-doctor` binary packages all three.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use light_core::Light;
+//! use light_doctor::{doctor_replay, DoctorOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(lir::parse(
+//!     "global x;
+//!      fn t() { x = 2; }
+//!      fn main() { let h = spawn t(); join h; print(x); }",
+//! )?);
+//! let light = Light::new(program);
+//! let (recording, _) = light.record(&[], 7)?;
+//! // A healthy replay: checked against itself, no divergence.
+//! let report = doctor_replay(&light, &recording, &recording, &DoctorOptions::default())?;
+//! assert!(report.divergence.is_none());
+//! assert!(report.stats.checked_reads > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod divergence;
+mod explain;
+
+pub use divergence::{CheckStats, DivergenceChecker, DivergenceReport, ObservedEvent};
+pub use explain::{explain_unsat, ExplainedConstraint, UnsatExplanation};
+
+use light_core::{replay_observed, Light, Recording, ReplayError, ReplayOptions, ReplayReport};
+use light_runtime::HaltFlag;
+use std::sync::Arc;
+
+/// Knobs for [`doctor_replay`].
+#[derive(Debug, Clone)]
+pub struct DoctorOptions {
+    /// Size of the recent-event ring buffer in divergence reports.
+    pub recent: usize,
+    /// Replay timeouts and stall limits.
+    pub replay: ReplayOptions,
+}
+
+impl Default for DoctorOptions {
+    fn default() -> Self {
+        Self {
+            recent: 16,
+            replay: ReplayOptions::default(),
+        }
+    }
+}
+
+/// The outcome of a checked replay.
+#[derive(Debug)]
+pub struct DoctorReport {
+    /// The replay report, when the run finished. A diverged replay is
+    /// halted mid-run and may not produce one.
+    pub replay: Option<ReplayReport>,
+    /// The first divergence, if any.
+    pub divergence: Option<DivergenceReport>,
+    /// Cross-check counters.
+    pub stats: CheckStats,
+}
+
+impl DoctorReport {
+    /// Whether the replay finished with every covered read observing its
+    /// recorded writer.
+    pub fn healthy(&self) -> bool {
+        self.divergence.is_none() && self.replay.is_some()
+    }
+}
+
+/// Replays `recording` while cross-checking every enforced read against
+/// `reference` (normally the same recording; pass an
+/// [`inject_divergence`]-perturbed copy for a detector self-test).
+///
+/// # Errors
+///
+/// [`ReplayError`] when the schedule cannot be computed or the run cannot
+/// be set up. A run halted *by the checker* is not an error: the
+/// divergence report is returned instead.
+pub fn doctor_replay(
+    light: &Light,
+    recording: &Recording,
+    reference: &Recording,
+    options: &DoctorOptions,
+) -> Result<DoctorReport, ReplayError> {
+    let halt = HaltFlag::new();
+    let checker = Arc::new(DivergenceChecker::new(
+        light.program().clone(),
+        reference,
+        options.recent,
+        halt.clone(),
+    ));
+    let result = replay_observed(
+        light.program(),
+        recording,
+        light.analysis(),
+        light.config().o2,
+        &options.replay,
+        light.observability(),
+        checker.clone(),
+        Some(halt),
+    );
+    let divergence = checker.report();
+    let stats = checker.stats();
+    match result {
+        Ok(replay) => Ok(DoctorReport {
+            replay: Some(replay),
+            divergence,
+            stats,
+        }),
+        // The checker halting the run can surface as a replay failure;
+        // the divergence is the diagnosis, not the error.
+        Err(_) if divergence.is_some() => Ok(DoctorReport {
+            replay: None,
+            divergence,
+            stats,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// What [`inject_divergence`] changed.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// Location key of the perturbed dependence.
+    pub loc: u64,
+    /// Human-readable description of the perturbation.
+    pub detail: String,
+}
+
+/// Deterministically corrupts one flow dependence of `reference` so that
+/// replaying the *original* recording against it must report a
+/// divergence: the first external-writer dependence is retargeted to a
+/// writer slot that can never execute. Returns `None` when the recording
+/// has no external-writer dependence to perturb.
+pub fn inject_divergence(reference: &mut Recording) -> Option<InjectedFault> {
+    const SKEW: u64 = 1 << 40; // far past any real thread counter
+    if let Some(dep) = reference.deps.iter_mut().find(|d| d.w.is_some()) {
+        let w = dep.w.as_mut().unwrap();
+        let detail = format!(
+            "dependence on loc {:#x}: expected writer ({}, {}) retargeted to slot {}",
+            dep.loc,
+            w.tid,
+            w.ctr,
+            w.ctr + SKEW,
+        );
+        let loc = dep.loc;
+        w.ctr += SKEW;
+        return Some(InjectedFault { loc, detail });
+    }
+    if let Some(run) = reference.runs.iter_mut().find(|r| r.w0.is_some()) {
+        let w = run.w0.as_mut().unwrap();
+        let detail = format!(
+            "run on loc {:#x}: starting writer ({}, {}) retargeted to slot {}",
+            run.loc,
+            w.tid,
+            w.ctr,
+            w.ctr + SKEW,
+        );
+        let loc = run.loc;
+        w.ctr += SKEW;
+        return Some(InjectedFault { loc, detail });
+    }
+    None
+}

@@ -38,7 +38,10 @@ options:
   --replays <n>        validation replays           (default 3)
   --args <a,b,..>      program arguments (with --file)
   --out <file.lrec>    save the captured recording (single target only)
-  --json               machine-readable metrics per campaign";
+  --json               machine-readable metrics per campaign
+  --progress           stream live JSONL progress records to stderr
+  --progress-interval-ms <n>
+                       progress sampling interval     (default 250)";
 
 struct Cli {
     names: Vec<String>,
@@ -49,6 +52,8 @@ struct Cli {
     args: Vec<i64>,
     out: Option<String>,
     json: bool,
+    progress: bool,
+    progress_interval: Duration,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -61,6 +66,8 @@ fn parse_cli() -> Result<Cli, String> {
         args: Vec::new(),
         out: None,
         json: false,
+        progress: false,
+        progress_interval: Duration::from_millis(250),
     };
     let mut pct_depth = 3u32;
     let mut strategy_arg = String::from("chaos");
@@ -115,6 +122,13 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--out" => cli.out = Some(next_val(&mut it, "--out")?),
             "--json" => cli.json = true,
+            "--progress" => cli.progress = true,
+            "--progress-interval-ms" => {
+                let ms: u64 = next_val(&mut it, "--progress-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--progress-interval-ms: {e}"))?;
+                cli.progress_interval = Duration::from_millis(ms.max(1));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -250,12 +264,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Progress streams to stderr so stdout stays clean for reports.
+    let progress_sink: Option<Arc<dyn light_obs::ProgressSink>> = cli
+        .progress
+        .then(|| Arc::new(light_obs::JsonlProgress::stderr()) as Arc<dyn light_obs::ProgressSink>);
+
     let mut missed = 0usize;
     for (label, program, args) in &targets {
         let explorer = Explorer::new(program.clone());
         for &strategy in &cli.strategies {
             let config = ExploreConfig {
                 strategy,
+                progress: match &progress_sink {
+                    Some(sink) => light_obs::Progress::new(sink.clone(), cli.progress_interval),
+                    None => light_obs::Progress::disabled(),
+                },
+                label: label.clone(),
                 ..cli.config.clone()
             };
             let outcome = explorer.run(args, &config);

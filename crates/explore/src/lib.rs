@@ -54,13 +54,15 @@ pub use strategy::{PctStrategy, RaceDirectedStrategy, StrategyKind};
 
 use light_analysis::{change_point_candidates, RacyLocations};
 use light_core::{ExploreProvenance, Light, Recording};
-use light_obs::ExploreMetrics;
+use light_obs::{ExploreMetrics, Progress, ProgressRecord};
 use light_runtime::{
     run, DecisionTrace, ExecConfig, ExploreScheduler, FaultReport, NondetMode, NullRecorder,
     RunOutcome, SchedulerSpec, ScriptedStrategy, Strategy,
 };
 use lir::Program;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -83,6 +85,12 @@ pub struct ExploreConfig {
     /// Validation replays of the captured recording (each runs the full
     /// solve → controlled-replay pipeline and checks correlation).
     pub replay_checks: u32,
+    /// Live telemetry: when enabled, a sampler thread emits one
+    /// [`ProgressRecord`] per [`Progress::interval`] plus one per phase
+    /// transition, for the whole campaign. Disabled by default.
+    pub progress: Progress,
+    /// Name of the target in progress records (program or corpus bug).
+    pub label: String,
 }
 
 impl Default for ExploreConfig {
@@ -96,8 +104,76 @@ impl Default for ExploreConfig {
             minimize: true,
             minimize_budget: 400,
             replay_checks: 3,
+            progress: Progress::disabled(),
+            label: String::new(),
         }
     }
+}
+
+/// Campaign phases, in order, as reported in progress records.
+const PHASES: [&str; 5] = ["search", "minimize", "capture", "validate", "done"];
+
+/// Shared live counters the progress sampler reads while the campaign's
+/// phases advance them.
+struct CampaignPulse {
+    start: Instant,
+    /// Schedules executed so far, search probes plus minimization probes.
+    schedules: AtomicU64,
+    failures: AtomicU64,
+    /// Index into [`PHASES`].
+    phase: AtomicUsize,
+    /// Hashes of distinct decision traces seen during search.
+    distinct: Mutex<HashSet<u64>>,
+    budget_schedules: u64,
+    strategy: &'static str,
+    label: String,
+}
+
+impl CampaignPulse {
+    fn sample(&self) -> ProgressRecord {
+        let elapsed = self.start.elapsed();
+        let schedules = self.schedules.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            schedules as f64 / secs
+        } else {
+            0.0
+        };
+        let phase = PHASES[self.phase.load(Ordering::Relaxed).min(PHASES.len() - 1)];
+        // ETA only makes sense while the schedule budget is being burned.
+        let eta_ms = (phase == "search" && rate > 0.0).then(|| {
+            let left = self.budget_schedules.saturating_sub(schedules);
+            (left as f64 / rate * 1000.0) as u64
+        });
+        ProgressRecord {
+            target: self.label.clone(),
+            strategy: self.strategy.to_string(),
+            phase: phase.to_string(),
+            elapsed_ms: elapsed.as_millis() as u64,
+            schedules,
+            schedules_per_sec: rate,
+            distinct_traces: self.distinct.lock().unwrap().len() as u64,
+            failures: self.failures.load(Ordering::Relaxed),
+            budget_schedules: self.budget_schedules,
+            eta_ms,
+        }
+    }
+
+    fn enter_phase(&self, idx: usize, progress: &Progress) {
+        self.phase.store(idx, Ordering::Relaxed);
+        if progress.enabled() {
+            progress.emit(&self.sample());
+        }
+    }
+}
+
+fn trace_hash(trace: &DecisionTrace) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for seg in &trace.segments {
+        seg.tid.raw().hash(&mut h);
+        seg.picks.hash(&mut h);
+    }
+    h.finish()
 }
 
 /// A bug found by exploration, with its deterministic repro.
@@ -184,6 +260,44 @@ impl Explorer {
         let start = Instant::now();
         let mut metrics = ExploreMetrics::default();
 
+        // Live-telemetry state plus its sampler thread. The pulse is
+        // plain shared state; with progress disabled nothing reads it
+        // periodically and the only cost is a few relaxed increments.
+        let pulse = Arc::new(CampaignPulse {
+            start,
+            schedules: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            phase: AtomicUsize::new(0),
+            distinct: Mutex::new(HashSet::new()),
+            budget_schedules: config.max_schedules,
+            strategy: config.strategy.name(),
+            label: config.label.clone(),
+        });
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let sampler = config.progress.enabled().then(|| {
+            let pulse = pulse.clone();
+            let progress = config.progress.clone();
+            let stop = sampler_stop.clone();
+            std::thread::spawn(move || {
+                let tick = progress.interval().max(Duration::from_millis(10));
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    progress.emit(&pulse.sample());
+                }
+            })
+        });
+        // Every exit path must stop the sampler and stamp "done".
+        let finish = |pulse: &CampaignPulse| {
+            pulse.enter_phase(PHASES.len() - 1, &config.progress);
+            sampler_stop.store(true, Ordering::Release);
+            if let Some(h) = sampler {
+                let _ = h.join();
+            }
+        };
+
         // --- Phase 1: parallel strategy-driven search ------------------
         let next = AtomicU64::new(0);
         let stop = AtomicBool::new(false);
@@ -207,9 +321,12 @@ impl Explorer {
                     let strat = config.strategy.build(seed, &self.racy);
                     let (outcome, trace) = self.probe(args, seed, strat);
                     schedules_run.fetch_add(1, Ordering::Relaxed);
+                    pulse.schedules.fetch_add(1, Ordering::Relaxed);
+                    pulse.distinct.lock().unwrap().insert(trace_hash(&trace));
                     let Some(outcome) = outcome else { return };
                     if let Some(fault) = outcome.program_bug() {
                         failures.fetch_add(1, Ordering::Relaxed);
+                        pulse.failures.fetch_add(1, Ordering::Relaxed);
                         let mut slot = first.lock().unwrap();
                         // Keep the earliest schedule index for determinism
                         // across worker interleavings.
@@ -227,6 +344,7 @@ impl Explorer {
 
         let Some((_, seed, fault, trace)) = first.into_inner().unwrap() else {
             metrics.wall_ns = start.elapsed().as_nanos() as u64;
+            finish(&pulse);
             return ExploreOutcome {
                 found: None,
                 metrics,
@@ -235,10 +353,12 @@ impl Explorer {
         metrics.trace_segments = trace.len() as u64;
 
         // --- Phase 2: minimize the decision trace ----------------------
+        pulse.enter_phase(1, &config.progress);
         let minimized_trace = if config.minimize {
             let result = minimize(&trace, config.minimize_budget, |cand| {
                 let strat = Box::new(ScriptedStrategy::new(cand));
                 let (outcome, _) = self.probe(args, seed, strat);
+                pulse.schedules.fetch_add(1, Ordering::Relaxed);
                 outcome
                     .as_ref()
                     .and_then(|o| o.program_bug())
@@ -260,6 +380,7 @@ impl Explorer {
         // Replaying the scripted trace is recorder-independent: gates fire
         // whether or not a recorder observes them, so the decisions — and
         // the fault — are those of the probe run.
+        pulse.enter_phase(2, &config.progress);
         let sched = Arc::new(ExploreScheduler::with_strategy(
             Box::new(ScriptedStrategy::new(capture_trace)),
             light_runtime::HaltFlag::new(),
@@ -273,6 +394,7 @@ impl Explorer {
                 // Setup errors cannot happen after successful probes
                 // (same program, same args); treat as not found.
                 metrics.wall_ns = start.elapsed().as_nanos() as u64;
+                finish(&pulse);
                 return ExploreOutcome {
                     found: None,
                     metrics,
@@ -292,6 +414,7 @@ impl Explorer {
         });
 
         // --- Phase 4: validate through solve → controlled replay -------
+        pulse.enter_phase(3, &config.progress);
         let mut correlated = 0u32;
         for _ in 0..config.replay_checks {
             match self.light.replay(&recording) {
@@ -301,6 +424,7 @@ impl Explorer {
         }
 
         metrics.wall_ns = start.elapsed().as_nanos() as u64;
+        finish(&pulse);
         ExploreOutcome {
             found: Some(FoundBug {
                 seed,
@@ -356,6 +480,43 @@ mod tests {
         assert!(outcome.metrics.schedules > 0);
         if let Some(min) = &bug.minimized_trace {
             assert!(min.len() < bug.trace.len());
+        }
+    }
+
+    #[test]
+    fn progress_reports_phases_and_distinct_traces() {
+        let sink = Arc::new(light_obs::CollectingProgress::new());
+        let explorer = Explorer::new(racy_program());
+        let config = ExploreConfig {
+            max_schedules: 500,
+            workers: 2,
+            replay_checks: 1,
+            progress: Progress::new(sink.clone(), Duration::from_millis(50)),
+            label: "racy_program".into(),
+            ..ExploreConfig::default()
+        };
+        let outcome = explorer.run(&[], &config);
+        assert!(outcome.found.is_some());
+        let records = sink.records();
+        // At least the phase-transition records (minimize, capture,
+        // validate, done) fire even on a fast campaign.
+        assert!(records.len() >= 4, "got {} records", records.len());
+        let phases: Vec<&str> = records.iter().map(|r| r.phase.as_str()).collect();
+        assert!(phases.contains(&"minimize"));
+        assert!(phases.contains(&"done"));
+        let last = records.last().unwrap();
+        assert_eq!(last.phase, "done");
+        assert_eq!(last.target, "racy_program");
+        assert_eq!(last.strategy, "chaos");
+        assert!(last.schedules > 0);
+        assert!(last.distinct_traces > 0);
+        assert!(last.failures > 0);
+        assert_eq!(last.budget_schedules, 500);
+        assert!(last.eta_ms.is_none(), "no ETA once done");
+        // Monotone progress counters.
+        for pair in records.windows(2) {
+            assert!(pair[1].schedules >= pair[0].schedules);
+            assert!(pair[1].elapsed_ms >= pair[0].elapsed_ms);
         }
     }
 

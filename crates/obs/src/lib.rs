@@ -42,12 +42,14 @@
 
 pub mod json;
 mod metrics;
+mod progress;
 mod trace;
 
 pub use metrics::{
     ExploreMetrics, Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics,
     RunMetrics, SchedulerMetrics, SolverMetrics,
 };
+pub use progress::{CollectingProgress, JsonlProgress, Progress, ProgressRecord, ProgressSink};
 pub use trace::{chrome_trace_json, TraceEvent, TraceSink};
 
 use std::sync::{Arc, OnceLock};

@@ -123,6 +123,10 @@ pub struct MetricsSnapshot {
     pub phases: Vec<PhaseRecord>,
     /// Free-form named counters fed through the sink API.
     pub counters: BTreeMap<String, u64>,
+    /// Per-phase latency distributions in µs (record, solve, replay-run,
+    /// ...): histograms rather than single samples, so snapshots that
+    /// aggregate many pipeline passes keep the shape of the distribution.
+    pub latencies: BTreeMap<String, Histogram>,
 }
 
 impl RecorderMetrics {
@@ -237,6 +241,17 @@ impl MetricsSnapshot {
                 ),
             ));
         }
+        if !self.latencies.is_empty() {
+            pairs.push((
+                "latencies".into(),
+                Value::Obj(
+                    self.latencies
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
         Value::Obj(pairs)
     }
 
@@ -264,6 +279,9 @@ impl MetricsSnapshot {
         self.phases.extend(other.phases.iter().cloned());
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.latencies {
+            self.latencies.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -312,11 +330,28 @@ impl MetricsRegistry {
     }
 
     pub fn phase(&self, name: &str, start_us: u64, dur_us: u64) {
-        self.inner.lock().unwrap().phases.push(PhaseRecord {
+        let mut st = self.inner.lock().unwrap();
+        st.phases.push(PhaseRecord {
             name: name.to_string(),
             start_us,
             dur_us,
         });
+        st.latencies
+            .entry(name.to_string())
+            .or_default()
+            .record(dur_us);
+    }
+
+    /// Records one latency sample (µs) into the named histogram without
+    /// adding a phase record.
+    pub fn latency(&self, name: &str, dur_us: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .latencies
+            .entry(name.to_string())
+            .or_default()
+            .record(dur_us);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -377,6 +412,15 @@ impl Histogram {
         self.counts[Self::bucket(v)] += 1;
         self.sum += v;
         self.max = self.max.max(v);
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     pub fn count(&self) -> u64 {
@@ -514,6 +558,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counters["x"], 3);
         assert_eq!(a.solver.unwrap().vars, 9);
+    }
+
+    #[test]
+    fn registry_builds_phase_latency_histograms() {
+        let reg = MetricsRegistry::new();
+        for dur in [10u64, 20, 1000] {
+            reg.event(&TraceEvent::Complete {
+                name: "replay-run",
+                tid: 0,
+                ts_us: 0,
+                dur_us: dur,
+            });
+        }
+        reg.latency("solve", 5);
+        let snap = reg.snapshot();
+        let h = &snap.latencies["replay-run"];
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(snap.latencies["solve"].count(), 1);
+        // Phase records still accumulate alongside.
+        assert_eq!(snap.phases.len(), 3);
+        let json = snap.to_json().to_json();
+        assert!(json.contains("\"latencies\""));
+    }
+
+    #[test]
+    fn histogram_merge_adds_samples() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(7);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 2108);
+        assert_eq!(a.max(), 2000);
+        let mut merged_snap = MetricsSnapshot::default();
+        merged_snap
+            .latencies
+            .insert("solve".into(), a.clone());
+        let mut other = MetricsSnapshot::default();
+        other.latencies.insert("solve".into(), b);
+        merged_snap.merge(&other);
+        assert_eq!(merged_snap.latencies["solve"].count(), 6);
     }
 
     #[test]

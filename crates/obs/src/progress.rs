@@ -1,0 +1,227 @@
+//! Live progress telemetry for long-running campaigns.
+//!
+//! A schedule-exploration campaign can run for minutes with nothing on
+//! the terminal; `ProgressSink` is the push channel that fixes that.
+//! The producer (the explorer) samples its counters on a fixed interval
+//! and emits [`ProgressRecord`]s; the sink decides the transport —
+//! [`JsonlProgress`] streams one JSON object per line (the
+//! `light-explore --progress` format), [`CollectingProgress`] buffers
+//! them for tests.
+
+use crate::json::Value;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One sampled snapshot of a running campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressRecord {
+    /// What is being explored (program or corpus bug name).
+    pub target: String,
+    /// The active search strategy.
+    pub strategy: String,
+    /// The campaign phase (`search`, `minimize`, `capture`, `validate`,
+    /// `done`).
+    pub phase: String,
+    /// Wall time since the campaign started.
+    pub elapsed_ms: u64,
+    /// Schedules executed so far (search plus minimization probes).
+    pub schedules: u64,
+    /// Throughput over the whole campaign so far.
+    pub schedules_per_sec: f64,
+    /// Distinct decision traces seen (search-phase diversity).
+    pub distinct_traces: u64,
+    /// Failing schedules found.
+    pub failures: u64,
+    /// The campaign's schedule budget.
+    pub budget_schedules: u64,
+    /// Estimated time to exhaust the schedule budget at the current
+    /// rate; `None` before any throughput exists or once done.
+    pub eta_ms: Option<u64>,
+}
+
+impl ProgressRecord {
+    /// Renders the record as a JSON object (one JSONL line's content).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("target", Value::from(self.target.as_str())),
+            ("strategy", Value::from(self.strategy.as_str())),
+            ("phase", Value::from(self.phase.as_str())),
+            ("elapsed_ms", Value::from(self.elapsed_ms)),
+            ("schedules", Value::from(self.schedules)),
+            ("schedules_per_sec", Value::F64(self.schedules_per_sec)),
+            ("distinct_traces", Value::from(self.distinct_traces)),
+            ("failures", Value::from(self.failures)),
+            ("budget_schedules", Value::from(self.budget_schedules)),
+            (
+                "eta_ms",
+                match self.eta_ms {
+                    Some(ms) => Value::from(ms),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A consumer of periodic progress records.
+pub trait ProgressSink: Send + Sync {
+    fn progress(&self, record: &ProgressRecord);
+}
+
+/// Streams each record as one JSON line, flushed immediately so a
+/// consumer tailing the stream sees records as they happen.
+pub struct JsonlProgress<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlProgress<W> {
+    pub fn new(out: W) -> Self {
+        JsonlProgress {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl JsonlProgress<std::io::Stderr> {
+    /// The `light-explore --progress` transport: JSONL on stderr, so
+    /// stdout stays clean for the report.
+    pub fn stderr() -> Self {
+        JsonlProgress::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> ProgressSink for JsonlProgress<W> {
+    fn progress(&self, record: &ProgressRecord) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", record.to_json().to_json());
+        let _ = out.flush();
+    }
+}
+
+/// Buffers every record; for tests.
+#[derive(Default)]
+pub struct CollectingProgress {
+    records: Mutex<Vec<ProgressRecord>>,
+}
+
+impl CollectingProgress {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn records(&self) -> Vec<ProgressRecord> {
+        self.records.lock().unwrap().clone()
+    }
+}
+
+impl ProgressSink for CollectingProgress {
+    fn progress(&self, record: &ProgressRecord) {
+        self.records.lock().unwrap().push(record.clone());
+    }
+}
+
+/// A cloneable handle bundling an optional sink with the sampling
+/// interval — `disabled()` (the default) makes every emission a no-op,
+/// mirroring [`crate::Obs`].
+#[derive(Clone, Default)]
+pub struct Progress {
+    sink: Option<Arc<dyn ProgressSink>>,
+    interval: Duration,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("enabled", &self.sink.is_some())
+            .field("interval", &self.interval)
+            .finish()
+    }
+}
+
+impl Progress {
+    /// No sink; `emit` does nothing.
+    pub fn disabled() -> Self {
+        Progress::default()
+    }
+
+    /// Emits to `sink` every `interval` (the producer polls
+    /// [`Progress::interval`] to pace itself).
+    pub fn new(sink: Arc<dyn ProgressSink>, interval: Duration) -> Self {
+        Progress {
+            sink: Some(sink),
+            interval,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    pub fn emit(&self, record: &ProgressRecord) {
+        if let Some(sink) = &self.sink {
+            sink.progress(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ProgressRecord {
+        ProgressRecord {
+            target: "counter_race".into(),
+            strategy: "pct".into(),
+            phase: "search".into(),
+            elapsed_ms: 1500,
+            schedules: 300,
+            schedules_per_sec: 200.0,
+            distinct_traces: 120,
+            failures: 2,
+            budget_schedules: 1000,
+            eta_ms: Some(3500),
+        }
+    }
+
+    #[test]
+    fn jsonl_stream_is_one_object_per_line() {
+        let sink = JsonlProgress::new(Vec::new());
+        sink.progress(&record());
+        sink.progress(&ProgressRecord {
+            phase: "done".into(),
+            eta_ms: None,
+            ..record()
+        });
+        let bytes = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"phase\":\"search\""));
+        assert!(lines[0].contains("\"eta_ms\":3500"));
+        assert!(lines[1].contains("\"eta_ms\":null"));
+    }
+
+    #[test]
+    fn disabled_progress_is_a_noop() {
+        let p = Progress::disabled();
+        assert!(!p.enabled());
+        p.emit(&record()); // must not panic
+    }
+
+    #[test]
+    fn collecting_sink_buffers_records() {
+        let sink = Arc::new(CollectingProgress::new());
+        let p = Progress::new(sink.clone(), Duration::from_millis(250));
+        assert!(p.enabled());
+        assert_eq!(p.interval(), Duration::from_millis(250));
+        p.emit(&record());
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.records()[0].schedules, 300);
+    }
+}

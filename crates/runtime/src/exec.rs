@@ -85,6 +85,12 @@ pub struct ExecConfig {
     /// attached, the run emits per-thread lifetime spans and the
     /// controlled scheduler's enforcement counters.
     pub obs: light_obs::Obs,
+    /// An externally held halt flag. When set mid-run (e.g. by a
+    /// divergence checker that has seen enough), every blocking primitive
+    /// winds the execution down promptly. `None` creates a private flag.
+    /// Ignored for [`SchedulerSpec::Explore`], whose scheduler already
+    /// carries its own flag.
+    pub halt: Option<HaltFlag>,
 }
 
 impl Default for ExecConfig {
@@ -100,6 +106,7 @@ impl Default for ExecConfig {
             wall_timeout: Duration::from_secs(60),
             capture_prints: true,
             obs: light_obs::Obs::disabled(),
+            halt: None,
         }
     }
 }
@@ -198,7 +205,7 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
     // the run must share it so faults wake threads parked at its gates.
     let halt = match &config.scheduler {
         SchedulerSpec::Explore(explore) => explore.halt_flag(),
-        _ => HaltFlag::new(),
+        _ => config.halt.clone().unwrap_or_default(),
     };
     let mut chaos_handle: Option<Arc<ChaosScheduler>> = None;
     let mut controlled_handle: Option<Arc<ControlledScheduler>> = None;

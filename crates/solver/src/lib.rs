@@ -19,6 +19,8 @@
 
 mod graph;
 mod solver;
+mod unsat;
 
 pub use graph::{AddResult, DiffGraph, Var};
 pub use solver::{Atom, Model, OrderSolver, SolveError, SolveStats};
+pub use unsat::{minimize_unsat_core, UnsatCore};

@@ -1,0 +1,184 @@
+//! Unsat-core extraction: delta-minimize an infeasible constraint system
+//! to a minimal subset that is still infeasible.
+//!
+//! Lemma 4.1 rules infeasibility out for systems built from real
+//! recordings, so an unsatisfiable Equation-1 instance always means
+//! something *outside* the model went wrong — a stale recording replayed
+//! against a changed program, a corrupted log, a hand-edited constraint.
+//! The minimal core is the diagnosis: the smallest set of orderings that
+//! cannot coexist, which a caller can then map back to the dependences
+//! that produced them.
+
+use crate::solver::{Atom, OrderSolver, SolveError};
+
+/// Indices (into the caller's constraint lists) of a minimal infeasible
+/// subset: removing any single member makes the remainder satisfiable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnsatCore {
+    /// Surviving hard (unit) constraints, by index into `hard`.
+    pub hard: Vec<usize>,
+    /// Surviving disjunctive clauses, by index into `clauses`.
+    pub clauses: Vec<usize>,
+}
+
+impl UnsatCore {
+    /// Total constraints in the core.
+    pub fn len(&self) -> usize {
+        self.hard.len() + self.clauses.len()
+    }
+
+    /// Whether the core is empty (never true for a real core).
+    pub fn is_empty(&self) -> bool {
+        self.hard.is_empty() && self.clauses.is_empty()
+    }
+}
+
+/// Solves the subset of constraints selected by `hard_on` / `clause_on`.
+/// Returns `true` when the subset is *provably* unsatisfiable within the
+/// decision budget (budget exhaustion counts as "not proven").
+fn subset_unsat(
+    num_vars: usize,
+    hard: &[Atom],
+    clauses: &[Vec<Atom>],
+    hard_on: &[bool],
+    clause_on: &[bool],
+    budget: u64,
+) -> bool {
+    let mut solver = OrderSolver::new().with_budget(budget);
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for (atom, &on) in hard.iter().zip(hard_on) {
+        if on {
+            solver.add_lt(atom.left, atom.right);
+        }
+    }
+    for (clause, &on) in clauses.iter().zip(clause_on) {
+        if on {
+            solver.add_clause(clause.clone());
+        }
+    }
+    matches!(
+        solver.solve(),
+        Err(SolveError::UnsatHard { .. } | SolveError::UnsatClauses)
+    )
+}
+
+/// Minimizes an unsatisfiable constraint system to a minimal infeasible
+/// core by destructive (deletion-based) minimization: every constraint is
+/// tentatively dropped, and kept out iff the remainder is still provably
+/// unsatisfiable. The result is 1-minimal — removing any surviving
+/// constraint makes the rest satisfiable — though not necessarily a
+/// globally smallest core.
+///
+/// Returns `None` when the full system is not provably unsatisfiable
+/// within `budget` decisions per subset solve (i.e. it is satisfiable, or
+/// too hard to decide).
+pub fn minimize_unsat_core(
+    num_vars: usize,
+    hard: &[Atom],
+    clauses: &[Vec<Atom>],
+    budget: u64,
+) -> Option<UnsatCore> {
+    let mut hard_on = vec![true; hard.len()];
+    let mut clause_on = vec![true; clauses.len()];
+    if !subset_unsat(num_vars, hard, clauses, &hard_on, &clause_on, budget) {
+        return None;
+    }
+
+    // Coarse first cut: if the hard constraints alone are contradictory
+    // (the common case — a dependence cycle), every clause can go at once.
+    let no_clauses = vec![false; clauses.len()];
+    if subset_unsat(num_vars, hard, clauses, &hard_on, &no_clauses, budget) {
+        clause_on = no_clauses;
+    }
+
+    // Linear deletion pass over clauses, then hard constraints.
+    for i in 0..clauses.len() {
+        if !clause_on[i] {
+            continue;
+        }
+        clause_on[i] = false;
+        if !subset_unsat(num_vars, hard, clauses, &hard_on, &clause_on, budget) {
+            clause_on[i] = true;
+        }
+    }
+    for i in 0..hard.len() {
+        hard_on[i] = false;
+        if !subset_unsat(num_vars, hard, clauses, &hard_on, &clause_on, budget) {
+            hard_on[i] = true;
+        }
+    }
+
+    Some(UnsatCore {
+        hard: (0..hard.len()).filter(|&i| hard_on[i]).collect(),
+        clauses: (0..clauses.len()).filter(|&i| clause_on[i]).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Var;
+
+    fn atoms(pairs: &[(u32, u32)]) -> Vec<Atom> {
+        pairs.iter().map(|&(a, b)| Atom::lt(Var(a), Var(b))).collect()
+    }
+
+    #[test]
+    fn satisfiable_system_has_no_core() {
+        let hard = atoms(&[(0, 1), (1, 2)]);
+        assert_eq!(minimize_unsat_core(3, &hard, &[], 10_000), None);
+    }
+
+    #[test]
+    fn cycle_core_drops_irrelevant_constraints() {
+        // 0<1, 1<0 is the cycle; 2<3 and a clause are noise.
+        let hard = atoms(&[(2, 3), (0, 1), (1, 0)]);
+        let clauses = vec![atoms(&[(2, 3), (3, 2)])];
+        let core = minimize_unsat_core(4, &hard, &clauses, 10_000).unwrap();
+        assert_eq!(core.hard, vec![1, 2]);
+        assert!(core.clauses.is_empty());
+        assert_eq!(core.len(), 2);
+    }
+
+    #[test]
+    fn clause_only_contradiction_survives() {
+        // Two opposing unit clauses; no hard constraints at all.
+        let clauses = vec![atoms(&[(0, 1)]), atoms(&[(1, 0)]), atoms(&[(0, 2), (2, 0)])];
+        let core = minimize_unsat_core(3, &[], &clauses, 10_000).unwrap();
+        assert!(core.hard.is_empty());
+        assert_eq!(core.clauses, vec![0, 1]);
+    }
+
+    #[test]
+    fn core_is_one_minimal() {
+        // A 3-cycle through hard constraints plus a redundant second path.
+        let hard = atoms(&[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let core = minimize_unsat_core(3, &hard, &[], 10_000).unwrap();
+        // Dropping any surviving member must yield a satisfiable rest.
+        for &skip in &core.hard {
+            let kept: Vec<Atom> = core
+                .hard
+                .iter()
+                .filter(|&&i| i != skip)
+                .map(|&i| hard[i])
+                .collect();
+            assert_eq!(
+                minimize_unsat_core(3, &kept, &[], 10_000),
+                None,
+                "core not minimal: still unsat without hard[{skip}]"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_core_spans_hard_and_clauses() {
+        // hard 0<1 plus unit clause 1<0: both must survive.
+        let hard = atoms(&[(0, 1)]);
+        let clauses = vec![atoms(&[(1, 0)]), atoms(&[(0, 1), (1, 0)])];
+        let core = minimize_unsat_core(2, &hard, &clauses, 10_000).unwrap();
+        assert_eq!(core.hard, vec![0]);
+        assert_eq!(core.clauses, vec![0]);
+    }
+}

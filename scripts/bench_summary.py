@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Aggregate results/<name>.json bench outputs into BENCH_pipeline.json.
+
+Every harness writes a structured result (results/<name>.json, via the
+light-bench Report plumbing). This script folds all of them into one
+document at the repo root so the perf trajectory is tracked across PRs
+by diffing a single file. Alongside the verbatim per-bench documents it
+lifts a few headline numbers (medians, overhead fractions) into a flat
+`headline` map for at-a-glance comparison.
+
+The output is deterministic: benches are sorted by name and no
+timestamps are added, so reruns on identical results are byte-identical.
+
+Usage: python3 scripts/bench_summary.py [--check]
+
+--check exits nonzero if BENCH_pipeline.json is missing or stale
+instead of rewriting it (for CI).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+OUT = ROOT / "BENCH_pipeline.json"
+
+SCHEMA = "light-bench-pipeline/v1"
+
+
+def headline_for(name: str, doc: dict) -> dict:
+    """Lift the few numbers worth eyeballing across PRs."""
+    head = {}
+    rows = doc.get("rows")
+    if isinstance(rows, list):
+        head["rows"] = len(rows)
+    for key in ("median_overhead", "criterion_met"):
+        if key in doc:
+            head[key] = doc[key]
+    # Medians of common per-row timing fields, when present.
+    if isinstance(rows, list):
+        for field in ("replay_ms", "solve_ms", "plain_ms", "checked_ms"):
+            xs = sorted(
+                r[field]
+                for r in rows
+                if isinstance(r, dict) and isinstance(r.get(field), (int, float))
+            )
+            if xs:
+                head[f"median_{field}"] = xs[len(xs) // 2]
+    return head
+
+
+def build() -> dict:
+    benches = {}
+    for path in sorted(RESULTS.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_summary: skipping {path.name}: {e}", file=sys.stderr)
+            continue
+        if not isinstance(doc, dict):
+            print(f"bench_summary: skipping {path.name}: not an object", file=sys.stderr)
+            continue
+        benches[path.stem] = doc
+    return {
+        "schema": SCHEMA,
+        "benches": benches,
+        "headline": {name: headline_for(name, doc) for name, doc in sorted(benches.items())},
+    }
+
+
+def main() -> int:
+    check = "--check" in sys.argv[1:]
+    doc = build()
+    if not doc["benches"]:
+        print(f"bench_summary: no results/*.json found under {RESULTS}", file=sys.stderr)
+        return 1
+    rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if check:
+        if not OUT.exists() or OUT.read_text() != rendered:
+            print(f"bench_summary: {OUT.name} is stale; rerun scripts/bench_summary.py",
+                  file=sys.stderr)
+            return 1
+        print(f"bench_summary: {OUT.name} is up to date ({len(doc['benches'])} benches)")
+        return 0
+    OUT.write_text(rendered)
+    print(f"bench_summary: wrote {OUT} ({len(doc['benches'])} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
