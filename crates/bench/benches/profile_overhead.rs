@@ -1,0 +1,125 @@
+//! E12 — flight-recorder overhead: for a cross-suite workload sample,
+//! time chaos recording with the profiler's flight recorder attached
+//! against plain recording, and report the per-workload and aggregate
+//! overhead. The acceptance criterion is < 5% median overhead — cheap
+//! enough to leave on. Run with
+//! `cargo bench -p light-bench --bench profile_overhead`.
+//!
+//! Results land in `results/profile_overhead.json` (consumed by
+//! `scripts/bench_summary.py`) and `results/profile_overhead.txt`.
+
+use light_bench::report::Report;
+use light_core::obs::json::Value;
+use light_core::Light;
+use light_profile::FlightRecorder;
+use light_workloads::benchmarks;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timed repetitions per configuration; the median is reported so a
+/// single descheduling blip cannot fake (or mask) a regression.
+const REPS: usize = 7;
+
+/// One workload per suite flavor, matching Figure 4's spread without
+/// paying for all 24 programs on every CI run.
+const WORKLOADS: &[&str] = &[
+    "jgf.series",
+    "jgf.sor",
+    "stamp.kmeans",
+    "stamp.vacation",
+    "srv.cache4j",
+    "dc.lusearch",
+];
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rep = Report::new("profile_overhead");
+    rep.line("== E12: flight-recorder overhead (profiled vs plain recording) ==");
+    rep.line(format!(
+        "{:<16} {:>11} {:>13} {:>9} {:>10}",
+        "workload", "plain(ms)", "flight(ms)", "overhead", "events"
+    ));
+
+    let mut rows = Vec::new();
+    let mut overheads = Vec::new();
+    for w in benchmarks().iter().filter(|w| WORKLOADS.contains(&w.name)) {
+        let program = w.program();
+        let args = w.default_arg_vec();
+        let plain = Light::new(Arc::clone(&program));
+        let mut profiled = Light::new(Arc::clone(&program));
+        let recorder = FlightRecorder::new(1 << 16);
+        profiled.set_flight_sink(recorder.clone());
+
+        // Warm both paths once (interpreter, allocator) before timing.
+        if let Err(e) = plain
+            .record_chaos(&args, 1)
+            .and(profiled.record_chaos(&args, 1))
+        {
+            rep.line(format!("{:<16} recording failed: {e}", w.name));
+            rows.push(Value::obj([
+                ("workload", Value::from(w.name)),
+                ("status", Value::from("record-failed")),
+            ]));
+            continue;
+        }
+
+        let mut plain_ms = Vec::with_capacity(REPS);
+        let mut flight_ms = Vec::with_capacity(REPS);
+        let mut events_per_run = 0u64;
+        for rep_i in 0..REPS {
+            let seed = 2 + rep_i as u64;
+            let t = Instant::now();
+            plain.record_chaos(&args, seed).expect("warmed recording");
+            plain_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let before = recorder.events_seen();
+            let t = Instant::now();
+            profiled
+                .record_chaos(&args, seed)
+                .expect("warmed recording");
+            flight_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            events_per_run = recorder.events_seen() - before;
+        }
+        let plain_med = median(&mut plain_ms);
+        let flight_med = median(&mut flight_ms);
+        let overhead = flight_med / plain_med - 1.0;
+        overheads.push(overhead);
+
+        rep.line(format!(
+            "{:<16} {:>11.2} {:>13.2} {:>8.1}% {:>10}",
+            w.name,
+            plain_med,
+            flight_med,
+            overhead * 100.0,
+            events_per_run,
+        ));
+        rows.push(Value::obj([
+            ("workload", Value::from(w.name)),
+            ("status", Value::from("measured")),
+            ("plain_ms", Value::from(plain_med)),
+            ("flight_ms", Value::from(flight_med)),
+            ("overhead", Value::from(overhead)),
+            ("events_per_run", Value::from(events_per_run)),
+        ]));
+    }
+    rep.set("rows", Value::Arr(rows));
+
+    if !overheads.is_empty() {
+        let med = median(&mut overheads);
+        rep.blank();
+        rep.line(format!(
+            "median overhead across workloads: {:.1}% (criterion: < 5%)",
+            med * 100.0
+        ));
+        rep.set("median_overhead", med);
+        rep.set("criterion_met", med < 0.05);
+    }
+
+    rep.blank();
+    rep.line("(Profiled recording = plain chaos recording + one flight-ring event per dependence/run/prec/elision/ghost site; overhead = flight/plain - 1 on the median of 7 runs each.)");
+    rep.write_or_die();
+}

@@ -167,6 +167,22 @@ fn print_summary(rec: &Recording) {
     println!("  non-interleaved runs: {}", s.runs);
     println!("  O2-skipped accesses:  {}", s.o2_skipped);
     println!("  stripe contention:    {}", s.stripe_contention);
+    let hist = rec.stripe_hist_sparse();
+    if !hist.is_empty() {
+        println!();
+        println!("contended last-write-map stripes ({}):", hist.len());
+        let max = hist.iter().map(|&(_, n)| n).max().unwrap_or(1);
+        let mut hot: Vec<_> = hist;
+        hot.sort_by_key(|&(stripe, n)| (std::cmp::Reverse(n), stripe));
+        const WIDTH: u64 = 40;
+        for &(stripe, n) in hot.iter().take(16) {
+            let bar = (n * WIDTH).div_ceil(max) as usize;
+            println!("  stripe {stripe:>3} {n:>8} |{}|", "#".repeat(bar));
+        }
+        if hot.len() > 16 {
+            println!("  ... {} more stripes", hot.len() - 16);
+        }
+    }
 
     println!();
     println!("threads ({}):", rec.thread_extents.len());

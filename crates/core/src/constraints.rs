@@ -54,6 +54,42 @@ pub enum ConstraintKind {
 }
 
 impl ConstraintKind {
+    /// Every kind, in discriminant order (the census/flight index order).
+    pub const ALL: [ConstraintKind; 10] = [
+        ConstraintKind::FlowDep,
+        ConstraintKind::RunSource,
+        ConstraintKind::Signal,
+        ConstraintKind::ThreadOrder,
+        ConstraintKind::InteriorBound,
+        ConstraintKind::RunObserver,
+        ConstraintKind::SameSource,
+        ConstraintKind::OwnWritePhase,
+        ConstraintKind::Disjoint,
+        ConstraintKind::InitialRead,
+    ];
+
+    /// A short kebab-case tag (folded-stack frame / JSON key material).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConstraintKind::FlowDep => "flow-dep",
+            ConstraintKind::RunSource => "run-source",
+            ConstraintKind::Signal => "signal",
+            ConstraintKind::ThreadOrder => "thread-order",
+            ConstraintKind::InteriorBound => "interior-bound",
+            ConstraintKind::RunObserver => "run-observer",
+            ConstraintKind::SameSource => "same-source",
+            ConstraintKind::OwnWritePhase => "own-write-phase",
+            ConstraintKind::Disjoint => "disjoint",
+            ConstraintKind::InitialRead => "initial-read",
+        }
+    }
+
+    /// Inverse of `kind as u64` (the flight event encoding of
+    /// [`light_obs::FlightKind::ConstraintGroup`]'s `loc` word).
+    pub fn from_index(i: u64) -> Option<ConstraintKind> {
+        Self::ALL.get(i as usize).copied()
+    }
+
     /// A short human phrase for the constraint's reason.
     pub fn describe(self) -> &'static str {
         match self {
@@ -115,6 +151,7 @@ pub struct ConstraintSystem {
     ids: Vec<AccessId>,
     hard: Vec<(Atom, ConstraintOrigin)>,
     clauses: Vec<(Vec<Atom>, ConstraintOrigin)>,
+    flight: light_obs::Flight,
 }
 
 /// Failure to compute a replay schedule.
@@ -138,9 +175,36 @@ impl ConstraintSystem {
             ids: Vec::new(),
             hard: Vec::new(),
             clauses: Vec::new(),
+            flight: light_obs::Flight::disabled(),
         };
         sys.encode(recording);
         sys
+    }
+
+    /// Attaches a flight recorder: the solver ticks its decision loop
+    /// through it, and `solve` emits one `constraint-group` event per
+    /// [`ConstraintKind`] (loc = kind index, aux = count) so profilers can
+    /// attribute solver time to constraint groups.
+    pub fn set_flight(&mut self, flight: light_obs::Flight) {
+        self.solver.set_flight(flight.clone());
+        self.flight = flight;
+    }
+
+    /// Constraint counts by kind (hard and clauses together), in
+    /// [`ConstraintKind::ALL`] order, zero-count kinds included.
+    pub fn census(&self) -> Vec<(ConstraintKind, u64)> {
+        let mut counts = [0u64; ConstraintKind::ALL.len()];
+        for (_, origin) in &self.hard {
+            counts[origin.kind as usize] += 1;
+        }
+        for (_, origin) in &self.clauses {
+            counts[origin.kind as usize] += 1;
+        }
+        ConstraintKind::ALL
+            .iter()
+            .zip(counts)
+            .map(|(&k, n)| (k, n))
+            .collect()
     }
 
     fn var(&mut self, id: AccessId) -> Var {
@@ -500,6 +564,19 @@ impl ConstraintSystem {
     /// Lemma 4.1 rules out for systems built from real recordings) or the
     /// solver budget is exhausted.
     pub fn solve(mut self, recording: &Recording) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+        if self.flight.enabled() {
+            for (kind, count) in self.census() {
+                if count != 0 {
+                    self.flight.emit(
+                        light_obs::FlightKind::ConstraintGroup,
+                        0,
+                        light_obs::NO_SITE,
+                        kind as u64,
+                        count,
+                    );
+                }
+            }
+        }
         let (model, stats) = self
             .solver
             .solve_with_stats()

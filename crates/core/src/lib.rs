@@ -53,14 +53,14 @@ pub use log::{
     load_recording, load_recording_traced, peek_log_version, read_recording, save_recording,
     save_recording_traced, write_recording, LogError, LOG_FORMAT_VERSION,
 };
-pub use recorder::{LightConfig, LightRecorder};
+pub use recorder::{stripe_of, LightConfig, LightRecorder, STRIPE_COUNT};
 pub use spill::SpillSink;
 pub use recording::{
     AccessId, DepEdge, ExploreProvenance, RecordStats, Recording, RunRec, SignalEdge,
 };
 pub use replay::{
-    compute_schedule, compute_schedule_traced, faults_correlate, replay, replay_observed,
-    replay_traced, ReplayError, ReplayOptions, ReplayReport,
+    compute_schedule, compute_schedule_instrumented, compute_schedule_traced, faults_correlate,
+    replay, replay_observed, replay_traced, ReplayError, ReplayOptions, ReplayReport,
 };
 
 /// Re-export of the observability crate, so downstream users can attach
@@ -87,6 +87,7 @@ pub struct Light {
     config: LightConfig,
     replay_options: ReplayOptions,
     obs: Obs,
+    flight: light_obs::Flight,
 }
 
 impl Light {
@@ -106,6 +107,7 @@ impl Light {
             config,
             replay_options: ReplayOptions::default(),
             obs: Obs::disabled(),
+            flight: light_obs::Flight::disabled(),
         }
     }
 
@@ -126,6 +128,22 @@ impl Light {
     /// was called).
     pub fn observability(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attaches a flight-recorder sink. Every pipeline stage — the
+    /// recorder's dependence/run/elision path, the controlled scheduler's
+    /// admission decisions, the constraint builder's census and the
+    /// solver's progress ticks — emits compact [`light_obs::FlightEvent`]s
+    /// to it. With no sink attached (the default) each emit site is one
+    /// untaken branch, and recordings are byte-identical either way.
+    pub fn set_flight_sink(&mut self, sink: Arc<dyn light_obs::FlightSink>) {
+        self.flight = light_obs::Flight::with_sink(sink);
+    }
+
+    /// The active flight handle (disabled unless
+    /// [`Light::set_flight_sink`] was called).
+    pub fn flight(&self) -> &light_obs::Flight {
+        &self.flight
     }
 
     /// The analysis products (shared policy, guarded locations, races).
@@ -153,7 +171,12 @@ impl Light {
     /// Useful for driving custom runs (e.g. the overhead benchmarks).
     pub fn make_recorder(&self) -> Arc<LightRecorder> {
         let (fields, globals) = self.guarded_sets();
-        LightRecorder::new(self.config, fields, globals)
+        let recorder = LightRecorder::new(self.config, fields, globals);
+        if self.flight.enabled() {
+            recorder.with_flight(self.flight.clone())
+        } else {
+            recorder
+        }
     }
 
     /// Records an original run under native (free) scheduling.
@@ -198,6 +221,7 @@ impl Light {
             policy: self.analysis.policy.clone(),
             nondet: NondetMode::Real { seed },
             obs: self.obs.clone(),
+            flight: self.flight.clone(),
             ..ExecConfig::default()
         };
         let outcome = {
@@ -227,7 +251,14 @@ impl Light {
         &self,
         recording: &Recording,
     ) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
-        replay::compute_schedule(recording, &self.analysis, self.config.o2)
+        replay::compute_schedule_instrumented(
+            recording,
+            &self.analysis,
+            self.config.o2,
+            &self.obs,
+            &self.flight,
+        )
+        .map(|(schedule, stats, _)| (schedule, stats))
     }
 
     /// Replays `recording` and checks Theorem 1's correlation criterion.
@@ -236,12 +267,16 @@ impl Light {
     ///
     /// See [`replay`].
     pub fn replay(&self, recording: &Recording) -> Result<ReplayReport, ReplayError> {
+        let mut options = self.replay_options.clone();
+        if self.flight.enabled() {
+            options.flight = self.flight.clone();
+        }
         replay::replay_traced(
             &self.program,
             recording,
             &self.analysis,
             self.config.o2,
-            &self.replay_options,
+            &options,
             &self.obs,
         )
     }

@@ -19,8 +19,10 @@ const MAGIC: u32 = 0x4C52_4543; // "LREC"
 /// metric snapshot survives save/load; v1 logs still load (the counter
 /// reads back as 0). v3 appends an optional explore-provenance section
 /// (strategy, seed, schedule count) stamped by `light-explore`; v1/v2
-/// logs load with no provenance.
-const VERSION: u32 = 3;
+/// logs load with no provenance. v4 appends the sparse per-stripe
+/// contention histogram (count + `(stripe u32, hits u64)` pairs); older
+/// logs load with an empty histogram.
+const VERSION: u32 = 4;
 
 /// The log format version this reader writes ([`write_recording`]) and the
 /// newest version it accepts. Exposed so tools (`light-inspect --json`)
@@ -168,6 +170,14 @@ pub fn write_recording(rec: &Recording) -> Bytes {
             buf.put_u8(u8::from(p.minimized));
             buf.put_u64_le(p.trace_segments);
         }
+    }
+
+    // v4: sparse per-stripe contention histogram.
+    let sparse = rec.stripe_hist_sparse();
+    buf.put_u32_le(sparse.len() as u32);
+    for (stripe, hits) in sparse {
+        buf.put_u32_le(stripe);
+        buf.put_u64_le(hits);
     }
 
     buf.freeze()
@@ -332,6 +342,25 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         None
     };
 
+    let mut stripe_hist = Vec::new();
+    if version >= 4 {
+        let nstripes = get_u32(buf)? as usize;
+        ensure(buf, nstripes * 12)?;
+        for _ in 0..nstripes {
+            let stripe = buf.get_u32_le() as usize;
+            let hits = buf.get_u64_le();
+            if stripe >= crate::recorder::STRIPE_COUNT {
+                return Err(LogError::Malformed(format!(
+                    "stripe index {stripe} out of range"
+                )));
+            }
+            if stripe_hist.is_empty() {
+                stripe_hist = vec![0; crate::recorder::STRIPE_COUNT];
+            }
+            stripe_hist[stripe] = hits;
+        }
+    }
+
     Ok(Recording {
         deps,
         runs,
@@ -342,6 +371,7 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         args,
         stats,
         provenance,
+        stripe_hist,
     })
 }
 
@@ -534,7 +564,22 @@ mod tests {
                 minimized: true,
                 trace_segments: 6,
             }),
+            stripe_hist: {
+                let mut h = vec![0u64; crate::recorder::STRIPE_COUNT];
+                h[10] = 3;
+                h[200] = 1;
+                h
+            },
         }
+    }
+
+    /// Strips the v4 stripe-histogram section from a serialized sample,
+    /// yielding the exact v3 byte layout (version field still says 4).
+    fn strip_stripe_hist(bytes: &[u8]) -> Vec<u8> {
+        // sample()'s histogram: 4 count + 2 * (4 stripe + 8 hits) = 28.
+        let mut v = bytes.to_vec();
+        v.truncate(v.len() - 28);
+        v
     }
 
     #[test]
@@ -551,6 +596,7 @@ mod tests {
         assert_eq!(back.args, rec.args);
         assert_eq!(back.stats, rec.stats);
         assert_eq!(back.provenance, rec.provenance);
+        assert_eq!(back.stripe_hist, rec.stripe_hist);
     }
 
     #[test]
@@ -562,11 +608,11 @@ mod tests {
     }
 
     /// Strips the v3 provenance section from a serialized sample, yielding
-    /// the exact v2 byte layout (version field still says 3).
+    /// the exact v2 byte layout (version field still says 4).
     fn strip_provenance(bytes: &[u8]) -> Vec<u8> {
         // sample()'s provenance: 1 presence + 4 len + 3 "pct" + 8 seed +
         // 8 schedules + 1 minimized + 8 trace_segments = 33 bytes.
-        let mut v = bytes.to_vec();
+        let mut v = strip_stripe_hist(bytes);
         v.truncate(v.len() - 33);
         v
     }
@@ -595,6 +641,28 @@ mod tests {
         assert_eq!(back.stats, rec.stats);
         assert_eq!(back.provenance, None);
         assert_eq!(back.deps, rec.deps);
+    }
+
+    #[test]
+    fn v3_logs_load_with_empty_stripe_hist() {
+        let rec = sample();
+        let mut v3 = strip_stripe_hist(&write_recording(&rec));
+        v3[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let back = read_recording(&v3).unwrap();
+        assert_eq!(back.stats, rec.stats);
+        assert_eq!(back.provenance, rec.provenance);
+        assert!(back.stripe_hist.is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range_stripe_index() {
+        let rec = sample();
+        let bytes = write_recording(&rec).to_vec();
+        let mut bad = bytes.clone();
+        // First sparse entry's stripe index sits 24 bytes from the end.
+        let at = bad.len() - 24;
+        bad[at..at + 4].copy_from_slice(&100_000u32.to_le_bytes());
+        assert!(read_recording(&bad).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::fastmap::FastMap;
 use crate::recording::{AccessId, DepEdge, Recording, RecordStats, RunRec, SignalEdge};
+use light_obs::{Flight, FlightKind, NO_SITE};
 use light_runtime::{AccessKind, Loc, Recorder, SyncEvent, Tid};
 use lir::InstrId;
 use parking_lot::{Mutex, RwLock};
@@ -35,6 +36,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const STRIPES: usize = 256;
+
+/// The last-write-map stripe a location key hashes to (a multiplicative
+/// hash on the key, as the paper hashes on the field offset). Exposed so
+/// post-mortem tooling (`light-profile`, `light-inspect`) attributes
+/// contention to the same stripes the recorder locked.
+pub fn stripe_of(key: u64) -> usize {
+    let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
+    (h as usize) % STRIPES
+}
+
+/// Number of last-write-map stripes (the paper's 256 striped locks).
+pub const STRIPE_COUNT: usize = STRIPES;
 
 /// Packs an access id into one word for the last-write table: 24 bits of
 /// thread id, 40 bits of counter. Checked in debug builds; the limits are
@@ -86,6 +99,11 @@ struct OpenRun {
     last: u64,
     own_last_write: Option<u64>,
     write_ctrs: Vec<u64>,
+    /// Packed instruction site ([`InstrId::pack`]) of the access that
+    /// opened the run — the flight recorder's attribution anchor for the
+    /// eventual dep/run record. [`light_obs::NO_SITE`] for ghost events
+    /// reported without a site.
+    site: u64,
 }
 
 #[derive(Default)]
@@ -104,10 +122,16 @@ struct TlsBuf {
     retries: u64,
     o2_skipped: u64,
     stripe_contention: u64,
+    /// Per-stripe breakdown of `stripe_contention`; allocated lazily on
+    /// the first contended access (zero cost for uncontended runs).
+    stripe_hits: Vec<u64>,
     max_ctr: u64,
     spilled_deps: u64,
     spilled_runs: u64,
     spilled_words: u64,
+    /// The recorder's flight handle, cloned in at buffer init so the
+    /// static close-run path can emit without a recorder reference.
+    flight: Flight,
 }
 
 const RUN_SLOTS: usize = 256;
@@ -146,6 +170,7 @@ struct Central {
     retries: u64,
     o2_skipped: u64,
     stripe_contention: u64,
+    stripe_hits: Vec<u64>,
     extents: HashMap<Tid, u64>,
     spilled_deps: u64,
     spilled_runs: u64,
@@ -172,6 +197,12 @@ pub struct LightRecorder {
     /// `spill_threshold` records (the paper's measurement configuration).
     spill: Option<Arc<crate::spill::SpillSink>>,
     spill_threshold: usize,
+    /// Flight-recorder handle; disabled by default. When a sink is
+    /// attached the recorder emits one compact event per recorded
+    /// dependence/run, prec hit, O1 merge, O2 elision, stripe block, and
+    /// ghost op. Recording *content* is unaffected either way — logs stay
+    /// byte-identical with or without a sink.
+    flight: Flight,
 }
 
 impl LightRecorder {
@@ -199,7 +230,18 @@ impl LightRecorder {
             central: Mutex::new(Central::default()),
             spill: None,
             spill_threshold: 4096,
+            flight: Flight::disabled(),
         })
+    }
+
+    /// Attaches a flight-recorder handle. Like [`LightRecorder::with_spill`]
+    /// this must be called before the recorder is shared.
+    pub fn with_flight(self: Arc<Self>, flight: Flight) -> Arc<Self> {
+        let mut inner = Arc::try_unwrap(self).unwrap_or_else(|_| {
+            panic!("with_flight must be called before sharing the recorder")
+        });
+        inner.flight = flight;
+        Arc::new(inner)
     }
 
     /// Enables spill-to-disk: thread-local buffers flush to `sink` when
@@ -284,14 +326,12 @@ impl LightRecorder {
             args: args.to_vec(),
             stats,
             provenance: None,
+            stripe_hist: central.stripe_hits,
         }
     }
 
     fn stripe(&self, key: u64) -> &RwLock<FastMap<u64, u64>> {
-        // Multiplicative hash on the location key, as the paper hashes on
-        // the field offset.
-        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
-        &self.lw[(h as usize) % STRIPES]
+        &self.lw[stripe_of(key)]
     }
 
     /// Read-locks `key`'s stripe, trying the non-blocking path first.
@@ -340,6 +380,7 @@ impl LightRecorder {
                 *slot = Some(TlsBuf {
                     recorder_id: self.id,
                     tid,
+                    flight: self.flight.clone(),
                     ..TlsBuf::default()
                 });
             }
@@ -355,6 +396,15 @@ impl LightRecorder {
 
     fn close_run(buf: &mut TlsBuf, mut run: OpenRun) {
         if run.write_ctrs.is_empty() {
+            // Same long-word cost model as `take_recording`'s accounting.
+            let cost = 2 + u64::from(run.last != run.first);
+            buf.flight.emit(
+                FlightKind::DepRecorded,
+                buf.tid.raw(),
+                run.site,
+                run.loc,
+                cost,
+            );
             buf.deps.push(DepEdge {
                 loc: run.loc,
                 w: run.w0,
@@ -385,6 +435,14 @@ impl LightRecorder {
         if run.w0.is_none() && run.write_ctrs.len() == 1 && run.first == run.last {
             return;
         }
+        let cost = 3 + run.write_ctrs.len() as u64;
+        buf.flight.emit(
+            FlightKind::RunRecorded,
+            buf.tid.raw(),
+            run.site,
+            run.loc,
+            cost,
+        );
         buf.runs.push(RunRec {
             loc: run.loc,
             tid: buf.tid,
@@ -403,14 +461,38 @@ impl LightRecorder {
         }
     }
 
-    fn record_read(&self, tid: Tid, ctr: u64, key: u64, lw: Option<AccessId>, contended: bool) {
+    /// Tallies one contended stripe acquisition (total + per-stripe) and
+    /// emits the flight event.
+    fn note_contention(&self, buf: &mut TlsBuf, key: u64, site: u64) {
+        buf.stripe_contention += 1;
+        if buf.stripe_hits.is_empty() {
+            buf.stripe_hits = vec![0; STRIPES];
+        }
+        let stripe = stripe_of(key);
+        buf.stripe_hits[stripe] += 1;
+        self.flight
+            .emit(FlightKind::StripeBlocked, buf.tid.raw(), site, key, stripe as u64);
+    }
+
+    fn record_read(
+        &self,
+        tid: Tid,
+        ctr: u64,
+        key: u64,
+        lw: Option<AccessId>,
+        contended: bool,
+        site: u64,
+    ) {
         self.with_tls(tid, |buf| {
             buf.max_ctr = buf.max_ctr.max(ctr);
-            buf.stripe_contention += u64::from(contended);
+            if contended {
+                self.note_contention(buf, key, site);
+            }
             let idx = buf.focus(key);
             if let Some(run) = &mut buf.slots[idx] {
                 if Self::continues(tid, run, lw) {
                     run.last = ctr;
+                    self.flight.emit(FlightKind::PrecHit, tid.raw(), site, key, 1);
                     return;
                 }
                 let closed = buf.slots[idx].take().expect("checked");
@@ -423,11 +505,13 @@ impl LightRecorder {
                 last: ctr,
                 own_last_write: None,
                 write_ctrs: Vec::new(),
+                site,
             });
             self.maybe_spill(buf);
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record_write(
         &self,
         tid: Tid,
@@ -436,10 +520,13 @@ impl LightRecorder {
         prev: Option<AccessId>,
         reads: bool,
         contended: bool,
+        site: u64,
     ) {
         self.with_tls(tid, |buf| {
             buf.max_ctr = buf.max_ctr.max(ctr);
-            buf.stripe_contention += u64::from(contended);
+            if contended {
+                self.note_contention(buf, key, site);
+            }
             let extend = self.config.o1 || reads;
             let idx = buf.focus(key);
             if let Some(run) = &mut buf.slots[idx] {
@@ -447,6 +534,7 @@ impl LightRecorder {
                     run.last = ctr;
                     run.own_last_write = Some(ctr);
                     run.write_ctrs.push(ctr);
+                    self.flight.emit(FlightKind::O1Merge, tid.raw(), site, key, 1);
                     return;
                 }
                 let closed = buf.slots[idx].take().expect("checked");
@@ -459,6 +547,7 @@ impl LightRecorder {
                 last: ctr,
                 own_last_write: Some(ctr),
                 write_ctrs: vec![ctr],
+                site,
             });
             self.maybe_spill(buf);
         });
@@ -466,25 +555,25 @@ impl LightRecorder {
 
     /// Ghost read-modify-write used by monitor/thread events: updates the
     /// last write under the stripe lock and records the dependence.
-    fn ghost_rw(&self, tid: Tid, ctr: u64, key: u64) {
+    fn ghost_rw(&self, tid: Tid, ctr: u64, key: u64, site: u64) {
         let me = AccessId::new(tid, ctr);
         let (mut shard, contended) = self.stripe_write(key);
         let prev = shard.insert(key, pack(me)).map(unpack);
         drop(shard);
-        self.record_write(tid, ctr, key, prev, true, contended);
+        self.record_write(tid, ctr, key, prev, true, contended, site);
     }
 
-    fn ghost_write(&self, tid: Tid, ctr: u64, key: u64) {
+    fn ghost_write(&self, tid: Tid, ctr: u64, key: u64, site: u64) {
         let me = AccessId::new(tid, ctr);
         let (mut shard, contended) = self.stripe_write(key);
         let prev = shard.insert(key, pack(me)).map(unpack);
         drop(shard);
-        self.record_write(tid, ctr, key, prev, false, contended);
+        self.record_write(tid, ctr, key, prev, false, contended, site);
     }
 
-    fn ghost_read(&self, tid: Tid, ctr: u64, key: u64) {
+    fn ghost_read(&self, tid: Tid, ctr: u64, key: u64, site: u64) {
         let (lw, contended) = self.lw_get(key);
-        self.record_read(tid, ctr, key, lw, contended);
+        self.record_read(tid, ctr, key, lw, contended, site);
     }
 
     fn is_guarded(&self, loc: &Loc) -> bool {
@@ -504,15 +593,24 @@ impl Recorder for LightRecorder {
         loc: Loc,
         kind: AccessKind,
         guarded: bool,
-        _instr: InstrId,
+        instr: InstrId,
         op: &mut dyn FnMut() -> u64,
     ) -> u64 {
+        // Packed only when a flight sink is listening: `InstrId::pack` is a
+        // couple of shifts, but the disabled path stays branch-only.
+        let site = if self.flight.enabled() {
+            instr.pack()
+        } else {
+            NO_SITE
+        };
         if (guarded && self.config.o2) || self.is_guarded(&loc) {
             // O2: the lock ghost dependences subsume this location.
             self.with_tls(tid, |buf| {
                 buf.o2_skipped += 1;
                 buf.max_ctr = buf.max_ctr.max(ctr);
             });
+            self.flight
+                .emit(FlightKind::O2Elision, tid.raw(), site, loc.key(), 1);
             return op();
         }
         let key = loc.key();
@@ -530,7 +628,7 @@ impl Recorder for LightRecorder {
                     let v = op();
                     (v, shard.get(&key).copied().map(unpack), contended)
                 };
-                self.record_read(tid, ctr, key, lw, contended);
+                self.record_read(tid, ctr, key, lw, contended, site);
                 value
             }
             AccessKind::Write => {
@@ -541,7 +639,7 @@ impl Recorder for LightRecorder {
                     let prev = shard.insert(key, pack(me));
                     (v, prev.map(unpack), contended)
                 };
-                self.record_write(tid, ctr, key, prev, false, contended);
+                self.record_write(tid, ctr, key, prev, false, contended, site);
                 value
             }
             AccessKind::ReadWrite => {
@@ -552,22 +650,38 @@ impl Recorder for LightRecorder {
                     shard.insert(key, pack(me));
                     (v, prev, contended)
                 };
-                self.record_write(tid, ctr, key, prev, true, contended);
+                self.record_write(tid, ctr, key, prev, true, contended, site);
                 value
             }
         }
     }
 
-    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, _instr: InstrId) {
+    fn on_sync(&self, tid: Tid, ctr: u64, ev: SyncEvent, instr: InstrId) {
+        let site = if self.flight.enabled() {
+            instr.pack()
+        } else {
+            NO_SITE
+        };
+        // One GhostOp flight event per sync operation, with a small code
+        // distinguishing the operation class (aux).
+        let ghost = |key: u64, code: u64| {
+            self.flight.emit(FlightKind::GhostOp, tid.raw(), site, key, code);
+        };
         match ev {
             SyncEvent::MonitorEnter { obj } | SyncEvent::Notify { obj, .. } => {
-                self.ghost_rw(tid, ctr, Loc::Monitor(obj).key());
+                let key = Loc::Monitor(obj).key();
+                ghost(key, 0);
+                self.ghost_rw(tid, ctr, key, site);
             }
             SyncEvent::MonitorExit { obj } | SyncEvent::WaitBefore { obj } => {
-                self.ghost_write(tid, ctr, Loc::Monitor(obj).key());
+                let key = Loc::Monitor(obj).key();
+                ghost(key, 1);
+                self.ghost_write(tid, ctr, key, site);
             }
             SyncEvent::WaitAfter { obj, notifier } => {
-                self.ghost_rw(tid, ctr, Loc::Monitor(obj).key());
+                let key = Loc::Monitor(obj).key();
+                ghost(key, 2);
+                self.ghost_rw(tid, ctr, key, site);
                 if let Some((ntid, nctr)) = notifier {
                     self.with_tls(tid, |buf| {
                         buf.signals.push(SignalEdge {
@@ -578,16 +692,24 @@ impl Recorder for LightRecorder {
                 }
             }
             SyncEvent::Spawn { child } => {
-                self.ghost_write(tid, ctr, Loc::ThreadLife(child).key());
+                let key = Loc::ThreadLife(child).key();
+                ghost(key, 3);
+                self.ghost_write(tid, ctr, key, site);
             }
             SyncEvent::ThreadStart { .. } => {
-                self.ghost_read(tid, ctr, Loc::ThreadLife(tid).key());
+                let key = Loc::ThreadLife(tid).key();
+                ghost(key, 4);
+                self.ghost_read(tid, ctr, key, site);
             }
             SyncEvent::Join { child, .. } => {
-                self.ghost_read(tid, ctr, Loc::ThreadLife(child).key());
+                let key = Loc::ThreadLife(child).key();
+                ghost(key, 5);
+                self.ghost_read(tid, ctr, key, site);
             }
             SyncEvent::ThreadEnd => {
-                self.ghost_write(tid, ctr, Loc::ThreadLife(tid).key());
+                let key = Loc::ThreadLife(tid).key();
+                ghost(key, 6);
+                self.ghost_write(tid, ctr, key, site);
             }
         }
     }
@@ -619,6 +741,14 @@ impl Recorder for LightRecorder {
         central.retries += buf.retries;
         central.o2_skipped += buf.o2_skipped;
         central.stripe_contention += buf.stripe_contention;
+        if !buf.stripe_hits.is_empty() {
+            if central.stripe_hits.is_empty() {
+                central.stripe_hits = vec![0; STRIPES];
+            }
+            for (c, h) in central.stripe_hits.iter_mut().zip(&buf.stripe_hits) {
+                *c += h;
+            }
+        }
         central.extents.insert(tid, buf.max_ctr);
         central.spilled_deps += buf.spilled_deps;
         central.spilled_runs += buf.spilled_runs;

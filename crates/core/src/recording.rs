@@ -144,6 +144,12 @@ pub struct Recording {
     pub stats: RecordStats,
     /// How schedule exploration found this run, when it did.
     pub provenance: Option<ExploreProvenance>,
+    /// Per-stripe breakdown of [`RecordStats::stripe_contention`]: one
+    /// slot per last-write-map stripe counting the accesses whose stripe
+    /// lock was contended. Empty when no contention was observed (the
+    /// common case); dense (`STRIPES` slots) otherwise. Persisted from
+    /// log format v4; older logs load with an empty histogram.
+    pub stripe_hist: Vec<u64>,
 }
 
 impl Recording {
@@ -171,7 +177,20 @@ impl Recording {
         snap.counters.insert("runs".into(), self.runs.len() as u64);
         snap.counters
             .insert("signals".into(), self.signals.len() as u64);
+        snap.stripe_hist = self.stripe_hist_sparse();
         snap
+    }
+
+    /// The non-zero entries of [`Recording::stripe_hist`] as
+    /// `(stripe index, contended accesses)` pairs — the shape persisted in
+    /// the log and exported through [`light_obs::MetricsSnapshot`].
+    pub fn stripe_hist_sparse(&self) -> Vec<(u32, u64)> {
+        self.stripe_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
     }
 
     /// All write access ids participating in any dependence or run — the

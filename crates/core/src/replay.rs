@@ -23,6 +23,11 @@ pub struct ReplayOptions {
     pub gate_timeout: Duration,
     /// Overall wall-clock budget of the replay run.
     pub wall_timeout: Duration,
+    /// Flight recorder threaded through the replay pipeline: the
+    /// constraint builder's census, the solver's progress ticks, and the
+    /// controlled scheduler's admission decisions emit to it. Disabled by
+    /// default (one untaken branch per site).
+    pub flight: light_obs::Flight,
 }
 
 impl Default for ReplayOptions {
@@ -30,6 +35,7 @@ impl Default for ReplayOptions {
         Self {
             gate_timeout: Duration::from_secs(10),
             wall_timeout: Duration::from_secs(60),
+            flight: light_obs::Flight::disabled(),
         }
     }
 }
@@ -113,6 +119,24 @@ pub fn compute_schedule_traced(
     o2: bool,
     obs: &Obs,
 ) -> Result<(ReplaySchedule, SolveStats, Vec<PhaseRecord>), ScheduleError> {
+    compute_schedule_instrumented(recording, analysis, o2, obs, &light_obs::Flight::disabled())
+}
+
+/// [`compute_schedule_traced`] with a flight recorder attached to the
+/// constraint builder and solver: emits `constraint-group` census events
+/// and `solver-tick` progress events to `flight` in addition to the
+/// pipeline spans on `obs`.
+///
+/// # Errors
+///
+/// See [`compute_schedule`].
+pub fn compute_schedule_instrumented(
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    obs: &Obs,
+    flight: &light_obs::Flight,
+) -> Result<(ReplaySchedule, SolveStats, Vec<PhaseRecord>), ScheduleError> {
     let mut phases = Vec::new();
     let mut timed = |name: &str, start_us: u64| {
         phases.push(PhaseRecord {
@@ -125,7 +149,11 @@ pub fn compute_schedule_traced(
     let start = light_obs::now_us();
     let sys = {
         let _span = obs.span("constraint-build");
-        ConstraintSystem::build(recording)
+        let mut sys = ConstraintSystem::build(recording);
+        if flight.enabled() {
+            sys.set_flight(flight.clone());
+        }
+        sys
     };
     timed("constraint-build", start);
 
@@ -214,7 +242,7 @@ pub fn replay_observed(
     halt: Option<HaltFlag>,
 ) -> Result<ReplayReport, ReplayError> {
     let (schedule, solve_stats, mut phases) =
-        compute_schedule_traced(recording, analysis, o2, obs)?;
+        compute_schedule_instrumented(recording, analysis, o2, obs, &options.flight)?;
     let schedule_len = schedule.ordered_len();
     let config = ExecConfig {
         recorder: observer,
@@ -228,6 +256,7 @@ pub fn replay_observed(
         wall_timeout: options.wall_timeout,
         obs: obs.clone(),
         halt,
+        flight: options.flight.clone(),
         ..ExecConfig::default()
     };
     let start = light_obs::now_us();

@@ -1,6 +1,6 @@
 //! Backward compatibility of the binary log against **checked-in golden
-//! fixtures**: `tests/fixtures/{v1,v2,v3}.lrec` are real byte images of
-//! the three format generations, so a reader regression (or an
+//! fixtures**: `tests/fixtures/{v1,v2,v3,v4}.lrec` are real byte images
+//! of the four format generations, so a reader regression (or an
 //! unannounced layout change) fails here even if the in-tree writer and
 //! reader drift together.
 //!
@@ -12,7 +12,7 @@
 
 use light_core::{
     peek_log_version, read_recording, write_recording, AccessId, DepEdge, ExploreProvenance,
-    RecordStats, Recording, RunRec, SignalEdge, LOG_FORMAT_VERSION,
+    RecordStats, Recording, RunRec, SignalEdge, LOG_FORMAT_VERSION, STRIPE_COUNT,
 };
 use light_runtime::{FaultKind, FaultReport, Tid, Value};
 use lir::{BlockId, FuncId, InstrId};
@@ -32,6 +32,9 @@ fn fixture() -> Recording {
     let t2 = Tid::ROOT.child(1);
     let mut nondet = HashMap::new();
     nondet.insert(t1, vec![5, -11, 400]);
+    let mut stripe_hist = vec![0u64; STRIPE_COUNT];
+    stripe_hist[10] = 2;
+    stripe_hist[200] = 1;
     Recording {
         deps: vec![
             DepEdge {
@@ -92,7 +95,14 @@ fn fixture() -> Recording {
             minimized: true,
             trace_segments: 4,
         }),
+        stripe_hist,
     }
+}
+
+/// The stripe-histogram section's byte length for the fixture (count word
+/// plus one `(u32, u64)` pair per non-zero stripe).
+fn stripe_hist_len(rec: &Recording) -> usize {
+    4 + rec.stripe_hist_sparse().len() * 12
 }
 
 /// The provenance section's byte length for the fixture (presence byte +
@@ -101,10 +111,18 @@ fn provenance_len(rec: &Recording) -> usize {
     1 + 4 + rec.provenance.as_ref().unwrap().strategy.len() + 8 + 8 + 1 + 8
 }
 
-/// Derives the exact v2 byte image from v3 bytes: drop the provenance
-/// section, rewrite the version field.
-fn v2_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
-    let mut v = v3.to_vec();
+/// Derives the exact v3 byte image from v4 bytes: drop the stripe
+/// histogram section, rewrite the version field.
+fn v3_bytes(v4: &[u8], rec: &Recording) -> Vec<u8> {
+    let mut v = v4.to_vec();
+    v.truncate(v.len() - stripe_hist_len(rec));
+    v[4..8].copy_from_slice(&3u32.to_le_bytes());
+    v
+}
+
+/// Derives the exact v2 byte image: v3 minus the provenance section.
+fn v2_bytes(v4: &[u8], rec: &Recording) -> Vec<u8> {
+    let mut v = v3_bytes(v4, rec);
     v.truncate(v.len() - provenance_len(rec));
     v[4..8].copy_from_slice(&2u32.to_le_bytes());
     v
@@ -112,8 +130,8 @@ fn v2_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
 
 /// Derives the exact v1 byte image: v2 minus the trailing
 /// `stripe_contention` word.
-fn v1_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
-    let mut v = v2_bytes(v3, rec);
+fn v1_bytes(v4: &[u8], rec: &Recording) -> Vec<u8> {
+    let mut v = v2_bytes(v4, rec);
     v.truncate(v.len() - 8);
     v[4..8].copy_from_slice(&1u32.to_le_bytes());
     v
@@ -125,11 +143,12 @@ fn v1_bytes(v3: &[u8], rec: &Recording) -> Vec<u8> {
 #[ignore = "writes tests/fixtures/*.lrec; run after intentional format bumps"]
 fn regenerate() {
     let rec = fixture();
-    let v3 = write_recording(&rec);
+    let v4 = write_recording(&rec);
     std::fs::create_dir_all(fixture_path("")).unwrap();
-    std::fs::write(fixture_path("v3.lrec"), &v3).unwrap();
-    std::fs::write(fixture_path("v2.lrec"), v2_bytes(&v3, &rec)).unwrap();
-    std::fs::write(fixture_path("v1.lrec"), v1_bytes(&v3, &rec)).unwrap();
+    std::fs::write(fixture_path("v4.lrec"), &v4).unwrap();
+    std::fs::write(fixture_path("v3.lrec"), v3_bytes(&v4, &rec)).unwrap();
+    std::fs::write(fixture_path("v2.lrec"), v2_bytes(&v4, &rec)).unwrap();
+    std::fs::write(fixture_path("v1.lrec"), v1_bytes(&v4, &rec)).unwrap();
 }
 
 fn load_fixture(name: &str) -> Vec<u8> {
@@ -138,20 +157,20 @@ fn load_fixture(name: &str) -> Vec<u8> {
 }
 
 #[test]
-fn current_writer_matches_v3_golden_bytes() {
+fn current_writer_matches_v4_golden_bytes() {
     // Byte-for-byte: any layout change must come with a version bump and
     // regenerated fixtures, never silently.
-    let golden = load_fixture("v3.lrec");
+    let golden = load_fixture("v4.lrec");
     assert_eq!(
         write_recording(&fixture()).as_ref(),
         golden.as_slice(),
-        "serialized bytes drifted from tests/fixtures/v3.lrec"
+        "serialized bytes drifted from tests/fixtures/v4.lrec"
     );
 }
 
 #[test]
-fn v3_golden_fixture_round_trips() {
-    let bytes = load_fixture("v3.lrec");
+fn v4_golden_fixture_round_trips() {
+    let bytes = load_fixture("v4.lrec");
     assert_eq!(peek_log_version(&bytes).unwrap(), LOG_FORMAT_VERSION);
     let back = read_recording(&bytes).unwrap();
     let rec = fixture();
@@ -164,6 +183,22 @@ fn v3_golden_fixture_round_trips() {
     assert_eq!(back.args, rec.args);
     assert_eq!(back.stats, rec.stats);
     assert_eq!(back.provenance, rec.provenance);
+    assert_eq!(back.stripe_hist, rec.stripe_hist);
+}
+
+#[test]
+fn v3_golden_fixture_loads_with_empty_stripe_hist() {
+    let bytes = load_fixture("v3.lrec");
+    assert_eq!(peek_log_version(&bytes).unwrap(), 3);
+    let back = read_recording(&bytes).unwrap();
+    let rec = fixture();
+    assert_eq!(back.deps, rec.deps);
+    assert_eq!(back.stats, rec.stats, "v3 carries the full stats block");
+    assert_eq!(back.provenance, rec.provenance);
+    assert!(
+        back.stripe_hist.is_empty(),
+        "v3 predates the stripe histogram; reader defaults it"
+    );
 }
 
 #[test]

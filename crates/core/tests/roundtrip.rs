@@ -477,6 +477,7 @@ fn deadlock_is_reproduced_as_blocked_replay() {
     light.set_replay_options(light_core::ReplayOptions {
         gate_timeout: std::time::Duration::from_secs(2),
         wall_timeout: std::time::Duration::from_secs(3),
+        ..Default::default()
     });
     let (recording, original) = light
         .find_bug(&[], 0..40)

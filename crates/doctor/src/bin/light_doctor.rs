@@ -37,6 +37,10 @@ options:
   --explain            explain unsatisfiable schedules via a minimal core
   --explain-budget <n> solver steps per minimization probe  (default 2000000)
   --recent <n>         recent-event ring size in reports    (default 16)
+  --flight <n>         flight-recorder ring capacity per thread; the event
+                       tail is dumped on divergence         (default 4096,
+                       0 disables)
+  --flight-tail <n>    flight events shown from the tail    (default 12)
   --json               machine-readable report on stdout";
 
 struct Cli {
@@ -50,6 +54,8 @@ struct Cli {
     explain: bool,
     explain_budget: u64,
     recent: usize,
+    flight: usize,
+    flight_tail: usize,
     json: bool,
 }
 
@@ -65,6 +71,8 @@ fn parse_cli() -> Result<Cli, String> {
         explain: false,
         explain_budget: 2_000_000,
         recent: 16,
+        flight: 4096,
+        flight_tail: 12,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +109,16 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.recent = next_val(&mut it, "--recent")?
                     .parse()
                     .map_err(|e| format!("--recent: {e}"))?;
+            }
+            "--flight" => {
+                cli.flight = next_val(&mut it, "--flight")?
+                    .parse()
+                    .map_err(|e| format!("--flight: {e}"))?;
+            }
+            "--flight-tail" => {
+                cli.flight_tail = next_val(&mut it, "--flight-tail")?
+                    .parse()
+                    .map_err(|e| format!("--flight-tail: {e}"))?;
             }
             "--json" => cli.json = true,
             "--help" | "-h" => {
@@ -220,6 +238,16 @@ fn json_report(
         ]),
     };
     obj.push(("divergence".to_string(), divergence));
+    obj.push((
+        "flight_tail".to_string(),
+        Value::Arr(
+            report
+                .flight_tail
+                .iter()
+                .map(|ev| Value::Str(flight_line(ev)))
+                .collect(),
+        ),
+    ));
     if let Some(replay) = &report.replay {
         obj.push((
             "correlated".to_string(),
@@ -227,6 +255,24 @@ fn json_report(
         ));
     }
     Value::Obj(obj)
+}
+
+/// One human-readable line per flight event for divergence tails.
+fn flight_line(ev: &light_obs::FlightEvent) -> String {
+    let site = if ev.site == light_obs::NO_SITE {
+        "-".to_string()
+    } else {
+        format!("{:#x}", ev.site)
+    };
+    format!(
+        "{}us t{} {} site={} loc={:#x} aux={}",
+        ev.ts_us,
+        ev.tid,
+        ev.kind.name(),
+        site,
+        ev.loc,
+        ev.aux,
+    )
 }
 
 fn main() -> ExitCode {
@@ -266,6 +312,7 @@ fn main() -> ExitCode {
 
     let options = DoctorOptions {
         recent: cli.recent,
+        flight_ring: cli.flight,
         ..DoctorOptions::default()
     };
     let report = match doctor_replay(&light, &recording, &reference, &options) {
@@ -294,7 +341,21 @@ fn main() -> ExitCode {
         println!("{}", json_report(&label, &report, injected.as_deref()).to_json());
     } else {
         match &report.divergence {
-            Some(d) => print!("[{label}] {}", d.render()),
+            Some(d) => {
+                print!("[{label}] {}", d.render());
+                if !report.flight_tail.is_empty() && cli.flight_tail > 0 {
+                    let tail = &report.flight_tail
+                        [report.flight_tail.len().saturating_sub(cli.flight_tail)..];
+                    println!(
+                        "[{label}] flight tail (last {} of {} events):",
+                        tail.len(),
+                        report.flight_tail.len(),
+                    );
+                    for ev in tail {
+                        println!("  {}", flight_line(ev));
+                    }
+                }
+            }
             None => println!(
                 "[{label}] replay healthy: {} reads cross-checked, {} uncovered, 0 divergences",
                 report.stats.checked_reads, report.stats.uncovered_reads,

@@ -430,6 +430,7 @@ mod tests {
             args: Vec::new(),
             stats: Default::default(),
             provenance: None,
+            stripe_hist: Vec::new(),
         }
     }
 

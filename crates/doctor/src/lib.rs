@@ -49,6 +49,8 @@ pub use divergence::{CheckStats, DivergenceChecker, DivergenceReport, ObservedEv
 pub use explain::{explain_unsat, ExplainedConstraint, UnsatExplanation};
 
 use light_core::{replay_observed, Light, Recording, ReplayError, ReplayOptions, ReplayReport};
+use light_obs::FlightEvent;
+use light_profile::FlightRecorder;
 use light_runtime::HaltFlag;
 use std::sync::Arc;
 
@@ -57,6 +59,10 @@ use std::sync::Arc;
 pub struct DoctorOptions {
     /// Size of the recent-event ring buffer in divergence reports.
     pub recent: usize,
+    /// Per-thread flight-recorder ring capacity for the checked replay.
+    /// When the run diverges, the flight tail is dumped post-mortem into
+    /// [`DoctorReport::flight_tail`]. `0` disables the flight recorder.
+    pub flight_ring: usize,
     /// Replay timeouts and stall limits.
     pub replay: ReplayOptions,
 }
@@ -65,6 +71,7 @@ impl Default for DoctorOptions {
     fn default() -> Self {
         Self {
             recent: 16,
+            flight_ring: 4096,
             replay: ReplayOptions::default(),
         }
     }
@@ -80,6 +87,11 @@ pub struct DoctorReport {
     pub divergence: Option<DivergenceReport>,
     /// Cross-check counters.
     pub stats: CheckStats,
+    /// The flight-recorder tail drained after the halt, oldest first —
+    /// the pipeline's last scheduler/recording micro-events leading up to
+    /// the divergence. Empty for healthy runs or when
+    /// [`DoctorOptions::flight_ring`] is `0`.
+    pub flight_tail: Vec<FlightEvent>,
 }
 
 impl DoctorReport {
@@ -112,23 +124,38 @@ pub fn doctor_replay(
         options.recent,
         halt.clone(),
     ));
+    // Attach a flight recorder so a diverged run leaves a micro-event
+    // trail. The ring writes are wait-free, so leaving this on does not
+    // perturb the replay being diagnosed.
+    let recorder = (options.flight_ring > 0).then(|| FlightRecorder::new(options.flight_ring));
+    let mut replay_options = options.replay.clone();
+    if let Some(rec) = &recorder {
+        replay_options.flight = rec.flight();
+    }
     let result = replay_observed(
         light.program(),
         recording,
         light.analysis(),
         light.config().o2,
-        &options.replay,
+        &replay_options,
         light.observability(),
         checker.clone(),
         Some(halt),
     );
     let divergence = checker.report();
     let stats = checker.stats();
+    // Post-mortem only: the tail is the flight recorder's whole point on
+    // a diverged run, and dead weight on a healthy one.
+    let flight_tail = match (&divergence, recorder) {
+        (Some(_), Some(rec)) => rec.dump(),
+        _ => Vec::new(),
+    };
     match result {
         Ok(replay) => Ok(DoctorReport {
             replay: Some(replay),
             divergence,
             stats,
+            flight_tail,
         }),
         // The checker halting the run can surface as a replay failure;
         // the divergence is the diagnosis, not the error.
@@ -136,6 +163,7 @@ pub fn doctor_replay(
             replay: None,
             divergence,
             stats,
+            flight_tail,
         }),
         Err(e) => Err(e),
     }

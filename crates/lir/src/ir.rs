@@ -69,6 +69,24 @@ pub struct InstrId {
 impl InstrId {
     /// The sentinel index used for a block terminator.
     pub const TERM_IDX: u32 = u32::MAX;
+
+    /// Packs into one word (`func << 48 | block << 32 | idx`) for compact
+    /// event records (the flight recorder's `site` field). Function and
+    /// block ids are bounded to 16 bits — far beyond any program in this
+    /// repository — and asserted in debug builds.
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.func.0 < (1 << 16) && self.block.0 < (1 << 16));
+        (u64::from(self.func.0) << 48) | (u64::from(self.block.0) << 32) | u64::from(self.idx)
+    }
+
+    /// Inverse of [`InstrId::pack`].
+    pub fn unpack(word: u64) -> InstrId {
+        InstrId {
+            func: FuncId((word >> 48) as u32),
+            block: BlockId(((word >> 32) & 0xffff) as u32),
+            idx: (word & 0xffff_ffff) as u32,
+        }
+    }
 }
 
 impl fmt::Display for InstrId {

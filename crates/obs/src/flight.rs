@@ -1,0 +1,294 @@
+//! The flight-recorder event hook: a second, *much* cheaper event plane
+//! next to [`crate::Sink`].
+//!
+//! Where [`crate::Sink`] carries phase spans and end-of-run counters,
+//! [`FlightSink`] carries the pipeline's *micro*-events — one compact
+//! fixed-size record per recorded dependence, prec hit, stripe block,
+//! elision, ghost op, scheduler decision, or solver tick. The contract
+//! mirrors [`crate::Obs`]: a disabled [`Flight`] handle costs exactly one
+//! untaken branch per site (no clock read, no allocation, no atomic), so
+//! the recorder's fast path is unchanged and recordings stay
+//! byte-identical whether or not a flight recorder is attached.
+//!
+//! The canonical sink is `light-profile`'s per-thread ring buffers; this
+//! module only defines the wire format and the handle so `light-core`,
+//! `light-runtime`, and `light-solver` can emit without depending on the
+//! profiler.
+
+use crate::now_us;
+use std::sync::Arc;
+
+/// `FlightEvent::site` value meaning "no instruction site".
+pub const NO_SITE: u64 = u64::MAX;
+
+/// What happened. Kept dense and `u8`-sized so events pack into five
+/// words; `from_u8` is the decoder used when draining ring buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A flow dependence was closed into the log. `loc` = location key,
+    /// `aux` = log cost in long words.
+    DepRecorded = 0,
+    /// A run record (O1 merged sequence) was closed into the log.
+    /// `loc` = location key, `aux` = log cost in long words.
+    RunRecorded = 1,
+    /// Algorithm 1's `prec` collapsed a read into the open run.
+    /// `loc` = location key.
+    PrecHit = 2,
+    /// O1 merged a same-thread write into the open run. `loc` = key.
+    O1Merge = 3,
+    /// O2 elided a consistently-lock-guarded access entirely.
+    /// `loc` = location key, `aux` = 1 (one access worth of work saved).
+    O2Elision = 4,
+    /// A stripe lock's non-blocking path failed and the thread blocked
+    /// (the substrate's analogue of the paper's CAS retry).
+    /// `loc` = location key, `aux` = stripe index.
+    StripeBlocked = 5,
+    /// A speculative pick was thrown away (scheduler suppressed a
+    /// runnable thread, e.g. after a fault). `loc` = suppressed count.
+    SpecFail = 6,
+    /// A monitor / thread-lifecycle ghost operation flowed through the
+    /// recorder. `loc` = ghost location key, `aux` = sync-event code.
+    GhostOp = 7,
+    /// The controlled scheduler admitted a thread at its scheduled slot.
+    /// `loc` = global sequence number admitted.
+    SchedDecision = 8,
+    /// The controlled scheduler made a thread wait for its turn.
+    /// `loc` = the sequence number it stalled for.
+    SchedStall = 9,
+    /// The controlled scheduler parked a thread past its event frontier.
+    SchedPark = 10,
+    /// Solver progress tick (every N search decisions).
+    /// `loc` = decisions so far, `aux` = backtracks so far.
+    SolverTick = 11,
+    /// One constraint group was handed to the solver.
+    /// `loc` = constraint-kind code, `aux` = number of constraints.
+    ConstraintGroup = 12,
+}
+
+/// Number of distinct [`FlightKind`] values (for per-kind total arrays).
+pub const FLIGHT_KINDS: usize = 13;
+
+impl FlightKind {
+    /// Decodes a kind byte (the inverse of `kind as u8`).
+    pub fn from_u8(v: u8) -> Option<FlightKind> {
+        use FlightKind::*;
+        Some(match v {
+            0 => DepRecorded,
+            1 => RunRecorded,
+            2 => PrecHit,
+            3 => O1Merge,
+            4 => O2Elision,
+            5 => StripeBlocked,
+            6 => SpecFail,
+            7 => GhostOp,
+            8 => SchedDecision,
+            9 => SchedStall,
+            10 => SchedPark,
+            11 => SolverTick,
+            12 => ConstraintGroup,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name (used by folded stacks and the JSON report).
+    pub fn name(self) -> &'static str {
+        use FlightKind::*;
+        match self {
+            DepRecorded => "dep-recorded",
+            RunRecorded => "run-recorded",
+            PrecHit => "prec-hit",
+            O1Merge => "o1-merge",
+            O2Elision => "o2-elision",
+            StripeBlocked => "stripe-blocked",
+            SpecFail => "spec-fail",
+            GhostOp => "ghost-op",
+            SchedDecision => "sched-decision",
+            SchedStall => "sched-stall",
+            SchedPark => "sched-park",
+            SolverTick => "solver-tick",
+            ConstraintGroup => "constraint-group",
+        }
+    }
+}
+
+/// One flight-recorder event: 40 bytes, `Copy`, encodable to five `u64`
+/// words for lock-free ring storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the obs epoch ([`crate::now_us`]).
+    pub ts_us: u64,
+    pub kind: FlightKind,
+    /// Raw thread id (`Tid::raw`), or a pipeline lane for solver events.
+    pub tid: u64,
+    /// Packed instruction site (`InstrId` packed as
+    /// `func << 48 | block << 32 | idx`), or [`NO_SITE`].
+    pub site: u64,
+    /// Kind-specific location (location key, sequence number, ...).
+    pub loc: u64,
+    /// Kind-specific payload.
+    pub aux: u64,
+}
+
+impl FlightEvent {
+    /// Encodes to the five-word ring format. Thread ids are bounded to 56
+    /// bits by the recorder's own packing (24 bits in practice), so the
+    /// kind byte rides in the low byte of word 1.
+    pub fn encode(&self) -> [u64; 5] {
+        [
+            self.ts_us,
+            (self.kind as u64) | (self.tid << 8),
+            self.site,
+            self.loc,
+            self.aux,
+        ]
+    }
+
+    /// Decodes the five-word ring format; `None` on an unknown kind byte
+    /// (a torn slot from a wrapping writer).
+    pub fn decode(words: [u64; 5]) -> Option<FlightEvent> {
+        Some(FlightEvent {
+            ts_us: words[0],
+            kind: FlightKind::from_u8((words[1] & 0xff) as u8)?,
+            tid: words[1] >> 8,
+            site: words[2],
+            loc: words[3],
+            aux: words[4],
+        })
+    }
+}
+
+/// A consumer of flight events. Implementations must be wait-free-ish:
+/// events arrive from program threads inside the recorder's access path.
+pub trait FlightSink: Send + Sync {
+    /// Receives one event.
+    fn record(&self, ev: &FlightEvent);
+
+    /// Whether this sink wants events at all; [`Flight::with_sink`] drops
+    /// sinks reporting `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A cheap, cloneable handle to an optional flight sink, mirroring
+/// [`crate::Obs`]: when disabled every [`Flight::emit`] is one untaken
+/// branch — the clock is not even read.
+#[derive(Clone, Default)]
+pub struct Flight {
+    sink: Option<Arc<dyn FlightSink>>,
+}
+
+impl std::fmt::Debug for Flight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flight")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Flight {
+    /// A handle with no sink; every emit site is skipped.
+    pub fn disabled() -> Self {
+        Flight { sink: None }
+    }
+
+    /// Wraps a sink, dropping it outright if it reports
+    /// `enabled() == false`.
+    pub fn with_sink(sink: Arc<dyn FlightSink>) -> Self {
+        if sink.enabled() {
+            Flight { sink: Some(sink) }
+        } else {
+            Flight { sink: None }
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    pub fn sink(&self) -> Option<&Arc<dyn FlightSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Emits one event, stamping the timestamp only when enabled.
+    #[inline]
+    pub fn emit(&self, kind: FlightKind, tid: u64, site: u64, loc: u64, aux: u64) {
+        if let Some(sink) = &self.sink {
+            sink.record(&FlightEvent {
+                ts_us: now_us(),
+                kind,
+                tid,
+                site,
+                loc,
+                aux,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<FlightEvent>>);
+    impl FlightSink for Collect {
+        fn record(&self, ev: &FlightEvent) {
+            self.0.lock().unwrap().push(*ev);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let flight = Flight::disabled();
+        assert!(!flight.enabled());
+        flight.emit(FlightKind::DepRecorded, 1, NO_SITE, 42, 2);
+    }
+
+    #[test]
+    fn emit_reaches_the_sink() {
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let flight = Flight::with_sink(sink.clone());
+        flight.emit(FlightKind::PrecHit, 7, 3, 99, 0);
+        let events = sink.0.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FlightKind::PrecHit);
+        assert_eq!(events[0].tid, 7);
+        assert_eq!(events[0].loc, 99);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_every_kind() {
+        for code in 0..FLIGHT_KINDS as u8 {
+            let kind = FlightKind::from_u8(code).expect("dense");
+            assert_eq!(kind as u8, code);
+            let ev = FlightEvent {
+                ts_us: 123_456,
+                kind,
+                tid: 0xabcd,
+                site: 0xdead_beef,
+                loc: u64::MAX >> 1,
+                aux: 17,
+            };
+            assert_eq!(FlightEvent::decode(ev.encode()), Some(ev));
+        }
+        assert_eq!(FlightKind::from_u8(FLIGHT_KINDS as u8), None);
+    }
+
+    #[test]
+    fn disabled_sink_disables_the_handle() {
+        struct Off;
+        impl FlightSink for Off {
+            fn record(&self, _ev: &FlightEvent) {
+                panic!("must never be called");
+            }
+            fn enabled(&self) -> bool {
+                false
+            }
+        }
+        let flight = Flight::with_sink(Arc::new(Off));
+        assert!(!flight.enabled());
+        flight.emit(FlightKind::SolverTick, 0, NO_SITE, 0, 0);
+    }
+}

@@ -40,11 +40,13 @@
 //! assert!(json.contains("\"solve\""));
 //! ```
 
+pub mod flight;
 pub mod json;
 mod metrics;
 mod progress;
 mod trace;
 
+pub use flight::{Flight, FlightEvent, FlightKind, FlightSink, FLIGHT_KINDS, NO_SITE};
 pub use metrics::{
     ExploreMetrics, Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics,
     RunMetrics, SchedulerMetrics, SolverMetrics,

@@ -127,6 +127,12 @@ pub struct MetricsSnapshot {
     /// ...): histograms rather than single samples, so snapshots that
     /// aggregate many pipeline passes keep the shape of the distribution.
     pub latencies: BTreeMap<String, Histogram>,
+    /// Per-stripe breakdown of `record.stripe_contention` as sparse
+    /// `(stripe index, contended accesses)` pairs, sorted by index.
+    /// Empty when the recorder saw no contention (or predates the
+    /// histogram). Additive: serialized only when non-empty, so older
+    /// consumers of the JSON shape are unaffected.
+    pub stripe_hist: Vec<(u32, u64)>,
 }
 
 impl RecorderMetrics {
@@ -252,6 +258,17 @@ impl MetricsSnapshot {
                 ),
             ));
         }
+        if !self.stripe_hist.is_empty() {
+            pairs.push((
+                "stripe_hist".into(),
+                Value::arr(self.stripe_hist.iter().map(|&(stripe, count)| {
+                    Value::obj([
+                        ("stripe", Value::from(u64::from(stripe))),
+                        ("count", Value::from(count)),
+                    ])
+                })),
+            ));
+        }
         Value::Obj(pairs)
     }
 
@@ -282,6 +299,13 @@ impl MetricsSnapshot {
         }
         for (k, h) in &other.latencies {
             self.latencies.entry(k.clone()).or_default().merge(h);
+        }
+        if !other.stripe_hist.is_empty() {
+            let mut merged: BTreeMap<u32, u64> = self.stripe_hist.iter().copied().collect();
+            for &(stripe, count) in &other.stripe_hist {
+                *merged.entry(stripe).or_insert(0) += count;
+            }
+            self.stripe_hist = merged.into_iter().collect();
         }
     }
 }

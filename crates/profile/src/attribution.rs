@@ -1,0 +1,485 @@
+//! Folding a recording plus flight events into attribution profiles.
+//!
+//! Attribution answers "where did the recording overhead go": which
+//! variables produced the dependence log traffic (and how many long
+//! words each cost), which last-write-map stripes were hot or contended,
+//! which `.lir` lines paid for recording and which were saved by the O1
+//! merge and O2 elision optimizations, and where the solver spent its
+//! search.
+//!
+//! Two sources feed it, deliberately redundant:
+//!
+//! - the **recording** itself gives exact per-variable/per-stripe
+//!   dependence and run counts plus their log cost — complete even when
+//!   the flight rings wrapped;
+//! - the **flight events** add what the recording cannot carry: the
+//!   instruction sites (`.lir` lines) behind each record, the prec/O1/O2
+//!   savings, scheduler admission behavior and solver progress.
+
+use light_core::{stripe_of, ConstraintKind, Recording, STRIPE_COUNT};
+use light_obs::{FlightEvent, FlightKind, NO_SITE};
+use light_runtime::Loc;
+use lir::{InstrId, Program};
+use std::collections::BTreeMap;
+
+/// Log cost of one dependence edge in long words, mirroring the
+/// recorder's accounting: writer id + read-range start, plus one more
+/// word when the collapsed range has a distinct end.
+fn dep_cost(r_first: u64, r_last: u64) -> u64 {
+    2 + u64::from(r_first != r_last)
+}
+
+/// Log cost of one run record: loc + bounds + source write, plus one
+/// word per own write counter.
+fn run_cost(write_ctrs: usize) -> u64 {
+    3 + write_ctrs as u64
+}
+
+/// One shared variable's (dynamic location's) recording profile.
+#[derive(Debug, Clone)]
+pub struct VarProfile {
+    /// The dynamic location key.
+    pub key: u64,
+    /// Human-readable name (`@total`, `obj#3.next`, `monitor(obj#1)`...).
+    pub name: String,
+    /// The last-write-map stripe the key hashes to.
+    pub stripe: u32,
+    /// Dependence edges recorded against this location.
+    pub deps: u64,
+    /// Non-interleaved runs recorded against this location.
+    pub runs: u64,
+    /// Long words of log traffic those records cost.
+    pub log_longs: u64,
+    /// `prec` hits (reads collapsed into an open record) — from flight
+    /// events, zero when profiling was off or the ring wrapped past them.
+    pub prec_hits: u64,
+    /// O1 write merges into an open run.
+    pub o1_merges: u64,
+    /// O2-elided accesses.
+    pub o2_elisions: u64,
+}
+
+/// One last-write-map stripe's profile.
+#[derive(Debug, Clone)]
+pub struct StripeProfile {
+    pub stripe: u32,
+    /// Dependence + run records whose location hashes here (density).
+    pub records: u64,
+    /// Accesses that blocked on this stripe's lock (from the recording's
+    /// persisted histogram — exact).
+    pub contention: u64,
+}
+
+/// One `.lir` source line's profile, built from flight-event sites.
+#[derive(Debug, Clone, Default)]
+pub struct LineProfile {
+    pub line: u32,
+    /// Function name owning the site (first seen wins; lines are
+    /// function-local in `.lir`).
+    pub func: String,
+    pub deps: u64,
+    pub runs: u64,
+    /// Long words of log traffic attributed to this line.
+    pub log_longs: u64,
+    pub prec_hits: u64,
+    pub o1_merges: u64,
+    pub o2_elisions: u64,
+    /// Long words of log traffic O2 saved here (2 words per elided
+    /// access — the cost of the dependence it would have recorded).
+    pub elided_longs: u64,
+    pub ghost_ops: u64,
+}
+
+/// Controlled-scheduler admission profile (replay runs only).
+#[derive(Debug, Clone, Default)]
+pub struct SchedProfile {
+    /// Ordered slots admitted.
+    pub decisions: u64,
+    /// Admissions that had to wait for their turn.
+    pub stalls: u64,
+    /// Total nanoseconds spent stalled.
+    pub stall_ns: u64,
+    /// Threads parked past their event frontier.
+    pub parks: u64,
+    /// Speculative picks thrown away (suppressions).
+    pub spec_fails: u64,
+}
+
+/// Solver search profile.
+#[derive(Debug, Clone, Default)]
+pub struct SolverProfile {
+    /// Search decisions (from the last progress tick — exact, the solver
+    /// emits a final tick on completion).
+    pub decisions: u64,
+    pub backtracks: u64,
+    /// Constraint census: `(kind name, count)` per non-empty group.
+    pub groups: Vec<(String, u64)>,
+}
+
+/// How much of the recording the engine could attribute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coverage {
+    /// Dependence edges + runs in the recording.
+    pub units: u64,
+    /// Of those, attributed to a named variable + stripe.
+    pub attributed: u64,
+    /// Dep/run flight events carrying a resolvable instruction site
+    /// (line attribution coverage; less than `attributed` when rings
+    /// wrapped or profiling was off during recording).
+    pub with_line_site: u64,
+}
+
+impl Coverage {
+    /// Fraction of recorded dependences/runs attributed to a
+    /// variable/stripe site (the ≥ 0.95 acceptance criterion).
+    pub fn fraction(&self) -> f64 {
+        if self.units == 0 {
+            1.0
+        } else {
+            self.attributed as f64 / self.units as f64
+        }
+    }
+}
+
+/// The full attribution: every profile plus exact per-kind event totals.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Per-variable profiles, heaviest log traffic first.
+    pub vars: Vec<VarProfile>,
+    /// Per-stripe profiles, dense (`STRIPE_COUNT` entries).
+    pub stripes: Vec<StripeProfile>,
+    /// Per-line profiles, ascending line order, only lines with activity.
+    pub lines: Vec<LineProfile>,
+    pub sched: SchedProfile,
+    pub solver: SolverProfile,
+    pub coverage: Coverage,
+    /// Exact per-kind totals from the sink (immune to ring wraparound).
+    pub totals: Vec<(FlightKind, u64)>,
+}
+
+/// Names a location key using the program's symbol tables.
+fn name_of(program: &Program, key: u64) -> Option<String> {
+    let loc = Loc::from_key(key)?;
+    Some(match loc {
+        Loc::Global(g) => match program.globals.get(g.0 as usize) {
+            Some(name) => format!("@{name}"),
+            None => format!("@global#{}", g.0),
+        },
+        Loc::Field(o, f) => match program.field_names.get(f.0 as usize) {
+            Some(name) => format!("obj#{}.{name}", o.0),
+            None => format!("obj#{}.field#{}", o.0, f.0),
+        },
+        _ => loc.to_string(),
+    })
+}
+
+impl Attribution {
+    /// Folds `recording` and `events` into profiles. `totals` are the
+    /// sink's exact per-kind counts ([`crate::FlightRecorder::totals`]);
+    /// pass an empty vec when only the recording is available.
+    pub fn build(
+        program: &Program,
+        recording: &Recording,
+        events: &[FlightEvent],
+        totals: Vec<(FlightKind, u64)>,
+    ) -> Attribution {
+        let mut vars: BTreeMap<u64, VarProfile> = BTreeMap::new();
+        fn var<'a>(
+            vars: &'a mut BTreeMap<u64, VarProfile>,
+            program: &Program,
+            key: u64,
+        ) -> &'a mut VarProfile {
+            vars.entry(key).or_insert_with(|| VarProfile {
+                key,
+                name: name_of(program, key).unwrap_or_else(|| format!("loc#{key:#x}")),
+                stripe: stripe_of(key) as u32,
+                deps: 0,
+                runs: 0,
+                log_longs: 0,
+                prec_hits: 0,
+                o1_merges: 0,
+                o2_elisions: 0,
+            })
+        }
+
+        // Exact structural attribution from the recording itself.
+        let mut stripe_records = vec![0u64; STRIPE_COUNT];
+        let mut attributed = 0u64;
+        for d in &recording.deps {
+            let v = var(&mut vars, program, d.loc);
+            v.deps += 1;
+            v.log_longs += dep_cost(d.r_first, d.r_last);
+            stripe_records[stripe_of(d.loc)] += 1;
+            if Loc::from_key(d.loc).is_some() {
+                attributed += 1;
+            }
+        }
+        for r in &recording.runs {
+            let v = var(&mut vars, program, r.loc);
+            v.runs += 1;
+            v.log_longs += run_cost(r.write_ctrs.len());
+            stripe_records[stripe_of(r.loc)] += 1;
+            if Loc::from_key(r.loc).is_some() {
+                attributed += 1;
+            }
+        }
+
+        // Event-borne attribution: lines, savings, scheduler, solver.
+        let mut lines: BTreeMap<u32, LineProfile> = BTreeMap::new();
+        let mut sched = SchedProfile::default();
+        let mut solver = SolverProfile::default();
+        let mut groups: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut with_line_site = 0u64;
+        for ev in events {
+            let line = (ev.site != NO_SITE).then(|| {
+                let instr = InstrId::unpack(ev.site);
+                let entry = lines.entry(program.line_of(instr)).or_default();
+                if entry.func.is_empty() {
+                    if let Some(f) = program.funcs.get(instr.func.index()) {
+                        entry.func = f.name.clone();
+                    }
+                }
+                entry
+            });
+            match ev.kind {
+                FlightKind::DepRecorded => {
+                    if let Some(l) = line {
+                        l.deps += 1;
+                        l.log_longs += ev.aux;
+                        with_line_site += 1;
+                    }
+                }
+                FlightKind::RunRecorded => {
+                    if let Some(l) = line {
+                        l.runs += 1;
+                        l.log_longs += ev.aux;
+                        with_line_site += 1;
+                    }
+                }
+                FlightKind::PrecHit => {
+                    var(&mut vars, program, ev.loc).prec_hits += 1;
+                    if let Some(l) = line {
+                        l.prec_hits += 1;
+                    }
+                }
+                FlightKind::O1Merge => {
+                    var(&mut vars, program, ev.loc).o1_merges += 1;
+                    if let Some(l) = line {
+                        l.o1_merges += 1;
+                    }
+                }
+                FlightKind::O2Elision => {
+                    var(&mut vars, program, ev.loc).o2_elisions += 1;
+                    if let Some(l) = line {
+                        l.o2_elisions += 1;
+                        l.elided_longs += 2;
+                    }
+                }
+                FlightKind::StripeBlocked => {
+                    // Counted from the recording's persisted histogram;
+                    // the event only adds the (optional) line site.
+                }
+                FlightKind::GhostOp => {
+                    if let Some(l) = line {
+                        l.ghost_ops += 1;
+                    }
+                }
+                FlightKind::SpecFail => sched.spec_fails += 1,
+                FlightKind::SchedDecision => sched.decisions += 1,
+                FlightKind::SchedStall => {
+                    sched.stalls += 1;
+                    sched.stall_ns += ev.aux;
+                }
+                FlightKind::SchedPark => sched.parks += 1,
+                FlightKind::SolverTick => {
+                    // Ticks carry cumulative counters; the final tick at
+                    // solve completion is the exact total.
+                    solver.decisions = solver.decisions.max(ev.loc);
+                    solver.backtracks = solver.backtracks.max(ev.aux);
+                }
+                FlightKind::ConstraintGroup => {
+                    *groups.entry(ev.loc).or_default() += ev.aux;
+                }
+            }
+        }
+        solver.groups = groups
+            .into_iter()
+            .map(|(code, count)| {
+                let name = ConstraintKind::from_index(code)
+                    .map(|k| k.name().to_string())
+                    .unwrap_or_else(|| format!("kind#{code}"));
+                (name, count)
+            })
+            .collect();
+
+        // Stripe profiles: density from the recording's structure,
+        // contention from its persisted per-stripe histogram.
+        let stripes = (0..STRIPE_COUNT)
+            .map(|i| StripeProfile {
+                stripe: i as u32,
+                records: stripe_records[i],
+                contention: recording.stripe_hist.get(i).copied().unwrap_or(0),
+            })
+            .collect();
+
+        let units = recording.deps.len() as u64 + recording.runs.len() as u64;
+        let mut vars: Vec<VarProfile> = vars.into_values().collect();
+        vars.sort_by(|a, b| b.log_longs.cmp(&a.log_longs).then(a.key.cmp(&b.key)));
+        let mut lines: Vec<LineProfile> = lines
+            .into_iter()
+            .map(|(line, mut p)| {
+                p.line = line;
+                p
+            })
+            .collect();
+        lines.sort_by_key(|l| l.line);
+
+        Attribution {
+            vars,
+            stripes,
+            lines,
+            sched,
+            solver,
+            coverage: Coverage {
+                units,
+                attributed,
+                with_line_site,
+            },
+            totals,
+        }
+    }
+
+    /// Total log traffic attributed to variables, in long words.
+    pub fn log_longs(&self) -> u64 {
+        self.vars.iter().map(|v| v.log_longs).sum()
+    }
+
+    /// Total O2 savings in long words (2 per elided access).
+    pub fn elided_longs(&self) -> u64 {
+        self.vars.iter().map(|v| v.o2_elisions * 2).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::{AccessId, DepEdge, RunRec};
+    use light_runtime::Tid;
+
+    fn program() -> Program {
+        lir::parse(
+            "global total;
+             fn main() { total = 1; print(total); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recording_attribution_is_complete_without_events() {
+        let t1 = Tid::ROOT;
+        let g = Loc::Global(lir::GlobalId(0)).key();
+        let rec = Recording {
+            deps: vec![DepEdge {
+                loc: g,
+                w: Some(AccessId::new(t1, 1)),
+                r_tid: t1,
+                r_first: 2,
+                r_last: 4,
+            }],
+            runs: vec![RunRec {
+                loc: g,
+                tid: t1,
+                w0: None,
+                first: 5,
+                last: 8,
+                write_ctrs: vec![6],
+            }],
+            ..Recording::default()
+        };
+        let attr = Attribution::build(&program(), &rec, &[], Vec::new());
+        assert_eq!(attr.coverage.units, 2);
+        assert_eq!(attr.coverage.attributed, 2);
+        assert!(attr.coverage.fraction() >= 0.95);
+        assert_eq!(attr.vars.len(), 1);
+        let v = &attr.vars[0];
+        assert_eq!(v.name, "@total");
+        assert_eq!(v.deps, 1);
+        assert_eq!(v.runs, 1);
+        // dep: 2 + 1 (range), run: 3 + 1 (one own write).
+        assert_eq!(v.log_longs, 3 + 4);
+        assert_eq!(attr.stripes.len(), STRIPE_COUNT);
+        let hot: Vec<_> = attr.stripes.iter().filter(|s| s.records > 0).collect();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].stripe, stripe_of(g) as u32);
+        assert_eq!(hot[0].records, 2);
+    }
+
+    #[test]
+    fn line_sites_fold_into_line_profiles() {
+        let program = program();
+        let site = InstrId {
+            func: lir::FuncId(0),
+            block: lir::BlockId(0),
+            idx: 0,
+        };
+        let g = Loc::Global(lir::GlobalId(0)).key();
+        let events = vec![
+            FlightEvent {
+                ts_us: 1,
+                kind: FlightKind::DepRecorded,
+                tid: 0,
+                site: site.pack(),
+                loc: g,
+                aux: 2,
+            },
+            FlightEvent {
+                ts_us: 2,
+                kind: FlightKind::O2Elision,
+                tid: 0,
+                site: site.pack(),
+                loc: g,
+                aux: 1,
+            },
+        ];
+        let attr = Attribution::build(&program, &Recording::default(), &events, Vec::new());
+        assert_eq!(attr.lines.len(), 1);
+        let l = &attr.lines[0];
+        assert_eq!(l.line, program.line_of(site));
+        assert_eq!(l.func, "main");
+        assert_eq!(l.deps, 1);
+        assert_eq!(l.log_longs, 2);
+        assert_eq!(l.o2_elisions, 1);
+        assert_eq!(l.elided_longs, 2);
+        assert_eq!(attr.coverage.with_line_site, 1);
+    }
+
+    #[test]
+    fn solver_and_sched_events_aggregate() {
+        let mk = |kind, loc, aux| FlightEvent {
+            ts_us: 0,
+            kind,
+            tid: 0,
+            site: NO_SITE,
+            loc,
+            aux,
+        };
+        let events = vec![
+            mk(FlightKind::SolverTick, 4096, 10),
+            mk(FlightKind::SolverTick, 5000, 12),
+            mk(FlightKind::ConstraintGroup, 0, 3), // flow-dep
+            mk(FlightKind::ConstraintGroup, 8, 2), // disjoint
+            mk(FlightKind::SchedDecision, 1, 1),
+            mk(FlightKind::SchedStall, 2, 500),
+        ];
+        let attr = Attribution::build(&program(), &Recording::default(), &events, Vec::new());
+        assert_eq!(attr.solver.decisions, 5000);
+        assert_eq!(attr.solver.backtracks, 12);
+        assert_eq!(
+            attr.solver.groups,
+            vec![("flow-dep".to_string(), 3), ("disjoint".to_string(), 2)]
+        );
+        assert_eq!(attr.sched.decisions, 1);
+        assert_eq!(attr.sched.stalls, 1);
+        assert_eq!(attr.sched.stall_ns, 500);
+    }
+}

@@ -1,0 +1,271 @@
+//! `light-profile` — flight-record a program through the Light pipeline
+//! and attribute the recording/replay overhead.
+//!
+//! ```text
+//! light-profile prog.lir                      # record + solve, terminal heatmap
+//! light-profile prog.lir --args 4 --seed 7    # chaos-record with arguments
+//! light-profile --corpus cache4j --replay     # corpus bug, full pipeline
+//! light-profile prog.lir --json out.json --folded out.folded
+//! ```
+//!
+//! Always runs record + schedule (constraint build + solve); `--replay`
+//! adds the controlled replay run so scheduler admission events appear.
+//! Output: a terminal heatmap + summary (suppress with `--quiet`), a
+//! folded-stack file for `inferno`/`flamegraph.pl` (`--folded`), and the
+//! stable `light-profile/v1` JSON report (`--json`). Exit code 0 on
+//! success, 1 on usage/pipeline errors.
+
+use light_core::Light;
+use light_obs::FlightKind;
+use light_profile::{folded, heatmap, report, Attribution, FlightRecorder};
+use light_workloads::bugs;
+use lir::Program;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: light-profile [options] [<prog.lir>]
+
+targets (one of):
+  <prog.lir>           the program under test
+  --corpus <name>      a light-workloads corpus bug
+
+options:
+  --args <a,b,..>      entry arguments                     (default none)
+  --seed <n>           chaos seed                          (default 1)
+  --free               record under free scheduling instead of chaos
+  --replay             also run the controlled replay
+  --ring <n>           flight ring capacity per thread     (default 65536)
+  --top <n>            variables shown in the terminal view (default 10)
+  --json <out.json>    write the light-profile/v1 report ('-' for stdout)
+  --folded <out>       write folded stacks for flamegraph tools
+                       ('-' for stdout)
+  --color              force ANSI colors (default: only when stdout is a tty)
+  --quiet              suppress the terminal heatmap/summary";
+
+struct Cli {
+    file: Option<String>,
+    corpus: Option<String>,
+    args: Vec<i64>,
+    seed: u64,
+    free: bool,
+    replay: bool,
+    ring: usize,
+    top: usize,
+    json: Option<String>,
+    folded: Option<String>,
+    color: bool,
+    quiet: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        file: None,
+        corpus: None,
+        args: Vec::new(),
+        seed: 1,
+        free: false,
+        replay: false,
+        ring: 1 << 16,
+        top: 10,
+        json: None,
+        folded: None,
+        color: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--corpus" => cli.corpus = Some(next_val(&mut it, "--corpus")?),
+            "--args" => {
+                let raw = next_val(&mut it, "--args")?;
+                cli.args = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|e| format!("--args: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                cli.seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--free" => cli.free = true,
+            "--replay" => cli.replay = true,
+            "--ring" => {
+                cli.ring = next_val(&mut it, "--ring")?
+                    .parse()
+                    .map_err(|e| format!("--ring: {e}"))?;
+            }
+            "--top" => {
+                cli.top = next_val(&mut it, "--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--json" => cli.json = Some(next_val(&mut it, "--json")?),
+            "--folded" => cli.folded = Some(next_val(&mut it, "--folded")?),
+            "--color" => cli.color = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if cli.file.is_none() && !other.starts_with('-') => {
+                cli.file = Some(arg);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if cli.file.is_none() == cli.corpus.is_none() {
+        return Err("give exactly one of <prog.lir> or --corpus".into());
+    }
+    if cli.ring == 0 {
+        return Err("--ring must be positive".into());
+    }
+    Ok(cli)
+}
+
+/// Resolves the program under test and its entry arguments.
+fn target(cli: &Cli) -> Result<(String, Arc<Program>, Vec<i64>), String> {
+    if let Some(path) = &cli.file {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = Arc::new(lir::parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))?);
+        return Ok((path.clone(), program, cli.args.clone()));
+    }
+    let name = cli.corpus.as_deref().unwrap();
+    let corpus = bugs();
+    let case = corpus
+        .iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| format!("unknown corpus bug {name:?}"))?;
+    Ok((name.to_string(), case.program(), case.args.clone()))
+}
+
+fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("light-profile: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (label, program, args) = match target(&cli) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("light-profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut light = Light::new(program.clone());
+    let recorder = FlightRecorder::new(cli.ring);
+    light.set_flight_sink(recorder.clone());
+
+    // Record (flight events: dependence/run/prec/elision/ghost sites).
+    let recorded = if cli.free {
+        light.record(&args, cli.seed)
+    } else {
+        light.record_chaos(&args, cli.seed)
+    };
+    let (recording, outcome) = match recorded {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("light-profile: cannot record {label}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Solve (flight events: constraint census, solver ticks).
+    if let Err(e) = light.schedule(&recording) {
+        eprintln!("light-profile: cannot schedule {label}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Optional controlled replay (flight events: scheduler admissions).
+    if cli.replay {
+        if let Err(e) = light.replay(&recording) {
+            eprintln!("light-profile: cannot replay {label}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let events = recorder.dump();
+    let attr = Attribution::build(&program, &recording, &events, recorder.totals());
+
+    if !cli.quiet {
+        println!("== light-profile: {label} ==");
+        match &outcome.fault {
+            Some(f) => println!("recorded run faulted: {f}"),
+            None => println!("recorded run: clean"),
+        }
+        println!(
+            "flight events: {} captured across {} threads ({} dropped to ring wrap)",
+            recorder.events_seen(),
+            recorder.threads(),
+            recorder.dropped(),
+        );
+        println!(
+            "attribution: {}/{} dep+run units attributed ({:.1}%), {} with line sites",
+            attr.coverage.attributed,
+            attr.coverage.units,
+            attr.coverage.fraction() * 100.0,
+            attr.coverage.with_line_site,
+        );
+        println!(
+            "log traffic: {} longs recorded, {} longs saved by O2 elision",
+            attr.log_longs(),
+            attr.elided_longs(),
+        );
+        let o2 = attr
+            .totals
+            .iter()
+            .find(|(k, _)| *k == FlightKind::O2Elision)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        println!(
+            "solver: {} decisions, {} backtracks across {} constraint groups ({} O2-elided accesses)",
+            attr.solver.decisions,
+            attr.solver.backtracks,
+            attr.solver.groups.len(),
+            o2,
+        );
+        println!();
+        let color = cli.color || is_tty();
+        print!("{}", heatmap::render(&attr, cli.top, color));
+    }
+
+    if let Some(path) = &cli.folded {
+        if let Err(e) = write_out(path, &folded::folded_stacks(&attr)) {
+            eprintln!("light-profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &cli.json {
+        let doc = report::to_json(&attr, &label);
+        if let Err(e) = write_out(path, &(doc.to_json_pretty() + "\n")) {
+            eprintln!("light-profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Whether stdout is a terminal (ANSI colors default on). Checked via
+/// the portable `std::io::IsTerminal` trait.
+fn is_tty() -> bool {
+    use std::io::IsTerminal;
+    std::io::stdout().is_terminal()
+}

@@ -1,0 +1,140 @@
+//! ANSI terminal rendering: the 16×16 stripe heatmap and top-N variable
+//! bars.
+//!
+//! The heatmap lays the 256 last-write-map stripes out as a 16×16 grid
+//! (stripe = row * 16 + col) and colors each cell by its record density
+//! (or contention) relative to the maximum, using the xterm-256 grayscale
+//! ramp with hot cells in the red/yellow range. Rendering degrades to
+//! plain characters when colors are disabled.
+
+use crate::Attribution;
+use std::fmt::Write as _;
+
+const GRID: usize = 16;
+
+/// Five-step intensity ramp: xterm-256 background codes, cold → hot.
+const RAMP: [u8; 5] = [236, 240, 178, 208, 196];
+
+/// Picks the ramp color for `value` against `max`.
+fn ramp(value: u64, max: u64) -> u8 {
+    if value == 0 || max == 0 {
+        return RAMP[0];
+    }
+    // Quantize on a sqrt-ish scale so a single hot stripe does not wash
+    // out every other non-zero cell.
+    let frac = (value as f64 / max as f64).sqrt();
+    let idx = ((frac * (RAMP.len() - 1) as f64).ceil() as usize).clamp(1, RAMP.len() - 1);
+    RAMP[idx]
+}
+
+/// Renders one 16×16 grid of per-stripe `values` with a title and an
+/// intensity legend. `color` disables ANSI escapes when false (plain
+/// digit-cell fallback for logs/CI).
+pub fn stripe_grid(title: &str, values: &[u64], color: bool) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let total: u64 = values.iter().sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (total {total}, max/stripe {max}):");
+    for row in 0..GRID {
+        out.push_str("  ");
+        for col in 0..GRID {
+            let v = values.get(row * GRID + col).copied().unwrap_or(0);
+            if color {
+                let _ = write!(out, "\x1b[48;5;{}m  \x1b[0m", ramp(v, max));
+            } else {
+                // Plain fallback: one hex-ish intensity digit per cell.
+                let d = match () {
+                    _ if v == 0 => '.',
+                    _ if v == max => '#',
+                    _ if v * 4 >= max * 3 => '*',
+                    _ if v * 2 >= max => '+',
+                    _ => '-',
+                };
+                out.push(d);
+                out.push(d);
+            }
+        }
+        out.push('\n');
+    }
+    if color {
+        out.push_str("  legend:");
+        for (i, code) in RAMP.iter().enumerate() {
+            let _ = write!(
+                out,
+                " \x1b[48;5;{code}m \x1b[0m{}",
+                if i == 0 { "=0" } else { "" }
+            );
+        }
+        out.push_str(" →max\n");
+    } else {
+        out.push_str("  legend: .=0 -=low +=mid *=high #=max\n");
+    }
+    out
+}
+
+/// Renders the top-`n` variables by log traffic as width-scaled bars.
+pub fn variable_bars(attr: &Attribution, n: usize) -> String {
+    let mut out = String::new();
+    let max = attr.vars.first().map(|v| v.log_longs).unwrap_or(0);
+    let _ = writeln!(out, "hottest variables (log longs, deps/runs/elisions):");
+    if max == 0 {
+        out.push_str("  (no dependence log traffic)\n");
+        return out;
+    }
+    const WIDTH: usize = 32;
+    for v in attr.vars.iter().take(n) {
+        let bar = (v.log_longs as usize * WIDTH).div_ceil(max as usize);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} |{:<WIDTH$}| d{} r{} e{}",
+            v.name,
+            v.log_longs,
+            "#".repeat(bar),
+            v.deps,
+            v.runs,
+            v.o2_elisions,
+        );
+    }
+    out
+}
+
+/// The full terminal view: density grid, contention grid (only when any
+/// stripe contended), and the variable bars.
+pub fn render(attr: &Attribution, top: usize, color: bool) -> String {
+    let density: Vec<u64> = attr.stripes.iter().map(|s| s.records).collect();
+    let contention: Vec<u64> = attr.stripes.iter().map(|s| s.contention).collect();
+    let mut out = stripe_grid("stripe record density", &density, color);
+    if contention.iter().any(|&c| c > 0) {
+        out.push('\n');
+        out.push_str(&stripe_grid("stripe lock contention", &contention, color));
+    }
+    out.push('\n');
+    out.push_str(&variable_bars(attr, top));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_grid_has_16_rows_and_legend() {
+        let mut values = vec![0u64; 256];
+        values[0] = 9;
+        values[255] = 3;
+        let text = stripe_grid("density", &values, false);
+        let rows: Vec<&str> = text.lines().collect();
+        // title + 16 grid rows + legend.
+        assert_eq!(rows.len(), 18);
+        assert!(rows[1].starts_with("  ##"), "stripe 0 is the max cell");
+        assert!(rows[16].ends_with("--"), "stripe 255 is a low cell");
+    }
+
+    #[test]
+    fn color_grid_uses_ansi_background() {
+        let values = vec![1u64; 256];
+        let text = stripe_grid("density", &values, true);
+        assert!(text.contains("\x1b[48;5;"));
+        assert!(text.contains("\x1b[0m"));
+    }
+}

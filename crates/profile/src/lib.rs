@@ -1,0 +1,56 @@
+//! # light-profile — flight recorder + overhead attribution
+//!
+//! Two capabilities on top of the pipeline's [`light_obs::Flight`] hook:
+//!
+//! 1. **Flight recorder** ([`FlightRecorder`]): a lock-free per-thread
+//!    ring-buffer sink for the compact [`light_obs::FlightEvent`]s the
+//!    recorder, controlled scheduler, constraint builder and solver emit.
+//!    Fixed capacity per thread, wait-free on the hot path (one atomic
+//!    bump plus five relaxed stores), cheap enough to leave on, and
+//!    dumpable post-mortem — e.g. from the doctor's halt path after a
+//!    divergence.
+//!
+//! 2. **Attribution engine** ([`Attribution`]): folds a recording plus
+//!    the captured events into per-variable, per-stripe, and per-line
+//!    profiles — dependence-density, stripe-contention histograms,
+//!    log-bytes-by-site, elision-savings-by-site, solver constraint
+//!    census — exported as folded-stack flamegraph text ([`folded`]),
+//!    a stable JSON report ([`report`]), and an ANSI terminal heatmap
+//!    ([`heatmap`]).
+//!
+//! The `light-profile` binary packages both: it records (and optionally
+//! replays) a program with the flight recorder attached and emits all
+//! three artifact kinds.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use light_core::Light;
+//! use light_profile::{Attribution, FlightRecorder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(lir::parse(
+//!     "global x;
+//!      fn t() { x = x + 1; }
+//!      fn main() { x = 1; let h = spawn t(); join h; print(x); }",
+//! )?);
+//! let mut light = Light::new(Arc::clone(&program));
+//! let recorder = FlightRecorder::new(4096);
+//! light.set_flight_sink(recorder.clone());
+//! let (recording, _) = light.record(&[], 7)?;
+//! let events = recorder.dump();
+//! let attr = Attribution::build(&program, &recording, &events, recorder.totals());
+//! assert!(attr.coverage.fraction() >= 0.95);
+//! # Ok(())
+//! # }
+//! ```
+
+mod attribution;
+pub mod folded;
+pub mod heatmap;
+pub mod report;
+mod ring;
+
+pub use attribution::{
+    Attribution, Coverage, LineProfile, SchedProfile, SolverProfile, StripeProfile, VarProfile,
+};
+pub use ring::{FlightRecorder, ThreadRing};

@@ -1,0 +1,132 @@
+//! The stable machine-readable profile report.
+//!
+//! Schema `light-profile/v1`: consumers key off `schema.name` and may
+//! rely on every field below existing (additive evolution only — new
+//! fields may appear, existing ones keep their meaning). Validated in CI
+//! by `scripts/check_profile_report.py`.
+
+use crate::Attribution;
+use light_obs::json::Value;
+
+/// Builds the `light-profile/v1` JSON document.
+pub fn to_json(attr: &Attribution, program: &str) -> Value {
+    let totals = Value::Obj(
+        attr.totals
+            .iter()
+            .map(|(k, n)| (k.name().to_string(), Value::from(*n)))
+            .collect(),
+    );
+    let vars = Value::arr(attr.vars.iter().map(|v| {
+        Value::obj([
+            ("name", Value::Str(v.name.clone())),
+            ("key", Value::from(v.key)),
+            ("stripe", Value::from(v.stripe)),
+            ("deps", Value::from(v.deps)),
+            ("runs", Value::from(v.runs)),
+            ("log_longs", Value::from(v.log_longs)),
+            ("prec_hits", Value::from(v.prec_hits)),
+            ("o1_merges", Value::from(v.o1_merges)),
+            ("o2_elisions", Value::from(v.o2_elisions)),
+        ])
+    }));
+    // Stripes ship sparse: only rows with any activity.
+    let stripes = Value::arr(
+        attr.stripes
+            .iter()
+            .filter(|s| s.records > 0 || s.contention > 0)
+            .map(|s| {
+                Value::obj([
+                    ("stripe", Value::from(s.stripe)),
+                    ("records", Value::from(s.records)),
+                    ("contention", Value::from(s.contention)),
+                ])
+            }),
+    );
+    let lines = Value::arr(attr.lines.iter().map(|l| {
+        Value::obj([
+            ("line", Value::from(l.line)),
+            ("func", Value::Str(l.func.clone())),
+            ("deps", Value::from(l.deps)),
+            ("runs", Value::from(l.runs)),
+            ("log_longs", Value::from(l.log_longs)),
+            ("prec_hits", Value::from(l.prec_hits)),
+            ("o1_merges", Value::from(l.o1_merges)),
+            ("o2_elisions", Value::from(l.o2_elisions)),
+            ("elided_longs", Value::from(l.elided_longs)),
+            ("ghost_ops", Value::from(l.ghost_ops)),
+        ])
+    }));
+    Value::obj([
+        (
+            "schema",
+            Value::obj([
+                ("name", Value::from("light-profile/v1")),
+                ("program", Value::from(program)),
+            ]),
+        ),
+        (
+            "coverage",
+            Value::obj([
+                ("units", Value::from(attr.coverage.units)),
+                ("attributed", Value::from(attr.coverage.attributed)),
+                ("fraction", Value::from(attr.coverage.fraction())),
+                ("with_line_site", Value::from(attr.coverage.with_line_site)),
+            ]),
+        ),
+        ("totals", totals),
+        ("vars", vars),
+        ("stripes", stripes),
+        ("lines", lines),
+        (
+            "sched",
+            Value::obj([
+                ("decisions", Value::from(attr.sched.decisions)),
+                ("stalls", Value::from(attr.sched.stalls)),
+                ("stall_ns", Value::from(attr.sched.stall_ns)),
+                ("parks", Value::from(attr.sched.parks)),
+                ("spec_fails", Value::from(attr.sched.spec_fails)),
+            ]),
+        ),
+        (
+            "solver",
+            Value::obj([
+                ("decisions", Value::from(attr.solver.decisions)),
+                ("backtracks", Value::from(attr.solver.backtracks)),
+                (
+                    "groups",
+                    Value::Obj(
+                        attr.solver
+                            .groups
+                            .iter()
+                            .map(|(name, n)| (name.clone(), Value::from(*n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::Recording;
+
+    #[test]
+    fn report_has_the_stable_envelope() {
+        let program = lir::parse("global x; fn main() { x = 1; }").unwrap();
+        let attr = Attribution::build(&program, &Recording::default(), &[], Vec::new());
+        let doc = to_json(&attr, "test.lir");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.get("name")).and_then(Value::as_str),
+            Some("light-profile/v1")
+        );
+        for key in ["coverage", "totals", "vars", "stripes", "lines", "sched", "solver"] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            doc.get("coverage").and_then(|c| c.get("fraction")).and_then(Value::as_f64),
+            Some(1.0)
+        );
+    }
+}

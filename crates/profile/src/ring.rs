@@ -1,0 +1,263 @@
+//! Lock-free per-thread flight-event rings.
+//!
+//! Each OS thread that emits through a [`FlightRecorder`] gets its own
+//! fixed-capacity ring of encoded [`FlightEvent`]s. The write path is
+//! wait-free: five relaxed word stores plus one release bump of the
+//! thread-local cursor — no locks, no allocation after the first event,
+//! no cross-thread cache-line contention. When the ring is full the
+//! oldest events are overwritten (a flight recorder keeps the *tail* of
+//! history, which is exactly what a post-mortem wants); the per-kind
+//! totals keep exact counts regardless, so attribution never loses
+//! aggregate truth to wraparound.
+//!
+//! Dumping is designed for the post-mortem path — the doctor's halt
+//! flag, a fault, or end of run — where writers have stopped and the
+//! drain sees a quiescent ring. A live dump is safe (slots decode or are
+//! rejected) but may drop the handful of events being overwritten at
+//! that instant.
+
+use light_obs::{FlightEvent, FlightKind, FlightSink, FLIGHT_KINDS};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Words per encoded event (see [`FlightEvent::encode`]).
+const EVENT_WORDS: usize = 5;
+
+/// One thread's event ring: `capacity` five-word slots plus a monotone
+/// event cursor (total events ever written, not an index).
+pub struct ThreadRing {
+    words: Box<[AtomicU64]>,
+    cursor: AtomicU64,
+}
+
+impl ThreadRing {
+    /// Creates a ring holding `capacity` events.
+    ///
+    /// Rings are created lazily at a thread's *first* event, often while
+    /// that thread holds a scheduler turn, so construction must not
+    /// touch megabytes of memory: the buffer is allocated as zeroed
+    /// `u64`s (a calloc of untouched pages) and reinterpreted in place
+    /// rather than built one `AtomicU64` at a time.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        const {
+            assert!(size_of::<AtomicU64>() == size_of::<u64>());
+            assert!(align_of::<AtomicU64>() == align_of::<u64>());
+        }
+        let raw = Box::into_raw(vec![0u64; capacity * EVENT_WORDS].into_boxed_slice());
+        // SAFETY: AtomicU64 has the same size, alignment, and bit
+        // validity as u64 (asserted above), and zero is a valid value.
+        let words = unsafe { Box::from_raw(raw as *mut [AtomicU64]) };
+        ThreadRing {
+            words,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Events the ring can retain.
+    pub fn capacity(&self) -> usize {
+        self.words.len() / EVENT_WORDS
+    }
+
+    /// Total events ever pushed (monotone; exceeds `capacity` once the
+    /// ring has wrapped).
+    pub fn written(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Appends one event. Must only be called by the ring's owning
+    /// thread (the single-writer invariant is what makes the relaxed
+    /// stores sound); `FlightRecorder` guarantees this by construction.
+    pub fn push(&self, ev: &FlightEvent) {
+        let seq = self.cursor.load(Ordering::Relaxed);
+        let base = (seq as usize % self.capacity()) * EVENT_WORDS;
+        let enc = ev.encode();
+        for (i, word) in enc.iter().enumerate() {
+            self.words[base + i].store(*word, Ordering::Relaxed);
+        }
+        // Publish: a reader that acquires the new cursor sees the slot.
+        self.cursor.store(seq + 1, Ordering::Release);
+    }
+
+    /// Drains the retained tail, oldest first. Exact when the writer has
+    /// stopped (the post-mortem case); during a live dump, slots torn by
+    /// concurrent overwrite are skipped when their kind byte no longer
+    /// decodes (and may otherwise carry a mixed-generation event — the
+    /// price of a wait-free writer).
+    pub fn drain(&self) -> Vec<FlightEvent> {
+        let cap = self.capacity() as u64;
+        let end = self.cursor.load(Ordering::Acquire);
+        let start = end.saturating_sub(cap);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for seq in start..end {
+            let base = (seq as usize % self.capacity()) * EVENT_WORDS;
+            let mut words = [0u64; EVENT_WORDS];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = self.words[base + i].load(Ordering::Relaxed);
+            }
+            if let Some(ev) = FlightEvent::decode(words) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+/// Distinguishes [`FlightRecorder`] instances in the thread-local ring
+/// cache (a process can host several recorders, e.g. tests).
+static RECORDER_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's rings, one per live recorder it has emitted to.
+    static TLS_RINGS: RefCell<Vec<(usize, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The canonical [`FlightSink`]: per-thread rings plus exact per-kind
+/// totals. Create one, attach it via
+/// [`light_core::Light::set_flight_sink`] (or
+/// [`light_obs::Flight::with_sink`]), run the pipeline, then [`dump`]
+/// and feed the events to [`crate::Attribution`].
+///
+/// [`dump`]: FlightRecorder::dump
+pub struct FlightRecorder {
+    id: usize,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    totals: [AtomicU64; FLIGHT_KINDS],
+}
+
+impl FlightRecorder {
+    /// Creates a recorder whose per-thread rings hold `capacity` events
+    /// each. 4096 (~160 KiB/thread) is plenty for post-mortem tails; the
+    /// CLI uses 65536 to capture whole small runs.
+    pub fn new(capacity: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            id: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+            capacity,
+            rings: Mutex::new(Vec::new()),
+            totals: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    }
+
+    /// A [`light_obs::Flight`] handle emitting into this recorder.
+    pub fn flight(self: &Arc<Self>) -> light_obs::Flight {
+        light_obs::Flight::with_sink(self.clone())
+    }
+
+    /// This thread's ring, creating and registering it on first use.
+    fn ring(&self) -> Arc<ThreadRing> {
+        TLS_RINGS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some((_, ring)) = tls.iter().find(|(id, _)| *id == self.id) {
+                return ring.clone();
+            }
+            let ring = Arc::new(ThreadRing::new(self.capacity));
+            self.rings.lock().unwrap().push(ring.clone());
+            tls.push((self.id, ring.clone()));
+            ring
+        })
+    }
+
+    /// Exact per-kind event counts (immune to ring wraparound).
+    pub fn totals(&self) -> Vec<(FlightKind, u64)> {
+        (0..FLIGHT_KINDS as u8)
+            .filter_map(FlightKind::from_u8)
+            .map(|k| (k, self.totals[k as usize].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total events seen across all threads.
+    pub fn events_seen(&self) -> u64 {
+        self.totals.iter().map(|t| t.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Events lost to ring wraparound (seen minus retained).
+    pub fn dropped(&self) -> u64 {
+        let retained: u64 = self
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.written().min(r.capacity() as u64))
+            .sum();
+        self.events_seen().saturating_sub(retained)
+    }
+
+    /// Number of threads that have emitted at least one event.
+    pub fn threads(&self) -> usize {
+        self.rings.lock().unwrap().len()
+    }
+
+    /// Drains every thread's retained tail, merged into one timeline
+    /// sorted by timestamp (ties keep per-thread order). Call after the
+    /// run — or from a halt/divergence path once writers have stopped —
+    /// for an exact dump.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let rings = self.rings.lock().unwrap();
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            out.extend(ring.drain());
+        }
+        out.sort_by_key(|ev| ev.ts_us);
+        out
+    }
+}
+
+impl FlightSink for FlightRecorder {
+    fn record(&self, ev: &FlightEvent) {
+        self.totals[ev.kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.ring().push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_obs::NO_SITE;
+
+    fn ev(kind: FlightKind, ts: u64, loc: u64) -> FlightEvent {
+        FlightEvent {
+            ts_us: ts,
+            kind,
+            tid: 1,
+            site: NO_SITE,
+            loc,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_tail_on_wrap() {
+        let ring = ThreadRing::new(4);
+        for i in 0..10u64 {
+            ring.push(&ev(FlightKind::PrecHit, i, i));
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 4);
+        let locs: Vec<u64> = events.iter().map(|e| e.loc).collect();
+        assert_eq!(locs, vec![6, 7, 8, 9], "oldest-first tail");
+        assert_eq!(ring.written(), 10);
+    }
+
+    #[test]
+    fn totals_survive_wrap() {
+        let rec = FlightRecorder::new(2);
+        let flight = rec.flight();
+        for i in 0..100 {
+            flight.emit(FlightKind::DepRecorded, 1, NO_SITE, i, 2);
+        }
+        assert_eq!(rec.events_seen(), 100);
+        assert_eq!(rec.dropped(), 98);
+        let totals = rec.totals();
+        assert_eq!(
+            totals
+                .iter()
+                .find(|(k, _)| *k == FlightKind::DepRecorded)
+                .unwrap()
+                .1,
+            100
+        );
+        assert_eq!(rec.dump().len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end profiler guarantees: recordings are byte-identical with
+//! the flight recorder on or off, rings survive concurrent writers and
+//! wraparound, the full pipeline attributes ≥ 95% of recorded
+//! dependences, and the doctor's halt path yields an ordered post-mortem
+//! tail.
+
+use light_core::{write_recording, Light};
+use light_doctor::{doctor_replay, inject_divergence, DoctorOptions};
+use light_obs::{FlightEvent, FlightKind, FlightSink, NO_SITE};
+use light_profile::{Attribution, FlightRecorder, ThreadRing};
+use std::sync::Arc;
+
+const PROGRAM: &str = "
+global total; global lock;
+class L { field pad; }
+fn worker(n) {
+    let i = 0;
+    while (i < n) {
+        sync (lock) { total = total + 1; }
+        i = i + 1;
+    }
+}
+fn main(n) {
+    lock = new L();
+    let a = spawn worker(n);
+    let b = spawn worker(n);
+    let c = spawn worker(n);
+    join a; join b; join c;
+    print(total);
+}";
+
+fn program() -> Arc<lir::Program> {
+    Arc::new(lir::parse(PROGRAM).expect("test program parses"))
+}
+
+/// The profiler's core promise: attaching a flight recorder must not
+/// change what gets recorded — the persisted log stays byte-identical.
+#[test]
+fn recordings_are_byte_identical_with_profiler_enabled() {
+    for seed in [1, 7, 23] {
+        let plain = Light::new(program());
+        let (bare, _) = plain.record_chaos(&[20], seed).expect("plain recording");
+
+        let mut profiled = Light::new(program());
+        let recorder = FlightRecorder::new(1 << 12);
+        profiled.set_flight_sink(recorder.clone());
+        let (flight, _) = profiled
+            .record_chaos(&[20], seed)
+            .expect("profiled recording");
+
+        assert!(
+            recorder.events_seen() > 0,
+            "the profiled run must actually emit flight events"
+        );
+        assert_eq!(
+            write_recording(&bare),
+            write_recording(&flight),
+            "seed {seed}: recordings must be byte-identical with profiling on"
+        );
+    }
+}
+
+/// Record → schedule → replay with the recorder attached, then check the
+/// tentpole acceptance criterion: ≥ 95% of recorded dependence/run units
+/// attributed to a variable + stripe.
+#[test]
+fn full_pipeline_attributes_at_least_95_percent() {
+    let prog = program();
+    let mut light = Light::new(prog.clone());
+    let recorder = FlightRecorder::new(1 << 14);
+    light.set_flight_sink(recorder.clone());
+
+    let (recording, _) = light.record_chaos(&[10], 3).expect("recording");
+    light.schedule(&recording).expect("schedule");
+    light.replay(&recording).expect("replay");
+
+    let events = recorder.dump();
+    assert!(!events.is_empty());
+    let attr = Attribution::build(&prog, &recording, &events, recorder.totals());
+    assert!(
+        attr.coverage.units > 0,
+        "a contended counter loop records dependences"
+    );
+    assert!(
+        attr.coverage.fraction() >= 0.95,
+        "attribution coverage {:.3} below the 95% criterion",
+        attr.coverage.fraction()
+    );
+    // The contended lock shows up as a named variable with log traffic.
+    assert!(attr.vars.iter().any(|v| v.log_longs > 0));
+    // Solver events flowed: the census saw at least one constraint group.
+    assert!(!attr.solver.groups.is_empty());
+    // Replay events flowed: the controlled scheduler admitted slots.
+    assert!(attr.sched.decisions > 0);
+}
+
+/// ≥ 4 threads hammering one recorder concurrently: every event lands in
+/// some ring, the exact totals match, and nothing is torn.
+#[test]
+fn concurrent_writers_from_four_threads() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let recorder = FlightRecorder::new(1 << 16);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    recorder.record(&FlightEvent {
+                        ts_us: i,
+                        kind: FlightKind::DepRecorded,
+                        tid: t,
+                        site: NO_SITE,
+                        loc: t << 32 | i,
+                        aux: 2,
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(recorder.events_seen(), THREADS * PER_THREAD);
+    assert_eq!(recorder.threads(), THREADS as usize);
+    assert_eq!(recorder.dropped(), 0, "rings were large enough to keep all");
+    let events = recorder.dump();
+    assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+    // Per-writer streams survive interleaving intact: each thread's
+    // events keep their payload identity and count.
+    for t in 0..THREADS {
+        assert_eq!(
+            events
+                .iter()
+                .filter(|ev| ev.tid == t && ev.loc >> 32 == t)
+                .count() as u64,
+            PER_THREAD
+        );
+    }
+}
+
+/// Wraparound under concurrency: tiny rings keep the newest tail per
+/// thread while the totals stay exact.
+#[test]
+fn wraparound_keeps_tail_and_exact_totals() {
+    const CAP: usize = 64;
+    const PUSHES: u64 = 1_000;
+    let ring = ThreadRing::new(CAP);
+    for i in 0..PUSHES {
+        ring.push(&FlightEvent {
+            ts_us: i,
+            kind: FlightKind::PrecHit,
+            tid: 0,
+            site: NO_SITE,
+            loc: i,
+            aux: 0,
+        });
+    }
+    let tail = ring.drain();
+    assert_eq!(tail.len(), CAP);
+    // Oldest-first, and exactly the last CAP events.
+    let locs: Vec<u64> = tail.iter().map(|ev| ev.loc).collect();
+    let expect: Vec<u64> = (PUSHES - CAP as u64..PUSHES).collect();
+    assert_eq!(locs, expect);
+}
+
+/// The doctor's post-mortem path: an injected divergence halts the
+/// replay and the dumped flight tail is non-empty and ordered by
+/// timestamp (merged oldest-first across threads).
+#[test]
+fn dump_after_halt_is_ordered() {
+    let light = Light::new(program());
+    let (recording, _) = light.record_chaos(&[10], 5).expect("recording");
+    let mut reference = recording.clone();
+    inject_divergence(&mut reference).expect("a dependence to corrupt");
+
+    let options = DoctorOptions {
+        flight_ring: 4096,
+        ..DoctorOptions::default()
+    };
+    let report =
+        doctor_replay(&light, &recording, &reference, &options).expect("checked replay runs");
+    assert!(
+        report.divergence.is_some(),
+        "the injected fault must be detected"
+    );
+    let tail = &report.flight_tail;
+    assert!(!tail.is_empty(), "the halt path must dump the flight tail");
+    assert!(
+        tail.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+        "tail must be ordered oldest-first"
+    );
+    // The tail captures replay-side scheduler activity, not just the
+    // solve: the whole point of a post-mortem.
+    assert!(tail
+        .iter()
+        .any(|ev| matches!(ev.kind, FlightKind::SchedDecision | FlightKind::SchedStall)));
+
+    // A healthy self-check keeps the report lean: no tail.
+    let healthy =
+        doctor_replay(&light, &recording, &recording, &options).expect("healthy replay");
+    assert!(healthy.healthy());
+    assert!(healthy.flight_tail.is_empty());
+}

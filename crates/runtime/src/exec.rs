@@ -85,6 +85,12 @@ pub struct ExecConfig {
     /// attached, the run emits per-thread lifetime spans and the
     /// controlled scheduler's enforcement counters.
     pub obs: light_obs::Obs,
+    /// Flight-recorder handle. Disabled by default; when a sink is
+    /// attached, the controlled scheduler emits per-decision micro-events
+    /// (admissions, stalls, suppressions, parks). The recorder hook gets
+    /// its own handle via `LightRecorder::with_flight`-style builders,
+    /// not through this field, so non-recording schedulers still profile.
+    pub flight: light_obs::Flight,
     /// An externally held halt flag. When set mid-run (e.g. by a
     /// divergence checker that has seen enough), every blocking primitive
     /// winds the execution down promptly. `None` creates a private flag.
@@ -106,6 +112,7 @@ impl Default for ExecConfig {
             wall_timeout: Duration::from_secs(60),
             capture_prints: true,
             obs: light_obs::Obs::disabled(),
+            flight: light_obs::Flight::disabled(),
             halt: None,
         }
     }
@@ -221,11 +228,10 @@ pub fn run(program: &Arc<Program>, args: &[i64], config: ExecConfig) -> Result<R
             explore.clone()
         }
         SchedulerSpec::Controlled { schedule, timeout } => {
-            let controlled = Arc::new(ControlledScheduler::new(
-                schedule.clone(),
-                halt.clone(),
-                *timeout,
-            ));
+            let controlled = Arc::new(
+                ControlledScheduler::new(schedule.clone(), halt.clone(), *timeout)
+                    .with_flight(config.flight.clone()),
+            );
             controlled_handle = Some(controlled.clone());
             controlled
         }

@@ -46,6 +46,28 @@ impl Loc {
             Loc::ThreadLife(t) => (t.raw() << 3) | 5,
         }
     }
+
+    /// Inverse of [`Loc::key`]: decodes a key back into a location, or
+    /// `None` for an unused tag. Used by post-mortem tooling (the
+    /// profiler's attribution engine, log inspectors) to name variables.
+    pub fn from_key(key: u64) -> Option<Loc> {
+        let payload = key >> 3;
+        Some(match key & 7 {
+            0 => Loc::Global(GlobalId(payload as u32)),
+            1 => Loc::Field(ObjId((payload >> 24) as u32), FieldId((payload & 0xff_ffff) as u32)),
+            2 => Loc::Elem(ObjId((payload >> 24) as u32), (payload & 0xff_ffff) as u32),
+            3 => Loc::MapState(ObjId(payload as u32)),
+            4 => Loc::Monitor(ObjId(payload as u32)),
+            5 => Loc::ThreadLife(Tid::from_raw(payload)),
+            _ => return None,
+        })
+    }
+
+    /// Whether this is a synchronization ghost location (monitor or
+    /// thread-lifecycle) rather than a data location.
+    pub fn is_ghost(self) -> bool {
+        matches!(self, Loc::Monitor(_) | Loc::ThreadLife(_))
+    }
 }
 
 impl fmt::Display for Loc {

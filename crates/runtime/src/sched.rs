@@ -21,7 +21,7 @@ use crate::hooks::AccessKind;
 use crate::nondet::ThreadRng;
 use crate::thread_id::Tid;
 use crate::value::ObjId;
-use light_obs::SchedulerMetrics;
+use light_obs::{Flight, FlightKind, SchedulerMetrics, NO_SITE};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -732,6 +732,7 @@ pub struct ControlledScheduler {
     switches: AtomicU64,
     suppressed: AtomicU64,
     parked: AtomicU64,
+    flight: Flight,
 }
 
 impl ControlledScheduler {
@@ -753,7 +754,15 @@ impl ControlledScheduler {
             switches: AtomicU64::new(0),
             suppressed: AtomicU64::new(0),
             parked: AtomicU64::new(0),
+            flight: Flight::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; enforcement decisions (ordered
+    /// admissions, stalls, suppressions, parks) then emit compact events.
+    pub fn with_flight(mut self, flight: Flight) -> Self {
+        self.flight = flight;
+        self
     }
 
     /// Snapshot of the enforcement counters accumulated so far.
@@ -776,7 +785,8 @@ impl Scheduler for ControlledScheduler {
             None => match self.schedule.unlisted_action(tid, ctr, ev) {
                 UnlistedAction::Proceed => return Ok(Directive::Proceed),
                 UnlistedAction::Suppress => {
-                    self.suppressed.fetch_add(1, Ordering::Relaxed);
+                    let n = self.suppressed.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.flight.emit(FlightKind::SpecFail, tid.raw(), NO_SITE, n, ctr);
                     return Ok(Directive::SuppressWrite);
                 }
                 UnlistedAction::Park => SlotAction::Park,
@@ -784,12 +794,14 @@ impl Scheduler for ControlledScheduler {
         };
         match action {
             SlotAction::Suppress => {
-                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                let n = self.suppressed.fetch_add(1, Ordering::Relaxed) + 1;
+                self.flight.emit(FlightKind::SpecFail, tid.raw(), NO_SITE, n, ctr);
                 Ok(Directive::SuppressWrite)
             }
             SlotAction::Park => {
                 // Wait out the rest of the run.
                 self.parked.fetch_add(1, Ordering::Relaxed);
+                self.flight.emit(FlightKind::SchedPark, tid.raw(), NO_SITE, ctr, 0);
                 let mut st = self.state.lock();
                 loop {
                     if self.halt.is_set() {
@@ -806,13 +818,17 @@ impl Scheduler for ControlledScheduler {
                     if st.next_seq == seq {
                         if stalled {
                             self.stalls.fetch_add(1, Ordering::Relaxed);
-                            self.stall_ns
-                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let waited = start.elapsed().as_nanos() as u64;
+                            self.stall_ns.fetch_add(waited, Ordering::Relaxed);
+                            self.flight
+                                .emit(FlightKind::SchedStall, tid.raw(), NO_SITE, u64::from(seq), waited);
                         }
                         if st.last_tid != Some(tid) {
                             self.switches.fetch_add(1, Ordering::Relaxed);
                             st.last_tid = Some(tid);
                         }
+                        self.flight
+                            .emit(FlightKind::SchedDecision, tid.raw(), NO_SITE, u64::from(seq), ctr);
                         return Ok(Directive::Proceed);
                     }
                     stalled = true;

@@ -134,7 +134,12 @@ pub struct OrderSolver {
     hard: Vec<Atom>,
     clauses: Vec<Vec<Atom>>,
     max_decisions: u64,
+    flight: light_obs::Flight,
 }
+
+/// How many search decisions pass between two `solver-tick` flight events
+/// (plus one final tick when the search completes).
+const TICK_EVERY: u64 = 4096;
 
 impl OrderSolver {
     /// Creates an empty solver with the default search budget.
@@ -149,6 +154,14 @@ impl OrderSolver {
     pub fn with_budget(mut self, max_decisions: u64) -> Self {
         self.max_decisions = max_decisions;
         self
+    }
+
+    /// Attaches a flight recorder. The search loop emits a `solver-tick`
+    /// event (loc = decisions so far, aux = backtracks so far) every few
+    /// thousand decisions and once on completion, giving profilers a
+    /// phase-progress trace without timing every decision.
+    pub fn set_flight(&mut self, flight: light_obs::Flight) {
+        self.flight = flight;
     }
 
     /// Allocates a fresh order variable.
@@ -226,6 +239,15 @@ impl OrderSolver {
                 if atom_idx < clauses[clause_idx].len() {
                     let atom = clauses[clause_idx][atom_idx];
                     stats.decisions += 1;
+                    if stats.decisions.is_multiple_of(TICK_EVERY) {
+                        self.flight.emit(
+                            light_obs::FlightKind::SolverTick,
+                            0,
+                            light_obs::NO_SITE,
+                            stats.decisions,
+                            stats.backtracks,
+                        );
+                    }
                     let mark = self.graph.mark();
                     if self.graph.add_lt(atom.left, atom.right) == AddResult::Ok {
                         trail.push(DecisionFrame {
@@ -254,6 +276,13 @@ impl OrderSolver {
             .map(|v| self.graph.value(Var(v)))
             .collect();
         stats.solve_time = start.elapsed();
+        self.flight.emit(
+            light_obs::FlightKind::SolverTick,
+            0,
+            light_obs::NO_SITE,
+            stats.decisions,
+            stats.backtracks,
+        );
         // Reset graph state so solve() can be called again.
         self.graph.pop_to(0);
         Ok((Model { values }, stats))

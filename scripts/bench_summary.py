@@ -39,7 +39,7 @@ def headline_for(name: str, doc: dict) -> dict:
             head[key] = doc[key]
     # Medians of common per-row timing fields, when present.
     if isinstance(rows, list):
-        for field in ("replay_ms", "solve_ms", "plain_ms", "checked_ms"):
+        for field in ("replay_ms", "solve_ms", "plain_ms", "checked_ms", "flight_ms"):
             xs = sorted(
                 r[field]
                 for r in rows
@@ -52,6 +52,9 @@ def headline_for(name: str, doc: dict) -> dict:
 
 def build() -> dict:
     benches = {}
+    if not RESULTS.is_dir():
+        print(f"bench_summary: results directory {RESULTS} is missing", file=sys.stderr)
+        return {"schema": SCHEMA, "benches": {}, "headline": {}}
     for path in sorted(RESULTS.glob("*.json")):
         try:
             doc = json.loads(path.read_text())

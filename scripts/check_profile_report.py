@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a light-profile JSON report against the light-profile/v1 schema.
+
+Checks the stable envelope `light-profile` emits with `--json`: the
+schema name, that every top-level section exists with the right shape,
+that coverage satisfies the >= 95% attribution acceptance criterion, and
+that per-variable/per-stripe rows carry the documented numeric fields.
+
+Usage: python3 scripts/check_profile_report.py <report.json>
+
+Exits 0 when the report is valid, 1 otherwise (problems on stderr).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_NAME = "light-profile/v1"
+
+VAR_FIELDS = (
+    "key", "stripe", "deps", "runs", "log_longs",
+    "prec_hits", "o1_merges", "o2_elisions",
+)
+STRIPE_FIELDS = ("stripe", "records", "contention")
+LINE_FIELDS = (
+    "line", "deps", "runs", "log_longs", "prec_hits",
+    "o1_merges", "o2_elisions", "elided_longs", "ghost_ops",
+)
+SCHED_FIELDS = ("decisions", "stalls", "stall_ns", "parks", "spec_fails")
+
+
+def fail(msg: str) -> None:
+    print(f"check_profile_report: {msg}", file=sys.stderr)
+
+
+def check_numeric_rows(doc: dict, section: str, fields, problems: list) -> None:
+    rows = doc.get(section)
+    if not isinstance(rows, list):
+        problems.append(f"{section}: expected an array")
+        return
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"{section}[{i}]: expected an object")
+            continue
+        for field in fields:
+            if not isinstance(row.get(field), (int, float)):
+                problems.append(f"{section}[{i}].{field}: missing or non-numeric")
+
+
+def check(doc) -> list:
+    problems = []
+    if not isinstance(doc, dict):
+        return ["report is not a JSON object"]
+
+    schema = doc.get("schema")
+    if not isinstance(schema, dict) or schema.get("name") != SCHEMA_NAME:
+        problems.append(f"schema.name must be {SCHEMA_NAME!r}")
+    elif not isinstance(schema.get("program"), str):
+        problems.append("schema.program: missing or not a string")
+
+    coverage = doc.get("coverage")
+    if not isinstance(coverage, dict):
+        problems.append("coverage: expected an object")
+    else:
+        for field in ("units", "attributed", "fraction", "with_line_site"):
+            if not isinstance(coverage.get(field), (int, float)):
+                problems.append(f"coverage.{field}: missing or non-numeric")
+        fraction = coverage.get("fraction")
+        if isinstance(fraction, (int, float)) and fraction < 0.95:
+            problems.append(
+                f"coverage.fraction {fraction} below the 0.95 acceptance criterion"
+            )
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict) or not all(
+        isinstance(v, int) for v in totals.values()
+    ):
+        problems.append("totals: expected an object of integer event counts")
+
+    check_numeric_rows(doc, "vars", VAR_FIELDS, problems)
+    if isinstance(doc.get("vars"), list):
+        for i, row in enumerate(doc["vars"]):
+            if isinstance(row, dict) and not isinstance(row.get("name"), str):
+                problems.append(f"vars[{i}].name: missing or not a string")
+    check_numeric_rows(doc, "stripes", STRIPE_FIELDS, problems)
+    check_numeric_rows(doc, "lines", LINE_FIELDS, problems)
+
+    sched = doc.get("sched")
+    if not isinstance(sched, dict):
+        problems.append("sched: expected an object")
+    else:
+        for field in SCHED_FIELDS:
+            if not isinstance(sched.get(field), (int, float)):
+                problems.append(f"sched.{field}: missing or non-numeric")
+
+    solver = doc.get("solver")
+    if not isinstance(solver, dict):
+        problems.append("solver: expected an object")
+    else:
+        for field in ("decisions", "backtracks"):
+            if not isinstance(solver.get(field), (int, float)):
+                problems.append(f"solver.{field}: missing or non-numeric")
+        if not isinstance(solver.get("groups"), dict):
+            problems.append("solver.groups: expected an object")
+
+    return problems
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        fail("usage: check_profile_report.py <report.json>")
+        return 1
+    path = Path(sys.argv[1])
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+        return 1
+    problems = check(doc)
+    for p in problems:
+        fail(p)
+    if problems:
+        return 1
+    n_vars = len(doc.get("vars", []))
+    n_lines = len(doc.get("lines", []))
+    fraction = doc.get("coverage", {}).get("fraction")
+    print(
+        f"check_profile_report: {path.name} valid "
+        f"({n_vars} vars, {n_lines} lines, coverage {fraction})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
