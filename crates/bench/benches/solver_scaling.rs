@@ -1,0 +1,130 @@
+//! E13 — turbo solver scaling: component-sharded parallel solving over
+//! synthetic wide (many independent location groups) and narrow (one
+//! group) recordings, swept across worker counts. The acceptance
+//! criterion is >= 2x solver wall-time speedup at 4 workers on the wide
+//! corpus. Run with `cargo bench -p light-bench --bench solver_scaling`.
+//!
+//! Results land in `results/solver_scaling.json` (consumed by
+//! `scripts/bench_summary.py`, headline key `solver_speedup`) and
+//! `results/solver_scaling.txt`.
+//!
+//! The recordings are synthetic ([`light_workloads::synthetic`]) because
+//! real recordings couple all location groups through monitor ghost
+//! accesses into one component; the wide shape isolates what the turbo
+//! layer can parallelize, the narrow shape bounds its overhead when
+//! there is nothing to split.
+
+use light_bench::report::Report;
+use light_bench::{env_u64, median};
+use light_core::obs::json::Value;
+use light_core::{ConstraintSystem, Recording, TurboOptions};
+use light_workloads::synthetic;
+use std::time::Instant;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Times one solve (constraint build excluded), returning milliseconds
+/// and the component count the turbo layer reported (1 for sequential).
+fn time_solve(rec: &Recording, turbo: Option<&TurboOptions>) -> (f64, u64) {
+    let sys = ConstraintSystem::build(rec);
+    let t = Instant::now();
+    let (_, _, stats) = sys.solve_with(rec, turbo).expect("synthetic recordings are satisfiable");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (ms, stats.map(|s| s.components).unwrap_or(1))
+}
+
+fn sweep(
+    rep: &mut Report,
+    rows: &mut Vec<Value>,
+    label: &str,
+    rec: &Recording,
+    reps: usize,
+) -> Vec<(usize, f64)> {
+    // Sequential baseline: the exact pre-turbo path.
+    let seq_ms = median((0..reps).map(|_| time_solve(rec, None).0).collect());
+    rep.line(format!("{label:<8} {:>7} {:>11.2} {:>11} {:>8}", "seq", seq_ms, "-", "-"));
+    rows.push(Value::obj([
+        ("recording", Value::from(label)),
+        ("workers", Value::from("seq")),
+        ("median_ms", Value::from(seq_ms)),
+    ]));
+
+    let mut timings = Vec::new();
+    for &workers in &WORKER_SWEEP {
+        let opts = TurboOptions {
+            workers,
+            ..TurboOptions::default()
+        };
+        let mut components = 0;
+        let ms = median(
+            (0..reps)
+                .map(|_| {
+                    let (ms, comps) = time_solve(rec, Some(&opts));
+                    components = comps;
+                    ms
+                })
+                .collect(),
+        );
+        let speedup = seq_ms / ms;
+        rep.line(format!(
+            "{label:<8} {workers:>7} {ms:>11.2} {components:>11} {speedup:>7.2}x"
+        ));
+        rows.push(Value::obj([
+            ("recording", Value::from(label)),
+            ("workers", Value::from(workers as u64)),
+            ("median_ms", Value::from(ms)),
+            ("components", Value::from(components)),
+            ("speedup_vs_seq", Value::from(speedup)),
+        ]));
+        timings.push((workers, ms));
+    }
+    timings
+}
+
+fn main() {
+    let groups = env_u64("LIGHT_SCALING_GROUPS", 32) as usize;
+    let deps = env_u64("LIGHT_SCALING_DEPS", 40) as usize;
+    let reps = env_u64("LIGHT_SCALING_REPS", 5) as usize;
+
+    let wide = synthetic::wide_recording(groups, deps);
+    let narrow = synthetic::narrow_recording(groups * deps);
+
+    let mut rep = Report::new("solver_scaling");
+    rep.line("== E13: turbo solver scaling (component-sharded parallel solving) ==");
+    rep.line(format!(
+        "wide: {groups} groups x {deps} deps; narrow: 1 group x {} deps; median of {reps} solves",
+        groups * deps
+    ));
+    rep.line(format!(
+        "{:<8} {:>7} {:>11} {:>11} {:>8}",
+        "corpus", "workers", "median(ms)", "components", "speedup"
+    ));
+
+    let mut rows = Vec::new();
+    let wide_timings = sweep(&mut rep, &mut rows, "wide", &wide, reps);
+    let narrow_timings = sweep(&mut rep, &mut rows, "narrow", &narrow, reps);
+    rep.set("rows", Value::Arr(rows));
+    rep.set("groups", groups as u64);
+    rep.set("deps_per_group", deps as u64);
+
+    let at = |timings: &[(usize, f64)], w: usize| {
+        timings.iter().find(|&&(x, _)| x == w).map(|&(_, ms)| ms)
+    };
+    if let (Some(t1), Some(t4)) = (at(&wide_timings, 1), at(&wide_timings, 4)) {
+        let speedup = t1 / t4;
+        rep.blank();
+        rep.line(format!(
+            "wide-corpus solver speedup at 4 workers: {speedup:.2}x (criterion: >= 2x)"
+        ));
+        rep.set("solver_speedup", speedup);
+        rep.set("criterion_met", speedup >= 2.0);
+    }
+    if let (Some(n1), Some(n4)) = (at(&narrow_timings, 1), at(&narrow_timings, 4)) {
+        // Single component: extra workers must be near-free (idle pool).
+        rep.set("narrow_worker_overhead", n4 / n1 - 1.0);
+    }
+
+    rep.blank();
+    rep.line("(Times cover solve only, constraint build excluded; speedup = 1-worker turbo median / N-worker turbo median on the same recording. The narrow corpus has one component, so its sweep bounds the turbo layer's overhead.)");
+    rep.write_or_die();
+}

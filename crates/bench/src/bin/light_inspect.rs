@@ -12,7 +12,8 @@
 use light_core::obs::json::Value;
 use light_core::obs::{chrome_trace_json, Histogram, Obs, TraceEvent, TraceSink};
 use light_core::{
-    peek_log_version, read_recording, ConstraintSystem, Recording, LOG_FORMAT_VERSION,
+    peek_log_version, read_recording, ConstraintSystem, Recording, TurboOptions,
+    LOG_FORMAT_VERSION,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -223,6 +224,42 @@ fn print_summary(rec: &Recording) {
     println!("signal edges ({}):", rec.signals.len());
     for sig in &rec.signals {
         println!("  notify {} -> wait-after {}", sig.notify, sig.wait_after);
+    }
+
+    println!();
+    let sys = ConstraintSystem::build(rec);
+    println!(
+        "constraint system: {} order variables, {} constraints",
+        sys.num_vars(),
+        sys.num_constraints()
+    );
+    match sys.solve_with(rec, Some(&TurboOptions::default())) {
+        Ok((_, stats, turbo)) => {
+            let t = turbo.expect("turbo stats on the turbo path");
+            println!(
+                "turbo solve: {} component(s), widest {} vars, {} worker(s), {} decisions, {} backtracks, {:.2}ms",
+                t.components,
+                t.widest_component,
+                t.workers,
+                stats.decisions,
+                stats.backtracks,
+                stats.solve_time.as_secs_f64() * 1e3,
+            );
+            println!(
+                "  preprocessing: {} units promoted, {} atoms dropped, {} clauses dropped, {} subsumed",
+                t.prep.promoted_units,
+                t.prep.dropped_atoms,
+                t.prep.dropped_clauses,
+                t.prep.subsumed_clauses,
+            );
+            if t.cache_hits + t.cache_misses > 0 {
+                println!(
+                    "  component cache: {} hits, {} misses",
+                    t.cache_hits, t.cache_misses
+                );
+            }
+        }
+        Err(e) => println!("turbo solve: FAILED ({e}) — see light-doctor --explain"),
     }
 }
 

@@ -133,6 +133,20 @@ fn json_schema_envelope_is_stable() {
 }
 
 #[test]
+fn summary_renders_the_turbo_solve_section() {
+    let path = scratch("turbo.lrec");
+    std::fs::write(&path, write_recording(&sample_recording())).unwrap();
+    let out = inspect(&[path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("constraint system:"), "stdout: {stdout}");
+    assert!(stdout.contains("turbo solve:"), "stdout: {stdout}");
+    assert!(stdout.contains("component(s)"), "stdout: {stdout}");
+    assert!(stdout.contains("preprocessing:"), "stdout: {stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn clean_recording_summary_omits_provenance() {
     let path = scratch("clean.lrec");
     std::fs::write(&path, write_recording(&sample_recording())).unwrap();

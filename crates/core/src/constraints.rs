@@ -19,7 +19,9 @@
 
 use crate::recording::{AccessId, Recording};
 use light_runtime::{ReplaySchedule, Tid};
-use light_solver::{minimize_unsat_core, Atom, OrderSolver, SolveError, SolveStats, Var};
+use light_solver::{
+    minimize_unsat_core, Atom, OrderSolver, SolveError, SolveStats, TurboOptions, TurboStats, Var,
+};
 use std::collections::HashMap;
 
 /// Why a constraint exists — the recorded fact it encodes. Carried
@@ -169,10 +171,15 @@ impl std::error::Error for ScheduleError {}
 impl ConstraintSystem {
     /// Builds the constraint system for `recording`.
     pub fn build(recording: &Recording) -> Self {
+        // Every dependence mentions a writer plus a read range, every run
+        // its source and endpoints: a tight upper bound on distinct ids
+        // that spares the var map rehashing during encode.
+        let id_hint =
+            2 * recording.deps.len() + 2 * recording.runs.len() + 2 * recording.signals.len();
         let mut sys = ConstraintSystem {
             solver: OrderSolver::new(),
-            vars: HashMap::new(),
-            ids: Vec::new(),
+            vars: HashMap::with_capacity(id_hint),
+            ids: Vec::with_capacity(id_hint),
             hard: Vec::new(),
             clauses: Vec::new(),
             flight: light_obs::Flight::disabled(),
@@ -249,7 +256,8 @@ impl ConstraintSystem {
                 write_ctrs: Vec<u64>,
             },
         }
-        let mut by_loc: HashMap<u64, Vec<Unit>> = HashMap::new();
+        let mut by_loc: HashMap<u64, Vec<Unit>> =
+            HashMap::with_capacity(rec.deps.len() + rec.runs.len());
 
         for d in &rec.deps {
             by_loc.entry(d.loc).or_default().push(Unit::Dep {
@@ -563,7 +571,27 @@ impl ConstraintSystem {
     /// Returns [`ScheduleError`] if the system is unsatisfiable (which
     /// Lemma 4.1 rules out for systems built from real recordings) or the
     /// solver budget is exhausted.
-    pub fn solve(mut self, recording: &Recording) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+    pub fn solve(self, recording: &Recording) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
+        self.solve_with(recording, None)
+            .map(|(schedule, stats, _)| (schedule, stats))
+    }
+
+    /// Like [`ConstraintSystem::solve`], but optionally through the turbo
+    /// (component-sharded parallel) solver. With `turbo` options the
+    /// system is decomposed into independent per-location components
+    /// solved on a worker pool and merged deterministically; the third
+    /// tuple element reports the breakdown. Single-component systems (and
+    /// `turbo: None`) take the sequential path and produce byte-identical
+    /// schedules.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::solve`].
+    pub fn solve_with(
+        mut self,
+        recording: &Recording,
+        turbo: Option<&TurboOptions>,
+    ) -> Result<(ReplaySchedule, SolveStats, Option<TurboStats>), ScheduleError> {
         if self.flight.enabled() {
             for (kind, count) in self.census() {
                 if count != 0 {
@@ -577,10 +605,16 @@ impl ConstraintSystem {
                 }
             }
         }
-        let (model, stats) = self
-            .solver
-            .solve_with_stats()
-            .map_err(ScheduleError)?;
+        let (model, stats, turbo_stats) = match turbo {
+            Some(opts) => {
+                let solved = self.solver.solve_turbo(opts).map_err(ScheduleError)?;
+                (solved.model, solved.stats, Some(solved.turbo))
+            }
+            None => {
+                let (model, stats) = self.solver.solve_with_stats().map_err(ScheduleError)?;
+                (model, stats, None)
+            }
+        };
         let mut schedule = ReplaySchedule::new();
         schedule.set_strict(true);
         // Order every mentioned event by its model value.
@@ -604,7 +638,7 @@ impl ConstraintSystem {
         for (&tid, &extent) in &recording.thread_extents {
             schedule.set_extent(tid, extent);
         }
-        Ok((schedule, stats))
+        Ok((schedule, stats, turbo_stats))
     }
 
     /// Number of order variables created.

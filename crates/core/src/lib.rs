@@ -59,9 +59,15 @@ pub use recording::{
     AccessId, DepEdge, ExploreProvenance, RecordStats, Recording, RunRec, SignalEdge,
 };
 pub use replay::{
-    compute_schedule, compute_schedule_instrumented, compute_schedule_traced, faults_correlate,
-    replay, replay_observed, replay_traced, ReplayError, ReplayOptions, ReplayReport,
+    compute_schedule, compute_schedule_instrumented, compute_schedule_traced,
+    compute_schedule_with, faults_correlate, replay, replay_observed, replay_traced, ReplayError,
+    ReplayOptions, ReplayReport,
 };
+
+/// Re-export of the turbo solving layer so downstream drivers (explore,
+/// doctor, the CLIs) can configure component-sharded parallel solving
+/// without a direct `light-solver` dependency.
+pub use light_solver::{ComponentCache, TurboOptions, TurboStats};
 
 /// Re-export of the observability crate, so downstream users can attach
 /// sinks ([`obs::TraceSink`], [`obs::MetricsRegistry`]) without a direct
@@ -114,6 +120,12 @@ impl Light {
     /// Overrides the replay timeouts.
     pub fn set_replay_options(&mut self, options: ReplayOptions) {
         self.replay_options = options;
+    }
+
+    /// The active replay options (mutable, for in-place tweaks like
+    /// attaching a [`ComponentCache`] or setting turbo workers).
+    pub fn replay_options_mut(&mut self) -> &mut ReplayOptions {
+        &mut self.replay_options
     }
 
     /// Attaches an observability sink. Pipeline phases (`record`,
@@ -251,14 +263,15 @@ impl Light {
         &self,
         recording: &Recording,
     ) -> Result<(ReplaySchedule, SolveStats), ScheduleError> {
-        replay::compute_schedule_instrumented(
+        replay::compute_schedule_with(
             recording,
             &self.analysis,
             self.config.o2,
             &self.obs,
             &self.flight,
+            self.replay_options.turbo.as_ref(),
         )
-        .map(|(schedule, stats, _)| (schedule, stats))
+        .map(|(schedule, stats, _, _)| (schedule, stats))
     }
 
     /// Replays `recording` and checks Theorem 1's correlation criterion.

@@ -9,7 +9,7 @@ use light_runtime::{
     run, ExecConfig, FaultKind, FaultReport, HaltFlag, NondetMode, NullRecorder, Recorder,
     ReplaySchedule, RunOutcome, SchedulerSpec, SetupError,
 };
-use light_solver::SolveStats;
+use light_solver::{SolveStats, TurboOptions, TurboStats};
 use lir::Program;
 use std::fmt;
 use std::sync::Arc;
@@ -28,6 +28,12 @@ pub struct ReplayOptions {
     /// controlled scheduler's admission decisions emit to it. Disabled by
     /// default (one untaken branch per site).
     pub flight: light_obs::Flight,
+    /// Turbo solving: component decomposition, constraint preprocessing,
+    /// and a parallel component pool ([`light_solver::TurboOptions`]).
+    /// `Some(default)` by default — single-component recordings still take
+    /// the exact sequential path, so schedules are unchanged. `None`
+    /// forces the plain sequential solver.
+    pub turbo: Option<TurboOptions>,
 }
 
 impl Default for ReplayOptions {
@@ -36,6 +42,7 @@ impl Default for ReplayOptions {
             gate_timeout: Duration::from_secs(10),
             wall_timeout: Duration::from_secs(60),
             flight: light_obs::Flight::disabled(),
+            turbo: Some(TurboOptions::default()),
         }
     }
 }
@@ -137,6 +144,28 @@ pub fn compute_schedule_instrumented(
     obs: &Obs,
     flight: &light_obs::Flight,
 ) -> Result<(ReplaySchedule, SolveStats, Vec<PhaseRecord>), ScheduleError> {
+    compute_schedule_with(recording, analysis, o2, obs, flight, None)
+        .map(|(schedule, stats, _, phases)| (schedule, stats, phases))
+}
+
+/// The full-control schedule computation: observability spans, flight
+/// events, and — when `turbo` is given — component-sharded parallel
+/// solving with preprocessing and the component cache
+/// ([`light_solver::OrderSolver::solve_turbo`]). Returns the turbo
+/// breakdown alongside the aggregate [`SolveStats`]; it is `None` when
+/// the sequential path was requested.
+///
+/// # Errors
+///
+/// See [`compute_schedule`].
+pub fn compute_schedule_with(
+    recording: &Recording,
+    analysis: &Analysis,
+    o2: bool,
+    obs: &Obs,
+    flight: &light_obs::Flight,
+    turbo: Option<&TurboOptions>,
+) -> Result<(ReplaySchedule, SolveStats, Option<TurboStats>, Vec<PhaseRecord>), ScheduleError> {
     let mut phases = Vec::new();
     let mut timed = |name: &str, start_us: u64| {
         phases.push(PhaseRecord {
@@ -158,9 +187,9 @@ pub fn compute_schedule_instrumented(
     timed("constraint-build", start);
 
     let start = light_obs::now_us();
-    let (mut schedule, stats) = {
+    let (mut schedule, stats, turbo_stats) = {
         let _span = obs.span("solve");
-        sys.solve(recording)?
+        sys.solve_with(recording, turbo)?
     };
     timed("solve", start);
 
@@ -172,7 +201,7 @@ pub fn compute_schedule_instrumented(
             schedule.free_global(global.0);
         }
     }
-    Ok((schedule, stats, phases))
+    Ok((schedule, stats, turbo_stats, phases))
 }
 
 /// Runs the replay: controlled scheduling, scripted nondeterminism,
@@ -241,8 +270,14 @@ pub fn replay_observed(
     observer: Arc<dyn Recorder>,
     halt: Option<HaltFlag>,
 ) -> Result<ReplayReport, ReplayError> {
-    let (schedule, solve_stats, mut phases) =
-        compute_schedule_instrumented(recording, analysis, o2, obs, &options.flight)?;
+    let (schedule, solve_stats, turbo_stats, mut phases) = compute_schedule_with(
+        recording,
+        analysis,
+        o2,
+        obs,
+        &options.flight,
+        options.turbo.as_ref(),
+    )?;
     let schedule_len = schedule.ordered_len();
     let config = ExecConfig {
         recorder: observer,
@@ -280,6 +315,7 @@ pub fn replay_observed(
     let metrics = MetricsSnapshot {
         record: Some(recording.metrics()),
         solver: Some(solve_stats.metrics()),
+        turbo: turbo_stats.map(|t| t.metrics()),
         scheduler: outcome.sched,
         replay_run: Some(RunMetrics {
             duration_ns: outcome.stats.duration.as_nanos() as u64,

@@ -41,6 +41,8 @@ options:
                        tail is dumped on divergence         (default 4096,
                        0 disables)
   --flight-tail <n>    flight events shown from the tail    (default 12)
+  --solver-workers <n> turbo solver component workers for the replay
+                       (0 = one per core, default)
   --json               machine-readable report on stdout";
 
 struct Cli {
@@ -56,6 +58,7 @@ struct Cli {
     recent: usize,
     flight: usize,
     flight_tail: usize,
+    solver_workers: Option<usize>,
     json: bool,
 }
 
@@ -73,6 +76,7 @@ fn parse_cli() -> Result<Cli, String> {
         recent: 16,
         flight: 4096,
         flight_tail: 12,
+        solver_workers: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -119,6 +123,13 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.flight_tail = next_val(&mut it, "--flight-tail")?
                     .parse()
                     .map_err(|e| format!("--flight-tail: {e}"))?;
+            }
+            "--solver-workers" => {
+                cli.solver_workers = Some(
+                    next_val(&mut it, "--solver-workers")?
+                        .parse()
+                        .map_err(|e| format!("--solver-workers: {e}"))?,
+                );
             }
             "--json" => cli.json = true,
             "--help" | "-h" => {
@@ -310,11 +321,16 @@ fn main() -> ExitCode {
         None
     };
 
-    let options = DoctorOptions {
+    let mut options = DoctorOptions {
         recent: cli.recent,
         flight_ring: cli.flight,
         ..DoctorOptions::default()
     };
+    if let Some(n) = cli.solver_workers {
+        if let Some(turbo) = &mut options.replay.turbo {
+            turbo.workers = n;
+        }
+    }
     let report = match doctor_replay(&light, &recording, &reference, &options) {
         Ok(report) => report,
         Err(ReplayError::Schedule(e)) => {

@@ -1,0 +1,94 @@
+//! Differential testing of the turbo solving layer: for every corpus bug
+//! program, the component-sharded parallel solver and the plain
+//! sequential solver must agree on satisfiability, and the turbo-derived
+//! schedule must replay through the divergence checker with zero
+//! divergences.
+
+use light_core::{compute_schedule_with, Light, TurboOptions};
+use light_doctor::{doctor_replay, DoctorOptions};
+use light_obs::{Flight, Obs};
+use light_workloads::bugs;
+
+#[test]
+fn turbo_and_sequential_agree_on_every_corpus_recording() {
+    let turbo = TurboOptions {
+        workers: 4,
+        ..TurboOptions::default()
+    };
+    for case in bugs() {
+        let light = Light::new(case.program());
+        let (recording, _) = light.record_chaos(&case.args, 3).expect(case.name);
+        let sequential = compute_schedule_with(
+            &recording,
+            light.analysis(),
+            light.config().o2,
+            &Obs::disabled(),
+            &Flight::disabled(),
+            None,
+        );
+        let parallel = compute_schedule_with(
+            &recording,
+            light.analysis(),
+            light.config().o2,
+            &Obs::disabled(),
+            &Flight::disabled(),
+            Some(&turbo),
+        );
+        match (sequential, parallel) {
+            (Ok((seq_schedule, _, seq_turbo, _)), Ok((par_schedule, _, par_turbo, _))) => {
+                assert!(seq_turbo.is_none(), "{}: sequential path reported turbo stats", case.name);
+                let stats = par_turbo.unwrap_or_else(|| {
+                    panic!("{}: turbo path must report its breakdown", case.name)
+                });
+                assert!(stats.components >= 1, "{}: no components", case.name);
+                assert_eq!(
+                    seq_schedule.ordered_len(),
+                    par_schedule.ordered_len(),
+                    "{}: schedules order different event counts",
+                    case.name
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{}: divergent errors", case.name);
+            }
+            (seq, par) => panic!(
+                "{}: satisfiability disagreement: sequential {:?} vs turbo {:?}",
+                case.name,
+                seq.is_ok(),
+                par.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn turbo_schedules_replay_clean_through_the_divergence_checker() {
+    // The acceptance check: a schedule produced by the parallel solver
+    // drives a controlled replay whose every covered read observes its
+    // recorded writer — zero divergences, full correlation.
+    let mut options = DoctorOptions::default();
+    options.replay.turbo = Some(TurboOptions {
+        workers: 4,
+        ..TurboOptions::default()
+    });
+    for case in bugs() {
+        let light = Light::new(case.program());
+        let (recording, _) = light.record_chaos(&case.args, 3).expect(case.name);
+        let report = doctor_replay(&light, &recording, &recording, &options)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", case.name));
+        assert!(
+            report.healthy(),
+            "{}: turbo schedule diverged: {:?}",
+            case.name,
+            report.divergence
+        );
+        assert_eq!(report.stats.mismatches, 0, "{}: mismatched reads", case.name);
+        let replay = report.replay.expect("healthy run has a report");
+        let turbo = replay
+            .metrics
+            .turbo
+            .unwrap_or_else(|| panic!("{}: replay metrics must carry the turbo section", case.name));
+        assert!(turbo.components >= 1, "{}: no components", case.name);
+        assert!(turbo.workers >= 1, "{}: no workers recorded", case.name);
+    }
+}

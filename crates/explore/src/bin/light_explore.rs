@@ -32,6 +32,8 @@ options:
   --pct-depth <d>      PCT priority-change points   (default 3)
   --budget <n>         max schedules per strategy   (default 2000)
   --workers <n>        search workers               (default 4)
+  --solver-workers <n> turbo solver component workers for the validation
+                       replays (0 = one per core, default)
   --seed <n>           base seed                    (default 0)
   --wall-secs <n>      wall-clock limit per search  (default 120)
   --no-minimize        skip delta-debugging the repro
@@ -54,6 +56,7 @@ struct Cli {
     json: bool,
     progress: bool,
     progress_interval: Duration,
+    solver_workers: Option<usize>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -68,6 +71,7 @@ fn parse_cli() -> Result<Cli, String> {
         json: false,
         progress: false,
         progress_interval: Duration::from_millis(250),
+        solver_workers: None,
     };
     let mut pct_depth = 3u32;
     let mut strategy_arg = String::from("chaos");
@@ -94,6 +98,13 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.config.workers = next_val(&mut it, "--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--solver-workers" => {
+                cli.solver_workers = Some(
+                    next_val(&mut it, "--solver-workers")?
+                        .parse()
+                        .map_err(|e| format!("--solver-workers: {e}"))?,
+                );
             }
             "--seed" => {
                 cli.config.base_seed = next_val(&mut it, "--seed")?
@@ -271,7 +282,12 @@ fn main() -> ExitCode {
 
     let mut missed = 0usize;
     for (label, program, args) in &targets {
-        let explorer = Explorer::new(program.clone());
+        let mut explorer = Explorer::new(program.clone());
+        if let Some(n) = cli.solver_workers {
+            if let Some(turbo) = &mut explorer.light_mut().replay_options_mut().turbo {
+                turbo.workers = n;
+            }
+        }
         for &strategy in &cli.strategies {
             let config = ExploreConfig {
                 strategy,

@@ -215,8 +215,17 @@ pub struct Explorer {
 impl Explorer {
     /// Builds an explorer, running the static analyses once (the race
     /// pairs feed the race-directed strategy's preemption points).
+    ///
+    /// The explorer's replay pipeline runs with turbo solving and a
+    /// campaign-wide [`light_core::ComponentCache`]: the repeated
+    /// validation replays (and the doctor's probe solves, when driven
+    /// through this instance) re-solve only the components that changed
+    /// between candidate recordings.
     pub fn new(program: Arc<Program>) -> Self {
-        let light = Light::new(program);
+        let mut light = Light::new(program);
+        if let Some(turbo) = &mut light.replay_options_mut().turbo {
+            turbo.cache = Some(light_core::ComponentCache::new());
+        }
         let racy = change_point_candidates(&light.analysis().races);
         Self { light, racy }
     }
@@ -224,6 +233,12 @@ impl Explorer {
     /// The underlying Light instance (for custom replay options).
     pub fn light(&self) -> &Light {
         &self.light
+    }
+
+    /// Mutable access to the underlying Light instance — used by drivers
+    /// to tune replay options (turbo workers, timeouts) for a campaign.
+    pub fn light_mut(&mut self) -> &mut Light {
+        &mut self.light
     }
 
     /// Runs one probe schedule: strategy-driven serialized execution with

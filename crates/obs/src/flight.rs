@@ -64,10 +64,13 @@ pub enum FlightKind {
     /// One constraint group was handed to the solver.
     /// `loc` = constraint-kind code, `aux` = number of constraints.
     ConstraintGroup = 12,
+    /// The turbo solver finished one independent component.
+    /// `loc` = component variable count, `aux` = decisions it took.
+    SolverComponent = 13,
 }
 
 /// Number of distinct [`FlightKind`] values (for per-kind total arrays).
-pub const FLIGHT_KINDS: usize = 13;
+pub const FLIGHT_KINDS: usize = 14;
 
 impl FlightKind {
     /// Decodes a kind byte (the inverse of `kind as u8`).
@@ -87,6 +90,7 @@ impl FlightKind {
             10 => SchedPark,
             11 => SolverTick,
             12 => ConstraintGroup,
+            13 => SolverComponent,
             _ => return None,
         })
     }
@@ -108,6 +112,7 @@ impl FlightKind {
             SchedPark => "sched-park",
             SolverTick => "solver-tick",
             ConstraintGroup => "constraint-group",
+            SolverComponent => "solver-component",
         }
     }
 }

@@ -88,6 +88,26 @@ pub struct ExploreMetrics {
     pub wall_ns: u64,
 }
 
+/// Turbo (component-sharded) solver counters for one parallel solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct TurboMetrics {
+    /// Independent constraint components (1 = sequential path).
+    pub components: u64,
+    /// Variable count of the widest component.
+    pub widest_component: u64,
+    /// Worker threads used for the component pool.
+    pub workers: u64,
+    /// Components answered from the shared component cache.
+    pub cache_hits: u64,
+    /// Components solved fresh while a cache was attached.
+    pub cache_misses: u64,
+    /// Unit clauses promoted to hard constraints by preprocessing.
+    pub promoted_units: u64,
+    /// Clauses removed by preprocessing (dedup, entailment, subsumption).
+    pub dropped_clauses: u64,
+}
+
 /// Whole-run runtime counters (either the recorded or the replayed run).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -117,6 +137,10 @@ pub struct MetricsSnapshot {
     pub record: Option<RecorderMetrics>,
     pub record_run: Option<RunMetrics>,
     pub solver: Option<SolverMetrics>,
+    /// Component-sharded solve breakdown. Additive: absent for
+    /// sequential-only snapshots and omitted from JSON when absent, so
+    /// older consumers of the shape are unaffected.
+    pub turbo: Option<TurboMetrics>,
     pub scheduler: Option<SchedulerMetrics>,
     pub replay_run: Option<RunMetrics>,
     pub explore: Option<ExploreMetrics>,
@@ -157,6 +181,20 @@ impl SolverMetrics {
             ("decisions", Value::from(self.decisions)),
             ("backtracks", Value::from(self.backtracks)),
             ("solve_ns", Value::from(self.solve_ns)),
+        ])
+    }
+}
+
+impl TurboMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("components", Value::from(self.components)),
+            ("widest_component", Value::from(self.widest_component)),
+            ("workers", Value::from(self.workers)),
+            ("cache_hits", Value::from(self.cache_hits)),
+            ("cache_misses", Value::from(self.cache_misses)),
+            ("promoted_units", Value::from(self.promoted_units)),
+            ("dropped_clauses", Value::from(self.dropped_clauses)),
         ])
     }
 }
@@ -221,6 +259,9 @@ impl MetricsSnapshot {
         if let Some(s) = &self.solver {
             pairs.push(("solver".into(), s.to_json()));
         }
+        if let Some(t) = &self.turbo {
+            pairs.push(("turbo".into(), t.to_json()));
+        }
         if let Some(s) = &self.scheduler {
             pairs.push(("scheduler".into(), s.to_json()));
         }
@@ -284,6 +325,9 @@ impl MetricsSnapshot {
         if other.solver.is_some() {
             self.solver = other.solver;
         }
+        if other.turbo.is_some() {
+            self.turbo = other.turbo;
+        }
         if other.scheduler.is_some() {
             self.scheduler = other.scheduler;
         }
@@ -339,6 +383,10 @@ impl MetricsRegistry {
 
     pub fn set_solver(&self, m: SolverMetrics) {
         self.inner.lock().unwrap().solver = Some(m);
+    }
+
+    pub fn set_turbo(&self, m: TurboMetrics) {
+        self.inner.lock().unwrap().turbo = Some(m);
     }
 
     pub fn set_scheduler(&self, m: SchedulerMetrics) {

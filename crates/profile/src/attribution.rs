@@ -114,6 +114,14 @@ pub struct SolverProfile {
     pub backtracks: u64,
     /// Constraint census: `(kind name, count)` per non-empty group.
     pub groups: Vec<(String, u64)>,
+    /// Independent components the turbo solver split the system into
+    /// (0 when the sequential path ran or no component events arrived).
+    pub components: u64,
+    /// Variable count of the widest component.
+    pub widest_component: u64,
+    /// Search decisions summed over per-component events — may be less
+    /// than the total if the coordinator capped component events.
+    pub component_decisions: u64,
 }
 
 /// How much of the recording the engine could attribute.
@@ -300,6 +308,11 @@ impl Attribution {
                 FlightKind::ConstraintGroup => {
                     *groups.entry(ev.loc).or_default() += ev.aux;
                 }
+                FlightKind::SolverComponent => {
+                    solver.components += 1;
+                    solver.widest_component = solver.widest_component.max(ev.loc);
+                    solver.component_decisions += ev.aux;
+                }
             }
         }
         solver.groups = groups
@@ -470,10 +483,15 @@ mod tests {
             mk(FlightKind::ConstraintGroup, 8, 2), // disjoint
             mk(FlightKind::SchedDecision, 1, 1),
             mk(FlightKind::SchedStall, 2, 500),
+            mk(FlightKind::SolverComponent, 6, 900),
+            mk(FlightKind::SolverComponent, 3, 100),
         ];
         let attr = Attribution::build(&program(), &Recording::default(), &events, Vec::new());
         assert_eq!(attr.solver.decisions, 5000);
         assert_eq!(attr.solver.backtracks, 12);
+        assert_eq!(attr.solver.components, 2);
+        assert_eq!(attr.solver.widest_component, 6);
+        assert_eq!(attr.solver.component_decisions, 1000);
         assert_eq!(
             attr.solver.groups,
             vec![("flow-dep".to_string(), 3), ("disjoint".to_string(), 2)]

@@ -92,6 +92,15 @@ pub fn to_json(attr: &Attribution, program: &str) -> Value {
             Value::obj([
                 ("decisions", Value::from(attr.solver.decisions)),
                 ("backtracks", Value::from(attr.solver.backtracks)),
+                ("components", Value::from(attr.solver.components)),
+                (
+                    "widest_component",
+                    Value::from(attr.solver.widest_component),
+                ),
+                (
+                    "component_decisions",
+                    Value::from(attr.solver.component_decisions),
+                ),
                 (
                     "groups",
                     Value::Obj(

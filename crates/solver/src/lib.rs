@@ -15,12 +15,19 @@
 //!   conflict detection, O(1) backtracking);
 //! - [`OrderSolver`] — DPLL-style backtracking over one disjunct per
 //!   clause, with the graph as the theory oracle, producing a [`Model`]
-//!   whose [`Model::total_order`] is the replay schedule.
+//!   whose [`Model::total_order`] is the replay schedule;
+//! - [`OrderSolver::solve_turbo`] — the same answer computed
+//!   component-sharded: Equation 1 never couples distinct locations, so
+//!   the system splits into independent components solved in parallel
+//!   (preprocessed, optionally cached across solves) and merged into one
+//!   deterministic model.
 
 mod graph;
 mod solver;
+mod turbo;
 mod unsat;
 
 pub use graph::{AddResult, DiffGraph, Var};
 pub use solver::{Atom, Model, OrderSolver, SolveError, SolveStats};
+pub use turbo::{decompose, Component, ComponentCache, PrepStats, TurboOptions, TurboSolve, TurboStats};
 pub use unsat::{minimize_unsat_core, UnsatCore};

@@ -89,6 +89,11 @@ pub struct Model {
 }
 
 impl Model {
+    /// Builds a model from raw per-variable values (index = variable id).
+    pub(crate) fn from_values(values: Vec<i64>) -> Self {
+        Self { values }
+    }
+
     /// The value assigned to `v`.
     pub fn value(&self, v: Var) -> i64 {
         self.values[v.index()]
@@ -130,11 +135,14 @@ impl Model {
 /// ```
 #[derive(Debug, Default)]
 pub struct OrderSolver {
-    graph: DiffGraph,
-    hard: Vec<Atom>,
-    clauses: Vec<Vec<Atom>>,
-    max_decisions: u64,
-    flight: light_obs::Flight,
+    pub(crate) graph: DiffGraph,
+    pub(crate) hard: Vec<Atom>,
+    pub(crate) clauses: Vec<Vec<Atom>>,
+    pub(crate) max_decisions: u64,
+    pub(crate) flight: light_obs::Flight,
+    /// Cached smallest-first clause permutation, rebuilt lazily after
+    /// [`OrderSolver::add_clause`] invalidates it.
+    order: Option<Vec<u32>>,
 }
 
 /// How many search decisions pass between two `solver-tick` flight events
@@ -183,6 +191,7 @@ impl OrderSolver {
     /// An empty clause makes the system unsatisfiable.
     pub fn add_clause(&mut self, atoms: Vec<Atom>) {
         self.clauses.push(atoms);
+        self.order = None;
     }
 
     /// Solves the system.
@@ -209,84 +218,123 @@ impl OrderSolver {
             ..SolveStats::default()
         };
 
-        for &atom in &self.hard {
-            if self.graph.add_lt(atom.left, atom.right) == AddResult::NegativeCycle {
-                return Err(SolveError::UnsatHard { constraint: atom });
-            }
-        }
-
         // Sort clauses smallest-first (units behave like hard constraints).
-        let mut clauses = self.clauses.clone();
-        clauses.sort_by_key(Vec::len);
-        if clauses.iter().any(Vec::is_empty) {
-            return Err(SolveError::UnsatClauses);
+        // The permutation is computed once and reused across solves instead
+        // of cloning and re-sorting the clause list every call.
+        if self.order.is_none() {
+            let mut order: Vec<u32> = (0..self.clauses.len() as u32).collect();
+            order.sort_by_key(|&i| self.clauses[i as usize].len());
+            self.order = Some(order);
         }
+        let order = self.order.as_deref().expect("order cached above");
 
-        // Depth-first search over one atom per clause.
-        struct DecisionFrame {
-            clause: usize,
-            atom: usize,
-            mark: usize,
-        }
-        let mut trail: Vec<DecisionFrame> = Vec::new();
-        let mut clause_idx = 0usize;
-        'search: while clause_idx < clauses.len() {
-            let mut atom_idx = 0usize;
-            loop {
-                if stats.decisions >= self.max_decisions {
-                    return Err(SolveError::BudgetExhausted);
-                }
-                if atom_idx < clauses[clause_idx].len() {
-                    let atom = clauses[clause_idx][atom_idx];
-                    stats.decisions += 1;
-                    if stats.decisions.is_multiple_of(TICK_EVERY) {
-                        self.flight.emit(
-                            light_obs::FlightKind::SolverTick,
-                            0,
-                            light_obs::NO_SITE,
-                            stats.decisions,
-                            stats.backtracks,
-                        );
-                    }
-                    let mark = self.graph.mark();
-                    if self.graph.add_lt(atom.left, atom.right) == AddResult::Ok {
-                        trail.push(DecisionFrame {
-                            clause: clause_idx,
-                            atom: atom_idx,
-                            mark,
-                        });
-                        clause_idx += 1;
-                        continue 'search;
-                    }
-                    atom_idx += 1;
-                } else {
-                    // Exhausted this clause: backtrack.
-                    stats.backtracks += 1;
-                    let Some(frame) = trail.pop() else {
-                        return Err(SolveError::UnsatClauses);
-                    };
-                    self.graph.pop_to(frame.mark);
-                    clause_idx = frame.clause;
-                    atom_idx = frame.atom + 1;
-                }
-            }
-        }
-
-        let values: Vec<i64> = (0..self.graph.num_vars() as u32)
-            .map(|v| self.graph.value(Var(v)))
-            .collect();
+        let values = run_search(
+            &mut self.graph,
+            &self.hard,
+            &self.clauses,
+            order,
+            self.max_decisions,
+            &self.flight,
+            &mut stats,
+        )?;
         stats.solve_time = start.elapsed();
-        self.flight.emit(
-            light_obs::FlightKind::SolverTick,
-            0,
-            light_obs::NO_SITE,
-            stats.decisions,
-            stats.backtracks,
-        );
-        // Reset graph state so solve() can be called again.
-        self.graph.pop_to(0);
         Ok((Model { values }, stats))
     }
+}
+
+/// The core search: asserts `hard`, then runs the depth-first
+/// one-atom-per-clause search visiting `clauses` in the sequence given by
+/// the `order` permutation. On success returns the potential of every
+/// graph variable. Leaves `graph` popped back to empty so it can be
+/// reused. Shared by the sequential path and `turbo`'s per-component
+/// solves (which pass a disabled flight handle so tick events never
+/// interleave across worker threads).
+pub(crate) fn run_search<C: AsRef<[Atom]>>(
+    graph: &mut DiffGraph,
+    hard: &[Atom],
+    clauses: &[C],
+    order: &[u32],
+    max_decisions: u64,
+    flight: &light_obs::Flight,
+    stats: &mut SolveStats,
+) -> Result<Vec<i64>, SolveError> {
+    for &atom in hard {
+        if graph.add_lt(atom.left, atom.right) == AddResult::NegativeCycle {
+            graph.pop_to(0);
+            return Err(SolveError::UnsatHard { constraint: atom });
+        }
+    }
+    if clauses.iter().any(|c| c.as_ref().is_empty()) {
+        graph.pop_to(0);
+        return Err(SolveError::UnsatClauses);
+    }
+
+    // Depth-first search over one atom per clause.
+    struct DecisionFrame {
+        clause: usize,
+        atom: usize,
+        mark: usize,
+    }
+    let clause_at = |pos: usize| clauses[order[pos] as usize].as_ref();
+    let mut trail: Vec<DecisionFrame> = Vec::new();
+    let mut clause_idx = 0usize;
+    'search: while clause_idx < order.len() {
+        let mut atom_idx = 0usize;
+        loop {
+            if stats.decisions >= max_decisions {
+                graph.pop_to(0);
+                return Err(SolveError::BudgetExhausted);
+            }
+            if atom_idx < clause_at(clause_idx).len() {
+                let atom = clause_at(clause_idx)[atom_idx];
+                stats.decisions += 1;
+                if stats.decisions.is_multiple_of(TICK_EVERY) {
+                    flight.emit(
+                        light_obs::FlightKind::SolverTick,
+                        0,
+                        light_obs::NO_SITE,
+                        stats.decisions,
+                        stats.backtracks,
+                    );
+                }
+                let mark = graph.mark();
+                if graph.add_lt(atom.left, atom.right) == AddResult::Ok {
+                    trail.push(DecisionFrame {
+                        clause: clause_idx,
+                        atom: atom_idx,
+                        mark,
+                    });
+                    clause_idx += 1;
+                    continue 'search;
+                }
+                atom_idx += 1;
+            } else {
+                // Exhausted this clause: backtrack.
+                stats.backtracks += 1;
+                let Some(frame) = trail.pop() else {
+                    graph.pop_to(0);
+                    return Err(SolveError::UnsatClauses);
+                };
+                graph.pop_to(frame.mark);
+                clause_idx = frame.clause;
+                atom_idx = frame.atom + 1;
+            }
+        }
+    }
+
+    let values: Vec<i64> = (0..graph.num_vars() as u32)
+        .map(|v| graph.value(Var(v)))
+        .collect();
+    flight.emit(
+        light_obs::FlightKind::SolverTick,
+        0,
+        light_obs::NO_SITE,
+        stats.decisions,
+        stats.backtracks,
+    );
+    // Reset graph state so solve() can be called again.
+    graph.pop_to(0);
+    Ok(values)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1152 @@
+//! Turbo solving: component-sharded parallel search with constraint
+//! preprocessing and an incremental component cache.
+//!
+//! Equation 1's non-interference disjunctions only ever couple order
+//! variables of accesses to the *same* location, and hard constraints
+//! follow individual dependences, so the constraint graph of a recording
+//! decomposes into independent components connected by no atom at all. A
+//! model for the whole system is then just a model per component laid out
+//! side by side, and Lemma 4.1 (real recordings are satisfiable) holds
+//! component-wise — each component is itself the image of a real partial
+//! execution. This module exploits that structure three ways:
+//!
+//! 1. **Decomposition** ([`decompose`]) — union-find over the variables
+//!    touched by hard atoms and clauses splits the system into
+//!    independent sub-systems that are solved on a scoped thread pool and
+//!    merged deterministically (components in smallest-variable order,
+//!    per-component values rank-compressed and offset), so the merged
+//!    [`Model`] never depends on thread completion order.
+//! 2. **Preprocessing** — unit clauses are promoted to hard facts before
+//!    the search, atoms contradicted by those facts are dropped, entailed
+//!    clauses and duplicate/subsumed clauses are eliminated, and the
+//!    survivors are ordered fail-first by *remaining* width.
+//! 3. **Incremental re-solve** ([`ComponentCache`]) — a shared cache
+//!    keyed by a component's exact local constraint system lets repeated
+//!    solves (light-explore candidate recordings, light-doctor probes)
+//!    reuse components whose location groups did not change.
+//!
+//! Recordings with a single component (the common case once monitor and
+//! thread-lifecycle ghosts weave threads together) fall back to the
+//! sequential search and keep byte-identical schedules.
+
+use crate::graph::{AddResult, DiffGraph, Var};
+use crate::solver::{run_search, Atom, Model, OrderSolver, SolveError, SolveStats};
+use std::borrow::Cow;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning for [`OrderSolver::solve_turbo`].
+#[derive(Debug, Clone)]
+pub struct TurboOptions {
+    /// Worker threads for the component pool. `0` means one per available
+    /// core; always capped by the component count.
+    pub workers: usize,
+    /// Run the preprocessing pass before each component search.
+    pub preprocess: bool,
+    /// Reuse solved components across solves that share location groups.
+    pub cache: Option<ComponentCache>,
+}
+
+impl Default for TurboOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            preprocess: true,
+            cache: None,
+        }
+    }
+}
+
+/// What preprocessing removed or promoted, summed over all components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Single-atom clauses promoted to hard constraints.
+    pub promoted_units: u64,
+    /// Disjuncts dropped (duplicates within a clause, or contradicted by
+    /// the accumulated hard facts).
+    pub dropped_atoms: u64,
+    /// Whole clauses dropped (duplicates, or entailed by hard facts).
+    pub dropped_clauses: u64,
+    /// Clauses eliminated because a strict subset clause subsumes them.
+    pub subsumed_clauses: u64,
+}
+
+impl PrepStats {
+    fn absorb(&mut self, other: &PrepStats) {
+        self.promoted_units += other.promoted_units;
+        self.dropped_atoms += other.dropped_atoms;
+        self.dropped_clauses += other.dropped_clauses;
+        self.subsumed_clauses += other.subsumed_clauses;
+    }
+}
+
+/// Statistics for one [`OrderSolver::solve_turbo`] call.
+#[derive(Debug, Clone, Default)]
+pub struct TurboStats {
+    /// Independent components the system split into (`1` means the exact
+    /// sequential path ran).
+    pub components: u64,
+    /// Variable count of the widest component.
+    pub widest_component: u64,
+    /// Worker threads used for the component pool.
+    pub workers: u64,
+    /// Components answered from the [`ComponentCache`].
+    pub cache_hits: u64,
+    /// Components solved fresh while a cache was attached.
+    pub cache_misses: u64,
+    /// Aggregate preprocessing effect.
+    pub prep: PrepStats,
+    /// Per-component search statistics, in deterministic component order.
+    pub per_component: Vec<SolveStats>,
+}
+
+impl TurboStats {
+    /// Converts to the unified observability section.
+    pub fn metrics(&self) -> light_obs::TurboMetrics {
+        light_obs::TurboMetrics {
+            components: self.components,
+            widest_component: self.widest_component,
+            workers: self.workers,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            promoted_units: self.prep.promoted_units,
+            dropped_clauses: self.prep.dropped_clauses + self.prep.subsumed_clauses,
+        }
+    }
+}
+
+/// A successful [`OrderSolver::solve_turbo`]: the merged model, aggregate
+/// search statistics (decisions and backtracks summed over components),
+/// and the turbo-specific breakdown.
+#[derive(Debug)]
+pub struct TurboSolve {
+    pub model: Model,
+    pub stats: SolveStats,
+    pub turbo: TurboStats,
+}
+
+/// One independent sub-system of a constraint system, with every atom
+/// rewritten to local variable ids (`0..vars.len()`); local id `i` names
+/// global variable `vars[i]`.
+#[derive(Debug)]
+pub struct Component {
+    /// Member variables by global id, ascending.
+    pub vars: Vec<Var>,
+    /// Hard atoms in local terms, original assertion order.
+    pub hard: Vec<Atom>,
+    /// Clauses in local terms, original assertion order.
+    pub clauses: Vec<Vec<Atom>>,
+    /// Global indices (into the caller's `hard`) of this component's
+    /// hard atoms, parallel to `hard`.
+    pub hard_idx: Vec<usize>,
+    /// Global indices (into the caller's `clauses`) of this component's
+    /// clauses, parallel to `clauses`.
+    pub clause_idx: Vec<usize>,
+}
+
+/// Union-find with path halving; roots are always the smallest member id
+/// so component identity is stable under iteration order.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+
+    /// Number of disjoint sets, singletons included. Roots are exactly
+    /// the self-parented entries, so no finds are needed.
+    fn count_roots(&self) -> usize {
+        self.parent.iter().enumerate().filter(|&(i, &p)| p as usize == i).count()
+    }
+}
+
+/// Unions every variable pair that a hard atom orders or a clause
+/// mentions together (choosing a disjunct couples every atom of its
+/// clause).
+fn connect(num_vars: usize, hard: &[Atom], clauses: &[Vec<Atom>]) -> UnionFind {
+    let mut uf = UnionFind::new(num_vars);
+    for a in hard {
+        uf.union(a.left.0, a.right.0);
+    }
+    for clause in clauses {
+        let mut anchor: Option<u32> = None;
+        for a in clause {
+            uf.union(a.left.0, a.right.0);
+            match anchor {
+                None => anchor = Some(a.left.0),
+                Some(x) => uf.union(x, a.left.0),
+            }
+        }
+    }
+    uf
+}
+
+/// Splits a constraint system into independent components: variables are
+/// connected when a hard atom orders them or a clause mentions both
+/// (choosing a disjunct couples every atom of its clause). Components
+/// come back ordered by their smallest global variable id; every variable
+/// lands in exactly one (unconstrained variables form singletons).
+///
+/// Empty clauses touch no variable and are skipped — callers must check
+/// for them separately.
+pub fn decompose(num_vars: usize, hard: &[Atom], clauses: &[Vec<Atom>]) -> Vec<Component> {
+    let mut uf = connect(num_vars, hard, clauses);
+
+    // Iterating variables in ascending order and rooting each set at its
+    // smallest member yields components already sorted by smallest id.
+    let mut comp_of: Vec<u32> = vec![0; num_vars];
+    let mut local_of: Vec<u32> = vec![0; num_vars];
+    let mut index_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut comps: Vec<Component> = Vec::new();
+    for v in 0..num_vars as u32 {
+        let root = uf.find(v);
+        let idx = *index_of_root.entry(root).or_insert_with(|| {
+            comps.push(Component {
+                vars: Vec::new(),
+                hard: Vec::new(),
+                clauses: Vec::new(),
+                hard_idx: Vec::new(),
+                clause_idx: Vec::new(),
+            });
+            comps.len() - 1
+        });
+        comp_of[v as usize] = idx as u32;
+        local_of[v as usize] = comps[idx].vars.len() as u32;
+        comps[idx].vars.push(Var(v));
+    }
+
+    let local = |v: Var| Var(local_of[v.index()]);
+    for (i, a) in hard.iter().enumerate() {
+        let idx = comp_of[a.left.index()] as usize;
+        comps[idx].hard.push(Atom::lt(local(a.left), local(a.right)));
+        comps[idx].hard_idx.push(i);
+    }
+    for (i, clause) in clauses.iter().enumerate() {
+        let Some(first) = clause.first() else { continue };
+        let idx = comp_of[first.left.index()] as usize;
+        comps[idx]
+            .clauses
+            .push(clause.iter().map(|a| Atom::lt(local(a.left), local(a.right))).collect());
+        comps[idx].clause_idx.push(i);
+    }
+    comps
+}
+
+/// Unit propagation runs to fixpoint or this many passes, whichever
+/// comes first.
+const MAX_PROP_PASSES: usize = 8;
+
+/// Subsumption is quadratic in the clause count; components with more
+/// clauses skip it.
+const SUBSUME_MAX_CLAUSES: usize = 512;
+
+/// Sorted `(left, right)` pairs: the canonical form used for subset
+/// tests in subsumption.
+fn normalize(atoms: &[Atom]) -> Vec<(u32, u32)> {
+    let mut key: Vec<(u32, u32)> = atoms.iter().map(|a| (a.left.0, a.right.0)).collect();
+    key.sort_unstable();
+    key
+}
+
+/// Order-independent clause fingerprint: a commutative sum of mixed atom
+/// bits, so dedup needs no sorted key allocation per clause.
+fn fingerprint(atoms: &[Atom]) -> u64 {
+    atoms.iter().fold(0u64, |acc, a| {
+        let x = (((a.left.0 as u64) << 32) | a.right.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        acc.wrapping_add(x ^ (x >> 31))
+    })
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn subset_of(a: &[(u32, u32)], b: &[(u32, u32)]) -> bool {
+    let mut bi = b.iter();
+    a.iter().all(|x| bi.any(|y| y == x))
+}
+
+/// Bitset transitive closure over strict order edges. Every solver atom
+/// is a strict `<`, so on an acyclic edge set entailment and
+/// contradiction reduce to reachability: `a < b` is entailed iff `a`
+/// reaches `b`, and contradicted iff `b` reaches `a`. One build per
+/// propagation pass replaces a mark/assert/undo graph probe per atom.
+struct Closure {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Closure {
+    /// Builds the closure, or `None` when the edges contain a cycle.
+    fn build(num_vars: usize, edges: &[Atom]) -> Option<Closure> {
+        let words = num_vars.div_ceil(64);
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+        let mut indegree = vec![0u32; num_vars];
+        for a in edges {
+            succs[a.left.index()].push(a.right.0);
+            indegree[a.right.index()] += 1;
+        }
+        // Kahn's algorithm; a cycle keeps some indegree positive forever.
+        let mut topo: Vec<u32> = Vec::with_capacity(num_vars);
+        let mut ready: Vec<u32> =
+            (0..num_vars as u32).filter(|&v| indegree[v as usize] == 0).collect();
+        while let Some(v) = ready.pop() {
+            topo.push(v);
+            for &s in &succs[v as usize] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if topo.len() != num_vars {
+            return None;
+        }
+        // Reverse topological order finishes every successor before `v`,
+        // so reach(v) is the union over direct successors s of {s} ∪
+        // reach(s). The scratch row sidesteps aliasing into `bits`.
+        let mut bits = vec![0u64; num_vars * words];
+        let mut row = vec![0u64; words];
+        for &v in topo.iter().rev() {
+            if succs[v as usize].is_empty() {
+                continue;
+            }
+            row.fill(0);
+            for &s in &succs[v as usize] {
+                row[s as usize >> 6] |= 1u64 << (s & 63);
+                let from = s as usize * words;
+                for (w, slot) in row.iter_mut().enumerate() {
+                    *slot |= bits[from + w];
+                }
+            }
+            bits[v as usize * words..(v as usize + 1) * words].copy_from_slice(&row);
+        }
+        Some(Closure { words, bits })
+    }
+
+    fn reaches(&self, from: Var, to: Var) -> bool {
+        self.bits[from.index() * self.words + (to.index() >> 6)] & (1u64 << (to.index() & 63)) != 0
+    }
+}
+
+/// Preprocesses one component (in local terms). Returns the unit atoms
+/// promoted to hard facts and the surviving clauses, fail-first ordered.
+/// Every step is a satisfiability-preserving rewrite: atoms are dropped
+/// only when the accumulated hard facts contradict them, clauses only
+/// when the facts entail them or a subset clause subsumes them.
+///
+/// # Errors
+///
+/// [`SolveError::UnsatHard`] when the hard atoms alone are cyclic,
+/// [`SolveError::UnsatClauses`] when propagation empties a clause or a
+/// promoted unit contradicts the facts.
+/// A preprocessed clause: borrowed from the component when untouched,
+/// owned once propagation dropped an atom from it.
+type PrepClause<'a> = Cow<'a, [Atom]>;
+
+fn preprocess<'a>(
+    num_vars: usize,
+    hard: &[Atom],
+    clauses: &'a [Vec<Atom>],
+    stats: &mut PrepStats,
+) -> Result<(Vec<Atom>, Vec<PrepClause<'a>>), SolveError> {
+    // Hard atoms alone must be acyclic. When they are not, the offending
+    // atom is named by replaying the insertion order through a difference
+    // graph — exactly the atom the sequential solver's hard-assertion
+    // phase would report.
+    let mut closure = match Closure::build(num_vars, hard) {
+        Some(c) => c,
+        None => {
+            let mut graph = DiffGraph::new();
+            for _ in 0..num_vars {
+                graph.new_var();
+            }
+            for &a in hard {
+                if graph.add_lt(a.left, a.right) == AddResult::NegativeCycle {
+                    return Err(SolveError::UnsatHard { constraint: a });
+                }
+            }
+            unreachable!("topological sort found a cycle the difference graph did not");
+        }
+    };
+
+    // Dedup without allocating per clause: a clause is only copied when
+    // it actually repeats an atom (clauses are short, so the scan is a
+    // cheap quadratic), and duplicate clauses are found through an
+    // order-independent fingerprint with an exact set comparison on hit.
+    // A fingerprint collision between distinct clauses keeps both —
+    // dedup is an optimization, never a soundness requirement.
+    let mut seen: HashMap<(usize, u64), u32> = HashMap::with_capacity(clauses.len());
+    let mut work: Vec<Option<Cow<'a, [Atom]>>> = Vec::with_capacity(clauses.len());
+    for clause in clauses {
+        let mut atoms: Cow<'a, [Atom]> = Cow::Borrowed(clause.as_slice());
+        if clause.iter().enumerate().any(|(i, a)| clause[..i].contains(a)) {
+            let mut unique: Vec<Atom> = Vec::with_capacity(clause.len());
+            for &a in clause {
+                if unique.contains(&a) {
+                    stats.dropped_atoms += 1;
+                } else {
+                    unique.push(a);
+                }
+            }
+            atoms = Cow::Owned(unique);
+        }
+        match seen.entry((atoms.len(), fingerprint(&atoms))) {
+            Entry::Occupied(e) => {
+                let prior = work[*e.get() as usize]
+                    .as_deref()
+                    .expect("dedup stage drops no work slots");
+                // Atoms within each side are unique, so equal length plus
+                // containment means set equality.
+                if atoms.iter().all(|a| prior.contains(a)) {
+                    stats.dropped_clauses += 1;
+                } else {
+                    work.push(Some(atoms));
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(work.len() as u32);
+                work.push(Some(atoms));
+            }
+        }
+    }
+
+    // Unit propagation to fixpoint: promoted units become hard edges,
+    // which can entail or contradict further atoms on the next pass. The
+    // closure is rebuilt once per promoting pass — every batch of new
+    // units is checked for cycles before anything downstream trusts it.
+    let mut edges: Vec<Atom> = hard.to_vec();
+    let mut promoted: Vec<Atom> = Vec::new();
+    for _ in 0..MAX_PROP_PASSES {
+        let mut changed = false;
+        let mut new_units = false;
+        for slot in work.iter_mut() {
+            let Some(atoms) = slot else { continue };
+            if atoms.iter().any(|&a| closure.reaches(a.left, a.right)) {
+                stats.dropped_clauses += 1;
+                *slot = None;
+                changed = true;
+                continue;
+            }
+            // Copy-on-write: most clauses lose no atom and stay borrowed.
+            if atoms.iter().any(|&a| a.left == a.right || closure.reaches(a.right, a.left)) {
+                let owned = atoms.to_mut();
+                let before = owned.len();
+                owned.retain(|&a| a.left != a.right && !closure.reaches(a.right, a.left));
+                stats.dropped_atoms += (before - owned.len()) as u64;
+                changed = true;
+            }
+            match atoms.len() {
+                0 => return Err(SolveError::UnsatClauses),
+                1 => {
+                    let unit = atoms[0];
+                    promoted.push(unit);
+                    edges.push(unit);
+                    stats.promoted_units += 1;
+                    *slot = None;
+                    changed = true;
+                    new_units = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+        if new_units {
+            closure = match Closure::build(num_vars, &edges) {
+                Some(c) => c,
+                // Hard atoms alone were acyclic, so the cycle involves a
+                // promoted unit — a clause-level contradiction.
+                None => return Err(SolveError::UnsatClauses),
+            };
+        }
+    }
+
+    let mut rest: Vec<Cow<'a, [Atom]>> = work.into_iter().flatten().collect();
+
+    // Subsumption: a clause that is a strict subset of another makes the
+    // superset redundant (any disjunct satisfying the subset satisfies
+    // the superset too). Equal clauses were already deduped, so only
+    // strictly shorter clauses can subsume — candidates pair a clause
+    // with one from a longer length bucket, and a uniform-width clause
+    // set (the common case) skips the quadratic scan outright.
+    let lengths: HashSet<usize> = rest.iter().map(|c| c.len()).collect();
+    if rest.len() <= SUBSUME_MAX_CLAUSES && lengths.len() > 1 {
+        let keys: Vec<Vec<(u32, u32)>> = rest.iter().map(|c| normalize(c)).collect();
+        let mut by_len: Vec<usize> = (0..rest.len()).collect();
+        by_len.sort_by_key(|&i| keys[i].len());
+        let mut keep = vec![true; rest.len()];
+        for (pos, &i) in by_len.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            for &j in &by_len[pos + 1..] {
+                if keep[j] && keys[i].len() < keys[j].len() && subset_of(&keys[i], &keys[j]) {
+                    keep[j] = false;
+                    stats.subsumed_clauses += 1;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        rest.retain(|_| *it.next().expect("keep parallel to rest"));
+    }
+
+    // Fail-first: shortest remaining width searches (and fails) first.
+    rest.sort_by_key(|c| c.len());
+    Ok((promoted, rest))
+}
+
+/// Exact identity of a component's local constraint system. Full
+/// structural equality — not a digest — so a cache hit can never alias a
+/// different system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    num_vars: u32,
+    hard: Vec<Atom>,
+    clauses: Vec<Vec<Atom>>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    result: Result<Vec<i64>, SolveError>,
+    stats: SolveStats,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Entries beyond this are not inserted (the cache only ever affects
+/// time, never results, so a full cache simply stops growing).
+const CACHE_CAP: usize = 4096;
+
+/// A shared, thread-safe cache of solved components keyed by their exact
+/// local constraint system. Clones share storage, so one cache handed to
+/// repeated solves (a `light-explore` search, `light-doctor` probes)
+/// turns unchanged location groups into lookups.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentCache {
+    inner: Arc<Mutex<CacheState>>,
+}
+
+impl ComponentCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached component count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count across all solves sharing this cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cache lock").hits
+    }
+
+    /// Lifetime miss count across all solves sharing this cache.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cache lock").misses
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let mut state = self.inner.lock().expect("cache lock");
+        match state.map.get(key).cloned() {
+            Some(entry) => {
+                state.hits += 1;
+                Some(entry)
+            }
+            None => {
+                state.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: CacheKey, entry: CacheEntry) {
+        let mut state = self.inner.lock().expect("cache lock");
+        if state.map.len() < CACHE_CAP {
+            state.map.insert(key, entry);
+        }
+    }
+}
+
+/// The outcome of one component's solve, in local terms.
+struct CompOutcome {
+    result: Result<Vec<i64>, SolveError>,
+    stats: SolveStats,
+    prep: PrepStats,
+    cached: bool,
+}
+
+/// Components wider than this skip preprocessing: the closure bitset is
+/// quadratic in the variable count (`vars²/8` bytes per build), and
+/// decomposition keeps the cases preprocessing helps far below this.
+const PREP_MAX_VARS: usize = 4096;
+
+/// The uncached part of one component's solve: optional preprocessing,
+/// then the shared search on a private graph with a disabled flight
+/// handle (tick events from worker threads would interleave
+/// meaninglessly).
+fn search_component(
+    comp: &Component,
+    preprocess_on: bool,
+    max_decisions: u64,
+    prep: &mut PrepStats,
+    stats: &mut SolveStats,
+) -> Result<Vec<i64>, SolveError> {
+    let preprocess_on = preprocess_on && comp.vars.len() <= PREP_MAX_VARS;
+    let (promoted, clauses) = if preprocess_on {
+        preprocess(comp.vars.len(), &comp.hard, &comp.clauses, prep)?
+    } else {
+        let borrowed = comp.clauses.iter().map(|c| Cow::Borrowed(c.as_slice())).collect();
+        (Vec::new(), borrowed)
+    };
+    let hard_owned;
+    let hard: &[Atom] = if promoted.is_empty() {
+        &comp.hard
+    } else {
+        let mut with_units = comp.hard.clone();
+        with_units.extend(promoted);
+        hard_owned = with_units;
+        &hard_owned
+    };
+    let mut graph = DiffGraph::new();
+    for _ in 0..comp.vars.len() {
+        graph.new_var();
+    }
+    let mut order: Vec<u32> = (0..clauses.len() as u32).collect();
+    order.sort_by_key(|&i| clauses[i as usize].len());
+    run_search(
+        &mut graph,
+        hard,
+        &clauses,
+        &order,
+        max_decisions,
+        &light_obs::Flight::default(),
+        stats,
+    )
+}
+
+/// Solves one component: cache lookup, then [`search_component`], then
+/// cache store.
+fn solve_component(
+    comp: &Component,
+    preprocess_on: bool,
+    cache: Option<&ComponentCache>,
+    max_decisions: u64,
+) -> CompOutcome {
+    let key = cache.map(|_| CacheKey {
+        num_vars: comp.vars.len() as u32,
+        hard: comp.hard.clone(),
+        clauses: comp.clauses.clone(),
+    });
+    if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+        if let Some(hit) = cache.lookup(key) {
+            return CompOutcome {
+                result: hit.result,
+                stats: hit.stats,
+                prep: PrepStats::default(),
+                cached: true,
+            };
+        }
+    }
+
+    let started = Instant::now();
+    let mut prep = PrepStats::default();
+    let mut stats = SolveStats {
+        vars: comp.vars.len() as u64,
+        hard_constraints: comp.hard.len() as u64,
+        clauses: comp.clauses.len() as u64,
+        ..SolveStats::default()
+    };
+    let result = search_component(comp, preprocess_on, max_decisions, &mut prep, &mut stats);
+    stats.solve_time = started.elapsed();
+
+    if let (Some(cache), Some(key)) = (cache, key) {
+        cache.store(
+            key,
+            CacheEntry {
+                result: result.clone(),
+                stats,
+            },
+        );
+    }
+    CompOutcome {
+        result,
+        stats,
+        prep,
+        cached: false,
+    }
+}
+
+/// At most this many per-component flight events are emitted per solve
+/// (wide synthetic systems would otherwise flood the ring).
+const COMPONENT_EVENT_CAP: usize = 256;
+
+impl OrderSolver {
+    /// Component-sharded parallel solve. Decomposes the system, solves
+    /// each component on a scoped worker pool (preprocessed and cached
+    /// per [`TurboOptions`]), and merges the partial models into one
+    /// deterministic total model: components in smallest-variable order,
+    /// each rank-compressed and offset past its predecessors. The result
+    /// is identical for any worker count.
+    ///
+    /// Systems with at most one component (or an empty clause, which
+    /// belongs to no component) delegate to the exact sequential search,
+    /// so their models — and the schedules built from them — stay
+    /// byte-identical to [`OrderSolver::solve_with_stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`], aggregated across components in the sequential
+    /// phase order: a hard contradiction anywhere wins (the sequential
+    /// solver asserts every hard atom before searching), then clause
+    /// unsat, then budget exhaustion; ties resolve to the earliest
+    /// component. Each component gets the full decision budget.
+    pub fn solve_turbo(&mut self, opts: &TurboOptions) -> Result<TurboSolve, SolveError> {
+        let start = Instant::now();
+        if self.clauses.iter().any(Vec::is_empty) {
+            return self.solve_sequential_as_turbo();
+        }
+        // Count components with union-find alone before materializing the
+        // clause-cloning decomposition: a single-component system — every
+        // real recording once ghost edges weave its threads together —
+        // pays only this linear scan on top of the sequential search.
+        if connect(self.num_vars(), &self.hard, &self.clauses).count_roots() <= 1 {
+            return self.solve_sequential_as_turbo();
+        }
+        let comps = decompose(self.num_vars(), &self.hard, &self.clauses);
+
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            opts.workers
+        }
+        .clamp(1, comps.len());
+
+        let max_decisions = self.max_decisions;
+        let slots: Vec<Mutex<Option<CompOutcome>>> = comps.iter().map(|_| Mutex::new(None)).collect();
+        if workers == 1 {
+            for (comp, slot) in comps.iter().zip(&slots) {
+                *slot.lock().expect("slot lock") =
+                    Some(solve_component(comp, opts.preprocess, opts.cache.as_ref(), max_decisions));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let (next, comps, slots, cache) = (&next, &comps, &slots, &opts.cache);
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(comp) = comps.get(i) else { break };
+                        let out = solve_component(comp, opts.preprocess, cache.as_ref(), max_decisions);
+                        *slots[i].lock().expect("slot lock") = Some(out);
+                    });
+                }
+            });
+        }
+        let outcomes: Vec<CompOutcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every component solved")
+            })
+            .collect();
+
+        // Error aggregation mirrors the sequential phase order; the
+        // failing hard atom is remapped back to global variables.
+        let mut hard_err: Option<SolveError> = None;
+        let (mut clause_err, mut budget_err) = (false, false);
+        for (comp, out) in comps.iter().zip(&outcomes) {
+            match &out.result {
+                Err(SolveError::UnsatHard { constraint }) => {
+                    if hard_err.is_none() {
+                        hard_err = Some(SolveError::UnsatHard {
+                            constraint: Atom::lt(
+                                comp.vars[constraint.left.index()],
+                                comp.vars[constraint.right.index()],
+                            ),
+                        });
+                    }
+                }
+                Err(SolveError::UnsatClauses) => clause_err = true,
+                Err(SolveError::BudgetExhausted) => budget_err = true,
+                Ok(_) => {}
+            }
+        }
+
+        let mut stats = SolveStats {
+            vars: self.num_vars() as u64,
+            hard_constraints: self.hard.len() as u64,
+            clauses: self.clauses.len() as u64,
+            ..SolveStats::default()
+        };
+        let mut turbo = TurboStats {
+            components: comps.len() as u64,
+            workers: workers as u64,
+            ..TurboStats::default()
+        };
+        for (comp, out) in comps.iter().zip(&outcomes) {
+            stats.decisions += out.stats.decisions;
+            stats.backtracks += out.stats.backtracks;
+            turbo.widest_component = turbo.widest_component.max(comp.vars.len() as u64);
+            if opts.cache.is_some() {
+                if out.cached {
+                    turbo.cache_hits += 1;
+                } else {
+                    turbo.cache_misses += 1;
+                }
+            }
+            turbo.prep.absorb(&out.prep);
+            turbo.per_component.push(out.stats);
+        }
+
+        // Observability: one event per component (capped), then the
+        // aggregate tick the profiler's solver attribution keys on.
+        for (comp, out) in comps.iter().zip(&outcomes).take(COMPONENT_EVENT_CAP) {
+            self.flight.emit(
+                light_obs::FlightKind::SolverComponent,
+                0,
+                light_obs::NO_SITE,
+                comp.vars.len() as u64,
+                out.stats.decisions,
+            );
+        }
+        self.flight.emit(
+            light_obs::FlightKind::SolverTick,
+            0,
+            light_obs::NO_SITE,
+            stats.decisions,
+            stats.backtracks,
+        );
+
+        if let Some(err) = hard_err {
+            return Err(err);
+        }
+        if clause_err {
+            return Err(SolveError::UnsatClauses);
+        }
+        if budget_err {
+            return Err(SolveError::BudgetExhausted);
+        }
+
+        // Deterministic merge: rank-compress each component's values
+        // (strict orders survive compression; ties break by local id)
+        // and lay components out consecutively. No constraint crosses
+        // components, so any relative placement is a valid model.
+        let mut values = vec![0i64; self.num_vars()];
+        let mut offset = 0i64;
+        for (comp, out) in comps.iter().zip(&outcomes) {
+            let local = match &out.result {
+                Ok(values) => values,
+                Err(_) => unreachable!("errors returned above"),
+            };
+            let mut by_value: Vec<usize> = (0..local.len()).collect();
+            by_value.sort_by_key(|&i| (local[i], i));
+            for (rank, &i) in by_value.iter().enumerate() {
+                values[comp.vars[i].index()] = offset + rank as i64;
+            }
+            offset += local.len() as i64;
+        }
+        stats.solve_time = start.elapsed();
+        Ok(TurboSolve {
+            model: Model::from_values(values),
+            stats,
+            turbo,
+        })
+    }
+
+    /// The `components <= 1` path: run the exact sequential search and
+    /// wrap it in turbo bookkeeping.
+    fn solve_sequential_as_turbo(&mut self) -> Result<TurboSolve, SolveError> {
+        let (model, stats) = self.solve_with_stats()?;
+        Ok(TurboSolve {
+            model,
+            stats,
+            turbo: TurboStats {
+                components: 1,
+                widest_component: stats.vars,
+                workers: 1,
+                per_component: vec![stats],
+                ..TurboStats::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two independent 3-variable groups, each with a hard edge and a
+    /// clause; plus one isolated variable.
+    fn two_group_solver() -> OrderSolver {
+        let mut s = OrderSolver::new();
+        let v: Vec<Var> = (0..7).map(|_| s.new_var()).collect();
+        s.add_lt(v[0], v[1]);
+        s.add_clause(vec![Atom::lt(v[2], v[0]), Atom::lt(v[1], v[2])]);
+        s.add_lt(v[3], v[4]);
+        s.add_clause(vec![Atom::lt(v[5], v[3]), Atom::lt(v[4], v[5])]);
+        s
+    }
+
+    fn check_model(s: &OrderSolver, model: &Model) {
+        for atom in &s.hard {
+            assert!(model.value(atom.left) < model.value(atom.right), "hard {atom} violated");
+        }
+        for clause in &s.clauses {
+            assert!(
+                clause.iter().any(|a| model.value(a.left) < model.value(a.right)),
+                "clause unsatisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_splits_independent_groups() {
+        let s = two_group_solver();
+        let comps = decompose(s.num_vars(), &s.hard, &s.clauses);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].vars, vec![Var(0), Var(1), Var(2)]);
+        assert_eq!(comps[1].vars, vec![Var(3), Var(4), Var(5)]);
+        assert_eq!(comps[2].vars, vec![Var(6)]);
+        assert_eq!(comps[0].hard_idx, vec![0]);
+        assert_eq!(comps[1].clause_idx, vec![1]);
+        // Local atoms reference only local variables.
+        for comp in &comps {
+            let n = comp.vars.len() as u32;
+            for a in &comp.hard {
+                assert!(a.left.0 < n && a.right.0 < n);
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_model_satisfies_all_constraints() {
+        let mut s = two_group_solver();
+        let solved = s.solve_turbo(&TurboOptions::default()).unwrap();
+        assert_eq!(solved.turbo.components, 3);
+        assert!(solved.turbo.widest_component >= 3);
+        check_model(&s, &solved.model);
+    }
+
+    #[test]
+    fn turbo_is_deterministic_across_worker_counts() {
+        let baseline = {
+            let mut s = two_group_solver();
+            let opts = TurboOptions { workers: 1, ..TurboOptions::default() };
+            s.solve_turbo(&opts).unwrap()
+        };
+        for workers in [2, 8] {
+            let mut s = two_group_solver();
+            let opts = TurboOptions { workers, ..TurboOptions::default() };
+            let solved = s.solve_turbo(&opts).unwrap();
+            for v in 0..s.num_vars() as u32 {
+                assert_eq!(
+                    solved.model.value(Var(v)),
+                    baseline.model.value(Var(v)),
+                    "var {v} differs at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_is_byte_identical_to_sequential() {
+        let build = || {
+            let mut s = OrderSolver::new();
+            let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            s.add_lt(v[0], v[1]);
+            s.add_lt(v[1], v[2]);
+            s.add_clause(vec![Atom::lt(v[3], v[0]), Atom::lt(v[2], v[3])]);
+            s
+        };
+        let (seq, _) = build().solve_with_stats().unwrap();
+        let turbo = build().solve_turbo(&TurboOptions::default()).unwrap();
+        assert_eq!(turbo.turbo.components, 1);
+        for v in 0..4u32 {
+            assert_eq!(seq.value(Var(v)), turbo.model.value(Var(v)));
+        }
+    }
+
+    #[test]
+    fn preprocessing_promotes_units_and_subsumes() {
+        let mut stats = PrepStats::default();
+        let a = Var(0);
+        let b = Var(1);
+        let c = Var(2);
+        let hard = vec![Atom::lt(a, b)];
+        let clauses = vec![
+            vec![Atom::lt(b, c)],                 // unit: promoted
+            vec![Atom::lt(b, c), Atom::lt(c, a)], // entailed once b<c is hard
+            vec![Atom::lt(b, a), Atom::lt(a, c)], // b<a contradicted: a<c promoted
+            vec![Atom::lt(a, b), Atom::lt(a, b)], // dup atom, then entailed
+        ];
+        let (promoted, rest) = preprocess(3, &hard, &clauses, &mut stats).unwrap();
+        assert!(rest.is_empty(), "all clauses resolved: {rest:?}");
+        assert_eq!(promoted, vec![Atom::lt(b, c), Atom::lt(a, c)]);
+        assert_eq!(stats.promoted_units, 2);
+        assert_eq!(stats.dropped_atoms, 2);
+        assert_eq!(stats.dropped_clauses, 2);
+    }
+
+    #[test]
+    fn preprocessing_subsumption_drops_supersets() {
+        let mut stats = PrepStats::default();
+        // Disconnected atom pairs so nothing is entailed or contradicted.
+        let clauses = vec![
+            vec![Atom::lt(Var(0), Var(1)), Atom::lt(Var(2), Var(3))],
+            vec![Atom::lt(Var(0), Var(1)), Atom::lt(Var(2), Var(3)), Atom::lt(Var(4), Var(5))],
+        ];
+        let (promoted, rest) = preprocess(6, &[], &clauses, &mut stats).unwrap();
+        assert!(promoted.is_empty());
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].len(), 2);
+        assert_eq!(stats.subsumed_clauses, 1);
+    }
+
+    #[test]
+    fn preprocessing_detects_unsat() {
+        let mut stats = PrepStats::default();
+        let a = Var(0);
+        let b = Var(1);
+        // Unit b<a against hard a<b: clause-level unsat.
+        let clauses = [vec![Atom::lt(b, a)]];
+        let err = preprocess(2, &[Atom::lt(a, b)], &clauses, &mut stats);
+        assert_eq!(err.unwrap_err(), SolveError::UnsatClauses);
+    }
+
+    #[test]
+    fn turbo_reports_hard_unsat_with_global_atoms() {
+        let mut s = OrderSolver::new();
+        let v: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+        s.add_lt(v[0], v[1]); // healthy component
+        s.add_lt(v[3], v[4]); // cycle component
+        s.add_lt(v[4], v[3]);
+        let err = s.solve_turbo(&TurboOptions::default()).unwrap_err();
+        match err {
+            SolveError::UnsatHard { constraint } => {
+                assert!(constraint.left.0 >= 3 && constraint.right.0 >= 3, "global ids: {constraint}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn turbo_reports_clause_unsat() {
+        let mut s = OrderSolver::new();
+        let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_lt(v[0], v[1]);
+        s.add_clause(vec![Atom::lt(v[2], v[3])]);
+        s.add_clause(vec![Atom::lt(v[3], v[2])]);
+        assert_eq!(
+            s.solve_turbo(&TurboOptions::default()).unwrap_err(),
+            SolveError::UnsatClauses
+        );
+    }
+
+    #[test]
+    fn empty_clause_falls_back_to_sequential() {
+        let mut s = OrderSolver::new();
+        let _ = s.new_var();
+        let _ = s.new_var();
+        s.add_clause(vec![]);
+        assert_eq!(
+            s.solve_turbo(&TurboOptions::default()).unwrap_err(),
+            SolveError::UnsatClauses
+        );
+    }
+
+    #[test]
+    fn cache_reuses_components_across_solves() {
+        // Structurally distinct groups so no component aliases another
+        // within one solve and the hit counts are exact.
+        let build = || {
+            let mut s = OrderSolver::new();
+            let v: Vec<Var> = (0..7).map(|_| s.new_var()).collect();
+            s.add_lt(v[0], v[1]);
+            s.add_clause(vec![Atom::lt(v[2], v[0]), Atom::lt(v[1], v[2])]);
+            s.add_lt(v[3], v[4]);
+            s.add_lt(v[4], v[5]);
+            s.add_clause(vec![Atom::lt(v[5], v[3]), Atom::lt(v[3], v[5])]);
+            s
+        };
+        let cache = ComponentCache::new();
+        let opts = TurboOptions {
+            cache: Some(cache.clone()),
+            ..TurboOptions::default()
+        };
+        let mut s = build();
+        let first = s.solve_turbo(&opts).unwrap();
+        assert_eq!(first.turbo.cache_hits, 0);
+        assert_eq!(first.turbo.cache_misses, 3);
+        let second = s.solve_turbo(&opts).unwrap();
+        assert_eq!(second.turbo.cache_hits, 3);
+        assert_eq!(second.turbo.cache_misses, 0);
+        assert_eq!(cache.len(), 3);
+        for v in 0..s.num_vars() as u32 {
+            assert_eq!(first.model.value(Var(v)), second.model.value(Var(v)));
+        }
+    }
+
+    #[test]
+    fn cache_dedupes_identical_components_within_one_solve() {
+        // `two_group_solver`'s groups are structurally identical in
+        // local terms; with one worker the second group is answered by
+        // the first group's entry.
+        let opts = TurboOptions {
+            workers: 1,
+            cache: Some(ComponentCache::new()),
+            ..TurboOptions::default()
+        };
+        let mut s = two_group_solver();
+        let solved = s.solve_turbo(&opts).unwrap();
+        assert_eq!(solved.turbo.cache_hits, 1);
+        assert_eq!(solved.turbo.cache_misses, 2);
+        check_model(&s, &solved.model);
+    }
+
+    #[test]
+    fn turbo_stats_aggregate_per_component() {
+        let mut s = two_group_solver();
+        let solved = s.solve_turbo(&TurboOptions::default()).unwrap();
+        assert_eq!(solved.turbo.per_component.len(), 3);
+        let summed: u64 = solved.turbo.per_component.iter().map(|c| c.decisions).sum();
+        assert_eq!(solved.stats.decisions, summed);
+        assert_eq!(solved.stats.vars, 7);
+        let m = solved.turbo.metrics();
+        assert_eq!(m.components, 3);
+        assert_eq!(m.workers, solved.turbo.workers);
+    }
+}

@@ -86,6 +86,34 @@ pub fn minimize_unsat_core(
         return None;
     }
 
+    // Narrow to the first provably-unsat component before any deletion
+    // pass: no atom crosses components, so a minimal core always lives
+    // entirely inside one of them, and every probe below then solves
+    // only that component's constraints. (An empty clause belongs to no
+    // component; if that is the culprit, no component is unsat on its
+    // own and the full-width passes below still find it.)
+    let comps = crate::turbo::decompose(num_vars, hard, clauses);
+    if comps.len() > 1 {
+        for comp in &comps {
+            if comp.hard_idx.is_empty() && comp.clause_idx.is_empty() {
+                continue;
+            }
+            let mut comp_hard = vec![false; hard.len()];
+            let mut comp_clauses = vec![false; clauses.len()];
+            for &i in &comp.hard_idx {
+                comp_hard[i] = true;
+            }
+            for &i in &comp.clause_idx {
+                comp_clauses[i] = true;
+            }
+            if subset_unsat(num_vars, hard, clauses, &comp_hard, &comp_clauses, budget) {
+                hard_on = comp_hard;
+                clause_on = comp_clauses;
+                break;
+            }
+        }
+    }
+
     // Coarse first cut: if the hard constraints alone are contradictory
     // (the common case — a dependence cycle), every clause can go at once.
     let no_clauses = vec![false; clauses.len()];
@@ -104,6 +132,9 @@ pub fn minimize_unsat_core(
         }
     }
     for i in 0..hard.len() {
+        if !hard_on[i] {
+            continue;
+        }
         hard_on[i] = false;
         if !subset_unsat(num_vars, hard, clauses, &hard_on, &clause_on, budget) {
             hard_on[i] = true;
@@ -170,6 +201,17 @@ mod tests {
                 "core not minimal: still unsat without hard[{skip}]"
             );
         }
+    }
+
+    #[test]
+    fn core_narrows_to_the_unsat_component() {
+        // Component {0,1} is healthy noise; component {2,3} has the
+        // cycle. Narrowing restricts the deletion passes to {2,3}.
+        let hard = atoms(&[(0, 1), (2, 3), (3, 2)]);
+        let clauses = vec![atoms(&[(0, 1)]), atoms(&[(2, 3), (3, 2)])];
+        let core = minimize_unsat_core(4, &hard, &clauses, 10_000).unwrap();
+        assert_eq!(core.hard, vec![1, 2]);
+        assert!(core.clauses.is_empty());
     }
 
     #[test]

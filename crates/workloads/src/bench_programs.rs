@@ -64,6 +64,107 @@ impl Workload {
     }
 }
 
+/// Synthetic recordings for solver-scaling benchmarks.
+///
+/// Real recordings are nearly always one connected component: every
+/// thread's ghost accesses chain through shared monitors, coupling all
+/// location groups. These builders produce `Recording` structs directly,
+/// with controlled component structure, so the turbo solver's scaling can
+/// be measured in isolation:
+///
+/// - [`wide_recording`] — `groups` independent location groups, each on
+///   its own disjoint thread pair, decomposing into exactly `groups`
+///   components;
+/// - [`narrow_recording`] — the same total work on one location and one
+///   thread pair: a single component, the sequential worst case.
+///
+/// Each group is a writer/reader pair: the writer's accesses `1..=k`
+/// produce one flow dependence each, and same-location dependences force
+/// Equation 1's pairwise non-interference disjunctions, so clause search
+/// (not just hard-edge propagation) dominates.
+pub mod synthetic {
+    use light_core::{AccessId, DepEdge, Recording};
+    use light_runtime::{Loc, Tid};
+
+    /// Builds one location group's dependences on a writer/reader thread
+    /// pair. Satisfiable by construction: the serial order
+    /// `w1 r1 w2 r2 ...` respects every thread-order, flow, and
+    /// non-interference constraint.
+    fn group(deps: &mut Vec<DepEdge>, loc: u64, writer: Tid, reader: Tid, k: usize) {
+        for i in 1..=k as u64 {
+            deps.push(DepEdge {
+                loc,
+                w: Some(AccessId::new(writer, i)),
+                r_tid: reader,
+                r_first: i,
+                r_last: i,
+            });
+        }
+    }
+
+    /// A recording that decomposes into exactly `groups` independent
+    /// components. Each group is **two** writer/reader thread pairs
+    /// sharing one location, with `deps_per_group` dependences alternating
+    /// between the pairs: thread-order and flow chains force the order
+    /// within a pair, but nothing orders pair A against pair B, so every
+    /// cross-pair non-interference disjunction is a genuine search
+    /// decision. That keeps real solver work inside each component — the
+    /// shape parallel solving has to be measured on — while preprocessing
+    /// still resolves the forced intra-pair clauses. Satisfiable by
+    /// construction: placing all of pair A's accesses before pair B's
+    /// respects every constraint.
+    ///
+    /// `groups` is capped at 63 by the thread-id space (four fresh
+    /// children of the root per group).
+    pub fn wide_recording(groups: usize, deps_per_group: usize) -> Recording {
+        assert!(groups <= 63, "thread-id space allows at most 63 groups");
+        let mut deps = Vec::with_capacity(groups * deps_per_group);
+        for g in 0..groups {
+            let loc = Loc::Global(lir::GlobalId(g as u32)).key();
+            let base = 4 * g as u32;
+            let pairs = [
+                (Tid::ROOT.child(base), Tid::ROOT.child(base + 1)),
+                (Tid::ROOT.child(base + 2), Tid::ROOT.child(base + 3)),
+            ];
+            let mut ctr = [0u64; 2];
+            for i in 0..deps_per_group {
+                let p = i % 2;
+                ctr[p] += 1;
+                let (writer, reader) = pairs[p];
+                deps.push(DepEdge {
+                    loc,
+                    w: Some(AccessId::new(writer, ctr[p])),
+                    r_tid: reader,
+                    r_first: ctr[p],
+                    r_last: ctr[p],
+                });
+            }
+        }
+        Recording {
+            deps,
+            ..Recording::default()
+        }
+    }
+
+    /// The single-component control: the same number of dependences as
+    /// `wide_recording(groups, deps_per_group)` but all on one location
+    /// and one thread pair, so decomposition finds nothing to split.
+    pub fn narrow_recording(total_deps: usize) -> Recording {
+        let mut deps = Vec::with_capacity(total_deps);
+        group(
+            &mut deps,
+            Loc::Global(lir::GlobalId(0)).key(),
+            Tid::ROOT.child(0),
+            Tid::ROOT.child(1),
+            total_deps,
+        );
+        Recording {
+            deps,
+            ..Recording::default()
+        }
+    }
+}
+
 /// The full catalog, in the order the figures print them.
 pub fn benchmarks() -> Vec<Workload> {
     vec![

@@ -19,7 +19,7 @@ mod bench_programs;
 pub mod generators;
 mod bug_programs;
 
-pub use bench_programs::{benchmarks, Suite, Workload};
+pub use bench_programs::{benchmarks, synthetic, Suite, Workload};
 pub use bug_programs::{bugs, BugCase};
 
 use lir::Program;
@@ -119,6 +119,20 @@ mod tests {
     fn notify_storm_parses_and_has_main() {
         let p = notify_storm();
         assert!(p.entry.is_some());
+    }
+
+    #[test]
+    fn synthetic_wide_recording_decomposes_into_independent_components() {
+        let turbo = light_core::TurboOptions::default();
+        let rec = synthetic::wide_recording(8, 6);
+        let sys = light_core::ConstraintSystem::build(&rec);
+        let (_, _, stats) = sys.solve_with(&rec, Some(&turbo)).expect("satisfiable");
+        assert_eq!(stats.expect("turbo stats").components, 8);
+
+        let narrow = synthetic::narrow_recording(48);
+        let sys = light_core::ConstraintSystem::build(&narrow);
+        let (_, _, stats) = sys.solve_with(&narrow, Some(&turbo)).expect("satisfiable");
+        assert_eq!(stats.expect("turbo stats").components, 1);
     }
 
     #[test]

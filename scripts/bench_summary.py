@@ -34,7 +34,7 @@ def headline_for(name: str, doc: dict) -> dict:
     rows = doc.get("rows")
     if isinstance(rows, list):
         head["rows"] = len(rows)
-    for key in ("median_overhead", "criterion_met"):
+    for key in ("median_overhead", "solver_speedup", "criterion_met"):
         if key in doc:
             head[key] = doc[key]
     # Medians of common per-row timing fields, when present.
