@@ -1,0 +1,123 @@
+//! E14 — registry ingest overhead: for each corpus bug, time the
+//! record-and-serialize path bare against the same path with a
+//! `light-watch` registry ingest (SHA-256 content addressing + blob +
+//! index append) attached, and report the per-bug and aggregate
+//! overhead. The acceptance criterion is < 5% median overhead. Run with
+//! `cargo bench -p light-bench --bench telemetry_overhead`.
+//!
+//! Results land in `results/telemetry_overhead.json` (primary) and
+//! `results/telemetry_overhead.txt`.
+
+use light_bench::report::Report;
+use light_core::obs::json::Value;
+use light_core::{write_recording, Light};
+use light_telemetry::{Registry, RunKind, RunRecord, RunStatus};
+use light_workloads::bugs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timed repetitions per configuration; the median is reported so a
+/// single descheduling blip cannot fake (or mask) a regression.
+const REPS: usize = 7;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rep = Report::new("telemetry_overhead");
+    rep.line("== E14: registry ingest overhead (record+serialize vs +ingest) ==");
+    rep.line(format!(
+        "{:<14} {:>10} {:>12} {:>9} {:>10}",
+        "bug", "bare(ms)", "ingest(ms)", "overhead", "blob(B)"
+    ));
+
+    let dir = std::env::temp_dir().join(format!("light-telemetry-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).expect("open bench registry");
+
+    let mut rows = Vec::new();
+    let mut overheads = Vec::new();
+    for bug in bugs() {
+        let program = bug.program();
+        let light = Light::new(Arc::clone(&program));
+        let seed = bug.search_seeds.start;
+        // Warm the pipeline (JIT-free, but allocator + page cache) and
+        // capture the blob size once.
+        let blob_bytes = match light.record_chaos(&bug.args, seed) {
+            Ok((recording, _)) => write_recording(&recording).len(),
+            Err(e) => {
+                rep.line(format!("{:<14} recording failed: {e}", bug.name));
+                rows.push(Value::obj([
+                    ("bug", Value::from(bug.name)),
+                    ("status", Value::from("record-failed")),
+                ]));
+                continue;
+            }
+        };
+
+        let mut bare = Vec::with_capacity(REPS);
+        let mut ingest = Vec::with_capacity(REPS);
+        for rep_idx in 0..REPS {
+            let t = Instant::now();
+            let (recording, _) = light.record_chaos(&bug.args, seed).expect("warmed record");
+            let bytes = write_recording(&recording);
+            std::hint::black_box(&bytes);
+            bare.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            let (recording, _) = light.record_chaos(&bug.args, seed).expect("warmed record");
+            let bytes = write_recording(&recording);
+            let mut record = RunRecord::new(bug.name, RunKind::Bench, RunStatus::Ok);
+            record.ts_ms = 1 + rep_idx as u64;
+            record.metrics = Some(recording.snapshot());
+            registry
+                .ingest(record, Some(bytes.as_ref()))
+                .expect("bench ingest");
+            ingest.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let bare_ms = median(&mut bare);
+        let ingest_ms = median(&mut ingest);
+        let overhead = ingest_ms / bare_ms - 1.0;
+        overheads.push(overhead);
+
+        rep.line(format!(
+            "{:<14} {:>10.2} {:>12.2} {:>8.1}% {:>10}",
+            bug.name,
+            bare_ms,
+            ingest_ms,
+            overhead * 100.0,
+            blob_bytes,
+        ));
+        rows.push(Value::obj([
+            ("bug", Value::from(bug.name)),
+            ("status", Value::from("measured")),
+            ("bare_ms", Value::from(bare_ms)),
+            ("ingest_ms", Value::from(ingest_ms)),
+            ("overhead", Value::from(overhead)),
+            ("blob_bytes", Value::from(blob_bytes as u64)),
+        ]));
+    }
+    rep.set("rows", Value::Arr(rows));
+
+    // The registry held every ingested run and stays queryable.
+    let stored = registry.load().expect("reload bench registry");
+    rep.set("ingested_runs", stored.len() as u64);
+
+    if !overheads.is_empty() {
+        let med = median(&mut overheads);
+        rep.blank();
+        rep.line(format!(
+            "median ingest overhead across corpus: {:.1}% (criterion: < 5%)",
+            med * 100.0
+        ));
+        rep.set("median_overhead", med);
+        rep.set("criterion_met", med < 0.05);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    rep.blank();
+    rep.line("(Ingest = SHA-256 of the recording bytes + content-addressed blob write + one JSONL index append, on top of chaos record + serialize; overhead = ingest/bare - 1 on the median of 7 runs each.)");
+    rep.write_or_die();
+}

@@ -84,6 +84,25 @@ fn main() -> ExitCode {
         }
     };
 
+    // Best-effort registry ingest (no-op unless LIGHT_REGISTRY is set):
+    // inspecting a recording files it under its content hash, so ad-hoc
+    // `.lrec` files become queryable alongside pipeline runs.
+    {
+        use light_telemetry::{auto_ingest, RunKind, RunRecord, RunStatus};
+        let status = if recording.fault.is_some() {
+            RunStatus::Failed
+        } else {
+            RunStatus::Ok
+        };
+        let mut reg = RunRecord::new(&path, RunKind::Inspect, status);
+        reg.metrics = Some(recording.snapshot());
+        reg.provenance = recording
+            .provenance
+            .as_ref()
+            .map(|p| format!("explore:{} seed {}", p.strategy, p.seed));
+        auto_ingest(reg, Some(light_core::write_recording(&recording).as_ref()));
+    }
+
     if json {
         let mut snap = recording.snapshot().to_json();
         if let Value::Obj(pairs) = &mut snap {
@@ -130,7 +149,7 @@ fn main() -> ExitCode {
         }
         println!("{}", snap.to_json_pretty());
     } else {
-        print_summary(&recording);
+        print_summary(&recording, file_version);
     }
 
     if let Some(out) = trace_out {
@@ -145,7 +164,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn print_summary(rec: &Recording) {
+fn print_summary(rec: &Recording, file_version: u32) {
     println!("== recording summary ==");
     println!("args: {:?}", rec.args);
     match &rec.fault {
@@ -167,10 +186,20 @@ fn print_summary(rec: &Recording) {
     println!("  dependence edges:   {}", s.deps);
     println!("  non-interleaved runs: {}", s.runs);
     println!("  O2-skipped accesses:  {}", s.o2_skipped);
-    println!("  stripe contention:    {}", s.stripe_contention);
+    // Pre-v2 logs predate the contention counter and pre-v4 logs the
+    // per-stripe histogram: render "n/a" rather than a misleading zero.
+    if file_version < 2 {
+        println!("  stripe contention:    n/a (log format v{file_version} predates it)");
+    } else {
+        println!("  stripe contention:    {}", s.stripe_contention);
+    }
     let hist = rec.stripe_hist_sparse();
-    if !hist.is_empty() {
-        println!();
+    println!();
+    if file_version < 4 {
+        println!("contended last-write-map stripes: n/a (log format v{file_version} predates the histogram)");
+    } else if hist.is_empty() {
+        println!("contended last-write-map stripes: none (no contended accesses)");
+    } else {
         println!("contended last-write-map stripes ({}):", hist.len());
         let max = hist.iter().map(|&(_, n)| n).max().unwrap_or(1);
         let mut hot: Vec<_> = hist;
@@ -235,28 +264,40 @@ fn print_summary(rec: &Recording) {
     );
     match sys.solve_with(rec, Some(&TurboOptions::default())) {
         Ok((_, stats, turbo)) => {
-            let t = turbo.expect("turbo stats on the turbo path");
-            println!(
-                "turbo solve: {} component(s), widest {} vars, {} worker(s), {} decisions, {} backtracks, {:.2}ms",
-                t.components,
-                t.widest_component,
-                t.workers,
-                stats.decisions,
-                stats.backtracks,
-                stats.solve_time.as_secs_f64() * 1e3,
-            );
-            println!(
-                "  preprocessing: {} units promoted, {} atoms dropped, {} clauses dropped, {} subsumed",
-                t.prep.promoted_units,
-                t.prep.dropped_atoms,
-                t.prep.dropped_clauses,
-                t.prep.subsumed_clauses,
-            );
-            if t.cache_hits + t.cache_misses > 0 {
-                println!(
-                    "  component cache: {} hits, {} misses",
-                    t.cache_hits, t.cache_misses
-                );
+            // The turbo path can legitimately return no turbo stats
+            // (e.g. a trivially small system solved sequentially):
+            // render "n/a" rather than asserting.
+            match turbo {
+                Some(t) => {
+                    println!(
+                        "turbo solve: {} component(s), widest {} vars, {} worker(s), {} decisions, {} backtracks, {:.2}ms",
+                        t.components,
+                        t.widest_component,
+                        t.workers,
+                        stats.decisions,
+                        stats.backtracks,
+                        stats.solve_time.as_secs_f64() * 1e3,
+                    );
+                    println!(
+                        "  preprocessing: {} units promoted, {} atoms dropped, {} clauses dropped, {} subsumed",
+                        t.prep.promoted_units,
+                        t.prep.dropped_atoms,
+                        t.prep.dropped_clauses,
+                        t.prep.subsumed_clauses,
+                    );
+                    if t.cache_hits + t.cache_misses > 0 {
+                        println!(
+                            "  component cache: {} hits, {} misses",
+                            t.cache_hits, t.cache_misses
+                        );
+                    }
+                }
+                None => println!(
+                    "turbo solve: n/a (solved sequentially), {} decisions, {} backtracks, {:.2}ms",
+                    stats.decisions,
+                    stats.backtracks,
+                    stats.solve_time.as_secs_f64() * 1e3,
+                ),
             }
         }
         Err(e) => println!("turbo solve: FAILED ({e}) — see light-doctor --explain"),

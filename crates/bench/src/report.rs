@@ -77,19 +77,55 @@ impl Report {
     }
 
     /// Writes `<name>.json` and `<name>.txt` into [`results_dir`],
-    /// creating it if needed. Returns the JSON path.
+    /// creating it if needed. Returns the JSON path. When
+    /// `LIGHT_REGISTRY` is set the report is also ingested into the run
+    /// registry (kind `bench`, headline = the report's numeric fields,
+    /// blob = the JSON document), so `light-watch trend`/`regress` can
+    /// gate on every harness without extra plumbing.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors from creating the directory or
-    /// writing either artifact.
+    /// writing either artifact. Registry ingest is best-effort and
+    /// never fails the write.
     pub fn write(&self) -> std::io::Result<PathBuf> {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let json_path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&json_path, self.to_json().to_json_pretty() + "\n")?;
+        let doc = self.to_json().to_json_pretty() + "\n";
+        std::fs::write(&json_path, &doc)?;
         std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text)?;
+
+        let mut rec = light_telemetry::RunRecord::new(
+            self.name,
+            light_telemetry::RunKind::Bench,
+            light_telemetry::RunStatus::Ok,
+        );
+        rec.headline = self.headline_fields();
+        light_telemetry::auto_ingest(rec, Some(doc.as_bytes()));
         Ok(json_path)
+    }
+
+    /// The report's numeric fields flattened for trending: top-level
+    /// numbers keep their key, one nesting level (the `aggregate_json`
+    /// shape) flattens to `key.subkey`.
+    fn headline_fields(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in &self.fields {
+            if let Some(x) = v.as_f64() {
+                out.insert(k.clone(), x);
+            } else if let Value::Obj(pairs) = v {
+                for (sub, sv) in pairs {
+                    if let Some(x) = sv.as_f64() {
+                        out.insert(format!("{k}.{sub}"), x);
+                    }
+                }
+            } else if let Value::Bool(b) = v {
+                // Criterion flags (`criterion_met`) trend as 0/1.
+                out.insert(k.clone(), if *b { 1.0 } else { 0.0 });
+            }
+        }
+        out
     }
 
     /// [`Report::write`], panicking on filesystem errors (harnesses have
@@ -128,6 +164,20 @@ mod tests {
         let json = r.to_json();
         assert_eq!(json.get("name").and_then(Value::as_str), Some("unit_test_report"));
         assert_eq!(json.get("threads").and_then(Value::as_u64), Some(8));
+    }
+
+    #[test]
+    fn headline_flattens_numeric_fields() {
+        let mut r = Report::new("unit_headline");
+        r.set("rows", 5u64);
+        r.set("criterion_met", Value::Bool(true));
+        r.set("overhead", aggregate_json(&[1.0, 3.0]));
+        r.set("label", "text");
+        let head = r.headline_fields();
+        assert_eq!(head.get("rows"), Some(&5.0));
+        assert_eq!(head.get("criterion_met"), Some(&1.0));
+        assert_eq!(head.get("overhead.median"), Some(&2.0));
+        assert!(!head.contains_key("label"));
     }
 
     #[test]

@@ -142,6 +142,16 @@ impl Light {
         &self.obs
     }
 
+    /// Attaches a causal run id to this pipeline. Every subsequent
+    /// record/solve/replay pass emits its events under this id (see
+    /// [`light_obs::Obs::with_run_id`]) and [`ReplayReport::run_id`]
+    /// carries it, so one invocation's artifacts are joinable across
+    /// trace exports, progress streams, and the `light-watch` registry.
+    /// Works with or without a sink attached.
+    pub fn set_run_id(&mut self, run: light_obs::RunId) {
+        self.obs = self.obs.clone().with_run_id(run);
+    }
+
     /// Attaches a flight-recorder sink. Every pipeline stage — the
     /// recorder's dependence/run/elision path, the controlled scheduler's
     /// admission decisions, the constraint builder's census and the

@@ -67,6 +67,11 @@ pub struct ReplayReport {
     /// timings (constraint-build, solve, replay-run). Always populated,
     /// with or without a sink attached.
     pub metrics: MetricsSnapshot,
+    /// The causal trace id this replay ran under, when the driving
+    /// [`Obs`] handle carried one ([`light_obs::Obs::with_run_id`]);
+    /// joins this report with trace exports, progress streams, and
+    /// `light-watch` registry entries.
+    pub run_id: Option<light_obs::RunId>,
 }
 
 /// Failure to replay.
@@ -333,6 +338,7 @@ pub fn replay_observed(
         solve_stats,
         schedule_len,
         metrics,
+        run_id: obs.run_id(),
     })
 }
 

@@ -213,6 +213,29 @@ fn v2_golden_fixture_loads_without_provenance() {
 }
 
 #[test]
+fn snapshot_json_round_trips_across_all_golden_versions() {
+    // Every log generation's recording must produce a MetricsSnapshot
+    // whose JSON parses back to an identical snapshot — the registry
+    // stores snapshots as JSON and must reread entries ingested from
+    // recordings of any vintage.
+    use light_core::obs::{json::Value, MetricsSnapshot};
+    for name in ["v1.lrec", "v2.lrec", "v3.lrec", "v4.lrec"] {
+        let back = read_recording(&load_fixture(name)).unwrap();
+        let snap = back.snapshot();
+        let json = snap.to_json().to_json();
+        let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
+        assert_eq!(parsed, snap, "snapshot JSON roundtrip for {name}");
+    }
+    // The versions are discriminating: v4 carries the stripe histogram,
+    // v1 predates stripe_contention entirely.
+    let v4 = read_recording(&load_fixture("v4.lrec")).unwrap().snapshot();
+    assert!(!v4.stripe_hist.is_empty());
+    let v1 = read_recording(&load_fixture("v1.lrec")).unwrap().snapshot();
+    assert!(v1.stripe_hist.is_empty());
+    assert_eq!(v1.record.unwrap().stripe_contention, 0);
+}
+
+#[test]
 fn v1_golden_fixture_loads_with_default_contention() {
     let bytes = load_fixture("v1.lrec");
     assert_eq!(peek_log_version(&bytes).unwrap(), 1);

@@ -104,12 +104,15 @@ fn metrics_registry_collects_phases_and_counters() {
 fn sinks_do_not_perturb_the_recording_bytes() {
     // The recorder hot path never consults the sink, so the recorded
     // bytes must be identical whether tracing is off, a no-op sink is
-    // attached, or a full trace sink is live.
+    // attached, a full trace sink is live, or run-id telemetry is on.
     let base = light(RACY_COUNTER);
     let mut nulled = light(RACY_COUNTER);
     nulled.set_sink(Arc::new(NullSink));
     let mut traced = light(RACY_COUNTER);
     traced.set_sink(Arc::new(TraceSink::new()));
+    let mut watched = light(RACY_COUNTER);
+    watched.set_sink(Arc::new(TraceSink::new()));
+    watched.set_run_id(light_core::obs::RunId::fresh());
 
     for seed in 0..3 {
         let encode = |l: &Light| {
@@ -119,7 +122,36 @@ fn sinks_do_not_perturb_the_recording_bytes() {
         let b0 = encode(&base);
         assert_eq!(b0, encode(&nulled), "NullSink changed the log, seed {seed}");
         assert_eq!(b0, encode(&traced), "TraceSink changed the log, seed {seed}");
+        assert_eq!(b0, encode(&watched), "run-id telemetry changed the log, seed {seed}");
     }
+}
+
+#[test]
+fn run_id_threads_through_replay_and_trace_export() {
+    let mut light = light(RACY_COUNTER);
+    let sink = Arc::new(TraceSink::new());
+    light.set_sink(sink.clone());
+    let id = light_core::obs::RunId::fresh();
+    light.set_run_id(id);
+
+    let (recording, _) = light.record(&[10], 2).unwrap();
+    let report = light.replay(&recording).unwrap();
+    // The report joins back to the invocation's causal id.
+    assert_eq!(report.run_id, Some(id));
+
+    // The trace stream carries the RunContext metadata, and the Chrome
+    // export groups pipeline spans under the run's pid.
+    let events = sink.events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::RunContext { run_id, .. } if *run_id == id.to_string()
+    )));
+    let json = chrome_trace_json(&events);
+    assert!(json.contains(&format!("\"run {id}\"")));
+    assert!(json.contains(&format!("\"pid\": {}", id.as_pid())));
+    // Without a run id, reports carry none.
+    let plain = Light::new(light.program().clone());
+    assert_eq!(plain.replay(&recording).unwrap().run_id, None);
 }
 
 #[test]

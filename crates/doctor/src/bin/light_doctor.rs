@@ -12,9 +12,11 @@
 //! with `--explain`), `3` divergence detected (or, with `--inject`, the
 //! injected fault was missed), `1` usage or I/O errors.
 
-use light_core::{load_recording, Light, Recording, ReplayError};
+use light_core::{load_recording, write_recording, Light, Recording, ReplayError};
 use light_doctor::{doctor_replay, explain_unsat, inject_divergence, DoctorOptions};
 use light_obs::json::Value;
+use light_obs::RunId;
+use light_telemetry::{auto_ingest, RunKind, RunRecord, RunStatus};
 use light_workloads::bugs;
 use lir::Program;
 use std::process::ExitCode;
@@ -194,9 +196,13 @@ fn json_report(
     label: &str,
     report: &light_doctor::DoctorReport,
     injected: Option<&str>,
+    run: RunId,
 ) -> Value {
     let mut obj = vec![
         ("target".to_string(), Value::Str(label.to_string())),
+        // Additive key: joins this report to the trace stream and the
+        // registry entry for the same invocation.
+        ("run_id".to_string(), Value::Str(run.to_string())),
         ("healthy".to_string(), Value::Bool(report.healthy())),
         (
             "checked_reads".to_string(),
@@ -268,6 +274,36 @@ fn json_report(
     Value::Obj(obj)
 }
 
+/// Best-effort registry ingest: a no-op unless `LIGHT_REGISTRY` is set.
+/// The checked recording rides along as the content-addressed blob so
+/// diverged runs can be re-examined later straight from the registry.
+fn ingest_run(
+    label: &str,
+    run: RunId,
+    status: RunStatus,
+    started: std::time::Instant,
+    recording: &Recording,
+    report: Option<&light_doctor::DoctorReport>,
+) {
+    let mut rec = RunRecord::new(label, RunKind::Doctor, status);
+    rec.run_id = Some(run.to_string());
+    rec.wall_ms = Some(started.elapsed().as_millis() as u64);
+    if let Some(report) = report {
+        rec.bug_signature = report
+            .divergence
+            .as_ref()
+            .map(|d| format!("{}@{}", d.variable, d.loc));
+        rec.metrics = report.replay.as_ref().map(|r| r.metrics.clone());
+        rec.headline
+            .insert("checked_reads".into(), report.stats.checked_reads as f64);
+        rec.headline
+            .insert("uncovered_reads".into(), report.stats.uncovered_reads as f64);
+        rec.headline
+            .insert("mismatches".into(), report.stats.mismatches as f64);
+    }
+    auto_ingest(rec, Some(write_recording(recording).as_ref()));
+}
+
 /// One human-readable line per flight event for divergence tails.
 fn flight_line(ev: &light_obs::FlightEvent) -> String {
     let site = if ev.site == light_obs::NO_SITE {
@@ -301,7 +337,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let light = Light::new(program.clone());
+    let run = RunId::fresh();
+    let mut light = Light::new(program.clone());
+    light.set_run_id(run);
 
     let mut reference = recording.clone();
     let injected = if cli.inject {
@@ -331,9 +369,11 @@ fn main() -> ExitCode {
             turbo.workers = n;
         }
     }
+    let started = std::time::Instant::now();
     let report = match doctor_replay(&light, &recording, &reference, &options) {
         Ok(report) => report,
         Err(ReplayError::Schedule(e)) => {
+            ingest_run(&label, run, RunStatus::Failed, started, &recording, None);
             eprintln!("[{label}] {e}");
             if cli.explain {
                 match explain_unsat(&program, &recording, cli.explain_budget) {
@@ -353,8 +393,18 @@ fn main() -> ExitCode {
         }
     };
 
+    let status = if report.divergence.is_some() {
+        RunStatus::Diverged
+    } else {
+        RunStatus::Ok
+    };
+    ingest_run(&label, run, status, started, &recording, Some(&report));
+
     if cli.json {
-        println!("{}", json_report(&label, &report, injected.as_deref()).to_json());
+        println!(
+            "{}",
+            json_report(&label, &report, injected.as_deref(), run).to_json()
+        );
     } else {
         match &report.divergence {
             Some(d) => {

@@ -11,8 +11,10 @@
 //! light-explore cache4j --out repro.lrec      # save the minimized repro
 //! ```
 
-use light_core::save_recording;
+use light_core::{save_recording, write_recording};
 use light_explore::{ExploreConfig, ExploreOutcome, Explorer, StrategyKind};
+use light_obs::RunId;
+use light_telemetry::{auto_ingest, RunKind, RunRecord, RunStatus};
 use light_workloads::bugs;
 use lir::Program;
 use std::process::ExitCode;
@@ -230,7 +232,7 @@ fn report_text(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome) {
     }
 }
 
-fn report_json(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome) {
+fn report_json(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome, run: RunId) {
     let m = &outcome.metrics;
     let found = outcome
         .found
@@ -248,11 +250,38 @@ fn report_json(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome) {
             )
         })
         .unwrap_or_else(|| "null".into());
+    // run_id is additive: consumers keying on the existing fields are
+    // unaffected; it joins the report to progress records and the registry.
     println!(
-        "{{\"target\":\"{label}\",\"strategy\":\"{}\",\"found\":{found},\"metrics\":{}}}",
+        "{{\"target\":\"{label}\",\"strategy\":\"{}\",\"run_id\":\"{run}\",\"found\":{found},\"metrics\":{}}}",
         strategy.name(),
         m.to_json().to_json(),
     );
+}
+
+/// Best-effort registry ingest per campaign: a no-op unless
+/// `LIGHT_REGISTRY` is set. A found bug ships its minimized repro
+/// recording as the content-addressed blob.
+fn ingest_campaign(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome, run: RunId) {
+    let m = &outcome.metrics;
+    let mut rec = RunRecord::new(label, RunKind::Explore, RunStatus::Ok);
+    rec.run_id = Some(run.to_string());
+    rec.provenance = Some(strategy.name().to_string());
+    rec.wall_ms = Some(m.wall_ns / 1_000_000);
+    rec.headline.insert("schedules".into(), m.schedules as f64);
+    rec.headline.insert(
+        "found".into(),
+        if outcome.found.is_some() { 1.0 } else { 0.0 },
+    );
+    rec.metrics = Some(light_obs::MetricsSnapshot {
+        explore: Some(m.clone()),
+        ..Default::default()
+    });
+    let blob = outcome.found.as_ref().map(|b| {
+        rec.bug_signature = Some(format!("{:?}@{}", b.fault.kind, b.fault.line));
+        write_recording(&b.recording).to_vec()
+    });
+    auto_ingest(rec, blob.as_deref());
 }
 
 fn main() -> ExitCode {
@@ -289,6 +318,10 @@ fn main() -> ExitCode {
             }
         }
         for &strategy in &cli.strategies {
+            // One causal id per campaign: trace spans, progress records,
+            // the JSON report, and the registry entry all share it.
+            let run = RunId::fresh();
+            explorer.light_mut().set_run_id(run);
             let config = ExploreConfig {
                 strategy,
                 progress: match &progress_sink {
@@ -296,11 +329,13 @@ fn main() -> ExitCode {
                     None => light_obs::Progress::disabled(),
                 },
                 label: label.clone(),
+                run_id: Some(run.to_string()),
                 ..cli.config.clone()
             };
             let outcome = explorer.run(args, &config);
+            ingest_campaign(label, strategy, &outcome, run);
             if cli.json {
-                report_json(label, strategy, &outcome);
+                report_json(label, strategy, &outcome, run);
             } else {
                 report_text(label, strategy, &outcome);
             }

@@ -91,6 +91,10 @@ pub struct ExploreConfig {
     pub progress: Progress,
     /// Name of the target in progress records (program or corpus bug).
     pub label: String,
+    /// Causal run id stamped into every progress record, joining the
+    /// campaign's telemetry to the invocation's registry entry. Additive:
+    /// records omit the key when unset.
+    pub run_id: Option<String>,
 }
 
 impl Default for ExploreConfig {
@@ -106,6 +110,7 @@ impl Default for ExploreConfig {
             replay_checks: 3,
             progress: Progress::disabled(),
             label: String::new(),
+            run_id: None,
         }
     }
 }
@@ -127,6 +132,7 @@ struct CampaignPulse {
     budget_schedules: u64,
     strategy: &'static str,
     label: String,
+    run_id: Option<String>,
 }
 
 impl CampaignPulse {
@@ -156,6 +162,7 @@ impl CampaignPulse {
             failures: self.failures.load(Ordering::Relaxed),
             budget_schedules: self.budget_schedules,
             eta_ms,
+            run_id: self.run_id.clone(),
         }
     }
 
@@ -287,6 +294,7 @@ impl Explorer {
             budget_schedules: config.max_schedules,
             strategy: config.strategy.name(),
             label: config.label.clone(),
+            run_id: config.run_id.clone(),
         });
         let sampler_stop = Arc::new(AtomicBool::new(false));
         let sampler = config.progress.enabled().then(|| {

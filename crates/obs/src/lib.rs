@@ -54,8 +54,65 @@ pub use metrics::{
 pub use progress::{CollectingProgress, JsonlProgress, Progress, ProgressRecord, ProgressSink};
 pub use trace::{chrome_trace_json, TraceEvent, TraceSink};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// The causal trace identifier of one pipeline invocation.
+///
+/// Every phase of a pipeline pass — record, constraint-build, solve,
+/// replay, doctor/explore post-processing — shares the `RunId` of the
+/// [`Obs`] handle threaded through it, so events from one invocation can
+/// be joined across Chrome traces, progress JSONL streams, and the
+/// `light-watch` run registry. Rendered and parsed as 32 lowercase hex
+/// digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RunId(pub u128);
+
+impl RunId {
+    /// Mints a fresh process-unique id from the wall clock, the process
+    /// id, and a process-local counter, mixed through SplitMix64 so ids
+    /// minted in the same nanosecond still differ.
+    pub fn fresh() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ u64::from(std::process::id()).rotate_left(32));
+        let lo = splitmix64(seq.wrapping_add(nanos).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        RunId((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// Parses the 32-hex-digit rendering produced by `Display`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(RunId)
+    }
+
+    /// A stable small integer for trace-viewer process grouping (the
+    /// Chrome `pid` field): the low 31 bits, never 0 or negative.
+    pub fn as_pid(&self) -> u64 {
+        ((self.0 as u64) & 0x7FFF_FFFF).max(2)
+    }
+}
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// The process-wide time origin for trace timestamps. First use pins it.
 fn epoch() -> Instant {
@@ -107,12 +164,14 @@ impl Sink for NullSink {
 #[derive(Clone, Default)]
 pub struct Obs {
     sink: Option<Arc<dyn Sink>>,
+    run: Option<RunId>,
 }
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obs")
             .field("enabled", &self.enabled())
+            .field("run", &self.run)
             .finish()
     }
 }
@@ -120,7 +179,10 @@ impl std::fmt::Debug for Obs {
 impl Obs {
     /// A handle with no sink; all instrumentation is skipped.
     pub fn disabled() -> Self {
-        Obs { sink: None }
+        Obs {
+            sink: None,
+            run: None,
+        }
     }
 
     /// Wraps a sink. If the sink reports `enabled() == false` (e.g.
@@ -128,10 +190,36 @@ impl Obs {
     /// nothing.
     pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
         if sink.enabled() {
-            Obs { sink: Some(sink) }
+            Obs {
+                sink: Some(sink),
+                run: None,
+            }
         } else {
-            Obs { sink: None }
+            Obs::disabled()
         }
+    }
+
+    /// Attaches a causal run id to this handle. A
+    /// [`TraceEvent::RunContext`] metadata event is emitted immediately
+    /// (when a sink is attached) so exporters can group everything that
+    /// follows under one trace; every clone of the returned handle
+    /// carries the same id. The id sticks even with no sink, so run
+    /// registries can join runs that were never traced.
+    pub fn with_run_id(mut self, run: RunId) -> Obs {
+        self.run = Some(run);
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::RunContext {
+                run_id: run.to_string(),
+                pid: run.as_pid(),
+            });
+        }
+        self
+    }
+
+    /// The causal trace id of this pipeline invocation, if one was
+    /// attached via [`Obs::with_run_id`].
+    pub fn run_id(&self) -> Option<RunId> {
+        self.run
     }
 
     pub fn enabled(&self) -> bool {
@@ -336,5 +424,38 @@ mod tests {
         let a = now_us();
         let b = now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_display_round_trips() {
+        let a = RunId::fresh();
+        let b = RunId::fresh();
+        assert_ne!(a, b);
+        let s = a.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(RunId::parse(&s), Some(a));
+        assert_eq!(RunId::parse("zz"), None);
+        assert_eq!(RunId::parse(""), None);
+        assert!(a.as_pid() >= 2);
+    }
+
+    #[test]
+    fn with_run_id_emits_run_context_and_sticks_to_clones() {
+        let sink = Arc::new(TraceSink::new());
+        let id = RunId::fresh();
+        let obs = Obs::with_sink(sink.clone()).with_run_id(id);
+        assert_eq!(obs.run_id(), Some(id));
+        assert_eq!(obs.clone().run_id(), Some(id));
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RunContext { run_id, pid }
+                if *run_id == id.to_string() && *pid == id.as_pid()
+        )));
+        // A disabled handle still carries the id (registry joins work
+        // even when tracing is off).
+        let quiet = Obs::disabled().with_run_id(id);
+        assert!(!quiet.enabled());
+        assert_eq!(quiet.run_id(), Some(id));
     }
 }

@@ -13,6 +13,12 @@ use crate::{Sink, TraceEvent};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Reads an integer field of a JSON object, defaulting absent or
+/// non-numeric values to 0 so older snapshots parse leniently.
+fn ju(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
 /// Per-run recorder counters (Light's bounded-recording side).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -170,6 +176,29 @@ impl RecorderMetrics {
             ("stripe_contention", Value::from(self.stripe_contention)),
         ])
     }
+
+    pub fn from_json(v: &Value) -> Self {
+        RecorderMetrics {
+            space_longs: ju(v, "space_longs"),
+            deps: ju(v, "deps"),
+            runs: ju(v, "runs"),
+            retries: ju(v, "retries"),
+            o2_skipped: ju(v, "o2_skipped"),
+            stripe_contention: ju(v, "stripe_contention"),
+        }
+    }
+
+    /// Fieldwise sum; the combine step of [`MetricsSnapshot::aggregate`].
+    fn combine(&self, other: &Self) -> Self {
+        RecorderMetrics {
+            space_longs: self.space_longs.saturating_add(other.space_longs),
+            deps: self.deps.saturating_add(other.deps),
+            runs: self.runs.saturating_add(other.runs),
+            retries: self.retries.saturating_add(other.retries),
+            o2_skipped: self.o2_skipped.saturating_add(other.o2_skipped),
+            stripe_contention: self.stripe_contention.saturating_add(other.stripe_contention),
+        }
+    }
 }
 
 impl SolverMetrics {
@@ -182,6 +211,28 @@ impl SolverMetrics {
             ("backtracks", Value::from(self.backtracks)),
             ("solve_ns", Value::from(self.solve_ns)),
         ])
+    }
+
+    pub fn from_json(v: &Value) -> Self {
+        SolverMetrics {
+            vars: ju(v, "vars"),
+            hard_constraints: ju(v, "hard_constraints"),
+            clauses: ju(v, "clauses"),
+            decisions: ju(v, "decisions"),
+            backtracks: ju(v, "backtracks"),
+            solve_ns: ju(v, "solve_ns"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        SolverMetrics {
+            vars: self.vars.saturating_add(other.vars),
+            hard_constraints: self.hard_constraints.saturating_add(other.hard_constraints),
+            clauses: self.clauses.saturating_add(other.clauses),
+            decisions: self.decisions.saturating_add(other.decisions),
+            backtracks: self.backtracks.saturating_add(other.backtracks),
+            solve_ns: self.solve_ns.saturating_add(other.solve_ns),
+        }
     }
 }
 
@@ -197,6 +248,32 @@ impl TurboMetrics {
             ("dropped_clauses", Value::from(self.dropped_clauses)),
         ])
     }
+
+    pub fn from_json(v: &Value) -> Self {
+        TurboMetrics {
+            components: ju(v, "components"),
+            widest_component: ju(v, "widest_component"),
+            workers: ju(v, "workers"),
+            cache_hits: ju(v, "cache_hits"),
+            cache_misses: ju(v, "cache_misses"),
+            promoted_units: ju(v, "promoted_units"),
+            dropped_clauses: ju(v, "dropped_clauses"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        TurboMetrics {
+            components: self.components.saturating_add(other.components),
+            // Widths don't add across solves; the widest seen is the
+            // meaningful aggregate (and max keeps combine associative).
+            widest_component: self.widest_component.max(other.widest_component),
+            workers: self.workers.max(other.workers),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+            promoted_units: self.promoted_units.saturating_add(other.promoted_units),
+            dropped_clauses: self.dropped_clauses.saturating_add(other.dropped_clauses),
+        }
+    }
 }
 
 impl SchedulerMetrics {
@@ -209,6 +286,30 @@ impl SchedulerMetrics {
             ("suppressed_writes", Value::from(self.suppressed_writes)),
             ("parked", Value::from(self.parked)),
         ])
+    }
+
+    pub fn from_json(v: &Value) -> Self {
+        SchedulerMetrics {
+            schedule_len: ju(v, "schedule_len"),
+            context_switches: ju(v, "context_switches"),
+            enforcement_stalls: ju(v, "enforcement_stalls"),
+            stall_ns: ju(v, "stall_ns"),
+            suppressed_writes: ju(v, "suppressed_writes"),
+            parked: ju(v, "parked"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        SchedulerMetrics {
+            schedule_len: self.schedule_len.saturating_add(other.schedule_len),
+            context_switches: self.context_switches.saturating_add(other.context_switches),
+            enforcement_stalls: self
+                .enforcement_stalls
+                .saturating_add(other.enforcement_stalls),
+            stall_ns: self.stall_ns.saturating_add(other.stall_ns),
+            suppressed_writes: self.suppressed_writes.saturating_add(other.suppressed_writes),
+            parked: self.parked.saturating_add(other.parked),
+        }
     }
 }
 
@@ -223,6 +324,32 @@ impl ExploreMetrics {
             ("wall_ns", Value::from(self.wall_ns)),
         ])
     }
+
+    pub fn from_json(v: &Value) -> Self {
+        ExploreMetrics {
+            schedules: ju(v, "schedules"),
+            failures: ju(v, "failures"),
+            minimize_iterations: ju(v, "minimize_iterations"),
+            trace_segments: ju(v, "trace_segments"),
+            minimized_segments: ju(v, "minimized_segments"),
+            wall_ns: ju(v, "wall_ns"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        ExploreMetrics {
+            schedules: self.schedules.saturating_add(other.schedules),
+            failures: self.failures.saturating_add(other.failures),
+            minimize_iterations: self
+                .minimize_iterations
+                .saturating_add(other.minimize_iterations),
+            trace_segments: self.trace_segments.saturating_add(other.trace_segments),
+            minimized_segments: self
+                .minimized_segments
+                .saturating_add(other.minimized_segments),
+            wall_ns: self.wall_ns.saturating_add(other.wall_ns),
+        }
+    }
 }
 
 impl RunMetrics {
@@ -234,6 +361,24 @@ impl RunMetrics {
             ("objects", Value::from(self.objects)),
         ])
     }
+
+    pub fn from_json(v: &Value) -> Self {
+        RunMetrics {
+            duration_ns: ju(v, "duration_ns"),
+            threads: ju(v, "threads"),
+            events: ju(v, "events"),
+            objects: ju(v, "objects"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        RunMetrics {
+            duration_ns: self.duration_ns.saturating_add(other.duration_ns),
+            threads: self.threads.max(other.threads),
+            events: self.events.saturating_add(other.events),
+            objects: self.objects.max(other.objects),
+        }
+    }
 }
 
 impl PhaseRecord {
@@ -243,6 +388,29 @@ impl PhaseRecord {
             ("start_us", Value::from(self.start_us)),
             ("dur_us", Value::from(self.dur_us)),
         ])
+    }
+
+    pub fn from_json(v: &Value) -> Self {
+        PhaseRecord {
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            start_us: ju(v, "start_us"),
+            dur_us: ju(v, "dur_us"),
+        }
+    }
+}
+
+/// Combines two optional sections: absent sides are identity, both
+/// present combines fieldwise. Keeps [`MetricsSnapshot::aggregate`]
+/// associative and order-insensitive as long as `combine` is.
+fn combine_opt<T: Copy>(a: Option<T>, b: Option<T>, combine: impl Fn(&T, &T) -> T) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(combine(&x, &y)),
+        (Some(x), None) => Some(x),
+        (None, y) => y,
     }
 }
 
@@ -311,6 +479,88 @@ impl MetricsSnapshot {
             ));
         }
         Value::Obj(pairs)
+    }
+
+    /// Parses a snapshot previously rendered by [`MetricsSnapshot::to_json`].
+    /// Lenient: unknown keys are ignored and missing numeric fields
+    /// default to zero, so snapshots written by any log version (v1–v4)
+    /// parse into the current shape.
+    pub fn from_json(v: &Value) -> Self {
+        let mut snap = MetricsSnapshot {
+            record: v.get("record").map(RecorderMetrics::from_json),
+            record_run: v.get("record_run").map(RunMetrics::from_json),
+            solver: v.get("solver").map(SolverMetrics::from_json),
+            turbo: v.get("turbo").map(TurboMetrics::from_json),
+            scheduler: v.get("scheduler").map(SchedulerMetrics::from_json),
+            replay_run: v.get("replay_run").map(RunMetrics::from_json),
+            explore: v.get("explore").map(ExploreMetrics::from_json),
+            ..Default::default()
+        };
+        if let Some(phases) = v.get("phases").and_then(Value::as_arr) {
+            snap.phases = phases.iter().map(PhaseRecord::from_json).collect();
+        }
+        if let Some(counters) = v.get("counters").and_then(Value::as_obj) {
+            for (k, c) in counters {
+                if let Some(n) = c.as_u64() {
+                    snap.counters.insert(k.clone(), n);
+                }
+            }
+        }
+        if let Some(latencies) = v.get("latencies").and_then(Value::as_obj) {
+            for (k, h) in latencies {
+                snap.latencies.insert(k.clone(), Histogram::from_json(h));
+            }
+        }
+        if let Some(hist) = v.get("stripe_hist").and_then(Value::as_arr) {
+            snap.stripe_hist = hist
+                .iter()
+                .map(|e| (ju(e, "stripe") as u32, ju(e, "count")))
+                .collect();
+            snap.stripe_hist.sort_unstable();
+        }
+        snap
+    }
+
+    /// Combines two snapshots into a cross-run aggregate: counter-like
+    /// fields sum, capacity-like fields (`widest_component`, `workers`,
+    /// `threads`, `objects`) take the max, histograms and the stripe
+    /// breakdown merge, counters add. Phases are dropped — they are a
+    /// per-run timeline and have no meaning across runs.
+    ///
+    /// Unlike [`MetricsSnapshot::merge`] (which prefers the incoming
+    /// side, for layering partial snapshots of *one* run), `aggregate`
+    /// is associative and order-insensitive, which is what
+    /// `light-watch trend` needs to fold arbitrary subsets of registry
+    /// entries in any order.
+    #[must_use]
+    pub fn aggregate(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        for (k, v) in &other.counters {
+            let slot = counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        let mut latencies = self.latencies.clone();
+        for (k, h) in &other.latencies {
+            latencies.entry(k.clone()).or_default().merge(h);
+        }
+        let mut stripes: BTreeMap<u32, u64> = self.stripe_hist.iter().copied().collect();
+        for &(stripe, count) in &other.stripe_hist {
+            let slot = stripes.entry(stripe).or_insert(0);
+            *slot = slot.saturating_add(count);
+        }
+        MetricsSnapshot {
+            record: combine_opt(self.record, other.record, RecorderMetrics::combine),
+            record_run: combine_opt(self.record_run, other.record_run, RunMetrics::combine),
+            solver: combine_opt(self.solver, other.solver, SolverMetrics::combine),
+            turbo: combine_opt(self.turbo, other.turbo, TurboMetrics::combine),
+            scheduler: combine_opt(self.scheduler, other.scheduler, SchedulerMetrics::combine),
+            replay_run: combine_opt(self.replay_run, other.replay_run, RunMetrics::combine),
+            explore: combine_opt(self.explore, other.explore, ExploreMetrics::combine),
+            phases: Vec::new(),
+            counters,
+            latencies,
+            stripe_hist: stripes.into_iter().collect(),
+        }
     }
 
     /// Merges another snapshot into this one. Typed sections prefer the
@@ -567,6 +817,23 @@ impl Histogram {
             ),
         ])
     }
+
+    /// Parses a histogram previously rendered by [`Histogram::to_json`].
+    /// Buckets are keyed by their `lo` bound, which maps 1:1 back to a
+    /// bucket index, so `from_json(to_json(h)) == h`.
+    pub fn from_json(v: &Value) -> Self {
+        let mut h = Histogram::new();
+        h.sum = ju(v, "sum");
+        h.max = ju(v, "max");
+        if let Some(buckets) = v.get("buckets").and_then(Value::as_arr) {
+            for b in buckets {
+                let lo = ju(b, "lo");
+                let idx = Self::bucket(lo);
+                h.counts[idx] += ju(b, "count");
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -675,6 +942,109 @@ mod tests {
         other.latencies.insert("solve".into(), b);
         merged_snap.merge(&other);
         assert_eq!(merged_snap.latencies["solve"].count(), 6);
+    }
+
+    fn sample_snapshot(seed: u64) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            record: Some(RecorderMetrics {
+                space_longs: seed,
+                deps: seed * 2,
+                stripe_contention: seed % 3,
+                ..Default::default()
+            }),
+            solver: Some(SolverMetrics {
+                vars: seed + 1,
+                solve_ns: seed * 100,
+                ..Default::default()
+            }),
+            turbo: (seed % 2 == 0).then_some(TurboMetrics {
+                components: seed,
+                widest_component: seed * 7 % 13,
+                workers: 4,
+                ..Default::default()
+            }),
+            replay_run: Some(RunMetrics {
+                duration_ns: seed * 1000,
+                threads: seed % 5,
+                events: seed * 3,
+                objects: seed % 7,
+            }),
+            stripe_hist: vec![(seed as u32 % 4, seed), (9, 1)],
+            ..Default::default()
+        };
+        snap.counters.insert("deps".into(), seed);
+        snap.counters.insert(format!("k{}", seed % 2), seed + 5);
+        let mut h = Histogram::new();
+        h.record(seed);
+        h.record(seed * 31);
+        snap.latencies.insert("solve".into(), h);
+        snap
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_parser() {
+        for seed in [0u64, 1, 7, 1000] {
+            let mut snap = sample_snapshot(seed);
+            snap.phases.push(PhaseRecord {
+                name: "solve".into(),
+                start_us: 5,
+                dur_us: 9,
+            });
+            let json = snap.to_json().to_json();
+            let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
+            assert_eq!(parsed, snap, "roundtrip for seed {seed}");
+        }
+        // The empty snapshot renders as {} and parses back empty.
+        let empty = MetricsSnapshot::default();
+        let parsed = MetricsSnapshot::from_json(&Value::parse(&empty.to_json().to_json()).unwrap());
+        assert_eq!(parsed, empty);
+    }
+
+    #[test]
+    fn aggregate_is_associative_and_order_insensitive() {
+        let a = sample_snapshot(3);
+        let b = sample_snapshot(8);
+        let c = sample_snapshot(21);
+        assert_eq!(a.aggregate(&b), b.aggregate(&a));
+        assert_eq!(a.aggregate(&b).aggregate(&c), a.aggregate(&b.aggregate(&c)));
+        assert_eq!(c.aggregate(&a).aggregate(&b), a.aggregate(&b).aggregate(&c));
+        // Identity: aggregating with the empty snapshot changes nothing
+        // (phases aside, which aggregate always drops).
+        let empty = MetricsSnapshot::default();
+        assert_eq!(a.aggregate(&empty), a);
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_maxes_capacity_fields() {
+        let a = sample_snapshot(2);
+        let b = sample_snapshot(4);
+        let agg = a.aggregate(&b);
+        assert_eq!(agg.record.unwrap().deps, 12);
+        assert_eq!(agg.counters["deps"], 6);
+        let (wa, wb) = (
+            a.turbo.unwrap().widest_component,
+            b.turbo.unwrap().widest_component,
+        );
+        assert_eq!(agg.turbo.unwrap().widest_component, wa.max(wb));
+        assert_eq!(agg.latencies["solve"].count(), 4);
+        assert!(agg.phases.is_empty());
+        // A section present on only one side survives untouched.
+        let lone = sample_snapshot(3); // odd seed: no turbo
+        assert_eq!(lone.aggregate(&a).turbo, a.turbo);
+    }
+
+    #[test]
+    fn histogram_json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 900, 70000] {
+            h.record(v);
+        }
+        let parsed = Histogram::from_json(&Value::parse(&h.to_json().to_json()).unwrap());
+        assert_eq!(parsed, h);
+        assert_eq!(
+            Histogram::from_json(&Value::parse("{}").unwrap()),
+            Histogram::new()
+        );
     }
 
     #[test]

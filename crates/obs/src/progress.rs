@@ -38,12 +38,18 @@ pub struct ProgressRecord {
     /// Estimated time to exhaust the schedule budget at the current
     /// rate; `None` before any throughput exists or once done.
     pub eta_ms: Option<u64>,
+    /// Causal run id of the campaign (32-hex [`crate::RunId`]), when the
+    /// campaign runs under trace context. Additive: rendered only when
+    /// present, so pre-existing consumers of the JSONL shape see an
+    /// unchanged record, and registry entries become joinable with the
+    /// live stream.
+    pub run_id: Option<String>,
 }
 
 impl ProgressRecord {
     /// Renders the record as a JSON object (one JSONL line's content).
     pub fn to_json(&self) -> Value {
-        Value::obj([
+        let mut v = Value::obj([
             ("target", Value::from(self.target.as_str())),
             ("strategy", Value::from(self.strategy.as_str())),
             ("phase", Value::from(self.phase.as_str())),
@@ -60,7 +66,11 @@ impl ProgressRecord {
                     None => Value::Null,
                 },
             ),
-        ])
+        ]);
+        if let (Value::Obj(pairs), Some(run)) = (&mut v, &self.run_id) {
+            pairs.push(("run_id".into(), Value::from(run.as_str())));
+        }
+        v
     }
 }
 
@@ -185,6 +195,7 @@ mod tests {
             failures: 2,
             budget_schedules: 1000,
             eta_ms: Some(3500),
+            run_id: None,
         }
     }
 
@@ -205,6 +216,18 @@ mod tests {
         assert!(lines[0].contains("\"phase\":\"search\""));
         assert!(lines[0].contains("\"eta_ms\":3500"));
         assert!(lines[1].contains("\"eta_ms\":null"));
+        // run_id is additive: absent from the shape unless set.
+        assert!(!lines[0].contains("run_id"));
+    }
+
+    #[test]
+    fn run_id_is_rendered_when_present() {
+        let rec = ProgressRecord {
+            run_id: Some("00000000000000000000000000000abc".into()),
+            ..record()
+        };
+        let json = rec.to_json().to_json();
+        assert!(json.contains("\"run_id\":\"00000000000000000000000000000abc\""));
     }
 
     #[test]

@@ -48,11 +48,24 @@ pub enum TraceEvent {
     },
     /// Lane naming metadata (`ph: "M"`, `thread_name`).
     ThreadName { tid: u64, label: String },
+    /// Causal run-context metadata: every event that follows belongs to
+    /// the pipeline invocation `run_id`. Exported as Chrome
+    /// `process_name` metadata, and the run's `pid` groups the
+    /// invocation's lanes into one process in the trace viewer, so
+    /// multiple ingested runs stay distinguishable on one timeline.
+    RunContext { run_id: String, pid: u64 },
 }
 
 impl TraceEvent {
-    /// Renders this event as one Chrome trace-event JSON object.
+    /// Renders this event as one Chrome trace-event JSON object, under
+    /// the default process id (1).
     pub fn to_chrome(&self) -> Value {
+        self.to_chrome_with_pid(1)
+    }
+
+    /// Renders this event under an explicit process id — the run-context
+    /// grouping used by [`chrome_trace_json`].
+    pub fn to_chrome_with_pid(&self, pid: u64) -> Value {
         match *self {
             TraceEvent::Complete {
                 name,
@@ -65,7 +78,7 @@ impl TraceEvent {
                 ("ph", Value::from("X")),
                 ("ts", Value::from(ts_us)),
                 ("dur", Value::from(dur_us)),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
             ]),
             TraceEvent::Begin { name, tid, ts_us } => Value::obj([
@@ -73,13 +86,13 @@ impl TraceEvent {
                 ("cat", Value::from("light")),
                 ("ph", Value::from("B")),
                 ("ts", Value::from(ts_us)),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
             ]),
             TraceEvent::End { tid, ts_us } => Value::obj([
                 ("ph", Value::from("E")),
                 ("ts", Value::from(ts_us)),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
             ]),
             TraceEvent::Instant { name, tid, ts_us } => Value::obj([
@@ -88,7 +101,7 @@ impl TraceEvent {
                 ("ph", Value::from("i")),
                 ("s", Value::from("t")),
                 ("ts", Value::from(ts_us)),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
             ]),
             TraceEvent::Counter {
@@ -100,16 +113,29 @@ impl TraceEvent {
                 ("name", Value::from(name)),
                 ("ph", Value::from("C")),
                 ("ts", Value::from(ts_us)),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
                 ("args", Value::obj([("value", Value::from(value))])),
             ]),
             TraceEvent::ThreadName { tid, ref label } => Value::obj([
                 ("name", Value::from("thread_name")),
                 ("ph", Value::from("M")),
-                ("pid", Value::from(1u64)),
+                ("pid", Value::from(pid)),
                 ("tid", Value::from(tid)),
                 ("args", Value::obj([("name", Value::from(label.as_str()))])),
+            ]),
+            TraceEvent::RunContext {
+                ref run_id,
+                pid: run_pid,
+            } => Value::obj([
+                ("name", Value::from("process_name")),
+                ("ph", Value::from("M")),
+                ("pid", Value::from(run_pid)),
+                ("tid", Value::from(0u64)),
+                (
+                    "args",
+                    Value::obj([("name", Value::from(format!("run {run_id}")))]),
+                ),
             ]),
         }
     }
@@ -118,12 +144,22 @@ impl TraceEvent {
 /// Renders a slice of events as a complete Chrome trace-event JSON
 /// document (`{"traceEvents": [...]}`), loadable in `chrome://tracing`
 /// or the Perfetto UI.
+///
+/// [`TraceEvent::RunContext`] events partition the stream: every event
+/// after one is rendered under that run's process id, so a document
+/// holding several pipeline invocations shows each as its own process
+/// named after its run id.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut pid = 1u64;
+    let mut rendered = Vec::with_capacity(events.len());
+    for ev in events {
+        if let TraceEvent::RunContext { pid: run_pid, .. } = ev {
+            pid = *run_pid;
+        }
+        rendered.push(ev.to_chrome_with_pid(pid));
+    }
     Value::obj([
-        (
-            "traceEvents",
-            Value::arr(events.iter().map(TraceEvent::to_chrome)),
-        ),
+        ("traceEvents", Value::Arr(rendered)),
         ("displayTimeUnit", Value::from("ms")),
     ])
     .to_json_pretty()
@@ -187,6 +223,38 @@ mod tests {
         assert!(json.contains("\"name\": \"solve\""));
         assert!(json.contains("\"ph\": \"X\""));
         assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn run_context_groups_following_events_under_its_pid() {
+        let events = [
+            TraceEvent::Complete {
+                name: "pre",
+                tid: 0,
+                ts_us: 0,
+                dur_us: 1,
+            },
+            TraceEvent::RunContext {
+                run_id: "deadbeef".into(),
+                pid: 77,
+            },
+            TraceEvent::Complete {
+                name: "solve",
+                tid: 0,
+                ts_us: 2,
+                dur_us: 3,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        // The run context renders as process_name metadata...
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"run deadbeef\""));
+        // ...events before it keep the default pid, events after adopt
+        // the run's pid.
+        let pre = doc.find("\"pre\"").unwrap();
+        let solve = doc.find("\"solve\"").unwrap();
+        assert!(doc[pre..solve].contains("\"pid\": 1"));
+        assert!(doc[solve..].contains("\"pid\": 77"));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Property tests for [`MetricsSnapshot::aggregate`]: the registry's
+//! trend views fold arbitrary numbers of snapshots in whatever order the
+//! index returns them, so aggregation must be associative and
+//! order-insensitive, with the empty snapshot as identity (modulo
+//! phases, which aggregation deliberately drops). The JSON shape must
+//! also survive a write/parse roundtrip for any snapshot, not just the
+//! handwritten samples in the unit tests.
+
+use light_obs::json::Value;
+use light_obs::{
+    ExploreMetrics, Histogram, MetricsSnapshot, PhaseRecord, RecorderMetrics, RunMetrics,
+    SolverMetrics, TurboMetrics,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+prop_compose! {
+    fn arb_recorder()(
+        space_longs in 0u64..1 << 40,
+        deps in 0u64..1 << 20,
+        runs in 0u64..1 << 20,
+        retries in 0u64..1 << 16,
+        o2_skipped in 0u64..1 << 20,
+        stripe_contention in 0u64..1 << 16,
+    ) -> RecorderMetrics {
+        RecorderMetrics {
+            space_longs, deps, runs, retries, o2_skipped, stripe_contention,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_solver()(
+        vars in 0u64..1 << 24,
+        hard_constraints in 0u64..1 << 24,
+        clauses in 0u64..1 << 24,
+        decisions in 0u64..1 << 24,
+        backtracks in 0u64..1 << 20,
+        solve_ns in 0u64..1 << 44,
+    ) -> SolverMetrics {
+        SolverMetrics {
+            vars, hard_constraints, clauses, decisions, backtracks, solve_ns,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_turbo()(
+        components in 0u64..1 << 12,
+        widest_component in 0u64..1 << 20,
+        workers in 0u64..256,
+        cache_hits in 0u64..1 << 20,
+        cache_misses in 0u64..1 << 20,
+        promoted_units in 0u64..1 << 20,
+        dropped_clauses in 0u64..1 << 20,
+    ) -> TurboMetrics {
+        TurboMetrics {
+            components, widest_component, workers,
+            cache_hits, cache_misses, promoted_units, dropped_clauses,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_run()(
+        duration_ns in 0u64..1 << 44,
+        threads in 0u64..1 << 10,
+        events in 0u64..1 << 30,
+        objects in 0u64..1 << 20,
+    ) -> RunMetrics {
+        RunMetrics { duration_ns, threads, events, objects }
+    }
+}
+
+prop_compose! {
+    fn arb_explore()(
+        schedules in 0u64..1 << 20,
+        failures in 0u64..1 << 16,
+        minimize_iterations in 0u64..1 << 16,
+        trace_segments in 0u64..1 << 16,
+        minimized_segments in 0u64..1 << 16,
+        wall_ns in 0u64..1 << 44,
+    ) -> ExploreMetrics {
+        ExploreMetrics {
+            schedules, failures, minimize_iterations,
+            trace_segments, minimized_segments, wall_ns,
+        }
+    }
+}
+
+fn arb_histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0u64..1 << 34, 0..24).prop_map(|samples| {
+        let mut h = Histogram::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    })
+}
+
+prop_compose! {
+    fn arb_snapshot()(
+        record in prop::option::of(arb_recorder()),
+        record_run in prop::option::of(arb_run()),
+        solver in prop::option::of(arb_solver()),
+        turbo in prop::option::of(arb_turbo()),
+        replay_run in prop::option::of(arb_run()),
+        explore in prop::option::of(arb_explore()),
+        counters in prop::collection::btree_map("[a-d]{1,3}", 0u64..1 << 40, 0..6),
+        latencies in prop::collection::btree_map("[a-c]{1,2}", arb_histogram(), 0..4),
+        stripe_hist in prop::collection::btree_map(0u32..512, 1u64..1 << 20, 0..12),
+        phase_names in prop::collection::vec("[a-z]{1,6}", 0..3),
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            record,
+            record_run,
+            solver,
+            turbo,
+            scheduler: None,
+            replay_run,
+            explore,
+            phases: phase_names
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| PhaseRecord {
+                    name,
+                    start_us: i as u64 * 10,
+                    dur_us: 5,
+                })
+                .collect(),
+            counters,
+            latencies,
+            stripe_hist: stripe_hist.into_iter().collect(),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn aggregate_is_associative(
+        a in arb_snapshot(), b in arb_snapshot(), c in arb_snapshot()
+    ) {
+        prop_assert_eq!(
+            a.aggregate(&b).aggregate(&c),
+            a.aggregate(&b.aggregate(&c)),
+        );
+    }
+
+    #[test]
+    fn aggregate_is_order_insensitive(
+        a in arb_snapshot(), b in arb_snapshot()
+    ) {
+        prop_assert_eq!(a.aggregate(&b), b.aggregate(&a));
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_identity(a in arb_snapshot()) {
+        // Aggregation drops per-run phase timelines (they do not compose
+        // across runs), so identity holds on the phase-free projection.
+        let mut expect = a.clone();
+        expect.phases = Vec::new();
+        prop_assert_eq!(a.aggregate(&MetricsSnapshot::default()), expect.clone());
+        prop_assert_eq!(MetricsSnapshot::default().aggregate(&a), expect);
+    }
+
+    #[test]
+    fn any_snapshot_round_trips_through_json(a in arb_snapshot()) {
+        let json = a.to_json().to_json();
+        let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn aggregated_snapshots_round_trip_through_json(
+        a in arb_snapshot(), b in arb_snapshot()
+    ) {
+        let folded = a.aggregate(&b);
+        let json = folded.to_json().to_json();
+        let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
+        prop_assert_eq!(parsed, folded);
+    }
+}

@@ -15,8 +15,9 @@
 //! stable `light-profile/v1` JSON report (`--json`). Exit code 0 on
 //! success, 1 on usage/pipeline errors.
 
-use light_core::Light;
-use light_obs::FlightKind;
+use light_core::{write_recording, Light};
+use light_obs::{FlightKind, RunId};
+use light_telemetry::{auto_ingest, RunKind, RunRecord, RunStatus};
 use light_profile::{folded, heatmap, report, Attribution, FlightRecorder};
 use light_workloads::bugs;
 use lir::Program;
@@ -170,7 +171,10 @@ fn main() -> ExitCode {
         }
     };
 
+    let run = RunId::fresh();
+    let started = std::time::Instant::now();
     let mut light = Light::new(program.clone());
+    light.set_run_id(run);
     let recorder = FlightRecorder::new(cli.ring);
     light.set_flight_sink(recorder.clone());
 
@@ -204,6 +208,22 @@ fn main() -> ExitCode {
 
     let events = recorder.dump();
     let attr = Attribution::build(&program, &recording, &events, recorder.totals());
+
+    // Best-effort registry ingest (no-op unless LIGHT_REGISTRY is set):
+    // the profiled recording is the blob; headline carries the profile's
+    // own headline numbers.
+    let mut reg = RunRecord::new(&label, RunKind::Profile, RunStatus::Ok);
+    reg.run_id = Some(run.to_string());
+    reg.wall_ms = Some(started.elapsed().as_millis() as u64);
+    reg.headline
+        .insert("flight_events".into(), recorder.events_seen() as f64);
+    reg.headline
+        .insert("log_longs".into(), attr.log_longs() as f64);
+    reg.headline
+        .insert("elided_longs".into(), attr.elided_longs() as f64);
+    reg.headline
+        .insert("attribution_fraction".into(), attr.coverage.fraction());
+    auto_ingest(reg, Some(write_recording(&recording).as_ref()));
 
     if !cli.quiet {
         println!("== light-profile: {label} ==");

@@ -1,0 +1,365 @@
+//! `light-watch` — query and gate the persistent run registry.
+//!
+//! ```text
+//! light-watch ingest --registry runs/ --program p --kind bench \
+//!     --headline solver_speedup=3.1 --file run.lrec
+//! light-watch query --registry runs/ --status diverged --json
+//! light-watch trend solver_speedup --registry runs/
+//! light-watch regress solver_speedup --registry runs/ --baseline 5 --threshold 20
+//! light-watch prom --registry runs/
+//! ```
+//!
+//! The registry directory comes from `--registry` or the
+//! `LIGHT_REGISTRY` environment variable. Exit codes: `0` success (for
+//! `regress`: no regression), `4` regression detected, `1` usage or
+//! I/O errors.
+
+use light_obs::json::Value;
+use light_telemetry::{
+    prom, regress, trend, Query, Registry, RunKind, RunRecord, RunStatus, REGISTRY_ENV,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: light-watch <command> [options]
+
+commands:
+  ingest    register a run in the registry
+  query     list matching runs
+  trend     print a metric's time series
+  regress   gate the newest run against a rolling baseline
+  prom      Prometheus text exposition of registry aggregates
+
+common options:
+  --registry <dir>     registry directory (default: $LIGHT_REGISTRY)
+  --program <name>     filter / set the program name
+  --kind <k>           record|replay|doctor|explore|profile|inspect|bench
+  --status <s>         ok|diverged|failed|unknown
+  --bug <signature>    filter / set the bug signature
+  --run-id <hex>       filter / set the 32-hex causal run id
+  --since-ms <n>       only runs at or after this Unix-ms timestamp
+  --until-ms <n>       only runs at or before this Unix-ms timestamp
+
+ingest options:
+  --file <path>        recording blob to store content-addressed
+  --metrics-json <p>   MetricsSnapshot JSON file to embed ('-' = stdin)
+  --headline k=v       numeric headline metric (repeatable)
+  --wall-ms <n>        end-to-end wall time of the run
+  --provenance <s>     free-form provenance note
+  --ts-ms <n>          override the ingest timestamp (default: now)
+
+query options:
+  --json               one JSON object per line instead of a table
+
+trend options (trend <metric>):
+  --latest             print only the newest value (machine-readable)
+  --aggregate          also print the cross-run aggregated snapshot JSON
+
+regress options (regress <metric>):
+  --baseline <k>       rolling baseline window           (default 5)
+  --threshold <pct>    fail on > pct%% change for the worse (default 20)
+  --higher-is-better   force direction (default: inferred from name)
+  --lower-is-better    force direction";
+
+struct Cli {
+    command: String,
+    metric: Option<String>,
+    registry: Option<String>,
+    program: Option<String>,
+    kind: Option<RunKind>,
+    status: Option<RunStatus>,
+    bug: Option<String>,
+    run_id: Option<String>,
+    since_ms: Option<u64>,
+    until_ms: Option<u64>,
+    file: Option<String>,
+    metrics_json: Option<String>,
+    headline: Vec<(String, f64)>,
+    wall_ms: Option<u64>,
+    provenance: Option<String>,
+    ts_ms: Option<u64>,
+    json: bool,
+    latest: bool,
+    aggregate: bool,
+    baseline: usize,
+    threshold: f64,
+    direction: Option<regress::Direction>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut it = std::env::args().skip(1);
+    let command = match it.next() {
+        Some(c) if !c.starts_with('-') => c,
+        Some(c) if c == "--help" || c == "-h" => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        _ => return Err("missing command".into()),
+    };
+    let mut cli = Cli {
+        command,
+        metric: None,
+        registry: None,
+        program: None,
+        kind: None,
+        status: None,
+        bug: None,
+        run_id: None,
+        since_ms: None,
+        until_ms: None,
+        file: None,
+        metrics_json: None,
+        headline: Vec::new(),
+        wall_ms: None,
+        provenance: None,
+        ts_ms: None,
+        json: false,
+        latest: false,
+        aggregate: false,
+        baseline: 5,
+        threshold: 20.0,
+        direction: None,
+    };
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--registry" => cli.registry = Some(next_val(&mut it, "--registry")?),
+            "--program" => cli.program = Some(next_val(&mut it, "--program")?),
+            "--kind" => {
+                let raw = next_val(&mut it, "--kind")?;
+                cli.kind = Some(RunKind::parse(&raw).ok_or(format!("unknown kind {raw:?}"))?);
+            }
+            "--status" => {
+                let raw = next_val(&mut it, "--status")?;
+                cli.status = Some(RunStatus::parse(&raw).ok_or(format!("unknown status {raw:?}"))?);
+            }
+            "--bug" => cli.bug = Some(next_val(&mut it, "--bug")?),
+            "--run-id" => cli.run_id = Some(next_val(&mut it, "--run-id")?),
+            "--since-ms" => {
+                cli.since_ms = Some(parse_num(&next_val(&mut it, "--since-ms")?, "--since-ms")?)
+            }
+            "--until-ms" => {
+                cli.until_ms = Some(parse_num(&next_val(&mut it, "--until-ms")?, "--until-ms")?)
+            }
+            "--file" => cli.file = Some(next_val(&mut it, "--file")?),
+            "--metrics-json" => cli.metrics_json = Some(next_val(&mut it, "--metrics-json")?),
+            "--headline" => {
+                let raw = next_val(&mut it, "--headline")?;
+                let (k, v) = raw
+                    .split_once('=')
+                    .ok_or(format!("--headline wants k=v, got {raw:?}"))?;
+                let v: f64 = v.parse().map_err(|e| format!("--headline {k}: {e}"))?;
+                cli.headline.push((k.to_string(), v));
+            }
+            "--wall-ms" => {
+                cli.wall_ms = Some(parse_num(&next_val(&mut it, "--wall-ms")?, "--wall-ms")?)
+            }
+            "--provenance" => cli.provenance = Some(next_val(&mut it, "--provenance")?),
+            "--ts-ms" => cli.ts_ms = Some(parse_num(&next_val(&mut it, "--ts-ms")?, "--ts-ms")?),
+            "--json" => cli.json = true,
+            "--latest" => cli.latest = true,
+            "--aggregate" => cli.aggregate = true,
+            "--baseline" => {
+                cli.baseline = next_val(&mut it, "--baseline")?
+                    .parse()
+                    .map_err(|e| format!("--baseline: {e}"))?;
+            }
+            "--threshold" => {
+                cli.threshold = next_val(&mut it, "--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--higher-is-better" => cli.direction = Some(regress::Direction::HigherIsBetter),
+            "--lower-is-better" => cli.direction = Some(regress::Direction::LowerIsBetter),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && cli.metric.is_none() => {
+                cli.metric = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num(raw: &str, flag: &str) -> Result<u64, String> {
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn open_registry(cli: &Cli) -> Result<Registry, String> {
+    let root = match &cli.registry {
+        Some(r) => r.clone(),
+        None => match std::env::var(REGISTRY_ENV) {
+            Ok(r) if !r.is_empty() => r,
+            _ => return Err(format!("no registry: pass --registry or set {REGISTRY_ENV}")),
+        },
+    };
+    Registry::open(root).map_err(|e| e.to_string())
+}
+
+fn cmd_ingest(cli: &Cli) -> Result<(), String> {
+    let registry = open_registry(cli)?;
+    let program = cli.program.clone().ok_or("ingest needs --program")?;
+    let kind = cli.kind.ok_or("ingest needs --kind")?;
+    let mut rec = RunRecord::new(program, kind, cli.status.unwrap_or(RunStatus::Unknown));
+    rec.run_id = cli.run_id.clone();
+    rec.bug_signature = cli.bug.clone();
+    rec.provenance = cli.provenance.clone();
+    rec.wall_ms = cli.wall_ms;
+    rec.ts_ms = cli.ts_ms.unwrap_or(0);
+    rec.headline = cli.headline.iter().cloned().collect();
+    if let Some(path) = &cli.metrics_json {
+        let text = if path == "-" {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        let parsed =
+            Value::parse(text.trim()).map_err(|e| format!("--metrics-json {path}: {e}"))?;
+        rec.metrics = Some(light_obs::MetricsSnapshot::from_json(&parsed));
+    }
+    let blob = match &cli.file {
+        Some(path) => {
+            Some(std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let stored = registry
+        .ingest(rec, blob.as_deref())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "light-watch: ingested {} {} run of {:?}{}",
+        stored.kind.as_str(),
+        stored.status.as_str(),
+        stored.program,
+        match &stored.blob_hash {
+            Some(h) => format!(" (blob {})", &h[..12]),
+            None => String::new(),
+        },
+    );
+    Ok(())
+}
+
+fn query_from(cli: &Cli) -> Query {
+    Query {
+        program: cli.program.clone(),
+        kind: cli.kind,
+        status: cli.status,
+        bug_signature: cli.bug.clone(),
+        run_id: cli.run_id.clone(),
+        since_ms: cli.since_ms,
+        until_ms: cli.until_ms,
+    }
+}
+
+fn cmd_query(cli: &Cli) -> Result<(), String> {
+    let registry = open_registry(cli)?;
+    let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
+    if cli.json {
+        for r in &records {
+            println!("{}", r.to_json().to_json());
+        }
+        return Ok(());
+    }
+    println!(
+        "{:>14}  {:<8}  {:<8}  {:<20}  {:<12}  {}",
+        "ts_ms", "kind", "status", "program", "blob", "run_id"
+    );
+    for r in &records {
+        println!(
+            "{:>14}  {:<8}  {:<8}  {:<20}  {:<12}  {}",
+            r.ts_ms,
+            r.kind.as_str(),
+            r.status.as_str(),
+            r.program,
+            r.blob_hash.as_deref().map(|h| &h[..12]).unwrap_or("-"),
+            r.run_id.as_deref().unwrap_or("-"),
+        );
+    }
+    println!("{} runs", records.len());
+    Ok(())
+}
+
+fn cmd_trend(cli: &Cli) -> Result<(), String> {
+    let metric = cli.metric.clone().ok_or("trend needs a metric name")?;
+    let registry = open_registry(cli)?;
+    let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
+    let points = trend::series(&records, &metric);
+    if cli.latest {
+        match points.last() {
+            Some(p) => println!("{}", p.value),
+            None => return Err(format!("no data points for {metric}")),
+        }
+        return Ok(());
+    }
+    print!("{}", trend::render(&metric, &points));
+    if cli.aggregate {
+        println!("{}", trend::aggregate_snapshots(&records).to_json().to_json());
+    }
+    Ok(())
+}
+
+fn cmd_regress(cli: &Cli) -> Result<bool, String> {
+    let metric = cli.metric.clone().ok_or("regress needs a metric name")?;
+    let registry = open_registry(cli)?;
+    let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
+    let points = trend::series(&records, &metric);
+    let direction = cli
+        .direction
+        .unwrap_or_else(|| regress::Direction::infer(&metric));
+    let verdict = regress::check(
+        &metric,
+        &points,
+        cli.baseline,
+        cli.threshold / 100.0,
+        direction,
+    )
+    .map_err(|e| format!("{metric}: {e}"))?;
+    println!("{}", verdict.render());
+    Ok(verdict.regressed)
+}
+
+fn cmd_prom(cli: &Cli) -> Result<(), String> {
+    let registry = open_registry(cli)?;
+    let records = registry.load().map_err(|e| e.to_string())?;
+    print!("{}", prom::render(&records));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("light-watch: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cli.command.as_str() {
+        "ingest" => cmd_ingest(&cli).map(|()| false),
+        "query" => cmd_query(&cli).map(|()| false),
+        "trend" => cmd_trend(&cli).map(|()| false),
+        "regress" => cmd_regress(&cli),
+        "prom" => cmd_prom(&cli).map(|()| false),
+        other => {
+            eprintln!("light-watch: unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(4),
+        Err(e) => {
+            eprintln!("light-watch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

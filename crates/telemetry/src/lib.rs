@@ -1,0 +1,58 @@
+//! # light-telemetry — cross-run observability for the Light pipeline
+//!
+//! PRs 1–5 made a *single* run observable; this crate observes the
+//! system *across* runs. It provides:
+//!
+//! 1. **A persistent run registry** ([`Registry`]): a content-addressed
+//!    on-disk store — recording bytes live under `blobs/<sha256>`, one
+//!    sidecar [`RunRecord`] per run (program, provenance,
+//!    [`light_obs::MetricsSnapshot`], divergence status, bug signature,
+//!    wall-clock timings) appends to a JSONL index — plus a typed
+//!    [`Query`] API over program / kind / status / bug signature / time
+//!    range.
+//!
+//! 2. **Causal joins.** Registry entries carry the
+//!    [`light_obs::RunId`] minted when a pipeline invocation starts, so
+//!    an entry is joinable with the Chrome trace, the flight recording,
+//!    and the live progress JSONL of the same invocation.
+//!
+//! 3. **Trend and regression analysis** ([`trend`], [`regress`]): any
+//!    snapshot or headline metric becomes a time series; the newest
+//!    point is gated against a rolling baseline of the previous K runs
+//!    (`light-watch regress`, the CI gate).
+//!
+//! 4. **Prometheus exposition** ([`prom::render`]) of registry
+//!    aggregates, the scrape surface a future light-serve will serve.
+//!
+//! Every Light CLI auto-ingests into the registry named by the
+//! `LIGHT_REGISTRY` environment variable (see [`auto_ingest`]); with
+//! the variable unset the telemetry layer costs nothing and touches
+//! nothing — recordings are byte-identical either way.
+//!
+//! ```
+//! use light_telemetry::{Query, Registry, RunKind, RunRecord, RunStatus};
+//!
+//! let dir = std::env::temp_dir().join(format!("lt-doc-{}", std::process::id()));
+//! let registry = Registry::open(&dir).unwrap();
+//! let mut rec = RunRecord::new("counter_race", RunKind::Replay, RunStatus::Ok);
+//! rec.headline.insert("solver_speedup".into(), 3.0);
+//! registry.ingest(rec, Some(b"recording bytes")).unwrap();
+//! let hits = registry.query(&Query { program: Some("counter_race".into()), ..Default::default() }).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod hash;
+pub mod prom;
+pub mod query;
+pub mod record;
+pub mod registry;
+pub mod regress;
+pub mod trend;
+
+pub use hash::{sha256, sha256_hex};
+pub use query::Query;
+pub use record::{RunKind, RunRecord, RunStatus, SCHEMA};
+pub use registry::{auto_ingest, Registry, RegistryError, REGISTRY_ENV};
+pub use regress::{check as regress_check, Direction, RegressError, Verdict};
+pub use trend::{aggregate_snapshots, series, TrendPoint};

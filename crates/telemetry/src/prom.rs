@@ -1,0 +1,111 @@
+//! Prometheus text exposition of registry aggregates, for a future
+//! light-serve `/metrics` endpoint (and usable today via
+//! `light-watch prom`).
+
+use crate::record::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders registry aggregates in the Prometheus text exposition
+/// format (version 0.0.4): run counts by kind/status, diverged totals,
+/// blob storage footprint, and the latest value of every headline
+/// metric per program.
+pub fn render(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+
+    let mut by_kind_status: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut diverged = 0u64;
+    let mut blob_bytes = 0u64;
+    let mut blobs = 0u64;
+    // (metric, program) -> (ts, value): keep the newest.
+    let mut latest: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+    for r in records {
+        *by_kind_status
+            .entry((r.kind.as_str().into(), r.status.as_str().into()))
+            .or_insert(0) += 1;
+        if r.status == crate::record::RunStatus::Diverged {
+            diverged += 1;
+        }
+        if let Some(b) = r.blob_bytes {
+            blob_bytes += b;
+            blobs += 1;
+        }
+        for (name, value) in &r.headline {
+            let slot = latest
+                .entry((name.clone(), r.program.clone()))
+                .or_insert((0, 0.0));
+            if r.ts_ms >= slot.0 {
+                *slot = (r.ts_ms, *value);
+            }
+        }
+    }
+
+    out.push_str("# HELP light_runs_total Registered pipeline runs.\n");
+    out.push_str("# TYPE light_runs_total counter\n");
+    for ((kind, status), n) in &by_kind_status {
+        let _ = writeln!(
+            out,
+            "light_runs_total{{kind=\"{kind}\",status=\"{status}\"}} {n}"
+        );
+    }
+
+    out.push_str("# HELP light_diverged_runs_total Runs that diverged from their recording.\n");
+    out.push_str("# TYPE light_diverged_runs_total counter\n");
+    let _ = writeln!(out, "light_diverged_runs_total {diverged}");
+
+    out.push_str("# HELP light_registry_blobs Recording blobs referenced by the index.\n");
+    out.push_str("# TYPE light_registry_blobs gauge\n");
+    let _ = writeln!(out, "light_registry_blobs {blobs}");
+    out.push_str("# HELP light_registry_blob_bytes Total referenced blob bytes.\n");
+    out.push_str("# TYPE light_registry_blob_bytes gauge\n");
+    let _ = writeln!(out, "light_registry_blob_bytes {blob_bytes}");
+
+    if !latest.is_empty() {
+        out.push_str("# HELP light_headline Latest value of each headline metric.\n");
+        out.push_str("# TYPE light_headline gauge\n");
+        for ((metric, program), (_, value)) in &latest {
+            let _ = writeln!(
+                out,
+                "light_headline{{metric=\"{}\",program=\"{}\"}} {value}",
+                escape_label(metric),
+                escape_label(program),
+            );
+        }
+    }
+    out
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunStatus};
+
+    #[test]
+    fn exposition_counts_and_latest_headlines() {
+        let mut a = RunRecord::new("p", RunKind::Replay, RunStatus::Ok);
+        a.ts_ms = 10;
+        a.blob_bytes = Some(100);
+        a.headline.insert("solver_speedup".into(), 2.0);
+        let mut b = RunRecord::new("p", RunKind::Replay, RunStatus::Diverged);
+        b.ts_ms = 20;
+        b.headline.insert("solver_speedup".into(), 3.0);
+        let text = render(&[a, b]);
+        assert!(text.contains("light_runs_total{kind=\"replay\",status=\"ok\"} 1"));
+        assert!(text.contains("light_runs_total{kind=\"replay\",status=\"diverged\"} 1"));
+        assert!(text.contains("light_diverged_runs_total 1"));
+        assert!(text.contains("light_registry_blob_bytes 100"));
+        // Latest (ts 20) wins.
+        assert!(text.contains("light_headline{metric=\"solver_speedup\",program=\"p\"} 3"));
+    }
+
+    #[test]
+    fn empty_registry_renders_zeroes() {
+        let text = render(&[]);
+        assert!(text.contains("light_diverged_runs_total 0"));
+        assert!(!text.contains("light_headline{"));
+    }
+}

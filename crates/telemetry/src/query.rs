@@ -1,0 +1,105 @@
+//! Typed filters over registry records.
+
+use crate::record::{RunKind, RunRecord, RunStatus};
+
+/// A conjunctive filter: every set field must match. The default query
+/// matches everything.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    pub program: Option<String>,
+    pub kind: Option<RunKind>,
+    pub status: Option<RunStatus>,
+    pub bug_signature: Option<String>,
+    pub run_id: Option<String>,
+    /// Inclusive lower bound on `ts_ms`.
+    pub since_ms: Option<u64>,
+    /// Inclusive upper bound on `ts_ms`.
+    pub until_ms: Option<u64>,
+}
+
+impl Query {
+    pub fn matches(&self, rec: &RunRecord) -> bool {
+        if let Some(p) = &self.program {
+            if &rec.program != p {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if rec.kind != k {
+                return false;
+            }
+        }
+        if let Some(s) = self.status {
+            if rec.status != s {
+                return false;
+            }
+        }
+        if let Some(sig) = &self.bug_signature {
+            if rec.bug_signature.as_deref() != Some(sig.as_str()) {
+                return false;
+            }
+        }
+        if let Some(id) = &self.run_id {
+            if rec.run_id.as_deref() != Some(id.as_str()) {
+                return false;
+            }
+        }
+        if let Some(since) = self.since_ms {
+            if rec.ts_ms < since {
+                return false;
+            }
+        }
+        if let Some(until) = self.until_ms {
+            if rec.ts_ms > until {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(program: &str, kind: RunKind, status: RunStatus, ts: u64) -> RunRecord {
+        let mut r = RunRecord::new(program, kind, status);
+        r.ts_ms = ts;
+        r
+    }
+
+    #[test]
+    fn default_matches_everything() {
+        let q = Query::default();
+        assert!(q.matches(&rec("a", RunKind::Record, RunStatus::Ok, 1)));
+        assert!(q.matches(&rec("b", RunKind::Bench, RunStatus::Failed, 0)));
+    }
+
+    #[test]
+    fn fields_filter_conjunctively() {
+        let q = Query {
+            program: Some("a".into()),
+            status: Some(RunStatus::Diverged),
+            since_ms: Some(10),
+            until_ms: Some(20),
+            ..Default::default()
+        };
+        assert!(q.matches(&rec("a", RunKind::Doctor, RunStatus::Diverged, 15)));
+        assert!(!q.matches(&rec("b", RunKind::Doctor, RunStatus::Diverged, 15)));
+        assert!(!q.matches(&rec("a", RunKind::Doctor, RunStatus::Ok, 15)));
+        assert!(!q.matches(&rec("a", RunKind::Doctor, RunStatus::Diverged, 9)));
+        assert!(!q.matches(&rec("a", RunKind::Doctor, RunStatus::Diverged, 21)));
+    }
+
+    #[test]
+    fn bug_signature_and_run_id_require_presence() {
+        let q = Query {
+            bug_signature: Some("deadlock".into()),
+            ..Default::default()
+        };
+        let mut with = rec("a", RunKind::Explore, RunStatus::Failed, 1);
+        with.bug_signature = Some("deadlock".into());
+        assert!(q.matches(&with));
+        assert!(!q.matches(&rec("a", RunKind::Explore, RunStatus::Failed, 1)));
+    }
+}

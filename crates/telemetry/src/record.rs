@@ -1,0 +1,288 @@
+//! The registry's unit of storage: one run's sidecar metadata.
+
+use light_obs::json::Value;
+use light_obs::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// The index line schema identifier. Bump only for breaking layout
+/// changes; additive keys ride on the same version.
+pub const SCHEMA: &str = "light-watch/v1";
+
+/// What kind of pipeline invocation a registry entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunKind {
+    Record,
+    Replay,
+    Doctor,
+    Explore,
+    Profile,
+    Inspect,
+    Bench,
+}
+
+impl RunKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunKind::Record => "record",
+            RunKind::Replay => "replay",
+            RunKind::Doctor => "doctor",
+            RunKind::Explore => "explore",
+            RunKind::Profile => "profile",
+            RunKind::Inspect => "inspect",
+            RunKind::Bench => "bench",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "record" => RunKind::Record,
+            "replay" => RunKind::Replay,
+            "doctor" => RunKind::Doctor,
+            "explore" => RunKind::Explore,
+            "profile" => RunKind::Profile,
+            "inspect" => RunKind::Inspect,
+            "bench" => RunKind::Bench,
+            _ => return None,
+        })
+    }
+}
+
+/// How the run ended, as far as the registry cares: healthy, diverged
+/// from its recording, or failed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    Ok,
+    Diverged,
+    Failed,
+    Unknown,
+}
+
+impl RunStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Diverged => "diverged",
+            RunStatus::Failed => "failed",
+            RunStatus::Unknown => "unknown",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => RunStatus::Ok,
+            "diverged" => RunStatus::Diverged,
+            "failed" => RunStatus::Failed,
+            "unknown" => RunStatus::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+/// One run's registry entry: who ran, how it went, and every metric the
+/// pipeline measured. Serialized as one JSONL line in the append-only
+/// index; the recording blob (when present) lives separately under
+/// `blobs/<hash>` and is referenced by `blob_hash`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Wall-clock Unix milliseconds at ingest.
+    pub ts_ms: u64,
+    /// Program or workload name ("counter_race", bench suite name, ...).
+    pub program: String,
+    pub kind: RunKind,
+    pub status: RunStatus,
+    /// Causal trace id (32-hex [`light_obs::RunId`]) when the run
+    /// carried one; joins this entry with trace exports and progress
+    /// JSONL streams.
+    pub run_id: Option<String>,
+    /// SHA-256 of the recording bytes, when a blob was ingested.
+    pub blob_hash: Option<String>,
+    /// Size of the ingested blob in bytes.
+    pub blob_bytes: Option<u64>,
+    /// Canonical bug signature ("deadlock", "assert@main:12", ...) for
+    /// runs that surfaced one.
+    pub bug_signature: Option<String>,
+    /// Free-form provenance: CLI name and flags, CI job, hostname.
+    pub provenance: Option<String>,
+    /// End-to-end wall time of the invocation.
+    pub wall_ms: Option<u64>,
+    /// Flat named numbers worth trending that live outside the snapshot
+    /// (bench headlines like `solver_speedup`, `median_overhead`).
+    pub headline: BTreeMap<String, f64>,
+    /// The run's full unified metric snapshot, when one was captured.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl RunRecord {
+    /// A minimal record; fill optional fields before ingesting.
+    pub fn new(program: impl Into<String>, kind: RunKind, status: RunStatus) -> Self {
+        RunRecord {
+            ts_ms: 0,
+            program: program.into(),
+            kind,
+            status,
+            run_id: None,
+            blob_hash: None,
+            blob_bytes: None,
+            bug_signature: None,
+            provenance: None,
+            wall_ms: None,
+            headline: BTreeMap::new(),
+            metrics: None,
+        }
+    }
+
+    /// Renders the record as one index line's JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("schema".into(), Value::from(SCHEMA)),
+            ("ts_ms".into(), Value::from(self.ts_ms)),
+            ("program".into(), Value::from(self.program.as_str())),
+            ("kind".into(), Value::from(self.kind.as_str())),
+            ("status".into(), Value::from(self.status.as_str())),
+        ];
+        let mut opt = |key: &str, v: Option<Value>| {
+            if let Some(v) = v {
+                pairs.push((key.into(), v));
+            }
+        };
+        opt("run_id", self.run_id.as_deref().map(Value::from));
+        opt("blob_hash", self.blob_hash.as_deref().map(Value::from));
+        opt("blob_bytes", self.blob_bytes.map(Value::from));
+        opt(
+            "bug_signature",
+            self.bug_signature.as_deref().map(Value::from),
+        );
+        opt("provenance", self.provenance.as_deref().map(Value::from));
+        opt("wall_ms", self.wall_ms.map(Value::from));
+        if !self.headline.is_empty() {
+            pairs.push((
+                "headline".into(),
+                Value::Obj(
+                    self.headline
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics".into(), m.to_json()));
+        }
+        Value::Obj(pairs)
+    }
+
+    /// Parses one index line. Returns `None` for lines that are not
+    /// `light-watch/v1` records (so foreign or future lines in a shared
+    /// index are skipped, not fatal).
+    pub fn from_json(v: &Value) -> Option<Self> {
+        if v.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+            return None;
+        }
+        let kind = RunKind::parse(v.get("kind").and_then(Value::as_str)?)?;
+        let status = RunStatus::parse(v.get("status").and_then(Value::as_str)?)?;
+        let mut rec = RunRecord::new(
+            v.get("program").and_then(Value::as_str).unwrap_or(""),
+            kind,
+            status,
+        );
+        rec.ts_ms = v.get("ts_ms").and_then(Value::as_u64).unwrap_or(0);
+        rec.run_id = v.get("run_id").and_then(Value::as_str).map(String::from);
+        rec.blob_hash = v.get("blob_hash").and_then(Value::as_str).map(String::from);
+        rec.blob_bytes = v.get("blob_bytes").and_then(Value::as_u64);
+        rec.bug_signature = v
+            .get("bug_signature")
+            .and_then(Value::as_str)
+            .map(String::from);
+        rec.provenance = v
+            .get("provenance")
+            .and_then(Value::as_str)
+            .map(String::from);
+        rec.wall_ms = v.get("wall_ms").and_then(Value::as_u64);
+        if let Some(head) = v.get("headline").and_then(Value::as_obj) {
+            for (k, hv) in head {
+                if let Some(x) = hv.as_f64() {
+                    rec.headline.insert(k.clone(), x);
+                }
+            }
+        }
+        rec.metrics = v.get("metrics").map(MetricsSnapshot::from_json);
+        Some(rec)
+    }
+
+    /// Resolves a metric path on this record. Bare names and
+    /// `headline.<name>` read the headline map; dotted paths like
+    /// `solver.solve_ns` or `record.deps` walk the metric snapshot's
+    /// JSON shape; `wall_ms` reads the wall-clock field.
+    pub fn metric(&self, path: &str) -> Option<f64> {
+        if let Some(v) = self.headline.get(path) {
+            return Some(*v);
+        }
+        if let Some(name) = path.strip_prefix("headline.") {
+            return self.headline.get(name).copied();
+        }
+        if path == "wall_ms" {
+            return self.wall_ms.map(|v| v as f64);
+        }
+        let snapshot = self.metrics.as_ref()?.to_json();
+        let mut cur = &snapshot;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        cur.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_obs::SolverMetrics;
+
+    fn sample() -> RunRecord {
+        let mut rec = RunRecord::new("counter_race", RunKind::Replay, RunStatus::Ok);
+        rec.ts_ms = 1_700_000_000_000;
+        rec.run_id = Some("00000000000000000000000000000abc".into());
+        rec.blob_hash = Some("ab".repeat(32));
+        rec.blob_bytes = Some(512);
+        rec.wall_ms = Some(42);
+        rec.headline.insert("solver_speedup".into(), 2.5);
+        rec.metrics = Some(MetricsSnapshot {
+            solver: Some(SolverMetrics {
+                vars: 10,
+                solve_ns: 12345,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        rec
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rec = sample();
+        let line = rec.to_json().to_json();
+        let back = RunRecord::from_json(&Value::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+        // Minimal records (all options absent) roundtrip too.
+        let min = RunRecord::new("p", RunKind::Bench, RunStatus::Unknown);
+        let back = RunRecord::from_json(&Value::parse(&min.to_json().to_json()).unwrap()).unwrap();
+        assert_eq!(back, min);
+    }
+
+    #[test]
+    fn foreign_lines_are_skipped() {
+        assert_eq!(RunRecord::from_json(&Value::parse("{}").unwrap()), None);
+        let wrong = Value::obj([("schema", Value::from("other/v9"))]);
+        assert_eq!(RunRecord::from_json(&wrong), None);
+    }
+
+    #[test]
+    fn metric_paths_resolve_headline_and_snapshot() {
+        let rec = sample();
+        assert_eq!(rec.metric("solver_speedup"), Some(2.5));
+        assert_eq!(rec.metric("headline.solver_speedup"), Some(2.5));
+        assert_eq!(rec.metric("solver.solve_ns"), Some(12345.0));
+        assert_eq!(rec.metric("solver.vars"), Some(10.0));
+        assert_eq!(rec.metric("wall_ms"), Some(42.0));
+        assert_eq!(rec.metric("nope.nothing"), None);
+    }
+}

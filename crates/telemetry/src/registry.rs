@@ -1,0 +1,263 @@
+//! The persistent run registry: content-addressed blobs plus an
+//! append-only JSONL index.
+//!
+//! On disk a registry is a directory:
+//!
+//! ```text
+//! <root>/
+//!   index.jsonl          # one RunRecord per line, append-only
+//!   blobs/<sha256-hex>   # recording bytes, named by content
+//! ```
+//!
+//! Ingest is crash-tolerant by construction: the blob is written first
+//! (idempotent — same bytes hash to the same name), then the index line
+//! is appended in one `write` call. Readers skip lines that fail to
+//! parse, so a torn final line degrades to one lost entry, never a
+//! poisoned registry.
+
+use crate::hash::sha256_hex;
+use crate::query::Query;
+use crate::record::RunRecord;
+use light_obs::json::Value;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The environment variable every Light CLI checks for auto-ingest.
+pub const REGISTRY_ENV: &str = "LIGHT_REGISTRY";
+
+/// A handle to an on-disk registry directory.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+}
+
+/// A registry operation failure, tagged with the path it touched.
+#[derive(Debug)]
+pub struct RegistryError {
+    pub path: PathBuf,
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> RegistryError + '_ {
+    move |source| RegistryError {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+impl Registry {
+    /// Opens (creating if needed) the registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("blobs")).map_err(io_err(&root))?;
+        Ok(Registry { root })
+    }
+
+    /// Opens the registry named by `LIGHT_REGISTRY`, or `None` when the
+    /// variable is unset or empty — the disabled, zero-cost path.
+    pub fn from_env() -> Option<Result<Self, RegistryError>> {
+        match std::env::var(REGISTRY_ENV) {
+            Ok(path) if !path.is_empty() => Some(Registry::open(path)),
+            _ => None,
+        }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.jsonl")
+    }
+
+    /// The path a blob with `hash` lives at (whether or not it exists).
+    pub fn blob_path(&self, hash: &str) -> PathBuf {
+        self.root.join("blobs").join(hash)
+    }
+
+    /// Ingests one run: stores `blob` (if given) content-addressed,
+    /// stamps the record with the blob hash/size and — when the caller
+    /// left `ts_ms` zero — the current wall clock, then appends the
+    /// record to the index. Returns the stored record.
+    pub fn ingest(
+        &self,
+        mut record: RunRecord,
+        blob: Option<&[u8]>,
+    ) -> Result<RunRecord, RegistryError> {
+        if let Some(bytes) = blob {
+            let hash = sha256_hex(bytes);
+            let path = self.blob_path(&hash);
+            // Content-addressed: if the blob exists its contents are
+            // already these bytes, so skip the write.
+            if !path.exists() {
+                let tmp = self.root.join("blobs").join(format!(
+                    ".tmp-{}-{}",
+                    std::process::id(),
+                    &hash[..16]
+                ));
+                fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
+                fs::rename(&tmp, &path).map_err(io_err(&path))?;
+            }
+            record.blob_hash = Some(hash);
+            record.blob_bytes = Some(bytes.len() as u64);
+        }
+        if record.ts_ms == 0 {
+            record.ts_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+        }
+        let line = format!("{}\n", record.to_json().to_json());
+        let index = self.index_path();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&index)
+            .map_err(io_err(&index))?;
+        file.write_all(line.as_bytes()).map_err(io_err(&index))?;
+        Ok(record)
+    }
+
+    /// Reads back a stored blob by its content hash.
+    pub fn read_blob(&self, hash: &str) -> Result<Vec<u8>, RegistryError> {
+        let path = self.blob_path(hash);
+        fs::read(&path).map_err(io_err(&path))
+    }
+
+    /// Loads every parseable record in ingest order. Unparseable or
+    /// foreign lines are skipped.
+    pub fn load(&self) -> Result<Vec<RunRecord>, RegistryError> {
+        let index = self.index_path();
+        let text = match fs::read_to_string(&index) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&index)(e)),
+        };
+        Ok(text
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() {
+                    return None;
+                }
+                RunRecord::from_json(&Value::parse(line).ok()?)
+            })
+            .collect())
+    }
+
+    /// Loads the records matching `query`, in ingest order.
+    pub fn query(&self, query: &Query) -> Result<Vec<RunRecord>, RegistryError> {
+        let mut records = self.load()?;
+        records.retain(|r| query.matches(r));
+        Ok(records)
+    }
+}
+
+/// Best-effort auto-ingest used by every Light CLI: when
+/// `LIGHT_REGISTRY` is set, ingest `record` (+ optional recording
+/// bytes) there; when unset, do nothing. Failures are reported on
+/// stderr but never propagate — telemetry must not fail the pipeline
+/// it observes.
+pub fn auto_ingest(record: RunRecord, blob: Option<&[u8]>) -> Option<RunRecord> {
+    let registry = match Registry::from_env()? {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("light-watch: cannot open {REGISTRY_ENV} registry: {e}");
+            return None;
+        }
+    };
+    match registry.ingest(record, blob) {
+        Ok(stored) => Some(stored),
+        Err(e) => {
+            eprintln!("light-watch: ingest failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunStatus};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "light-telemetry-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ingest_then_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let reg = Registry::open(&dir).unwrap();
+        let rec = RunRecord::new("counter_race", RunKind::Replay, RunStatus::Ok);
+        let stored = reg.ingest(rec, Some(b"recording-bytes")).unwrap();
+        assert!(stored.ts_ms > 0);
+        let hash = stored.blob_hash.clone().unwrap();
+        assert_eq!(stored.blob_bytes, Some(15));
+        assert_eq!(reg.read_blob(&hash).unwrap(), b"recording-bytes");
+        let loaded = reg.load().unwrap();
+        assert_eq!(loaded, vec![stored]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_blobs_share_one_file() {
+        let dir = tmpdir("dedup");
+        let reg = Registry::open(&dir).unwrap();
+        let a = reg
+            .ingest(
+                RunRecord::new("p", RunKind::Record, RunStatus::Ok),
+                Some(b"same bytes"),
+            )
+            .unwrap();
+        let b = reg
+            .ingest(
+                RunRecord::new("p", RunKind::Replay, RunStatus::Ok),
+                Some(b"same bytes"),
+            )
+            .unwrap();
+        assert_eq!(a.blob_hash, b.blob_hash);
+        let blobs: Vec<_> = fs::read_dir(dir.join("blobs")).unwrap().collect();
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(reg.load().unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_are_skipped() {
+        let dir = tmpdir("torn");
+        let reg = Registry::open(&dir).unwrap();
+        reg.ingest(RunRecord::new("p", RunKind::Doctor, RunStatus::Diverged), None)
+            .unwrap();
+        let index = dir.join("index.jsonl");
+        let mut f = fs::OpenOptions::new().append(true).open(&index).unwrap();
+        writeln!(f, "{{\"schema\":\"other/v1\"}}").unwrap();
+        write!(f, "{{\"schema\":\"light-watch/v1\",\"trunc").unwrap();
+        drop(f);
+        let loaded = reg.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].program, "p");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_index_loads_empty() {
+        let dir = tmpdir("empty");
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.load().unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,225 @@
+//! Rolling-baseline regression detection — the CI gate behind
+//! `light-watch regress`.
+
+use crate::trend::TrendPoint;
+
+/// Whether larger values of a metric are good or bad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// e.g. `solver_speedup`, `schedules_per_sec`: a *drop* regresses.
+    HigherIsBetter,
+    /// e.g. `median_overhead`, `solve_ns`, `wall_ms`: a *rise* regresses.
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// Infers the direction from the metric name. Rate-like names
+    /// (speedup, throughput, per-sec) are higher-is-better; everything
+    /// else — times, counts, overheads — is lower-is-better.
+    pub fn infer(metric: &str) -> Direction {
+        let lower = metric.to_ascii_lowercase();
+        if ["speedup", "throughput", "per_sec", "rate", "hits"]
+            .iter()
+            .any(|k| lower.contains(k))
+        {
+            Direction::HigherIsBetter
+        } else {
+            Direction::LowerIsBetter
+        }
+    }
+}
+
+/// The verdict on the latest point of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    pub metric: String,
+    pub direction: Direction,
+    /// The newest point's value.
+    pub latest: f64,
+    /// Mean of the `baseline_n` points preceding the newest.
+    pub baseline: f64,
+    /// How many points the baseline averaged.
+    pub baseline_n: usize,
+    /// Signed change *for the worse*, as a fraction of the baseline:
+    /// positive means regression, negative means improvement.
+    pub regression: f64,
+    /// Whether `regression` exceeded the gate's threshold.
+    pub regressed: bool,
+}
+
+impl Verdict {
+    /// One-line human rendering, stable enough to grep in CI logs.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: latest {:.6} vs baseline {:.6} (n={}) => {} {:.1}% => {}",
+            self.metric,
+            self.latest,
+            self.baseline,
+            self.baseline_n,
+            if self.regression >= 0.0 {
+                "worsened"
+            } else {
+                "improved"
+            },
+            self.regression.abs() * 100.0,
+            if self.regressed { "REGRESSED" } else { "ok" },
+        )
+    }
+}
+
+/// Why a verdict could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressError {
+    /// Fewer than two points with the metric: nothing to compare.
+    NotEnoughData { points: usize },
+    /// The baseline mean is zero, so relative change is undefined.
+    ZeroBaseline,
+}
+
+impl std::fmt::Display for RegressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressError::NotEnoughData { points } => {
+                write!(f, "need at least 2 data points, have {points}")
+            }
+            RegressError::ZeroBaseline => write!(f, "baseline mean is zero"),
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// Compares the newest point of `points` (assumed time-sorted, as
+/// [`crate::trend::series`] returns) against the mean of up to
+/// `baseline_k` points immediately before it. `threshold` is a
+/// fraction: 0.2 means "fail on >20% change for the worse".
+pub fn check(
+    metric: &str,
+    points: &[TrendPoint],
+    baseline_k: usize,
+    threshold: f64,
+    direction: Direction,
+) -> Result<Verdict, RegressError> {
+    if points.len() < 2 {
+        return Err(RegressError::NotEnoughData {
+            points: points.len(),
+        });
+    }
+    let latest = points[points.len() - 1].value;
+    let window = &points[..points.len() - 1];
+    let start = window.len().saturating_sub(baseline_k.max(1));
+    let window = &window[start..];
+    let baseline = window.iter().map(|p| p.value).sum::<f64>() / window.len() as f64;
+    if baseline == 0.0 {
+        return Err(RegressError::ZeroBaseline);
+    }
+    let regression = match direction {
+        Direction::HigherIsBetter => (baseline - latest) / baseline,
+        Direction::LowerIsBetter => (latest - baseline) / baseline,
+    };
+    Ok(Verdict {
+        metric: metric.to_string(),
+        direction,
+        latest,
+        baseline,
+        baseline_n: window.len(),
+        regression,
+        regressed: regression > threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(values: &[f64]) -> Vec<TrendPoint> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| TrendPoint {
+                ts_ms: i as u64,
+                value,
+                run_id: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn halved_speedup_regresses() {
+        // The ISSUE's injected failure: a 2x solver_speedup regression.
+        let series = pts(&[3.0, 3.1, 2.9, 3.0, 1.5]);
+        let v = check(
+            "solver_speedup",
+            &series,
+            5,
+            0.2,
+            Direction::HigherIsBetter,
+        )
+        .unwrap();
+        assert!(v.regressed);
+        assert!(v.regression > 0.45);
+        assert!(v.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn steady_trajectory_passes() {
+        let series = pts(&[3.0, 3.1, 2.9, 3.0, 3.05]);
+        let v = check(
+            "solver_speedup",
+            &series,
+            5,
+            0.2,
+            Direction::HigherIsBetter,
+        )
+        .unwrap();
+        assert!(!v.regressed);
+        assert!(v.render().contains("ok"));
+    }
+
+    #[test]
+    fn improvements_never_regress_either_direction() {
+        let faster = pts(&[100.0, 100.0, 50.0]);
+        let v = check("solve_ns", &faster, 5, 0.1, Direction::LowerIsBetter).unwrap();
+        assert!(!v.regressed);
+        assert!(v.regression < 0.0);
+        let slower = pts(&[100.0, 100.0, 150.0]);
+        let v = check("solve_ns", &slower, 5, 0.1, Direction::LowerIsBetter).unwrap();
+        assert!(v.regressed);
+    }
+
+    #[test]
+    fn baseline_window_only_looks_back_k() {
+        // Old bad era followed by a good era: with k=3 the baseline is
+        // the good era only, so a return to 10.0 regresses.
+        let series = pts(&[10.0, 10.0, 2.0, 2.0, 2.0, 10.0]);
+        let v = check("wall_ms", &series, 3, 0.5, Direction::LowerIsBetter).unwrap();
+        assert_eq!(v.baseline, 2.0);
+        assert!(v.regressed);
+    }
+
+    #[test]
+    fn degenerate_series_are_errors() {
+        assert_eq!(
+            check("m", &pts(&[1.0]), 5, 0.2, Direction::LowerIsBetter),
+            Err(RegressError::NotEnoughData { points: 1 })
+        );
+        assert_eq!(
+            check("m", &pts(&[0.0, 1.0]), 5, 0.2, Direction::LowerIsBetter),
+            Err(RegressError::ZeroBaseline)
+        );
+    }
+
+    #[test]
+    fn direction_inference() {
+        assert_eq!(
+            Direction::infer("solver_speedup"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            Direction::infer("schedules_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(Direction::infer("median_overhead"), Direction::LowerIsBetter);
+        assert_eq!(Direction::infer("wall_ms"), Direction::LowerIsBetter);
+    }
+}

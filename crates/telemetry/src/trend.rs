@@ -1,0 +1,126 @@
+//! Metric time series over registry records.
+
+use crate::record::RunRecord;
+use light_obs::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// One point of a metric's trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    pub ts_ms: u64,
+    pub value: f64,
+    pub run_id: Option<String>,
+}
+
+/// Extracts `metric`'s time series from `records`, sorted by timestamp
+/// (ties keep ingest order). Records without the metric are skipped.
+pub fn series(records: &[RunRecord], metric: &str) -> Vec<TrendPoint> {
+    let mut points: Vec<TrendPoint> = records
+        .iter()
+        .filter_map(|r| {
+            Some(TrendPoint {
+                ts_ms: r.ts_ms,
+                value: r.metric(metric)?,
+                run_id: r.run_id.clone(),
+            })
+        })
+        .collect();
+    points.sort_by_key(|p| p.ts_ms);
+    points
+}
+
+/// Folds every snapshot in `records` into one cross-run aggregate via
+/// [`MetricsSnapshot::aggregate`] (associative and order-insensitive,
+/// so any subset folds to the same answer regardless of iteration
+/// order).
+pub fn aggregate_snapshots(records: &[RunRecord]) -> MetricsSnapshot {
+    records
+        .iter()
+        .filter_map(|r| r.metrics.as_ref())
+        .fold(MetricsSnapshot::default(), |acc, m| acc.aggregate(m))
+}
+
+/// Renders a series as an aligned table with a unicode spark bar per
+/// point, newest last.
+pub fn render(metric: &str, points: &[TrendPoint]) -> String {
+    let mut out = String::new();
+    if points.is_empty() {
+        let _ = writeln!(out, "{metric}: no data points");
+        return out;
+    }
+    let (min, max) = points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+        (lo.min(p.value), hi.max(p.value))
+    });
+    let _ = writeln!(
+        out,
+        "{metric}: {} points, min {min:.6}, max {max:.6}",
+        points.len()
+    );
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    for p in points {
+        let frac = if max > min {
+            (p.value - min) / (max - min)
+        } else {
+            1.0
+        };
+        let bar = BARS[((frac * 7.0).round() as usize).min(7)];
+        let run = p.run_id.as_deref().unwrap_or("-");
+        let _ = writeln!(out, "  {:>14}  {bar}  {:<14.6}  {run}", p.ts_ms, p.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunStatus};
+    use light_obs::RecorderMetrics;
+
+    fn rec(ts: u64, speedup: Option<f64>) -> RunRecord {
+        let mut r = RunRecord::new("p", RunKind::Bench, RunStatus::Ok);
+        r.ts_ms = ts;
+        if let Some(v) = speedup {
+            r.headline.insert("solver_speedup".into(), v);
+        }
+        r
+    }
+
+    #[test]
+    fn series_sorts_and_skips_missing() {
+        let records = vec![rec(30, Some(3.0)), rec(10, Some(1.0)), rec(20, None)];
+        let pts = series(&records, "solver_speedup");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].ts_ms, 10);
+        assert_eq!(pts[1].value, 3.0);
+    }
+
+    #[test]
+    fn render_handles_empty_and_flat_series() {
+        assert!(render("x", &[]).contains("no data points"));
+        let flat = series(&[rec(1, Some(2.0)), rec(2, Some(2.0))], "solver_speedup");
+        let text = render("solver_speedup", &flat);
+        assert!(text.contains("2 points"));
+    }
+
+    #[test]
+    fn aggregate_folds_snapshots() {
+        let mut a = rec(1, None);
+        a.metrics = Some(MetricsSnapshot {
+            record: Some(RecorderMetrics {
+                deps: 3,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let mut b = rec(2, None);
+        b.metrics = Some(MetricsSnapshot {
+            record: Some(RecorderMetrics {
+                deps: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let agg = aggregate_snapshots(&[a, b, rec(3, None)]);
+        assert_eq!(agg.record.unwrap().deps, 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests: the registry workflow end to end, and the
+//! env-gated auto-ingest path every CLI uses.
+
+use light_telemetry::{
+    auto_ingest, regress, sha256_hex, trend, Query, Registry, RunKind, RunRecord, RunStatus,
+    REGISTRY_ENV,
+};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "light-telemetry-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_workflow_ingest_query_trend_regress() {
+    let dir = tmpdir("workflow");
+    let registry = Registry::open(&dir).unwrap();
+
+    // Three healthy bench runs, then one that halves the speedup.
+    for (ts, speedup) in [(1000u64, 3.0f64), (2000, 3.1), (3000, 2.9), (4000, 1.5)] {
+        let mut rec = RunRecord::new("corpus", RunKind::Bench, RunStatus::Ok);
+        rec.ts_ms = ts;
+        rec.headline.insert("solver_speedup".into(), speedup);
+        registry.ingest(rec, None).unwrap();
+    }
+    // A diverged doctor run with a blob, queryable by status and sig.
+    let mut bad = RunRecord::new("cache4j", RunKind::Doctor, RunStatus::Diverged);
+    bad.ts_ms = 2500;
+    bad.bug_signature = Some("deadlock".into());
+    let stored = registry.ingest(bad, Some(b"recording!")).unwrap();
+    assert_eq!(stored.blob_hash.as_deref(), Some(&*sha256_hex(b"recording!")));
+
+    // Typed queries.
+    let diverged = registry
+        .query(&Query {
+            status: Some(RunStatus::Diverged),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(diverged.len(), 1);
+    assert_eq!(diverged[0].program, "cache4j");
+    let by_sig = registry
+        .query(&Query {
+            bug_signature: Some("deadlock".into()),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(by_sig.len(), 1);
+    let windowed = registry
+        .query(&Query {
+            kind: Some(RunKind::Bench),
+            since_ms: Some(2000),
+            until_ms: Some(3000),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(windowed.len(), 2);
+
+    // Trend over the bench runs; the doctor run has no headline and is
+    // skipped by the series extractor.
+    let all = registry.load().unwrap();
+    let points = trend::series(&all, "solver_speedup");
+    assert_eq!(points.len(), 4);
+    assert_eq!(points.last().unwrap().value, 1.5);
+
+    // The injected 2x regression trips the gate; dropping the bad point
+    // passes it.
+    let verdict = regress::check(
+        "solver_speedup",
+        &points,
+        5,
+        0.2,
+        regress::Direction::HigherIsBetter,
+    )
+    .unwrap();
+    assert!(verdict.regressed);
+    let verdict = regress::check(
+        "solver_speedup",
+        &points[..3],
+        5,
+        0.2,
+        regress::Direction::HigherIsBetter,
+    )
+    .unwrap();
+    assert!(!verdict.regressed);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn auto_ingest_is_env_gated() {
+    // Process-global env var: both halves of the behavior live in this
+    // one test so no parallel test observes a half-set variable.
+    std::env::remove_var(REGISTRY_ENV);
+    let rec = RunRecord::new("p", RunKind::Record, RunStatus::Ok);
+    assert!(auto_ingest(rec.clone(), Some(b"bytes")).is_none());
+    assert!(Registry::from_env().is_none());
+
+    let dir = tmpdir("autoingest");
+    std::env::set_var(REGISTRY_ENV, &dir);
+    let stored = auto_ingest(rec, Some(b"bytes")).expect("ingest with env set");
+    std::env::remove_var(REGISTRY_ENV);
+    assert_eq!(stored.blob_bytes, Some(5));
+    let registry = Registry::open(&dir).unwrap();
+    let loaded = registry.load().unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert_eq!(loaded[0].program, "p");
+    assert_eq!(
+        registry.read_blob(loaded[0].blob_hash.as_ref().unwrap()).unwrap(),
+        b"bytes"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -11,21 +11,37 @@ lifts a few headline numbers (medians, overhead fractions) into a flat
 The output is deterministic: benches are sorted by name and no
 timestamps are added, so reruns on identical results are byte-identical.
 
+Two side channels ride along on a (non --check) rewrite:
+
+- BENCH_history.jsonl gets one dated line per distinct pipeline
+  document (keyed by its SHA-256), so the headline trajectory is
+  readable without walking git history.
+- When LIGHT_REGISTRY is set, the document is ingested into the
+  light-watch run registry (kind "bench", blob = BENCH_pipeline.json)
+  using the same blobs/<hash> + index.jsonl layout as the Rust side,
+  so `light-watch trend`/`regress` see script-driven summaries too.
+
 Usage: python3 scripts/bench_summary.py [--check]
 
 --check exits nonzero if BENCH_pipeline.json is missing or stale
 instead of rewriting it (for CI).
 """
 
+import datetime
+import hashlib
 import json
+import os
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "results"
 OUT = ROOT / "BENCH_pipeline.json"
+HISTORY = ROOT / "BENCH_history.jsonl"
 
 SCHEMA = "light-bench-pipeline/v1"
+HISTORY_SCHEMA = "light-bench-history/v1"
+REGISTRY_SCHEMA = "light-watch/v1"
 
 
 def headline_for(name: str, doc: dict) -> dict:
@@ -72,6 +88,83 @@ def build() -> dict:
     }
 
 
+def flat_headline(doc: dict) -> dict:
+    """`headline` flattened to `<bench>.<key>` -> float, for trending."""
+    flat = {}
+    for bench, head in doc.get("headline", {}).items():
+        for key, value in head.items():
+            if isinstance(value, bool):
+                flat[f"{bench}.{key}"] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                flat[f"{bench}.{key}"] = float(value)
+    return flat
+
+
+def append_history(doc: dict, rendered: str) -> None:
+    """One dated line per distinct pipeline document.
+
+    Keyed by the document's SHA-256: rerunning on identical results
+    appends nothing, so the history stays one line per real change.
+    """
+    digest = hashlib.sha256(rendered.encode()).hexdigest()
+    if HISTORY.exists():
+        lines = HISTORY.read_text().splitlines()
+        if lines:
+            try:
+                if json.loads(lines[-1]).get("sha256") == digest:
+                    return
+            except json.JSONDecodeError:
+                pass
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d"),
+        "sha256": digest,
+        "benches": len(doc["benches"]),
+        "headline": flat_headline(doc),
+    }
+    with HISTORY.open("a") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"bench_summary: appended {HISTORY.name} entry {digest[:12]}")
+
+
+def ingest_registry(doc: dict, rendered: str) -> None:
+    """Best-effort light-watch registry ingest, gated on LIGHT_REGISTRY.
+
+    Mirrors the Rust registry layout (blobs/<sha256> + index.jsonl with
+    light-watch/v1 lines) so entries written here are indistinguishable
+    from CLI-ingested ones.
+    """
+    root = os.environ.get("LIGHT_REGISTRY")
+    if not root:
+        return
+    try:
+        root = Path(root)
+        blobs = root / "blobs"
+        blobs.mkdir(parents=True, exist_ok=True)
+        blob = rendered.encode()
+        digest = hashlib.sha256(blob).hexdigest()
+        blob_path = blobs / digest
+        if not blob_path.exists():
+            tmp = blobs / f".tmp-{os.getpid()}"
+            tmp.write_bytes(blob)
+            tmp.rename(blob_path)
+        record = {
+            "schema": REGISTRY_SCHEMA,
+            "ts_ms": int(datetime.datetime.now(datetime.timezone.utc).timestamp() * 1000),
+            "program": "bench_summary",
+            "kind": "bench",
+            "status": "ok",
+            "blob_hash": digest,
+            "blob_bytes": len(blob),
+            "headline": flat_headline(doc),
+        }
+        with (root / "index.jsonl").open("a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"bench_summary: ingested into registry at {root}")
+    except OSError as e:
+        print(f"bench_summary: registry ingest failed (ignored): {e}", file=sys.stderr)
+
+
 def main() -> int:
     check = "--check" in sys.argv[1:]
     doc = build()
@@ -88,6 +181,8 @@ def main() -> int:
         return 0
     OUT.write_text(rendered)
     print(f"bench_summary: wrote {OUT} ({len(doc['benches'])} benches)")
+    append_history(doc, rendered)
+    ingest_registry(doc, rendered)
     return 0
 
 
