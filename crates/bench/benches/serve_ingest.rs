@@ -1,0 +1,126 @@
+//! E15 — replay-as-a-service ingestion throughput: one `light-serve`
+//! daemon, a mixed recording corpus, and 1 / 4 / 16 concurrent clients
+//! hammering the submit endpoint. Reports submissions/sec per client
+//! count plus the server-side dedup and job counters. The headline
+//! `serve_ingest_rps` is the 16-client throughput. Run with
+//! `cargo bench -p light-bench --bench serve_ingest`.
+//!
+//! Results land in `results/serve_ingest.json` (primary) and
+//! `results/serve_ingest.txt`.
+
+use light_bench::report::Report;
+use light_core::obs::json::Value;
+use light_core::{write_recording, Light};
+use light_serve::{start, Client, ServerOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+/// Submissions per client per configuration. The corpus is far smaller,
+/// so most submissions are dedup hits — which is the point: ingestion
+/// throughput is dominated by hashing + the wire, not by job work.
+const PER_CLIENT: usize = 64;
+
+const RACE: &str = "global total;
+     fn worker(n) {
+         let i = 0;
+         while (i < n) { total = total + 1; i = i + 1; }
+     }
+     fn main(n) {
+         let t1 = spawn worker(n);
+         let t2 = spawn worker(n);
+         join t1; join t2;
+         print(total);
+     }";
+
+fn main() {
+    let mut rep = Report::new("serve_ingest");
+    rep.line("== E15: light-serve ingestion throughput (submissions/sec) ==");
+
+    // One corpus shared by every configuration: 8 unique recordings.
+    let light = Light::new(Arc::new(lir::parse(RACE).expect("corpus program parses")));
+    let corpus: Vec<Vec<u8>> = (0..8i64)
+        .map(|n| {
+            let (recording, _) = light.record(&[4 + n], 7).expect("corpus record");
+            write_recording(&recording).to_vec()
+        })
+        .collect();
+    let corpus = Arc::new(corpus);
+    rep.line(format!(
+        "corpus: {} unique recordings, {} bytes total",
+        corpus.len(),
+        corpus.iter().map(Vec::len).sum::<usize>(),
+    ));
+    rep.line(format!(
+        "{:>8} {:>12} {:>10} {:>12} {:>10}",
+        "clients", "submissions", "secs", "rps", "dedup"
+    ));
+
+    let mut rows = Vec::new();
+    let mut headline_rps = 0.0f64;
+    for clients in CLIENT_COUNTS {
+        let dir =
+            std::env::temp_dir().join(format!("light-serve-bench-{}-{clients}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = start(ServerOptions {
+            registry: dir.clone(),
+            conn_threads: clients.max(2),
+            ..ServerOptions::default()
+        })
+        .expect("start bench daemon");
+        let addr = handle.addr().to_string();
+
+        let total = clients * PER_CLIENT;
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let addr = &addr;
+                let corpus = corpus.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("bench client connect");
+                    for i in 0..PER_CLIENT {
+                        let entry = &corpus[(c + i) % corpus.len()];
+                        client
+                            .submit("race", RACE, entry)
+                            .expect("bench submit");
+                    }
+                });
+            }
+        });
+        let secs = t.elapsed().as_secs_f64();
+        let rps = total as f64 / secs;
+
+        let mut client = Client::connect(&addr).expect("status client");
+        client.wait_idle().expect("drain bench jobs");
+        let status = client.status().expect("bench status");
+        client.shutdown().expect("bench shutdown");
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(status.metrics.submissions, total as u64);
+        rep.line(format!(
+            "{:>8} {:>12} {:>10.3} {:>12.0} {:>10}",
+            clients, total, secs, rps, status.metrics.dedup_hits,
+        ));
+        rows.push(Value::obj([
+            ("clients", Value::from(clients as u64)),
+            ("submissions", Value::from(total as u64)),
+            ("secs", Value::from(secs)),
+            ("rps", Value::from(rps)),
+            ("dedup_hits", Value::from(status.metrics.dedup_hits)),
+            ("jobs_ok", Value::from(status.metrics.jobs_ok)),
+            ("jobs_failed", Value::from(status.metrics.jobs_failed)),
+            ("queue_peak", Value::from(status.metrics.queue_peak)),
+        ]));
+        headline_rps = rps; // last config (16 clients) is the headline
+    }
+    rep.set("rows", Value::Arr(rows));
+    rep.set("serve_ingest_rps", headline_rps);
+
+    rep.blank();
+    rep.line(format!(
+        "headline serve_ingest_rps (16 clients): {headline_rps:.0} submissions/sec"
+    ));
+    rep.line("(Each submission is one framed TCP round trip: SHA-256 content addressing, sharded blob store, dedup check, job enqueue for fresh content. Dedup-heavy by design — the corpus is 8 recordings wide.)");
+    rep.write_or_die();
+}

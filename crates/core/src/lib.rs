@@ -128,6 +128,26 @@ impl Light {
         &mut self.replay_options
     }
 
+    /// Attaches a shared solver [`ComponentCache`] to this instance's
+    /// replays. Embedding drivers (a `light-serve` job pool, an explore
+    /// campaign) hand every [`Light`] the same cache so identical
+    /// location groups across recordings solve once and hit thereafter.
+    /// A no-op when turbo solving was explicitly disabled.
+    pub fn set_solver_cache(&mut self, cache: ComponentCache) {
+        if let Some(turbo) = &mut self.replay_options.turbo {
+            turbo.cache = Some(cache);
+        }
+    }
+
+    /// Sets the turbo component-pool worker count for this instance's
+    /// replays (`0` = one per core). A no-op when turbo solving was
+    /// explicitly disabled.
+    pub fn set_solver_workers(&mut self, workers: usize) {
+        if let Some(turbo) = &mut self.replay_options.turbo {
+            turbo.workers = workers;
+        }
+    }
+
     /// Attaches an observability sink. Pipeline phases (`record`,
     /// `constraint-build`, `solve`, `replay-run`), per-thread lanes and
     /// end-of-phase counters are emitted to it; with no sink attached (the

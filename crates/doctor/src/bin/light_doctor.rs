@@ -365,9 +365,7 @@ fn main() -> ExitCode {
         ..DoctorOptions::default()
     };
     if let Some(n) = cli.solver_workers {
-        if let Some(turbo) = &mut options.replay.turbo {
-            turbo.workers = n;
-        }
+        options = options.with_solver_workers(n);
     }
     let started = std::time::Instant::now();
     let report = match doctor_replay(&light, &recording, &reference, &options) {

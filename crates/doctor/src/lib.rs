@@ -77,6 +77,30 @@ impl Default for DoctorOptions {
     }
 }
 
+impl DoctorOptions {
+    /// Attaches a shared solver component cache to the checked replay,
+    /// so embedding drivers (e.g. a `light-serve` job pool) reuse solved
+    /// components across many doctor passes. A no-op when turbo solving
+    /// is disabled in the replay options.
+    #[must_use]
+    pub fn with_solver_cache(mut self, cache: light_core::ComponentCache) -> Self {
+        if let Some(turbo) = &mut self.replay.turbo {
+            turbo.cache = Some(cache);
+        }
+        self
+    }
+
+    /// Sets the turbo component-pool worker count for the checked
+    /// replay (`0` = one per core).
+    #[must_use]
+    pub fn with_solver_workers(mut self, workers: usize) -> Self {
+        if let Some(turbo) = &mut self.replay.turbo {
+            turbo.workers = workers;
+        }
+        self
+    }
+}
+
 /// The outcome of a checked replay.
 #[derive(Debug)]
 pub struct DoctorReport {

@@ -49,7 +49,7 @@ mod trace;
 pub use flight::{Flight, FlightEvent, FlightKind, FlightSink, FLIGHT_KINDS, NO_SITE};
 pub use metrics::{
     ExploreMetrics, Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics,
-    RunMetrics, SchedulerMetrics, SolverMetrics, TurboMetrics,
+    RunMetrics, SchedulerMetrics, ServeMetrics, SolverMetrics, TurboMetrics,
 };
 pub use progress::{CollectingProgress, JsonlProgress, Progress, ProgressRecord, ProgressSink};
 pub use trace::{chrome_trace_json, TraceEvent, TraceSink};

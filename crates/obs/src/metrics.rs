@@ -94,6 +94,29 @@ pub struct ExploreMetrics {
     pub wall_ns: u64,
 }
 
+/// Replay-as-a-service counters: one `light-serve` daemon's ingestion
+/// and job-pipeline totals (or an aggregate over several server runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct ServeMetrics {
+    /// Submissions accepted over the wire.
+    pub submissions: u64,
+    /// Submissions whose recording bytes hashed to an already-stored
+    /// blob (stored once, job not re-run).
+    pub dedup_hits: u64,
+    /// Jobs whose solve → replay → doctor pipeline finished healthy.
+    pub jobs_ok: u64,
+    /// Jobs whose checked replay diverged from the recording.
+    pub jobs_diverged: u64,
+    /// Jobs that failed outright (unparseable program, unsolvable
+    /// schedule, replay setup error).
+    pub jobs_failed: u64,
+    /// Deepest job-queue backlog observed.
+    pub queue_peak: u64,
+    /// Worker threads of the job pool.
+    pub workers: u64,
+}
+
 /// Turbo (component-sharded) solver counters for one parallel solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -147,6 +170,10 @@ pub struct MetricsSnapshot {
     /// sequential-only snapshots and omitted from JSON when absent, so
     /// older consumers of the shape are unaffected.
     pub turbo: Option<TurboMetrics>,
+    /// Replay-as-a-service (`light-serve`) ingestion and job-pipeline
+    /// counters. Additive: absent outside server runs and omitted from
+    /// JSON when absent, so older consumers of the shape are unaffected.
+    pub serve: Option<ServeMetrics>,
     pub scheduler: Option<SchedulerMetrics>,
     pub replay_run: Option<RunMetrics>,
     pub explore: Option<ExploreMetrics>,
@@ -232,6 +259,46 @@ impl SolverMetrics {
             decisions: self.decisions.saturating_add(other.decisions),
             backtracks: self.backtracks.saturating_add(other.backtracks),
             solve_ns: self.solve_ns.saturating_add(other.solve_ns),
+        }
+    }
+}
+
+impl ServeMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("submissions", Value::from(self.submissions)),
+            ("dedup_hits", Value::from(self.dedup_hits)),
+            ("jobs_ok", Value::from(self.jobs_ok)),
+            ("jobs_diverged", Value::from(self.jobs_diverged)),
+            ("jobs_failed", Value::from(self.jobs_failed)),
+            ("queue_peak", Value::from(self.queue_peak)),
+            ("workers", Value::from(self.workers)),
+        ])
+    }
+
+    pub fn from_json(v: &Value) -> Self {
+        ServeMetrics {
+            submissions: ju(v, "submissions"),
+            dedup_hits: ju(v, "dedup_hits"),
+            jobs_ok: ju(v, "jobs_ok"),
+            jobs_diverged: ju(v, "jobs_diverged"),
+            jobs_failed: ju(v, "jobs_failed"),
+            queue_peak: ju(v, "queue_peak"),
+            workers: ju(v, "workers"),
+        }
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        ServeMetrics {
+            submissions: self.submissions.saturating_add(other.submissions),
+            dedup_hits: self.dedup_hits.saturating_add(other.dedup_hits),
+            jobs_ok: self.jobs_ok.saturating_add(other.jobs_ok),
+            jobs_diverged: self.jobs_diverged.saturating_add(other.jobs_diverged),
+            jobs_failed: self.jobs_failed.saturating_add(other.jobs_failed),
+            // Backlogs and pool sizes don't add across servers; the
+            // deepest/widest seen keeps combine associative.
+            queue_peak: self.queue_peak.max(other.queue_peak),
+            workers: self.workers.max(other.workers),
         }
     }
 }
@@ -430,6 +497,9 @@ impl MetricsSnapshot {
         if let Some(t) = &self.turbo {
             pairs.push(("turbo".into(), t.to_json()));
         }
+        if let Some(s) = &self.serve {
+            pairs.push(("serve".into(), s.to_json()));
+        }
         if let Some(s) = &self.scheduler {
             pairs.push(("scheduler".into(), s.to_json()));
         }
@@ -491,6 +561,7 @@ impl MetricsSnapshot {
             record_run: v.get("record_run").map(RunMetrics::from_json),
             solver: v.get("solver").map(SolverMetrics::from_json),
             turbo: v.get("turbo").map(TurboMetrics::from_json),
+            serve: v.get("serve").map(ServeMetrics::from_json),
             scheduler: v.get("scheduler").map(SchedulerMetrics::from_json),
             replay_run: v.get("replay_run").map(RunMetrics::from_json),
             explore: v.get("explore").map(ExploreMetrics::from_json),
@@ -553,6 +624,7 @@ impl MetricsSnapshot {
             record_run: combine_opt(self.record_run, other.record_run, RunMetrics::combine),
             solver: combine_opt(self.solver, other.solver, SolverMetrics::combine),
             turbo: combine_opt(self.turbo, other.turbo, TurboMetrics::combine),
+            serve: combine_opt(self.serve, other.serve, ServeMetrics::combine),
             scheduler: combine_opt(self.scheduler, other.scheduler, SchedulerMetrics::combine),
             replay_run: combine_opt(self.replay_run, other.replay_run, RunMetrics::combine),
             explore: combine_opt(self.explore, other.explore, ExploreMetrics::combine),
@@ -577,6 +649,9 @@ impl MetricsSnapshot {
         }
         if other.turbo.is_some() {
             self.turbo = other.turbo;
+        }
+        if other.serve.is_some() {
+            self.serve = other.serve;
         }
         if other.scheduler.is_some() {
             self.scheduler = other.scheduler;

@@ -9,7 +9,7 @@
 use light_obs::json::Value;
 use light_obs::{
     ExploreMetrics, Histogram, MetricsSnapshot, PhaseRecord, RecorderMetrics, RunMetrics,
-    SolverMetrics, TurboMetrics,
+    ServeMetrics, SolverMetrics, TurboMetrics,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -62,6 +62,23 @@ prop_compose! {
 }
 
 prop_compose! {
+    fn arb_serve()(
+        submissions in 0u64..1 << 24,
+        dedup_hits in 0u64..1 << 24,
+        jobs_ok in 0u64..1 << 24,
+        jobs_diverged in 0u64..1 << 16,
+        jobs_failed in 0u64..1 << 16,
+        queue_peak in 0u64..1 << 16,
+        workers in 0u64..256,
+    ) -> ServeMetrics {
+        ServeMetrics {
+            submissions, dedup_hits, jobs_ok, jobs_diverged,
+            jobs_failed, queue_peak, workers,
+        }
+    }
+}
+
+prop_compose! {
     fn arb_run()(
         duration_ns in 0u64..1 << 44,
         threads in 0u64..1 << 10,
@@ -104,6 +121,7 @@ prop_compose! {
         record_run in prop::option::of(arb_run()),
         solver in prop::option::of(arb_solver()),
         turbo in prop::option::of(arb_turbo()),
+        serve in prop::option::of(arb_serve()),
         replay_run in prop::option::of(arb_run()),
         explore in prop::option::of(arb_explore()),
         counters in prop::collection::btree_map("[a-d]{1,3}", 0u64..1 << 40, 0..6),
@@ -116,6 +134,7 @@ prop_compose! {
             record_run,
             solver,
             turbo,
+            serve,
             scheduler: None,
             replay_run,
             explore,

@@ -1,0 +1,366 @@
+//! `light-serve` — the replay-as-a-service daemon and its client.
+//!
+//! ```text
+//! light-serve serve --addr 127.0.0.1:0 --registry runs/
+//! light-serve submit --addr 127.0.0.1:7979 --corpus
+//! light-serve submit --addr ... --program p --source p.lir --rec run.lrec
+//! light-serve query --addr ... --bug NullDeref@12
+//! light-serve status --addr ...
+//! light-serve wait --addr ...
+//! light-serve shutdown --addr ...
+//! ```
+//!
+//! `serve` prints `light-serve listening on <addr>` once bound (port
+//! `0` resolves to the picked port — scripts parse this line), then
+//! runs until a `shutdown` request drains the queue.
+
+use light_core::{write_recording, Light};
+use light_serve::{start, Client, ServerOptions};
+use light_telemetry::{Query, RunKind, RunStatus, REGISTRY_ENV};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: light-serve <command> [options]
+
+commands:
+  serve      run the daemon (until a shutdown request)
+  submit     record and/or send recordings to a daemon
+  query      list matching registry records via the daemon
+  status     print queue/worker/dedup counters
+  wait       block until the daemon's queue is idle
+  shutdown   drain the queue and stop the daemon
+
+serve options:
+  --addr <host:port>   bind address (default 127.0.0.1:0; port 0 picks)
+  --registry <dir>     registry root (default: $LIGHT_REGISTRY)
+  --workers <n>        job workers (default: one per core)
+  --conn-threads <n>   connection handler threads (default 8)
+  --queue <n>          bounded job queue capacity (default 64)
+  --solver-workers <n> turbo solver threads per job (default 1)
+
+submit options:
+  --addr <host:port>   daemon address (required)
+  --corpus             record the bug-suite workloads and submit each
+  --chaos              with --corpus: hunt each bug's faulting recording
+  --repeat <n>         submit the corpus n times (dedup exercise, default 1)
+  --program <name>     with --source/--rec: label for the submission
+  --source <path>      LIR source file of the recording's program
+  --rec <path>         recording file (.lrec) to submit
+
+query options:
+  --addr <host:port>   daemon address (required)
+  --program <name>, --kind <k>, --status <s>, --bug <sig>, --run-id <hex>
+  --json               one JSON object per line instead of a table";
+
+struct Cli {
+    command: String,
+    addr: Option<String>,
+    registry: Option<String>,
+    workers: usize,
+    conn_threads: usize,
+    queue: usize,
+    solver_workers: usize,
+    corpus: bool,
+    chaos: bool,
+    repeat: usize,
+    program: Option<String>,
+    source: Option<String>,
+    rec: Option<String>,
+    kind: Option<RunKind>,
+    status: Option<RunStatus>,
+    bug: Option<String>,
+    run_id: Option<String>,
+    json: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut it = std::env::args().skip(1);
+    let command = match it.next() {
+        Some(c) if c == "--help" || c == "-h" => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Some(c) if !c.starts_with('-') => c,
+        _ => return Err("missing command".into()),
+    };
+    let mut cli = Cli {
+        command,
+        addr: None,
+        registry: None,
+        workers: 0,
+        conn_threads: 8,
+        queue: 64,
+        solver_workers: 1,
+        corpus: false,
+        chaos: false,
+        repeat: 1,
+        program: None,
+        source: None,
+        rec: None,
+        kind: None,
+        status: None,
+        bug: None,
+        run_id: None,
+        json: false,
+    };
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_num = |raw: String, flag: &str| -> Result<usize, String> {
+        raw.parse().map_err(|e| format!("{flag}: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cli.addr = Some(next_val(&mut it, "--addr")?),
+            "--registry" => cli.registry = Some(next_val(&mut it, "--registry")?),
+            "--workers" => cli.workers = parse_num(next_val(&mut it, "--workers")?, "--workers")?,
+            "--conn-threads" => {
+                cli.conn_threads = parse_num(next_val(&mut it, "--conn-threads")?, "--conn-threads")?
+            }
+            "--queue" => cli.queue = parse_num(next_val(&mut it, "--queue")?, "--queue")?,
+            "--solver-workers" => {
+                cli.solver_workers =
+                    parse_num(next_val(&mut it, "--solver-workers")?, "--solver-workers")?
+            }
+            "--corpus" => cli.corpus = true,
+            "--chaos" => cli.chaos = true,
+            "--repeat" => cli.repeat = parse_num(next_val(&mut it, "--repeat")?, "--repeat")?.max(1),
+            "--program" => cli.program = Some(next_val(&mut it, "--program")?),
+            "--source" => cli.source = Some(next_val(&mut it, "--source")?),
+            "--rec" => cli.rec = Some(next_val(&mut it, "--rec")?),
+            "--kind" => {
+                let raw = next_val(&mut it, "--kind")?;
+                cli.kind = Some(RunKind::parse(&raw).ok_or(format!("unknown kind {raw:?}"))?);
+            }
+            "--status" => {
+                let raw = next_val(&mut it, "--status")?;
+                cli.status = Some(RunStatus::parse(&raw).ok_or(format!("unknown status {raw:?}"))?);
+            }
+            "--bug" => cli.bug = Some(next_val(&mut it, "--bug")?),
+            "--run-id" => cli.run_id = Some(next_val(&mut it, "--run-id")?),
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn connect(cli: &Cli) -> Result<Client, String> {
+    let addr = cli.addr.as_deref().ok_or("this command needs --addr")?;
+    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let registry = match &cli.registry {
+        Some(r) => r.clone(),
+        None => match std::env::var(REGISTRY_ENV) {
+            Ok(r) if !r.is_empty() => r,
+            _ => return Err(format!("no registry: pass --registry or set {REGISTRY_ENV}")),
+        },
+    };
+    let handle = start(ServerOptions {
+        addr: cli.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        registry: registry.into(),
+        workers: cli.workers,
+        conn_threads: cli.conn_threads,
+        queue_capacity: cli.queue,
+        solver_workers: cli.solver_workers,
+    })
+    .map_err(|e| format!("start: {e}"))?;
+    println!("light-serve listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+    eprintln!("light-serve: drained and stopped");
+    Ok(())
+}
+
+/// Records each bug-suite workload locally (chaos-hunting the fault
+/// when `--chaos`, otherwise one seeded chaos run) and submits the
+/// recordings. Chaos scheduling is schedule-deterministic per seed, so
+/// concurrent `submit --corpus` processes mostly dedup against each
+/// other (the log's timing-dependent contention counters can make a
+/// few recordings differ by a word). With `--repeat n` the same corpus
+/// is submitted n times in-process — pure dedup after the first pass.
+fn cmd_submit_corpus(cli: &Cli, client: &mut Client) -> Result<(), String> {
+    let mut recorded = Vec::new();
+    for case in light_workloads::bugs() {
+        let program = Arc::new(lir::parse(case.source).map_err(|e| format!("{}: {e}", case.name))?);
+        let light = Light::new(program);
+        let recording = if cli.chaos {
+            match light.find_bug(&case.args, case.search_seeds.clone()) {
+                Some((recording, _)) => recording,
+                None => {
+                    eprintln!(
+                        "light-serve: {}: bug not found in seed range, submitting a clean run",
+                        case.name
+                    );
+                    let (recording, _) = light
+                        .record_chaos(&case.args, 7)
+                        .map_err(|e| format!("{}: {e:?}", case.name))?;
+                    recording
+                }
+            }
+        } else {
+            let (recording, _) = light
+                .record_chaos(&case.args, 7)
+                .map_err(|e| format!("{}: {e:?}", case.name))?;
+            recording
+        };
+        recorded.push((case.name, case.source, write_recording(&recording).to_vec()));
+    }
+    for pass in 0..cli.repeat {
+        for (name, source, bytes) in &recorded {
+            let reply = client
+                .submit(name, source, bytes)
+                .map_err(|e| format!("submit {name}: {e}"))?;
+            println!(
+                "light-serve: pass {} {} -> {} {}",
+                pass + 1,
+                name,
+                &reply.blob_hash[..12],
+                if reply.dedup {
+                    "dedup".to_string()
+                } else {
+                    format!("job {}", reply.job_id.unwrap_or(0))
+                },
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_submit(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    if cli.corpus {
+        return cmd_submit_corpus(cli, &mut client);
+    }
+    let program = cli.program.clone().ok_or("submit needs --corpus or --program")?;
+    let source_path = cli.source.as_deref().ok_or("submit needs --source")?;
+    let rec_path = cli.rec.as_deref().ok_or("submit needs --rec")?;
+    let source = std::fs::read_to_string(source_path)
+        .map_err(|e| format!("cannot read {source_path}: {e}"))?;
+    let recording =
+        std::fs::read(rec_path).map_err(|e| format!("cannot read {rec_path}: {e}"))?;
+    let reply = client
+        .submit(&program, &source, &recording)
+        .map_err(|e| format!("submit: {e}"))?;
+    println!(
+        "light-serve: {} -> {} {}",
+        program,
+        reply.blob_hash,
+        if reply.dedup {
+            "dedup".to_string()
+        } else {
+            format!("job {}", reply.job_id.unwrap_or(0))
+        },
+    );
+    Ok(())
+}
+
+fn cmd_query(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let query = Query {
+        program: cli.program.clone(),
+        kind: cli.kind,
+        status: cli.status,
+        bug_signature: cli.bug.clone(),
+        run_id: cli.run_id.clone(),
+        since_ms: None,
+        until_ms: None,
+    };
+    let (records, skipped) = client.query(&query).map_err(|e| format!("query: {e}"))?;
+    if skipped > 0 {
+        eprintln!("light-serve: warning: server skipped {skipped} torn or foreign index lines");
+    }
+    if cli.json {
+        for r in &records {
+            println!("{}", r.to_json().to_json());
+        }
+        return Ok(());
+    }
+    for r in &records {
+        println!(
+            "{:<8}  {:<8}  {:<20}  {:<24}  {}",
+            r.kind.as_str(),
+            r.status.as_str(),
+            r.program,
+            r.bug_signature.as_deref().unwrap_or("-"),
+            r.blob_hash.as_deref().map(|h| &h[..12]).unwrap_or("-"),
+        );
+    }
+    println!("{} runs", records.len());
+    Ok(())
+}
+
+fn cmd_status(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let s = client.status().map_err(|e| format!("status: {e}"))?;
+    println!(
+        "queue {} (+{} in flight), {}/{} workers busy{}, uptime {}ms",
+        s.queue_depth,
+        s.in_flight,
+        s.busy_workers,
+        s.metrics.workers,
+        if s.draining { ", draining" } else { "" },
+        s.uptime_ms,
+    );
+    println!(
+        "submissions {} (dedup {}), jobs ok {} / diverged {} / failed {}, queue peak {}",
+        s.metrics.submissions,
+        s.metrics.dedup_hits,
+        s.metrics.jobs_ok,
+        s.metrics.jobs_diverged,
+        s.metrics.jobs_failed,
+        s.metrics.queue_peak,
+    );
+    Ok(())
+}
+
+fn cmd_wait(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let done = client.wait_idle().map_err(|e| format!("wait: {e}"))?;
+    println!("light-serve: idle, {done} jobs completed");
+    Ok(())
+}
+
+fn cmd_shutdown(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let done = client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("light-serve: drained, {done} jobs completed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("light-serve: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cli.command.as_str() {
+        "serve" => cmd_serve(&cli),
+        "submit" => cmd_submit(&cli),
+        "query" => cmd_query(&cli),
+        "status" => cmd_status(&cli),
+        "wait" => cmd_wait(&cli),
+        "shutdown" => cmd_shutdown(&cli),
+        other => {
+            eprintln!("light-serve: unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("light-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

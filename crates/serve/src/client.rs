@@ -1,0 +1,165 @@
+//! Blocking client for the `light-serve` protocol: one TCP connection,
+//! reused across requests (the server holds connections open).
+
+use crate::proto::{read_reply, Request};
+use light_obs::json::Value;
+use light_obs::ServeMetrics;
+use light_telemetry::{Query, RunRecord};
+use std::io;
+use std::net::TcpStream;
+
+/// The server's answer to one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReply {
+    /// Content hash of the stored recording.
+    pub blob_hash: String,
+    /// Whether this exact recording was already known (stored and
+    /// jobbed); a duplicate costs storage of nothing and runs no job.
+    pub dedup: bool,
+    /// Job id for fresh submissions, `None` on dedup.
+    pub job_id: Option<u64>,
+}
+
+/// The server's status snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusReply {
+    pub queue_depth: u64,
+    pub in_flight: u64,
+    pub busy_workers: u64,
+    pub draining: bool,
+    pub jobs_done: u64,
+    pub uptime_ms: u64,
+    pub metrics: ServeMetrics,
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Small request/reply frames; Nagle + delayed ACK would add a
+        // ~40ms floor to every round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Submits one recording for storage and a pipeline job. Blocks
+    /// while the server's job queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or the server's error reply (e.g. draining).
+    pub fn submit(&mut self, program: &str, source: &str, recording: &[u8]) -> io::Result<SubmitReply> {
+        Request::Submit {
+            program: program.into(),
+            source: source.into(),
+            recording: recording.to_vec(),
+        }
+        .write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        let h = &reply.header;
+        Ok(SubmitReply {
+            blob_hash: h
+                .get("blob_hash")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("submit reply without blob_hash"))?
+                .to_string(),
+            dedup: h
+                .get("dedup")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("submit reply without dedup"))?,
+            job_id: h.get("job_id").and_then(Value::as_u64),
+        })
+    }
+
+    /// Runs a registry query server-side; returns the matching records
+    /// and the server's count of skipped (torn or foreign) index lines.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed reply.
+    pub fn query(&mut self, query: &Query) -> io::Result<(Vec<RunRecord>, u64)> {
+        Request::Query(query.clone()).write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        let skipped = reply
+            .header
+            .get("skipped")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let text = std::str::from_utf8(&reply.blob)
+            .map_err(|_| bad("query reply blob is not UTF-8"))?;
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let v = Value::parse(line).map_err(|_| bad("query reply line is not JSON"))?;
+            records.push(RunRecord::from_json(&v).ok_or_else(|| bad("query reply line is not a run record"))?);
+        }
+        Ok((records, skipped))
+    }
+
+    /// Fetches queue/worker/dedup counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed reply.
+    pub fn status(&mut self) -> io::Result<StatusReply> {
+        Request::Status.write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        let h = &reply.header;
+        let num = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+        Ok(StatusReply {
+            queue_depth: num("queue_depth"),
+            in_flight: num("in_flight"),
+            busy_workers: num("busy_workers"),
+            draining: h.get("draining").and_then(Value::as_bool).unwrap_or(false),
+            jobs_done: num("jobs_done"),
+            uptime_ms: num("uptime_ms"),
+            metrics: h
+                .get("metrics")
+                .map(ServeMetrics::from_json)
+                .ok_or_else(|| bad("status reply without metrics"))?,
+        })
+    }
+
+    /// Blocks until the server's queue is empty and all workers are
+    /// idle; returns the jobs completed so far.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn wait_idle(&mut self) -> io::Result<u64> {
+        Request::Wait.write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        Ok(reply
+            .header
+            .get("jobs_done")
+            .and_then(Value::as_u64)
+            .unwrap_or(0))
+    }
+
+    /// Asks the daemon to drain and exit; returns total jobs completed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn shutdown(&mut self) -> io::Result<u64> {
+        Request::Shutdown.write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        Ok(reply
+            .header
+            .get("jobs_done")
+            .and_then(Value::as_u64)
+            .unwrap_or(0))
+    }
+}

@@ -1,0 +1,186 @@
+//! One server-side job: solve → replay → doctor for a submitted
+//! recording, producing the registry record the server ingests.
+
+use light_core::{read_recording, ComponentCache, Light};
+use light_doctor::{doctor_replay, DoctorOptions};
+use light_obs::RunId;
+use light_telemetry::{RunKind, RunRecord, RunStatus};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A unit of work on the server's job queue: one accepted submission,
+/// already stored content-addressed, waiting for its pipeline pass.
+#[derive(Debug)]
+pub struct Job {
+    /// Monotonic id assigned at acceptance, returned to the submitter.
+    pub id: u64,
+    /// Program name the submitter labelled the recording with.
+    pub program: String,
+    /// LIR source text the recording was captured from.
+    pub source: String,
+    /// Content hash of the stored recording blob.
+    pub blob_hash: String,
+    /// The recording bytes (same content the blob stores).
+    pub recording: Vec<u8>,
+    /// Causal trace id minted at acceptance; threads through the replay
+    /// pipeline and into the registry record.
+    pub run_id: RunId,
+}
+
+/// Runs the full pipeline for one job and renders the outcome as a
+/// registry record. Never panics outward: parse failures, corrupt
+/// recordings, and replay errors all become `RunStatus::Failed`
+/// records with the error in `provenance`.
+///
+/// The shared [`ComponentCache`] is the cross-job solver state: two
+/// recordings with identical location groups (dedup near-misses, the
+/// same workload at different seeds) solve their common components
+/// once.
+pub fn run_job(job: &Job, cache: &ComponentCache, solver_workers: usize) -> RunRecord {
+    let started = Instant::now();
+    let mut rec = RunRecord::new(job.program.clone(), RunKind::Serve, RunStatus::Failed);
+    rec.run_id = Some(job.run_id.to_string());
+    rec.blob_hash = Some(job.blob_hash.clone());
+    rec.blob_bytes = Some(job.recording.len() as u64);
+    rec.provenance = Some(format!("light-serve job {}", job.id));
+
+    let fail = |mut rec: RunRecord, started: Instant, why: String| {
+        rec.provenance = Some(format!("light-serve job {}: {why}", job.id));
+        rec.wall_ms = Some(started.elapsed().as_millis() as u64);
+        rec
+    };
+
+    let program = match lir::parse(&job.source) {
+        Ok(p) => Arc::new(p),
+        Err(e) => return fail(rec, started, format!("parse error: {e}")),
+    };
+    let recording = match read_recording(&job.recording) {
+        Ok(r) => r,
+        Err(e) => return fail(rec, started, format!("corrupt recording: {e}")),
+    };
+
+    let mut light = Light::new(program);
+    light.set_run_id(job.run_id);
+    let options = DoctorOptions::default()
+        .with_solver_cache(cache.clone())
+        .with_solver_workers(solver_workers);
+    let report = match doctor_replay(&light, &recording, &recording, &options) {
+        Ok(report) => report,
+        Err(e) => return fail(rec, started, format!("replay error: {e}")),
+    };
+
+    rec.status = if report.divergence.is_some() {
+        RunStatus::Diverged
+    } else if report.replay.is_some() {
+        RunStatus::Ok
+    } else {
+        RunStatus::Failed
+    };
+    // Signature priority: a divergence is the news (doctor convention
+    // `variable@loc`); otherwise the recorded program bug keys the entry
+    // (explore convention `Kind@line`), so "which runs hit this bug"
+    // queries span record-time and serve-time entries.
+    rec.bug_signature = report
+        .divergence
+        .as_ref()
+        .map(|d| format!("{}@{}", d.variable, d.loc))
+        .or_else(|| {
+            recording
+                .fault
+                .as_ref()
+                .filter(|f| f.kind.is_program_bug())
+                .map(|f| format!("{:?}@{}", f.kind, f.line))
+        });
+    rec.metrics = report.replay.as_ref().map(|r| r.metrics.clone());
+    rec.headline
+        .insert("checked_reads".into(), report.stats.checked_reads as f64);
+    rec.headline
+        .insert("uncovered_reads".into(), report.stats.uncovered_reads as f64);
+    rec.headline
+        .insert("mismatches".into(), report.stats.mismatches as f64);
+    rec.wall_ms = Some(started.elapsed().as_millis() as u64);
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::write_recording;
+
+    const RACE: &str = "global total;
+         fn worker(n) {
+             let i = 0;
+             while (i < n) { total = total + 1; i = i + 1; }
+         }
+         fn main(n) {
+             let t1 = spawn worker(n);
+             let t2 = spawn worker(n);
+             join t1; join t2;
+             print(total);
+         }";
+
+    fn job_for(source: &str, bytes: Vec<u8>) -> Job {
+        Job {
+            id: 1,
+            program: "race".into(),
+            source: source.into(),
+            blob_hash: "deadbeef".into(),
+            recording: bytes,
+            run_id: RunId::fresh(),
+        }
+    }
+
+    #[test]
+    fn healthy_recording_yields_ok_record_with_metrics() {
+        let program = Arc::new(lir::parse(RACE).unwrap());
+        let light = Light::new(program);
+        let (recording, _) = light.record(&[20], 7).unwrap();
+        let job = job_for(RACE, write_recording(&recording).to_vec());
+        let rec = run_job(&job, &ComponentCache::new(), 1);
+        assert_eq!(rec.status, RunStatus::Ok);
+        assert_eq!(rec.kind, RunKind::Serve);
+        assert_eq!(rec.run_id, Some(job.run_id.to_string()));
+        assert!(rec.metrics.is_some());
+        assert!(rec.headline["checked_reads"] >= 0.0);
+        assert!(rec.wall_ms.is_some());
+    }
+
+    #[test]
+    fn garbage_inputs_yield_failed_records_not_panics() {
+        let bad_source = run_job(
+            &job_for("fn main( {", vec![1, 2, 3]),
+            &ComponentCache::new(),
+            1,
+        );
+        assert_eq!(bad_source.status, RunStatus::Failed);
+        assert!(bad_source.provenance.unwrap().contains("parse error"));
+        let bad_recording = job_for(RACE, vec![0xde, 0xad, 0xbe, 0xef]);
+        let rec = run_job(&bad_recording, &ComponentCache::new(), 1);
+        assert_eq!(rec.status, RunStatus::Failed);
+        assert!(rec.provenance.unwrap().contains("corrupt recording"));
+    }
+
+    #[test]
+    fn faulting_recording_carries_the_bug_signature() {
+        let source = "global x;
+             fn t() { x = 0; }
+             fn main() {
+                 x = 1;
+                 let h = spawn t();
+                 let v = 10 / x;
+                 join h;
+                 print(v);
+             }";
+        let program = Arc::new(lir::parse(source).unwrap());
+        let light = Light::new(program);
+        let Some((recording, _)) = light.find_bug(&[], 0..400) else {
+            // The schedule search is seed-dependent; absence of the bug
+            // here is a workload property, not a serve defect.
+            return;
+        };
+        let job = job_for(source, write_recording(&recording).to_vec());
+        let rec = run_job(&job, &ComponentCache::new(), 1);
+        let sig = rec.bug_signature.expect("fault should carry a signature");
+        assert!(sig.starts_with("DivByZero@"), "got {sig}");
+    }
+}

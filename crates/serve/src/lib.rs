@@ -1,0 +1,45 @@
+//! # light-serve — replay-as-a-service for the Light pipeline
+//!
+//! A long-running daemon that turns the one-shot
+//! record → solve → replay → doctor pipeline into a service: many
+//! clients submit recordings concurrently over a small framed TCP
+//! protocol ([`proto`]); the server stores each recording
+//! content-addressed in a sharded `light-watch` registry (deduplicating
+//! identical submissions by hash), runs a bounded-queue worker pool
+//! that solves, replays, and doctor-checks every accepted recording,
+//! and answers queries over the accumulated registry — by program, by
+//! divergence status, by bug signature — plus a status endpoint with
+//! queue depth, worker utilization, and dedup-hit counters.
+//!
+//! Design constraints inherited from the workspace: no async runtime
+//! (std `TcpListener` + thread pools + `Mutex`/`Condvar`), no wire
+//! dependency (hand-rolled length-prefixed frames with JSON headers),
+//! and storage layered on the existing [`light_telemetry::Registry`]
+//! so `light-watch` tooling reads what the server writes.
+//!
+//! ```no_run
+//! use light_serve::{start, Client, ServerOptions};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handle = start(ServerOptions {
+//!     registry: "runs".into(),
+//!     ..ServerOptions::default()
+//! })?;
+//! let mut client = Client::connect(&handle.addr().to_string())?;
+//! let reply = client.submit("demo", "fn main() { print(1); }", b"...recording bytes...")?;
+//! assert!(!reply.blob_hash.is_empty());
+//! client.wait_idle()?;
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+mod client;
+pub mod job;
+pub mod proto;
+mod server;
+
+pub use client::{Client, StatusReply, SubmitReply};
+pub use job::{run_job, Job};
+pub use server::{start, ServerHandle, ServerOptions};

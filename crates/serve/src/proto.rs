@@ -1,0 +1,304 @@
+//! The `light-serve` wire protocol: length-prefixed frames over TCP.
+//!
+//! The workspace deliberately has no async runtime, so the protocol is
+//! built for blocking sockets and a thread pool: every message is one
+//! self-delimiting *frame* that can be read with two fixed-size length
+//! prefixes and two exact reads.
+//!
+//! ```text
+//! +----------------+-------------------+----------------+-----------+
+//! | header_len u32 | header JSON bytes | blob_len u32   | blob ...  |
+//! |  little-endian |  (UTF-8 object)   |  little-endian | (opaque)  |
+//! +----------------+-------------------+----------------+-----------+
+//! ```
+//!
+//! The JSON header carries the operation and its small fields; the blob
+//! carries bulk payloads (recording bytes on submit, JSONL result sets
+//! on query) without base64 inflation. Both directions use the same
+//! frame shape. A peer that closes the connection between frames ends
+//! the session cleanly ([`read_frame`] returns `None`).
+//!
+//! Requests carry `{"v": 1, "op": "..."}`; replies carry `{"ok": true,
+//! ...}` or `{"ok": false, "error": "..."}`. Unknown versions and
+//! oversized frames are rejected before any allocation of the stated
+//! size.
+
+use light_obs::json::Value;
+use light_telemetry::{Query, RunKind, RunStatus};
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. Bump only for breaking frame
+/// or header layout changes; additive header keys ride along.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Cap on the JSON header of one frame (1 MiB).
+pub const MAX_HEADER: u32 = 1 << 20;
+/// Cap on the binary blob of one frame (256 MiB).
+pub const MAX_BLOB: u32 = 256 << 20;
+
+/// One decoded frame: the parsed JSON header plus the opaque blob
+/// (empty when the message carries none).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub header: Value,
+    pub blob: Vec<u8>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame. The header is rendered compactly; the blob rides
+/// verbatim.
+pub fn write_frame(w: &mut impl Write, header: &Value, blob: &[u8]) -> io::Result<()> {
+    let header = header.to_json();
+    let header = header.as_bytes();
+    if header.len() as u64 > u64::from(MAX_HEADER) {
+        return Err(bad("header exceeds MAX_HEADER"));
+    }
+    if blob.len() as u64 > u64::from(MAX_BLOB) {
+        return Err(bad("blob exceeds MAX_BLOB"));
+    }
+    // Coalesce the two length prefixes and the header into one write:
+    // frames are usually written straight to a TCP socket, and three
+    // tiny writes before the blob would interact badly with Nagle +
+    // delayed ACK (40ms stalls per round trip).
+    let mut prefix = Vec::with_capacity(8 + header.len());
+    prefix.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    prefix.extend_from_slice(header);
+    prefix.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    w.write_all(&prefix)?;
+    w.write_all(blob)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream at a
+/// frame boundary (the peer hung up between messages); propagates an
+/// error for a stream torn mid-frame or a malformed/oversized frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let header_len = u32::from_le_bytes(len);
+    if header_len > MAX_HEADER {
+        return Err(bad(format!("header length {header_len} exceeds cap")));
+    }
+    let mut header = vec![0u8; header_len as usize];
+    r.read_exact(&mut header)?;
+    let header = std::str::from_utf8(&header).map_err(|e| bad(format!("header utf-8: {e}")))?;
+    let header = Value::parse(header).map_err(|e| bad(format!("header json: {e}")))?;
+    r.read_exact(&mut len)?;
+    let blob_len = u32::from_le_bytes(len);
+    if blob_len > MAX_BLOB {
+        return Err(bad(format!("blob length {blob_len} exceeds cap")));
+    }
+    let mut blob = vec![0u8; blob_len as usize];
+    r.read_exact(&mut blob)?;
+    Ok(Some(Frame { header, blob }))
+}
+
+/// A client request, decoded from one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one recording for storage + a solve → replay → doctor job.
+    /// `source` is the LIR program text the recording was captured from.
+    Submit {
+        program: String,
+        source: String,
+        recording: Vec<u8>,
+    },
+    /// List registry records matching the filter.
+    Query(Query),
+    /// Queue/worker/dedup counters.
+    Status,
+    /// Block until the job queue is empty and every worker is idle.
+    Wait,
+    /// Stop accepting work, drain the queue, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a frame onto `w`.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut pairs: Vec<(String, Value)> = vec![("v".into(), Value::from(PROTO_VERSION))];
+        let blob: &[u8] = match self {
+            Request::Submit {
+                program,
+                source,
+                recording,
+            } => {
+                pairs.push(("op".into(), Value::from("submit")));
+                pairs.push(("program".into(), Value::from(program.as_str())));
+                pairs.push(("source".into(), Value::from(source.as_str())));
+                recording
+            }
+            Request::Query(q) => {
+                pairs.push(("op".into(), Value::from("query")));
+                let mut opt = |key: &str, v: Option<Value>| {
+                    if let Some(v) = v {
+                        pairs.push((key.into(), v));
+                    }
+                };
+                opt("program", q.program.as_deref().map(Value::from));
+                opt("kind", q.kind.map(|k| Value::from(k.as_str())));
+                opt("status", q.status.map(|s| Value::from(s.as_str())));
+                opt("bug", q.bug_signature.as_deref().map(Value::from));
+                opt("run_id", q.run_id.as_deref().map(Value::from));
+                opt("since_ms", q.since_ms.map(Value::from));
+                opt("until_ms", q.until_ms.map(Value::from));
+                &[]
+            }
+            Request::Status => {
+                pairs.push(("op".into(), Value::from("status")));
+                &[]
+            }
+            Request::Wait => {
+                pairs.push(("op".into(), Value::from("wait")));
+                &[]
+            }
+            Request::Shutdown => {
+                pairs.push(("op".into(), Value::from("shutdown")));
+                &[]
+            }
+        };
+        write_frame(w, &Value::Obj(pairs), blob)
+    }
+
+    /// Decodes a request frame.
+    pub fn parse(frame: Frame) -> io::Result<Request> {
+        let h = &frame.header;
+        match h.get("v").and_then(Value::as_u64) {
+            Some(PROTO_VERSION) => {}
+            v => return Err(bad(format!("unsupported protocol version {v:?}"))),
+        }
+        let op = h.get("op").and_then(Value::as_str).unwrap_or("");
+        let str_field = |key: &str| h.get(key).and_then(Value::as_str).map(String::from);
+        Ok(match op {
+            "submit" => Request::Submit {
+                program: str_field("program").ok_or_else(|| bad("submit without program"))?,
+                source: str_field("source").ok_or_else(|| bad("submit without source"))?,
+                recording: frame.blob,
+            },
+            "query" => Request::Query(Query {
+                program: str_field("program"),
+                kind: match str_field("kind") {
+                    Some(raw) => {
+                        Some(RunKind::parse(&raw).ok_or_else(|| bad("unknown kind filter"))?)
+                    }
+                    None => None,
+                },
+                status: match str_field("status") {
+                    Some(raw) => {
+                        Some(RunStatus::parse(&raw).ok_or_else(|| bad("unknown status filter"))?)
+                    }
+                    None => None,
+                },
+                bug_signature: str_field("bug"),
+                run_id: str_field("run_id"),
+                since_ms: h.get("since_ms").and_then(Value::as_u64),
+                until_ms: h.get("until_ms").and_then(Value::as_u64),
+            }),
+            "status" => Request::Status,
+            "wait" => Request::Wait,
+            "shutdown" => Request::Shutdown,
+            other => return Err(bad(format!("unknown op {other:?}"))),
+        })
+    }
+}
+
+/// Writes an `{"ok": false}` error reply.
+pub fn write_error(w: &mut impl Write, error: &str) -> io::Result<()> {
+    let header = Value::obj([("ok", Value::Bool(false)), ("error", Value::from(error))]);
+    write_frame(w, &header, &[])
+}
+
+/// Reads a reply frame, mapping `{"ok": false}` to an error carrying
+/// the server's message.
+pub fn read_reply(r: &mut impl Read) -> io::Result<Frame> {
+    let frame = read_frame(r)?.ok_or_else(|| bad("connection closed before reply"))?;
+    match frame.header.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(frame),
+        Some(false) => Err(io::Error::other(format!(
+            "server error: {}",
+            frame
+                .header
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown"),
+        ))),
+        None => Err(bad("reply without ok field")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: Request) -> Request {
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        Request::parse(frame).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let submit = Request::Submit {
+            program: "cache4j".into(),
+            source: "fn main() {}".into(),
+            recording: vec![1, 2, 3, 255],
+        };
+        assert_eq!(round_trip(submit.clone()), submit);
+        let query = Request::Query(Query {
+            program: Some("p".into()),
+            kind: Some(RunKind::Serve),
+            status: Some(RunStatus::Diverged),
+            bug_signature: Some("assert@12".into()),
+            run_id: None,
+            since_ms: Some(5),
+            until_ms: None,
+        });
+        assert_eq!(round_trip(query.clone()), query);
+        assert_eq!(round_trip(Request::Status), Request::Status);
+        assert_eq!(round_trip(Request::Wait), Request::Wait);
+        assert_eq!(round_trip(Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_torn_frame_is_an_error() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        let mut wire = Vec::new();
+        Request::Status.write(&mut wire).unwrap();
+        let torn = &wire[..wire.len() - 2];
+        assert!(read_frame(&mut &torn[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let header = Value::obj([("v", Value::from(99u64)), ("op", Value::from("status"))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &header, &[]).unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert!(Request::parse(frame).is_err());
+    }
+
+    #[test]
+    fn error_replies_surface_the_server_message() {
+        let mut wire = Vec::new();
+        write_error(&mut wire, "queue is draining").unwrap();
+        let err = read_reply(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("queue is draining"));
+    }
+}

@@ -1,0 +1,627 @@
+//! The `light-serve` daemon: a thread-pool TCP server feeding a bounded
+//! job queue.
+//!
+//! Three thread groups share one [`Shared`] state:
+//!
+//! - the **acceptor** owns the listener and hands sockets to
+//! - **connection handlers**, a fixed pool that speaks the framed
+//!   protocol (one request/reply exchange at a time per connection,
+//!   connections held open across requests), and
+//! - **job workers**, which drain the bounded queue running
+//!   solve → replay → doctor per accepted recording.
+//!
+//! Submissions are stored content-addressed *before* queueing, so a
+//! duplicate is detected by hash and answered immediately without a
+//! second job — the dedup counters the status endpoint reports. The
+//! queue is bounded: when `queue_capacity` jobs are waiting, submitters
+//! block inside their connection until a worker frees a slot
+//! (backpressure by not replying, no new protocol state needed).
+//!
+//! Shutdown is drain-then-stop: the queue closes (new submissions get
+//! an error reply), workers finish what is queued, a summary record
+//! with the server's [`ServeMetrics`] is ingested, and only then do the
+//! acceptor and handlers wind down.
+
+use crate::job::{run_job, Job};
+use crate::proto::{read_frame, write_error, write_frame, Request};
+use light_core::ComponentCache;
+use light_obs::json::Value;
+use light_obs::{MetricsSnapshot, RunId, ServeMetrics};
+use light_telemetry::{Registry, RunKind, RunRecord, RunStatus};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; port `0` picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Registry root. Opened (or converted on creation) with the
+    /// sharded blob layout.
+    pub registry: PathBuf,
+    /// Job worker threads. `0` means one per available core.
+    pub workers: usize,
+    /// Connection handler threads.
+    pub conn_threads: usize,
+    /// Bounded job queue capacity; submitters block when it is full.
+    pub queue_capacity: usize,
+    /// Turbo solver workers *per job* (`0` = one per core). Kept at 1
+    /// by default: parallelism comes from running many jobs, not from
+    /// sharding one job's solve across the pool's cores.
+    pub solver_workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            registry: PathBuf::from("light-registry"),
+            workers: 0,
+            conn_threads: 8,
+            queue_capacity: 64,
+            solver_workers: 1,
+        }
+    }
+}
+
+/// Monotonic counters behind the status endpoint; snapshotted into
+/// [`ServeMetrics`] for the shutdown summary record.
+#[derive(Default)]
+struct Stats {
+    submissions: AtomicU64,
+    dedup_hits: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_diverged: AtomicU64,
+    jobs_failed: AtomicU64,
+    queue_peak: AtomicU64,
+    busy_workers: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self, workers: u64) -> ServeMetrics {
+        ServeMetrics {
+            submissions: self.submissions.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
+            jobs_diverged: self.jobs_diverged.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            workers,
+        }
+    }
+
+    fn raise_peak(&self, depth: u64) {
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+    closed: bool,
+    jobs_done: u64,
+}
+
+/// A bounded MPMC job queue on `Mutex` + `Condvar` — the workspace has
+/// no channel crate and needs none: three wait conditions (space,
+/// work, idle) map to three condvars.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    space: Condvar,
+    work: Condvar,
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+                jobs_done: 0,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks while full; returns the depth after pushing, or `Err` once
+    /// the queue is draining.
+    fn push(&self, job: Job) -> Result<u64, ()> {
+        let mut state = self.state.lock().unwrap();
+        while state.jobs.len() >= self.capacity && !state.closed {
+            state = self.space.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(());
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len() as u64;
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available; `None` once draining completes.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                state.in_flight += 1;
+                self.space.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.work.wait(state).unwrap();
+        }
+    }
+
+    /// Marks one popped job finished.
+    fn done(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.in_flight -= 1;
+        state.jobs_done += 1;
+        if state.jobs.is_empty() && state.in_flight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until the queue is empty and no job is mid-run; returns
+    /// the total completed so far.
+    fn wait_idle(&self) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        while !state.jobs.is_empty() || state.in_flight > 0 {
+            state = self.idle.wait(state).unwrap();
+        }
+        state.jobs_done
+    }
+
+    /// Rejects future pushes and wakes every waiter. Queued jobs still
+    /// run to completion.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.space.notify_all();
+        self.work.notify_all();
+        // Already idle: wake drain waiters that would otherwise sleep
+        // until a job that will never come finishes.
+        if state.jobs.is_empty() && state.in_flight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn depth(&self) -> (u64, u64, bool) {
+        let state = self.state.lock().unwrap();
+        (
+            state.jobs.len() as u64,
+            state.in_flight as u64,
+            state.closed,
+        )
+    }
+
+    fn jobs_done(&self) -> u64 {
+        self.state.lock().unwrap().jobs_done
+    }
+}
+
+/// An unbounded hand-off queue from the acceptor to the handler pool.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut state = self.state.lock().unwrap();
+        if state.1 {
+            return; // stopping: drop the socket, the peer sees EOF
+        }
+        state.0.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 = true;
+        state.0.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// Duplicated handles of every connection a handler is serving, so a
+/// drain can unblock handlers parked in `read_frame` on an idle
+/// connection: `TcpStream::shutdown` on the duplicate tears down the
+/// shared socket and the blocked read returns EOF.
+struct ActiveConns {
+    state: Mutex<(HashMap<u64, TcpStream>, bool)>,
+    next: AtomicU64,
+}
+
+impl ActiveConns {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((HashMap::new(), false)),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let mut state = self.state.lock().unwrap();
+        if state.1 {
+            // Already draining: kill the socket now so the handler's
+            // first read sees EOF instead of blocking past the drain.
+            let _ = clone.shutdown(Shutdown::Both);
+            return None;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        state.0.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.state.lock().unwrap().0.remove(&id);
+    }
+
+    fn close_all(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 = true;
+        for (_, stream) in state.0.drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    cache: ComponentCache,
+    queue: JobQueue,
+    conns: ConnQueue,
+    active: ActiveConns,
+    stats: Stats,
+    /// Blob hashes that already have a job (queued, running, or done)
+    /// this server lifetime — the job-level dedup filter on top of the
+    /// registry's storage-level dedup.
+    seen: Mutex<HashSet<String>>,
+    next_job: AtomicU64,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+    workers: u64,
+    solver_workers: usize,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle does not stop the daemon; send
+/// a `Shutdown` request (e.g. [`crate::Client::shutdown`]) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Waits for the daemon to finish (i.e. for a `Shutdown` request to
+    /// drain the queue and stop the thread groups).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the thread groups, and returns immediately.
+///
+/// # Errors
+///
+/// Propagates bind failures and registry-open failures as `io::Error`.
+pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
+    let registry = Registry::open_sharded(&options.registry)
+        .map_err(|e| io::Error::other(format!("registry: {e}")))?;
+    let listener = TcpListener::bind(&options.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if options.workers == 0 {
+        thread::available_parallelism().map_or(4, usize::from)
+    } else {
+        options.workers
+    };
+    let shared = Arc::new(Shared {
+        registry,
+        cache: ComponentCache::new(),
+        queue: JobQueue::new(options.queue_capacity),
+        conns: ConnQueue::new(),
+        active: ActiveConns::new(),
+        stats: Stats::default(),
+        seen: Mutex::new(HashSet::new()),
+        next_job: AtomicU64::new(1),
+        stopping: AtomicBool::new(false),
+        addr,
+        workers: workers as u64,
+        solver_workers: options.solver_workers,
+        started: Instant::now(),
+    });
+
+    let mut threads = Vec::new();
+    for i in 0..workers {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    for i in 0..options.conn_threads.max(1) {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("serve-conn-{i}"))
+                .spawn(move || handler_loop(&shared))?,
+        );
+    }
+    {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Request/reply round trips on small frames: Nagle
+                // would serialize them against delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                shared.conns.push(stream);
+            }
+            Err(_) if shared.stopping.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.stats.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let record = run_job(&job, &shared.cache, shared.solver_workers);
+        match record.status {
+            RunStatus::Ok => shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed),
+            RunStatus::Diverged => shared.stats.jobs_diverged.fetch_add(1, Ordering::Relaxed),
+            _ => shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // The blob was stored at submit time; the record references it
+        // by hash, so no bytes are re-written here.
+        let _ = shared.registry.ingest(record, None);
+        shared.stats.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        shared.queue.done();
+    }
+}
+
+fn handler_loop(shared: &Shared) {
+    while let Some(stream) = shared.conns.pop() {
+        let id = shared.active.register(&stream);
+        let _ = handle_connection(stream, shared);
+        if let Some(id) = id {
+            shared.active.deregister(id);
+        }
+    }
+}
+
+/// Serves one connection until EOF, a frame error, or server stop.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    loop {
+        let Some(frame) = read_frame(&mut stream)? else {
+            return Ok(());
+        };
+        let request = match Request::parse(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                write_error(&mut stream, &e.to_string())?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit {
+                program,
+                source,
+                recording,
+            } => handle_submit(&mut stream, shared, program, source, recording)?,
+            Request::Query(query) => handle_query(&mut stream, shared, &query)?,
+            Request::Status => handle_status(&mut stream, shared)?,
+            Request::Wait => {
+                let jobs_done = shared.queue.wait_idle();
+                let header = Value::obj([
+                    ("ok", Value::Bool(true)),
+                    ("jobs_done", Value::from(jobs_done)),
+                ]);
+                write_frame(&mut stream, &header, &[])?;
+            }
+            Request::Shutdown => {
+                handle_shutdown(&mut stream, shared)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    program: String,
+    source: String,
+    recording: Vec<u8>,
+) -> io::Result<()> {
+    shared.stats.submissions.fetch_add(1, Ordering::Relaxed);
+    if recording.is_empty() {
+        return write_error(stream, "empty recording");
+    }
+    let (hash, on_disk) = match shared.registry.store_blob(&recording) {
+        Ok(stored) => stored,
+        Err(e) => return write_error(stream, &format!("store: {e}")),
+    };
+    let fresh = shared.seen.lock().unwrap().insert(hash.clone()) && !on_disk;
+    if !fresh {
+        shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        let header = Value::obj([
+            ("ok", Value::Bool(true)),
+            ("blob_hash", Value::from(hash.as_str())),
+            ("dedup", Value::Bool(true)),
+        ]);
+        return write_frame(stream, &header, &[]);
+    }
+    let job = Job {
+        id: shared.next_job.fetch_add(1, Ordering::Relaxed),
+        program,
+        source,
+        blob_hash: hash.clone(),
+        recording,
+        run_id: RunId::fresh(),
+    };
+    let job_id = job.id;
+    match shared.queue.push(job) {
+        Ok(depth) => {
+            shared.stats.raise_peak(depth);
+            let header = Value::obj([
+                ("ok", Value::Bool(true)),
+                ("blob_hash", Value::from(hash.as_str())),
+                ("dedup", Value::Bool(false)),
+                ("job_id", Value::from(job_id)),
+            ]);
+            write_frame(stream, &header, &[])
+        }
+        Err(()) => {
+            // Draining: the blob is stored but no job will run it this
+            // lifetime; forget it so a restarted server picks it up.
+            shared.seen.lock().unwrap().remove(&hash);
+            write_error(stream, "server is draining, submission rejected")
+        }
+    }
+}
+
+fn handle_query(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    query: &light_telemetry::Query,
+) -> io::Result<()> {
+    let (mut records, stats) = match shared.registry.load_with_stats() {
+        Ok(loaded) => loaded,
+        Err(e) => return write_error(stream, &format!("load: {e}")),
+    };
+    records.retain(|r| query.matches(r));
+    let mut blob = String::new();
+    for rec in &records {
+        blob.push_str(&rec.to_json().to_json());
+        blob.push('\n');
+    }
+    let header = Value::obj([
+        ("ok", Value::Bool(true)),
+        ("count", Value::from(records.len())),
+        ("skipped", Value::from(stats.skipped)),
+    ]);
+    write_frame(stream, &header, blob.as_bytes())
+}
+
+fn handle_status(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let (queue_depth, in_flight, draining) = shared.queue.depth();
+    let metrics = shared.stats.snapshot(shared.workers);
+    let header = Value::obj([
+        ("ok", Value::Bool(true)),
+        ("queue_depth", Value::from(queue_depth)),
+        ("in_flight", Value::from(in_flight)),
+        (
+            "busy_workers",
+            Value::from(shared.stats.busy_workers.load(Ordering::Relaxed)),
+        ),
+        ("draining", Value::Bool(draining)),
+        ("jobs_done", Value::from(shared.queue.jobs_done())),
+        (
+            "uptime_ms",
+            Value::from(shared.started.elapsed().as_millis() as u64),
+        ),
+        ("metrics", metrics.to_json()),
+    ]);
+    write_frame(stream, &header, &[])
+}
+
+fn handle_shutdown(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    shared.queue.close();
+    let jobs_done = shared.queue.wait_idle();
+    ingest_summary(shared);
+    let header = Value::obj([
+        ("ok", Value::Bool(true)),
+        ("jobs_done", Value::from(jobs_done)),
+    ]);
+    write_frame(stream, &header, &[])?;
+    // Stop order matters: mark stopping before poking the acceptor so
+    // its next accept() observes the flag, close the hand-off queue so
+    // idle handlers exit, then tear down every open connection (ours
+    // included — the reply above is already flushed) so handlers parked
+    // in a read on an idle connection see EOF and exit too.
+    shared.stopping.store(true, Ordering::SeqCst);
+    shared.conns.close();
+    shared.active.close_all();
+    let _ = TcpStream::connect(shared.addr);
+    Ok(())
+}
+
+/// One `RunRecord` for the server lifetime itself, carrying the
+/// [`ServeMetrics`] section — the registry's record that this service
+/// ran, processed N submissions, and deduplicated M of them.
+fn ingest_summary(shared: &Shared) {
+    let mut rec = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+    rec.provenance = Some(format!("light-serve daemon on {}", shared.addr));
+    rec.wall_ms = Some(shared.started.elapsed().as_millis() as u64);
+    let serve = shared.stats.snapshot(shared.workers);
+    rec.headline
+        .insert("submissions".into(), serve.submissions as f64);
+    rec.headline
+        .insert("dedup_hits".into(), serve.dedup_hits as f64);
+    rec.metrics = Some(MetricsSnapshot {
+        serve: Some(serve),
+        ..MetricsSnapshot::default()
+    });
+    let _ = shared.registry.ingest(rec, None);
+}

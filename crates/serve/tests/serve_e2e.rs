@@ -1,0 +1,235 @@
+//! End-to-end acceptance: one daemon, 64 concurrent clients submitting
+//! a mixed corpus with heavy duplication. Every unique recording must
+//! be stored exactly once, every job must finish solve → replay →
+//! doctor with zero unexpected divergences, and post-run queries by
+//! program and by bug signature must return exact matches.
+
+use light_core::{write_recording, Light};
+use light_serve::{start, Client, ServerOptions};
+use light_telemetry::{Query, Registry, RunKind, RunStatus};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const CLIENTS: usize = 64;
+
+const RACE: &str = "global total;
+     fn worker(n) {
+         let i = 0;
+         while (i < n) { total = total + 1; i = i + 1; }
+     }
+     fn main(n) {
+         let t1 = spawn worker(n);
+         let t2 = spawn worker(n);
+         join t1; join t2;
+         print(total);
+     }";
+
+const DIVZERO: &str = "global x;
+     fn t() { x = 0; }
+     fn main() {
+         x = 1;
+         let h = spawn t();
+         let v = 10 / x;
+         join h;
+         print(v);
+     }";
+
+struct CorpusEntry {
+    program: &'static str,
+    source: &'static str,
+    bytes: Vec<u8>,
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("light-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sixty_four_clients_submit_dedup_and_query() {
+    // -- Build the corpus locally: 12 unique healthy recordings (the
+    // same program at different argument values records different
+    // bytes) plus one chaos-captured faulting recording with a known
+    // bug signature.
+    let race = Light::new(Arc::new(lir::parse(RACE).unwrap()));
+    let mut corpus = Vec::new();
+    for n in 0..12i64 {
+        let (recording, _) = race.record(&[4 + n], 7).unwrap();
+        corpus.push(CorpusEntry {
+            program: "race",
+            source: RACE,
+            bytes: write_recording(&recording).to_vec(),
+        });
+    }
+    let divzero = Light::new(Arc::new(lir::parse(DIVZERO).unwrap()));
+    let (buggy, _) = divzero
+        .find_bug(&[], 0..400)
+        .expect("the div-by-zero interleaving exists in the seed range");
+    let fault = buggy.fault.as_ref().expect("find_bug returns a faulting run");
+    let bug_signature = format!("{:?}@{}", fault.kind, fault.line);
+    corpus.push(CorpusEntry {
+        program: "divzero",
+        source: DIVZERO,
+        bytes: write_recording(&buggy).to_vec(),
+    });
+    let unique = corpus.len();
+    let corpus = Arc::new(corpus);
+
+    // -- Start the daemon and hammer it: every client submits the full
+    // corpus, so all but the first arrival of each entry is a duplicate.
+    let dir = tmpdir("main");
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        conn_threads: 8,
+        queue_capacity: 16, // smaller than the job count: exercises backpressure
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let submitted: Vec<(String, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = &addr;
+                let corpus = corpus.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Stagger the walk so first-arrivals spread across
+                    // clients instead of client 0 winning every entry.
+                    (0..corpus.len())
+                        .map(|i| {
+                            let entry = &corpus[(c + i) % corpus.len()];
+                            let reply = client
+                                .submit(entry.program, entry.source, &entry.bytes)
+                                .unwrap();
+                            (reply.blob_hash, reply.dedup)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+
+    // -- Dedup accounting: every submission got a hash; exactly one
+    // submission per unique recording was fresh, all others dedup hits.
+    let total = CLIENTS * unique;
+    assert_eq!(submitted.len(), total);
+    let fresh = submitted.iter().filter(|(_, dedup)| !dedup).count();
+    assert_eq!(fresh, unique, "each unique recording jobs exactly once");
+    let hashes: HashSet<&str> = submitted.iter().map(|(h, _)| h.as_str()).collect();
+    assert_eq!(hashes.len(), unique);
+
+    // -- Drain, then check the counters the server itself reports.
+    let mut client = Client::connect(&addr).unwrap();
+    client.wait_idle().unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.metrics.submissions, total as u64);
+    assert_eq!(status.metrics.dedup_hits, (total - unique) as u64);
+    assert_eq!(status.metrics.jobs_ok, unique as u64, "all jobs healthy");
+    assert_eq!(status.metrics.jobs_diverged, 0, "zero unexpected divergences");
+    assert_eq!(status.metrics.jobs_failed, 0);
+    assert!(status.metrics.queue_peak > 0);
+    assert_eq!(status.queue_depth, 0);
+    assert_eq!(status.in_flight, 0);
+
+    // -- Query by program: exactly the 12 race jobs, all ok.
+    let (by_program, skipped) = client
+        .query(&Query {
+            program: Some("race".into()),
+            kind: Some(RunKind::Serve),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(skipped, 0);
+    assert_eq!(by_program.len(), 12);
+    assert!(by_program.iter().all(|r| r.status == RunStatus::Ok));
+    assert!(by_program.iter().all(|r| r.run_id.is_some()));
+
+    // -- Query by bug signature: exactly the one faulting recording's
+    // job, carrying the signature computed locally before submission.
+    let (by_bug, _) = client
+        .query(&Query {
+            bug_signature: Some(bug_signature.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(by_bug.len(), 1, "signature {bug_signature} should match once");
+    assert_eq!(by_bug[0].program, "divzero");
+    assert_eq!(by_bug[0].status, RunStatus::Ok, "healthy replay of a buggy run");
+
+    // -- Exact-once storage on disk: one blob file per unique recording,
+    // in the sharded fan-out, every one readable.
+    let registry = Registry::open(&dir).unwrap();
+    assert!(registry.is_sharded());
+    for hash in &hashes {
+        assert_eq!(
+            registry.read_blob(hash).unwrap().len() > 0,
+            true,
+            "blob {hash} lost"
+        );
+    }
+    let mut on_disk = 0;
+    for entry in std::fs::read_dir(dir.join("blobs")).unwrap() {
+        let entry = entry.unwrap();
+        assert!(entry.file_type().unwrap().is_dir(), "sharded layout only");
+        on_disk += std::fs::read_dir(entry.path()).unwrap().count();
+    }
+    assert_eq!(on_disk, unique, "every unique recording stored exactly once");
+
+    // -- Clean shutdown drains and leaves a summary record with the
+    // server-side metrics section.
+    let jobs_done = client.shutdown().unwrap();
+    assert_eq!(jobs_done, unique as u64);
+    handle.join();
+    let summary: Vec<_> = registry
+        .load()
+        .unwrap()
+        .into_iter()
+        .filter(|r| r.program == "light-serve")
+        .collect();
+    assert_eq!(summary.len(), 1);
+    let serve = summary[0]
+        .metrics
+        .as_ref()
+        .and_then(|m| m.serve)
+        .expect("summary carries the serve metrics section");
+    assert_eq!(serve.submissions, total as u64);
+    assert_eq!(serve.dedup_hits, (total - unique) as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Submissions racing a shutdown either run or get a clean "draining"
+/// rejection — never a hang, never a half-stored job.
+#[test]
+fn shutdown_drains_and_rejects_late_submissions() {
+    let race = Light::new(Arc::new(lir::parse(RACE).unwrap()));
+    let (recording, _) = race.record(&[30], 3).unwrap();
+    let bytes = write_recording(&recording).to_vec();
+
+    let dir = tmpdir("drain");
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        workers: 1,
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let reply = client.submit("race", RACE, &bytes).unwrap();
+    assert!(!reply.dedup);
+    let done = Client::connect(&addr).unwrap().shutdown().unwrap();
+    assert_eq!(done, 1, "the queued job ran before the daemon stopped");
+    handle.join();
+
+    let registry = Registry::open(&dir).unwrap();
+    let records = registry.load().unwrap();
+    let job = records
+        .iter()
+        .find(|r| r.program == "race")
+        .expect("the drained job was ingested");
+    assert_eq!(job.status, RunStatus::Ok);
+    assert_eq!(job.blob_hash.as_deref(), Some(reply.blob_hash.as_str()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -33,7 +33,7 @@ commands:
 common options:
   --registry <dir>     registry directory (default: $LIGHT_REGISTRY)
   --program <name>     filter / set the program name
-  --kind <k>           record|replay|doctor|explore|profile|inspect|bench
+  --kind <k>           record|replay|doctor|explore|profile|inspect|bench|serve
   --status <s>         ok|diverged|failed|unknown
   --bug <signature>    filter / set the bug signature
   --run-id <hex>       filter / set the 32-hex causal run id
@@ -263,7 +263,16 @@ fn query_from(cli: &Cli) -> Query {
 
 fn cmd_query(cli: &Cli) -> Result<(), String> {
     let registry = open_registry(cli)?;
-    let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
+    let (mut records, stats) = registry.load_with_stats().map_err(|e| e.to_string())?;
+    if stats.skipped > 0 {
+        eprintln!(
+            "light-watch: warning: skipped {} of {} index lines (torn or foreign); \
+             counts below under-report the registry",
+            stats.skipped, stats.lines,
+        );
+    }
+    let query = query_from(cli);
+    records.retain(|r| query.matches(r));
     if cli.json {
         for r in &records {
             println!("{}", r.to_json().to_json());

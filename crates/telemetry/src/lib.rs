@@ -53,6 +53,6 @@ pub mod trend;
 pub use hash::{sha256, sha256_hex};
 pub use query::Query;
 pub use record::{RunKind, RunRecord, RunStatus, SCHEMA};
-pub use registry::{auto_ingest, Registry, RegistryError, REGISTRY_ENV};
+pub use registry::{auto_ingest, IndexStats, Registry, RegistryError, REGISTRY_ENV};
 pub use regress::{check as regress_check, Direction, RegressError, Verdict};
 pub use trend::{aggregate_snapshots, series, TrendPoint};

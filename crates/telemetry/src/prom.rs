@@ -75,8 +75,14 @@ pub fn render(records: &[RunRecord]) -> String {
     out
 }
 
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double quote, and newline must be escaped, in that order
+/// (program names are user-controlled, so a hostile name must not be
+/// able to break out of the label or inject extra sample lines).
 fn escape_label(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -100,6 +106,30 @@ mod tests {
         assert!(text.contains("light_registry_blob_bytes 100"));
         // Latest (ts 20) wins.
         assert!(text.contains("light_headline{metric=\"solver_speedup\",program=\"p\"} 3"));
+    }
+
+    #[test]
+    fn hostile_program_names_cannot_break_label_syntax() {
+        // A program name with every character the exposition format
+        // treats specially: backslash, quote, and a newline that would
+        // otherwise split the sample across two lines.
+        let mut r = RunRecord::new("evil\\name\"} 1\nfake_metric 2", RunKind::Bench, RunStatus::Ok);
+        r.ts_ms = 5;
+        r.headline.insert("solver_speedup".into(), 1.0);
+        let text = render(&[r]);
+        assert!(text.contains(
+            "light_headline{metric=\"solver_speedup\",\
+             program=\"evil\\\\name\\\"} 1\\nfake_metric 2\"} 1"
+        ));
+        // The raw newline must never survive into the exposition: no
+        // line may start with the injected fake metric.
+        assert!(!text.lines().any(|l| l.starts_with("fake_metric")));
+        // Every non-comment line still parses as `name{...} value` on
+        // one line: exactly one closing brace-space separator.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(!line.is_empty());
+            assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "{line}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::record::{RunKind, RunRecord, RunStatus};
 
 /// A conjunctive filter: every set field must match. The default query
 /// matches everything.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Query {
     pub program: Option<String>,
     pub kind: Option<RunKind>,

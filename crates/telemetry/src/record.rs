@@ -18,6 +18,9 @@ pub enum RunKind {
     Profile,
     Inspect,
     Bench,
+    /// A `light-serve` job: one server-side solve → replay → doctor
+    /// pass over a submitted recording (or the server's own summary).
+    Serve,
 }
 
 impl RunKind {
@@ -30,6 +33,7 @@ impl RunKind {
             RunKind::Profile => "profile",
             RunKind::Inspect => "inspect",
             RunKind::Bench => "bench",
+            RunKind::Serve => "serve",
         }
     }
 
@@ -42,6 +46,7 @@ impl RunKind {
             "profile" => RunKind::Profile,
             "inspect" => RunKind::Inspect,
             "bench" => RunKind::Bench,
+            "serve" => RunKind::Serve,
             _ => return None,
         })
     }

@@ -6,14 +6,25 @@
 //! ```text
 //! <root>/
 //!   index.jsonl          # one RunRecord per line, append-only
-//!   blobs/<sha256-hex>   # recording bytes, named by content
+//!   blobs/<sha256-hex>   # recording bytes, named by content (flat)
+//!   blobs/ab/<sha256-hex># sharded layout (fan-out by hash prefix)
+//!   sharded              # marker: this registry writes sharded blobs
 //! ```
 //!
 //! Ingest is crash-tolerant by construction: the blob is written first
 //! (idempotent — same bytes hash to the same name), then the index line
 //! is appended in one `write` call. Readers skip lines that fail to
 //! parse, so a torn final line degrades to one lost entry, never a
-//! poisoned registry.
+//! poisoned registry; [`Registry::load_with_stats`] surfaces how many
+//! lines were skipped so tools can warn instead of under-reporting.
+//!
+//! Registries opened with [`Registry::open_sharded`] fan blobs out into
+//! 256 subdirectories keyed by the first two hash characters — the
+//! layout a `light-serve` daemon ingesting from a whole fleet needs to
+//! keep directory scans cheap. Reads always check both layouts, so flat
+//! and sharded blobs coexist in one registry (e.g. when
+//! `scripts/bench_summary.py`, which writes flat, shares a registry with
+//! a sharded server).
 
 use crate::hash::sha256_hex;
 use crate::query::Query;
@@ -30,6 +41,18 @@ pub const REGISTRY_ENV: &str = "LIGHT_REGISTRY";
 #[derive(Debug, Clone)]
 pub struct Registry {
     root: PathBuf,
+    /// New blobs go under `blobs/<hash[..2]>/`; reads check both layouts.
+    sharded: bool,
+}
+
+/// What [`Registry::load_with_stats`] saw while scanning the index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Non-empty index lines scanned.
+    pub lines: u64,
+    /// Lines skipped because they were torn, foreign, or unparseable.
+    /// Non-zero means a plain record count under-reports the registry.
+    pub skipped: u64,
 }
 
 /// A registry operation failure, tagged with the path it touched.
@@ -55,11 +78,38 @@ fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> RegistryError + '_ {
 }
 
 impl Registry {
-    /// Opens (creating if needed) the registry rooted at `root`.
+    /// Opens (creating if needed) the registry rooted at `root`. A
+    /// registry previously opened with [`Registry::open_sharded`] stays
+    /// sharded (the on-disk marker wins), so every writer agrees on the
+    /// layout.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
         let root = root.into();
         fs::create_dir_all(root.join("blobs")).map_err(io_err(&root))?;
-        Ok(Registry { root })
+        let sharded = root.join("sharded").exists();
+        Ok(Registry { root, sharded })
+    }
+
+    /// Opens (creating if needed) the registry rooted at `root` with the
+    /// sharded blob layout: new blobs land under `blobs/<hash[..2]>/`,
+    /// fanning a fleet-scale ingest across 256 directories. The choice is
+    /// persisted in a `sharded` marker file so later plain [`Registry::open`]
+    /// calls keep writing sharded. Existing flat blobs remain readable.
+    pub fn open_sharded(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("blobs")).map_err(io_err(&root))?;
+        let marker = root.join("sharded");
+        if !marker.exists() {
+            fs::write(&marker, b"light-watch sharded blob layout\n").map_err(io_err(&marker))?;
+        }
+        Ok(Registry {
+            root,
+            sharded: true,
+        })
+    }
+
+    /// Whether new blobs are written into the sharded fan-out layout.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded
     }
 
     /// Opens the registry named by `LIGHT_REGISTRY`, or `None` when the
@@ -79,9 +129,32 @@ impl Registry {
         self.root.join("index.jsonl")
     }
 
-    /// The path a blob with `hash` lives at (whether or not it exists).
+    /// The path a *new* blob with `hash` is written to: the shard
+    /// subdirectory in sharded registries, `blobs/` directly otherwise.
     pub fn blob_path(&self, hash: &str) -> PathBuf {
-        self.root.join("blobs").join(hash)
+        if self.sharded && hash.len() >= 2 {
+            self.root.join("blobs").join(&hash[..2]).join(hash)
+        } else {
+            self.root.join("blobs").join(hash)
+        }
+    }
+
+    /// Locates an existing blob, checking the sharded and flat layouts
+    /// (either may hold it in a mixed-writer registry).
+    pub fn find_blob(&self, hash: &str) -> Option<PathBuf> {
+        if hash.len() >= 2 {
+            let sharded = self.root.join("blobs").join(&hash[..2]).join(hash);
+            if sharded.exists() {
+                return Some(sharded);
+            }
+        }
+        let flat = self.root.join("blobs").join(hash);
+        flat.exists().then_some(flat)
+    }
+
+    /// Whether a blob with `hash` is already stored (in either layout).
+    pub fn has_blob(&self, hash: &str) -> bool {
+        self.find_blob(hash).is_some()
     }
 
     /// Ingests one run: stores `blob` (if given) content-addressed,
@@ -94,19 +167,7 @@ impl Registry {
         blob: Option<&[u8]>,
     ) -> Result<RunRecord, RegistryError> {
         if let Some(bytes) = blob {
-            let hash = sha256_hex(bytes);
-            let path = self.blob_path(&hash);
-            // Content-addressed: if the blob exists its contents are
-            // already these bytes, so skip the write.
-            if !path.exists() {
-                let tmp = self.root.join("blobs").join(format!(
-                    ".tmp-{}-{}",
-                    std::process::id(),
-                    &hash[..16]
-                ));
-                fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
-                fs::rename(&tmp, &path).map_err(io_err(&path))?;
-            }
+            let (hash, _already) = self.store_blob(bytes)?;
             record.blob_hash = Some(hash);
             record.blob_bytes = Some(bytes.len() as u64);
         }
@@ -127,31 +188,77 @@ impl Registry {
         Ok(record)
     }
 
-    /// Reads back a stored blob by its content hash.
+    /// Stores `bytes` content-addressed without touching the index.
+    /// Returns the hash and whether the blob already existed (the dedup
+    /// signal `light-serve` reports per submission). Concurrent writers
+    /// are safe: each writes a unique tmp file and renames it into
+    /// place; identical content renames to the same final name, so the
+    /// last rename is a no-op overwrite of identical bytes.
+    pub fn store_blob(&self, bytes: &[u8]) -> Result<(String, bool), RegistryError> {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let hash = sha256_hex(bytes);
+        if self.has_blob(&hash) {
+            return Ok((hash, true));
+        }
+        let path = self.blob_path(&hash);
+        let dir = path.parent().expect("blob path has a parent");
+        fs::create_dir_all(dir).map_err(io_err(dir))?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            &hash[..16.min(hash.len())],
+        ));
+        fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
+        fs::rename(&tmp, &path).map_err(io_err(&path))?;
+        Ok((hash, false))
+    }
+
+    /// Reads back a stored blob by its content hash (either layout).
     pub fn read_blob(&self, hash: &str) -> Result<Vec<u8>, RegistryError> {
-        let path = self.blob_path(hash);
+        let path = self.find_blob(hash).unwrap_or_else(|| self.blob_path(hash));
         fs::read(&path).map_err(io_err(&path))
     }
 
     /// Loads every parseable record in ingest order. Unparseable or
     /// foreign lines are skipped.
     pub fn load(&self) -> Result<Vec<RunRecord>, RegistryError> {
+        self.load_with_stats().map(|(records, _)| records)
+    }
+
+    /// Like [`Registry::load`], but also reports how many non-empty
+    /// index lines were scanned and how many were skipped as torn or
+    /// foreign — so callers can warn that a count under-reports instead
+    /// of silently tolerating corruption.
+    pub fn load_with_stats(&self) -> Result<(Vec<RunRecord>, IndexStats), RegistryError> {
         let index = self.index_path();
         let text = match fs::read_to_string(&index) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), IndexStats::default()))
+            }
             Err(e) => return Err(io_err(&index)(e)),
         };
-        Ok(text
+        let mut stats = IndexStats::default();
+        let records = text
             .lines()
             .filter_map(|line| {
                 let line = line.trim();
                 if line.is_empty() {
                     return None;
                 }
-                RunRecord::from_json(&Value::parse(line).ok()?)
+                stats.lines += 1;
+                let parsed = Value::parse(line)
+                    .ok()
+                    .as_ref()
+                    .and_then(RunRecord::from_json);
+                if parsed.is_none() {
+                    stats.skipped += 1;
+                }
+                parsed
             })
-            .collect())
+            .collect();
+        Ok((records, stats))
     }
 
     /// Loads the records matching `query`, in ingest order.
@@ -250,6 +357,52 @@ mod tests {
         let loaded = reg.load().unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].program, "p");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_with_stats_counts_skipped_lines() {
+        let dir = tmpdir("skipped");
+        let reg = Registry::open(&dir).unwrap();
+        reg.ingest(RunRecord::new("p", RunKind::Replay, RunStatus::Ok), None)
+            .unwrap();
+        let (_, clean) = reg.load_with_stats().unwrap();
+        assert_eq!(clean, IndexStats { lines: 1, skipped: 0 });
+        let index = dir.join("index.jsonl");
+        let mut f = fs::OpenOptions::new().append(true).open(&index).unwrap();
+        writeln!(f, "{{\"schema\":\"other/v1\"}}").unwrap();
+        write!(f, "{{\"schema\":\"light-watch/v1\",\"trunc").unwrap();
+        drop(f);
+        let (records, stats) = reg.load_with_stats().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(stats, IndexStats { lines: 3, skipped: 2 });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_registry_fans_out_and_reads_flat_blobs() {
+        let dir = tmpdir("sharded");
+        // A flat blob written before the layout switch...
+        let flat = Registry::open(&dir).unwrap();
+        let a = flat
+            .ingest(
+                RunRecord::new("p", RunKind::Record, RunStatus::Ok),
+                Some(b"flat-era blob"),
+            )
+            .unwrap();
+        let flat_hash = a.blob_hash.clone().unwrap();
+        // ...stays readable after open_sharded, and new blobs fan out.
+        let reg = Registry::open_sharded(&dir).unwrap();
+        assert!(reg.is_sharded());
+        assert_eq!(reg.read_blob(&flat_hash).unwrap(), b"flat-era blob");
+        let (hash, already) = reg.store_blob(b"sharded blob").unwrap();
+        assert!(!already);
+        let path = reg.find_blob(&hash).unwrap();
+        assert_eq!(path, dir.join("blobs").join(&hash[..2]).join(&hash));
+        // Re-storing the same bytes is a dedup hit, not a rewrite.
+        assert_eq!(reg.store_blob(b"sharded blob").unwrap(), (hash, true));
+        // The marker makes a later plain open stay sharded.
+        assert!(Registry::open(&dir).unwrap().is_sharded());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -50,7 +50,7 @@ def headline_for(name: str, doc: dict) -> dict:
     rows = doc.get("rows")
     if isinstance(rows, list):
         head["rows"] = len(rows)
-    for key in ("median_overhead", "solver_speedup", "criterion_met"):
+    for key in ("median_overhead", "solver_speedup", "criterion_met", "serve_ingest_rps"):
         if key in doc:
             head[key] = doc[key]
     # Medians of common per-row timing fields, when present.
@@ -140,9 +140,13 @@ def ingest_registry(doc: dict, rendered: str) -> None:
     try:
         root = Path(root)
         blobs = root / "blobs"
-        blobs.mkdir(parents=True, exist_ok=True)
         blob = rendered.encode()
         digest = hashlib.sha256(blob).hexdigest()
+        # Honor the registry's layout marker: sharded registries (the
+        # light-serve default) fan blobs out by hash prefix.
+        if (root / "sharded").exists():
+            blobs = blobs / digest[:2]
+        blobs.mkdir(parents=True, exist_ok=True)
         blob_path = blobs / digest
         if not blob_path.exists():
             tmp = blobs / f".tmp-{os.getpid()}"

@@ -6,6 +6,7 @@ pub use light_core as light;
 pub use light_explore as explore;
 pub use light_obs as obs;
 pub use light_runtime as runtime;
+pub use light_serve as serve;
 pub use light_solver as solver;
 pub use light_telemetry as telemetry;
 pub use light_workloads as workloads;
