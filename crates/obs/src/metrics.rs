@@ -111,6 +111,10 @@ pub struct ServeMetrics {
     /// Jobs that failed outright (unparseable program, unsolvable
     /// schedule, replay setup error).
     pub jobs_failed: u64,
+    /// Completed jobs whose outcome record could not be written to the
+    /// registry index. Non-zero means queries under-report finished
+    /// work relative to `jobs_ok`/`jobs_diverged`/`jobs_failed`.
+    pub ingest_failed: u64,
     /// Deepest job-queue backlog observed.
     pub queue_peak: u64,
     /// Worker threads of the job pool.
@@ -271,6 +275,7 @@ impl ServeMetrics {
             ("jobs_ok", Value::from(self.jobs_ok)),
             ("jobs_diverged", Value::from(self.jobs_diverged)),
             ("jobs_failed", Value::from(self.jobs_failed)),
+            ("ingest_failed", Value::from(self.ingest_failed)),
             ("queue_peak", Value::from(self.queue_peak)),
             ("workers", Value::from(self.workers)),
         ])
@@ -283,6 +288,7 @@ impl ServeMetrics {
             jobs_ok: ju(v, "jobs_ok"),
             jobs_diverged: ju(v, "jobs_diverged"),
             jobs_failed: ju(v, "jobs_failed"),
+            ingest_failed: ju(v, "ingest_failed"),
             queue_peak: ju(v, "queue_peak"),
             workers: ju(v, "workers"),
         }
@@ -295,6 +301,7 @@ impl ServeMetrics {
             jobs_ok: self.jobs_ok.saturating_add(other.jobs_ok),
             jobs_diverged: self.jobs_diverged.saturating_add(other.jobs_diverged),
             jobs_failed: self.jobs_failed.saturating_add(other.jobs_failed),
+            ingest_failed: self.ingest_failed.saturating_add(other.ingest_failed),
             // Backlogs and pool sizes don't add across servers; the
             // deepest/widest seen keeps combine associative.
             queue_peak: self.queue_peak.max(other.queue_peak),

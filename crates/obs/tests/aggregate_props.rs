@@ -68,12 +68,13 @@ prop_compose! {
         jobs_ok in 0u64..1 << 24,
         jobs_diverged in 0u64..1 << 16,
         jobs_failed in 0u64..1 << 16,
+        ingest_failed in 0u64..1 << 16,
         queue_peak in 0u64..1 << 16,
         workers in 0u64..256,
     ) -> ServeMetrics {
         ServeMetrics {
             submissions, dedup_hits, jobs_ok, jobs_diverged,
-            jobs_failed, queue_peak, workers,
+            jobs_failed, ingest_failed, queue_peak, workers,
         }
     }
 }

@@ -274,10 +274,21 @@ fn cmd_query(cli: &Cli) -> Result<(), String> {
         since_ms: None,
         until_ms: None,
     };
-    let (records, skipped) = client.query(&query).map_err(|e| format!("query: {e}"))?;
-    if skipped > 0 {
-        eprintln!("light-serve: warning: server skipped {skipped} torn or foreign index lines");
+    let reply = client.query(&query).map_err(|e| format!("query: {e}"))?;
+    if reply.skipped > 0 {
+        eprintln!(
+            "light-serve: warning: server skipped {} torn or foreign index lines",
+            reply.skipped
+        );
     }
+    if reply.truncated {
+        eprintln!(
+            "light-serve: warning: reply truncated to {} of {} matching runs",
+            reply.records.len(),
+            reply.matched
+        );
+    }
+    let records = reply.records;
     if cli.json {
         for r in &records {
             println!("{}", r.to_json().to_json());
@@ -319,6 +330,12 @@ fn cmd_status(cli: &Cli) -> Result<(), String> {
         s.metrics.jobs_failed,
         s.metrics.queue_peak,
     );
+    if s.metrics.ingest_failed > 0 {
+        eprintln!(
+            "light-serve: warning: {} job records failed to ingest (queries under-report)",
+            s.metrics.ingest_failed
+        );
+    }
     Ok(())
 }
 

@@ -20,6 +20,22 @@ pub struct SubmitReply {
     pub job_id: Option<u64>,
 }
 
+/// The server's answer to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The matching records the reply carried (ingest order).
+    pub records: Vec<RunRecord>,
+    /// Records matching the filter server-side. Greater than
+    /// `records.len()` when the reply was truncated.
+    pub matched: u64,
+    /// True when the server capped the result set at its reply-size
+    /// bound; `records` is then a prefix of the match set.
+    pub truncated: bool,
+    /// Torn or foreign index lines the server skipped while loading —
+    /// non-zero means even `matched` under-reports the registry.
+    pub skipped: u64,
+}
+
 /// The server's status snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusReply {
@@ -85,19 +101,16 @@ impl Client {
     }
 
     /// Runs a registry query server-side; returns the matching records
-    /// and the server's count of skipped (torn or foreign) index lines.
+    /// plus the server's truncation and skipped-line accounting.
     ///
     /// # Errors
     ///
     /// I/O failures or a malformed reply.
-    pub fn query(&mut self, query: &Query) -> io::Result<(Vec<RunRecord>, u64)> {
+    pub fn query(&mut self, query: &Query) -> io::Result<QueryReply> {
         Request::Query(query.clone()).write(&mut self.stream)?;
         let reply = read_reply(&mut self.stream)?;
-        let skipped = reply
-            .header
-            .get("skipped")
-            .and_then(Value::as_u64)
-            .unwrap_or(0);
+        let h = &reply.header;
+        let num = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
         let text = std::str::from_utf8(&reply.blob)
             .map_err(|_| bad("query reply blob is not UTF-8"))?;
         let mut records = Vec::new();
@@ -105,7 +118,16 @@ impl Client {
             let v = Value::parse(line).map_err(|_| bad("query reply line is not JSON"))?;
             records.push(RunRecord::from_json(&v).ok_or_else(|| bad("query reply line is not a run record"))?);
         }
-        Ok((records, skipped))
+        let matched = num("matched").max(records.len() as u64);
+        Ok(QueryReply {
+            matched,
+            truncated: h
+                .get("truncated")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            skipped: num("skipped"),
+            records,
+        })
     }
 
     /// Fetches queue/worker/dedup counters.

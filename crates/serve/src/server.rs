@@ -13,9 +13,15 @@
 //! Submissions are stored content-addressed *before* queueing, so a
 //! duplicate is detected by hash and answered immediately without a
 //! second job — the dedup counters the status endpoint reports. The
-//! queue is bounded: when `queue_capacity` jobs are waiting, submitters
-//! block inside their connection until a worker frees a slot
-//! (backpressure by not replying, no new protocol state needed).
+//! job-level dedup decision is a single atomic insert into the `seen`
+//! hash set, primed at startup from the registry's existing `Serve`
+//! records: exactly one of any number of concurrent first submissions
+//! wins the insert and enqueues the job, and a blob that was stored but
+//! never jobbed (a drain rejection, a crash, a blob written by another
+//! tool) is *not* a duplicate — its next submission runs. The queue is
+//! bounded: when `queue_capacity` jobs are waiting, submitters block
+//! inside their connection until a worker frees a slot (backpressure by
+//! not replying, no new protocol state needed).
 //!
 //! Shutdown is drain-then-stop: the queue closes (new submissions get
 //! an error reply), workers finish what is queued, a summary record
@@ -80,6 +86,7 @@ struct Stats {
     jobs_ok: AtomicU64,
     jobs_diverged: AtomicU64,
     jobs_failed: AtomicU64,
+    ingest_failed: AtomicU64,
     queue_peak: AtomicU64,
     busy_workers: AtomicU64,
 }
@@ -92,6 +99,7 @@ impl Stats {
             jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
             jobs_diverged: self.jobs_diverged.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            ingest_failed: self.ingest_failed.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             workers,
         }
@@ -277,13 +285,13 @@ impl ActiveConns {
         }
     }
 
+    /// `None` — the server is draining or the socket cannot be
+    /// duplicated — means the connection is untrackable: the caller
+    /// must drop it unserved, never serve it outside the map.
     fn register(&self, stream: &TcpStream) -> Option<u64> {
         let clone = stream.try_clone().ok()?;
         let mut state = self.state.lock().unwrap();
         if state.1 {
-            // Already draining: kill the socket now so the handler's
-            // first read sees EOF instead of blocking past the drain.
-            let _ = clone.shutdown(Shutdown::Both);
             return None;
         }
         let id = self.next.fetch_add(1, Ordering::Relaxed);
@@ -311,9 +319,14 @@ struct Shared {
     conns: ConnQueue,
     active: ActiveConns,
     stats: Stats,
-    /// Blob hashes that already have a job (queued, running, or done)
-    /// this server lifetime — the job-level dedup filter on top of the
-    /// registry's storage-level dedup.
+    /// Blob hashes that already have a job (queued, running, or done) —
+    /// the job-level dedup filter on top of the registry's
+    /// storage-level dedup. Primed at startup with the blob hashes of
+    /// the registry's existing `Serve` records, so dedup across
+    /// restarts is keyed on "a job ran", not on blob presence: a blob
+    /// that was stored but never jobbed is submittable again. The
+    /// freshness decision is the `insert` alone, so concurrent first
+    /// submissions of one blob elect exactly one job.
     seen: Mutex<HashSet<String>>,
     next_job: AtomicU64,
     stopping: AtomicBool,
@@ -354,6 +367,18 @@ impl ServerHandle {
 pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
     let registry = Registry::open_sharded(&options.registry)
         .map_err(|e| io::Error::other(format!("registry: {e}")))?;
+    // Prime job-level dedup with every blob a previous lifetime already
+    // ran a job for. Keying on Serve *records* (not blob presence)
+    // keeps blobs that were stored but never jobbed — drain rejections,
+    // crashes with queued jobs, blobs written by other tools —
+    // submittable after a restart.
+    let seen: HashSet<String> = registry
+        .load()
+        .map_err(|e| io::Error::other(format!("registry index: {e}")))?
+        .into_iter()
+        .filter(|r| r.kind == RunKind::Serve)
+        .filter_map(|r| r.blob_hash)
+        .collect();
     let listener = TcpListener::bind(&options.addr)?;
     let addr = listener.local_addr()?;
     let workers = if options.workers == 0 {
@@ -368,7 +393,7 @@ pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
         conns: ConnQueue::new(),
         active: ActiveConns::new(),
         stats: Stats::default(),
-        seen: Mutex::new(HashSet::new()),
+        seen: Mutex::new(seen),
         next_job: AtomicU64::new(1),
         stopping: AtomicBool::new(false),
         addr,
@@ -433,8 +458,14 @@ fn worker_loop(shared: &Shared) {
             _ => shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
         };
         // The blob was stored at submit time; the record references it
-        // by hash, so no bytes are re-written here.
-        let _ = shared.registry.ingest(record, None);
+        // by hash, so no bytes are re-written here. An ingest failure
+        // loses the outcome record while jobs_ok/jobs_done still count
+        // the job — surface it instead of letting queries silently
+        // under-report completed work.
+        if let Err(e) = shared.registry.ingest(record, None) {
+            shared.stats.ingest_failed.fetch_add(1, Ordering::Relaxed);
+            eprintln!("light-serve: job {}: ingest failed: {e}", job.id);
+        }
         shared.stats.busy_workers.fetch_sub(1, Ordering::Relaxed);
         shared.queue.done();
     }
@@ -442,11 +473,15 @@ fn worker_loop(shared: &Shared) {
 
 fn handler_loop(shared: &Shared) {
     while let Some(stream) = shared.conns.pop() {
-        let id = shared.active.register(&stream);
+        // An untracked connection is unreachable by close_all: a
+        // handler parked reading it would block shutdown forever. If it
+        // cannot be registered (draining, or try_clone failed), drop
+        // the socket — the peer sees EOF — rather than serve it.
+        let Some(id) = shared.active.register(&stream) else {
+            continue;
+        };
         let _ = handle_connection(stream, shared);
-        if let Some(id) = id {
-            shared.active.deregister(id);
-        }
+        shared.active.deregister(id);
     }
 }
 
@@ -498,11 +533,18 @@ fn handle_submit(
     if recording.is_empty() {
         return write_error(stream, "empty recording");
     }
-    let (hash, on_disk) = match shared.registry.store_blob(&recording) {
+    let (hash, _on_disk) = match shared.registry.store_blob(&recording) {
         Ok(stored) => stored,
         Err(e) => return write_error(stream, &format!("store: {e}")),
     };
-    let fresh = shared.seen.lock().unwrap().insert(hash.clone()) && !on_disk;
+    // The freshness decision is this insert and nothing else: among
+    // concurrent first submissions of the same blob exactly one thread
+    // wins and enqueues the job. The on-disk check cannot participate —
+    // a racing submitter may observe the winner's freshly renamed blob
+    // and both would then decline (storing the blob but jobbing it
+    // never). Cross-lifetime dedup is covered by priming `seen` from
+    // the registry's Serve records at startup.
+    let fresh = shared.seen.lock().unwrap().insert(hash.clone());
     if !fresh {
         shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
         let header = Value::obj([
@@ -534,11 +576,35 @@ fn handle_submit(
         }
         Err(()) => {
             // Draining: the blob is stored but no job will run it this
-            // lifetime; forget it so a restarted server picks it up.
+            // lifetime. Forget the hash so the seen-set stays "has a
+            // job"; no Serve record will reference this blob, so a
+            // restarted server (which primes dedup from Serve records,
+            // not blob presence) accepts the resubmission and jobs it.
             shared.seen.lock().unwrap().remove(&hash);
             write_error(stream, "server is draining, submission rejected")
         }
     }
+}
+
+/// Cap on one query reply's JSONL blob (32 MiB). Well under the frame
+/// layer's `MAX_BLOB`, so a query over an arbitrarily large registry
+/// answers with a bounded, truncation-flagged reply instead of a
+/// `write_frame` error that tears down the connection mid-session.
+const MAX_QUERY_BLOB: usize = 32 << 20;
+
+/// Renders records as JSONL, stopping before a line would push the blob
+/// past `cap`. Returns the blob and how many records it holds.
+fn render_jsonl(records: &[RunRecord], cap: usize) -> (String, usize) {
+    let mut blob = String::new();
+    for (i, rec) in records.iter().enumerate() {
+        let line = rec.to_json().to_json();
+        if blob.len() + line.len() + 1 > cap {
+            return (blob, i);
+        }
+        blob.push_str(&line);
+        blob.push('\n');
+    }
+    (blob, records.len())
 }
 
 fn handle_query(
@@ -551,14 +617,12 @@ fn handle_query(
         Err(e) => return write_error(stream, &format!("load: {e}")),
     };
     records.retain(|r| query.matches(r));
-    let mut blob = String::new();
-    for rec in &records {
-        blob.push_str(&rec.to_json().to_json());
-        blob.push('\n');
-    }
+    let (blob, returned) = render_jsonl(&records, MAX_QUERY_BLOB);
     let header = Value::obj([
         ("ok", Value::Bool(true)),
-        ("count", Value::from(records.len())),
+        ("count", Value::from(returned)),
+        ("matched", Value::from(records.len())),
+        ("truncated", Value::Bool(returned < records.len())),
         ("skipped", Value::from(stats.skipped)),
     ]);
     write_frame(stream, &header, blob.as_bytes())
@@ -624,4 +688,30 @@ fn ingest_summary(shared: &Shared) {
         ..MetricsSnapshot::default()
     });
     let _ = shared.registry.ingest(rec, None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_jsonl_caps_at_line_boundaries() {
+        let records: Vec<RunRecord> = (0..50)
+            .map(|i| RunRecord::new(format!("p{i}"), RunKind::Serve, RunStatus::Ok))
+            .collect();
+        let (full, n) = render_jsonl(&records, usize::MAX);
+        assert_eq!(n, 50);
+        assert_eq!(full.lines().count(), 50);
+        let cap = full.len() / 2;
+        let (half, n) = render_jsonl(&records, cap);
+        assert!(0 < n && n < 50);
+        assert!(half.len() <= cap);
+        assert_eq!(half.lines().count(), n);
+        // Truncation never splits a line: every rendered line parses.
+        for line in half.lines() {
+            assert!(Value::parse(line).is_ok());
+        }
+        let (empty, n) = render_jsonl(&records, 0);
+        assert_eq!((empty.as_str(), n), ("", 0));
+    }
 }

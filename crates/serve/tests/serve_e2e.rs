@@ -135,26 +135,30 @@ fn sixty_four_clients_submit_dedup_and_query() {
     assert_eq!(status.in_flight, 0);
 
     // -- Query by program: exactly the 12 race jobs, all ok.
-    let (by_program, skipped) = client
+    let reply = client
         .query(&Query {
             program: Some("race".into()),
             kind: Some(RunKind::Serve),
             ..Default::default()
         })
         .unwrap();
-    assert_eq!(skipped, 0);
+    assert_eq!(reply.skipped, 0);
+    assert!(!reply.truncated);
+    assert_eq!(reply.matched, 12);
+    let by_program = reply.records;
     assert_eq!(by_program.len(), 12);
     assert!(by_program.iter().all(|r| r.status == RunStatus::Ok));
     assert!(by_program.iter().all(|r| r.run_id.is_some()));
 
     // -- Query by bug signature: exactly the one faulting recording's
     // job, carrying the signature computed locally before submission.
-    let (by_bug, _) = client
+    let by_bug = client
         .query(&Query {
             bug_signature: Some(bug_signature.clone()),
             ..Default::default()
         })
-        .unwrap();
+        .unwrap()
+        .records;
     assert_eq!(by_bug.len(), 1, "signature {bug_signature} should match once");
     assert_eq!(by_bug[0].program, "divzero");
     assert_eq!(by_bug[0].status, RunStatus::Ok, "healthy replay of a buggy run");
@@ -164,11 +168,7 @@ fn sixty_four_clients_submit_dedup_and_query() {
     let registry = Registry::open(&dir).unwrap();
     assert!(registry.is_sharded());
     for hash in &hashes {
-        assert_eq!(
-            registry.read_blob(hash).unwrap().len() > 0,
-            true,
-            "blob {hash} lost"
-        );
+        assert!(!registry.read_blob(hash).unwrap().is_empty(), "blob {hash} lost");
     }
     let mut on_disk = 0;
     for entry in std::fs::read_dir(dir.join("blobs")).unwrap() {
@@ -231,5 +231,59 @@ fn shutdown_drains_and_rejects_late_submissions() {
         .expect("the drained job was ingested");
     assert_eq!(job.status, RunStatus::Ok);
     assert_eq!(job.blob_hash.as_deref(), Some(reply.blob_hash.as_str()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Job-level dedup keys on "a job ran" (a Serve record referencing the
+/// blob), not on blob presence: a blob stored by another tool — or
+/// stored by a submission that never got a job — is processed on its
+/// next submission, while a blob a previous server lifetime already
+/// jobbed stays a dedup hit after restart.
+#[test]
+fn restart_dedups_jobbed_blobs_but_processes_unjobbed_ones() {
+    let race = Light::new(Arc::new(lir::parse(RACE).unwrap()));
+    let (recording, _) = race.record(&[25], 5).unwrap();
+    let bytes = write_recording(&recording).to_vec();
+
+    // A blob on disk with no Serve record: what a drain rejection, a
+    // crash with queued jobs, or a foreign writer leaves behind.
+    let dir = tmpdir("restart");
+    let registry = Registry::open_sharded(&dir).unwrap();
+    let (pre_hash, on_disk) = registry.store_blob(&bytes).unwrap();
+    assert!(!on_disk);
+
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        workers: 1,
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let reply = client.submit("race", RACE, &bytes).unwrap();
+    assert_eq!(reply.blob_hash, pre_hash);
+    assert!(!reply.dedup, "a stored-but-never-jobbed blob must get a job");
+    client.wait_idle().unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+
+    // Second lifetime on the same registry: the job's record is the
+    // cross-restart dedup key, so resubmission runs nothing.
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        workers: 1,
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let reply = client.submit("race", RACE, &bytes).unwrap();
+    assert_eq!(reply.blob_hash, pre_hash);
+    assert!(reply.dedup, "a jobbed blob stays deduplicated across restarts");
+    let jobs_done = client.shutdown().unwrap();
+    assert_eq!(jobs_done, 0, "the second lifetime ran no job");
+    handle.join();
+
+    let records = Registry::open(&dir).unwrap().load().unwrap();
+    let jobs: Vec<_> = records.iter().filter(|r| r.program == "race").collect();
+    assert_eq!(jobs.len(), 1, "exactly one job record across both lifetimes");
     std::fs::remove_dir_all(&dir).unwrap();
 }
