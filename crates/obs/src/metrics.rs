@@ -812,9 +812,22 @@ impl Histogram {
         (64 - v.leading_zeros()) as usize
     }
 
+    /// Inclusive upper bound of bucket `b`: 0 for bucket 0, `2^b - 1`
+    /// otherwise, saturating at `u64::MAX` for the top bucket (where
+    /// `1 << 64` would overflow).
+    fn bucket_hi(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            1..=63 => (1u64 << b) - 1,
+            _ => u64::MAX,
+        }
+    }
+
     pub fn record(&mut self, v: u64) {
         self.counts[Self::bucket(v)] += 1;
-        self.sum += v;
+        // Saturating: near-u64::MAX samples (top-bucket saturation) must
+        // degrade the sum, not abort the process recording them.
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -823,7 +836,7 @@ impl Histogram {
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -858,10 +871,32 @@ impl Histogram {
                 if b == 0 {
                     (0, 0, c)
                 } else {
-                    (1u64 << (b - 1), (1u64 << b) - 1, c)
+                    (1u64 << (b - 1), Self::bucket_hi(b), c)
                 }
             })
             .collect()
+    }
+
+    /// Estimates the `p`-quantile (`p` clamped to `0.0..=1.0`) from the
+    /// bucket counts: the upper bound of the bucket holding the p-th
+    /// sample, capped at the exact observed maximum. The cap means a
+    /// single-sample histogram reports that sample exactly for every
+    /// `p`, and no estimate ever exceeds a real sample. An empty
+    /// histogram reports 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_hi(b).min(self.max);
+            }
+        }
+        self.max
     }
 
     /// Renders an aligned ASCII bar chart, one line per non-empty bucket.
@@ -1145,5 +1180,95 @@ mod tests {
         assert!(buckets.contains(&(512, 1023, 1)));
         let rendered = h.render(20);
         assert!(rendered.contains("512-1023"));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = Histogram::new();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_percentile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [0.0, 0.01, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(p), 37, "p={p}");
+        }
+        // ... including a zero sample, which lands in bucket 0.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile(0.5), 0);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn top_bucket_saturation_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 5);
+        h.record(1u64 << 63);
+        // buckets() must not shift past the word: the top bucket's hi
+        // bound saturates at u64::MAX.
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(1u64 << 63, u64::MAX, 3)]);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.percentile(0.01), u64::MAX);
+        // JSON roundtrip keeps the saturated bucket intact.
+        let parsed = Histogram::from_json(&Value::parse(&h.to_json().to_json()).unwrap());
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded_by_samples() {
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 9, 20, 150, 151, 152, 4000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            assert!(p >= last, "percentile not monotone at {i}%");
+            assert!(p <= h.max());
+            last = p;
+        }
+        assert_eq!(h.percentile(1.0), h.max());
+        // The estimate for the median lands in the median's bucket.
+        let p50 = h.percentile(0.5);
+        assert!((16..=31).contains(&p50), "median 20 estimates as {p50}");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (
+            build(&[1, 5, 900]),
+            build(&[0, 0, 64, u64::MAX]),
+            build(&[17]),
+        );
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge is commutative too");
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(ab_c.percentile(p), a_bc.percentile(p));
+        }
     }
 }

@@ -199,4 +199,55 @@ proptest! {
         let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
         prop_assert_eq!(parsed, folded);
     }
+
+    #[test]
+    fn percentile_is_monotone_bounded_and_bucket_sound(
+        samples in prop::collection::vec(0u64..1 << 34, 0..64),
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo_p, hi_p) = (p.min(q), p.max(q));
+        prop_assert!(h.percentile(lo_p) <= h.percentile(hi_p), "monotone in p");
+        prop_assert!(h.percentile(hi_p) <= h.max(), "never exceeds a sample");
+        if samples.is_empty() {
+            prop_assert_eq!(h.percentile(p), 0);
+        } else {
+            prop_assert_eq!(h.percentile(1.0), h.max());
+            // The estimate is never below the true percentile: the rank-th
+            // smallest sample shares a bucket with (or precedes) it.
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert!(h.percentile(p) >= sorted[rank - 1]);
+        }
+    }
+
+    #[test]
+    fn percentile_survives_merge_and_json(
+        xs in prop::collection::vec(0u64..1 << 34, 0..32),
+        ys in prop::collection::vec(0u64..1 << 34, 0..32),
+        p in 0.0f64..=1.0,
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // Merging two histograms equals building one from all samples...
+        let mut merged = build(&xs);
+        merged.merge(&build(&ys));
+        let all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        let direct = build(&all);
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.percentile(p), direct.percentile(p));
+        // ... and the percentile is stable across a JSON roundtrip.
+        let parsed = Histogram::from_json(&Value::parse(&merged.to_json().to_json()).unwrap());
+        prop_assert_eq!(parsed.percentile(p), merged.percentile(p));
+    }
 }

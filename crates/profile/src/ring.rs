@@ -202,6 +202,18 @@ impl FlightRecorder {
         out.sort_by_key(|ev| ev.ts_us);
         out
     }
+
+    /// The newest `n` events of the merged timeline, oldest first — the
+    /// live watchdog tail. Safe while writers are still running (torn
+    /// slots are skipped, see [`ThreadRing::drain`]); bounded output fit
+    /// for embedding in a log line.
+    pub fn dump_tail(&self, n: usize) -> Vec<FlightEvent> {
+        let mut all = self.dump();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
 }
 
 impl FlightSink for FlightRecorder {
@@ -259,5 +271,19 @@ mod tests {
             100
         );
         assert_eq!(rec.dump().len(), 2);
+    }
+
+    #[test]
+    fn dump_tail_keeps_newest_events() {
+        let rec = FlightRecorder::new(64);
+        let flight = rec.flight();
+        for i in 0..10 {
+            flight.emit(FlightKind::PrecHit, 1, NO_SITE, i, 0);
+        }
+        let tail = rec.dump_tail(3);
+        let locs: Vec<u64> = tail.iter().map(|e| e.loc).collect();
+        assert_eq!(locs, vec![7, 8, 9], "newest three, oldest first");
+        assert_eq!(rec.dump_tail(100).len(), 10, "n past len is the whole dump");
+        assert!(rec.dump_tail(0).is_empty());
     }
 }

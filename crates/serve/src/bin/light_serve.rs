@@ -5,7 +5,9 @@
 //! light-serve submit --addr 127.0.0.1:7979 --corpus
 //! light-serve submit --addr ... --program p --source p.lir --rec run.lrec
 //! light-serve query --addr ... --bug NullDeref@12
-//! light-serve status --addr ...
+//! light-serve status --addr ... [--json]
+//! light-serve metrics --addr ... [--prom | --json]
+//! light-serve top --addr ... [--interval 1000] [--ticks 0]
 //! light-serve wait --addr ...
 //! light-serve shutdown --addr ...
 //! ```
@@ -15,8 +17,11 @@
 //! runs until a `shutdown` request drains the queue.
 
 use light_core::{write_recording, Light};
-use light_serve::{start, Client, ServerOptions};
-use light_telemetry::{Query, RunKind, RunStatus, REGISTRY_ENV};
+use light_obs::json::Value;
+use light_obs::Histogram;
+use light_serve::{start, Client, MetricsReply, ServerOptions};
+use light_telemetry::events::STAGES;
+use light_telemetry::{prom, Query, RunKind, RunStatus, REGISTRY_ENV};
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,6 +34,8 @@ commands:
   submit     record and/or send recordings to a daemon
   query      list matching registry records via the daemon
   status     print queue/worker/dedup counters
+  metrics    fetch the live metric snapshot (stage latency histograms)
+  top        poll metrics and render a refreshing dashboard
   wait       block until the daemon's queue is idle
   shutdown   drain the queue and stop the daemon
 
@@ -39,6 +46,7 @@ serve options:
   --conn-threads <n>   connection handler threads (default 8)
   --queue <n>          bounded job queue capacity (default 64)
   --solver-workers <n> turbo solver threads per job (default 1)
+  --stage-deadline <ms> slow-job watchdog deadline (default 0 = off)
 
 submit options:
   --addr <host:port>   daemon address (required)
@@ -52,7 +60,21 @@ submit options:
 query options:
   --addr <host:port>   daemon address (required)
   --program <name>, --kind <k>, --status <s>, --bug <sig>, --run-id <hex>
-  --json               one JSON object per line instead of a table";
+  --json               one JSON object per line instead of a table
+
+metrics options:
+  --addr <host:port>   daemon address (required)
+  --prom               Prometheus text exposition (the scrape format)
+  --json               the raw snapshot as one JSON object
+
+top options:
+  --addr <host:port>   daemon address (required)
+  --interval <ms>      refresh interval (default 1000)
+  --ticks <n>          stop after n refreshes (default 0 = forever)
+
+status options:
+  --addr <host:port>   daemon address (required)
+  --json               counters as one JSON object (script-friendly)";
 
 struct Cli {
     command: String,
@@ -73,6 +95,10 @@ struct Cli {
     bug: Option<String>,
     run_id: Option<String>,
     json: bool,
+    stage_deadline: u64,
+    prom: bool,
+    interval: u64,
+    ticks: usize,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -104,6 +130,10 @@ fn parse_cli() -> Result<Cli, String> {
         bug: None,
         run_id: None,
         json: false,
+        stage_deadline: 0,
+        prom: false,
+        interval: 1000,
+        ticks: 0,
     };
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -141,6 +171,16 @@ fn parse_cli() -> Result<Cli, String> {
             "--bug" => cli.bug = Some(next_val(&mut it, "--bug")?),
             "--run-id" => cli.run_id = Some(next_val(&mut it, "--run-id")?),
             "--json" => cli.json = true,
+            "--stage-deadline" => {
+                cli.stage_deadline =
+                    parse_num(next_val(&mut it, "--stage-deadline")?, "--stage-deadline")? as u64
+            }
+            "--prom" => cli.prom = true,
+            "--interval" => {
+                cli.interval =
+                    parse_num(next_val(&mut it, "--interval")?, "--interval")?.max(10) as u64
+            }
+            "--ticks" => cli.ticks = parse_num(next_val(&mut it, "--ticks")?, "--ticks")?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -171,6 +211,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         conn_threads: cli.conn_threads,
         queue_capacity: cli.queue,
         solver_workers: cli.solver_workers,
+        stage_deadline_ms: cli.stage_deadline,
     })
     .map_err(|e| format!("start: {e}"))?;
     println!("light-serve listening on {}", handle.addr());
@@ -309,9 +350,141 @@ fn cmd_query(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// The flat counter object `status --json` and `metrics --json` share,
+/// so scripts can diff the two surfaces key-by-key.
+fn counters_json(
+    queue_depth: u64,
+    in_flight: u64,
+    busy_workers: u64,
+    draining: bool,
+    jobs_done: u64,
+    uptime_ms: u64,
+    m: &light_obs::ServeMetrics,
+) -> Vec<(&'static str, Value)> {
+    vec![
+        ("queue_depth", Value::from(queue_depth)),
+        ("in_flight", Value::from(in_flight)),
+        ("busy_workers", Value::from(busy_workers)),
+        ("draining", Value::Bool(draining)),
+        ("jobs_done", Value::from(jobs_done)),
+        ("uptime_ms", Value::from(uptime_ms)),
+        ("submissions", Value::from(m.submissions)),
+        ("dedup_hits", Value::from(m.dedup_hits)),
+        ("jobs_ok", Value::from(m.jobs_ok)),
+        ("jobs_diverged", Value::from(m.jobs_diverged)),
+        ("jobs_failed", Value::from(m.jobs_failed)),
+        ("ingest_failed", Value::from(m.ingest_failed)),
+        ("queue_peak", Value::from(m.queue_peak)),
+        ("workers", Value::from(m.workers)),
+    ]
+}
+
+/// Renders the shared metrics dashboard: gauges, counters, dedup ratio,
+/// and the per-stage latency table (`light-serve metrics` prints it
+/// once; `top` reprints it every tick).
+fn render_dashboard(m: &MetricsReply, tick: Option<usize>) -> String {
+    use std::fmt::Write as _;
+    let serve = m.snapshot.serve.unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "light-serve{}  uptime {}ms{}",
+        tick.map_or(String::new(), |t| format!(" top (tick {t})")),
+        m.uptime_ms,
+        if m.draining { "  [draining]" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "queue {} (+{} in flight, peak {}), {}/{} workers busy, {} jobs done",
+        m.queue_depth, m.in_flight, serve.queue_peak, m.busy_workers, serve.workers, m.jobs_done,
+    );
+    let dedup_ratio = if serve.submissions > 0 {
+        100.0 * serve.dedup_hits as f64 / serve.submissions as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "submissions {} (dedup {} = {dedup_ratio:.1}%), jobs ok {} / diverged {} / failed {}, ingest failures {}",
+        serve.submissions,
+        serve.dedup_hits,
+        serve.jobs_ok,
+        serve.jobs_diverged,
+        serve.jobs_failed,
+        serve.ingest_failed,
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>16}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "stage", "count", "p50 us", "p95 us", "p99 us", "max us"
+    );
+    let empty = Histogram::new();
+    for stage in STAGES {
+        let h = m.snapshot.latencies.get(stage).unwrap_or(&empty);
+        let _ = writeln!(out, "{}", prom::stage_row(stage, h));
+    }
+    if let Some(depth) = m.snapshot.latencies.get("queue-depth") {
+        let _ = writeln!(out, "{}", prom::stage_row("queue-depth*", depth));
+        out.push_str("  (* queue-depth columns are jobs at enqueue, not µs)\n");
+    }
+    out
+}
+
+fn cmd_metrics(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let m = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    if cli.prom {
+        print!("{}", prom::render_live(&m.snapshot));
+    } else if cli.json {
+        let mut pairs = counters_json(
+            m.queue_depth,
+            m.in_flight,
+            m.busy_workers,
+            m.draining,
+            m.jobs_done,
+            m.uptime_ms,
+            &m.snapshot.serve.unwrap_or_default(),
+        );
+        pairs.push(("metrics", m.snapshot.to_json()));
+        println!("{}", Value::obj(pairs).to_json());
+    } else {
+        print!("{}", render_dashboard(&m, None));
+    }
+    Ok(())
+}
+
+fn cmd_top(cli: &Cli) -> Result<(), String> {
+    let mut client = connect(cli)?;
+    let mut tick = 0usize;
+    loop {
+        let m = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+        tick += 1;
+        // Clear + home; on a pipe the codes are harmless prefix bytes.
+        print!("\x1b[2J\x1b[H{}", render_dashboard(&m, Some(tick)));
+        std::io::stdout().flush().ok();
+        if cli.ticks > 0 && tick >= cli.ticks {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(cli.interval));
+    }
+}
+
 fn cmd_status(cli: &Cli) -> Result<(), String> {
     let mut client = connect(cli)?;
     let s = client.status().map_err(|e| format!("status: {e}"))?;
+    if cli.json {
+        let pairs = counters_json(
+            s.queue_depth,
+            s.in_flight,
+            s.busy_workers,
+            s.draining,
+            s.jobs_done,
+            s.uptime_ms,
+            &s.metrics,
+        );
+        println!("{}", Value::obj(pairs).to_json());
+        return Ok(());
+    }
     println!(
         "queue {} (+{} in flight), {}/{} workers busy{}, uptime {}ms",
         s.queue_depth,
@@ -366,6 +539,8 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&cli),
         "query" => cmd_query(&cli),
         "status" => cmd_status(&cli),
+        "metrics" => cmd_metrics(&cli),
+        "top" => cmd_top(&cli),
         "wait" => cmd_wait(&cli),
         "shutdown" => cmd_shutdown(&cli),
         other => {

@@ -3,7 +3,7 @@
 
 use crate::proto::{read_reply, Request};
 use light_obs::json::Value;
-use light_obs::ServeMetrics;
+use light_obs::{MetricsSnapshot, ServeMetrics};
 use light_telemetry::{Query, RunRecord};
 use std::io;
 use std::net::TcpStream;
@@ -46,6 +46,23 @@ pub struct StatusReply {
     pub jobs_done: u64,
     pub uptime_ms: u64,
     pub metrics: ServeMetrics,
+}
+
+/// The server's live metrics snapshot: the status gauges plus the
+/// daemon-wide unified snapshot carrying per-stage latency histograms
+/// and serve counters — the scrape path for Prometheus and
+/// `light-serve top`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReply {
+    pub queue_depth: u64,
+    pub in_flight: u64,
+    pub busy_workers: u64,
+    pub draining: bool,
+    pub jobs_done: u64,
+    pub uptime_ms: u64,
+    /// The live snapshot; `snapshot.serve` carries the counters,
+    /// `snapshot.latencies` the stage histograms.
+    pub snapshot: MetricsSnapshot,
 }
 
 /// A connected client.
@@ -151,6 +168,31 @@ impl Client {
                 .get("metrics")
                 .map(ServeMetrics::from_json)
                 .ok_or_else(|| bad("status reply without metrics"))?,
+        })
+    }
+
+    /// Fetches the live metrics snapshot (stage-latency histograms plus
+    /// serve counters) without perturbing the daemon — the scrape path.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed reply.
+    pub fn metrics(&mut self) -> io::Result<MetricsReply> {
+        Request::Metrics.write(&mut self.stream)?;
+        let reply = read_reply(&mut self.stream)?;
+        let h = &reply.header;
+        let num = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+        Ok(MetricsReply {
+            queue_depth: num("queue_depth"),
+            in_flight: num("in_flight"),
+            busy_workers: num("busy_workers"),
+            draining: h.get("draining").and_then(Value::as_bool).unwrap_or(false),
+            jobs_done: num("jobs_done"),
+            uptime_ms: num("uptime_ms"),
+            snapshot: h
+                .get("metrics")
+                .map(MetricsSnapshot::from_json)
+                .ok_or_else(|| bad("metrics reply without snapshot"))?,
         })
     }
 

@@ -25,6 +25,11 @@ pub struct Job {
     /// Causal trace id minted at acceptance; threads through the replay
     /// pipeline and into the registry record.
     pub run_id: RunId,
+    /// [`light_obs::now_us`] at enqueue, stamped by the queue *after*
+    /// any backpressure wait: a worker's post-pop clock reading minus
+    /// this is the pure queue-wait, and event-log timestamps stay
+    /// monotonic per job (`queued` at this instant precedes `started`).
+    pub enqueued_us: u64,
 }
 
 /// Runs the full pipeline for one job and renders the outcome as a
@@ -36,7 +41,12 @@ pub struct Job {
 /// recordings with identical location groups (dedup near-misses, the
 /// same workload at different seeds) solve their common components
 /// once.
-pub fn run_job(job: &Job, cache: &ComponentCache, solver_workers: usize) -> RunRecord {
+pub fn run_job(
+    job: &Job,
+    cache: &ComponentCache,
+    solver_workers: usize,
+    flight: light_obs::Flight,
+) -> RunRecord {
     let started = Instant::now();
     let mut rec = RunRecord::new(job.program.clone(), RunKind::Serve, RunStatus::Failed);
     rec.run_id = Some(job.run_id.to_string());
@@ -61,9 +71,15 @@ pub fn run_job(job: &Job, cache: &ComponentCache, solver_workers: usize) -> RunR
 
     let mut light = Light::new(program);
     light.set_run_id(job.run_id);
-    let options = DoctorOptions::default()
+    let mut options = DoctorOptions::default()
         .with_solver_cache(cache.clone())
         .with_solver_workers(solver_workers);
+    // The caller owns the flight recorder (the worker pool's slow-job
+    // watchdog reads its tail *while the job runs*). `flight_ring: 0`
+    // keeps `doctor_replay` from minting an internal recorder and
+    // overwriting the handle.
+    options.flight_ring = 0;
+    options.replay.flight = flight;
     let report = match doctor_replay(&light, &recording, &recording, &options) {
         Ok(report) => report,
         Err(e) => return fail(rec, started, format!("replay error: {e}")),
@@ -127,7 +143,12 @@ mod tests {
             blob_hash: "deadbeef".into(),
             recording: bytes,
             run_id: RunId::fresh(),
+            enqueued_us: 0,
         }
+    }
+
+    fn run(job: &Job) -> RunRecord {
+        run_job(job, &ComponentCache::new(), 1, light_obs::Flight::disabled())
     }
 
     #[test]
@@ -136,7 +157,7 @@ mod tests {
         let light = Light::new(program);
         let (recording, _) = light.record(&[20], 7).unwrap();
         let job = job_for(RACE, write_recording(&recording).to_vec());
-        let rec = run_job(&job, &ComponentCache::new(), 1);
+        let rec = run(&job);
         assert_eq!(rec.status, RunStatus::Ok);
         assert_eq!(rec.kind, RunKind::Serve);
         assert_eq!(rec.run_id, Some(job.run_id.to_string()));
@@ -147,15 +168,11 @@ mod tests {
 
     #[test]
     fn garbage_inputs_yield_failed_records_not_panics() {
-        let bad_source = run_job(
-            &job_for("fn main( {", vec![1, 2, 3]),
-            &ComponentCache::new(),
-            1,
-        );
+        let bad_source = run(&job_for("fn main( {", vec![1, 2, 3]));
         assert_eq!(bad_source.status, RunStatus::Failed);
         assert!(bad_source.provenance.unwrap().contains("parse error"));
         let bad_recording = job_for(RACE, vec![0xde, 0xad, 0xbe, 0xef]);
-        let rec = run_job(&bad_recording, &ComponentCache::new(), 1);
+        let rec = run(&bad_recording);
         assert_eq!(rec.status, RunStatus::Failed);
         assert!(rec.provenance.unwrap().contains("corrupt recording"));
     }
@@ -179,7 +196,7 @@ mod tests {
             return;
         };
         let job = job_for(source, write_recording(&recording).to_vec());
-        let rec = run_job(&job, &ComponentCache::new(), 1);
+        let rec = run(&job);
         let sig = rec.bug_signature.expect("fault should carry a signature");
         assert!(sig.starts_with("DivByZero@"), "got {sig}");
     }

@@ -40,6 +40,6 @@ pub mod job;
 pub mod proto;
 mod server;
 
-pub use client::{Client, QueryReply, StatusReply, SubmitReply};
+pub use client::{Client, MetricsReply, QueryReply, StatusReply, SubmitReply};
 pub use job::{run_job, Job};
 pub use server::{start, ServerHandle, ServerOptions};

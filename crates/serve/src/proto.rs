@@ -114,6 +114,10 @@ pub enum Request {
     Query(Query),
     /// Queue/worker/dedup counters.
     Status,
+    /// Live unified metric snapshot: serve counters plus the daemon's
+    /// per-stage latency histograms, without stopping the daemon (the
+    /// Prometheus scrape path).
+    Metrics,
     /// Block until the job queue is empty and every worker is idle.
     Wait,
     /// Stop accepting work, drain the queue, then exit.
@@ -153,6 +157,10 @@ impl Request {
             }
             Request::Status => {
                 pairs.push(("op".into(), Value::from("status")));
+                &[]
+            }
+            Request::Metrics => {
+                pairs.push(("op".into(), Value::from("metrics")));
                 &[]
             }
             Request::Wait => {
@@ -202,6 +210,7 @@ impl Request {
                 until_ms: h.get("until_ms").and_then(Value::as_u64),
             }),
             "status" => Request::Status,
+            "metrics" => Request::Metrics,
             "wait" => Request::Wait,
             "shutdown" => Request::Shutdown,
             other => return Err(bad(format!("unknown op {other:?}"))),
@@ -263,6 +272,7 @@ mod tests {
         });
         assert_eq!(round_trip(query.clone()), query);
         assert_eq!(round_trip(Request::Status), Request::Status);
+        assert_eq!(round_trip(Request::Metrics), Request::Metrics);
         assert_eq!(round_trip(Request::Wait), Request::Wait);
         assert_eq!(round_trip(Request::Shutdown), Request::Shutdown);
     }

@@ -32,16 +32,18 @@ use crate::job::{run_job, Job};
 use crate::proto::{read_frame, write_error, write_frame, Request};
 use light_core::ComponentCache;
 use light_obs::json::Value;
-use light_obs::{MetricsSnapshot, RunId, ServeMetrics};
-use light_telemetry::{Registry, RunKind, RunRecord, RunStatus};
+use light_obs::{now_us, MetricsRegistry, MetricsSnapshot, RunId, ServeMetrics};
+use light_profile::FlightRecorder;
+use light_telemetry::{events_path, JobEvent, Registry, RunKind, RunRecord, RunStatus};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -62,6 +64,12 @@ pub struct ServerOptions {
     /// by default: parallelism comes from running many jobs, not from
     /// sharding one job's solve across the pool's cores.
     pub solver_workers: usize,
+    /// Slow-job watchdog deadline in milliseconds: a job still running
+    /// this long past its start gets the tail of its flight recording
+    /// dumped into the event log as a `watchdog` event (once per job).
+    /// `0` disables the watchdog — jobs then run without a per-job
+    /// flight recorder at all.
+    pub stage_deadline_ms: u64,
 }
 
 impl Default for ServerOptions {
@@ -73,6 +81,7 @@ impl Default for ServerOptions {
             conn_threads: 8,
             queue_capacity: 64,
             solver_workers: 1,
+            stage_deadline_ms: 0,
         }
     }
 }
@@ -110,6 +119,133 @@ impl Stats {
     }
 }
 
+/// Best-effort appender of the `light-serve/events/v1` job event log
+/// (`events.jsonl` next to the registry index). Observability must not
+/// fail jobs: an unopenable file or a failed write drops the line, the
+/// job proceeds. Lines are written whole under one lock so concurrent
+/// workers never interleave bytes.
+struct EventLog {
+    file: Mutex<Option<File>>,
+}
+
+impl EventLog {
+    fn open(root: &Path) -> Self {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(events_path(root))
+            .ok();
+        EventLog {
+            file: Mutex::new(file),
+        }
+    }
+
+    fn log(&self, ev: &JobEvent) {
+        let line = ev.to_json().to_json();
+        if let Some(f) = self.file.lock().unwrap().as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// One in-flight job under watchdog observation.
+struct WatchEntry {
+    started_us: u64,
+    recorder: Arc<FlightRecorder>,
+    run_id: String,
+    blob_hash: String,
+    program: String,
+    /// The deadline fires once per job, not once per poll tick.
+    fired: bool,
+}
+
+/// The slow-job watchdog: workers register each job with its per-job
+/// flight recorder; a monitor thread scans the in-flight map and, past
+/// the stage deadline, dumps the recorder's live tail into the event
+/// log — the "what is that job doing right now" answer without
+/// stopping the daemon or the job.
+struct Watchdog {
+    state: Mutex<(HashMap<u64, WatchEntry>, bool)>,
+    tick: Condvar,
+    deadline_us: u64,
+}
+
+impl Watchdog {
+    fn new(deadline_ms: u64) -> Self {
+        Watchdog {
+            state: Mutex::new((HashMap::new(), false)),
+            tick: Condvar::new(),
+            deadline_us: deadline_ms.saturating_mul(1_000),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.deadline_us > 0
+    }
+
+    fn register(&self, job_id: u64, entry: WatchEntry) {
+        self.state.lock().unwrap().0.insert(job_id, entry);
+    }
+
+    fn deregister(&self, job_id: u64) {
+        self.state.lock().unwrap().0.remove(&job_id);
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.tick.notify_all();
+    }
+}
+
+/// Renders a bounded, human-scannable flight tail for a watchdog event.
+fn render_flight_tail(recorder: &FlightRecorder) -> String {
+    let tail = recorder.dump_tail(32);
+    if tail.is_empty() {
+        return "flight tail: no events yet".into();
+    }
+    let mut out = format!(
+        "flight tail ({} of {} events):",
+        tail.len(),
+        recorder.events_seen()
+    );
+    for ev in &tail {
+        out.push_str(&format!(" {}@{}us/t{}", ev.kind.name(), ev.ts_us, ev.tid));
+    }
+    out
+}
+
+fn watchdog_loop(shared: &Shared) {
+    let wd = &shared.watchdog;
+    // Poll at a quarter of the deadline, clamped to [1ms, 250ms]: fine
+    // enough to fire near the deadline, coarse enough to stay invisible
+    // in the profile.
+    let poll = Duration::from_micros((wd.deadline_us / 4).clamp(1_000, 250_000));
+    let mut state = wd.state.lock().unwrap();
+    loop {
+        if state.1 {
+            return;
+        }
+        let now = now_us();
+        for (job_id, entry) in state.0.iter_mut() {
+            if entry.fired || now.saturating_sub(entry.started_us) < wd.deadline_us {
+                continue;
+            }
+            entry.fired = true;
+            let mut ev = JobEvent::new(
+                "watchdog",
+                *job_id,
+                &entry.run_id,
+                &entry.blob_hash,
+                &entry.program,
+            );
+            ev.dur_us = Some(now.saturating_sub(entry.started_us));
+            ev.detail = Some(render_flight_tail(&entry.recorder));
+            shared.events.log(&ev);
+        }
+        state = wd.tick.wait_timeout(state, poll).unwrap().0;
+    }
+}
+
 struct QueueState {
     jobs: VecDeque<Job>,
     in_flight: usize,
@@ -144,9 +280,13 @@ impl JobQueue {
         }
     }
 
-    /// Blocks while full; returns the depth after pushing, or `Err` once
-    /// the queue is draining.
-    fn push(&self, job: Job) -> Result<u64, ()> {
+    /// Blocks while full; returns `(depth after pushing, enqueue
+    /// timestamp)`, or `Err` once the queue is draining. The timestamp
+    /// is stamped into the job *after* the backpressure wait, so a
+    /// worker's post-pop clock reading minus it is the pure queue-wait
+    /// and the `queued` event it keys precedes `started` on every job's
+    /// timeline.
+    fn push(&self, mut job: Job) -> Result<(u64, u64), ()> {
         let mut state = self.state.lock().unwrap();
         while state.jobs.len() >= self.capacity && !state.closed {
             state = self.space.wait(state).unwrap();
@@ -154,10 +294,12 @@ impl JobQueue {
         if state.closed {
             return Err(());
         }
+        let enqueued_us = now_us();
+        job.enqueued_us = enqueued_us;
         state.jobs.push_back(job);
         let depth = state.jobs.len() as u64;
         self.work.notify_one();
-        Ok(depth)
+        Ok((depth, enqueued_us))
     }
 
     /// Blocks until a job is available; `None` once draining completes.
@@ -334,6 +476,14 @@ struct Shared {
     workers: u64,
     solver_workers: usize,
     started: Instant,
+    /// Daemon-wide per-stage latency histograms (ingest, queue-wait,
+    /// solve, replay, doctor, registry-write) plus the queue-depth
+    /// distribution — the live snapshot behind the `Metrics` op.
+    metrics: MetricsRegistry,
+    /// The per-job event log appender.
+    events: EventLog,
+    /// The slow-job watchdog (inert when no deadline is configured).
+    watchdog: Watchdog,
 }
 
 /// A running server. Dropping the handle does not stop the daemon; send
@@ -386,6 +536,7 @@ pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
     } else {
         options.workers
     };
+    let events = EventLog::open(&options.registry);
     let shared = Arc::new(Shared {
         registry,
         cache: ComponentCache::new(),
@@ -400,9 +551,20 @@ pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
         workers: workers as u64,
         solver_workers: options.solver_workers,
         started: Instant::now(),
+        metrics: MetricsRegistry::new(),
+        events,
+        watchdog: Watchdog::new(options.stage_deadline_ms),
     });
 
     let mut threads = Vec::new();
+    if shared.watchdog.enabled() {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))?,
+        );
+    }
     for i in 0..workers {
         let shared = shared.clone();
         threads.push(
@@ -451,8 +613,65 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.stats.busy_workers.fetch_add(1, Ordering::Relaxed);
-        let record = run_job(&job, &shared.cache, shared.solver_workers);
-        match record.status {
+        let run_id = job.run_id.to_string();
+        let event = |name: &str| JobEvent::new(name, job.id, &run_id, &job.blob_hash, &job.program);
+        let stage = |name: &str, dur_us: u64| {
+            shared.metrics.latency(name, dur_us);
+            let mut ev = event("stage");
+            ev.stage = Some(name.into());
+            ev.dur_us = Some(dur_us);
+            shared.events.log(&ev);
+        };
+        let popped_us = now_us();
+        shared.events.log(&event("started"));
+        stage("queue-wait", popped_us.saturating_sub(job.enqueued_us));
+
+        // A per-job flight recorder exists only for the watchdog: with
+        // no deadline configured jobs run flight-disabled, exactly as
+        // before the watchdog existed.
+        let recorder = shared.watchdog.enabled().then(|| FlightRecorder::new(4096));
+        if let Some(rec) = &recorder {
+            shared.watchdog.register(
+                job.id,
+                WatchEntry {
+                    started_us: popped_us,
+                    recorder: rec.clone(),
+                    run_id: run_id.clone(),
+                    blob_hash: job.blob_hash.clone(),
+                    program: job.program.clone(),
+                    fired: false,
+                },
+            );
+        }
+        let flight = recorder
+            .as_ref()
+            .map_or_else(light_obs::Flight::disabled, |r| r.flight());
+        let job_started = Instant::now();
+        let record = run_job(&job, &shared.cache, shared.solver_workers, flight);
+        let job_wall_us = job_started.elapsed().as_micros() as u64;
+        if recorder.is_some() {
+            shared.watchdog.deregister(job.id);
+        }
+        // Stage attribution from the job's own snapshot: the solver and
+        // the enforced replay run report their wall time; the remainder
+        // of the job (parse, recording decode, constraint build, doctor
+        // checks) is booked as "doctor". Failed jobs without a snapshot
+        // book their whole wall under doctor.
+        let solve_us = record
+            .metrics
+            .as_ref()
+            .and_then(|m| m.solver)
+            .map_or(0, |s| s.solve_ns / 1_000);
+        let replay_us = record
+            .metrics
+            .as_ref()
+            .and_then(|m| m.replay_run)
+            .map_or(0, |r| r.duration_ns / 1_000);
+        stage("solve", solve_us);
+        stage("replay", replay_us);
+        stage("doctor", job_wall_us.saturating_sub(solve_us + replay_us));
+        let status = record.status;
+        match status {
             RunStatus::Ok => shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed),
             RunStatus::Diverged => shared.stats.jobs_diverged.fetch_add(1, Ordering::Relaxed),
             _ => shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed),
@@ -462,10 +681,17 @@ fn worker_loop(shared: &Shared) {
         // loses the outcome record while jobs_ok/jobs_done still count
         // the job — surface it instead of letting queries silently
         // under-report completed work.
-        if let Err(e) = shared.registry.ingest(record, None) {
+        let write_started = Instant::now();
+        let ingest = shared.registry.ingest(record, None);
+        stage("registry-write", write_started.elapsed().as_micros() as u64);
+        if let Err(e) = ingest {
             shared.stats.ingest_failed.fetch_add(1, Ordering::Relaxed);
             eprintln!("light-serve: job {}: ingest failed: {e}", job.id);
         }
+        let mut fin = event("finished");
+        fin.status = Some(status.as_str().into());
+        fin.dur_us = Some(job_wall_us);
+        shared.events.log(&fin);
         shared.stats.busy_workers.fetch_sub(1, Ordering::Relaxed);
         shared.queue.done();
     }
@@ -506,6 +732,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             } => handle_submit(&mut stream, shared, program, source, recording)?,
             Request::Query(query) => handle_query(&mut stream, shared, &query)?,
             Request::Status => handle_status(&mut stream, shared)?,
+            Request::Metrics => handle_metrics(&mut stream, shared)?,
             Request::Wait => {
                 let jobs_done = shared.queue.wait_idle();
                 let header = Value::obj([
@@ -533,10 +760,13 @@ fn handle_submit(
     if recording.is_empty() {
         return write_error(stream, "empty recording");
     }
+    let ingest_started = Instant::now();
     let (hash, _on_disk) = match shared.registry.store_blob(&recording) {
         Ok(stored) => stored,
         Err(e) => return write_error(stream, &format!("store: {e}")),
     };
+    let ingest_us = ingest_started.elapsed().as_micros() as u64;
+    shared.metrics.latency("ingest", ingest_us);
     // The freshness decision is this insert and nothing else: among
     // concurrent first submissions of the same blob exactly one thread
     // wins and enqueues the job. The on-disk check cannot participate —
@@ -556,16 +786,32 @@ fn handle_submit(
     }
     let job = Job {
         id: shared.next_job.fetch_add(1, Ordering::Relaxed),
-        program,
+        program: program.clone(),
         source,
         blob_hash: hash.clone(),
         recording,
         run_id: RunId::fresh(),
+        enqueued_us: 0,
     };
     let job_id = job.id;
+    let run_id = job.run_id.to_string();
+    let event = |name: &str| JobEvent::new(name, job_id, &run_id, &hash, &program);
+    shared.events.log(&event("accepted"));
+    let mut ing = event("stage");
+    ing.stage = Some("ingest".into());
+    ing.dur_us = Some(ingest_us);
+    shared.events.log(&ing);
     match shared.queue.push(job) {
-        Ok(depth) => {
+        Ok((depth, enqueued_us)) => {
             shared.stats.raise_peak(depth);
+            // Depth is a gauge sampled at enqueue, kept as a histogram
+            // so the snapshot carries its distribution (the light-watch
+            // backpressure table reads its percentiles).
+            shared.metrics.latency("queue-depth", depth);
+            let mut queued = event("queued");
+            queued.ts_us = enqueued_us;
+            queued.queue_depth = Some(depth);
+            shared.events.log(&queued);
             let header = Value::obj([
                 ("ok", Value::Bool(true)),
                 ("blob_hash", Value::from(hash.as_str())),
@@ -581,6 +827,7 @@ fn handle_submit(
             // restarted server (which primes dedup from Serve records,
             // not blob presence) accepts the resubmission and jobs it.
             shared.seen.lock().unwrap().remove(&hash);
+            shared.events.log(&event("rejected"));
             write_error(stream, "server is draining, submission rejected")
         }
     }
@@ -650,9 +897,45 @@ fn handle_status(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     write_frame(stream, &header, &[])
 }
 
+/// The daemon's live unified snapshot: the stage-latency histograms
+/// accumulated so far plus the serve counters, composable with every
+/// consumer of [`MetricsSnapshot`] (Prometheus exposition, the
+/// registry's trend/backpressure tables, `light-serve top`).
+fn live_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let mut snap = shared.metrics.snapshot();
+    snap.serve = Some(shared.stats.snapshot(shared.workers));
+    snap
+}
+
+/// Answers the `Metrics` op: the status gauges plus the full live
+/// snapshot, readable mid-run — this is the Prometheus scrape path, so
+/// it must not block on the job queue or stop any worker (it takes the
+/// metrics mutex only long enough to clone the snapshot).
+fn handle_metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let (queue_depth, in_flight, draining) = shared.queue.depth();
+    let header = Value::obj([
+        ("ok", Value::Bool(true)),
+        ("queue_depth", Value::from(queue_depth)),
+        ("in_flight", Value::from(in_flight)),
+        (
+            "busy_workers",
+            Value::from(shared.stats.busy_workers.load(Ordering::Relaxed)),
+        ),
+        ("draining", Value::Bool(draining)),
+        ("jobs_done", Value::from(shared.queue.jobs_done())),
+        (
+            "uptime_ms",
+            Value::from(shared.started.elapsed().as_millis() as u64),
+        ),
+        ("metrics", live_snapshot(shared).to_json()),
+    ]);
+    write_frame(stream, &header, &[])
+}
+
 fn handle_shutdown(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
     shared.queue.close();
     let jobs_done = shared.queue.wait_idle();
+    shared.watchdog.close();
     ingest_summary(shared);
     let header = Value::obj([
         ("ok", Value::Bool(true)),
@@ -678,15 +961,17 @@ fn ingest_summary(shared: &Shared) {
     let mut rec = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
     rec.provenance = Some(format!("light-serve daemon on {}", shared.addr));
     rec.wall_ms = Some(shared.started.elapsed().as_millis() as u64);
-    let serve = shared.stats.snapshot(shared.workers);
+    let snap = live_snapshot(shared);
+    let serve = snap.serve.unwrap_or_default();
     rec.headline
         .insert("submissions".into(), serve.submissions as f64);
     rec.headline
         .insert("dedup_hits".into(), serve.dedup_hits as f64);
-    rec.metrics = Some(MetricsSnapshot {
-        serve: Some(serve),
-        ..MetricsSnapshot::default()
-    });
+    // The whole live snapshot rides along, so the stage-latency
+    // histograms outlive the daemon: `light-watch trend --backpressure`
+    // reads the queue-depth and queue-wait distributions off this
+    // record after the daemon is gone.
+    rec.metrics = Some(snap);
     let _ = shared.registry.ingest(rec, None);
 }
 

@@ -6,8 +6,9 @@
 
 use light_core::{write_recording, Light};
 use light_serve::{start, Client, ServerOptions};
-use light_telemetry::{Query, Registry, RunKind, RunStatus};
-use std::collections::HashSet;
+use light_telemetry::events::STAGES;
+use light_telemetry::{chrome_trace, read_events, JobEvent, Query, Registry, RunKind, RunStatus};
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -89,6 +90,19 @@ fn sixty_four_clients_submit_dedup_and_query() {
     .unwrap();
     let addr = handle.addr().to_string();
     let submitted: Vec<(String, bool)> = std::thread::scope(|scope| {
+        // A live scraper races the submission storm: the Metrics op must
+        // answer mid-run without blocking on the job queue or a worker.
+        let scraper = {
+            let addr = &addr;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..20 {
+                    let m = c.metrics().unwrap();
+                    assert!(!m.draining, "scrape mid-run, not mid-drain");
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            })
+        };
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {
                 let addr = &addr;
@@ -109,7 +123,9 @@ fn sixty_four_clients_submit_dedup_and_query() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        let out = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        scraper.join().unwrap();
+        out
     });
 
     // -- Dedup accounting: every submission got a hash; exactly one
@@ -133,6 +149,30 @@ fn sixty_four_clients_submit_dedup_and_query() {
     assert!(status.metrics.queue_peak > 0);
     assert_eq!(status.queue_depth, 0);
     assert_eq!(status.in_flight, 0);
+
+    // -- Live metrics snapshot: stage histograms populated daemon-wide,
+    // and the counters it carries agree exactly with the status op.
+    let live = client.metrics().unwrap();
+    assert_eq!(live.jobs_done, unique as u64);
+    let serve_live = live.snapshot.serve.expect("live snapshot carries serve counters");
+    assert_eq!(serve_live.submissions, status.metrics.submissions);
+    assert_eq!(serve_live.dedup_hits, status.metrics.dedup_hits);
+    assert_eq!(serve_live.jobs_ok, status.metrics.jobs_ok);
+    assert_eq!(serve_live.jobs_failed, status.metrics.jobs_failed);
+    assert_eq!(serve_live.queue_peak, status.metrics.queue_peak);
+    for stage in STAGES {
+        let h = live
+            .snapshot
+            .latencies
+            .get(stage)
+            .unwrap_or_else(|| panic!("live snapshot missing stage {stage}"));
+        // Ingest is timed per submission (dedup hits still hash the
+        // blob); the five job stages run once per unique recording.
+        let expect = if stage == "ingest" { total } else { unique };
+        assert_eq!(h.count(), expect as u64, "stage {stage} sample count");
+    }
+    let depth_hist = &live.snapshot.latencies["queue-depth"];
+    assert_eq!(depth_hist.count(), unique as u64, "one depth sample per enqueue");
 
     // -- Query by program: exactly the 12 race jobs, all ok.
     let reply = client
@@ -197,6 +237,110 @@ fn sixty_four_clients_submit_dedup_and_query() {
         .expect("summary carries the serve metrics section");
     assert_eq!(serve.submissions, total as u64);
     assert_eq!(serve.dedup_hits, (total - unique) as u64);
+    let summary_latencies = &summary[0].metrics.as_ref().unwrap().latencies;
+    assert_eq!(
+        summary_latencies["queue-wait"].count(),
+        unique as u64,
+        "stage histograms outlive the daemon via the summary record"
+    );
+    assert!(summary_latencies["queue-depth"].count() > 0);
+
+    // -- Event log: every job fully journaled, per-job timestamps
+    // monotonic, and every RunId joinable with the registry records and
+    // the Chrome-trace export.
+    let (events, skipped) = read_events(&dir).unwrap();
+    assert_eq!(skipped, 0, "no torn or foreign lines in events.jsonl");
+    let mut by_job: HashMap<u64, Vec<&JobEvent>> = HashMap::new();
+    for ev in &events {
+        by_job.entry(ev.job_id).or_default().push(ev);
+    }
+    assert_eq!(by_job.len(), unique, "exactly one event stream per fresh job");
+    let job_run_ids: HashSet<String> = registry
+        .load()
+        .unwrap()
+        .into_iter()
+        .filter(|r| r.kind == RunKind::Serve && r.program != "light-serve")
+        .filter_map(|r| r.run_id)
+        .collect();
+    assert_eq!(job_run_ids.len(), unique);
+    for (job_id, evs) in &by_job {
+        let kinds: Vec<&str> = evs.iter().map(|e| e.event.as_str()).collect();
+        for needed in ["accepted", "queued", "started", "finished"] {
+            assert!(kinds.contains(&needed), "job {job_id} missing {needed}: {kinds:?}");
+        }
+        let stages: HashSet<&str> = evs
+            .iter()
+            .filter(|e| e.event == "stage")
+            .filter_map(|e| e.stage.as_deref())
+            .collect();
+        for stage in STAGES {
+            assert!(stages.contains(stage), "job {job_id} missing stage {stage}");
+        }
+        for pair in evs.windows(2) {
+            assert!(
+                pair[0].ts_us <= pair[1].ts_us,
+                "job {job_id}: {} at {}us after {} at {}us",
+                pair[1].event,
+                pair[1].ts_us,
+                pair[0].event,
+                pair[0].ts_us
+            );
+        }
+        let queued = evs.iter().find(|e| e.event == "queued").unwrap();
+        assert!(queued.queue_depth.is_some(), "queued event records depth at enqueue");
+        let finished = evs.iter().find(|e| e.event == "finished").unwrap();
+        assert_eq!(finished.status.as_deref(), Some("ok"));
+        assert!(
+            job_run_ids.contains(&finished.run_id),
+            "job {job_id} run_id {} not in the registry",
+            finished.run_id
+        );
+    }
+    let trace = chrome_trace(&events);
+    for run_id in &job_run_ids {
+        assert!(trace.contains(run_id.as_str()), "trace export missing {run_id}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A job that outlives the stage deadline gets exactly one watchdog
+/// event carrying the live flight-recorder tail — and still runs to
+/// completion: the watchdog observes, it never kills.
+#[test]
+fn watchdog_dumps_flight_tail_of_slow_jobs() {
+    let race = Light::new(Arc::new(lir::parse(RACE).unwrap()));
+    let (recording, _) = race.record(&[2500], 9).unwrap();
+    let bytes = write_recording(&recording).to_vec();
+
+    let dir = tmpdir("watchdog");
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        workers: 1,
+        stage_deadline_ms: 1, // far below a 2500-iteration solve+replay
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let reply = client.submit("race", RACE, &bytes).unwrap();
+    assert!(!reply.dedup);
+    client.wait_idle().unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+
+    let (events, skipped) = read_events(&dir).unwrap();
+    assert_eq!(skipped, 0);
+    let dogs: Vec<&JobEvent> = events.iter().filter(|e| e.event == "watchdog").collect();
+    assert_eq!(dogs.len(), 1, "the deadline fires once per job, not per poll");
+    let dog = dogs[0];
+    assert!(
+        dog.detail.as_deref().unwrap_or("").starts_with("flight tail"),
+        "watchdog detail should carry the flight tail, got {:?}",
+        dog.detail
+    );
+    assert!(dog.dur_us.unwrap_or(0) >= 1_000, "fired only past the deadline");
+    let finished = events.iter().find(|e| e.event == "finished").unwrap();
+    assert_eq!(finished.status.as_deref(), Some("ok"));
+    assert_eq!(finished.run_id, dog.run_id, "tail attributed to the right job");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

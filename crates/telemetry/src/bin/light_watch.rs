@@ -5,6 +5,7 @@
 //!     --headline solver_speedup=3.1 --file run.lrec
 //! light-watch query --registry runs/ --status diverged --json
 //! light-watch trend solver_speedup --registry runs/
+//! light-watch trend --backpressure --registry runs/
 //! light-watch regress solver_speedup --registry runs/ --baseline 5 --threshold 20
 //! light-watch prom --registry runs/
 //! ```
@@ -54,6 +55,9 @@ query options:
 trend options (trend <metric>):
   --latest             print only the newest value (machine-readable)
   --aggregate          also print the cross-run aggregated snapshot JSON
+  --backpressure       serve backpressure table instead of a metric:
+                       queue depth at enqueue and queue-wait medians
+                       per daemon lifetime (no <metric> argument)
 
 regress options (regress <metric>):
   --baseline <k>       rolling baseline window           (default 5)
@@ -81,6 +85,7 @@ struct Cli {
     json: bool,
     latest: bool,
     aggregate: bool,
+    backpressure: bool,
     baseline: usize,
     threshold: f64,
     direction: Option<regress::Direction>,
@@ -116,6 +121,7 @@ fn parse_cli() -> Result<Cli, String> {
         json: false,
         latest: false,
         aggregate: false,
+        backpressure: false,
         baseline: 5,
         threshold: 20.0,
         direction: None,
@@ -161,6 +167,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--latest" => cli.latest = true,
             "--aggregate" => cli.aggregate = true,
+            "--backpressure" => cli.backpressure = true,
             "--baseline" => {
                 cli.baseline = next_val(&mut it, "--baseline")?
                     .parse()
@@ -299,9 +306,13 @@ fn cmd_query(cli: &Cli) -> Result<(), String> {
 }
 
 fn cmd_trend(cli: &Cli) -> Result<(), String> {
-    let metric = cli.metric.clone().ok_or("trend needs a metric name")?;
     let registry = open_registry(cli)?;
     let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
+    if cli.backpressure {
+        print!("{}", trend::render_backpressure(&records));
+        return Ok(());
+    }
+    let metric = cli.metric.clone().ok_or("trend needs a metric name")?;
     let points = trend::series(&records, &metric);
     if cli.latest {
         match points.last() {

@@ -1,0 +1,303 @@
+//! The `light-serve` per-job event log: schema, reader, and the
+//! Chrome-trace stitch.
+//!
+//! The daemon appends one JSONL line per job lifecycle step to
+//! `events.jsonl` next to the registry index: `accepted` (blob stored,
+//! job minted), `queued` (with the queue depth at enqueue — the
+//! backpressure signal), `started`, one `stage` line per pipeline stage
+//! with its duration in µs, `watchdog` (a stage deadline fired and the
+//! flight-recorder tail was dumped), and `finished` with the outcome.
+//! Every line carries the job's [`light_obs::RunId`], so the event log
+//! joins with the registry record, the progress JSONL, and the Chrome
+//! trace of the same job.
+//!
+//! Like the index, the log is append-only and read tolerantly: torn
+//! trailing lines and foreign/future schema lines are skipped, not
+//! fatal.
+
+use light_obs::json::Value;
+use light_obs::{chrome_trace_json, RunId, TraceEvent};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The event-log line schema identifier. Bump only for breaking layout
+/// changes; additive keys ride on the same version.
+pub const EVENTS_SCHEMA: &str = "light-serve/events/v1";
+
+/// File name of the event log, next to the registry's `index.jsonl`.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// The canonical pipeline stages a job passes through, in order. Stage
+/// events name one of these; the Chrome stitch maps them back to
+/// static span names.
+pub const STAGES: [&str; 6] = [
+    "ingest",
+    "queue-wait",
+    "solve",
+    "replay",
+    "doctor",
+    "registry-write",
+];
+
+/// One `light-serve/events/v1` line: a job lifecycle step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobEvent {
+    /// Monotonic µs timestamp ([`light_obs::now_us`] at the step).
+    pub ts_us: u64,
+    /// `accepted` | `queued` | `started` | `stage` | `watchdog` |
+    /// `finished` | `rejected`.
+    pub event: String,
+    /// The server-assigned job id.
+    pub job_id: u64,
+    /// Causal trace id (32-hex [`RunId`]) of the job.
+    pub run_id: String,
+    /// Content hash of the job's recording blob.
+    pub blob_hash: String,
+    /// Program name the submitter labelled the recording with.
+    pub program: String,
+    /// Queue depth observed at enqueue (on `queued` events).
+    pub queue_depth: Option<u64>,
+    /// Stage name (on `stage` events; one of [`STAGES`]).
+    pub stage: Option<String>,
+    /// Stage (or, on `finished`, whole-job) duration in µs.
+    pub dur_us: Option<u64>,
+    /// Outcome (`ok` | `diverged` | `failed`) on `finished` events.
+    pub status: Option<String>,
+    /// Free-form payload: the flight-recorder tail on `watchdog` events.
+    pub detail: Option<String>,
+}
+
+impl JobEvent {
+    /// A minimal event; fill the optional fields before logging.
+    pub fn new(event: &str, job_id: u64, run_id: &str, blob_hash: &str, program: &str) -> Self {
+        JobEvent {
+            ts_us: light_obs::now_us(),
+            event: event.into(),
+            job_id,
+            run_id: run_id.into(),
+            blob_hash: blob_hash.into(),
+            program: program.into(),
+            ..JobEvent::default()
+        }
+    }
+
+    /// Renders the event as one log line's JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("schema".into(), Value::from(EVENTS_SCHEMA)),
+            ("ts_us".into(), Value::from(self.ts_us)),
+            ("event".into(), Value::from(self.event.as_str())),
+            ("job_id".into(), Value::from(self.job_id)),
+            ("run_id".into(), Value::from(self.run_id.as_str())),
+            ("blob_hash".into(), Value::from(self.blob_hash.as_str())),
+            ("program".into(), Value::from(self.program.as_str())),
+        ];
+        let mut opt = |key: &str, v: Option<Value>| {
+            if let Some(v) = v {
+                pairs.push((key.into(), v));
+            }
+        };
+        opt("queue_depth", self.queue_depth.map(Value::from));
+        opt("stage", self.stage.as_deref().map(Value::from));
+        opt("dur_us", self.dur_us.map(Value::from));
+        opt("status", self.status.as_deref().map(Value::from));
+        opt("detail", self.detail.as_deref().map(Value::from));
+        Value::Obj(pairs)
+    }
+
+    /// Parses one log line. `None` for lines that are not
+    /// `light-serve/events/v1` (foreign or future lines are skipped,
+    /// not fatal).
+    pub fn from_json(v: &Value) -> Option<Self> {
+        if v.get("schema").and_then(Value::as_str) != Some(EVENTS_SCHEMA) {
+            return None;
+        }
+        let text = |key: &str| v.get(key).and_then(Value::as_str).map(String::from);
+        Some(JobEvent {
+            ts_us: v.get("ts_us").and_then(Value::as_u64)?,
+            event: text("event")?,
+            job_id: v.get("job_id").and_then(Value::as_u64)?,
+            run_id: text("run_id").unwrap_or_default(),
+            blob_hash: text("blob_hash").unwrap_or_default(),
+            program: text("program").unwrap_or_default(),
+            queue_depth: v.get("queue_depth").and_then(Value::as_u64),
+            stage: text("stage"),
+            dur_us: v.get("dur_us").and_then(Value::as_u64),
+            status: text("status"),
+            detail: text("detail"),
+        })
+    }
+}
+
+/// Path of the event log under a registry root.
+pub fn events_path(root: &Path) -> PathBuf {
+    root.join(EVENTS_FILE)
+}
+
+/// Reads a registry's event log. Returns the parsed events in file
+/// order plus the count of torn or foreign lines skipped. A missing
+/// file is an empty log, not an error (pre-PR-8 registries have none).
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn read_events(root: &Path) -> io::Result<(Vec<JobEvent>, u64)> {
+    let text = match std::fs::read_to_string(events_path(root)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut events = Vec::new();
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Value::parse(line).ok().as_ref().and_then(JobEvent::from_json) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    Ok((events, skipped))
+}
+
+/// The static span name for a stage event (Chrome trace spans carry
+/// `&'static str` names).
+fn stage_span_name(stage: &str) -> &'static str {
+    match stage {
+        "ingest" => "ingest",
+        "queue-wait" => "queue-wait",
+        "solve" => "solve",
+        "replay" => "replay",
+        "doctor" => "doctor",
+        "registry-write" => "registry-write",
+        _ => "stage",
+    }
+}
+
+/// Stitches job events into the existing Chrome-trace export: one
+/// [`TraceEvent::RunContext`] per job (its `RunId` groups the job's
+/// spans into one trace-viewer process) followed by a `Complete` span
+/// per stage, placed at `ts - dur` so spans end where the stage event
+/// was logged. Events are grouped by job id, jobs ordered by first
+/// appearance.
+pub fn chrome_trace(events: &[JobEvent]) -> String {
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_job: BTreeMap<u64, Vec<&JobEvent>> = BTreeMap::new();
+    for ev in events {
+        let slot = by_job.entry(ev.job_id).or_default();
+        if slot.is_empty() {
+            order.push(ev.job_id);
+        }
+        slot.push(ev);
+    }
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    for job_id in order {
+        let evs = &by_job[&job_id];
+        let run_id = evs
+            .iter()
+            .map(|e| e.run_id.as_str())
+            .find(|r| !r.is_empty())
+            .unwrap_or_default();
+        // The job's pid in the viewer: the RunId's derived pid when it
+        // parses, else the job id (offset past the reserved pids).
+        let pid = RunId::parse(run_id)
+            .map(|r| u64::from(r.as_pid()))
+            .unwrap_or(job_id + 2);
+        trace.push(TraceEvent::RunContext {
+            run_id: run_id.to_string(),
+            pid,
+        });
+        for ev in evs {
+            if ev.event != "stage" {
+                continue;
+            }
+            let dur = ev.dur_us.unwrap_or(0);
+            trace.push(TraceEvent::Complete {
+                name: stage_span_name(ev.stage.as_deref().unwrap_or("")),
+                tid: light_obs::PIPELINE_LANE,
+                ts_us: ev.ts_us.saturating_sub(dur),
+                dur_us: dur,
+            });
+        }
+    }
+    chrome_trace_json(&trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(event: &str, job: u64) -> JobEvent {
+        let mut ev = JobEvent::new(event, job, &"ab".repeat(16), &"cd".repeat(32), "race");
+        ev.ts_us = 1000 + job;
+        ev
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let mut ev = sample("stage", 3);
+        ev.stage = Some("queue-wait".into());
+        ev.dur_us = Some(250);
+        ev.queue_depth = Some(7);
+        ev.status = Some("ok".into());
+        ev.detail = Some("tail: park park run".into());
+        let line = ev.to_json().to_json();
+        let back = JobEvent::from_json(&Value::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, ev);
+        // Minimal events (no optional fields) roundtrip too.
+        let min = sample("accepted", 1);
+        let back = JobEvent::from_json(&Value::parse(&min.to_json().to_json()).unwrap()).unwrap();
+        assert_eq!(back, min);
+    }
+
+    #[test]
+    fn foreign_and_torn_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("lt-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = sample("finished", 9).to_json().to_json();
+        let body = format!(
+            "{good}\n{{\"schema\":\"other/v9\"}}\nnot json at all\n{}",
+            &good[..good.len() / 2] // torn trailing line
+        );
+        std::fs::write(events_path(&dir), body).unwrap();
+        let (events, skipped) = read_events(&dir).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].job_id, 9);
+        assert_eq!(skipped, 3);
+        // A registry without an event log reads as empty.
+        let empty = dir.join("nope");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert_eq!(read_events(&empty).unwrap(), (Vec::new(), 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_groups_spans_per_job_run_id() {
+        let run_a = RunId::fresh().to_string();
+        let run_b = RunId::fresh().to_string();
+        let mut events = Vec::new();
+        for (job, run) in [(1u64, &run_a), (2, &run_b)] {
+            for (i, stage) in STAGES.iter().enumerate() {
+                let mut ev = JobEvent::new("stage", job, run, "hash", "race");
+                ev.ts_us = 1_000 * job + 10 * i as u64;
+                ev.stage = Some((*stage).into());
+                ev.dur_us = Some(5);
+                events.push(ev);
+            }
+            let mut fin = JobEvent::new("finished", job, run, "hash", "race");
+            fin.status = Some("ok".into());
+            events.push(fin);
+        }
+        let trace = chrome_trace(&events);
+        assert!(trace.contains(&run_a), "run id {run_a} missing from trace");
+        assert!(trace.contains(&run_b));
+        for stage in STAGES {
+            assert!(trace.contains(&format!("\"name\": \"{stage}\"")), "{stage}");
+        }
+        // Two RunContext process_name metadata records, one per job.
+        assert_eq!(trace.matches("process_name").count(), 2);
+    }
+}

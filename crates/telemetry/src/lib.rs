@@ -21,8 +21,14 @@
 //!    point is gated against a rolling baseline of the previous K runs
 //!    (`light-watch regress`, the CI gate).
 //!
-//! 4. **Prometheus exposition** ([`prom::render`]) of registry
-//!    aggregates, the scrape surface a future light-serve will serve.
+//! 4. **Prometheus exposition**: [`prom::render`] over registry
+//!    aggregates (`light-watch prom`) and [`prom::render_live`] over a
+//!    live daemon snapshot (`light-serve metrics --prom`), emitting the
+//!    same metric names for the counters both surfaces share.
+//!
+//! 5. **The serve event log** ([`events`]): the reader and Chrome-trace
+//!    stitch for the per-job `light-serve/events/v1` JSONL the daemon
+//!    appends next to the index.
 //!
 //! Every Light CLI auto-ingests into the registry named by the
 //! `LIGHT_REGISTRY` environment variable (see [`auto_ingest`]); with
@@ -42,6 +48,7 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod events;
 pub mod hash;
 pub mod prom;
 pub mod query;
@@ -50,9 +57,10 @@ pub mod registry;
 pub mod regress;
 pub mod trend;
 
+pub use events::{chrome_trace, events_path, read_events, JobEvent, EVENTS_FILE, EVENTS_SCHEMA};
 pub use hash::{sha256, sha256_hex};
 pub use query::Query;
 pub use record::{RunKind, RunRecord, RunStatus, SCHEMA};
 pub use registry::{auto_ingest, IndexStats, Registry, RegistryError, REGISTRY_ENV};
 pub use regress::{check as regress_check, Direction, RegressError, Verdict};
-pub use trend::{aggregate_snapshots, series, TrendPoint};
+pub use trend::{aggregate_snapshots, render_backpressure, series, TrendPoint};

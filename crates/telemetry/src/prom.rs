@@ -1,10 +1,41 @@
-//! Prometheus text exposition of registry aggregates, for a future
-//! light-serve `/metrics` endpoint (and usable today via
-//! `light-watch prom`).
+//! Prometheus text exposition, two surfaces sharing one namespace:
+//! [`render`] folds *registry* records (`light-watch prom`), and
+//! [`render_live`] exposes a running daemon's live
+//! [`MetricsSnapshot`] (`light-serve metrics --prom`, pollable at
+//! scrape rate without stopping the daemon). The `light_serve_*`
+//! counters use identical metric names on both surfaces, so a
+//! dashboard built against the live scrape keeps working over
+//! post-hoc registry data.
 
 use crate::record::RunRecord;
+use light_obs::{Histogram, MetricsSnapshot, ServeMetrics};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Appends the `light_serve_*` counter/gauge families for one
+/// [`ServeMetrics`] section — the shared block that keeps [`render`]
+/// and [`render_live`] agreeing on metric names.
+fn write_serve_metrics(out: &mut String, serve: &ServeMetrics) {
+    let counters: [(&str, &str, u64); 6] = [
+        ("submissions", "Recordings submitted", serve.submissions),
+        ("dedup_hits", "Submissions answered by dedup", serve.dedup_hits),
+        ("jobs_ok", "Jobs replayed without divergence", serve.jobs_ok),
+        ("jobs_diverged", "Jobs that diverged on replay", serve.jobs_diverged),
+        ("jobs_failed", "Jobs that failed outright", serve.jobs_failed),
+        ("ingest_failed", "Job records the registry rejected", serve.ingest_failed),
+    ];
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP light_serve_{name}_total {help}.");
+        let _ = writeln!(out, "# TYPE light_serve_{name}_total counter");
+        let _ = writeln!(out, "light_serve_{name}_total {value}");
+    }
+    out.push_str("# HELP light_serve_queue_peak Deepest job queue observed.\n");
+    out.push_str("# TYPE light_serve_queue_peak gauge\n");
+    let _ = writeln!(out, "light_serve_queue_peak {}", serve.queue_peak);
+    out.push_str("# HELP light_serve_workers Job worker threads.\n");
+    out.push_str("# TYPE light_serve_workers gauge\n");
+    let _ = writeln!(out, "light_serve_workers {}", serve.workers);
+}
 
 /// Renders registry aggregates in the Prometheus text exposition
 /// format (version 0.0.4): run counts by kind/status, diverged totals,
@@ -17,9 +48,21 @@ pub fn render(records: &[RunRecord]) -> String {
     let mut diverged = 0u64;
     let mut blob_bytes = 0u64;
     let mut blobs = 0u64;
+    let mut serve: Option<ServeMetrics> = None;
     // (metric, program) -> (ts, value): keep the newest.
     let mut latest: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
     for r in records {
+        if let Some(s) = r.metrics.as_ref().and_then(|m| m.serve) {
+            let acc = serve.get_or_insert_with(ServeMetrics::default);
+            acc.submissions += s.submissions;
+            acc.dedup_hits += s.dedup_hits;
+            acc.jobs_ok += s.jobs_ok;
+            acc.jobs_diverged += s.jobs_diverged;
+            acc.jobs_failed += s.jobs_failed;
+            acc.ingest_failed += s.ingest_failed;
+            acc.queue_peak = acc.queue_peak.max(s.queue_peak);
+            acc.workers = acc.workers.max(s.workers);
+        }
         *by_kind_status
             .entry((r.kind.as_str().into(), r.status.as_str().into()))
             .or_insert(0) += 1;
@@ -60,6 +103,10 @@ pub fn render(records: &[RunRecord]) -> String {
     out.push_str("# TYPE light_registry_blob_bytes gauge\n");
     let _ = writeln!(out, "light_registry_blob_bytes {blob_bytes}");
 
+    if let Some(serve) = &serve {
+        write_serve_metrics(&mut out, serve);
+    }
+
     if !latest.is_empty() {
         out.push_str("# HELP light_headline Latest value of each headline metric.\n");
         out.push_str("# TYPE light_headline gauge\n");
@@ -73,6 +120,49 @@ pub fn render(records: &[RunRecord]) -> String {
         }
     }
     out
+}
+
+/// Renders a live daemon [`MetricsSnapshot`] — the `Metrics` wire op's
+/// payload — in the Prometheus text exposition format: the
+/// `light_serve_*` counters (same names as [`render`]) plus one summary
+/// family per stage latency histogram with p50/p95/p99 quantiles,
+/// count, and sum. Pollable at scrape rate; one snapshot, no registry
+/// I/O.
+pub fn render_live(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    write_serve_metrics(&mut out, &snapshot.serve.unwrap_or_default());
+    if !snapshot.latencies.is_empty() {
+        out.push_str(
+            "# HELP light_serve_stage_latency_us Per-stage job pipeline latency in microseconds.\n",
+        );
+        out.push_str("# TYPE light_serve_stage_latency_us summary\n");
+        for (stage, h) in &snapshot.latencies {
+            let stage = escape_label(stage);
+            for (q, p) in [(0.5, h.percentile(0.5)), (0.95, h.percentile(0.95)), (0.99, h.percentile(0.99))] {
+                let _ = writeln!(
+                    out,
+                    "light_serve_stage_latency_us{{stage=\"{stage}\",quantile=\"{q}\"}} {p}"
+                );
+            }
+            let _ = writeln!(out, "light_serve_stage_latency_us_sum{{stage=\"{stage}\"}} {}", h.sum());
+            let _ = writeln!(out, "light_serve_stage_latency_us_count{{stage=\"{stage}\"}} {}", h.count());
+        }
+    }
+    out
+}
+
+/// Renders one histogram's summary line for terminal display:
+/// `count  p50  p95  p99  max` in µs — the row format `light-serve
+/// metrics` and `top` share.
+pub fn stage_row(name: &str, h: &Histogram) -> String {
+    format!(
+        "{name:>16}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+        h.count(),
+        h.percentile(0.5),
+        h.percentile(0.95),
+        h.percentile(0.99),
+        h.max(),
+    )
 }
 
 /// Escapes a label value per the Prometheus text exposition rules:
@@ -137,5 +227,73 @@ mod tests {
         let text = render(&[]);
         assert!(text.contains("light_diverged_runs_total 0"));
         assert!(!text.contains("light_headline{"));
+        // No Serve records, no serve family: names stay absent rather
+        // than lying with zeros about a service that never ran.
+        assert!(!text.contains("light_serve_submissions_total"));
+    }
+
+    #[test]
+    fn registry_and_live_expositions_agree_on_serve_names() {
+        let serve = ServeMetrics {
+            submissions: 100,
+            dedup_hits: 87,
+            jobs_ok: 12,
+            jobs_diverged: 1,
+            jobs_failed: 0,
+            ingest_failed: 2,
+            queue_peak: 9,
+            workers: 4,
+        };
+        let mut rec = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+        rec.metrics = Some(MetricsSnapshot {
+            serve: Some(serve),
+            ..Default::default()
+        });
+        let registry_text = render(&[rec]);
+        let live_text = render_live(&MetricsSnapshot {
+            serve: Some(serve),
+            ..Default::default()
+        });
+        for (name, value) in [
+            ("light_serve_submissions_total", 100),
+            ("light_serve_dedup_hits_total", 87),
+            ("light_serve_jobs_ok_total", 12),
+            ("light_serve_jobs_diverged_total", 1),
+            ("light_serve_jobs_failed_total", 0),
+            ("light_serve_ingest_failed_total", 2),
+            ("light_serve_queue_peak", 9),
+            ("light_serve_workers", 4),
+        ] {
+            let sample = format!("{name} {value}");
+            assert!(registry_text.contains(&sample), "registry missing {sample}");
+            assert!(live_text.contains(&sample), "live missing {sample}");
+            assert!(registry_text.contains(&format!("# TYPE {name}")), "{name} untyped");
+            assert!(registry_text.contains(&format!("# HELP {name}")), "{name} unhelped");
+        }
+    }
+
+    #[test]
+    fn live_exposition_renders_stage_quantiles() {
+        let mut snap = MetricsSnapshot::default();
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 900, 901, 902] {
+            h.record(v);
+        }
+        snap.latencies.insert("queue-wait".into(), h.clone());
+        let text = render_live(&snap);
+        assert!(text.contains("# TYPE light_serve_stage_latency_us summary"));
+        assert!(text.contains(&format!(
+            "light_serve_stage_latency_us{{stage=\"queue-wait\",quantile=\"0.5\"}} {}",
+            h.percentile(0.5)
+        )));
+        assert!(text.contains("light_serve_stage_latency_us_count{stage=\"queue-wait\"} 5"));
+        assert!(text.contains(&format!(
+            "light_serve_stage_latency_us_sum{{stage=\"queue-wait\"}} {}",
+            h.sum()
+        )));
+        // No latencies recorded yet: counters still render, quantiles don't.
+        let empty = render_live(&MetricsSnapshot::default());
+        assert!(empty.contains("light_serve_submissions_total 0"));
+        assert!(!empty.contains("stage_latency"));
     }
 }

@@ -217,7 +217,10 @@ impl RunRecord {
     /// Resolves a metric path on this record. Bare names and
     /// `headline.<name>` read the headline map; dotted paths like
     /// `solver.solve_ns` or `record.deps` walk the metric snapshot's
-    /// JSON shape; `wall_ms` reads the wall-clock field.
+    /// JSON shape; `wall_ms` reads the wall-clock field;
+    /// `latency.<histogram>.<p50|p95|p99|mean|max|count>` summarizes a
+    /// stage latency histogram (histogram names may themselves contain
+    /// dots or dashes — the *last* dot splits name from statistic).
     pub fn metric(&self, path: &str) -> Option<f64> {
         if let Some(v) = self.headline.get(path) {
             return Some(*v);
@@ -227,6 +230,19 @@ impl RunRecord {
         }
         if path == "wall_ms" {
             return self.wall_ms.map(|v| v as f64);
+        }
+        if let Some(rest) = path.strip_prefix("latency.") {
+            let (name, stat) = rest.rsplit_once('.')?;
+            let h = self.metrics.as_ref()?.latencies.get(name)?;
+            return Some(match stat {
+                "p50" => h.percentile(0.5) as f64,
+                "p95" => h.percentile(0.95) as f64,
+                "p99" => h.percentile(0.99) as f64,
+                "mean" => h.mean(),
+                "max" => h.max() as f64,
+                "count" => h.count() as f64,
+                _ => return None,
+            });
         }
         let snapshot = self.metrics.as_ref()?.to_json();
         let mut cur = &snapshot;
@@ -289,5 +305,28 @@ mod tests {
         assert_eq!(rec.metric("solver.vars"), Some(10.0));
         assert_eq!(rec.metric("wall_ms"), Some(42.0));
         assert_eq!(rec.metric("nope.nothing"), None);
+    }
+
+    #[test]
+    fn latency_metric_paths_summarize_histograms() {
+        let mut rec = sample();
+        let mut h = light_obs::Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        rec.metrics
+            .as_mut()
+            .unwrap()
+            .latencies
+            .insert("queue-wait".into(), h.clone());
+        assert_eq!(rec.metric("latency.queue-wait.p50"), Some(h.percentile(0.5) as f64));
+        assert_eq!(rec.metric("latency.queue-wait.p99"), Some(h.percentile(0.99) as f64));
+        assert_eq!(rec.metric("latency.queue-wait.count"), Some(3.0));
+        assert_eq!(rec.metric("latency.queue-wait.max"), Some(300.0));
+        assert_eq!(rec.metric("latency.queue-wait.mean"), Some(200.0));
+        // Unknown histogram or statistic: absent, not zero.
+        assert_eq!(rec.metric("latency.solve.p50"), None);
+        assert_eq!(rec.metric("latency.queue-wait.p1000"), None);
+        assert_eq!(rec.metric("latency.queue-wait"), None);
     }
 }

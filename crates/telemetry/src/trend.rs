@@ -1,6 +1,6 @@
 //! Metric time series over registry records.
 
-use crate::record::RunRecord;
+use crate::record::{RunKind, RunRecord};
 use light_obs::MetricsSnapshot;
 use std::fmt::Write as _;
 
@@ -70,6 +70,54 @@ pub fn render(metric: &str, points: &[TrendPoint]) -> String {
     out
 }
 
+/// Renders the serve backpressure table: one row per daemon summary
+/// record (a [`RunKind::Serve`] record carrying the `serve` metrics
+/// section), oldest first, with the median queue depth at enqueue and
+/// the median/p99 queue wait from the summary's stage histograms.
+/// Records ingested before the daemon logged those histograms (pre-PR-8
+/// lifetimes) render "n/a" instead of being dropped — the row still
+/// shows the lifetime ran.
+pub fn render_backpressure(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let mut rows: Vec<&RunRecord> = records
+        .iter()
+        .filter(|r| r.kind == RunKind::Serve)
+        .filter(|r| r.metrics.as_ref().is_some_and(|m| m.serve.is_some()))
+        .collect();
+    rows.sort_by_key(|r| r.ts_ms);
+    if rows.is_empty() {
+        out.push_str("serve backpressure: no daemon summary records\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:>14}  {:>8}  {:>11}  {:>13}  {:>12}  run",
+        "ts_ms", "jobs", "depth p50", "wait p50 us", "wait p99 us"
+    );
+    for r in rows {
+        let metrics = r.metrics.as_ref().unwrap();
+        let serve = metrics.serve.unwrap();
+        let stat = |name: &str, p: f64| {
+            metrics
+                .latencies
+                .get(name)
+                .filter(|h| h.count() > 0)
+                .map_or("n/a".to_string(), |h| h.percentile(p).to_string())
+        };
+        let jobs = serve.jobs_ok + serve.jobs_diverged + serve.jobs_failed;
+        let _ = writeln!(
+            out,
+            "  {:>14}  {jobs:>8}  {:>11}  {:>13}  {:>12}  {}",
+            r.ts_ms,
+            stat("queue-depth", 0.5),
+            stat("queue-wait", 0.5),
+            stat("queue-wait", 0.99),
+            r.run_id.as_deref().unwrap_or("-"),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +148,50 @@ mod tests {
         let flat = series(&[rec(1, Some(2.0)), rec(2, Some(2.0))], "solver_speedup");
         let text = render("solver_speedup", &flat);
         assert!(text.contains("2 points"));
+    }
+
+    #[test]
+    fn backpressure_table_handles_pre_histogram_records() {
+        use light_obs::{Histogram, ServeMetrics};
+        // A pre-PR-8 summary: serve counters, no latency histograms.
+        let mut old = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+        old.ts_ms = 100;
+        old.metrics = Some(MetricsSnapshot {
+            serve: Some(ServeMetrics {
+                jobs_ok: 3,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        // A current summary with backpressure histograms.
+        let mut new = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+        new.ts_ms = 200;
+        new.run_id = Some("00000000000000000000000000000abc".into());
+        let mut snap = MetricsSnapshot {
+            serve: Some(ServeMetrics {
+                jobs_ok: 5,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut depth = Histogram::new();
+        depth.record(4);
+        let mut wait = Histogram::new();
+        wait.record(1500);
+        snap.latencies.insert("queue-depth".into(), depth.clone());
+        snap.latencies.insert("queue-wait".into(), wait.clone());
+        new.metrics = Some(snap);
+        // A per-job Serve record (no serve section) must not get a row.
+        let job = RunRecord::new("race", RunKind::Serve, RunStatus::Ok);
+
+        let text = render_backpressure(&[new.clone(), job, old]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two summaries:\n{text}");
+        assert!(lines[1].contains("n/a"), "pre-PR-8 row renders n/a: {}", lines[1]);
+        assert!(lines[2].contains(&depth.percentile(0.5).to_string()));
+        assert!(lines[2].contains(&wait.percentile(0.99).to_string()));
+        assert!(lines[2].contains("00000000000000000000000000000abc"));
+        assert!(render_backpressure(&[]).contains("no daemon summary records"));
     }
 
     #[test]

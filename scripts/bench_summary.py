@@ -50,7 +50,13 @@ def headline_for(name: str, doc: dict) -> dict:
     rows = doc.get("rows")
     if isinstance(rows, list):
         head["rows"] = len(rows)
-    for key in ("median_overhead", "solver_speedup", "criterion_met", "serve_ingest_rps"):
+    for key in (
+        "median_overhead",
+        "solver_speedup",
+        "criterion_met",
+        "serve_ingest_rps",
+        "serve_obs_overhead",
+    ):
         if key in doc:
             head[key] = doc[key]
     # Medians of common per-row timing fields, when present.
