@@ -302,6 +302,23 @@ fn print_summary(rec: &Recording, file_version: u32) {
         }
         Err(e) => println!("turbo solve: FAILED ({e}) — see light-doctor --explain"),
     }
+
+    // Memory plane: saved logs (all versions to date) carry no record-time
+    // byte gauges, so those render "n/a" like the other pre-format fields.
+    // The solve we just ran *does* populate the live solver gauges in this
+    // process, so show whatever the registry has.
+    println!();
+    let mem = light_core::obs::mem::global().snapshot();
+    println!("memory (record-time): n/a (log format v{file_version} predates the memory plane)");
+    if mem.subsystems.is_empty() {
+        println!("memory (this inspect process): n/a (no gauges registered)");
+    } else {
+        println!("memory (this inspect process):");
+        println!("  {:<16} {:>12} {:>12}", "subsystem", "bytes", "peak");
+        for (name, stat) in &mem.subsystems {
+            println!("  {:<16} {:>12} {:>12}", name, stat.bytes, stat.peak_bytes);
+        }
+    }
 }
 
 fn write_trace(

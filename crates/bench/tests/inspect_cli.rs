@@ -146,6 +146,32 @@ fn summary_renders_the_turbo_solve_section() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Saved logs (every format version to date) carry no record-time byte
+/// gauges, so the summary must say so explicitly rather than print
+/// misleading zeros — mirroring the stripe-contention n/a idiom. The
+/// inspect process itself solves the recording live, which populates the
+/// solver gauges, so the live table must show real rows.
+#[test]
+fn summary_renders_the_memory_section_with_na_for_record_time() {
+    let path = scratch("mem.lrec");
+    std::fs::write(&path, write_recording(&sample_recording())).unwrap();
+    let out = inspect(&[path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("memory (record-time): n/a"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("predates the memory plane"), "stdout: {stdout}");
+    // The live solve registers at least the clause gauge in-process.
+    assert!(
+        stdout.contains("memory (this inspect process):"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("solver-clauses"), "stdout: {stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn clean_recording_summary_omits_provenance() {
     let path = scratch("clean.lrec");

@@ -154,6 +154,12 @@ pub struct ConstraintSystem {
     hard: Vec<(Atom, ConstraintOrigin)>,
     clauses: Vec<(Vec<Atom>, ConstraintOrigin)>,
     flight: light_obs::Flight,
+    /// Byte gauge for [`light_obs::mem::subsystem::SOLVER_CLAUSES`],
+    /// moved once when `build` finishes encoding (the ownership boundary)
+    /// and unwound on `Drop`. `mem_bytes` is this system's contribution
+    /// to the (shared) gauge.
+    mem: light_obs::mem::MemGauge,
+    mem_bytes: u64,
 }
 
 /// Failure to compute a replay schedule.
@@ -183,8 +189,26 @@ impl ConstraintSystem {
             hard: Vec::new(),
             clauses: Vec::new(),
             flight: light_obs::Flight::disabled(),
+            mem: light_obs::mem::handle(light_obs::mem::subsystem::SOLVER_CLAUSES),
+            mem_bytes: 0,
         };
         sys.encode(recording);
+        if sys.mem.enabled() {
+            // One estimate at the encode boundary: var tables plus the
+            // owned atom payloads. The solver's internal graph is not
+            // re-counted here (it mirrors `hard`/`clauses` 1:1).
+            let atom = std::mem::size_of::<Atom>();
+            let clause_bytes: usize = sys
+                .clauses
+                .iter()
+                .map(|(c, _)| std::mem::size_of::<(Vec<Atom>, ConstraintOrigin)>() + c.len() * atom)
+                .sum();
+            sys.mem_bytes = (sys.vars.capacity() * (std::mem::size_of::<(AccessId, Var)>() + 1)
+                + sys.ids.capacity() * std::mem::size_of::<AccessId>()
+                + sys.hard.len() * std::mem::size_of::<(Atom, ConstraintOrigin)>()
+                + clause_bytes) as u64;
+            sys.mem.add(sys.mem_bytes);
+        }
         sys
     }
 
@@ -684,6 +708,14 @@ impl ConstraintSystem {
             });
         }
         Some(out)
+    }
+}
+
+impl Drop for ConstraintSystem {
+    fn drop(&mut self) {
+        // The gauge is shared process-wide; release only what this
+        // system accounted at build time.
+        self.mem.sub(std::mem::take(&mut self.mem_bytes));
     }
 }
 

@@ -26,7 +26,7 @@
 
 use crate::fastmap::FastMap;
 use crate::recording::{AccessId, DepEdge, Recording, RecordStats, RunRec, SignalEdge};
-use light_obs::{Flight, FlightKind, NO_SITE};
+use light_obs::{mem, Flight, FlightKind, NO_SITE};
 use light_runtime::{AccessKind, Loc, Recorder, SyncEvent, Tid};
 use lir::InstrId;
 use parking_lot::{Mutex, RwLock};
@@ -203,6 +203,39 @@ pub struct LightRecorder {
     /// ghost op. Recording *content* is unaffected either way — logs stay
     /// byte-identical with or without a sink.
     flight: Flight,
+    /// Byte gauges for the dependence log ([`mem::subsystem::RECORDER_LOG`])
+    /// and the last-write map ([`mem::subsystem::LW_MAP`]). Accounting
+    /// happens only at ownership-transfer boundaries — TLS merge at thread
+    /// exit, recording handoff — never on the per-access hot path, and the
+    /// handles are no-ops when the global registry is disabled. Recording
+    /// *content* is unaffected: logs stay byte-identical with gauges on.
+    mem_log: mem::MemGauge,
+    mem_lw: mem::MemGauge,
+    /// Bytes this recorder instance has added to each (globally shared)
+    /// gauge, so deltas and `Drop` unwind exactly our own contribution.
+    mem_log_owned: AtomicU64,
+    mem_lw_owned: AtomicU64,
+}
+
+/// Estimated resident heap bytes for one last-write-map entry: the
+/// key/value pair plus one byte of hash-table control metadata.
+const LW_ENTRY_BYTES: u64 = (std::mem::size_of::<(u64, u64)>() + 1) as u64;
+
+/// Heap bytes resident in a batch of log records, by one fixed cost
+/// model: structure size for fixed-width records plus 8 bytes per
+/// interior write counter / nondet long. Applied identically when a TLS
+/// batch merges into the central log (`add`) and when the recording is
+/// taken (`sub`), so the recorder-log gauge drains back to zero at
+/// handoff.
+fn log_record_bytes(deps: usize, runs: &[RunRec], signals: usize, nondet_longs: usize) -> u64 {
+    let run_bytes: u64 = runs
+        .iter()
+        .map(|r| (std::mem::size_of::<RunRec>() + r.write_ctrs.len() * 8) as u64)
+        .sum();
+    deps as u64 * std::mem::size_of::<DepEdge>() as u64
+        + run_bytes
+        + signals as u64 * std::mem::size_of::<SignalEdge>() as u64
+        + nondet_longs as u64 * 8
 }
 
 impl LightRecorder {
@@ -231,7 +264,32 @@ impl LightRecorder {
             spill: None,
             spill_threshold: 4096,
             flight: Flight::disabled(),
+            mem_log: mem::handle(mem::subsystem::RECORDER_LOG),
+            mem_lw: mem::handle(mem::subsystem::LW_MAP),
+            mem_log_owned: AtomicU64::new(0),
+            mem_lw_owned: AtomicU64::new(0),
         })
+    }
+
+    /// Re-measures the last-write map (stripe capacities, not lengths:
+    /// reserved-but-empty table space is still resident) and moves the
+    /// shared gauge by the delta from our previous measurement. Called
+    /// only on cold paths (thread exit, recording handoff).
+    fn update_lw_gauge(&self) {
+        if !self.mem_lw.enabled() {
+            return;
+        }
+        let now: u64 = self
+            .lw
+            .iter()
+            .map(|s| s.read().capacity() as u64 * LW_ENTRY_BYTES)
+            .sum();
+        let old = self.mem_lw_owned.swap(now, Ordering::Relaxed);
+        if now >= old {
+            self.mem_lw.add(now - old);
+        } else {
+            self.mem_lw.sub(old - now);
+        }
     }
 
     /// Attaches a flight-recorder handle. Like [`LightRecorder::with_spill`]
@@ -293,6 +351,23 @@ impl LightRecorder {
         args: &[i64],
     ) -> Recording {
         let central = std::mem::take(&mut *self.central.lock());
+        if self.mem_log.enabled() {
+            // Same cost model as the thread-exit merge, so the gauge
+            // drains to zero once every thread's batch is handed off.
+            // min-guarded against ever subtracting more than we added.
+            let nondet_longs: usize = central.nondet.values().map(Vec::len).sum();
+            let drained = log_record_bytes(
+                central.deps.len(),
+                &central.runs,
+                central.signals.len(),
+                nondet_longs,
+            );
+            let owned = self.mem_log_owned.load(Ordering::Relaxed);
+            let sub = drained.min(owned);
+            self.mem_log.sub(sub);
+            self.mem_log_owned.fetch_sub(sub, Ordering::Relaxed);
+        }
+        self.update_lw_gauge();
         // Long-integer units, assuming the same per-location grouped log
         // layout Leap's unit (1 long per access) assumes: a dependence is
         // the packed writer id plus the reader counter (+1 when the prec
@@ -731,6 +806,14 @@ impl Recorder for LightRecorder {
         if self.spill.is_some() {
             self.spill_buf(&mut buf);
         }
+        // Account the batch once, at the ownership-transfer boundary —
+        // never per record on the hot path. Spilled records were already
+        // handed to disk and are deliberately not resident here.
+        let merged_bytes = if self.mem_log.enabled() {
+            log_record_bytes(buf.deps.len(), &buf.runs, buf.signals.len(), buf.nondet.len())
+        } else {
+            0
+        };
         let mut central = self.central.lock();
         central.deps.append(&mut buf.deps);
         central.runs.append(&mut buf.runs);
@@ -753,6 +836,21 @@ impl Recorder for LightRecorder {
         central.spilled_deps += buf.spilled_deps;
         central.spilled_runs += buf.spilled_runs;
         central.spilled_words += buf.spilled_words;
+        drop(central);
+        if merged_bytes > 0 {
+            self.mem_log.add(merged_bytes);
+            self.mem_log_owned.fetch_add(merged_bytes, Ordering::Relaxed);
+        }
+        self.update_lw_gauge();
+    }
+}
+
+impl Drop for LightRecorder {
+    fn drop(&mut self) {
+        // Unwind exactly what this instance contributed: the gauges are
+        // shared process-wide, and other recorders may still be live.
+        self.mem_log.sub(self.mem_log_owned.swap(0, Ordering::Relaxed));
+        self.mem_lw.sub(self.mem_lw_owned.swap(0, Ordering::Relaxed));
     }
 }
 

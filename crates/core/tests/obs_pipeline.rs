@@ -127,6 +127,49 @@ fn sinks_do_not_perturb_the_recording_bytes() {
 }
 
 #[test]
+fn mem_gauges_do_not_perturb_the_recording_bytes() {
+    // Byte accounting happens at ownership-transfer boundaries only and
+    // never touches record *content*: logs must stay byte-identical with
+    // the memory plane enabled, and the recorder-log / lw-map gauges must
+    // actually see the run (nonzero high-water mark).
+    let reg = light_core::obs::mem::global();
+    let baseline = light(RACY_COUNTER);
+    let before: Vec<Vec<u8>> = (0..3)
+        .map(|seed| {
+            let (recording, _) = baseline.record_chaos(&[12], seed).unwrap();
+            write_recording(&recording).to_vec()
+        })
+        .collect();
+
+    reg.set_enabled(true);
+    // Gauge handles bind at recorder construction, so build the gauged
+    // pipeline only after enabling.
+    let gauged = light(RACY_COUNTER);
+    for (seed, want) in before.iter().enumerate() {
+        let (recording, _) = gauged.record_chaos(&[12], seed as u64).unwrap();
+        assert_eq!(
+            &write_recording(&recording).to_vec(),
+            want,
+            "mem gauges changed the log, seed {seed}"
+        );
+    }
+    let snap = reg.snapshot();
+    reg.set_enabled(false);
+    let log = snap
+        .subsystems
+        .get(light_core::obs::mem::subsystem::RECORDER_LOG)
+        .copied()
+        .expect("recorder-log gauge populated");
+    assert!(log.peak_bytes > 0, "recorder-log never saw the run: {snap:?}");
+    let lw = snap
+        .subsystems
+        .get(light_core::obs::mem::subsystem::LW_MAP)
+        .copied()
+        .expect("lw-map gauge populated");
+    assert!(lw.peak_bytes > 0, "lw-map never saw the run: {snap:?}");
+}
+
+#[test]
 fn run_id_threads_through_replay_and_trace_export() {
     let mut light = light(RACY_COUNTER);
     let sink = Arc::new(TraceSink::new());

@@ -45,7 +45,12 @@ options:
   --json               machine-readable metrics per campaign
   --progress           stream live JSONL progress records to stderr
   --progress-interval-ms <n>
-                       progress sampling interval     (default 250)";
+                       progress sampling interval     (default 250)
+  --memory-budget <MiB>
+                       soft memory watchdog: emit a budget-exceeded
+                       progress record with a per-subsystem breakdown
+                       when tracked bytes cross the budget (needs
+                       --progress; never aborts the campaign)";
 
 struct Cli {
     names: Vec<String>,
@@ -136,6 +141,12 @@ fn parse_cli() -> Result<Cli, String> {
             "--out" => cli.out = Some(next_val(&mut it, "--out")?),
             "--json" => cli.json = true,
             "--progress" => cli.progress = true,
+            "--memory-budget" => {
+                let mib: u64 = next_val(&mut it, "--memory-budget")?
+                    .parse()
+                    .map_err(|e| format!("--memory-budget: {e}"))?;
+                cli.config.memory_budget_bytes = mib.saturating_mul(1 << 20);
+            }
             "--progress-interval-ms" => {
                 let ms: u64 = next_val(&mut it, "--progress-interval-ms")?
                     .parse()

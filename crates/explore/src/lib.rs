@@ -95,6 +95,14 @@ pub struct ExploreConfig {
     /// campaign's telemetry to the invocation's registry entry. Additive:
     /// records omit the key when unset.
     pub run_id: Option<String>,
+    /// Soft memory-budget watchdog, in bytes (0 = disabled). When the
+    /// process-wide [`light_obs::mem`] total crosses the budget, the
+    /// progress sampler emits one `budget-exceeded` record carrying a
+    /// per-subsystem breakdown in `detail`, then re-arms once usage
+    /// drops below 90% of the budget. Observational only — the campaign
+    /// is never aborted. Requires `progress` to be enabled (the sampler
+    /// thread is the watchdog).
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for ExploreConfig {
@@ -111,6 +119,7 @@ impl Default for ExploreConfig {
             progress: Progress::disabled(),
             label: String::new(),
             run_id: None,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -163,6 +172,7 @@ impl CampaignPulse {
             budget_schedules: self.budget_schedules,
             eta_ms,
             run_id: self.run_id.clone(),
+            detail: None,
         }
     }
 
@@ -301,14 +311,42 @@ impl Explorer {
             let pulse = pulse.clone();
             let progress = config.progress.clone();
             let stop = sampler_stop.clone();
+            let budget = config.memory_budget_bytes;
             std::thread::spawn(move || {
                 let tick = progress.interval().max(Duration::from_millis(10));
+                // Soft memory watchdog: edge-triggered so a long breach
+                // emits one record, re-arming below 90% of the budget.
+                let rearm = budget - budget / 10;
+                let mut armed = true;
                 while !stop.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
                     progress.emit(&pulse.sample());
+                    if budget == 0 {
+                        continue;
+                    }
+                    let total = light_obs::mem::global().total_bytes();
+                    if armed && total > budget {
+                        armed = false;
+                        let snap = light_obs::mem::global().snapshot();
+                        let breakdown: Vec<String> = snap
+                            .subsystems
+                            .iter()
+                            .filter(|(_, s)| s.bytes > 0)
+                            .map(|(name, s)| format!("{name}={}", s.bytes))
+                            .collect();
+                        let mut rec = pulse.sample();
+                        rec.phase = "budget-exceeded".into();
+                        rec.detail = Some(format!(
+                            "total={total} budget={budget} breakdown: {}",
+                            breakdown.join(" ")
+                        ));
+                        progress.emit(&rec);
+                    } else if !armed && total < rearm {
+                        armed = true;
+                    }
                 }
             })
         });
@@ -541,6 +579,39 @@ mod tests {
             assert!(pair[1].schedules >= pair[0].schedules);
             assert!(pair[1].elapsed_ms >= pair[0].elapsed_ms);
         }
+    }
+
+    /// The soft memory watchdog is edge-triggered: with the tracked
+    /// total pinned above a 1-byte budget by a ballast gauge, exactly
+    /// one `budget-exceeded` record fires (no re-arm while the ballast
+    /// holds), carrying the per-subsystem breakdown in `detail`.
+    #[test]
+    fn memory_watchdog_emits_one_budget_exceeded_record() {
+        let ballast = light_obs::mem::handle("test-explore-ballast");
+        ballast.add(1 << 20);
+        let sink = Arc::new(light_obs::CollectingProgress::new());
+        let explorer = Explorer::new(racy_program());
+        let config = ExploreConfig {
+            max_schedules: 500,
+            workers: 2,
+            replay_checks: 1,
+            progress: Progress::new(sink.clone(), Duration::from_millis(10)),
+            label: "racy_program".into(),
+            memory_budget_bytes: 1,
+            ..ExploreConfig::default()
+        };
+        let outcome = explorer.run(&[], &config);
+        ballast.sub(1 << 20);
+        assert!(outcome.found.is_some());
+        let breaches: Vec<_> = sink
+            .records()
+            .into_iter()
+            .filter(|r| r.phase == "budget-exceeded")
+            .collect();
+        assert_eq!(breaches.len(), 1, "edge-triggered: exactly one breach");
+        let detail = breaches[0].detail.as_deref().unwrap();
+        assert!(detail.contains("budget=1"), "detail: {detail}");
+        assert!(detail.contains("test-explore-ballast="), "detail: {detail}");
     }
 
     #[test]

@@ -42,14 +42,16 @@
 
 pub mod flight;
 pub mod json;
+pub mod mem;
 mod metrics;
 mod progress;
 mod trace;
 
 pub use flight::{Flight, FlightEvent, FlightKind, FlightSink, FLIGHT_KINDS, NO_SITE};
+pub use mem::{BytesGauge, MemGauge, MemRegistry, MemScope};
 pub use metrics::{
-    ExploreMetrics, Histogram, MetricsRegistry, MetricsSnapshot, PhaseRecord, RecorderMetrics,
-    RunMetrics, SchedulerMetrics, ServeMetrics, SolverMetrics, TurboMetrics,
+    ExploreMetrics, Histogram, MemMetrics, MemStat, MetricsRegistry, MetricsSnapshot, PhaseRecord,
+    RecorderMetrics, RunMetrics, SchedulerMetrics, ServeMetrics, SolverMetrics, TurboMetrics,
 };
 pub use progress::{CollectingProgress, JsonlProgress, Progress, ProgressRecord, ProgressSink};
 pub use trace::{chrome_trace_json, TraceEvent, TraceSink};

@@ -1,0 +1,649 @@
+//! The memory-accounting plane: per-subsystem byte gauges with
+//! high-water tracking, a process-wide registry, and (feature-gated) a
+//! tracking allocator attributing global alloc/dealloc to the scoped
+//! subsystem.
+//!
+//! The paper's headline claim is that recording is *tightly bounded*;
+//! everything else in `light-obs` measures time, this module measures
+//! bytes. The design mirrors the rest of the crate:
+//!
+//! - [`BytesGauge`] is the primitive: a lock-free current/peak pair.
+//!   `add`/`sub` are single atomic RMW ops; `sub` saturates at zero so a
+//!   racing or double-counted release can never drive the gauge
+//!   negative, and the peak is a monotone `fetch_max` high-water mark.
+//! - [`MemRegistry`] groups gauges by subsystem name and snapshots them
+//!   into the [`crate::MemMetrics`] section of a
+//!   [`crate::MetricsSnapshot`], so byte numbers flow through the same
+//!   JSON/registry/prom surfaces as the time metrics.
+//! - Instrumented code holds a cheap [`MemGauge`] handle resolved once
+//!   at construction. When accounting is disabled at handle-creation
+//!   time the handle is a no-op (one branch per call, the
+//!   [`crate::Obs`] pattern) — the E17 bench's "gauges-off" arm.
+//! - **Granularity rule:** producers account bytes when *ownership
+//!   transfers* (a thread-local buffer merges into a central one, a blob
+//!   enters a queue, a cache stores an entry), never per element on a
+//!   hot path. Gauges therefore lag instantaneous usage by at most one
+//!   transfer boundary; that is the deliberate trade that keeps the
+//!   accounting overhead under the E17 criterion.
+//! - With the `track-alloc` feature, [`TrackingAlloc`] can be installed
+//!   as the global allocator to attribute *every* allocation to the
+//!   subsystem named by the innermost [`MemScope`] on the current
+//!   thread (deallocations are attributed to the scope current at free
+//!   time — an approximation, documented in DESIGN.md).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{MemMetrics, MemStat};
+
+/// Canonical subsystem names. Instrumented crates use these constants so
+/// snapshot keys, prom labels, and dashboard rows agree byte-for-byte.
+pub mod subsystem {
+    /// Recorder dependence/run/signal/nondet buffers resident in the
+    /// recorder (merged thread-local buffers awaiting `take_recording`).
+    pub const RECORDER_LOG: &str = "recorder-log";
+    /// Last-write map stripe tables (256 striped `FastMap`s).
+    pub const LW_MAP: &str = "lw-map";
+    /// Constraint-system storage: order variables, hard constraints, and
+    /// disjunctive clauses of Equation 1.
+    pub const SOLVER_CLAUSES: &str = "solver-clauses";
+    /// The turbo solver's shared component cache entries.
+    pub const SOLVER_CACHE: &str = "solver-cache";
+    /// Recording blobs sitting in the `light-serve` job queue.
+    pub const SERVE_QUEUE: &str = "serve-queue";
+    /// Recording blobs popped by a worker and still being processed.
+    pub const SERVE_INFLIGHT: &str = "serve-inflight";
+    /// Content-addressed blob bytes written to a registry (monotone:
+    /// registries only grow; dedup hits add nothing).
+    pub const REGISTRY_BLOBS: &str = "registry-blobs";
+    /// Interpreter-thread allocations (stacks, arrays, objects). Only
+    /// populated by the `track-alloc` allocator — the default build
+    /// scopes executor threads but nothing observes the scope.
+    pub const RUNTIME_EXEC: &str = "runtime-exec";
+}
+
+/// A lock-free byte gauge: current resident bytes plus the monotone
+/// high-water mark.
+#[derive(Debug, Default)]
+pub struct BytesGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl BytesGauge {
+    pub const fn new() -> Self {
+        BytesGauge {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` bytes and advances the high-water mark.
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let now = self.current.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `n` bytes, saturating at zero: a release racing (or
+    /// mismatched with) its acquire can never drive the gauge negative.
+    pub fn sub(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .current
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Sets the current value outright (for gauges that re-measure a
+    /// structure rather than tracking deltas) and advances the peak.
+    pub fn set(&self, n: u64) {
+        self.current.store(n, Ordering::Relaxed);
+        self.peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The monotone high-water mark: the largest value `bytes()` has
+    /// held. Always `>=` the current value.
+    pub fn peak_bytes(&self) -> u64 {
+        // The peak is updated after the add that raised current; close
+        // the momentary gap at read time so the invariant holds for
+        // every observer.
+        self.peak
+            .load(Ordering::Relaxed)
+            .max(self.current.load(Ordering::Relaxed))
+    }
+
+    fn stat(&self) -> MemStat {
+        // Read peak second (and clamp) so `peak >= bytes` holds even
+        // against concurrent adds between the two loads.
+        let bytes = self.bytes();
+        MemStat {
+            bytes,
+            peak_bytes: self.peak_bytes().max(bytes),
+        }
+    }
+}
+
+/// A cheap cloneable handle to one subsystem's gauge; a no-op when the
+/// registry had accounting disabled at handle-creation time (one branch
+/// per call, mirroring [`crate::Obs`]).
+#[derive(Debug, Clone, Default)]
+pub struct MemGauge(Option<Arc<BytesGauge>>);
+
+impl MemGauge {
+    /// A handle that ignores every operation.
+    pub fn disabled() -> Self {
+        MemGauge(None)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    pub fn add(&self, n: u64) {
+        if let Some(g) = &self.0 {
+            g.add(n);
+        }
+    }
+
+    pub fn sub(&self, n: u64) {
+        if let Some(g) = &self.0 {
+            g.sub(n);
+        }
+    }
+
+    pub fn set(&self, n: u64) {
+        if let Some(g) = &self.0 {
+            g.set(n);
+        }
+    }
+
+    /// Current bytes; 0 when disabled.
+    pub fn bytes(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.bytes())
+    }
+
+    /// High-water mark; 0 when disabled.
+    pub fn peak_bytes(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.peak_bytes())
+    }
+}
+
+/// A named collection of [`BytesGauge`]s — the per-process memory plane.
+///
+/// The gauge map is behind a mutex, but the mutex is touched only at
+/// handle resolution and snapshot time; every `add`/`sub` goes straight
+/// to the gauge's atomics.
+#[derive(Debug)]
+pub struct MemRegistry {
+    enabled: AtomicBool,
+    gauges: Mutex<BTreeMap<String, Arc<BytesGauge>>>,
+}
+
+impl Default for MemRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemRegistry {
+    /// An enabled, empty registry.
+    pub const fn new() -> Self {
+        MemRegistry {
+            enabled: AtomicBool::new(true),
+            gauges: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns accounting on or off. The switch affects *handle creation*:
+    /// a [`MemGauge`] resolved while disabled stays a no-op for its
+    /// lifetime (the zero-overhead "gauges-off" arm of E17), and one
+    /// resolved while enabled keeps counting.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The shared gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<BytesGauge> {
+        let mut gauges = self.gauges.lock().unwrap();
+        if let Some(g) = gauges.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(BytesGauge::new());
+        gauges.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// A [`MemGauge`] handle for `name`: live when the registry is
+    /// enabled, a no-op otherwise.
+    pub fn handle(&self, name: &str) -> MemGauge {
+        if self.enabled() {
+            MemGauge(Some(self.gauge(name)))
+        } else {
+            MemGauge::disabled()
+        }
+    }
+
+    /// Snapshots every registered gauge into the snapshot section.
+    pub fn snapshot(&self) -> MemMetrics {
+        let gauges = self.gauges.lock().unwrap();
+        MemMetrics {
+            subsystems: gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.stat()))
+                .collect(),
+        }
+    }
+
+    /// Sum of current bytes across all subsystems (the budget watchdog's
+    /// comparison value).
+    pub fn total_bytes(&self) -> u64 {
+        let gauges = self.gauges.lock().unwrap();
+        gauges.values().map(|g| g.bytes()).fold(0, u64::saturating_add)
+    }
+
+    /// Drops every gauge (benches isolating rounds; tests).
+    pub fn reset(&self) {
+        self.gauges.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide registry instrumented crates account into.
+pub fn global() -> &'static MemRegistry {
+    static GLOBAL: MemRegistry = MemRegistry::new();
+    &GLOBAL
+}
+
+/// Shorthand for `global().handle(name)` — the one-liner instrumented
+/// constructors call.
+pub fn handle(name: &str) -> MemGauge {
+    global().handle(name)
+}
+
+// ---------------------------------------------------------------------
+// Scope stack: attributes tracked allocations to a subsystem.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The innermost scope name; empty = unscoped. Nested [`MemScope`]
+    /// guards form the stack by each holding the name they replaced —
+    /// no heap allocation, so the tracking allocator can read it safely.
+    static SCOPE: Cell<&'static str> = const { Cell::new("") };
+}
+
+/// RAII guard scoping the current thread's allocations to a subsystem
+/// (used by the `track-alloc` feature's [`TrackingAlloc`]; without the
+/// feature, entering a scope is a two-word thread-local swap and nothing
+/// observes it).
+///
+/// ```
+/// let _scope = light_obs::mem::MemScope::enter("solver");
+/// // allocations on this thread now attribute to "solver"
+/// ```
+#[must_use = "the scope ends when the guard drops"]
+pub struct MemScope {
+    prev: &'static str,
+}
+
+impl MemScope {
+    /// Pushes `name` as the thread's current attribution scope.
+    pub fn enter(name: &'static str) -> MemScope {
+        let prev = SCOPE.with(|s| s.replace(name));
+        MemScope { prev }
+    }
+
+    /// The innermost scope name on this thread, or `""` when unscoped.
+    pub fn current() -> &'static str {
+        SCOPE.try_with(|s| s.get()).unwrap_or("")
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        let _ = SCOPE.try_with(|s| s.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------
+// track-alloc: a global allocator attributing to the scope stack.
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "track-alloc")]
+mod track {
+    use super::*;
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    thread_local! {
+        /// Reentrancy guard: accounting may itself allocate (first
+        /// resolution of a scope's gauge); those internal allocations
+        /// must pass through untracked or the allocator would recurse.
+        static IN_TRACKER: Cell<bool> = const { Cell::new(false) };
+        /// One-entry cache of the last scope's resolved gauge, keyed by
+        /// the scope string's address (scopes are `&'static str`), so
+        /// steady-state accounting is two atomics and no map lookup.
+        static CACHED: Cell<(usize, usize)> = const { Cell::new((0, 0)) };
+    }
+
+    /// A [`GlobalAlloc`] wrapper attributing every allocation to the
+    /// gauge named by the thread's innermost [`MemScope`] (unscoped
+    /// allocations go to `"unscoped"`). Install it in a binary with:
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: light_obs::mem::TrackingAlloc = light_obs::mem::TrackingAlloc::system();
+    /// ```
+    ///
+    /// Deallocations are attributed to the scope current at *free* time,
+    /// not allocation time — per-pointer tags would need a side table
+    /// costing more than the bytes they account. [`BytesGauge::sub`]
+    /// saturates, so cross-scope frees skew attribution between
+    /// subsystems but can never make a gauge negative.
+    pub struct TrackingAlloc<A: GlobalAlloc = System> {
+        inner: A,
+    }
+
+    impl TrackingAlloc<System> {
+        /// Tracks on top of the system allocator.
+        pub const fn system() -> Self {
+            TrackingAlloc { inner: System }
+        }
+    }
+
+    impl<A: GlobalAlloc> TrackingAlloc<A> {
+        pub const fn new(inner: A) -> Self {
+            TrackingAlloc { inner }
+        }
+    }
+
+    fn scope_gauge() -> Option<Arc<BytesGauge>> {
+        let name = {
+            let n = MemScope::current();
+            if n.is_empty() {
+                "unscoped"
+            } else {
+                n
+            }
+        };
+        let key = name.as_ptr() as usize;
+        if let Ok((cached_key, cached_ptr)) = CACHED.try_with(Cell::get) {
+            if cached_key == key && cached_ptr != 0 {
+                // Reconstruct the Arc without consuming the cached ref.
+                let g = unsafe { Arc::from_raw(cached_ptr as *const BytesGauge) };
+                let out = g.clone();
+                std::mem::forget(g);
+                return Some(out);
+            }
+        }
+        let g = global().gauge(name);
+        // Cache one strong reference; deliberately leaked for the thread's
+        // lifetime (bounded: one per distinct scope transition target).
+        let raw = Arc::into_raw(g.clone()) as usize;
+        if let Ok(prev) = CACHED.try_with(|c| c.replace((key, raw))) {
+            if prev.1 != 0 {
+                unsafe { drop(Arc::from_raw(prev.1 as *const BytesGauge)) };
+            }
+        }
+        Some(g)
+    }
+
+    fn account(n: usize, grow: bool) {
+        if !global().enabled() {
+            return;
+        }
+        let Ok(reentrant) = IN_TRACKER.try_with(|f| f.replace(true)) else {
+            return; // thread teardown: TLS gone, skip attribution
+        };
+        if reentrant {
+            return;
+        }
+        if let Some(g) = scope_gauge() {
+            if grow {
+                g.add(n as u64);
+            } else {
+                g.sub(n as u64);
+            }
+        }
+        let _ = IN_TRACKER.try_with(|f| f.set(false));
+    }
+
+    unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAlloc<A> {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = self.inner.alloc(layout);
+            if !p.is_null() {
+                account(layout.size(), true);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            self.inner.dealloc(ptr, layout);
+            account(layout.size(), false);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = self.inner.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    account(new_size - layout.size(), true);
+                } else {
+                    account(layout.size() - new_size, false);
+                }
+            }
+            p
+        }
+    }
+}
+
+#[cfg(feature = "track-alloc")]
+pub use track::TrackingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_current_and_peak() {
+        let g = BytesGauge::new();
+        g.add(100);
+        g.add(50);
+        assert_eq!(g.bytes(), 150);
+        assert_eq!(g.peak_bytes(), 150);
+        g.sub(120);
+        assert_eq!(g.bytes(), 30);
+        assert_eq!(g.peak_bytes(), 150, "peak is monotone");
+        g.add(10);
+        assert_eq!(g.peak_bytes(), 150, "below the high-water mark");
+    }
+
+    #[test]
+    fn gauge_sub_saturates_at_zero() {
+        let g = BytesGauge::new();
+        g.add(5);
+        g.sub(500);
+        assert_eq!(g.bytes(), 0);
+        g.sub(1);
+        assert_eq!(g.bytes(), 0);
+        assert_eq!(g.peak_bytes(), 5);
+    }
+
+    #[test]
+    fn gauge_set_remeasures_and_advances_peak() {
+        let g = BytesGauge::new();
+        g.set(400);
+        g.set(100);
+        assert_eq!(g.bytes(), 100);
+        assert_eq!(g.peak_bytes(), 400);
+    }
+
+    #[test]
+    fn concurrent_add_sub_never_goes_negative_and_peak_dominates() {
+        let g = Arc::new(BytesGauge::new());
+        const THREADS: usize = 8;
+        const OPS: usize = 20_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        let n = ((t * OPS + i) % 97) as u64 + 1;
+                        g.add(n);
+                        // Every release pairs with a completed acquire, so
+                        // the global current can never dip below zero —
+                        // and the saturating sub guards the gauge even if
+                        // a caller ever mismatched.
+                        g.sub(n);
+                        assert!(g.peak_bytes() >= g.bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.bytes(), 0, "matched add/sub drains to zero");
+        assert!(g.peak_bytes() >= 1);
+        assert!(g.peak_bytes() <= (THREADS as u64) * 97, "peak bounded by worst overlap");
+    }
+
+    #[test]
+    fn high_water_is_at_least_final_value() {
+        let g = Arc::new(BytesGauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        g.add(i % 13 + 1);
+                        if i % 3 == 0 {
+                            g.sub(2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(g.peak_bytes() >= g.bytes());
+    }
+
+    #[test]
+    fn registry_hands_out_shared_gauges_and_snapshots() {
+        let reg = MemRegistry::new();
+        let a = reg.handle("solver-clauses");
+        let b = reg.handle("solver-clauses");
+        a.add(64);
+        b.add(36);
+        b.sub(10);
+        assert_eq!(a.bytes(), 90, "handles share one gauge");
+        let snap = reg.snapshot();
+        let stat = &snap.subsystems["solver-clauses"];
+        assert_eq!(stat.bytes, 90);
+        assert_eq!(stat.peak_bytes, 100);
+        assert_eq!(reg.total_bytes(), 90);
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let reg = MemRegistry::new();
+        reg.set_enabled(false);
+        let h = reg.handle("recorder-log");
+        assert!(!h.enabled());
+        h.add(1 << 30);
+        assert_eq!(h.bytes(), 0);
+        assert!(reg.snapshot().subsystems.is_empty());
+        // Re-enabling affects new handles, not the no-op one.
+        reg.set_enabled(true);
+        let live = reg.handle("recorder-log");
+        live.add(7);
+        h.add(1);
+        assert_eq!(reg.snapshot().subsystems["recorder-log"].bytes, 7);
+    }
+
+    #[test]
+    fn snapshot_peak_always_dominates_bytes() {
+        let reg = MemRegistry::new();
+        for (name, n) in [("a", 10u64), ("b", 500), ("c", 0)] {
+            let h = reg.handle(name);
+            h.add(n);
+            h.sub(n / 2);
+        }
+        for stat in reg.snapshot().subsystems.values() {
+            assert!(stat.peak_bytes >= stat.bytes);
+        }
+    }
+
+    #[test]
+    fn scope_stack_nests_and_restores() {
+        assert_eq!(MemScope::current(), "");
+        {
+            let _outer = MemScope::enter("solver");
+            assert_eq!(MemScope::current(), "solver");
+            {
+                let _inner = MemScope::enter("solver-cache");
+                assert_eq!(MemScope::current(), "solver-cache");
+            }
+            assert_eq!(MemScope::current(), "solver", "inner pop restores outer");
+        }
+        assert_eq!(MemScope::current(), "");
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let _outer = MemScope::enter("serve-queue");
+        std::thread::spawn(|| {
+            assert_eq!(MemScope::current(), "", "scopes do not leak across threads");
+            let _s = MemScope::enter("recorder-log");
+            assert_eq!(MemScope::current(), "recorder-log");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(MemScope::current(), "serve-queue");
+    }
+
+    #[cfg(feature = "track-alloc")]
+    #[test]
+    fn tracking_allocator_attributes_to_the_current_scope() {
+        use std::alloc::{GlobalAlloc, Layout, System};
+        // Exercise the wrapper directly (installing a #[global_allocator]
+        // in a unit test would affect the whole test binary).
+        let alloc = TrackingAlloc::new(System);
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let before = global().gauge("solver").bytes();
+        let p = {
+            let _scope = MemScope::enter("solver");
+            unsafe { alloc.alloc(layout) }
+        };
+        assert!(!p.is_null());
+        let after_alloc = global().gauge("solver").bytes();
+        assert!(after_alloc >= before + 4096);
+        {
+            let _scope = MemScope::enter("solver");
+            unsafe { alloc.dealloc(p, layout) };
+        }
+        assert!(global().gauge("solver").bytes() <= after_alloc - 4096);
+        assert!(global().gauge("solver").peak_bytes() >= before + 4096);
+    }
+}

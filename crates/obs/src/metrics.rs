@@ -141,6 +141,26 @@ pub struct TurboMetrics {
     pub dropped_clauses: u64,
 }
 
+/// One subsystem's byte accounting: current resident bytes plus the
+/// monotone high-water mark (always `>=` `bytes` in a single snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MemStat {
+    /// Resident bytes at snapshot time.
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the gauge's lifetime.
+    pub peak_bytes: u64,
+}
+
+/// Per-subsystem memory accounting (the `crate::mem` plane's snapshot):
+/// byte gauges keyed by subsystem name (`recorder-log`, `lw-map`,
+/// `solver-clauses`, `solver-cache`, `serve-queue`, ...).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MemMetrics {
+    pub subsystems: BTreeMap<String, MemStat>,
+}
+
 /// Whole-run runtime counters (either the recorded or the replayed run).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -181,6 +201,12 @@ pub struct MetricsSnapshot {
     pub scheduler: Option<SchedulerMetrics>,
     pub replay_run: Option<RunMetrics>,
     pub explore: Option<ExploreMetrics>,
+    /// Per-subsystem byte gauges (current + peak) from the
+    /// [`crate::mem`] accounting plane. Additive: absent for snapshots
+    /// written before the plane existed (or with accounting disabled)
+    /// and omitted from JSON when absent, so older consumers of the
+    /// shape are unaffected and tools render `n/a` rather than zeros.
+    pub mem: Option<MemMetrics>,
     pub phases: Vec<PhaseRecord>,
     /// Free-form named counters fed through the sink API.
     pub counters: BTreeMap<String, u64>,
@@ -426,6 +452,57 @@ impl ExploreMetrics {
     }
 }
 
+impl MemMetrics {
+    pub fn to_json(&self) -> Value {
+        Value::Obj(
+            self.subsystems
+                .iter()
+                .map(|(name, stat)| {
+                    (
+                        name.clone(),
+                        Value::obj([
+                            ("bytes", Value::from(stat.bytes)),
+                            ("peak_bytes", Value::from(stat.peak_bytes)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    pub fn from_json(v: &Value) -> Self {
+        let mut m = MemMetrics::default();
+        if let Some(subsystems) = v.as_obj() {
+            for (name, stat) in subsystems {
+                m.subsystems.insert(
+                    name.clone(),
+                    MemStat {
+                        bytes: ju(stat, "bytes"),
+                        peak_bytes: ju(stat, "peak_bytes"),
+                    },
+                );
+            }
+        }
+        m
+    }
+
+    /// Keywise union; both fields sum. Summing peaks makes the aggregate
+    /// peak a conservative upper bound on the true combined high-water
+    /// mark (the runs may not have overlapped), which keeps the
+    /// `peak_bytes >= bytes` invariant and — unlike a max — stays
+    /// meaningful when folding shards of one fleet. Public: the prom
+    /// exposition folds Serve records' mem sections with the same law.
+    pub fn combine(&self, other: &Self) -> Self {
+        let mut subsystems = self.subsystems.clone();
+        for (name, stat) in &other.subsystems {
+            let slot = subsystems.entry(name.clone()).or_default();
+            slot.bytes = slot.bytes.saturating_add(stat.bytes);
+            slot.peak_bytes = slot.peak_bytes.saturating_add(stat.peak_bytes);
+        }
+        MemMetrics { subsystems }
+    }
+}
+
 impl RunMetrics {
     pub fn to_json(&self) -> Value {
         Value::obj([
@@ -516,6 +593,9 @@ impl MetricsSnapshot {
         if let Some(e) = &self.explore {
             pairs.push(("explore".into(), e.to_json()));
         }
+        if let Some(m) = &self.mem {
+            pairs.push(("mem".into(), m.to_json()));
+        }
         if !self.phases.is_empty() {
             pairs.push((
                 "phases".into(),
@@ -572,6 +652,7 @@ impl MetricsSnapshot {
             scheduler: v.get("scheduler").map(SchedulerMetrics::from_json),
             replay_run: v.get("replay_run").map(RunMetrics::from_json),
             explore: v.get("explore").map(ExploreMetrics::from_json),
+            mem: v.get("mem").map(MemMetrics::from_json),
             ..Default::default()
         };
         if let Some(phases) = v.get("phases").and_then(Value::as_arr) {
@@ -626,6 +707,13 @@ impl MetricsSnapshot {
             let slot = stripes.entry(stripe).or_insert(0);
             *slot = slot.saturating_add(count);
         }
+        // The mem section is not `Copy` (it owns a map), so it combines
+        // by reference rather than through `combine_opt`.
+        let mem = match (&self.mem, &other.mem) {
+            (Some(x), Some(y)) => Some(x.combine(y)),
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        };
         MetricsSnapshot {
             record: combine_opt(self.record, other.record, RecorderMetrics::combine),
             record_run: combine_opt(self.record_run, other.record_run, RunMetrics::combine),
@@ -635,6 +723,7 @@ impl MetricsSnapshot {
             scheduler: combine_opt(self.scheduler, other.scheduler, SchedulerMetrics::combine),
             replay_run: combine_opt(self.replay_run, other.replay_run, RunMetrics::combine),
             explore: combine_opt(self.explore, other.explore, ExploreMetrics::combine),
+            mem,
             phases: Vec::new(),
             counters,
             latencies,
@@ -668,6 +757,9 @@ impl MetricsSnapshot {
         }
         if other.explore.is_some() {
             self.explore = other.explore;
+        }
+        if other.mem.is_some() {
+            self.mem = other.mem.clone();
         }
         self.phases.extend(other.phases.iter().cloned());
         for (k, v) in &other.counters {
@@ -731,6 +823,10 @@ impl MetricsRegistry {
 
     pub fn set_explore(&self, m: ExploreMetrics) {
         self.inner.lock().unwrap().explore = Some(m);
+    }
+
+    pub fn set_mem(&self, m: MemMetrics) {
+        self.inner.lock().unwrap().mem = Some(m);
     }
 
     pub fn phase(&self, name: &str, start_us: u64, dur_us: u64) {
@@ -1086,6 +1182,26 @@ mod tests {
                 events: seed * 3,
                 objects: seed % 7,
             }),
+            mem: (seed % 3 != 1).then(|| MemMetrics {
+                subsystems: [
+                    (
+                        "recorder-log".to_string(),
+                        MemStat {
+                            bytes: seed * 64,
+                            peak_bytes: seed * 80 + 1,
+                        },
+                    ),
+                    (
+                        format!("sub{}", seed % 2),
+                        MemStat {
+                            bytes: seed,
+                            peak_bytes: seed * 2,
+                        },
+                    ),
+                ]
+                .into_iter()
+                .collect(),
+            }),
             stripe_hist: vec![(seed as u32 % 4, seed), (9, 1)],
             ..Default::default()
         };
@@ -1148,6 +1264,62 @@ mod tests {
         // A section present on only one side survives untouched.
         let lone = sample_snapshot(3); // odd seed: no turbo
         assert_eq!(lone.aggregate(&a).turbo, a.turbo);
+    }
+
+    #[test]
+    fn mem_section_is_additive_and_round_trips() {
+        // Absent: omitted from JSON, so pre-existing logs parse with
+        // `mem: None` and tools can render "n/a".
+        let bare = MetricsSnapshot::default();
+        assert!(!bare.to_json().to_json().contains("\"mem\""));
+        let parsed = MetricsSnapshot::from_json(&Value::parse("{\"record\":{}}").unwrap());
+        assert_eq!(parsed.mem, None);
+        // Present: key/stat pairs survive the roundtrip.
+        let snap = sample_snapshot(2);
+        assert!(snap.mem.is_some());
+        let json = snap.to_json().to_json();
+        assert!(json.contains("\"mem\""));
+        assert!(json.contains("\"peak_bytes\""));
+        let back = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
+        assert_eq!(back.mem, snap.mem);
+    }
+
+    #[test]
+    fn aggregate_sums_mem_stats_keywise() {
+        let a = sample_snapshot(2);
+        let b = sample_snapshot(6);
+        let agg = a.aggregate(&b);
+        let mem = agg.mem.as_ref().unwrap();
+        let (ma, mb) = (a.mem.as_ref().unwrap(), b.mem.as_ref().unwrap());
+        assert_eq!(
+            mem.subsystems["recorder-log"].bytes,
+            ma.subsystems["recorder-log"].bytes + mb.subsystems["recorder-log"].bytes
+        );
+        assert_eq!(
+            mem.subsystems["recorder-log"].peak_bytes,
+            ma.subsystems["recorder-log"].peak_bytes + mb.subsystems["recorder-log"].peak_bytes
+        );
+        // A key present on only one side survives untouched, and the
+        // aggregate keeps peak >= bytes whenever the inputs did.
+        for (name, stat) in &mem.subsystems {
+            assert!(stat.peak_bytes >= stat.bytes, "{name}");
+        }
+        // A one-sided mem section survives aggregation (seed 7 has none).
+        let lone = sample_snapshot(7);
+        assert_eq!(lone.mem, None);
+        assert_eq!(lone.aggregate(&a).mem, a.mem);
+    }
+
+    #[test]
+    fn merge_prefers_incoming_mem_section() {
+        let mut a = sample_snapshot(2);
+        let b = sample_snapshot(6);
+        a.merge(&b);
+        assert_eq!(a.mem, b.mem);
+        // Merging a mem-less snapshot keeps the existing section.
+        let mut c = sample_snapshot(2);
+        c.merge(&sample_snapshot(7));
+        assert_eq!(c.mem, sample_snapshot(2).mem);
     }
 
     #[test]

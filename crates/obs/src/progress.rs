@@ -44,6 +44,10 @@ pub struct ProgressRecord {
     /// unchanged record, and registry entries become joinable with the
     /// live stream.
     pub run_id: Option<String>,
+    /// Free-form detail for out-of-band events (e.g. the
+    /// `budget-exceeded` memory-watchdog breakdown). Additive like
+    /// `run_id`: rendered only when present.
+    pub detail: Option<String>,
 }
 
 impl ProgressRecord {
@@ -69,6 +73,9 @@ impl ProgressRecord {
         ]);
         if let (Value::Obj(pairs), Some(run)) = (&mut v, &self.run_id) {
             pairs.push(("run_id".into(), Value::from(run.as_str())));
+        }
+        if let (Value::Obj(pairs), Some(detail)) = (&mut v, &self.detail) {
+            pairs.push(("detail".into(), Value::from(detail.as_str())));
         }
         v
     }
@@ -196,6 +203,7 @@ mod tests {
             budget_schedules: 1000,
             eta_ms: Some(3500),
             run_id: None,
+            detail: None,
         }
     }
 
@@ -216,8 +224,19 @@ mod tests {
         assert!(lines[0].contains("\"phase\":\"search\""));
         assert!(lines[0].contains("\"eta_ms\":3500"));
         assert!(lines[1].contains("\"eta_ms\":null"));
-        // run_id is additive: absent from the shape unless set.
+        // run_id and detail are additive: absent from the shape unless set.
         assert!(!lines[0].contains("run_id"));
+        assert!(!lines[0].contains("detail"));
+    }
+
+    #[test]
+    fn detail_is_rendered_when_present() {
+        let rec = ProgressRecord {
+            detail: Some("total=9 budget=8".into()),
+            ..record()
+        };
+        let json = rec.to_json().to_json();
+        assert!(json.contains("\"detail\":\"total=9 budget=8\""));
     }
 
     #[test]

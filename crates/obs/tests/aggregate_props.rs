@@ -8,8 +8,8 @@
 
 use light_obs::json::Value;
 use light_obs::{
-    ExploreMetrics, Histogram, MetricsSnapshot, PhaseRecord, RecorderMetrics, RunMetrics,
-    ServeMetrics, SolverMetrics, TurboMetrics,
+    ExploreMetrics, Histogram, MemMetrics, MemStat, MetricsSnapshot, PhaseRecord, RecorderMetrics,
+    RunMetrics, ServeMetrics, SolverMetrics, TurboMetrics,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -106,6 +106,30 @@ prop_compose! {
     }
 }
 
+fn arb_mem() -> impl Strategy<Value = MemMetrics> {
+    // peak is drawn independently and maxed with bytes so every generated
+    // stat honours the peak >= bytes invariant the gauges guarantee.
+    prop::collection::btree_map(
+        "[a-z]{1,8}(-[a-z]{1,8})?",
+        (0u64..1 << 40, 0u64..1 << 40),
+        0..5,
+    )
+    .prop_map(|m| MemMetrics {
+        subsystems: m
+            .into_iter()
+            .map(|(name, (bytes, peak))| {
+                (
+                    name,
+                    MemStat {
+                        bytes,
+                        peak_bytes: peak.max(bytes),
+                    },
+                )
+            })
+            .collect(),
+    })
+}
+
 fn arb_histogram() -> impl Strategy<Value = Histogram> {
     prop::collection::vec(0u64..1 << 34, 0..24).prop_map(|samples| {
         let mut h = Histogram::new();
@@ -125,6 +149,7 @@ prop_compose! {
         serve in prop::option::of(arb_serve()),
         replay_run in prop::option::of(arb_run()),
         explore in prop::option::of(arb_explore()),
+        mem in prop::option::of(arb_mem()),
         counters in prop::collection::btree_map("[a-d]{1,3}", 0u64..1 << 40, 0..6),
         latencies in prop::collection::btree_map("[a-c]{1,2}", arb_histogram(), 0..4),
         stripe_hist in prop::collection::btree_map(0u32..512, 1u64..1 << 20, 0..12),
@@ -139,6 +164,7 @@ prop_compose! {
             scheduler: None,
             replay_run,
             explore,
+            mem,
             phases: phase_names
                 .into_iter()
                 .enumerate()
@@ -198,6 +224,26 @@ proptest! {
         let json = folded.to_json().to_json();
         let parsed = MetricsSnapshot::from_json(&Value::parse(&json).unwrap());
         prop_assert_eq!(parsed, folded);
+    }
+
+    #[test]
+    fn mem_combine_is_keywise_and_preserves_peak_dominance(
+        a in arb_mem(), b in arb_mem()
+    ) {
+        let folded = a.combine(&b);
+        // Every key from either side survives, values sum keywise, and the
+        // peak >= bytes invariant carries through the fold.
+        for (name, stat) in &folded.subsystems {
+            let x = a.subsystems.get(name).copied().unwrap_or_default();
+            let y = b.subsystems.get(name).copied().unwrap_or_default();
+            prop_assert_eq!(stat.bytes, x.bytes.saturating_add(y.bytes));
+            prop_assert_eq!(stat.peak_bytes, x.peak_bytes.saturating_add(y.peak_bytes));
+            prop_assert!(stat.peak_bytes >= stat.bytes);
+        }
+        prop_assert!(a.subsystems.keys().all(|k| folded.subsystems.contains_key(k)));
+        prop_assert!(b.subsystems.keys().all(|k| folded.subsystems.contains_key(k)));
+        // ... and combining is symmetric, like the snapshot-level law.
+        prop_assert_eq!(folded, b.combine(&a));
     }
 
     #[test]

@@ -114,6 +114,10 @@ pub(crate) fn interp_thread(
         block: BlockId(0),
         idx: 0,
     };
+    // Attribute this thread's allocations to the executor subsystem for
+    // `track-alloc` builds; without that feature the scope is two TLS
+    // writes that nothing observes.
+    let _mem_scope = light_obs::mem::MemScope::enter(light_obs::mem::subsystem::RUNTIME_EXEC);
     // Trace lane `tid.raw() + 1`: lane 0 is reserved for pipeline phases.
     let lane = tid.raw() + 1;
     if rt.obs.enabled() {

@@ -47,6 +47,9 @@ serve options:
   --queue <n>          bounded job queue capacity (default 64)
   --solver-workers <n> turbo solver threads per job (default 1)
   --stage-deadline <ms> slow-job watchdog deadline (default 0 = off)
+  --memory-budget <MiB> soft memory budget: log a budget-exceeded event
+                       with a per-subsystem breakdown when the memory
+                       plane exceeds it (default 0 = off)
 
 submit options:
   --addr <host:port>   daemon address (required)
@@ -96,6 +99,7 @@ struct Cli {
     run_id: Option<String>,
     json: bool,
     stage_deadline: u64,
+    memory_budget: u64,
     prom: bool,
     interval: u64,
     ticks: usize,
@@ -131,6 +135,7 @@ fn parse_cli() -> Result<Cli, String> {
         run_id: None,
         json: false,
         stage_deadline: 0,
+        memory_budget: 0,
         prom: false,
         interval: 1000,
         ticks: 0,
@@ -175,6 +180,10 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.stage_deadline =
                     parse_num(next_val(&mut it, "--stage-deadline")?, "--stage-deadline")? as u64
             }
+            "--memory-budget" => {
+                cli.memory_budget =
+                    parse_num(next_val(&mut it, "--memory-budget")?, "--memory-budget")? as u64
+            }
             "--prom" => cli.prom = true,
             "--interval" => {
                 cli.interval =
@@ -212,6 +221,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         queue_capacity: cli.queue,
         solver_workers: cli.solver_workers,
         stage_deadline_ms: cli.stage_deadline,
+        memory_budget_mib: cli.memory_budget,
     })
     .map_err(|e| format!("start: {e}"))?;
     println!("light-serve listening on {}", handle.addr());
@@ -426,6 +436,21 @@ fn render_dashboard(m: &MetricsReply, tick: Option<usize>) -> String {
     if let Some(depth) = m.snapshot.latencies.get("queue-depth") {
         let _ = writeln!(out, "{}", prom::stage_row("queue-depth*", depth));
         out.push_str("  (* queue-depth columns are jobs at enqueue, not µs)\n");
+    }
+    match &m.snapshot.mem {
+        Some(mem) if !mem.subsystems.is_empty() => {
+            let _ = writeln!(
+                out,
+                "\n{:>16}  {:>14}  {:>14}",
+                "subsystem", "MEM bytes", "peak bytes"
+            );
+            for (name, stat) in &mem.subsystems {
+                let _ = writeln!(out, "{:>16}  {:>14}  {:>14}", name, stat.bytes, stat.peak_bytes);
+            }
+        }
+        // Daemons predating the memory plane answer without a mem
+        // section: render the gap, not an error.
+        _ => out.push_str("\nmemory: n/a (daemon predates the memory plane)\n"),
     }
     out
 }

@@ -32,7 +32,7 @@ use crate::job::{run_job, Job};
 use crate::proto::{read_frame, write_error, write_frame, Request};
 use light_core::ComponentCache;
 use light_obs::json::Value;
-use light_obs::{now_us, MetricsRegistry, MetricsSnapshot, RunId, ServeMetrics};
+use light_obs::{mem, now_us, MetricsRegistry, MetricsSnapshot, RunId, ServeMetrics};
 use light_profile::FlightRecorder;
 use light_telemetry::{events_path, JobEvent, Registry, RunKind, RunRecord, RunStatus};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -70,6 +70,13 @@ pub struct ServerOptions {
     /// `0` disables the watchdog — jobs then run without a per-job
     /// flight recorder at all.
     pub stage_deadline_ms: u64,
+    /// Soft memory budget in MiB. When the process-wide memory plane
+    /// ([`light_obs::mem::global`]) reports more resident bytes than
+    /// this, the daemon emits one `budget-exceeded` event (with a
+    /// per-subsystem breakdown in `detail`) into the event log and
+    /// re-arms once usage falls below 90% of the budget. Soft: nothing
+    /// is aborted or shed — the event is the signal. `0` disables it.
+    pub memory_budget_mib: u64,
 }
 
 impl Default for ServerOptions {
@@ -82,6 +89,7 @@ impl Default for ServerOptions {
             queue_capacity: 64,
             solver_workers: 1,
             stage_deadline_ms: 0,
+            memory_budget_mib: 0,
         }
     }
 }
@@ -484,6 +492,48 @@ struct Shared {
     events: EventLog,
     /// The slow-job watchdog (inert when no deadline is configured).
     watchdog: Watchdog,
+    /// Byte gauges for recording blobs queued ([`mem::subsystem::SERVE_QUEUE`])
+    /// and popped-but-unfinished ([`mem::subsystem::SERVE_INFLIGHT`]).
+    /// Moved at the queue's ownership boundaries only: push, pop, done.
+    mem_queue: mem::MemGauge,
+    mem_inflight: mem::MemGauge,
+    /// Soft memory budget in bytes (`0` = no watchdog thread).
+    memory_budget: u64,
+}
+
+/// The soft memory-budget watchdog: polls the process-wide memory plane
+/// and emits one `budget-exceeded` event per excursion above the budget
+/// (re-arming below 90%), with the per-subsystem breakdown in `detail`.
+/// Purely observational — no job is aborted, shed, or delayed.
+fn budget_loop(shared: &Shared) {
+    let budget = shared.memory_budget;
+    let rearm = budget - budget / 10;
+    let mut armed = true;
+    while !shared.stopping.load(Ordering::SeqCst) {
+        let total = mem::global().total_bytes();
+        if armed && total > budget {
+            armed = false;
+            let snap = mem::global().snapshot();
+            let mut breakdown: Vec<String> = snap
+                .subsystems
+                .iter()
+                .filter(|(_, s)| s.bytes > 0)
+                .map(|(name, s)| format!("{name}={}", s.bytes))
+                .collect();
+            breakdown.sort();
+            let mut ev = JobEvent::new("budget-exceeded", 0, "", "", "light-serve");
+            ev.detail = Some(format!(
+                "total={} budget={} breakdown: {}",
+                total,
+                budget,
+                breakdown.join(" ")
+            ));
+            shared.events.log(&ev);
+        } else if !armed && total < rearm {
+            armed = true;
+        }
+        thread::sleep(Duration::from_millis(250));
+    }
 }
 
 /// A running server. Dropping the handle does not stop the daemon; send
@@ -554,9 +604,20 @@ pub fn start(options: ServerOptions) -> io::Result<ServerHandle> {
         metrics: MetricsRegistry::new(),
         events,
         watchdog: Watchdog::new(options.stage_deadline_ms),
+        mem_queue: mem::handle(mem::subsystem::SERVE_QUEUE),
+        mem_inflight: mem::handle(mem::subsystem::SERVE_INFLIGHT),
+        memory_budget: options.memory_budget_mib.saturating_mul(1 << 20),
     });
 
     let mut threads = Vec::new();
+    if shared.memory_budget > 0 {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("serve-mem-budget".into())
+                .spawn(move || budget_loop(&shared))?,
+        );
+    }
     if shared.watchdog.enabled() {
         let shared = shared.clone();
         threads.push(
@@ -612,6 +673,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        // The blob's ownership moves queue -> worker here, and out of
+        // the daemon entirely when the job finishes below.
+        let blob_len = job.recording.len() as u64;
+        shared.mem_queue.sub(blob_len);
+        shared.mem_inflight.add(blob_len);
         shared.stats.busy_workers.fetch_add(1, Ordering::Relaxed);
         let run_id = job.run_id.to_string();
         let event = |name: &str| JobEvent::new(name, job.id, &run_id, &job.blob_hash, &job.program);
@@ -693,6 +759,7 @@ fn worker_loop(shared: &Shared) {
         fin.dur_us = Some(job_wall_us);
         shared.events.log(&fin);
         shared.stats.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        shared.mem_inflight.sub(blob_len);
         shared.queue.done();
     }
 }
@@ -794,6 +861,7 @@ fn handle_submit(
         enqueued_us: 0,
     };
     let job_id = job.id;
+    let blob_len = job.recording.len() as u64;
     let run_id = job.run_id.to_string();
     let event = |name: &str| JobEvent::new(name, job_id, &run_id, &hash, &program);
     shared.events.log(&event("accepted"));
@@ -801,6 +869,11 @@ fn handle_submit(
     ing.stage = Some("ingest".into());
     ing.dur_us = Some(ingest_us);
     shared.events.log(&ing);
+    // Account before the push: the moment `push` succeeds the worker may
+    // already have popped the job and subtracted its bytes — adding after
+    // the fact would race that sub (saturating it at zero) and strand a
+    // phantom residual on the gauge.
+    shared.mem_queue.add(blob_len);
     match shared.queue.push(job) {
         Ok((depth, enqueued_us)) => {
             shared.stats.raise_peak(depth);
@@ -904,6 +977,10 @@ fn handle_status(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
 fn live_snapshot(shared: &Shared) -> MetricsSnapshot {
     let mut snap = shared.metrics.snapshot();
     snap.serve = Some(shared.stats.snapshot(shared.workers));
+    // The memory plane rides along: every consumer of the live snapshot
+    // (metrics op, prom exposition, top, the shutdown summary record)
+    // sees the same per-subsystem byte gauges.
+    snap.mem = Some(mem::global().snapshot());
     snap
 }
 

@@ -344,6 +344,55 @@ fn watchdog_dumps_flight_tail_of_slow_jobs() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The soft memory watchdog journals exactly one `budget-exceeded`
+/// event (edge-triggered) with a per-subsystem breakdown while tracked
+/// bytes sit above the budget — and, like the flight watchdog, only
+/// observes: jobs still run to completion.
+#[test]
+fn memory_budget_breach_is_journaled_once_with_breakdown() {
+    // Pin the process-wide tracked total above the 1 MiB budget for the
+    // daemon's whole lifetime (gauges are global; start() runs in-process).
+    let ballast = light_core::obs::mem::handle("test-serve-ballast");
+    ballast.add(2 << 20);
+
+    let race = Light::new(Arc::new(lir::parse(RACE).unwrap()));
+    let (recording, _) = race.record(&[30], 11).unwrap();
+    let bytes = write_recording(&recording).to_vec();
+
+    let dir = tmpdir("mem-budget");
+    let handle = start(ServerOptions {
+        registry: dir.clone(),
+        workers: 1,
+        memory_budget_mib: 1,
+        ..ServerOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let reply = client.submit("race", RACE, &bytes).unwrap();
+    assert!(!reply.dedup);
+    client.wait_idle().unwrap();
+    // Outlast several 250 ms watchdog polls: enough to prove both that
+    // it fires and that it does not re-fire while the breach holds.
+    std::thread::sleep(std::time::Duration::from_millis(900));
+    client.shutdown().unwrap();
+    handle.join();
+    ballast.sub(2 << 20);
+
+    let (events, skipped) = read_events(&dir).unwrap();
+    assert_eq!(skipped, 0);
+    let breaches: Vec<&JobEvent> = events
+        .iter()
+        .filter(|e| e.event == "budget-exceeded")
+        .collect();
+    assert_eq!(breaches.len(), 1, "edge-triggered: one event per breach");
+    let detail = breaches[0].detail.as_deref().unwrap_or("");
+    assert!(detail.contains("budget=1048576"), "detail: {detail}");
+    assert!(detail.contains("test-serve-ballast="), "detail: {detail}");
+    let finished = events.iter().find(|e| e.event == "finished").unwrap();
+    assert_eq!(finished.status.as_deref(), Some("ok"), "watchdog never kills");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Submissions racing a shutdown either run or get a clean "draining"
 /// rejection — never a hang, never a half-stored job.
 #[test]

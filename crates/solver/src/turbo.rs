@@ -534,11 +534,51 @@ struct CacheEntry {
     stats: SolveStats,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheState {
     map: HashMap<CacheKey, CacheEntry>,
     hits: u64,
     misses: u64,
+    /// Byte gauge for [`light_obs::mem::subsystem::SOLVER_CACHE`], moved
+    /// only under the cache mutex at store time (clones share this state,
+    /// so one cache accounts once). `bytes` remembers our contribution so
+    /// `Drop` unwinds exactly it from the shared gauge.
+    mem: light_obs::mem::MemGauge,
+    bytes: u64,
+}
+
+impl Default for CacheState {
+    fn default() -> Self {
+        CacheState {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            mem: light_obs::mem::handle(light_obs::mem::subsystem::SOLVER_CACHE),
+            bytes: 0,
+        }
+    }
+}
+
+impl Drop for CacheState {
+    fn drop(&mut self) {
+        self.mem.sub(std::mem::take(&mut self.bytes));
+    }
+}
+
+/// Estimated resident heap bytes of one cache entry (key + value),
+/// counting the variable-length atom/assignment payloads the structs own.
+fn cache_entry_bytes(key: &CacheKey, entry: &CacheEntry) -> u64 {
+    let atoms = key.hard.len()
+        + key
+            .clauses
+            .iter()
+            .map(|c| c.len() + std::mem::size_of::<Vec<Atom>>() / std::mem::size_of::<Atom>())
+            .sum::<usize>();
+    let assignment = entry.result.as_ref().map_or(0, Vec::len);
+    (std::mem::size_of::<CacheKey>()
+        + std::mem::size_of::<CacheEntry>()
+        + atoms * std::mem::size_of::<Atom>()
+        + assignment * 8) as u64
 }
 
 /// Entries beyond this are not inserted (the cache only ever affects
@@ -595,6 +635,18 @@ impl ComponentCache {
     fn store(&self, key: CacheKey, entry: CacheEntry) {
         let mut state = self.inner.lock().expect("cache lock");
         if state.map.len() < CACHE_CAP {
+            // Account at the ownership boundary (the entry enters the
+            // shared cache), replacement-aware so re-stores do not leak.
+            if state.mem.enabled() {
+                let added = cache_entry_bytes(&key, &entry);
+                let replaced = state
+                    .map
+                    .get(&key)
+                    .map_or(0, |old| cache_entry_bytes(&key, old));
+                state.mem.add(added);
+                state.mem.sub(replaced);
+                state.bytes = state.bytes.saturating_add(added).saturating_sub(replaced);
+            }
             state.map.insert(key, entry);
         }
     }

@@ -58,6 +58,9 @@ trend options (trend <metric>):
   --backpressure       serve backpressure table instead of a metric:
                        queue depth at enqueue and queue-wait medians
                        per daemon lifetime (no <metric> argument)
+  --memory             per-run memory table instead of a metric: total
+                       and peak bytes across subsystems; records from
+                       before the memory plane render n/a
 
 regress options (regress <metric>):
   --baseline <k>       rolling baseline window           (default 5)
@@ -86,6 +89,7 @@ struct Cli {
     latest: bool,
     aggregate: bool,
     backpressure: bool,
+    memory: bool,
     baseline: usize,
     threshold: f64,
     direction: Option<regress::Direction>,
@@ -122,6 +126,7 @@ fn parse_cli() -> Result<Cli, String> {
         latest: false,
         aggregate: false,
         backpressure: false,
+        memory: false,
         baseline: 5,
         threshold: 20.0,
         direction: None,
@@ -168,6 +173,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--latest" => cli.latest = true,
             "--aggregate" => cli.aggregate = true,
             "--backpressure" => cli.backpressure = true,
+            "--memory" => cli.memory = true,
             "--baseline" => {
                 cli.baseline = next_val(&mut it, "--baseline")?
                     .parse()
@@ -310,6 +316,10 @@ fn cmd_trend(cli: &Cli) -> Result<(), String> {
     let records = registry.query(&query_from(cli)).map_err(|e| e.to_string())?;
     if cli.backpressure {
         print!("{}", trend::render_backpressure(&records));
+        return Ok(());
+    }
+    if cli.memory {
+        print!("{}", trend::render_memory(&records));
         return Ok(());
     }
     let metric = cli.metric.clone().ok_or("trend needs a metric name")?;

@@ -5,10 +5,15 @@
 //! scrape rate without stopping the daemon). The `light_serve_*`
 //! counters use identical metric names on both surfaces, so a
 //! dashboard built against the live scrape keeps working over
-//! post-hoc registry data.
+//! post-hoc registry data. The memory plane's per-subsystem byte
+//! gauges render as `light_serve_mem_bytes{subsystem}` /
+//! `light_serve_mem_peak_bytes{subsystem}` — live values from the
+//! daemon's [`light_obs::mem`] registry, folded (keywise-summed, the
+//! snapshot aggregate law) across Serve summary records on the
+//! registry surface.
 
 use crate::record::RunRecord;
-use light_obs::{Histogram, MetricsSnapshot, ServeMetrics};
+use light_obs::{Histogram, MemMetrics, MetricsSnapshot, ServeMetrics};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -37,6 +42,38 @@ fn write_serve_metrics(out: &mut String, serve: &ServeMetrics) {
     let _ = writeln!(out, "light_serve_workers {}", serve.workers);
 }
 
+/// Appends the memory-plane gauge families for one [`MemMetrics`]
+/// section — shared by [`render`] and [`render_live`] so the
+/// `light_serve_mem_*` names agree on both surfaces. Skipped entirely
+/// when the section is empty: absent names over lying zeros.
+fn write_mem_metrics(out: &mut String, mem: &MemMetrics) {
+    if mem.subsystems.is_empty() {
+        return;
+    }
+    out.push_str("# HELP light_serve_mem_bytes Resident bytes per memory-plane subsystem.\n");
+    out.push_str("# TYPE light_serve_mem_bytes gauge\n");
+    for (name, stat) in &mem.subsystems {
+        let _ = writeln!(
+            out,
+            "light_serve_mem_bytes{{subsystem=\"{}\"}} {}",
+            escape_label(name),
+            stat.bytes
+        );
+    }
+    out.push_str(
+        "# HELP light_serve_mem_peak_bytes High-water mark of resident bytes per subsystem.\n",
+    );
+    out.push_str("# TYPE light_serve_mem_peak_bytes gauge\n");
+    for (name, stat) in &mem.subsystems {
+        let _ = writeln!(
+            out,
+            "light_serve_mem_peak_bytes{{subsystem=\"{}\"}} {}",
+            escape_label(name),
+            stat.peak_bytes
+        );
+    }
+}
+
 /// Renders registry aggregates in the Prometheus text exposition
 /// format (version 0.0.4): run counts by kind/status, diverged totals,
 /// blob storage footprint, and the latest value of every headline
@@ -49,9 +86,16 @@ pub fn render(records: &[RunRecord]) -> String {
     let mut blob_bytes = 0u64;
     let mut blobs = 0u64;
     let mut serve: Option<ServeMetrics> = None;
+    let mut mem: Option<MemMetrics> = None;
     // (metric, program) -> (ts, value): keep the newest.
     let mut latest: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
     for r in records {
+        if let Some(m) = r.metrics.as_ref().and_then(|m| m.mem.as_ref()) {
+            mem = Some(match mem.take() {
+                Some(acc) => acc.combine(m),
+                None => m.clone(),
+            });
+        }
         if let Some(s) = r.metrics.as_ref().and_then(|m| m.serve) {
             let acc = serve.get_or_insert_with(ServeMetrics::default);
             acc.submissions += s.submissions;
@@ -106,6 +150,9 @@ pub fn render(records: &[RunRecord]) -> String {
     if let Some(serve) = &serve {
         write_serve_metrics(&mut out, serve);
     }
+    if let Some(mem) = &mem {
+        write_mem_metrics(&mut out, mem);
+    }
 
     if !latest.is_empty() {
         out.push_str("# HELP light_headline Latest value of each headline metric.\n");
@@ -131,6 +178,9 @@ pub fn render(records: &[RunRecord]) -> String {
 pub fn render_live(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     write_serve_metrics(&mut out, &snapshot.serve.unwrap_or_default());
+    if let Some(mem) = &snapshot.mem {
+        write_mem_metrics(&mut out, mem);
+    }
     if !snapshot.latencies.is_empty() {
         out.push_str(
             "# HELP light_serve_stage_latency_us Per-stage job pipeline latency in microseconds.\n",
@@ -244,14 +294,36 @@ mod tests {
             queue_peak: 9,
             workers: 4,
         };
+        let mem = MemMetrics {
+            subsystems: [
+                (
+                    "serve-queue".to_string(),
+                    light_obs::MemStat {
+                        bytes: 4096,
+                        peak_bytes: 8192,
+                    },
+                ),
+                (
+                    "recorder-log".to_string(),
+                    light_obs::MemStat {
+                        bytes: 77,
+                        peak_bytes: 99,
+                    },
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        };
         let mut rec = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
         rec.metrics = Some(MetricsSnapshot {
             serve: Some(serve),
+            mem: Some(mem.clone()),
             ..Default::default()
         });
         let registry_text = render(&[rec]);
         let live_text = render_live(&MetricsSnapshot {
             serve: Some(serve),
+            mem: Some(mem),
             ..Default::default()
         });
         for (name, value) in [
@@ -270,6 +342,26 @@ mod tests {
             assert!(registry_text.contains(&format!("# TYPE {name}")), "{name} untyped");
             assert!(registry_text.contains(&format!("# HELP {name}")), "{name} unhelped");
         }
+        // Memory-plane gauges: same labelled samples on both surfaces,
+        // HELP/TYPE present for each family.
+        for sample in [
+            "light_serve_mem_bytes{subsystem=\"serve-queue\"} 4096",
+            "light_serve_mem_peak_bytes{subsystem=\"serve-queue\"} 8192",
+            "light_serve_mem_bytes{subsystem=\"recorder-log\"} 77",
+            "light_serve_mem_peak_bytes{subsystem=\"recorder-log\"} 99",
+        ] {
+            assert!(registry_text.contains(sample), "registry missing {sample}");
+            assert!(live_text.contains(sample), "live missing {sample}");
+        }
+        for name in ["light_serve_mem_bytes", "light_serve_mem_peak_bytes"] {
+            for text in [&registry_text, &live_text] {
+                assert!(text.contains(&format!("# TYPE {name} gauge")), "{name} untyped");
+                assert!(text.contains(&format!("# HELP {name}")), "{name} unhelped");
+            }
+        }
+        // Records predating the memory plane contribute no mem family.
+        let old = render_live(&MetricsSnapshot::default());
+        assert!(!old.contains("light_serve_mem_bytes"));
     }
 
     #[test]

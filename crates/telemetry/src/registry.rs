@@ -211,6 +211,10 @@ impl Registry {
         ));
         fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
         fs::rename(&tmp, &path).map_err(io_err(&path))?;
+        // Account only newly written bytes: registries are append-only,
+        // so the gauge is a monotone "bytes this process added" counter
+        // (dedup hits return above and add nothing).
+        light_obs::mem::handle(light_obs::mem::subsystem::REGISTRY_BLOBS).add(bytes.len() as u64);
         Ok((hash, false))
     }
 

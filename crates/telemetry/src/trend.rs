@@ -118,6 +118,54 @@ pub fn render_backpressure(records: &[RunRecord]) -> String {
     out
 }
 
+/// Renders the memory trend table: one row per record carrying a metric
+/// snapshot, oldest first, with the total and peak bytes summed across
+/// subsystems plus the hungriest subsystem by peak. Records ingested
+/// before the memory plane existed carry no `mem` section and render
+/// "n/a" instead of being dropped — the row still shows the run ran.
+pub fn render_memory(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let mut rows: Vec<&RunRecord> = records.iter().filter(|r| r.metrics.is_some()).collect();
+    rows.sort_by_key(|r| r.ts_ms);
+    if rows.is_empty() {
+        out.push_str("memory: no records with metric snapshots\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:>14}  {:>14}  {:>14}  {:<18}  run",
+        "ts_ms", "bytes", "peak bytes", "top subsystem"
+    );
+    for r in rows {
+        let run = r.run_id.as_deref().unwrap_or("-");
+        match r.metrics.as_ref().and_then(|m| m.mem.as_ref()) {
+            Some(mem) if !mem.subsystems.is_empty() => {
+                let total: u64 = mem.subsystems.values().map(|s| s.bytes).sum();
+                let peak: u64 = mem.subsystems.values().map(|s| s.peak_bytes).sum();
+                let top = mem
+                    .subsystems
+                    .iter()
+                    .max_by_key(|(name, s)| (s.peak_bytes, std::cmp::Reverse(*name)))
+                    .map(|(name, _)| name.as_str())
+                    .unwrap_or("-");
+                let _ = writeln!(
+                    out,
+                    "  {:>14}  {total:>14}  {peak:>14}  {top:<18}  {run}",
+                    r.ts_ms
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "  {:>14}  {:>14}  {:>14}  {:<18}  {run}",
+                    r.ts_ms, "n/a", "n/a", "n/a (pre-mem)"
+                );
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +240,44 @@ mod tests {
         assert!(lines[2].contains(&wait.percentile(0.99).to_string()));
         assert!(lines[2].contains("00000000000000000000000000000abc"));
         assert!(render_backpressure(&[]).contains("no daemon summary records"));
+    }
+
+    #[test]
+    fn memory_table_handles_pre_mem_records() {
+        use light_obs::{MemMetrics, MemStat};
+        // A record from before the memory plane: snapshot, no mem section.
+        let mut old = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+        old.ts_ms = 100;
+        old.metrics = Some(MetricsSnapshot::default());
+        // A current record with two subsystems.
+        let mut new = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+        new.ts_ms = 200;
+        new.run_id = Some("00000000000000000000000000000abc".into());
+        let mut mem = MemMetrics::default();
+        mem.subsystems.insert(
+            "serve-queue".into(),
+            MemStat { bytes: 1024, peak_bytes: 4096 },
+        );
+        mem.subsystems.insert(
+            "recorder-log".into(),
+            MemStat { bytes: 10, peak_bytes: 20 },
+        );
+        new.metrics = Some(MetricsSnapshot {
+            mem: Some(mem),
+            ..Default::default()
+        });
+        // No snapshot at all: not a row.
+        let bare = RunRecord::new("race", RunKind::Serve, RunStatus::Ok);
+
+        let text = render_memory(&[new, bare, old]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two rows:\n{text}");
+        assert!(lines[1].contains("n/a (pre-mem)"), "old row: {}", lines[1]);
+        assert!(lines[2].contains("1034"), "summed bytes: {}", lines[2]);
+        assert!(lines[2].contains("4116"), "summed peaks: {}", lines[2]);
+        assert!(lines[2].contains("serve-queue"), "top subsystem: {}", lines[2]);
+        assert!(lines[2].contains("00000000000000000000000000000abc"));
+        assert!(render_memory(&[]).contains("no records with metric snapshots"));
     }
 
     #[test]

@@ -56,6 +56,8 @@ def headline_for(name: str, doc: dict) -> dict:
         "criterion_met",
         "serve_ingest_rps",
         "serve_obs_overhead",
+        "mem_accounting_overhead",
+        "peak_log_bytes",
     ):
         if key in doc:
             head[key] = doc[key]
