@@ -193,6 +193,19 @@ fn print_summary(rec: &Recording, file_version: u32) {
     } else {
         println!("  stripe contention:    {}", s.stripe_contention);
     }
+    // Stripe layout the histogram was recorded under: the dense vector is
+    // sized to the recorder's final (possibly adaptively grown) count.
+    if file_version >= 4 && !rec.stripe_hist.is_empty() {
+        let layout = rec.stripe_hist.len();
+        if layout > light_core::STRIPE_COUNT {
+            println!(
+                "  stripe layout:        {layout} stripes (adaptively grown from {})",
+                light_core::STRIPE_COUNT
+            );
+        } else {
+            println!("  stripe layout:        {layout} stripes");
+        }
+    }
     let hist = rec.stripe_hist_sparse();
     println!();
     if file_version < 4 {

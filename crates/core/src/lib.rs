@@ -53,7 +53,10 @@ pub use log::{
     load_recording, load_recording_traced, peek_log_version, read_recording, save_recording,
     save_recording_traced, write_recording, LogError, LOG_FORMAT_VERSION,
 };
-pub use recorder::{stripe_of, LightConfig, LightRecorder, STRIPE_COUNT};
+pub use recorder::{
+    stripe_of, LightConfig, LightRecorder, RecorderTuning, StripeAdapt, MAX_STRIPE_COUNT,
+    STRIPE_COUNT,
+};
 pub use spill::SpillSink;
 pub use recording::{
     AccessId, DepEdge, ExploreProvenance, RecordStats, Recording, RunRec, SignalEdge,
@@ -91,6 +94,7 @@ pub struct Light {
     program: Arc<Program>,
     analysis: Analysis,
     config: LightConfig,
+    tuning: Option<RecorderTuning>,
     replay_options: ReplayOptions,
     obs: Obs,
     flight: light_obs::Flight,
@@ -111,10 +115,24 @@ impl Light {
             program,
             analysis,
             config,
+            tuning: None,
             replay_options: ReplayOptions::default(),
             obs: Obs::disabled(),
             flight: light_obs::Flight::disabled(),
         }
+    }
+
+    /// Overrides the recorder hot-path tuning (stripe layout, adaptation
+    /// policy, batch size) for every recorder this instance creates.
+    /// Recording content is identical under every tuning — only recording
+    /// throughput changes — so this is safe to vary per deployment.
+    pub fn set_recorder_tuning(&mut self, tuning: RecorderTuning) {
+        self.tuning = Some(tuning);
+    }
+
+    /// The recorder tuning override, if one was set.
+    pub fn recorder_tuning(&self) -> Option<RecorderTuning> {
+        self.tuning
     }
 
     /// Overrides the replay timeouts.
@@ -213,7 +231,10 @@ impl Light {
     /// Useful for driving custom runs (e.g. the overhead benchmarks).
     pub fn make_recorder(&self) -> Arc<LightRecorder> {
         let (fields, globals) = self.guarded_sets();
-        let recorder = LightRecorder::new(self.config, fields, globals);
+        let mut recorder = LightRecorder::new(self.config, fields, globals);
+        if let Some(tuning) = self.tuning {
+            recorder = recorder.with_tuning(tuning);
+        }
         if self.flight.enabled() {
             recorder.with_flight(self.flight.clone())
         } else {
@@ -279,6 +300,12 @@ impl Light {
             self.obs.counter("record.o2_skipped", s.o2_skipped);
             self.obs
                 .counter("record.stripe_contention", s.stripe_contention);
+            self.obs
+                .counter("record.stripe_count", recorder.stripe_count() as u64);
+            self.obs
+                .counter("record.stripe_resizes", recorder.stripe_resizes());
+            self.obs
+                .counter("record.batch_flushes", recorder.batch_flushes());
         }
         Ok((recording, outcome))
     }

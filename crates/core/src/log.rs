@@ -21,7 +21,10 @@ const MAGIC: u32 = 0x4C52_4543; // "LREC"
 /// (strategy, seed, schedule count) stamped by `light-explore`; v1/v2
 /// logs load with no provenance. v4 appends the sparse per-stripe
 /// contention histogram (count + `(stripe u32, hits u64)` pairs); older
-/// logs load with an empty histogram.
+/// logs load with an empty histogram. The adaptive-stripe recorder needs
+/// no format bump: sparse indices were always u32, so histograms from
+/// grown maps (up to `MAX_STRIPE_COUNT`) persist in the same layout —
+/// stripe layout is runtime-only and never shapes recording content.
 const VERSION: u32 = 4;
 
 /// The log format version this reader writes ([`write_recording`]) and the
@@ -349,13 +352,19 @@ pub fn read_recording(mut data: &[u8]) -> Result<Recording, LogError> {
         for _ in 0..nstripes {
             let stripe = buf.get_u32_le() as usize;
             let hits = buf.get_u64_le();
-            if stripe >= crate::recorder::STRIPE_COUNT {
+            if stripe >= crate::recorder::MAX_STRIPE_COUNT {
                 return Err(LogError::Malformed(format!(
                     "stripe index {stripe} out of range"
                 )));
             }
-            if stripe_hist.is_empty() {
-                stripe_hist = vec![0; crate::recorder::STRIPE_COUNT];
+            // Dense vector sized to the smallest power-of-two stripe
+            // layout covering every index seen (adaptive recorders can
+            // report indices past the base 256).
+            let want = (stripe + 1)
+                .next_power_of_two()
+                .max(crate::recorder::STRIPE_COUNT);
+            if stripe_hist.len() < want {
+                stripe_hist.resize(want, 0);
             }
             stripe_hist[stripe] = hits;
         }

@@ -170,6 +170,121 @@ fn mem_gauges_do_not_perturb_the_recording_bytes() {
 }
 
 #[test]
+fn recorder_tuning_does_not_perturb_the_recording_bytes() {
+    // The recorder hot path's runtime layout — batch size, initial stripe
+    // count, and adaptive growth — must never shape recording content:
+    // logs stay byte-identical for a fixed seed under every tuning.
+    use light_core::{RecorderTuning, StripeAdapt};
+    let base = light(RACY_COUNTER);
+    let variants = [
+        ("batch=1", RecorderTuning { batch: 1, ..Default::default() }),
+        ("batch=64", RecorderTuning { batch: 64, ..Default::default() }),
+        ("batch=4096", RecorderTuning { batch: 4096, ..Default::default() }),
+        (
+            "stripes=16 fixed",
+            RecorderTuning {
+                initial_stripes: 16,
+                adapt: StripeAdapt::Off,
+                ..Default::default()
+            },
+        ),
+        (
+            "stripes=1024 fixed",
+            RecorderTuning {
+                initial_stripes: 1024,
+                adapt: StripeAdapt::Off,
+                ..Default::default()
+            },
+        ),
+        (
+            "forced adaptation",
+            RecorderTuning {
+                adapt: StripeAdapt::Force,
+                batch: 8,
+                ..Default::default()
+            },
+        ),
+    ];
+    for seed in 0..3 {
+        let (recording, _) = base.record_chaos(&[12], seed).unwrap();
+        let want = write_recording(&recording).to_vec();
+        for (name, tuning) in variants {
+            let mut tuned = light(RACY_COUNTER);
+            tuned.set_recorder_tuning(tuning);
+            let (recording, _) = tuned.record_chaos(&[12], seed).unwrap();
+            assert_eq!(
+                write_recording(&recording).to_vec(),
+                want,
+                "{name} changed the log, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_adaptation_surfaces_in_metrics_and_prec_hits_are_stable() {
+    // Chaos scheduling serializes the run, so contention never triggers
+    // growth naturally; Force walks the resize machinery anyway. The
+    // resize/flush lifecycle must surface through the metrics sink, and
+    // the prec hit rate (flight `prec-hit` events) must be unchanged by
+    // the N-way table's layout knobs — collapsing is keyed on location
+    // identity, not table geometry.
+    use light_core::obs::{FlightEvent, FlightKind, FlightSink};
+    use light_core::{RecorderTuning, StripeAdapt};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct PrecCounter(AtomicU64);
+    impl FlightSink for PrecCounter {
+        fn record(&self, ev: &FlightEvent) {
+            if ev.kind == FlightKind::PrecHit {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let count_prec_hits = |tuning: Option<RecorderTuning>| {
+        let mut l = light(RACY_COUNTER);
+        if let Some(t) = tuning {
+            l.set_recorder_tuning(t);
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        l.set_sink(registry.clone());
+        let sink = Arc::new(PrecCounter::default());
+        l.set_flight_sink(sink.clone());
+        l.record_chaos(&[12], 7).unwrap();
+        (sink.0.load(Ordering::Relaxed), registry.snapshot())
+    };
+    let (base_hits, base_snap) = count_prec_hits(None);
+    assert!(base_hits > 0, "workload must exercise prec collapsing");
+    assert_eq!(base_snap.counters.get("record.stripe_resizes"), Some(&0));
+    assert_eq!(
+        base_snap.counters.get("record.stripe_count"),
+        Some(&(light_core::STRIPE_COUNT as u64))
+    );
+
+    let (forced_hits, forced_snap) = count_prec_hits(Some(RecorderTuning {
+        adapt: StripeAdapt::Force,
+        batch: 8,
+        ..Default::default()
+    }));
+    assert_eq!(forced_hits, base_hits, "prec hit rate must not change");
+    let resizes = *forced_snap
+        .counters
+        .get("record.stripe_resizes")
+        .expect("resize counter emitted");
+    assert!(resizes > 0, "Force must grow the map: {forced_snap:?}");
+    assert_eq!(
+        forced_snap.counters.get("record.stripe_count"),
+        Some(&((light_core::STRIPE_COUNT as u64) << resizes))
+    );
+    assert!(
+        forced_snap.counters.get("record.batch_flushes").copied() >= Some(1),
+        "flush counter emitted: {forced_snap:?}"
+    );
+}
+
+#[test]
 fn run_id_threads_through_replay_and_trace_export() {
     let mut light = light(RACY_COUNTER);
     let sink = Arc::new(TraceSink::new());

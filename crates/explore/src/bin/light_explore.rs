@@ -285,7 +285,7 @@ fn ingest_campaign(label: &str, strategy: StrategyKind, outcome: &ExploreOutcome
         if outcome.found.is_some() { 1.0 } else { 0.0 },
     );
     rec.metrics = Some(light_obs::MetricsSnapshot {
-        explore: Some(m.clone()),
+        explore: Some(*m),
         ..Default::default()
     });
     let blob = outcome.found.as_ref().map(|b| {

@@ -67,10 +67,16 @@ pub enum FlightKind {
     /// The turbo solver finished one independent component.
     /// `loc` = component variable count, `aux` = decisions it took.
     SolverComponent = 13,
+    /// The recorder's last-write map doubled its stripe count.
+    /// `loc` = new stripe count, `aux` = new layout generation.
+    StripeResized = 14,
+    /// A thread-local dependence batch flushed to the central log.
+    /// `loc` = records in the batch.
+    BatchFlush = 15,
 }
 
 /// Number of distinct [`FlightKind`] values (for per-kind total arrays).
-pub const FLIGHT_KINDS: usize = 14;
+pub const FLIGHT_KINDS: usize = 16;
 
 impl FlightKind {
     /// Decodes a kind byte (the inverse of `kind as u8`).
@@ -91,6 +97,8 @@ impl FlightKind {
             11 => SolverTick,
             12 => ConstraintGroup,
             13 => SolverComponent,
+            14 => StripeResized,
+            15 => BatchFlush,
             _ => return None,
         })
     }
@@ -113,6 +121,8 @@ impl FlightKind {
             SolverTick => "solver-tick",
             ConstraintGroup => "constraint-group",
             SolverComponent => "solver-component",
+            StripeResized => "stripe-resized",
+            BatchFlush => "batch-flush",
         }
     }
 }

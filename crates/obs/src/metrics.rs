@@ -1170,7 +1170,7 @@ mod tests {
                 solve_ns: seed * 100,
                 ..Default::default()
             }),
-            turbo: (seed % 2 == 0).then_some(TurboMetrics {
+            turbo: seed.is_multiple_of(2).then_some(TurboMetrics {
                 components: seed,
                 widest_component: seed * 7 % 13,
                 workers: 4,

@@ -313,6 +313,11 @@ impl Attribution {
                     solver.widest_component = solver.widest_component.max(ev.loc);
                     solver.component_decisions += ev.aux;
                 }
+                FlightKind::StripeResized | FlightKind::BatchFlush => {
+                    // Recorder-plumbing lifecycle events: surfaced by
+                    // `light-inspect` from the recorder's own counters,
+                    // no per-line or per-variable attribution to do.
+                }
             }
         }
         solver.groups = groups

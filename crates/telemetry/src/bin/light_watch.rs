@@ -61,6 +61,9 @@ trend options (trend <metric>):
   --memory             per-run memory table instead of a metric: total
                        and peak bytes across subsystems; records from
                        before the memory plane render n/a
+  --record-overhead    recorder scaling table instead of a metric:
+                       E18 overhead growth, lo/hi overheads, and
+                       events/sec; records predating E18 render n/a
 
 regress options (regress <metric>):
   --baseline <k>       rolling baseline window           (default 5)
@@ -90,6 +93,7 @@ struct Cli {
     aggregate: bool,
     backpressure: bool,
     memory: bool,
+    record_overhead: bool,
     baseline: usize,
     threshold: f64,
     direction: Option<regress::Direction>,
@@ -127,6 +131,7 @@ fn parse_cli() -> Result<Cli, String> {
         aggregate: false,
         backpressure: false,
         memory: false,
+        record_overhead: false,
         baseline: 5,
         threshold: 20.0,
         direction: None,
@@ -174,6 +179,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--aggregate" => cli.aggregate = true,
             "--backpressure" => cli.backpressure = true,
             "--memory" => cli.memory = true,
+            "--record-overhead" => cli.record_overhead = true,
             "--baseline" => {
                 cli.baseline = next_val(&mut it, "--baseline")?
                     .parse()
@@ -293,8 +299,8 @@ fn cmd_query(cli: &Cli) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "{:>14}  {:<8}  {:<8}  {:<20}  {:<12}  {}",
-        "ts_ms", "kind", "status", "program", "blob", "run_id"
+        "{:>14}  {:<8}  {:<8}  {:<20}  {:<12}  run_id",
+        "ts_ms", "kind", "status", "program", "blob"
     );
     for r in &records {
         println!(
@@ -320,6 +326,10 @@ fn cmd_trend(cli: &Cli) -> Result<(), String> {
     }
     if cli.memory {
         print!("{}", trend::render_memory(&records));
+        return Ok(());
+    }
+    if cli.record_overhead {
+        print!("{}", trend::render_record_overhead(&records));
         return Ok(());
     }
     let metric = cli.metric.clone().ok_or("trend needs a metric name")?;

@@ -203,7 +203,7 @@ pub fn chrome_trace(events: &[JobEvent]) -> String {
         // The job's pid in the viewer: the RunId's derived pid when it
         // parses, else the job id (offset past the reserved pids).
         let pid = RunId::parse(run_id)
-            .map(|r| u64::from(r.as_pid()))
+            .map(|r| r.as_pid())
             .unwrap_or(job_id + 2);
         trace.push(TraceEvent::RunContext {
             run_id: run_id.to_string(),

@@ -166,6 +166,51 @@ pub fn render_memory(records: &[RunRecord]) -> String {
     out
 }
 
+/// Renders the recorder-overhead trend table: one row per bench-summary
+/// record, oldest first, with the E18 headline (adaptive overhead growth
+/// 8→64 threads), the endpoint overheads, and recorded events/sec.
+/// Records ingested before E18 existed carry none of those keys and
+/// render "n/a" instead of being dropped — the row still shows the
+/// summary ran.
+pub fn render_record_overhead(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let mut rows: Vec<&RunRecord> = records.iter().filter(|r| r.kind == RunKind::Bench).collect();
+    rows.sort_by_key(|r| r.ts_ms);
+    if rows.is_empty() {
+        out.push_str("record overhead: no bench records\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:>14}  {:>9}  {:>9}  {:>9}  {:>12}  run",
+        "ts_ms", "growth", "ovh lo", "ovh hi", "events/sec"
+    );
+    // Accept both the per-bench ingest (bare keys, from the Rust Report
+    // plumbing) and the pipeline-summary ingest (bench-prefixed keys,
+    // from scripts/bench_summary.py).
+    let metric = |r: &RunRecord, key: &str| {
+        r.metric(key)
+            .or_else(|| r.metric(&format!("record_overhead_scaling.{key}")))
+    };
+    for r in rows {
+        let run = r.run_id.as_deref().unwrap_or("-");
+        let cell = |v: Option<f64>, width: usize, frac: usize| match v {
+            Some(v) => format!("{v:>width$.frac$}"),
+            None => format!("{:>width$}", "n/a"),
+        };
+        let _ = writeln!(
+            out,
+            "  {:>14}  {}  {}  {}  {}  {run}",
+            r.ts_ms,
+            cell(metric(r, "record_overhead_scaling"), 9, 2),
+            cell(metric(r, "record_overhead_lo"), 9, 2),
+            cell(metric(r, "record_overhead_hi"), 9, 2),
+            cell(metric(r, "record_events_per_sec"), 12, 0),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +323,42 @@ mod tests {
         assert!(lines[2].contains("serve-queue"), "top subsystem: {}", lines[2]);
         assert!(lines[2].contains("00000000000000000000000000000abc"));
         assert!(render_memory(&[]).contains("no records with metric snapshots"));
+    }
+
+    #[test]
+    fn record_overhead_table_handles_pre_e18_records() {
+        // A bench summary from before E18: headline, none of its keys.
+        let mut old = RunRecord::new("bench_summary", RunKind::Bench, RunStatus::Ok);
+        old.ts_ms = 100;
+        old.headline.insert("solver_speedup".into(), 3.0);
+        // A current summary with the prefixed pipeline keys.
+        let mut new = RunRecord::new("bench_summary", RunKind::Bench, RunStatus::Ok);
+        new.ts_ms = 200;
+        new.run_id = Some("00000000000000000000000000000abc".into());
+        new.headline
+            .insert("record_overhead_scaling.record_overhead_scaling".into(), 1.37);
+        new.headline
+            .insert("record_overhead_scaling.record_overhead_lo".into(), 0.82);
+        new.headline
+            .insert("record_overhead_scaling.record_overhead_hi".into(), 1.12);
+        new.headline
+            .insert("record_overhead_scaling.record_events_per_sec".into(), 8_000_000.0);
+        // A bare-key record (per-bench Rust ingest) must also resolve.
+        let mut bare = RunRecord::new("record_overhead_scaling", RunKind::Bench, RunStatus::Ok);
+        bare.ts_ms = 300;
+        bare.headline.insert("record_overhead_scaling".into(), 1.05);
+        // Non-bench records never get a row.
+        let serve = RunRecord::new("light-serve", RunKind::Serve, RunStatus::Ok);
+
+        let text = render_record_overhead(&[new, serve, old, bare]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + three rows:\n{text}");
+        assert!(lines[1].contains("n/a"), "pre-E18 row renders n/a: {}", lines[1]);
+        assert!(lines[2].contains("1.37"), "growth headline: {}", lines[2]);
+        assert!(lines[2].contains("8000000"), "events/sec: {}", lines[2]);
+        assert!(lines[2].contains("00000000000000000000000000000abc"));
+        assert!(lines[3].contains("1.05"), "bare-key ingest: {}", lines[3]);
+        assert!(render_record_overhead(&[]).contains("no bench records"));
     }
 
     #[test]

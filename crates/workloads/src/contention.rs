@@ -1,0 +1,206 @@
+//! A seeded high-thread-count contention generator for the recorder's
+//! scaling benchmarks (E18).
+//!
+//! The fig4/fig5 workloads are LIR programs driven by the controlled
+//! scheduler, which serializes execution — ideal for determinism, useless
+//! for measuring how the recorder's *concurrent* hot path scales. This
+//! module instead plans per-thread access sequences to be replayed by raw
+//! OS threads directly against [`light_core::LightRecorder::on_access`]:
+//! a tunable mix of thread-private locations (where `prec`/O1 collapse
+//! keeps the log bounded) and a small set of hot shared locations (where
+//! threads collide on last-write-map stripes and produce cross-thread
+//! dependences).
+//!
+//! Everything is a pure function of `(seed, thread)`: the same spec
+//! yields the same access sequence on every run and on every
+//! thread-count sweep point, so baseline (no recorder) and recorded arms
+//! of a benchmark execute identical instruction streams.
+
+use light_runtime::{AccessKind, Loc, ObjId, Tid};
+use lir::FieldId;
+
+/// Shape of one contention workload: `threads` OS threads each replaying
+/// `events_per_thread` planned accesses.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionSpec {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Accesses each thread performs.
+    pub events_per_thread: u64,
+    /// Number of hot shared locations all threads collide on.
+    pub shared_locs: u32,
+    /// Thread-private locations per thread (round-robined, so `prec`/O1
+    /// keep runs open across consecutive touches).
+    pub private_locs: u32,
+    /// Percentage of accesses that target a shared location (0..=100).
+    pub shared_pct: u32,
+    /// Percentage of accesses that are writes (0..=100); the rest read.
+    pub write_pct: u32,
+    /// Base seed; thread `k` derives its stream from `seed ^ k`.
+    pub seed: u64,
+}
+
+impl Default for ContentionSpec {
+    fn default() -> Self {
+        Self {
+            threads: 8,
+            events_per_thread: 100_000,
+            shared_locs: 16,
+            private_locs: 4,
+            // ~90% private traffic keeps the log tightly bounded (the
+            // paper's locality assumption); ~10% shared keeps the
+            // last-write map stripes genuinely contended.
+            shared_pct: 10,
+            write_pct: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// One planned access: where, and whether it writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedAccess {
+    pub loc: Loc,
+    pub kind: AccessKind,
+}
+
+impl ContentionSpec {
+    /// The LIR thread id worker `k` records under.
+    pub fn tid(&self, thread: usize) -> Tid {
+        Tid::ROOT.child(thread as u32)
+    }
+
+    /// The deterministic access stream for worker `k`.
+    pub fn stream(&self, thread: usize) -> ContentionStream {
+        ContentionStream {
+            // splitmix-style scramble so nearby (seed, thread) pairs do
+            // not yield correlated streams; never zero.
+            rng: (self.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(0x243f_6a88_85a3_08d3)
+                | 1,
+            spec: *self,
+            thread: thread as u32,
+            next_private: 0,
+            remaining: self.events_per_thread,
+        }
+    }
+
+    /// Total accesses across all threads.
+    pub fn total_events(&self) -> u64 {
+        self.threads as u64 * self.events_per_thread
+    }
+}
+
+/// Iterator over one thread's planned accesses (see
+/// [`ContentionSpec::stream`]).
+pub struct ContentionStream {
+    rng: u64,
+    spec: ContentionSpec,
+    thread: u32,
+    next_private: u32,
+    remaining: u64,
+}
+
+impl ContentionStream {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: tiny, deterministic, and identical cost in the
+        // baseline and recorded benchmark arms.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Iterator for ContentionStream {
+    type Item = PlannedAccess;
+
+    fn next(&mut self) -> Option<PlannedAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let r = self.next_u64();
+        let spec = &self.spec;
+        let shared = (r % 100) < spec.shared_pct as u64;
+        let write = ((r >> 32) % 100) < spec.write_pct as u64;
+        let obj = if shared {
+            // Hot objects live in a small dense id range every thread hits.
+            ObjId(1 + ((r >> 8) % spec.shared_locs.max(1) as u64) as u32)
+        } else {
+            // Private objects are disjoint per thread and round-robined so
+            // consecutive touches revisit the same few locations — the
+            // access pattern prec/O1 (and the N-way open-run table) are
+            // built to collapse.
+            let j = self.next_private;
+            self.next_private = (j + 1) % spec.private_locs.max(1);
+            ObjId(0x0001_0000 + self.thread * spec.private_locs.max(1) + j)
+        };
+        Some(PlannedAccess {
+            loc: Loc::Field(obj, FieldId(0)),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let spec = ContentionSpec::default();
+        let a: Vec<PlannedAccess> = spec.stream(3).take(1000).collect();
+        let b: Vec<PlannedAccess> = spec.stream(3).take(1000).collect();
+        assert_eq!(a, b);
+        let other: Vec<PlannedAccess> = spec.stream(4).take(1000).collect();
+        assert_ne!(a, other, "threads get distinct streams");
+    }
+
+    #[test]
+    fn mix_approximates_the_spec() {
+        let spec = ContentionSpec {
+            events_per_thread: 100_000,
+            ..Default::default()
+        };
+        let events: Vec<PlannedAccess> = spec.stream(0).collect();
+        assert_eq!(events.len(), 100_000);
+        let shared = events
+            .iter()
+            .filter(|a| matches!(a.loc, Loc::Field(ObjId(o), _) if o < 0x0001_0000))
+            .count();
+        let writes = events
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count();
+        let pct = |n: usize| n * 100 / events.len();
+        assert!((8..=12).contains(&pct(shared)), "shared ~10%, got {}%", pct(shared));
+        assert!((28..=32).contains(&pct(writes)), "writes ~30%, got {}%", pct(writes));
+    }
+
+    #[test]
+    fn private_locations_are_disjoint_across_threads() {
+        let spec = ContentionSpec {
+            events_per_thread: 10_000,
+            ..Default::default()
+        };
+        let privates = |k: usize| -> std::collections::HashSet<u32> {
+            spec.stream(k)
+                .filter_map(|a| match a.loc {
+                    Loc::Field(ObjId(o), _) if o >= 0x0001_0000 => Some(o),
+                    _ => None,
+                })
+                .collect()
+        };
+        let p0 = privates(0);
+        let p1 = privates(1);
+        assert!(!p0.is_empty() && !p1.is_empty());
+        assert!(p0.is_disjoint(&p1));
+    }
+}

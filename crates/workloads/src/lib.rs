@@ -16,6 +16,7 @@
 //! originals. See `DESIGN.md` for the substitution rationale.
 
 mod bench_programs;
+pub mod contention;
 pub mod generators;
 mod bug_programs;
 

@@ -58,6 +58,10 @@ def headline_for(name: str, doc: dict) -> dict:
         "serve_obs_overhead",
         "mem_accounting_overhead",
         "peak_log_bytes",
+        "record_overhead_scaling",
+        "record_overhead_lo",
+        "record_overhead_hi",
+        "record_events_per_sec",
     ):
         if key in doc:
             head[key] = doc[key]
